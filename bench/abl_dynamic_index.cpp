@@ -1,0 +1,90 @@
+// Ablation A11: dynamic index selection (shadow-directory switching) vs the
+// static schemes of the paper.
+//
+// The paper's conclusion calls static indexing's inability to "adjust
+// dynamically to a given application's memory access pattern" its central
+// weakness (§V). This bench measures the DynamicIndexCache on (a) the
+// MiBench set — where the cost of adaptivity should be near zero and the
+// benefit equals picking the per-app winner automatically — and (b) a
+// phase-alternating stress trace where every static choice loses a phase.
+#include <iostream>
+#include <memory>
+
+#include "assoc/dynamic_index.hpp"
+#include "bench_common.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "indexing/modulo.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "indexing/xor_index.hpp"
+#include "sim/comparison.hpp"
+#include "stats/moments.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace canu;
+
+std::vector<IndexFunctionPtr> candidates() {
+  return {std::make_shared<ModuloIndex>(1024, 5),
+          std::make_shared<XorIndex>(1024, 5),
+          std::make_shared<OddMultiplierIndex>(1024, 5, 21)};
+}
+
+double run_model(CacheModel& model, const Trace& t) {
+  model.flush();
+  for (const MemRef& r : t) model.access(r.addr, r.type);
+  return model.stats().miss_rate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A11", "dynamic index switching vs static schemes");
+
+  ComparisonTable table("miss rate %, 32KB direct-mapped");
+  const CacheGeometry g = CacheGeometry::paper_l1();
+  for (const std::string& w : paper_mibench_set()) {
+    const Trace t = generate_workload(w, bench::params_for(args));
+    SetAssocCache modulo(g);
+    SetAssocCache xors(g, std::make_shared<XorIndex>(1024, 5));
+    SetAssocCache odd(g, std::make_shared<OddMultiplierIndex>(1024, 5, 21));
+    DynamicIndexCache dynamic(g, candidates());
+    table.set(w, "modulo", 100.0 * run_model(modulo, t));
+    table.set(w, "xor", 100.0 * run_model(xors, t));
+    table.set(w, "odd_mult", 100.0 * run_model(odd, t));
+    table.set(w, "dynamic", 100.0 * run_model(dynamic, t));
+    table.set(w, "switches", static_cast<double>(dynamic.switches()));
+  }
+  bench::emit(table, args);
+
+  // The phase-alternation stress: each static loses two of four phases.
+  Trace phased("phase_alternating");
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int i = 0; i < 150'000; ++i) {
+      if (phase % 2 == 0) {
+        phased.append(static_cast<std::uint64_t>(i % 48) * 32 * 1024,
+                      AccessType::kRead);
+      } else {
+        const std::uint64_t tag = static_cast<std::uint64_t>(i % 48) + 1;
+        const std::uint64_t index_field = (1024 - (21 * tag) % 1024) % 1024;
+        phased.append((tag << 15) | (index_field << 5), AccessType::kRead);
+      }
+    }
+  }
+  SetAssocCache modulo(g);
+  SetAssocCache odd(g, std::make_shared<OddMultiplierIndex>(1024, 5, 21));
+  DynamicIndexCache dynamic(
+      g, {std::make_shared<ModuloIndex>(1024, 5),
+          std::make_shared<OddMultiplierIndex>(1024, 5, 21)});
+  std::cout << "\nPhase-alternating stress (600k refs, optimum flips every "
+               "150k):\n"
+            << "  static modulo  "
+            << TextTable::num(100.0 * run_model(modulo, phased), 2) << "%\n"
+            << "  static odd     "
+            << TextTable::num(100.0 * run_model(odd, phased), 2) << "%\n"
+            << "  dynamic        "
+            << TextTable::num(100.0 * run_model(dynamic, phased), 2) << "% ("
+            << dynamic.switches() << " switches)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation A12: indexing × programmable-associativity hybrids.
+//
+// The paper closes §III with "we will also explore hybrid techniques that
+// combine indexing methods (Section 2) with programmable associativities"
+// but only evaluates the column-associative hybrid (Figure 8). This bench
+// completes the grid: each programmable organization that takes a primary
+// index function (column-associative, adaptive, partner) is paired with
+// modulo, XOR and odd-multiplier indexing.
+#include <iostream>
+
+#include "assoc/adaptive_cache.hpp"
+#include "assoc/column_associative.hpp"
+#include "assoc/partner_cache.hpp"
+#include "bench_common.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "indexing/xor_index.hpp"
+#include "sim/comparison.hpp"
+#include "sim/runner.hpp"
+#include "stats/moments.hpp"
+
+namespace {
+
+using namespace canu;
+
+IndexFunctionPtr make_fn(const std::string& which) {
+  if (which == "xor") return std::make_shared<XorIndex>(1024, 5);
+  if (which == "odd") return std::make_shared<OddMultiplierIndex>(1024, 5, 21);
+  return nullptr;  // modulo default
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A12",
+                "programmable associativity x indexing hybrids");
+
+  const CacheGeometry g = CacheGeometry::paper_l1();
+  ComparisonTable table("% reduction in miss-rate vs direct[modulo]");
+  for (const std::string& w : paper_mibench_set()) {
+    const Trace trace = generate_workload(w, bench::params_for(args));
+    SetAssocCache baseline(g);
+    const RunResult base = run_trace(baseline, trace);
+
+    for (const std::string idx : {"modulo", "xor", "odd"}) {
+      ColumnAssociativeCache column(g, make_fn(idx));
+      const RunResult rc = run_trace(column, trace);
+      table.set(w, "column+" + idx,
+                percent_reduction(base.miss_rate(), rc.miss_rate()));
+
+      AdaptiveCache adaptive(g, AdaptiveConfig(), make_fn(idx));
+      const RunResult ra = run_trace(adaptive, trace);
+      table.set(w, "adaptive+" + idx,
+                percent_reduction(base.miss_rate(), ra.miss_rate()));
+
+      PartnerCache partner(g, PartnerConfig(), make_fn(idx));
+      const RunResult rp = run_trace(partner, trace);
+      table.set(w, "partner+" + idx,
+                percent_reduction(base.miss_rate(), rp.miss_rate()));
+    }
+  }
+  bench::emit(table, args);
+  std::cout << "\nReading: does a better primary hash still help once the "
+               "organization can already\nrelocate conflicting blocks?\n";
+  return 0;
+}

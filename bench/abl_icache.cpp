@@ -1,0 +1,84 @@
+// Ablation A8: the instruction-cache side of the paper's configuration.
+//
+// The paper simulates a 32 KB direct-mapped L1I alongside the L1D but
+// reports data-cache measurements only. This ablation quantifies why:
+// instruction streams are dramatically more uniform (low kurtosis, tiny
+// miss rates) than data streams of the same programs, leaving the indexing
+// and associativity tricks almost nothing to recover.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "cache/split_hierarchy.hpp"
+#include "sim/comparison.hpp"
+#include "sim/runner.hpp"
+#include "trace/fetch_gen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A8", "instruction-cache uniformity (split L1)");
+
+  // Three synthetic programs of increasing code footprint.
+  struct CodeShape {
+    const char* label;
+    std::uint32_t functions;
+    double loop_probability;
+  };
+  const CodeShape shapes[] = {
+      {"small_loopy", 24, 0.55},
+      {"medium", 96, 0.35},
+      {"large_flat", 320, 0.15},
+  };
+
+  TextTable table;
+  table.set_header({"code image", "fetches", "L1I miss %", "%sets < avg/2",
+                    "miss kurtosis", "xor gain %", "column gain %"});
+  for (const CodeShape& shape : shapes) {
+    FetchParams fp;
+    fp.functions = shape.functions;
+    fp.loop_probability = shape.loop_probability;
+    fp.length = static_cast<std::size_t>(600'000 * args.scale);
+    const Trace fetch = generate_fetch_trace(fp);
+
+    SetAssocCache base(CacheGeometry::paper_l1());
+    const RunResult rb = run_trace(base, fetch);
+
+    auto xor_model = build_l1_model(
+        SchemeSpec::indexing(IndexScheme::kXor), CacheGeometry::paper_l1(),
+        &fetch);
+    const RunResult rx = run_trace(*xor_model, fetch);
+
+    auto col_model = build_l1_model(SchemeSpec::column_associative(),
+                                    CacheGeometry::paper_l1(), &fetch);
+    const RunResult rc = run_trace(*col_model, fetch);
+
+    table.add_row(
+        {shape.label, std::to_string(fetch.size()),
+         TextTable::num(100.0 * rb.miss_rate(), 4),
+         TextTable::num(100.0 * rb.uniformity.frac_under_half, 1),
+         TextTable::num(rb.uniformity.miss_moments.kurtosis, 1),
+         TextTable::num(percent_reduction(rb.miss_rate(), rx.miss_rate()), 2),
+         TextTable::num(percent_reduction(rb.miss_rate(), rc.miss_rate()),
+                        2)});
+  }
+  table.print(std::cout);
+
+  // A combined split-hierarchy run: fft data + medium code.
+  FetchParams fp;
+  fp.length = static_cast<std::size_t>(1'000'000 * args.scale);
+  const Trace fetch = generate_fetch_trace(fp);
+  const Trace data = generate_workload("fft", bench::params_for(args));
+  const Trace merged = merge_fetch_data(fetch, data, 3);
+  SetAssocCache l1i(CacheGeometry::paper_l1());
+  SetAssocCache l1d(CacheGeometry::paper_l1());
+  SplitHierarchy h(l1i, l1d, CacheGeometry::paper_l2());
+  const SplitHierarchyResult res = h.run(merged);
+  std::cout << "\nSplit hierarchy (fft data + synthetic code, 3:1): L1I miss "
+            << TextTable::num(100.0 * res.l1i.miss_rate(), 3) << "%, L1D miss "
+            << TextTable::num(100.0 * res.l1d.miss_rate(), 3)
+            << "%, measured AMAT "
+            << TextTable::num(res.measured_amat(), 3) << " cycles\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation A2: sensitivity of the odd-multiplier scheme to the multiplier
+// choice — the paper's authors recommend 9, 21, 31 and 61 (§II.C); this
+// sweep shows how much the choice matters per benchmark. (Figure 13 also
+// relies on distinct multipliers behaving differently per thread.)
+#include "bench_common.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "sim/comparison.hpp"
+#include "stats/moments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A2", "odd-multiplier choice sweep");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+
+  ComparisonTable table("% reduction in miss-rate by odd multiplier");
+  for (const std::string& w : paper_mibench_set()) {
+    const Trace trace = generate_workload(w, opt.params);
+    auto base_model =
+        build_l1_model(SchemeSpec::baseline(), opt.l1_geometry, &trace);
+    const RunResult base = run_trace(*base_model, trace, opt.run);
+    for (const std::uint64_t mult :
+         OddMultiplierIndex::kRecommendedMultipliers) {
+      auto model = build_l1_model(
+          SchemeSpec::indexing(IndexScheme::kOddMultiplier, mult),
+          opt.l1_geometry, &trace);
+      const RunResult r = run_trace(*model, trace, opt.run);
+      table.set(w, "p=" + std::to_string(mult),
+                percent_reduction(base.miss_rate(), r.miss_rate()));
+    }
+  }
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A17: page allocation policy vs the paper's hardware schemes.
+//
+// The paper fights per-set non-uniformity in hardware; operating systems
+// fight the same battle at page-frame granularity. With 4 KB pages on the
+// paper's 32 KB direct-mapped L1, the top 3 index bits are frame bits, so
+// frame allocation is an 8-color indexing function the OS controls. This
+// bench re-runs the baseline under identity (the paper's implicit setup),
+// random (buddy-allocator-like) and colored frame assignment, next to the
+// XOR hardware scheme for comparison.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "indexing/xor_index.hpp"
+#include "sim/comparison.hpp"
+#include "sim/runner.hpp"
+#include "stats/moments.hpp"
+#include "trace/page_mapping.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A17", "OS page allocation vs hardware indexing");
+
+  const CacheGeometry g = CacheGeometry::paper_l1();
+  ComparisonTable misses("% reduction in miss-rate vs identity mapping");
+  ComparisonTable kurt("kurtosis of per-set misses");
+  for (const std::string& w : paper_mibench_set()) {
+    const Trace vtrace = generate_workload(w, bench::params_for(args));
+
+    SetAssocCache base(g);
+    const RunResult rb = run_trace(base, vtrace);
+    kurt.set(w, "identity", rb.uniformity.miss_moments.kurtosis);
+
+    for (const PagePolicy policy :
+         {PagePolicy::kRandom, PagePolicy::kColored}) {
+      PageMapper::Options opt;
+      opt.policy = policy;
+      const Trace ptrace = apply_page_mapping(vtrace, opt);
+      SetAssocCache cache(g);
+      const RunResult r = run_trace(cache, ptrace);
+      misses.set(w, page_policy_name(policy),
+                 percent_reduction(rb.miss_rate(), r.miss_rate()));
+      kurt.set(w, page_policy_name(policy),
+               r.uniformity.miss_moments.kurtosis);
+    }
+
+    // Hardware comparison point: XOR indexing on the identity mapping.
+    SetAssocCache xors(g, std::make_shared<XorIndex>(g.sets(),
+                                                     g.offset_bits()));
+    const RunResult rx = run_trace(xors, vtrace);
+    misses.set(w, "hw_xor", percent_reduction(rb.miss_rate(), rx.miss_rate()));
+    kurt.set(w, "hw_xor", rx.uniformity.miss_moments.kurtosis);
+  }
+  bench::emit(misses, args);
+  std::cout << "\n";
+  bench::emit(kurt, args);
+  std::cout << "\nReading: colored == identity here by construction (the 3 "
+               "frame color bits are\npreserved, and higher frame bits only "
+               "reach the tag) — CANU's synthetic virtual\nlayouts are "
+               "already perfectly colored. Random frame allocation (a real "
+               "OS under\nmemory pressure) breaks that balance and *costs* "
+               "miss rate — which is exactly why\npage coloring was "
+               "invented, and what the paper's identity-mapped traces "
+               "quietly assume.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A13: advisor-driven per-thread scheme selection under SMT.
+//
+// The paper's abstract promises that "the study ... allows us to select
+// best possible solutions for each running application" and shows manual
+// per-thread multiplier choices (Figure 13). This bench closes the loop:
+// each thread's index function is chosen *automatically* by the Advisor
+// from that thread's solo profile, then the mix runs on the shared L1 —
+// profile-guided selection with zero manual tuning.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/advisor.hpp"
+#include "indexing/factory.hpp"
+#include "indexing/modulo.hpp"
+#include "mt/smt_cache.hpp"
+#include "mt_common.hpp"
+#include "sim/comparison.hpp"
+#include "stats/moments.hpp"
+
+namespace {
+
+using namespace canu;
+
+/// Per-thread index function picked by the Advisor's indexing-only ranking
+/// (programmable organizations cannot be mixed per-thread in one array).
+IndexFunctionPtr advised_index(const std::string& workload, double scale) {
+  Advisor::Options opt;
+  opt.include_programmable_associativity = false;
+  WorkloadParams params;
+  params.scale = scale;
+  const AdvisorReport rep = Advisor(opt).advise_workload(workload, params);
+  const SchemeSpec& best = rep.keep_conventional() ? SchemeSpec::baseline()
+                                                   : rep.best().scheme;
+  const CacheGeometry g = CacheGeometry::paper_l1();
+  // Trained schemes need the profile trace to rebuild the function.
+  const Trace profile = generate_workload(workload, params);
+  return make_index_function(best.index, g.sets(), g.offset_bits(), &profile,
+                             best.index_options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A13", "advisor-selected per-thread indexing (SMT)");
+
+  const CacheGeometry l1 = CacheGeometry::paper_l1();
+  ComparisonTable table("% reduction in shared-L1 miss-rate vs shared modulo");
+  for (const auto& mix : bench::fig13_mixes()) {
+    const ThreadedTrace stream = bench::make_mix_stream(mix, args.scale);
+
+    std::vector<IndexFunctionPtr> modulo_fns(
+        mix.size(), std::make_shared<ModuloIndex>(l1.sets(), l1.offset_bits()));
+    SmtSharedCache baseline(l1, modulo_fns);
+    baseline.run(stream);
+
+    std::vector<IndexFunctionPtr> advised;
+    std::string picks;
+    for (const std::string& w : mix) {
+      auto fn = advised_index(w, args.scale);
+      if (!picks.empty()) picks += "+";
+      picks += fn->name();
+      advised.push_back(std::move(fn));
+    }
+    SmtSharedCache tuned(l1, advised);
+    tuned.run(stream);
+
+    table.set(bench::mix_label(mix), "advisor",
+              percent_reduction(baseline.stats().miss_rate(),
+                                tuned.stats().miss_rate()));
+    std::cout << bench::mix_label(mix) << " -> " << picks << "\n";
+  }
+  std::cout << "\n";
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A16: SMT sharing strategies compared — the full menu.
+//
+// For every 2-thread mix of the paper's Figure 13/14 set, the 32 KB L1 is
+// shared five ways:
+//   shared        — one direct-mapped array, both threads modulo-indexed
+//   shared+multi  — shared array, per-thread odd multipliers (Figure 13)
+//   set-part      — static set partitioning (Figure 14 baseline)
+//   way-part      — 2-way array, one allocation way per thread
+//   set-part+ad   — partitioned adaptive (Figure 14 proposal)
+#include <memory>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "indexing/modulo.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "mt/partitioned_adaptive.hpp"
+#include "mt/smt_cache.hpp"
+#include "mt/way_partitioned.hpp"
+#include "mt_common.hpp"
+#include "sim/comparison.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation A16", "SMT sharing strategies (2-thread mixes)");
+
+  const CacheGeometry l1 = CacheGeometry::paper_l1();
+  ComparisonTable table("shared-L1 miss rate %");
+  for (const auto& mix : bench::fig14_mixes()) {
+    if (mix.size() != 2) continue;  // way partitioning shown for pairs
+    const ThreadedTrace stream = bench::make_mix_stream(mix, args.scale);
+    const std::string row = bench::mix_label(mix);
+
+    std::vector<IndexFunctionPtr> modulo_fns(
+        2, std::make_shared<ModuloIndex>(l1.sets(), l1.offset_bits()));
+    SmtSharedCache shared(l1, modulo_fns);
+    shared.run(stream);
+    table.set(row, "shared", 100.0 * shared.stats().miss_rate());
+
+    SmtSharedCache multi(
+        l1, {std::make_shared<OddMultiplierIndex>(l1.sets(), l1.offset_bits(), 9),
+             std::make_shared<OddMultiplierIndex>(l1.sets(), l1.offset_bits(),
+                                                  21)});
+    multi.run(stream);
+    table.set(row, "shared+multi", 100.0 * multi.stats().miss_rate());
+
+    PartitionedDirectCache set_part(l1, 2);
+    set_part.run(stream);
+    table.set(row, "set-part", 100.0 * set_part.stats().miss_rate());
+
+    WayPartitionedCache way_part(CacheGeometry{32 * 1024, 32, 2}, 2);
+    way_part.run(stream);
+    table.set(row, "way-part", 100.0 * way_part.stats().miss_rate());
+
+    PartitionedAdaptiveCache adaptive(l1, 2);
+    adaptive.run(stream);
+    table.set(row, "set-part+ad", 100.0 * adaptive.stats().miss_rate());
+  }
+  bench::emit(table, args);
+  std::cout << "\nReading: with disjoint per-process address spaces, "
+               "way-part and set-part are placement-\nequivalent (each "
+               "thread gets a 16 KB direct-mapped slice either way) — they "
+               "separate\nonly with shared data or asymmetric allocation. "
+               "The interesting deltas are shared vs\npartitioned "
+               "(isolation costs capacity here) and the adaptive recovery "
+               "of part of it.\n";
+  return 0;
+}

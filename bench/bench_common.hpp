@@ -1,0 +1,57 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every fig*/abl* binary prints a titled ComparisonTable to stdout (rows =
+// benchmarks, columns = schemes, plus the trailing Average row the paper's
+// figures carry). An optional first argument scales the workloads
+// (default 1.0); `--csv` after it switches the output to CSV for plotting.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      args.csv = true;
+    } else {
+      args.scale = std::strtod(arg.c_str(), nullptr);
+      if (args.scale <= 0) args.scale = 1.0;
+    }
+  }
+  return args;
+}
+
+inline WorkloadParams params_for(const BenchArgs& args) {
+  WorkloadParams p;
+  p.scale = args.scale;
+  return p;
+}
+
+inline void emit(const ComparisonTable& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "=== " << figure << " — " << what << " ===\n"
+            << "L1 32KB direct-mapped 32B lines (1024 sets); L2 256KB 8-way "
+               "LRU; paper: ICPP 2011, DOI 10.1109/ICPP.2011.12\n\n";
+}
+
+}  // namespace canu::bench

@@ -1,0 +1,32 @@
+// Figure 4: % reduction in miss rate for the five indexing schemes (XOR,
+// odd-multiplier, prime-modulo, Givargis, Givargis-XOR) vs the conventional
+// direct-mapped baseline, across the 11 MiBench benchmarks.
+//
+// Paper shape to reproduce: no scheme wins consistently; Givargis is the
+// worst on average for 32-byte lines; some benchmarks see large negative
+// values (the scheme hurts).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 4", "miss-rate reduction of indexing schemes");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_indexing_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.miss_reduction_table(), args);
+
+  std::cout << "\nBaseline miss rates (direct[modulo], %):\n";
+  for (const std::string& w : rep.workloads) {
+    std::cout << "  " << w << ": "
+              << TextTable::num(100.0 * rep.baseline_runs.at(w).miss_rate(), 3)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: % reduction in average memory access time (AMAT) for the three
+// programmable associativity schemes vs the direct-mapped baseline, using
+// the paper's formulas (8) (adaptive) and (9) (column-associative).
+//
+// Paper shape: smaller than the miss-rate reductions (alternate-location
+// hits cost extra cycles); column-associative posts the greatest AMAT
+// reduction overall; a few benchmarks go slightly negative.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 7", "AMAT reduction of programmable associativity");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_assoc_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.amat_reduction_table(), args);
+
+  std::cout << "\nBaseline AMAT (cycles):\n";
+  for (const std::string& w : rep.workloads) {
+    std::cout << "  " << w << ": "
+              << TextTable::num(rep.baseline_runs.at(w).amat, 3) << "\n";
+  }
+  return 0;
+}

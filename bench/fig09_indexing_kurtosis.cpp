@@ -1,0 +1,21 @@
+// Figure 9: % increase in the kurtosis of per-set *misses* for the five
+// indexing schemes vs the baseline, across MiBench.
+//
+// Paper shape: indexing schemes improve miss uniformity for some programs
+// but sharply worsen it for others (huge positive spikes in the figure);
+// improvements are modest where they exist.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 9", "kurtosis increase of per-set misses (indexing)");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_indexing_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.kurtosis_increase_table(), args);
+  return 0;
+}

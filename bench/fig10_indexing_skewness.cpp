@@ -1,0 +1,18 @@
+// Figure 10: % increase in the skewness of per-set misses for the five
+// indexing schemes vs the baseline, across MiBench. A negative value means
+// the scheme made the miss distribution more symmetric (more uniform).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 10", "skewness increase of per-set misses (indexing)");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_indexing_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.skewness_increase_table(), args);
+  return 0;
+}

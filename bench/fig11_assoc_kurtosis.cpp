@@ -1,0 +1,22 @@
+// Figure 11: % increase in the kurtosis of per-set misses for the three
+// programmable associativity schemes vs the baseline, across MiBench.
+//
+// Paper shape: unlike the indexing schemes, the programmable associativity
+// organizations significantly *reduce* miss kurtosis (negative values) —
+// they actively move misses out of hot sets.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 11",
+                "kurtosis increase of per-set misses (prog. associativity)");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_assoc_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.kurtosis_increase_table(), args);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 12: % increase in the skewness of per-set misses for the three
+// programmable associativity schemes vs the baseline, across MiBench.
+// Paper shape: predominantly negative (improved symmetry of misses).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Figure 12",
+                "skewness increase of per-set misses (prog. associativity)");
+
+  EvalOptions opt;
+  opt.params = bench::params_for(args);
+  Evaluator ev(opt);
+  ev.add_paper_assoc_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  bench::emit(rep.skewness_increase_table(), args);
+  return 0;
+}

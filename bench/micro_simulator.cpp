@@ -1,0 +1,123 @@
+// Ablation A5: simulator throughput microbenchmarks (google-benchmark).
+//
+// Measures simulated references per second for every cache organization,
+// plus trace generation and the Givargis training pass — the costs that
+// determine how large an evaluation campaign the framework sustains.
+#include <benchmark/benchmark.h>
+
+#include "assoc/adaptive_cache.hpp"
+#include "assoc/bcache.hpp"
+#include "assoc/column_associative.hpp"
+#include "cache/belady.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "cache/victim_cache.hpp"
+#include "indexing/givargis.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace canu;
+
+const Trace& bench_trace() {
+  static const Trace trace = [] {
+    Trace t("bench");
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 200'000; ++i) {
+      t.append(0x1000'0000 + rng.below(8192) * 32, AccessType::kRead);
+    }
+    return t;
+  }();
+  return trace;
+}
+
+template <typename ModelT, typename... Args>
+void run_model_bench(benchmark::State& state, Args&&... args) {
+  const Trace& trace = bench_trace();
+  ModelT model(std::forward<Args>(args)...);
+  for (auto _ : state) {
+    model.flush();
+    for (const MemRef& r : trace) {
+      benchmark::DoNotOptimize(model.access(r.addr, r.type));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+void BM_DirectMapped(benchmark::State& state) {
+  run_model_bench<SetAssocCache>(state, CacheGeometry::paper_l1());
+}
+BENCHMARK(BM_DirectMapped);
+
+void BM_EightWay(benchmark::State& state) {
+  run_model_bench<SetAssocCache>(state, CacheGeometry{32 * 1024, 32, 8});
+}
+BENCHMARK(BM_EightWay);
+
+void BM_ColumnAssociative(benchmark::State& state) {
+  run_model_bench<ColumnAssociativeCache>(state, CacheGeometry::paper_l1());
+}
+BENCHMARK(BM_ColumnAssociative);
+
+void BM_AdaptiveCache(benchmark::State& state) {
+  run_model_bench<AdaptiveCache>(state, CacheGeometry::paper_l1());
+}
+BENCHMARK(BM_AdaptiveCache);
+
+void BM_BCache(benchmark::State& state) {
+  run_model_bench<BCache>(state, CacheGeometry::paper_l1());
+}
+BENCHMARK(BM_BCache);
+
+void BM_VictimCache(benchmark::State& state) {
+  run_model_bench<VictimCache>(state, CacheGeometry::paper_l1(), 8u);
+}
+BENCHMARK(BM_VictimCache);
+
+void BM_TwoLevelHierarchy(benchmark::State& state) {
+  const Trace& trace = bench_trace();
+  SetAssocCache l1(CacheGeometry::paper_l1());
+  for (auto _ : state) {
+    Hierarchy h(l1, CacheGeometry::paper_l2());
+    h.flush();
+    benchmark::DoNotOptimize(h.run(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TwoLevelHierarchy);
+
+void BM_BeladyOpt(benchmark::State& state) {
+  const Trace& trace = bench_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_opt(trace, CacheGeometry{32 * 1024, 32, 8}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_BeladyOpt);
+
+void BM_GivargisTraining(benchmark::State& state) {
+  const Trace& trace = bench_trace();
+  for (auto _ : state) {
+    GivargisIndex idx(trace, 1024, 5);
+    benchmark::DoNotOptimize(idx.selected_bits());
+  }
+}
+BENCHMARK(BM_GivargisTraining);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadParams p;
+  p.scale = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_workload("fft", p));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the multithreaded benches (Figures 13 and 14):
+// build per-thread traces with disjoint address spaces and interleave them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mt/interleave.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::bench {
+
+/// The thread mixes of the paper's Figure 13.
+inline const std::vector<std::vector<std::string>>& fig13_mixes() {
+  static const std::vector<std::vector<std::string>> mixes = {
+      {"bitcount", "adpcm"},
+      {"bzip2", "libquantum"},
+      {"fft", "susan"},
+      {"gromacs", "namd"},
+      {"milc", "namd"},
+      {"qsort", "basicmath"},
+      {"qsort", "patricia"},
+      {"fft", "basicmath", "patricia", "susan"},
+      {"susan", "bitcount", "adpcm", "patricia"},
+  };
+  return mixes;
+}
+
+/// The thread mixes of the paper's Figure 14.
+inline const std::vector<std::vector<std::string>>& fig14_mixes() {
+  static const std::vector<std::vector<std::string>> mixes = {
+      {"bitcount", "adpcm"},
+      {"fft", "susan"},
+      {"qsort", "basicmath"},
+      {"qsort", "fft"},
+      {"qsort", "patricia"},
+      {"libquantum", "milc"},
+      {"milc", "namd"},
+      {"gromacs", "namd"},
+      {"bzip2", "libquantum"},
+      {"fft", "basicmath", "patricia", "susan"},
+      {"susan", "bitcount", "adpcm", "patricia"},
+  };
+  return mixes;
+}
+
+inline std::string mix_label(const std::vector<std::string>& mix) {
+  std::string label;
+  for (const std::string& w : mix) {
+    if (!label.empty()) label += "_";
+    label += w;
+  }
+  return label;
+}
+
+/// Generate the mix's traces in disjoint 1-GiB address windows and
+/// round-robin interleave them.
+inline ThreadedTrace make_mix_stream(const std::vector<std::string>& mix,
+                                     double scale) {
+  std::vector<Trace> traces;
+  traces.reserve(mix.size());
+  for (std::size_t t = 0; t < mix.size(); ++t) {
+    WorkloadParams p;
+    p.scale = scale;
+    p.address_base = 0x1000'0000ULL + t * 0x4000'0000ULL;
+    traces.push_back(generate_workload(mix[t], p));
+  }
+  return interleave_round_robin(traces);
+}
+
+}  // namespace canu::bench

@@ -1,0 +1,76 @@
+// trace_inspect: generate, save, load and summarize workload traces — the
+// trace-infrastructure layer as a command-line tool.
+//
+//   $ ./examples/trace_inspect fft                 # summarize
+//   $ ./examples/trace_inspect fft save fft.trc    # write binary trace
+//   $ ./examples/trace_inspect load fft.trc        # load + summarize
+#include <iostream>
+
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+void summarize(const canu::Trace& trace) {
+  using namespace canu;
+  const TraceStats s = compute_trace_stats(trace, 32);
+  std::cout << "trace '" << trace.name() << "': " << s.total
+            << " references\n"
+            << "  reads " << s.reads << ", writes " << s.writes
+            << ", fetches " << s.fetches << "\n"
+            << "  unique addresses " << s.unique_addresses
+            << ", unique 32B lines " << s.unique_lines << " (footprint "
+            << s.footprint_bytes / 1024 << " KiB)\n"
+            << "  address range [0x" << std::hex << s.min_addr << ", 0x"
+            << s.max_addr << std::dec << "]\n"
+            << "  dominant strides:";
+  for (const auto& peak : s.top_strides) {
+    std::cout << " " << peak.stride << "(x" << peak.count << ")";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  if (argc < 2) {
+    std::cout << "usage:\n  trace_inspect <workload>\n"
+                 "  trace_inspect <workload> save <file>\n"
+                 "  trace_inspect load <file>\n\nworkloads:\n";
+    for (const WorkloadInfo& w : all_workloads()) {
+      std::cout << "  " << w.name << " [" << w.suite << "] — "
+                << w.description << "\n";
+    }
+    return 0;
+  }
+
+  try {
+    const std::string first = argv[1];
+    if (first == "load") {
+      if (argc < 3) {
+        std::cerr << "load requires a file\n";
+        return 1;
+      }
+      summarize(load_trace(argv[2]));
+      return 0;
+    }
+    if (!find_workload(first)) {
+      std::cerr << "unknown workload '" << first << "'\n";
+      return 1;
+    }
+    const Trace trace = generate_workload(first);
+    summarize(trace);
+    if (argc >= 4 && std::string(argv[2]) == "save") {
+      save_trace(trace, argv[3]);
+      std::cout << "saved to " << argv[3] << "\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// uniformity_report: full per-set uniformity analysis for one workload
+// under a chosen scheme — the measurement machinery behind the paper's
+// Figures 1 and 9-12, exposed as a tool.
+//
+//   $ ./examples/uniformity_report fft xor
+//   $ ./examples/uniformity_report sjeng column_assoc
+#include <algorithm>
+#include <iostream>
+
+#include "core/scheme.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+canu::SchemeSpec scheme_from_arg(const std::string& arg) {
+  using namespace canu;
+  if (arg == "column_assoc") return SchemeSpec::column_associative();
+  if (arg == "adaptive") return SchemeSpec::adaptive_cache();
+  if (arg == "b_cache") return SchemeSpec::b_cache();
+  if (arg == "victim") return SchemeSpec::victim_cache();
+  if (arg == "2way") return SchemeSpec::set_assoc(2);
+  if (arg == "4way") return SchemeSpec::set_assoc(4);
+  if (arg == "8way") return SchemeSpec::set_assoc(8);
+  return SchemeSpec::indexing(parse_index_scheme(arg));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace canu;
+  const std::string workload = argc > 1 ? argv[1] : "fft";
+  const std::string scheme_name = argc > 2 ? argv[2] : "modulo";
+
+  if (!find_workload(workload)) {
+    std::cerr << "unknown workload '" << workload << "'\n";
+    return 1;
+  }
+  SchemeSpec spec;
+  try {
+    spec = scheme_from_arg(scheme_name);
+  } catch (const Error&) {
+    std::cerr << "unknown scheme '" << scheme_name
+              << "' (try: modulo xor odd_multiplier prime_modulo givargis "
+                 "givargis_xor column_assoc adaptive b_cache victim 2way "
+                 "4way 8way)\n";
+    return 1;
+  }
+
+  const Trace trace = generate_workload(workload);
+  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+  const RunResult r = run_trace(*model, trace);
+  const UniformityReport& u = r.uniformity;
+
+  std::cout << "Workload " << workload << " under " << spec.label() << ": "
+            << trace.size() << " references\n\n";
+
+  TextTable table;
+  table.set_header({"metric", "accesses", "hits", "misses"});
+  table.add_row({"mean/set", TextTable::num(u.avg_accesses, 1),
+                 TextTable::num(u.avg_hits, 1), TextTable::num(u.avg_misses, 1)});
+  table.add_row({"std dev", TextTable::num(u.access_moments.stddev, 1),
+                 TextTable::num(u.hit_moments.stddev, 1),
+                 TextTable::num(u.miss_moments.stddev, 1)});
+  table.add_row({"skewness", TextTable::num(u.access_moments.skewness, 2),
+                 TextTable::num(u.hit_moments.skewness, 2),
+                 TextTable::num(u.miss_moments.skewness, 2)});
+  table.add_row({"kurtosis", TextTable::num(u.access_moments.kurtosis, 2),
+                 TextTable::num(u.hit_moments.kurtosis, 2),
+                 TextTable::num(u.miss_moments.kurtosis, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nZhang set classification (paper §IV.C):\n"
+            << "  FHS (>= 2x avg hits):    " << u.fhs << " sets ("
+            << TextTable::num(100.0 * u.fhs_fraction(), 2) << "%)\n"
+            << "  FMS (>= 2x avg misses):  " << u.fms << " sets ("
+            << TextTable::num(100.0 * u.fms_fraction(), 2) << "%)\n"
+            << "  LAS (< 1/2 avg accesses): " << u.las << " sets ("
+            << TextTable::num(100.0 * u.las_fraction(), 2) << "%)\n"
+            << "\nFigure-1 style summary:\n"
+            << "  sets below half the average accesses: "
+            << TextTable::num(100.0 * u.frac_under_half, 2) << "%\n"
+            << "  sets above twice the average accesses: "
+            << TextTable::num(100.0 * u.frac_over_twice, 3) << "%\n"
+            << "\nMiss rate " << TextTable::num(100.0 * r.miss_rate(), 3)
+            << "%, AMAT " << TextTable::num(r.amat, 3) << " cycles\n";
+
+  // Top-8 hottest sets by misses.
+  const auto misses = extract_counts(model->set_stats(), SetCounter::kMisses);
+  std::vector<std::size_t> order(misses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + 8, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return misses[a] > misses[b];
+                    });
+  std::cout << "\nHottest sets by misses:";
+  for (std::size_t i = 0; i < 8 && i < order.size(); ++i) {
+    std::cout << " " << order[i] << "(" << misses[order[i]] << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}

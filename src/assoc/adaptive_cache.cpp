@@ -1,0 +1,248 @@
+#include "assoc/adaptive_cache.hpp"
+
+#include <algorithm>
+
+#include "indexing/modulo.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+// ---------------------------------------------------------------- SHT ----
+
+SetHistoryTable::SetHistoryTable(std::size_t capacity) : capacity_(capacity) {
+  CANU_CHECK_MSG(capacity >= 1, "SHT capacity must be >= 1");
+  nodes_.resize(capacity);
+  free_.reserve(capacity);
+  for (std::size_t i = capacity; i-- > 0;) {
+    free_.push_back(static_cast<std::uint32_t>(i));
+  }
+  map_.reserve(capacity * 2);
+}
+
+void SetHistoryTable::unlink(std::uint32_t n) noexcept {
+  Node& node = nodes_[n];
+  if (node.prev != kNull) nodes_[node.prev].next = node.next;
+  else head_ = node.next;
+  if (node.next != kNull) nodes_[node.next].prev = node.prev;
+  else tail_ = node.prev;
+  node.prev = node.next = kNull;
+}
+
+void SetHistoryTable::push_front(std::uint32_t n) noexcept {
+  Node& node = nodes_[n];
+  node.prev = kNull;
+  node.next = head_;
+  if (head_ != kNull) nodes_[head_].prev = n;
+  head_ = n;
+  if (tail_ == kNull) tail_ = n;
+}
+
+void SetHistoryTable::touch(std::uint64_t set) {
+  auto it = map_.find(set);
+  if (it != map_.end()) {
+    unlink(it->second);
+    push_front(it->second);
+    return;
+  }
+  std::uint32_t n;
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+  } else {
+    n = tail_;  // evict the LRU set from the history
+    map_.erase(nodes_[n].set);
+    unlink(n);
+  }
+  nodes_[n].set = set;
+  map_.emplace(set, n);
+  push_front(n);
+}
+
+bool SetHistoryTable::contains(std::uint64_t set) const noexcept {
+  return map_.find(set) != map_.end();
+}
+
+void SetHistoryTable::clear() {
+  map_.clear();
+  head_ = tail_ = kNull;
+  free_.clear();
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    free_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+// ------------------------------------------------------- AdaptiveCache ----
+
+AdaptiveCache::AdaptiveCache(CacheGeometry geometry, AdaptiveConfig config,
+                             IndexFunctionPtr index_fn)
+    : geometry_(geometry),
+      config_(config),
+      index_fn_(std::move(index_fn)),
+      lines_(geometry.sets()),
+      sht_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(config.sht_fraction *
+                                      static_cast<double>(geometry.sets())))),
+      out_by_target_(geometry.sets(), ~std::uint64_t{0}),
+      out_capacity_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(config.out_fraction *
+                                      static_cast<double>(geometry.sets())))),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "adaptive cache is built on a direct-mapped array");
+  CANU_CHECK_MSG(config.sht_fraction > 0.0 && config.sht_fraction < 1.0,
+                 "sht_fraction must be in (0,1)");
+  CANU_CHECK_MSG(config.out_fraction > 0.0 && config.out_fraction <= 1.0,
+                 "out_fraction must be in (0,1]");
+  if (!index_fn_) {
+    index_fn_ = std::make_shared<ModuloIndex>(geometry_.sets(),
+                                              geometry_.offset_bits());
+  }
+  out_.reserve(out_capacity_ * 2);
+}
+
+void AdaptiveCache::out_erase(std::uint64_t line_addr) {
+  auto it = out_.find(line_addr);
+  if (it == out_.end()) return;
+  out_by_target_[it->second.location] = ~std::uint64_t{0};
+  out_.erase(it);
+}
+
+void AdaptiveCache::out_drop_target(std::uint64_t location) {
+  const std::uint64_t line_addr = out_by_target_[location];
+  if (line_addr != ~std::uint64_t{0}) {
+    out_.erase(line_addr);
+    out_by_target_[location] = ~std::uint64_t{0};
+  }
+}
+
+void AdaptiveCache::out_insert(std::uint64_t line_addr,
+                               std::uint64_t location) {
+  if (out_.size() >= out_capacity_) {
+    // Evict the least-recently-used OUT entry; its block stays in the cache
+    // but is no longer reachable through the directory and will age out.
+    auto lru = out_.begin();
+    for (auto it = out_.begin(); it != out_.end(); ++it) {
+      if (it->second.stamp < lru->second.stamp) lru = it;
+    }
+    out_by_target_[lru->second.location] = ~std::uint64_t{0};
+    out_.erase(lru);
+  }
+  out_.emplace(line_addr, OutEntry{location, clock_});
+  out_by_target_[location] = line_addr;
+}
+
+std::uint64_t AdaptiveCache::find_disposable_set(
+    std::uint64_t origin) const noexcept {
+  const std::uint64_t sets = geometry_.sets();
+  for (std::uint64_t d = 1; d < sets; ++d) {
+    const std::uint64_t candidate = (origin + d) & (sets - 1);
+    if (!sht_.contains(candidate)) return candidate;
+  }
+  // Every set is MRU (only possible for tiny caches): fall back to the
+  // neighbouring set.
+  return (origin + 1) & (sets - 1);
+}
+
+AccessOutcome AdaptiveCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  const std::uint64_t i = index_fn_->index(addr);
+  ++clock_;
+  ++stats_.accesses;
+  ++set_stats_[i].accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+  // The disposable status of set i's occupant is decided by the SHT state
+  // *before* this access registers set i as MRU.
+  const bool was_mru = sht_.contains(i);
+  sht_.touch(i);
+
+  Line& primary = lines_[i];
+  if (primary.valid && primary.line_addr == line_addr) {
+    if (is_write) primary.dirty = true;
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[i].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
+  }
+
+  // Primary miss: the OUT directory (searched in parallel with the cache)
+  // may know an alternate location for this block.
+  auto out_it = out_.find(line_addr);
+  if (out_it != out_.end()) {
+    const std::uint64_t j = out_it->second.location;
+    Line& alternate = lines_[j];
+    CANU_CHECK_MSG(alternate.valid && alternate.line_addr == line_addr,
+                   "OUT directory points at a stale line");
+    ++stats_.hits;
+    ++stats_.secondary_hits;
+    ++stats_.swaps;
+    ++set_stats_[j].hits;
+    ++set_stats_[j].accesses;
+    // Swap the block back into its primary location; the displaced primary
+    // occupant takes over the alternate slot and the OUT directory tracks
+    // it there. Any directory entry pointing at slot i is now stale (its
+    // subject moves to j).
+    out_erase(line_addr);
+    out_drop_target(i);
+    std::swap(primary, alternate);
+    if (is_write) primary.dirty = true;
+    if (alternate.valid) {
+      out_insert(alternate.line_addr, j);
+    }
+    stats_.lookup_cycles += 3;
+    return {true, 2, 3};
+  }
+
+  // True miss: fetch into the primary location.
+  ++stats_.misses;
+  ++set_stats_[i].misses;
+  if (primary.valid) {
+    // The displaced occupant is preserved only if its set was an MRU set
+    // before this access (disposable bit clear).
+    if (was_mru) {
+      const std::uint64_t j = find_disposable_set(i);
+      Line displaced = primary;
+      out_drop_target(i);  // the occupant's old entry (if any) is now stale
+      Line& target = lines_[j];
+      if (target.valid) {
+        ++stats_.evictions;
+        if (target.dirty) ++stats_.writebacks;
+        out_drop_target(j);
+      }
+      target = displaced;
+      out_insert(displaced.line_addr, j);
+      ++relocations_;
+      ++stats_.swaps;
+    } else {
+      ++stats_.evictions;
+      if (primary.dirty) ++stats_.writebacks;
+      out_drop_target(i);
+    }
+  }
+  primary = Line{line_addr, true, is_write};
+  stats_.lookup_cycles += 3;  // OUT search + refill initiation (formula (8))
+  return {false, 2, 3};
+}
+
+std::string AdaptiveCache::name() const {
+  return "adaptive[" + index_fn_->name() + "]";
+}
+
+void AdaptiveCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+  relocations_ = 0;
+}
+
+void AdaptiveCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  sht_.clear();
+  out_.clear();
+  std::fill(out_by_target_.begin(), out_by_target_.end(), ~std::uint64_t{0});
+  clock_ = 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,138 @@
+// Adaptive group-associative cache (paper §III.B; Peir, Lee & Hsu,
+// ASPLOS 1998).
+//
+// A direct-mapped cache augmented with two tables:
+//   SHT (set-reference history table) — the set indexes most recently used,
+//       capacity 3/8 of the set count (paper §IV). A set present in the SHT
+//       is an MRU set; blocks living in MRU sets are considered valuable
+//       (disposable bit d = 0), blocks in non-MRU sets are disposable.
+//   OUT (out-of-position directory) — maps the line address of a block that
+//       was displaced out of an MRU set to the alternate set now holding it,
+//       capacity 4/16 = 1/4 of the set count (paper §IV), LRU replacement.
+//
+// Access protocol (paper §III.B):
+//   * hit at the direct-mapped location    -> 1 cycle, SHT updated
+//   * primary miss, OUT entry matches and the alternate location still holds
+//     the block                            -> 3 cycles (OUT search + second
+//       lookup); the block is swapped back into its primary location to
+//       improve future latency, the displaced occupant is re-registered in
+//       the OUT directory
+//   * true miss                            -> the new block is fetched into
+//       the primary location. If the displaced occupant's set is an MRU set
+//       (d = 0), the occupant is relocated into a nearby disposable line
+//       (first set at increasing distance that is not in the SHT) and the
+//       OUT directory records its new home; otherwise it is simply evicted.
+//
+// This realizes the paper's "selective victim caching" view: only victims
+// of MRU sets are preserved, and they are preserved inside the cache's own
+// under-utilized sets rather than in a separate buffer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+/// LRU-ordered set of set-indexes with fixed capacity: the SHT.
+class SetHistoryTable {
+ public:
+  explicit SetHistoryTable(std::size_t capacity);
+
+  /// Mark `set` as most-recently-used (inserting or refreshing).
+  void touch(std::uint64_t set);
+  bool contains(std::uint64_t set) const noexcept;
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  // Intrusive doubly-linked LRU list over a node pool + index map.
+  struct Node {
+    std::uint64_t set = 0;
+    std::uint32_t prev = kNull;
+    std::uint32_t next = kNull;
+  };
+  static constexpr std::uint32_t kNull = 0xffffffff;
+
+  void unlink(std::uint32_t n) noexcept;
+  void push_front(std::uint32_t n) noexcept;
+
+  std::size_t capacity_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::uint32_t head_ = kNull;
+  std::uint32_t tail_ = kNull;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Table sizing for the adaptive cache (paper §IV defaults).
+struct AdaptiveConfig {
+  /// SHT capacity as a fraction of the set count (paper: 3/8).
+  double sht_fraction = 3.0 / 8.0;
+  /// OUT capacity as a fraction of the set count (paper: 4/16).
+  double out_fraction = 4.0 / 16.0;
+};
+
+class AdaptiveCache final : public CacheModel {
+ public:
+  explicit AdaptiveCache(CacheGeometry geometry,
+                         AdaptiveConfig config = AdaptiveConfig(),
+                         IndexFunctionPtr index_fn = nullptr);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  /// Hits satisfied through the OUT directory (== stats().secondary_hits).
+  std::uint64_t out_hits() const noexcept { return stats_.secondary_hits; }
+  /// Blocks preserved by relocation into a disposable line.
+  std::uint64_t relocations() const noexcept { return relocations_; }
+
+  std::size_t sht_capacity() const noexcept { return sht_.capacity(); }
+  std::size_t out_capacity() const noexcept { return out_capacity_; }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+  struct OutEntry {
+    std::uint64_t location = 0;  ///< set index holding the block
+    std::uint64_t stamp = 0;     ///< LRU stamp
+  };
+
+  void out_erase(std::uint64_t line_addr);
+  void out_insert(std::uint64_t line_addr, std::uint64_t location);
+  /// Drop the OUT entry, if any, that points at `location`.
+  void out_drop_target(std::uint64_t location);
+  /// First set at increasing distance from `origin` that is not in the SHT.
+  std::uint64_t find_disposable_set(std::uint64_t origin) const noexcept;
+
+  CacheGeometry geometry_;
+  AdaptiveConfig config_;
+  IndexFunctionPtr index_fn_;
+  std::vector<Line> lines_;
+  SetHistoryTable sht_;
+  std::unordered_map<std::uint64_t, OutEntry> out_;  ///< line_addr -> entry
+  std::vector<std::uint64_t> out_by_target_;  ///< set -> line_addr or ~0
+  std::size_t out_capacity_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t relocations_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace canu

@@ -1,0 +1,93 @@
+#include "assoc/bcache.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+BCache::BCache(CacheGeometry geometry, BCacheConfig config)
+    : geometry_(geometry), config_(config) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "B-cache re-organizes a direct-mapped cache");
+  CANU_CHECK_MSG(is_pow2(config.mapping_factor) && config.mapping_factor >= 1,
+                 "mapping factor must be a power of two >= 1");
+  CANU_CHECK_MSG(is_pow2(config.associativity) && config.associativity >= 2,
+                 "BAS must be a power of two >= 2");
+  oi_bits_ = geometry_.index_bits();
+  const unsigned bas_bits = log2_exact(config.associativity);
+  CANU_CHECK_MSG(bas_bits <= oi_bits_,
+                 "BAS " << config.associativity << " exceeds line count");
+  npi_bits_ = oi_bits_ - bas_bits;                      // eq. (7)
+  pi_bits_ = log2_exact(config.mapping_factor) + bas_bits;  // eq. (6)
+  clusters_ = std::uint64_t{1} << npi_bits_;
+  lines_.resize(geometry_.lines());
+  set_stats_.resize(clusters_);
+}
+
+AccessOutcome BCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  const std::uint64_t cluster = line_addr & (clusters_ - 1);
+  const unsigned ways = config_.associativity;
+  Line* base = lines_.data() + cluster * ways;
+  ++clock_;
+  ++stats_.accesses;
+  ++set_stats_[cluster].accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  for (unsigned w = 0; w < ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) {
+      base[w].stamp = clock_;
+      if (is_write) base[w].dirty = true;
+      ++stats_.hits;
+      ++stats_.primary_hits;  // decoder match: single-probe, 1-cycle hit
+      ++set_stats_[cluster].hits;
+      stats_.lookup_cycles += 1;
+      return {true, 1, 1};
+    }
+  }
+
+  ++stats_.misses;
+  ++set_stats_[cluster].misses;
+  unsigned slot = ways;
+  for (unsigned w = 0; w < ways; ++w) {
+    if (!base[w].valid) {
+      slot = w;
+      break;
+    }
+  }
+  if (slot == ways) {
+    slot = 0;
+    for (unsigned w = 1; w < ways; ++w) {
+      if (base[w].stamp < base[slot].stamp) slot = w;
+    }
+    ++stats_.evictions;
+    if (base[slot].dirty) ++stats_.writebacks;
+  }
+  // Install and program the line's PI register (implicit in line_addr: the
+  // PI field is line_addr >> npi_bits masked to pi_bits).
+  base[slot] = Line{line_addr, clock_, true, is_write};
+  stats_.lookup_cycles += 1;
+  return {false, 1, 1};
+}
+
+std::string BCache::name() const {
+  return "b_cache(MF=" + std::to_string(config_.mapping_factor) +
+         ",BAS=" + std::to_string(config_.associativity) + ")";
+}
+
+void BCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+}
+
+void BCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  clock_ = 0;
+}
+
+}  // namespace canu

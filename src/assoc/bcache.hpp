@@ -1,0 +1,79 @@
+// B-Cache — the balanced cache (paper §III.C; Zhang, ISCA 2006).
+//
+// The index of a direct-mapped cache (OI bits) is replaced by a longer
+// decoder index of PI + NPI bits:
+//   * NPI (non-programmable index) bits select one of 2^NPI clusters,
+//     exactly like a traditional index;
+//   * PI (programmable index) bits are matched associatively against a
+//     per-line programmable register inside the cluster.
+// The geometry is controlled by two parameters (paper eqs. (6)/(7)):
+//   mapping factor   MF  = 2^(PI+NPI) / 2^OI
+//   associativity    BAS = 2^OI / 2^NPI
+// The paper's configuration is MF = 2, BAS = 8 over a 1024-line cache
+// (OI = 10), giving NPI = 7 and PI = 4. Because allocation within a cluster
+// replaces the LRU line and programs its PI register, the organization
+// reaches the miss rate of a BAS-way set-associative cache while keeping a
+// direct-mapped access time (the decoder does the PI match).
+//
+// Per-set statistics are reported at cluster granularity (2^NPI entries):
+// a cluster is the physical group of lines an access can touch, which is
+// the meaningful unit for the uniformity analysis (DESIGN.md §3).
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+
+namespace canu {
+
+/// Geometry knobs for the B-cache (paper eqs. (6)/(7) defaults: MF=2, BAS=8).
+struct BCacheConfig {
+  unsigned mapping_factor = 2;  ///< MF, a power of two >= 1
+  unsigned associativity = 8;   ///< BAS, a power of two >= 2
+};
+
+class BCache final : public CacheModel {
+ public:
+  /// `geometry.ways` must be 1 (the B-cache re-organizes a direct-mapped
+  /// cache of geometry.lines() lines).
+  explicit BCache(CacheGeometry geometry, BCacheConfig config = BCacheConfig());
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  /// Number of clusters (per-set stats granularity).
+  std::uint64_t num_sets() const noexcept override { return clusters_; }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  unsigned pi_bits() const noexcept { return pi_bits_; }
+  unsigned npi_bits() const noexcept { return npi_bits_; }
+  unsigned original_index_bits() const noexcept { return oi_bits_; }
+  std::uint64_t clusters() const noexcept { return clusters_; }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;  ///< full line address (tag + PI recovery)
+    std::uint64_t stamp = 0;      ///< LRU stamp within the cluster
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheGeometry geometry_;
+  BCacheConfig config_;
+  unsigned oi_bits_ = 0;
+  unsigned npi_bits_ = 0;
+  unsigned pi_bits_ = 0;
+  std::uint64_t clusters_ = 0;
+  std::vector<Line> lines_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace canu

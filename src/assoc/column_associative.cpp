@@ -1,0 +1,113 @@
+#include "assoc/column_associative.hpp"
+
+#include <algorithm>
+
+#include "indexing/modulo.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+ColumnAssociativeCache::ColumnAssociativeCache(CacheGeometry geometry,
+                                               IndexFunctionPtr primary_index)
+    : geometry_(geometry),
+      index_fn_(std::move(primary_index)),
+      lines_(geometry.sets()),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "column-associative cache is built on a direct-mapped array");
+  CANU_CHECK_MSG(geometry_.sets() >= 2, "need at least 2 sets to rehash");
+  if (!index_fn_) {
+    index_fn_ = std::make_shared<ModuloIndex>(geometry_.sets(),
+                                              geometry_.offset_bits());
+  }
+}
+
+AccessOutcome ColumnAssociativeCache::access(std::uint64_t addr,
+                                             AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  const std::uint64_t i = index_fn_->index(addr);
+  const std::uint64_t j = alternate_of(i);
+  ++stats_.accesses;
+  ++set_stats_[i].accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  Line& primary = lines_[i];
+  if (primary.valid && primary.line_addr == line_addr) {
+    if (is_write) primary.dirty = true;
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[i].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
+  }
+
+  // If the primary slot holds a rehashed block, the sought block cannot be
+  // in the alternate slot either (that block's own primary slot is here):
+  // replace directly without a second probe (paper §III.A).
+  if (primary.valid && primary.rehash) {
+    ++stats_.misses;
+    ++stats_.evictions;
+    if (primary.dirty) ++stats_.writebacks;
+    ++set_stats_[i].misses;
+    primary = Line{line_addr, true, false, is_write};
+    stats_.lookup_cycles += 1;
+    return {false, 1, 1};
+  }
+
+  // Second probe at the alternate location.
+  ++rehash_probes_;
+  ++set_stats_[j].accesses;
+  Line& alternate = lines_[j];
+  if (alternate.valid && alternate.line_addr == line_addr) {
+    ++stats_.hits;
+    ++stats_.secondary_hits;
+    ++stats_.swaps;
+    ++set_stats_[j].hits;
+    // Swap so the block is found first-time next access; the demoted block
+    // becomes a rehashed resident of the alternate slot.
+    std::swap(primary, alternate);
+    primary.rehash = false;
+    alternate.rehash = true;
+    if (is_write) primary.dirty = true;
+    stats_.lookup_cycles += 2;
+    return {true, 2, 2};
+  }
+
+  // Miss in both locations: install at the primary slot; the displaced
+  // block moves to the alternate slot instead of being evicted.
+  ++stats_.misses;
+  ++rehash_misses_;
+  ++set_stats_[i].misses;
+  if (primary.valid) {
+    if (alternate.valid) {
+      ++stats_.evictions;
+      if (alternate.dirty) ++stats_.writebacks;
+    }
+    alternate = primary;
+    alternate.rehash = true;
+    ++stats_.swaps;
+  }
+  primary = Line{line_addr, true, false, is_write};
+  stats_.lookup_cycles += 2;
+  return {false, 2, 2};
+}
+
+std::string ColumnAssociativeCache::name() const {
+  return "column_assoc[" + index_fn_->name() + "]";
+}
+
+void ColumnAssociativeCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+  rehash_probes_ = 0;
+  rehash_misses_ = 0;
+}
+
+void ColumnAssociativeCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+}
+
+}  // namespace canu

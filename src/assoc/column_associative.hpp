@@ -1,0 +1,92 @@
+// Column-associative cache (paper §III.A; Agarwal & Pudar, ISCA 1993).
+//
+// A direct-mapped cache that, on a primary miss, probes one alternate
+// location obtained by complementing the most significant index bit. Each
+// line carries a rehash bit marking it as living in its alternate location:
+//
+//   * primary hit              -> 1 cycle
+//   * primary miss, rehash bit set at the primary slot
+//                              -> the slot holds somebody else's rehashed
+//                                 block; replace it directly (no 2nd probe),
+//                                 clear the rehash bit
+//   * alternate hit            -> 2 cycles; swap the blocks so the next
+//                                 access hits first time; the demoted block's
+//                                 rehash bit is set
+//   * miss in both             -> new block installed at the primary slot;
+//                                 the displaced block moves to the alternate
+//                                 slot (rehash bit set) instead of being
+//                                 evicted; the alternate slot's occupant is
+//                                 evicted
+//
+// The primary index defaults to traditional modulo indexing but accepts any
+// IndexFunction — the hybrid configuration of the paper's Figure 8.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class ColumnAssociativeCache final : public CacheModel {
+ public:
+  /// `geometry.ways` must be 1 (the scheme is defined over a direct-mapped
+  /// array). `primary_index` defaults to modulo indexing.
+  explicit ColumnAssociativeCache(CacheGeometry geometry,
+                                  IndexFunctionPtr primary_index = nullptr);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  /// Counters feeding the paper's AMAT formula (9).
+  std::uint64_t rehash_probes() const noexcept { return rehash_probes_; }
+  std::uint64_t rehash_hits() const noexcept { return stats_.secondary_hits; }
+  /// Misses that performed the second probe (charged MissPenalty + 1).
+  std::uint64_t rehash_misses() const noexcept { return rehash_misses_; }
+
+  /// Fraction of hits satisfied by the alternate location.
+  double fraction_rehash_hits() const noexcept {
+    return stats_.hits == 0 ? 0.0
+                            : static_cast<double>(stats_.secondary_hits) /
+                                  static_cast<double>(stats_.hits);
+  }
+  /// Fraction of misses that probed the alternate location first.
+  double fraction_rehash_misses() const noexcept {
+    return stats_.misses == 0 ? 0.0
+                              : static_cast<double>(rehash_misses_) /
+                                    static_cast<double>(stats_.misses);
+  }
+
+  /// The alternate location for a primary index (MSB complemented).
+  std::uint64_t alternate_of(std::uint64_t set) const noexcept {
+    return set ^ (geometry_.sets() >> 1);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    bool valid = false;
+    bool rehash = false;
+    bool dirty = false;
+  };
+
+  CacheGeometry geometry_;
+  IndexFunctionPtr index_fn_;
+  std::vector<Line> lines_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t rehash_probes_ = 0;
+  std::uint64_t rehash_misses_ = 0;
+};
+
+}  // namespace canu

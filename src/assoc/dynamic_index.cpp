@@ -1,0 +1,140 @@
+#include "assoc/dynamic_index.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+DynamicIndexCache::DynamicIndexCache(CacheGeometry geometry,
+                                     std::vector<IndexFunctionPtr> candidates,
+                                     DynamicIndexConfig config)
+    : geometry_(geometry),
+      config_(config),
+      candidates_(std::move(candidates)),
+      lines_(geometry.sets()),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "dynamic-index cache re-maps a direct-mapped array");
+  CANU_CHECK_MSG(!candidates_.empty(), "need at least one candidate");
+  CANU_CHECK_MSG(config_.epoch_length >= 1024, "epoch too short to sample");
+  CANU_CHECK_MSG(config_.sample_shift <= 8, "sampling too sparse");
+  for (const auto& fn : candidates_) {
+    CANU_CHECK(fn != nullptr);
+    CANU_CHECK_MSG(fn->sets() <= geometry_.sets(),
+                   "candidate addresses more sets than the cache has");
+  }
+  sample_mask_ = (std::uint64_t{1} << config_.sample_shift) - 1;
+  shadows_.reserve(candidates_.size());
+  for (const auto& fn : candidates_) {
+    Shadow sh;
+    sh.fn = fn;
+    // One tag per sampled set; the shadow shares the cache's geometry, so
+    // index >> sample_shift addresses its (smaller) tag array.
+    sh.tags.assign(geometry_.sets() >> config_.sample_shift,
+                   ~std::uint64_t{0});
+    shadows_.push_back(std::move(sh));
+  }
+}
+
+void DynamicIndexCache::flush_array() {
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line = Line{};
+  }
+}
+
+void DynamicIndexCache::decide_epoch() {
+  accesses_in_epoch_ = 0;
+  // Pick the candidate with the fewest sampled misses this epoch.
+  std::size_t best = current_;
+  for (std::size_t c = 0; c < shadows_.size(); ++c) {
+    if (shadows_[c].epoch_misses < shadows_[best].epoch_misses) best = c;
+  }
+  const double incumbent =
+      static_cast<double>(shadows_[current_].epoch_misses);
+  const double challenger = static_cast<double>(shadows_[best].epoch_misses);
+  if (best != current_ &&
+      challenger < incumbent * (1.0 - config_.hysteresis_pct / 100.0)) {
+    current_ = best;
+    ++switches_;
+    flush_array();  // remapping invalidates every resident placement
+  }
+  for (Shadow& sh : shadows_) {
+    sh.epoch_misses = 0;
+    sh.epoch_samples = 0;
+  }
+}
+
+AccessOutcome DynamicIndexCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  ++stats_.accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  // Shadow directories observe every reference that falls in their sampled
+  // sets (the sample is taken on the candidate's own index).
+  for (Shadow& sh : shadows_) {
+    const std::uint64_t idx = sh.fn->index(addr);
+    if ((idx & sample_mask_) != 0) continue;
+    std::uint64_t& tag = sh.tags[idx >> config_.sample_shift];
+    ++sh.epoch_samples;
+    if (tag != line_addr) {
+      ++sh.epoch_misses;
+      tag = line_addr;
+    }
+  }
+  if (++accesses_in_epoch_ >= config_.epoch_length) decide_epoch();
+
+  const std::uint64_t i = candidates_[current_]->index(addr);
+  ++set_stats_[i].accesses;
+  Line& line = lines_[i];
+  if (line.valid && line.line_addr == line_addr) {
+    if (is_write) line.dirty = true;
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[i].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
+  }
+  ++stats_.misses;
+  ++set_stats_[i].misses;
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) ++stats_.writebacks;
+  }
+  line = Line{line_addr, true, is_write};
+  stats_.lookup_cycles += 1;
+  return {false, 1, 1};
+}
+
+std::string DynamicIndexCache::name() const {
+  std::string n = "dynamic{";
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    if (c) n += ",";
+    n += candidates_[c]->name();
+  }
+  return n + "}";
+}
+
+void DynamicIndexCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+  switches_ = 0;
+}
+
+void DynamicIndexCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  for (Shadow& sh : shadows_) {
+    std::fill(sh.tags.begin(), sh.tags.end(), ~std::uint64_t{0});
+    sh.epoch_misses = 0;
+    sh.epoch_samples = 0;
+  }
+  current_ = 0;
+  accesses_in_epoch_ = 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,98 @@
+// DynamicIndexCache — runtime selection between candidate index functions.
+//
+// The paper proposes selecting an indexing scheme per application from an
+// offline profile (Figure 5) and leaves "adjusting dynamically to a given
+// application's memory access pattern" as the shortcoming of all static
+// indexing schemes (§V). This model closes that gap with a hardware-
+// plausible mechanism:
+//
+//   * the main array is a direct-mapped cache using the currently selected
+//     index function;
+//   * one *shadow tag directory* per candidate function runs in parallel —
+//     a tag-only copy of the cache indexed by that candidate, counting the
+//     misses the candidate would have taken (sampled 1-in-`sample_shift`
+//     sets to keep the hardware honest);
+//   * every `epoch_length` accesses the controller compares shadow miss
+//     counts; if the best candidate undercuts the incumbent by more than
+//     `hysteresis_pct`, the cache switches: the array is flushed (the
+//     realistic cost — remapping invalidates every resident placement) and
+//     subsequent compulsory refills are paid by the normal miss path.
+//
+// Because the decision input is the *same stream* the cache serves, the
+// model adapts to program phases — something none of the paper's static
+// schemes can do. bench/abl_dynamic_index measures both the steady-state
+// overhead (vs the best static choice) and the phase-change win.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+struct DynamicIndexConfig {
+  std::uint64_t epoch_length = 50'000;  ///< accesses between decisions
+  double hysteresis_pct = 10.0;  ///< required shadow-miss advantage (%)
+  unsigned sample_shift = 3;     ///< shadows sample 1 in 2^shift sets
+};
+
+class DynamicIndexCache final : public CacheModel {
+ public:
+  /// `candidates` must be non-empty; candidate 0 is the initial selection.
+  DynamicIndexCache(CacheGeometry geometry,
+                    std::vector<IndexFunctionPtr> candidates,
+                    DynamicIndexConfig config = DynamicIndexConfig());
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  std::size_t current_candidate() const noexcept { return current_; }
+  std::uint64_t switches() const noexcept { return switches_; }
+  const IndexFunction& current_function() const noexcept {
+    return *candidates_[current_];
+  }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  /// Tag-only shadow directory for one candidate (sampled sets).
+  struct Shadow {
+    IndexFunctionPtr fn;
+    std::vector<std::uint64_t> tags;  ///< line addr per sampled set; ~0 empty
+    std::uint64_t epoch_misses = 0;
+    std::uint64_t epoch_samples = 0;
+  };
+
+  void decide_epoch();
+  void flush_array();
+
+  CacheGeometry geometry_;
+  DynamicIndexConfig config_;
+  std::vector<IndexFunctionPtr> candidates_;
+  std::vector<Shadow> shadows_;
+  std::vector<Line> lines_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::size_t current_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t accesses_in_epoch_ = 0;
+  std::uint64_t sample_mask_ = 0;
+};
+
+}  // namespace canu

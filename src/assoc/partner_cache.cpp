@@ -1,0 +1,168 @@
+#include "assoc/partner_cache.hpp"
+
+#include <algorithm>
+
+#include "indexing/modulo.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+PartnerCache::PartnerCache(CacheGeometry geometry, PartnerConfig config,
+                           IndexFunctionPtr index_fn)
+    : geometry_(geometry),
+      config_(config),
+      index_fn_(std::move(index_fn)),
+      lines_(geometry.sets()),
+      partner_(geometry.sets(), kNoPartner),
+      epoch_misses_(geometry.sets(), 0),
+      epoch_accesses_(geometry.sets(), 0),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "partner cache extends a direct-mapped array");
+  CANU_CHECK_MSG(config_.hot_threshold >= 1, "hot_threshold must be >= 1");
+  CANU_CHECK_MSG(config_.epoch_length >= 64, "epoch_length must be >= 64");
+  if (!index_fn_) {
+    index_fn_ = std::make_shared<ModuloIndex>(geometry_.sets(),
+                                              geometry_.offset_bits());
+  }
+}
+
+void PartnerCache::link(std::uint64_t a, std::uint64_t b) {
+  partner_[a] = static_cast<std::uint32_t>(b);
+  partner_[b] = static_cast<std::uint32_t>(a);
+  ++active_links_;
+  ++links_formed_;
+}
+
+void PartnerCache::unlink(std::uint64_t set) {
+  const std::uint32_t p = partner_[set];
+  if (p == kNoPartner) return;
+  partner_[p] = kNoPartner;
+  partner_[set] = kNoPartner;
+  --active_links_;
+}
+
+void PartnerCache::decay_epoch() {
+  accesses_in_epoch_ = 0;
+  for (std::uint64_t s = 0; s < geometry_.sets(); ++s) {
+    // Dissolve links whose hot side went quiet this epoch, then halve the
+    // counters so hotness adapts to phase changes.
+    if (partner_[s] != kNoPartner && s < partner_[s] &&
+        epoch_misses_[s] == 0 && epoch_misses_[partner_[s]] == 0) {
+      unlink(s);
+    }
+    epoch_misses_[s] /= 2;
+    epoch_accesses_[s] /= 2;
+  }
+}
+
+std::uint32_t PartnerCache::find_cold_partner(
+    std::uint64_t origin) const noexcept {
+  std::uint32_t best = kNoPartner;
+  std::uint32_t best_accesses = ~std::uint32_t{0};
+  for (std::uint64_t s = 0; s < geometry_.sets(); ++s) {
+    if (s == origin || partner_[s] != kNoPartner) continue;
+    if (epoch_accesses_[s] < best_accesses) {
+      best_accesses = epoch_accesses_[s];
+      best = static_cast<std::uint32_t>(s);
+      if (best_accesses == 0) break;  // cannot get colder
+    }
+  }
+  return best;
+}
+
+AccessOutcome PartnerCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  const std::uint64_t i = index_fn_->index(addr);
+  ++stats_.accesses;
+  ++set_stats_[i].accesses;
+  ++epoch_accesses_[i];
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+  if (++accesses_in_epoch_ >= config_.epoch_length) decay_epoch();
+
+  Line& primary = lines_[i];
+  if (primary.valid && primary.line_addr == line_addr) {
+    if (is_write) primary.dirty = true;
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[i].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
+  }
+
+  // Follow the partner link, if any.
+  const std::uint32_t p = partner_[i];
+  if (p != kNoPartner) {
+    Line& partner = lines_[p];
+    ++set_stats_[p].accesses;
+    if (partner.valid && partner.line_addr == line_addr) {
+      ++stats_.hits;
+      ++stats_.secondary_hits;
+      ++stats_.swaps;
+      ++set_stats_[p].hits;
+      // Promote: swap the block back to its primary slot so the common
+      // case stays single-cycle.
+      std::swap(primary, partner);
+      if (is_write) primary.dirty = true;
+      stats_.lookup_cycles += 2;
+      return {true, 2, 2};
+    }
+  }
+
+  // Miss. Update hotness, possibly form a link, preserve the victim in the
+  // partner slot when one exists.
+  ++stats_.misses;
+  ++set_stats_[i].misses;
+  ++epoch_misses_[i];
+
+  if (partner_[i] == kNoPartner &&
+      epoch_misses_[i] >= config_.hot_threshold) {
+    const std::uint32_t cold = find_cold_partner(i);
+    if (cold != kNoPartner) link(i, cold);
+  }
+
+  if (primary.valid) {
+    const std::uint32_t link_to = partner_[i];
+    if (link_to != kNoPartner) {
+      if (lines_[link_to].valid) {
+        ++stats_.evictions;
+        if (lines_[link_to].dirty) ++stats_.writebacks;
+      }
+      lines_[link_to] = primary;
+      ++stats_.swaps;
+    } else {
+      ++stats_.evictions;
+      if (primary.dirty) ++stats_.writebacks;
+    }
+  }
+  primary = Line{line_addr, true, is_write};
+  const std::uint32_t probes = p != kNoPartner ? 2u : 1u;
+  if (probes == 2) ++partner_probed_misses_;
+  stats_.lookup_cycles += probes;
+  return {false, probes, probes};
+}
+
+std::string PartnerCache::name() const {
+  return "partner[" + index_fn_->name() + "]";
+}
+
+void PartnerCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+  links_formed_ = 0;
+  partner_probed_misses_ = 0;
+}
+
+void PartnerCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(partner_.begin(), partner_.end(), kNoPartner);
+  std::fill(epoch_misses_.begin(), epoch_misses_.end(), 0u);
+  std::fill(epoch_accesses_.begin(), epoch_accesses_.end(), 0u);
+  active_links_ = 0;
+  accesses_in_epoch_ = 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,120 @@
+// Partner-index cache — the paper's own proposal (§1.2, Figure 3).
+//
+// Each line of a direct-mapped cache is extended with two fields: L (the
+// line is linked to a partner) and Partner Index (the set holding the
+// partner line). Cold cache lines are dynamically matched as partners to
+// hot lines: when a block would be evicted from a frequently missed set, it
+// is preserved in its partner's slot instead, and a lookup that misses the
+// primary slot follows the partner link (one extra cycle) before declaring
+// a miss. This selectively doubles the associativity of hot sets without
+// touching cold ones.
+//
+// The paper sketches the mechanism but does not evaluate it; CANU
+// implements the simplest dynamic-matching variant so it can be compared
+// against column-associative/adaptive/B-cache (bench/abl_partner_cache):
+//
+//   * per-set miss counters identify "hot" sets: a set becomes hot when its
+//     miss count since the last decay epoch exceeds `hot_threshold`;
+//   * when a hot set needs a partner, the coldest set (fewest accesses in
+//     the epoch) without a partner is chosen; partnering is symmetric and
+//     sticky until the periodic epoch decay unlinks idle pairs;
+//   * a displaced block from a hot set moves into the partner slot,
+//     evicting the partner's occupant (cold by construction);
+//   * lookups probe primary, then (if linked) the partner slot: a partner
+//     hit costs 2 cycles and promotes the block back to its primary slot.
+//
+// In effect this is the "linked list of cache lines" idea restricted to
+// chains of length 2, which the paper suggests as the practical point.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+/// Tuning knobs for partner matching.
+struct PartnerConfig {
+  /// Misses within an epoch after which a set is considered hot.
+  std::uint32_t hot_threshold = 8;
+  /// Accesses between decay epochs (counters halve, idle links dissolve).
+  std::uint64_t epoch_length = 4096;
+};
+
+class PartnerCache final : public CacheModel {
+ public:
+  explicit PartnerCache(CacheGeometry geometry,
+                        PartnerConfig config = PartnerConfig(),
+                        IndexFunctionPtr index_fn = nullptr);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  /// Hits found through a partner link (== stats().secondary_hits).
+  std::uint64_t partner_hits() const noexcept { return stats_.secondary_hits; }
+  /// Currently linked set pairs.
+  std::size_t active_links() const noexcept { return active_links_; }
+  /// Links created since construction/flush.
+  std::uint64_t links_formed() const noexcept { return links_formed_; }
+
+  /// Fraction of misses that probed a partner slot (pay MissPenalty + 1 in
+  /// the column-associative-style AMAT model).
+  double fraction_partner_misses() const noexcept {
+    return stats_.misses == 0
+               ? 0.0
+               : static_cast<double>(partner_probed_misses_) /
+                     static_cast<double>(stats_.misses);
+  }
+  /// Fraction of hits satisfied through a partner link.
+  double fraction_partner_hits() const noexcept {
+    return stats_.hits == 0
+               ? 0.0
+               : static_cast<double>(stats_.secondary_hits) /
+                     static_cast<double>(stats_.hits);
+  }
+
+  /// Partner of `set`, or kNoPartner.
+  static constexpr std::uint32_t kNoPartner = 0xffffffffu;
+  std::uint32_t partner_of(std::uint64_t set) const noexcept {
+    return partner_[set];
+  }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  void decay_epoch();
+  /// Find the coldest unlinked set (!= origin); kNoPartner if none.
+  std::uint32_t find_cold_partner(std::uint64_t origin) const noexcept;
+  void link(std::uint64_t a, std::uint64_t b);
+  void unlink(std::uint64_t set);
+
+  CacheGeometry geometry_;
+  PartnerConfig config_;
+  IndexFunctionPtr index_fn_;
+  std::vector<Line> lines_;
+  std::vector<std::uint32_t> partner_;       ///< set -> partner set
+  std::vector<std::uint32_t> epoch_misses_;  ///< per-set misses this epoch
+  std::vector<std::uint32_t> epoch_accesses_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::size_t active_links_ = 0;
+  std::uint64_t links_formed_ = 0;
+  std::uint64_t partner_probed_misses_ = 0;
+  std::uint64_t accesses_in_epoch_ = 0;
+};
+
+}  // namespace canu

@@ -1,0 +1,96 @@
+#include "assoc/skewed_assoc.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+SkewedAssocCache::SkewedAssocCache(CacheGeometry geometry)
+    : geometry_(geometry) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways >= 2 && geometry_.ways <= 8,
+                 "skewed cache supports 2..8 banks, got " << geometry_.ways);
+  sets_per_bank_ = geometry_.sets();  // lines / ways
+  index_bits_ = log2_exact(sets_per_bank_);
+  lines_.resize(geometry_.lines());
+  set_stats_.resize(geometry_.lines());
+}
+
+std::uint64_t SkewedAssocCache::skew_index(unsigned bank,
+                                           std::uint64_t addr) const noexcept {
+  const std::uint64_t idx = bit_field(addr, geometry_.offset_bits(),
+                                      index_bits_);
+  const std::uint64_t tag = addr >> (geometry_.offset_bits() + index_bits_);
+  const std::uint64_t hashed = (tag * kBankMultipliers[bank]) ^
+                               (tag >> index_bits_);
+  return (idx ^ hashed) & (sets_per_bank_ - 1);
+}
+
+AccessOutcome SkewedAssocCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  ++clock_;
+  ++stats_.accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  // All banks are probed in parallel.
+  std::uint64_t slots[8] = {};
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    slots[w] = static_cast<std::uint64_t>(w) * sets_per_bank_ +
+               skew_index(w, addr);
+  }
+  // Accesses are attributed to the bank-0 slot (the canonical "set" of the
+  // address) so the uniformity analysis sees one increment per access.
+  ++set_stats_[slots[0]].accesses;
+
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    Line& line = lines_[slots[w]];
+    if (line.valid && line.line_addr == line_addr) {
+      line.stamp = clock_;
+      if (is_write) line.dirty = true;
+      ++stats_.hits;
+      ++stats_.primary_hits;  // parallel probe: single-cycle hit
+      ++set_stats_[slots[w]].hits;
+      stats_.lookup_cycles += 1;
+      return {true, 1, 1};
+    }
+  }
+
+  ++stats_.misses;
+  ++set_stats_[slots[0]].misses;
+  // Victim: an invalid candidate slot if any, else the LRU among them.
+  std::uint64_t victim = slots[0];
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    if (!lines_[slots[w]].valid) {
+      victim = slots[w];
+      break;
+    }
+    if (lines_[slots[w]].stamp < lines_[victim].stamp) victim = slots[w];
+  }
+  if (lines_[victim].valid) {
+    ++stats_.evictions;
+    if (lines_[victim].dirty) ++stats_.writebacks;
+  }
+  lines_[victim] = Line{line_addr, clock_, true, is_write};
+  stats_.lookup_cycles += 1;
+  return {false, 1, 1};
+}
+
+std::string SkewedAssocCache::name() const {
+  return "skewed" + std::to_string(geometry_.ways) + "way";
+}
+
+void SkewedAssocCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+}
+
+void SkewedAssocCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  clock_ = 0;
+}
+
+}  // namespace canu

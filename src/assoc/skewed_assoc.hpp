@@ -1,0 +1,70 @@
+// Skewed-associative cache (Seznec, ISCA 1993) — an extension beyond the
+// paper's evaluated set, included because it is the classic marriage of the
+// paper's two families: associativity for conflict tolerance plus
+// per-way hashing for access spreading.
+//
+// The cache is split into `ways` banks of lines/ways sets each; bank w
+// indexes with its own hash function f_w, so two blocks that conflict in
+// one bank almost surely do not conflict in another. Lookup probes all
+// banks in parallel (single-cycle hit, like a conventional set-associative
+// cache); replacement selects the LRU line among the banks' candidate
+// slots.
+//
+// Skewing family: f_w(addr) = (I XOR h_w(T)) mod sets_per_bank with
+// h_w(T) = (T * m_w) folded to the index width and m_w an odd multiplier
+// unique per bank — a simple, deterministic member of the inter-bank
+// dispersion families Seznec describes.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+
+namespace canu {
+
+class SkewedAssocCache final : public CacheModel {
+ public:
+  /// `geometry.ways` is the number of banks (2 or 4 are the classic
+  /// configurations).
+  explicit SkewedAssocCache(CacheGeometry geometry);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  /// Per-set statistics are kept per bank-set; there are lines() of them
+  /// (ways banks x sets_per_bank sets).
+  std::uint64_t num_sets() const noexcept override { return lines_.size(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  std::uint64_t sets_per_bank() const noexcept { return sets_per_bank_; }
+
+  /// The bank-w skew index for an address (exposed for tests).
+  std::uint64_t skew_index(unsigned bank, std::uint64_t addr) const noexcept;
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheGeometry geometry_;
+  std::uint64_t sets_per_bank_ = 0;
+  unsigned index_bits_ = 0;
+  std::vector<Line> lines_;  ///< bank-major: bank * sets_per_bank + set
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+
+  static constexpr std::uint64_t kBankMultipliers[8] = {9,  21, 31, 61,
+                                                        77, 39, 53, 11};
+};
+
+}  // namespace canu

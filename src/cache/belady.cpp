@@ -1,0 +1,78 @@
+#include "cache/belady.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "indexing/modulo.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+OptResult simulate_opt(const Trace& trace, const CacheGeometry& geometry,
+                       IndexFunctionPtr index_fn) {
+  geometry.validate();
+  if (!index_fn) {
+    index_fn = std::make_shared<ModuloIndex>(geometry.sets(),
+                                             geometry.offset_bits());
+  }
+
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  const unsigned offset_bits = geometry.offset_bits();
+  const std::size_t n = trace.size();
+
+  // Backward pass: next_use[i] = next position referencing the same line.
+  std::vector<std::uint64_t> next_use(n, kNever);
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+  last_seen.reserve(n / 4 + 16);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t line = trace[i].addr >> offset_bits;
+    auto [it, inserted] = last_seen.try_emplace(line, i);
+    if (!inserted) {
+      next_use[i] = it->second;
+      it->second = i;
+    }
+  }
+
+  struct Entry {
+    std::uint64_t line = 0;
+    std::uint64_t next = kNever;
+    bool valid = false;
+  };
+  std::vector<Entry> entries(geometry.lines());
+  OptResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t addr = trace[i].addr;
+    const std::uint64_t line = addr >> offset_bits;
+    const std::uint64_t set = index_fn->index(addr);
+    Entry* ways = entries.data() + set * geometry.ways;
+    ++result.accesses;
+
+    Entry* found = nullptr;
+    for (unsigned w = 0; w < geometry.ways; ++w) {
+      if (ways[w].valid && ways[w].line == line) {
+        found = &ways[w];
+        break;
+      }
+    }
+    if (found) {
+      ++result.hits;
+      found->next = next_use[i];
+      continue;
+    }
+    ++result.misses;
+    // Victim: invalid slot if any, else farthest next use.
+    Entry* victim = &ways[0];
+    for (unsigned w = 0; w < geometry.ways; ++w) {
+      if (!ways[w].valid) {
+        victim = &ways[w];
+        break;
+      }
+      if (ways[w].next > victim->next) victim = &ways[w];
+    }
+    *victim = Entry{line, next_use[i], true};
+  }
+  return result;
+}
+
+}  // namespace canu

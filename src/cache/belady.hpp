@@ -1,0 +1,36 @@
+// Belady's OPT replacement — the theoretical bound the paper invokes in
+// Section III ("a fully associative cache with a perfect replacement policy
+// ... only serves as a theoretical lower bound for cache miss rates").
+//
+// OPT needs the future reference stream, so this is an offline simulator:
+// it takes the whole trace, precomputes next-use positions, and replays it,
+// evicting the resident line whose next use is farthest in the future.
+// With ways == lines (one set) this is the fully-associative OPT bound.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct OptResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Simulate `trace` through a cache with OPT replacement. If `index_fn` is
+/// null, modulo indexing over the geometry is used. A fully-associative
+/// bound is obtained with geometry {size, line, ways = size/line}.
+OptResult simulate_opt(const Trace& trace, const CacheGeometry& geometry,
+                       IndexFunctionPtr index_fn = nullptr);
+
+}  // namespace canu

@@ -1,0 +1,95 @@
+// CacheModel: the abstract interface every simulated cache implements —
+// the conventional set-associative cache as well as the paper's three
+// programmable-associativity organizations.
+//
+// Models are trace-driven: access() is called once per memory reference and
+// returns whether it hit, how many locations were probed, and the lookup
+// latency in cycles. Per-set counters are first-class (DESIGN.md §5.4)
+// because the paper's central measurement is the distribution of accesses,
+// hits and misses across sets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace canu {
+
+/// Result of a single cache access.
+struct AccessOutcome {
+  bool hit = false;
+  /// Number of locations probed (1 = primary; 2 = rehash/partner/OUT...).
+  std::uint32_t probes = 1;
+  /// Lookup latency in cycles (excludes the miss penalty, which is charged
+  /// by the hierarchy / AMAT model).
+  std::uint32_t cycles = 1;
+};
+
+/// Aggregate counters for one cache.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t primary_hits = 0;    ///< hits in the first probed location
+  std::uint64_t secondary_hits = 0;  ///< hits in an alternate location
+  std::uint64_t evictions = 0;       ///< valid lines displaced
+  std::uint64_t swaps = 0;           ///< block relocations (column/adaptive)
+  std::uint64_t lookup_cycles = 0;   ///< sum of AccessOutcome::cycles
+  std::uint64_t write_accesses = 0;  ///< accesses with AccessType::kWrite
+  std::uint64_t writebacks = 0;      ///< dirty lines evicted to the next level
+
+  double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+  double hit_rate() const noexcept { return 1.0 - miss_rate(); }
+  /// Fraction of *hits* that were satisfied by the primary location.
+  double primary_hit_fraction() const noexcept {
+    return hits == 0 ? 1.0
+                     : static_cast<double>(primary_hits) /
+                           static_cast<double>(hits);
+  }
+};
+
+// All models implement a write-back, write-allocate policy: writes mark
+// the resident line dirty, evicting a dirty line counts as a writeback
+// (traffic to the next level; not charged cycles — a write buffer is
+// assumed to hide the latency). Relocations between sets (column swap,
+// adaptive/partner preservation, victim-buffer swap) carry the dirty bit
+// without generating traffic.
+
+/// Per-set counters; the input to the uniformity analysis.
+struct SetStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class CacheModel {
+ public:
+  virtual ~CacheModel() = default;
+
+  /// Simulate one reference; updates all counters.
+  virtual AccessOutcome access(std::uint64_t addr,
+                               AccessType type = AccessType::kRead) = 0;
+
+  /// Number of physical sets (the per-set stats span has this many entries).
+  virtual std::uint64_t num_sets() const noexcept = 0;
+
+  virtual const CacheStats& stats() const noexcept = 0;
+  virtual std::span<const SetStats> set_stats() const noexcept = 0;
+
+  /// Organization name for reports, e.g. "direct[xor]" or "column_assoc".
+  virtual std::string name() const = 0;
+
+  /// Clear counters but keep cache contents (for warmup/measure splits).
+  virtual void reset_stats() = 0;
+
+  /// Invalidate all contents and clear counters.
+  virtual void flush() = 0;
+};
+
+}  // namespace canu

@@ -1,0 +1,65 @@
+// Cache geometry and timing parameters.
+//
+// The defaults reproduce the paper's experimental configuration (§IV):
+// 32 KB direct-mapped L1 with 32-byte lines (1024 sets, 10 index bits) and a
+// unified 256 KB LRU L2.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint64_t line_size = 32;
+  unsigned ways = 1;  ///< 1 = direct-mapped
+
+  constexpr std::uint64_t sets() const noexcept {
+    return size_bytes / (line_size * ways);
+  }
+  constexpr std::uint64_t lines() const noexcept {
+    return size_bytes / line_size;
+  }
+  constexpr unsigned offset_bits() const noexcept {
+    return log2_exact(line_size);
+  }
+  constexpr unsigned index_bits() const noexcept {
+    return log2_exact(sets());
+  }
+
+  void validate() const {
+    CANU_CHECK_MSG(line_size >= 4 && is_pow2(line_size),
+                   "line size must be a power of two >= 4: " << line_size);
+    CANU_CHECK_MSG(ways >= 1, "ways must be >= 1");
+    CANU_CHECK_MSG(size_bytes % (line_size * ways) == 0,
+                   "size " << size_bytes << " not divisible by line*ways");
+    CANU_CHECK_MSG(is_pow2(sets()), "set count must be a power of two: "
+                                        << sets());
+    CANU_CHECK_MSG(sets() >= 1, "cache must have at least one set");
+  }
+
+  /// The paper's L1 configuration: 32 KB direct-mapped, 32-byte lines.
+  static constexpr CacheGeometry paper_l1() noexcept {
+    return CacheGeometry{32 * 1024, 32, 1};
+  }
+  /// The paper's L2 configuration: unified 256 KB; associativity is not
+  /// specified in the paper, we use 8-way (DESIGN.md §3).
+  static constexpr CacheGeometry paper_l2() noexcept {
+    return CacheGeometry{256 * 1024, 32, 8};
+  }
+};
+
+/// Cycle costs used by the AMAT computations (paper eqs. (8)/(9) and
+/// DESIGN.md §3).
+struct TimingModel {
+  std::uint32_t l1_hit_cycles = 1;
+  std::uint32_t rehash_hit_cycles = 2;   ///< column-associative second probe
+  std::uint32_t out_hit_cycles = 3;      ///< adaptive-cache OUT-directory hit
+  std::uint32_t l2_hit_cycles = 10;
+  std::uint32_t memory_cycles = 100;
+};
+
+}  // namespace canu

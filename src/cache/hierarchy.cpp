@@ -1,0 +1,51 @@
+#include "cache/hierarchy.hpp"
+
+#include "util/error.hpp"
+
+namespace canu {
+
+Hierarchy::Hierarchy(CacheModel& l1, CacheGeometry l2_geometry,
+                     TimingModel timing)
+    : l1_(&l1),
+      l2_(std::make_unique<SetAssocCache>(l2_geometry)),
+      timing_(timing) {}
+
+Hierarchy::Hierarchy(CacheModel& l1, std::unique_ptr<CacheModel> l2,
+                     TimingModel timing)
+    : l1_(&l1), l2_(std::move(l2)), timing_(timing) {
+  CANU_CHECK_MSG(l2_ != nullptr, "hierarchy requires an L2 model");
+}
+
+std::uint64_t Hierarchy::access(std::uint64_t addr, AccessType type) {
+  const AccessOutcome l1_out = l1_->access(addr, type);
+  std::uint64_t cycles = l1_out.cycles;
+  if (!l1_out.hit) {
+    const AccessOutcome l2_out = l2_->access(addr, type);
+    cycles += timing_.l2_hit_cycles;
+    if (!l2_out.hit) cycles += timing_.memory_cycles;
+  }
+  total_cycles_ += cycles;
+  return cycles;
+}
+
+HierarchyResult Hierarchy::run(const Trace& trace) {
+  for (const MemRef& r : trace) access(r.addr, r.type);
+  return result();
+}
+
+HierarchyResult Hierarchy::result() const {
+  HierarchyResult res;
+  res.l1 = l1_->stats();
+  res.l2 = l2_->stats();
+  res.timing = timing_;
+  res.total_cycles = total_cycles_;
+  return res;
+}
+
+void Hierarchy::flush() {
+  l1_->flush();
+  l2_->flush();
+  total_cycles_ = 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,70 @@
+// Two-level hierarchy: any L1 CacheModel in front of a unified L2
+// SetAssocCache, with cycle accounting. The paper's configuration (§IV) is
+// a 32 KB direct-mapped L1 and a unified 256 KB LRU L2.
+//
+// The hierarchy measures the quantity the AMAT formulas need: the average
+// L1 miss penalty, i.e. L2 hit latency plus the memory latency weighted by
+// the L2 miss ratio observed for this run.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct HierarchyResult {
+  CacheStats l1;
+  CacheStats l2;
+  TimingModel timing;
+  std::uint64_t total_cycles = 0;  ///< lookup cycles + miss penalties
+
+  /// Average penalty charged per L1 miss in this run.
+  double avg_miss_penalty() const noexcept {
+    if (l1.misses == 0) return timing.l2_hit_cycles;
+    return static_cast<double>(timing.l2_hit_cycles) +
+           l2.miss_rate() * static_cast<double>(timing.memory_cycles);
+  }
+  /// Measured AMAT: total cycles divided by L1 accesses.
+  double measured_amat() const noexcept {
+    return l1.accesses == 0 ? 0.0
+                            : static_cast<double>(total_cycles) /
+                                  static_cast<double>(l1.accesses);
+  }
+};
+
+/// Owns the L2; borrows the L1 (callers keep it to inspect per-set stats).
+class Hierarchy {
+ public:
+  /// Conventional unified L2 of the given geometry (8-way LRU by default
+  /// geometry; the paper's configuration via CacheGeometry::paper_l2()).
+  Hierarchy(CacheModel& l1, CacheGeometry l2_geometry, TimingModel timing = {});
+
+  /// Custom L2 organization (e.g. a column-associative or hashed L2 — the
+  /// schemes are geometry-parametric, so they apply at any level).
+  Hierarchy(CacheModel& l1, std::unique_ptr<CacheModel> l2,
+            TimingModel timing = {});
+
+  /// Simulate one reference through both levels; returns cycles charged.
+  std::uint64_t access(std::uint64_t addr, AccessType type = AccessType::kRead);
+
+  /// Replay a whole trace; returns the accumulated result.
+  HierarchyResult run(const Trace& trace);
+
+  HierarchyResult result() const;
+
+  CacheModel& l1() noexcept { return *l1_; }
+  CacheModel& l2() noexcept { return *l2_; }
+  void flush();
+
+ private:
+  CacheModel* l1_;
+  std::unique_ptr<CacheModel> l2_;
+  TimingModel timing_;
+  std::uint64_t total_cycles_ = 0;
+};
+
+}  // namespace canu

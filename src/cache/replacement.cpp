@@ -1,0 +1,16 @@
+#include "cache/replacement.hpp"
+
+namespace canu {
+
+std::string replacement_policy_name(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru: return "lru";
+    case ReplacementPolicy::kFifo: return "fifo";
+    case ReplacementPolicy::kRandom: return "random";
+    case ReplacementPolicy::kPlru: return "plru";
+    case ReplacementPolicy::kSrrip: return "srrip";
+  }
+  return "unknown";
+}
+
+}  // namespace canu

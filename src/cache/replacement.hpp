@@ -1,0 +1,46 @@
+// Replacement policies for set-associative caches.
+//
+// Policies operate on way-granularity metadata kept by the owning cache;
+// LRU/FIFO use a monotonically increasing stamp, Random uses the cache's
+// deterministic RNG. ways are small (<= 16 in every configuration used by
+// the experiments), so linear scans beat fancier structures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace canu {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,     ///< true LRU (stamp-based)
+  kFifo,    ///< insertion order
+  kRandom,  ///< uniform random (deterministic RNG)
+  kPlru,    ///< tree pseudo-LRU (the common hardware approximation)
+  kSrrip,   ///< static re-reference interval prediction (Jaleel et al.)
+};
+
+std::string replacement_policy_name(ReplacementPolicy policy);
+
+/// Carries the policy choice and the deterministic RNG behind kRandom.
+/// The owning cache implements the policy's bookkeeping (stamps, tree bits,
+/// RRPVs) itself — see SetAssocCache::touch()/pick_victim().
+class VictimSelector {
+ public:
+  VictimSelector(ReplacementPolicy policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  ReplacementPolicy policy() const noexcept { return policy_; }
+
+  /// Uniform victim choice for kRandom.
+  unsigned select_random(unsigned ways) noexcept {
+    return static_cast<unsigned>(rng_.below(ways));
+  }
+
+ private:
+  ReplacementPolicy policy_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace canu

@@ -1,0 +1,178 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <algorithm>
+
+#include "indexing/modulo.hpp"
+
+namespace canu {
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry, IndexFunctionPtr index_fn,
+                             ReplacementPolicy policy, std::uint64_t rng_seed)
+    : geometry_(geometry),
+      index_fn_(std::move(index_fn)),
+      victim_(policy, rng_seed),
+      lines_(geometry.lines()),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  if (policy == ReplacementPolicy::kPlru) {
+    CANU_CHECK_MSG(is_pow2(geometry_.ways) && geometry_.ways <= 64,
+                   "tree PLRU requires a power-of-two way count <= 64, got "
+                       << geometry_.ways);
+    plru_bits_.assign(geometry_.sets(), 0);
+  }
+  if (!index_fn_) {
+    index_fn_ = std::make_shared<ModuloIndex>(geometry_.sets(),
+                                              geometry_.offset_bits());
+  }
+  CANU_CHECK_MSG(index_fn_->sets() <= geometry_.sets(),
+                 "index function addresses " << index_fn_->sets()
+                                             << " sets, cache has "
+                                             << geometry_.sets());
+}
+
+void SetAssocCache::touch(std::uint64_t set, unsigned way) noexcept {
+  Line& line = set_begin(set)[way];
+  switch (victim_.policy()) {
+    case ReplacementPolicy::kLru:
+      line.stamp = clock_;
+      break;
+    case ReplacementPolicy::kFifo:
+    case ReplacementPolicy::kRandom:
+      break;  // recency is irrelevant
+    case ReplacementPolicy::kPlru: {
+      // Walk from the leaf to the root, pointing every tree bit away from
+      // this way (heap layout: internal nodes 1..ways-1, leaves ways..2w-1).
+      std::uint64_t& bits = plru_bits_[set];
+      unsigned node = geometry_.ways + way;
+      while (node > 1) {
+        const unsigned parent = node / 2;
+        if (node == 2 * parent) {
+          bits |= std::uint64_t{1} << parent;  // left child used: point right
+        } else {
+          bits &= ~(std::uint64_t{1} << parent);
+        }
+        node = parent;
+      }
+      break;
+    }
+    case ReplacementPolicy::kSrrip:
+      line.rrpv = 0;  // near-immediate re-reference on hit
+      break;
+  }
+}
+
+unsigned SetAssocCache::pick_victim(std::uint64_t set) noexcept {
+  Line* ways = set_begin(set);
+  switch (victim_.policy()) {
+    case ReplacementPolicy::kRandom:
+      return victim_.select_random(geometry_.ways);
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      unsigned slot = 0;
+      for (unsigned w = 1; w < geometry_.ways; ++w) {
+        if (ways[w].stamp < ways[slot].stamp) slot = w;
+      }
+      return slot;
+    }
+    case ReplacementPolicy::kPlru: {
+      const std::uint64_t bits = plru_bits_[set];
+      unsigned node = 1;
+      while (node < geometry_.ways) {
+        node = 2 * node + static_cast<unsigned>((bits >> node) & 1);
+      }
+      return node - geometry_.ways;
+    }
+    case ReplacementPolicy::kSrrip: {
+      // Find an RRPV==max line; if none, age everyone and retry.
+      for (;;) {
+        for (unsigned w = 0; w < geometry_.ways; ++w) {
+          if (ways[w].rrpv >= kRrpvMax) return w;
+        }
+        for (unsigned w = 0; w < geometry_.ways; ++w) ++ways[w].rrpv;
+      }
+    }
+  }
+  return 0;
+}
+
+AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t set = index_fn_->index(addr);
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  Line* ways = set_begin(set);
+  ++clock_;
+  ++stats_.accesses;
+  ++set_stats_[set].accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    if (ways[w].valid && ways[w].line_addr == line_addr) {
+      touch(set, w);
+      if (is_write) ways[w].dirty = true;
+      ++stats_.hits;
+      ++stats_.primary_hits;
+      ++set_stats_[set].hits;
+      stats_.lookup_cycles += 1;
+      return {true, 1, 1};
+    }
+  }
+
+  // Miss: prefer an invalid way, otherwise consult the policy.
+  ++stats_.misses;
+  ++set_stats_[set].misses;
+  unsigned slot = geometry_.ways;
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    if (!ways[w].valid) {
+      slot = w;
+      break;
+    }
+  }
+  if (slot == geometry_.ways) {
+    slot = pick_victim(set);
+    ++stats_.evictions;
+    if (ways[slot].dirty) ++stats_.writebacks;
+  }
+  ways[slot] = Line{line_addr, clock_, kRrpvInsert, true, is_write};
+  touch(set, slot);
+  // SRRIP distinguishes insertion (long interval) from promotion on hit;
+  // undo touch()'s hit-promotion for fills.
+  if (victim_.policy() == ReplacementPolicy::kSrrip) {
+    ways[slot].rrpv = kRrpvInsert;
+  }
+  stats_.lookup_cycles += 1;
+  return {false, 1, 1};
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const noexcept {
+  const std::uint64_t set = index_fn_->index(addr);
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  const Line* ways = set_begin(set);
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    if (ways[w].valid && ways[w].line_addr == line_addr) return true;
+  }
+  return false;
+}
+
+std::string SetAssocCache::name() const {
+  std::string org = geometry_.ways == 1
+                        ? "direct"
+                        : std::to_string(geometry_.ways) + "way";
+  if (victim_.policy() != ReplacementPolicy::kLru && geometry_.ways > 1) {
+    org += "-" + replacement_policy_name(victim_.policy());
+  }
+  return org + "[" + index_fn_->name() + "]";
+}
+
+void SetAssocCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+}
+
+void SetAssocCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(plru_bits_.begin(), plru_bits_.end(), 0);
+  clock_ = 0;
+}
+
+}  // namespace canu

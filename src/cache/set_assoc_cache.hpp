@@ -1,0 +1,83 @@
+// SetAssocCache: the conventional k-way set-associative cache with a
+// pluggable index function and replacement policy. With ways=1 and
+// ModuloIndex this is the paper's direct-mapped baseline; swapping the
+// index function yields the Section II schemes without touching the
+// organization.
+//
+// Replacement policies: true LRU and FIFO (stamp-based), deterministic
+// random, tree pseudo-LRU (per-set tree bits, the common hardware
+// approximation; requires a power-of-two way count) and SRRIP (2-bit
+// re-reference prediction values per line).
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/replacement.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class SetAssocCache final : public CacheModel {
+ public:
+  /// If `index_fn` is null a ModuloIndex over the geometry is used.
+  SetAssocCache(CacheGeometry geometry, IndexFunctionPtr index_fn = nullptr,
+                ReplacementPolicy policy = ReplacementPolicy::kLru,
+                std::uint64_t rng_seed = 0x9d8f'51ce'77a1'0b2dULL);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  const CacheGeometry& geometry() const noexcept { return geometry_; }
+  const IndexFunction& index_function() const noexcept { return *index_fn_; }
+  ReplacementPolicy policy() const noexcept { return victim_.policy(); }
+
+  /// True if the line containing `addr` is currently resident (no counter
+  /// updates; used by tests and by the hierarchy for inclusion checks).
+  bool contains(std::uint64_t addr) const noexcept;
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    std::uint64_t stamp = 0;
+    std::uint8_t rrpv = 0;  ///< SRRIP re-reference prediction value
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  // SRRIP parameters (2-bit RRPV, insert at "long" re-reference interval).
+  static constexpr std::uint8_t kRrpvMax = 3;
+  static constexpr std::uint8_t kRrpvInsert = 2;
+
+  Line* set_begin(std::uint64_t set) noexcept {
+    return lines_.data() + set * geometry_.ways;
+  }
+  const Line* set_begin(std::uint64_t set) const noexcept {
+    return lines_.data() + set * geometry_.ways;
+  }
+
+  /// Record a use of `way` in `set` (hit or fill).
+  void touch(std::uint64_t set, unsigned way) noexcept;
+  /// Choose the victim way among an all-valid set.
+  unsigned pick_victim(std::uint64_t set) noexcept;
+
+  CacheGeometry geometry_;
+  IndexFunctionPtr index_fn_;
+  VictimSelector victim_;
+  std::vector<Line> lines_;
+  std::vector<std::uint64_t> plru_bits_;  ///< per-set PLRU tree bits
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace canu

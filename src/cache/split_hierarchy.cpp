@@ -1,0 +1,68 @@
+#include "cache/split_hierarchy.hpp"
+
+namespace canu {
+
+SplitHierarchy::SplitHierarchy(CacheModel& l1i, CacheModel& l1d,
+                               CacheGeometry l2_geometry, TimingModel timing)
+    : l1i_(&l1i),
+      l1d_(&l1d),
+      l2_(std::make_unique<SetAssocCache>(l2_geometry)),
+      timing_(timing) {}
+
+std::uint64_t SplitHierarchy::access(std::uint64_t addr, AccessType type) {
+  CacheModel& l1 = (type == AccessType::kFetch) ? *l1i_ : *l1d_;
+  const AccessOutcome out = l1.access(addr, type);
+  std::uint64_t cycles = out.cycles;
+  if (!out.hit) {
+    const AccessOutcome l2_out = l2_->access(addr, type);
+    cycles += timing_.l2_hit_cycles;
+    if (!l2_out.hit) cycles += timing_.memory_cycles;
+  }
+  total_cycles_ += cycles;
+  ++references_;
+  return cycles;
+}
+
+SplitHierarchyResult SplitHierarchy::run(const Trace& merged) {
+  for (const MemRef& r : merged) access(r.addr, r.type);
+  return result();
+}
+
+SplitHierarchyResult SplitHierarchy::result() const {
+  SplitHierarchyResult res;
+  res.l1i = l1i_->stats();
+  res.l1d = l1d_->stats();
+  res.l2 = l2_->stats();
+  res.timing = timing_;
+  res.total_cycles = total_cycles_;
+  res.references = references_;
+  return res;
+}
+
+void SplitHierarchy::flush() {
+  l1i_->flush();
+  l1d_->flush();
+  l2_->flush();
+  total_cycles_ = 0;
+  references_ = 0;
+}
+
+Trace merge_fetch_data(const Trace& fetch, const Trace& data,
+                       std::size_t fetches_per_data) {
+  Trace merged("merged[" + fetch.name() + "+" + data.name() + "]");
+  merged.reserve(fetch.size() + data.size());
+  std::size_t fi = 0, di = 0;
+  while (fi < fetch.size() || di < data.size()) {
+    for (std::size_t k = 0; k < fetches_per_data && fi < fetch.size(); ++k) {
+      merged.append(fetch[fi++]);
+    }
+    if (di < data.size()) merged.append(data[di++]);
+    if (fi >= fetch.size() && di < data.size()) {
+      // Fetch stream exhausted: drain the data stream.
+      while (di < data.size()) merged.append(data[di++]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace canu

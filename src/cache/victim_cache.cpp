@@ -1,0 +1,106 @@
+#include "cache/victim_cache.hpp"
+
+#include <algorithm>
+
+#include "indexing/modulo.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+VictimCache::VictimCache(CacheGeometry geometry, unsigned victim_entries,
+                         IndexFunctionPtr index_fn)
+    : geometry_(geometry),
+      index_fn_(std::move(index_fn)),
+      lines_(geometry.sets()),
+      victims_(victim_entries),
+      set_stats_(geometry.sets()) {
+  geometry_.validate();
+  CANU_CHECK_MSG(geometry_.ways == 1,
+                 "victim cache models a direct-mapped primary cache");
+  CANU_CHECK_MSG(victim_entries >= 1, "need at least one victim entry");
+  if (!index_fn_) {
+    index_fn_ = std::make_shared<ModuloIndex>(geometry_.sets(),
+                                              geometry_.offset_bits());
+  }
+}
+
+AccessOutcome VictimCache::access(std::uint64_t addr, AccessType type) {
+  const std::uint64_t set = index_fn_->index(addr);
+  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  Line& primary = lines_[set];
+  ++clock_;
+  ++stats_.accesses;
+  ++set_stats_[set].accesses;
+  const bool is_write = type == AccessType::kWrite;
+  if (is_write) ++stats_.write_accesses;
+
+  if (primary.valid && primary.line_addr == line_addr) {
+    if (is_write) primary.dirty = true;
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[set].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
+  }
+
+  // Probe the victim buffer; a hit swaps the entry with the primary line.
+  for (VictimEntry& v : victims_) {
+    if (v.valid && v.line_addr == line_addr) {
+      ++stats_.hits;
+      ++stats_.secondary_hits;
+      ++stats_.swaps;
+      ++set_stats_[set].hits;
+      std::swap(v.line_addr, primary.line_addr);
+      std::swap(v.valid, primary.valid);
+      std::swap(v.dirty, primary.dirty);
+      // After the swap the victim slot may hold an invalid line (cold set).
+      v.stamp = clock_;
+      primary.valid = true;
+      primary.line_addr = line_addr;
+      if (is_write) primary.dirty = true;
+      stats_.lookup_cycles += 2;
+      return {true, 2, 2};
+    }
+  }
+
+  ++stats_.misses;
+  ++set_stats_[set].misses;
+  if (primary.valid) {
+    // Displace into the LRU victim slot.
+    VictimEntry* slot = &victims_[0];
+    for (VictimEntry& v : victims_) {
+      if (!v.valid) {
+        slot = &v;
+        break;
+      }
+      if (v.stamp < slot->stamp) slot = &v;
+    }
+    if (slot->valid) {
+      ++stats_.evictions;
+      if (slot->dirty) ++stats_.writebacks;
+    }
+    *slot = VictimEntry{primary.line_addr, clock_, true, primary.dirty};
+  }
+  primary = Line{line_addr, true, is_write};
+  stats_.lookup_cycles += 1;
+  return {false, 2, 1};
+}
+
+std::string VictimCache::name() const {
+  return "victim(" + std::to_string(victims_.size()) + ")[" +
+         index_fn_->name() + "]";
+}
+
+void VictimCache::reset_stats() {
+  stats_ = CacheStats{};
+  std::fill(set_stats_.begin(), set_stats_.end(), SetStats{});
+}
+
+void VictimCache::flush() {
+  reset_stats();
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(victims_.begin(), victims_.end(), VictimEntry{});
+  clock_ = 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,59 @@
+// Victim cache (Jouppi, ISCA 1990 — the paper's reference [14]): a
+// direct-mapped cache backed by a small fully-associative buffer holding
+// recently evicted lines. The adaptive cache (paper §III.B) is described as
+// "selective victim caching", so this model serves as the classic point of
+// comparison in the associativity ablation.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class VictimCache final : public CacheModel {
+ public:
+  /// `victim_entries` fully-associative LRU entries behind a direct-mapped
+  /// cache of `geometry` (ways must be 1).
+  VictimCache(CacheGeometry geometry, unsigned victim_entries = 8,
+              IndexFunctionPtr index_fn = nullptr);
+
+  AccessOutcome access(std::uint64_t addr,
+                       AccessType type = AccessType::kRead) override;
+  std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
+  const CacheStats& stats() const noexcept override { return stats_; }
+  std::span<const SetStats> set_stats() const noexcept override {
+    return set_stats_;
+  }
+  std::string name() const override;
+  void reset_stats() override;
+  void flush() override;
+
+  /// Hits satisfied by the victim buffer (== stats().secondary_hits).
+  std::uint64_t victim_hits() const noexcept { return stats_.secondary_hits; }
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+  struct VictimEntry {
+    std::uint64_t line_addr = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheGeometry geometry_;
+  IndexFunctionPtr index_fn_;
+  std::vector<Line> lines_;
+  std::vector<VictimEntry> victims_;
+  std::vector<SetStats> set_stats_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace canu

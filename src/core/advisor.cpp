@@ -1,0 +1,57 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+
+#include "stats/moments.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+
+Advisor::Advisor(Options options) : options_(std::move(options)) {
+  if (options_.include_indexing) {
+    candidates_.push_back(SchemeSpec::indexing(IndexScheme::kXor));
+    candidates_.push_back(SchemeSpec::indexing(IndexScheme::kOddMultiplier));
+    candidates_.push_back(SchemeSpec::indexing(IndexScheme::kPrimeModulo));
+    candidates_.push_back(SchemeSpec::indexing(IndexScheme::kGivargis));
+    candidates_.push_back(SchemeSpec::indexing(IndexScheme::kGivargisXor));
+  }
+  if (options_.include_programmable_associativity) {
+    candidates_.push_back(SchemeSpec::adaptive_cache());
+    candidates_.push_back(SchemeSpec::b_cache());
+    candidates_.push_back(SchemeSpec::column_associative());
+  }
+}
+
+AdvisorReport Advisor::advise(const Trace& trace) const {
+  AdvisorReport report;
+  auto baseline_model =
+      build_l1_model(SchemeSpec::baseline(), options_.l1_geometry, &trace);
+  report.baseline = run_trace(*baseline_model, trace, options_.run);
+
+  for (const SchemeSpec& spec : candidates_) {
+    auto model = build_l1_model(spec, options_.l1_geometry, &trace);
+    AdvisorChoice choice;
+    choice.scheme = spec;
+    choice.result = run_trace(*model, trace, options_.run);
+    choice.miss_reduction_pct = percent_reduction(
+        report.baseline.miss_rate(), choice.result.miss_rate());
+    report.ranked.push_back(std::move(choice));
+  }
+
+  const auto metric_of = [this](const AdvisorChoice& c) {
+    return options_.metric == Metric::kMissRate ? c.result.miss_rate()
+                                                : c.result.amat;
+  };
+  std::stable_sort(report.ranked.begin(), report.ranked.end(),
+                   [&](const AdvisorChoice& a, const AdvisorChoice& b) {
+                     return metric_of(a) < metric_of(b);
+                   });
+  return report;
+}
+
+AdvisorReport Advisor::advise_workload(const std::string& workload_name,
+                                       const WorkloadParams& params) const {
+  return advise(generate_workload(workload_name, params));
+}
+
+}  // namespace canu

@@ -1,0 +1,67 @@
+// Advisor: the paper's Figure 5 proposal — profile an application offline,
+// then select the indexing scheme (or programmable-associativity
+// organization) that minimizes its misses, falling back to conventional
+// indexing when nothing beats it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "sim/runner.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+
+struct AdvisorChoice {
+  SchemeSpec scheme;
+  RunResult result;
+  double miss_reduction_pct = 0;  ///< vs the direct[modulo] baseline
+};
+
+struct AdvisorReport {
+  RunResult baseline;
+  std::vector<AdvisorChoice> ranked;  ///< best first, by the chosen metric
+
+  const AdvisorChoice& best() const { return ranked.front(); }
+  /// True if even the best candidate loses to conventional indexing.
+  bool keep_conventional() const {
+    return ranked.empty() || ranked.front().miss_reduction_pct <= 0.0;
+  }
+};
+
+class Advisor {
+ public:
+  enum class Metric { kMissRate, kAmat };
+
+  struct Options {
+    CacheGeometry l1_geometry = CacheGeometry::paper_l1();
+    RunConfig run;
+    Metric metric = Metric::kMissRate;
+    /// Candidate set: the paper's five indexing schemes by default;
+    /// optionally also the three programmable-associativity schemes.
+    bool include_indexing = true;
+    bool include_programmable_associativity = true;
+  };
+
+  Advisor() : Advisor(Options()) {}
+  explicit Advisor(Options options);
+
+  /// Profile `trace` against every candidate and rank them.
+  AdvisorReport advise(const Trace& trace) const;
+
+  /// Convenience: generate the named workload and advise on it.
+  AdvisorReport advise_workload(const std::string& workload_name,
+                                const WorkloadParams& params = WorkloadParams()) const;
+
+  const std::vector<SchemeSpec>& candidates() const noexcept {
+    return candidates_;
+  }
+
+ private:
+  Options options_;
+  std::vector<SchemeSpec> candidates_;
+};
+
+}  // namespace canu

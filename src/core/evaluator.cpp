@@ -1,0 +1,137 @@
+#include "core/evaluator.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "stats/moments.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu {
+
+const EvalCell* EvalReport::cell(const std::string& workload,
+                                 const std::string& scheme) const {
+  auto it = cells.find({workload, scheme});
+  return it == cells.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+ComparisonTable build_table(const EvalReport& rep, const std::string& label,
+                            double EvalCell::* member) {
+  ComparisonTable table(label);
+  for (const std::string& w : rep.workloads) {
+    for (const std::string& s : rep.scheme_labels) {
+      const EvalCell* c = rep.cell(w, s);
+      if (c) table.set(w, s, c->*member);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+ComparisonTable EvalReport::miss_reduction_table() const {
+  return build_table(*this, "% reduction in miss-rate (vs " + baseline_label + ")",
+                     &EvalCell::miss_reduction_pct);
+}
+ComparisonTable EvalReport::amat_reduction_table() const {
+  return build_table(*this, "% reduction in AMAT (vs " + baseline_label + ")",
+                     &EvalCell::amat_reduction_pct);
+}
+ComparisonTable EvalReport::kurtosis_increase_table() const {
+  return build_table(*this,
+                     "% increase in kurtosis of per-set misses (vs " +
+                         baseline_label + ")",
+                     &EvalCell::kurtosis_increase_pct);
+}
+ComparisonTable EvalReport::skewness_increase_table() const {
+  return build_table(*this,
+                     "% increase in skewness of per-set misses (vs " +
+                         baseline_label + ")",
+                     &EvalCell::skewness_increase_pct);
+}
+
+void EvalReport::print_miss_reduction(std::ostream& os) const {
+  miss_reduction_table().print(os);
+}
+void EvalReport::print_amat_reduction(std::ostream& os) const {
+  amat_reduction_table().print(os);
+}
+
+Evaluator::Evaluator(EvalOptions options) : options_(std::move(options)) {
+  options_.l1_geometry.validate();
+  options_.run.l2_geometry.validate();
+}
+
+void Evaluator::add_scheme(const SchemeSpec& spec) {
+  schemes_.push_back(spec);
+}
+
+void Evaluator::add_paper_indexing_schemes() {
+  add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+  add_scheme(SchemeSpec::indexing(IndexScheme::kOddMultiplier));
+  add_scheme(SchemeSpec::indexing(IndexScheme::kPrimeModulo));
+  add_scheme(SchemeSpec::indexing(IndexScheme::kGivargis));
+  add_scheme(SchemeSpec::indexing(IndexScheme::kGivargisXor));
+}
+
+void Evaluator::add_paper_assoc_schemes() {
+  add_scheme(SchemeSpec::adaptive_cache());
+  add_scheme(SchemeSpec::b_cache());
+  add_scheme(SchemeSpec::column_associative());
+}
+
+EvalReport Evaluator::evaluate(
+    const std::vector<std::string>& workload_names) const {
+  CANU_CHECK_MSG(!workload_names.empty(), "no workloads to evaluate");
+
+  EvalReport report;
+  report.workloads = workload_names;
+  report.baseline_label = options_.baseline.label();
+  for (const SchemeSpec& s : schemes_) {
+    report.scheme_labels.push_back(s.label());
+  }
+
+  std::mutex report_mutex;
+  ThreadPool pool(options_.threads);
+
+  // One task per workload: generate the trace once, then run the baseline
+  // and every scheme against it. (The trace is the expensive shared input;
+  // schemes within a workload run sequentially, workloads in parallel.)
+  pool.parallel_for(workload_names.size(), [&](std::size_t wi) {
+    const std::string& wname = workload_names[wi];
+    const Trace trace = generate_workload(wname, options_.params);
+
+    auto baseline_model =
+        build_l1_model(options_.baseline, options_.l1_geometry, &trace);
+    const RunResult base = run_trace(*baseline_model, trace, options_.run);
+
+    std::vector<std::pair<std::string, EvalCell>> local;
+    local.reserve(schemes_.size());
+    for (const SchemeSpec& spec : schemes_) {
+      auto model = build_l1_model(spec, options_.l1_geometry, &trace);
+      EvalCell cell;
+      cell.run = run_trace(*model, trace, options_.run);
+      cell.miss_reduction_pct =
+          percent_reduction(base.miss_rate(), cell.run.miss_rate());
+      cell.amat_reduction_pct = percent_reduction(base.amat, cell.run.amat);
+      cell.kurtosis_increase_pct =
+          percent_increase(base.uniformity.miss_moments.kurtosis,
+                           cell.run.uniformity.miss_moments.kurtosis);
+      cell.skewness_increase_pct =
+          percent_increase(base.uniformity.miss_moments.skewness,
+                           cell.run.uniformity.miss_moments.skewness);
+      local.emplace_back(spec.label(), std::move(cell));
+    }
+
+    std::lock_guard<std::mutex> lock(report_mutex);
+    report.baseline_runs.emplace(wname, base);
+    for (auto& [label, cell] : local) {
+      report.cells.emplace(std::make_pair(wname, label), std::move(cell));
+    }
+  });
+  return report;
+}
+
+}  // namespace canu

@@ -1,0 +1,90 @@
+// Evaluator: the paper's contribution as an API — a side-by-side comparison
+// of cache-uniformity techniques over a set of workloads, under one cache
+// configuration, with one baseline.
+//
+// Usage:
+//   Evaluator ev;                                  // paper's configuration
+//   ev.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+//   ev.add_scheme(SchemeSpec::column_associative());
+//   EvalReport rep = ev.evaluate(paper_mibench_set());
+//   rep.print_miss_reduction(std::cout);           // Figure 4/6 style table
+//
+// Independent (workload × scheme) simulations run in parallel on a thread
+// pool; results are deterministic because each run owns its models.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "sim/comparison.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+
+struct EvalOptions {
+  CacheGeometry l1_geometry = CacheGeometry::paper_l1();
+  RunConfig run;                 ///< L2 geometry + timing
+  WorkloadParams params;         ///< seed / scale for workload generation
+  SchemeSpec baseline = SchemeSpec::baseline();
+  unsigned threads = 0;          ///< worker threads (0 = hardware)
+};
+
+struct EvalCell {
+  RunResult run;       ///< full result for this (workload, scheme)
+  double miss_reduction_pct = 0;      ///< vs baseline (paper Figs. 4/6/8)
+  double amat_reduction_pct = 0;      ///< vs baseline (paper Fig. 7)
+  double kurtosis_increase_pct = 0;   ///< per-set misses (paper Figs. 9/11)
+  double skewness_increase_pct = 0;   ///< per-set misses (paper Figs. 10/12)
+};
+
+struct EvalReport {
+  std::vector<std::string> workloads;
+  std::vector<std::string> scheme_labels;
+  std::string baseline_label;
+  std::map<std::string, RunResult> baseline_runs;  ///< by workload
+  std::map<std::pair<std::string, std::string>, EvalCell> cells;
+
+  const EvalCell* cell(const std::string& workload,
+                       const std::string& scheme) const;
+
+  /// Build a metric grid ready for printing (rows = workloads).
+  ComparisonTable miss_reduction_table() const;
+  ComparisonTable amat_reduction_table() const;
+  ComparisonTable kurtosis_increase_table() const;
+  ComparisonTable skewness_increase_table() const;
+
+  void print_miss_reduction(std::ostream& os) const;
+  void print_amat_reduction(std::ostream& os) const;
+};
+
+class Evaluator {
+ public:
+  Evaluator() : Evaluator(EvalOptions()) {}
+  explicit Evaluator(EvalOptions options);
+
+  /// Register a scheme to compare against the baseline.
+  void add_scheme(const SchemeSpec& spec);
+
+  /// Register the five indexing schemes of the paper's Figure 4.
+  void add_paper_indexing_schemes();
+
+  /// Register the three programmable-associativity schemes of Figure 6.
+  void add_paper_assoc_schemes();
+
+  /// Run baseline + every scheme over every named workload (in parallel).
+  EvalReport evaluate(const std::vector<std::string>& workload_names) const;
+
+  const EvalOptions& options() const noexcept { return options_; }
+  const std::vector<SchemeSpec>& schemes() const noexcept { return schemes_; }
+
+ private:
+  EvalOptions options_;
+  std::vector<SchemeSpec> schemes_;
+};
+
+}  // namespace canu

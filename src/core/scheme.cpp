@@ -1,0 +1,144 @@
+#include "core/scheme.hpp"
+
+#include "assoc/column_associative.hpp"
+#include "assoc/skewed_assoc.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "cache/victim_cache.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+std::string cache_org_name(CacheOrg org) {
+  switch (org) {
+    case CacheOrg::kDirect: return "direct";
+    case CacheOrg::kSetAssoc: return "set_assoc";
+    case CacheOrg::kColumnAssoc: return "column_assoc";
+    case CacheOrg::kAdaptive: return "adaptive";
+    case CacheOrg::kBCache: return "b_cache";
+    case CacheOrg::kVictim: return "victim";
+    case CacheOrg::kPartner: return "partner";
+    case CacheOrg::kSkewed: return "skewed";
+  }
+  return "unknown";
+}
+
+std::string SchemeSpec::label() const {
+  switch (org) {
+    case CacheOrg::kDirect:
+      return "direct[" + index_scheme_name(index) + "]";
+    case CacheOrg::kSetAssoc:
+      return std::to_string(ways) + "way";
+    case CacheOrg::kColumnAssoc:
+      return "column_assoc[" + index_scheme_name(index) + "]";
+    case CacheOrg::kAdaptive:
+      return "adaptive";
+    case CacheOrg::kBCache:
+      return "b_cache";
+    case CacheOrg::kVictim:
+      return "victim(" + std::to_string(victim_entries) + ")";
+    case CacheOrg::kPartner:
+      return "partner";
+    case CacheOrg::kSkewed:
+      return "skewed" + std::to_string(ways) + "way";
+  }
+  return "unknown";
+}
+
+SchemeSpec SchemeSpec::baseline() { return SchemeSpec{}; }
+
+SchemeSpec SchemeSpec::indexing(IndexScheme scheme,
+                                std::uint64_t odd_multiplier) {
+  SchemeSpec s;
+  s.index = scheme;
+  s.index_options.odd_multiplier = odd_multiplier;
+  return s;
+}
+
+SchemeSpec SchemeSpec::set_assoc(unsigned ways) {
+  SchemeSpec s;
+  s.org = CacheOrg::kSetAssoc;
+  s.ways = ways;
+  return s;
+}
+
+SchemeSpec SchemeSpec::column_associative(IndexScheme primary,
+                                          std::uint64_t odd_multiplier) {
+  SchemeSpec s;
+  s.org = CacheOrg::kColumnAssoc;
+  s.index = primary;
+  s.index_options.odd_multiplier = odd_multiplier;
+  return s;
+}
+
+SchemeSpec SchemeSpec::adaptive_cache() {
+  SchemeSpec s;
+  s.org = CacheOrg::kAdaptive;
+  return s;
+}
+
+SchemeSpec SchemeSpec::b_cache(unsigned mapping_factor,
+                               unsigned associativity) {
+  SchemeSpec s;
+  s.org = CacheOrg::kBCache;
+  s.bcache.mapping_factor = mapping_factor;
+  s.bcache.associativity = associativity;
+  return s;
+}
+
+SchemeSpec SchemeSpec::victim_cache(unsigned entries) {
+  SchemeSpec s;
+  s.org = CacheOrg::kVictim;
+  s.victim_entries = entries;
+  return s;
+}
+
+SchemeSpec SchemeSpec::partner_cache() {
+  SchemeSpec s;
+  s.org = CacheOrg::kPartner;
+  return s;
+}
+
+SchemeSpec SchemeSpec::skewed_assoc(unsigned banks) {
+  SchemeSpec s;
+  s.org = CacheOrg::kSkewed;
+  s.ways = banks;
+  return s;
+}
+
+std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
+                                           const CacheGeometry& geometry,
+                                           const Trace* profile) {
+  const auto make_index = [&]() {
+    return make_index_function(spec.index, geometry.sets(),
+                               geometry.offset_bits(), profile,
+                               spec.index_options);
+  };
+  switch (spec.org) {
+    case CacheOrg::kDirect:
+      return std::make_unique<SetAssocCache>(geometry, make_index());
+    case CacheOrg::kSetAssoc: {
+      CacheGeometry g = geometry;
+      g.ways = spec.ways;
+      return std::make_unique<SetAssocCache>(g);
+    }
+    case CacheOrg::kColumnAssoc:
+      return std::make_unique<ColumnAssociativeCache>(geometry, make_index());
+    case CacheOrg::kAdaptive:
+      return std::make_unique<AdaptiveCache>(geometry, spec.adaptive);
+    case CacheOrg::kBCache:
+      return std::make_unique<BCache>(geometry, spec.bcache);
+    case CacheOrg::kVictim:
+      return std::make_unique<VictimCache>(geometry, spec.victim_entries);
+    case CacheOrg::kPartner:
+      return std::make_unique<PartnerCache>(geometry, spec.partner,
+                                            make_index());
+    case CacheOrg::kSkewed: {
+      CacheGeometry g = geometry;
+      g.ways = spec.ways;
+      return std::make_unique<SkewedAssocCache>(g);
+    }
+  }
+  throw Error("unhandled cache organization");
+}
+
+}  // namespace canu

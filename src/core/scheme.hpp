@@ -1,0 +1,71 @@
+// SchemeSpec: a declarative description of one cache organization + indexing
+// combination, and a factory turning it into a live L1 model.
+//
+// This is the vocabulary of the paper's study: every bar in every figure is
+// one SchemeSpec evaluated against one workload.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "assoc/adaptive_cache.hpp"
+#include "assoc/bcache.hpp"
+#include "assoc/partner_cache.hpp"
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "indexing/factory.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+enum class CacheOrg {
+  kDirect,       ///< direct-mapped (possibly with a non-traditional index)
+  kSetAssoc,     ///< k-way set-associative (reference points)
+  kColumnAssoc,  ///< column-associative (paper §III.A)
+  kAdaptive,     ///< adaptive group-associative (paper §III.B)
+  kBCache,       ///< balanced cache (paper §III.C)
+  kVictim,       ///< direct-mapped + victim buffer (Jouppi, ref [14])
+  kPartner,      ///< partner-index cache (the paper's own Figure 3 proposal)
+  kSkewed,       ///< skewed-associative cache (Seznec; extension)
+};
+
+std::string cache_org_name(CacheOrg org);
+
+struct SchemeSpec {
+  CacheOrg org = CacheOrg::kDirect;
+  /// Index function for the (primary) lookup. For kColumnAssoc this is the
+  /// first-level index (the paper's Figure 8 hybrid); ignored by kBCache.
+  IndexScheme index = IndexScheme::kModulo;
+  IndexFactoryOptions index_options;
+  unsigned ways = 2;                 ///< kSetAssoc / kSkewed
+  unsigned victim_entries = 8;       ///< kVictim only
+  BCacheConfig bcache;               ///< kBCache only
+  AdaptiveConfig adaptive;           ///< kAdaptive only
+  PartnerConfig partner;             ///< kPartner only
+
+  /// Human-readable label, e.g. "direct[xor]" or "column_assoc[modulo]".
+  std::string label() const;
+
+  // Convenience constructors for the paper's configurations.
+  static SchemeSpec baseline();  ///< direct-mapped, modulo indexing
+  static SchemeSpec indexing(IndexScheme scheme,
+                             std::uint64_t odd_multiplier = 21);
+  static SchemeSpec set_assoc(unsigned ways);
+  static SchemeSpec column_associative(IndexScheme primary = IndexScheme::kModulo,
+                                       std::uint64_t odd_multiplier = 21);
+  static SchemeSpec adaptive_cache();
+  static SchemeSpec b_cache(unsigned mapping_factor = 2,
+                            unsigned associativity = 8);
+  static SchemeSpec victim_cache(unsigned entries = 8);
+  static SchemeSpec partner_cache();
+  static SchemeSpec skewed_assoc(unsigned banks = 2);
+};
+
+/// Instantiate the L1 model described by `spec` over `geometry`. Schemes
+/// whose index function is trained (Givargis, Givargis-XOR, Patel) require a
+/// non-null profiling trace.
+std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
+                                           const CacheGeometry& geometry,
+                                           const Trace* profile = nullptr);
+
+}  // namespace canu

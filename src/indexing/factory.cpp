@@ -1,0 +1,73 @@
+#include "indexing/factory.hpp"
+
+#include "indexing/givargis.hpp"
+#include "indexing/givargis_xor.hpp"
+#include "indexing/modulo.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "indexing/patel.hpp"
+#include "indexing/prime_modulo.hpp"
+#include "indexing/xor_index.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+std::string index_scheme_name(IndexScheme scheme) {
+  switch (scheme) {
+    case IndexScheme::kModulo: return "modulo";
+    case IndexScheme::kXor: return "xor";
+    case IndexScheme::kOddMultiplier: return "odd_multiplier";
+    case IndexScheme::kPrimeModulo: return "prime_modulo";
+    case IndexScheme::kGivargis: return "givargis";
+    case IndexScheme::kGivargisXor: return "givargis_xor";
+    case IndexScheme::kPatelOptimal: return "patel_optimal";
+  }
+  return "unknown";
+}
+
+IndexScheme parse_index_scheme(const std::string& name) {
+  for (IndexScheme s : kAllIndexSchemes) {
+    if (index_scheme_name(s) == name) return s;
+  }
+  throw Error("unknown index scheme: " + name);
+}
+
+bool scheme_needs_profile(IndexScheme scheme) noexcept {
+  return scheme == IndexScheme::kGivargis ||
+         scheme == IndexScheme::kGivargisXor ||
+         scheme == IndexScheme::kPatelOptimal;
+}
+
+IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
+                                     unsigned offset_bits,
+                                     const Trace* profile,
+                                     const IndexFactoryOptions& opt) {
+  if (scheme_needs_profile(scheme)) {
+    CANU_CHECK_MSG(profile != nullptr && !profile->empty(),
+                   index_scheme_name(scheme)
+                       << " requires a non-empty profiling trace");
+  }
+  switch (scheme) {
+    case IndexScheme::kModulo:
+      return std::make_shared<ModuloIndex>(sets, offset_bits);
+    case IndexScheme::kXor:
+      return std::make_shared<XorIndex>(sets, offset_bits);
+    case IndexScheme::kOddMultiplier:
+      return std::make_shared<OddMultiplierIndex>(sets, offset_bits,
+                                                  opt.odd_multiplier);
+    case IndexScheme::kPrimeModulo:
+      return std::make_shared<PrimeModuloIndex>(sets, offset_bits);
+    case IndexScheme::kGivargis:
+      return std::make_shared<GivargisIndex>(*profile, sets, offset_bits);
+    case IndexScheme::kGivargisXor:
+      return std::make_shared<GivargisXorIndex>(*profile, sets, offset_bits);
+    case IndexScheme::kPatelOptimal: {
+      PatelOptions popt;
+      popt.candidate_window = opt.patel_candidate_window;
+      return std::make_shared<PatelOptimalIndex>(*profile, sets, offset_bits,
+                                                 popt);
+    }
+  }
+  throw Error("unhandled index scheme");
+}
+
+}  // namespace canu

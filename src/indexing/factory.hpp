@@ -1,0 +1,55 @@
+// Factory for index functions, keyed by scheme kind. Used by the Evaluator
+// and the figure benches to construct schemes uniformly; trained schemes
+// (Givargis, Givargis-XOR, Patel) take a profiling trace, mirroring the
+// paper's offline-profiling model (Figure 5).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "indexing/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+enum class IndexScheme {
+  kModulo,
+  kXor,
+  kOddMultiplier,
+  kPrimeModulo,
+  kGivargis,
+  kGivargisXor,
+  kPatelOptimal,
+};
+
+/// All schemes, in the order the paper's figures list them.
+constexpr IndexScheme kAllIndexSchemes[] = {
+    IndexScheme::kModulo,       IndexScheme::kXor,
+    IndexScheme::kOddMultiplier, IndexScheme::kPrimeModulo,
+    IndexScheme::kGivargis,     IndexScheme::kGivargisXor,
+    IndexScheme::kPatelOptimal,
+};
+
+/// Stable display name of a scheme ("modulo", "xor", ...).
+std::string index_scheme_name(IndexScheme scheme);
+
+/// Parse a display name back to a scheme; throws canu::Error on unknown name.
+IndexScheme parse_index_scheme(const std::string& name);
+
+/// True for schemes that require a profiling trace.
+bool scheme_needs_profile(IndexScheme scheme) noexcept;
+
+struct IndexFactoryOptions {
+  std::uint64_t odd_multiplier = 21;   ///< for kOddMultiplier
+  unsigned patel_candidate_window = 12;
+};
+
+/// Build an index function for `scheme` over a cache with `sets` sets and
+/// 2^offset_bits-byte lines. `profile` must be provided (non-null, non-empty)
+/// for trained schemes and is ignored otherwise.
+IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
+                                     unsigned offset_bits,
+                                     const Trace* profile = nullptr,
+                                     const IndexFactoryOptions& opt = {});
+
+}  // namespace canu

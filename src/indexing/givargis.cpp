@@ -1,0 +1,106 @@
+#include "indexing/givargis.hpp"
+
+#include <algorithm>
+
+#include "trace/trace_stats.hpp"
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+GivargisAnalysis GivargisIndex::analyse(const Trace& profile,
+                                        unsigned index_bits,
+                                        unsigned offset_bits,
+                                        GivargisOptions opt) {
+  CANU_CHECK_MSG(!profile.empty(), "Givargis requires a non-empty profile");
+  CANU_CHECK_MSG(opt.candidate_window >= index_bits,
+                 "candidate window " << opt.candidate_window
+                                     << " smaller than index width "
+                                     << index_bits);
+
+  GivargisAnalysis a;
+  const unsigned lo = opt.include_offset_bits ? 0 : offset_bits;
+  for (unsigned b = lo; b < lo + opt.candidate_window && b < 64; ++b) {
+    a.candidate_bits.push_back(b);
+  }
+  const std::size_t n = a.candidate_bits.size();
+  CANU_CHECK(n >= index_bits);
+
+  const std::vector<std::uint64_t> addrs = unique_addresses(profile);
+  const double total = static_cast<double>(addrs.size());
+
+  // Count ones per bit and pairwise equal-values.
+  std::vector<std::size_t> ones(n, 0);
+  std::vector<std::vector<std::size_t>> equal(n, std::vector<std::size_t>(n, 0));
+  for (std::uint64_t addr : addrs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned bi = get_bit(addr, a.candidate_bits[i]);
+      ones[i] += bi;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const unsigned bj = get_bit(addr, a.candidate_bits[j]);
+        equal[i][j] += (bi == bj);
+      }
+    }
+  }
+
+  a.quality.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double o = static_cast<double>(ones[i]);
+    const double z = total - o;
+    a.quality[i] = (std::max(z, o) == 0) ? 0.0 : std::min(z, o) / std::max(z, o);
+  }
+
+  a.correlation.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    a.correlation[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double e = static_cast<double>(equal[i][j]);
+      const double d = total - e;
+      const double c =
+          (std::max(e, d) == 0) ? 0.0 : std::min(e, d) / std::max(e, d);
+      // Eq. (2) yields 1 for *uncorrelated* bits (E ~= D) and 0 for fully
+      // correlated or anti-correlated bits. We store the *correlation
+      // strength* 1-C so that the greedy discount below penalizes picking a
+      // bit that mirrors an already-selected one.
+      a.correlation[i][j] = a.correlation[j][i] = 1.0 - c;
+    }
+  }
+
+  // Greedy selection with multiplicative decorrelation discount.
+  std::vector<double> score = a.quality;
+  std::vector<bool> taken(n, false);
+  for (unsigned round = 0; round < index_bits; ++round) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      if (best == n || score[i] > score[best] ||
+          (score[i] == score[best] && i < best)) {
+        best = i;
+      }
+    }
+    CANU_CHECK(best < n);
+    taken[best] = true;
+    a.selected_bits.push_back(a.candidate_bits[best]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!taken[i]) score[i] *= 1.0 - a.correlation[best][i];
+    }
+  }
+  // Bits stay in greedy-selection (quality-ranked) order. For the pure
+  // Givargis index the order is only a permutation of set numbers, but the
+  // Givargis-XOR hybrid mixes these bits into the index field, where the
+  // placement matters.
+  return a;
+}
+
+GivargisIndex::GivargisIndex(const Trace& profile, std::uint64_t sets,
+                             unsigned offset_bits, GivargisOptions opt)
+    : sets_(sets) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  analysis_ = analyse(profile, log2_exact(sets), offset_bits, opt);
+}
+
+std::uint64_t GivargisIndex::index(std::uint64_t addr) const noexcept {
+  return gather_bits(addr, analysis_.selected_bits);
+}
+
+}  // namespace canu

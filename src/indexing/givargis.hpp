@@ -1,0 +1,77 @@
+// Givargis trace-driven index-bit selection (paper §II.A, eqs. (1)/(2);
+// Givargis, DAC 2003).
+//
+// From the set of *unique* addresses in a profiling trace, each candidate
+// address bit i gets a quality value
+//     Q_i = min(Z_i, O_i) / max(Z_i, O_i)                           (1)
+// where Z_i/O_i count how often bit i is 0/1 across the unique addresses,
+// and each pair (i, j) gets a correlation
+//     C_ij = min(E_ij, D_ij) / max(E_ij, D_ij)                      (2)
+// where E_ij/D_ij count equal/different values of bits i and j.
+//
+// Selection is greedy: pick the highest-quality bit, then repeatedly pick the
+// candidate maximizing quality discounted by its correlation with the bits
+// already selected (score_j = Q_j * prod_{s in S} (1 - C_sj)), until m bits
+// are chosen. This realizes the paper's "select next high quality bit and
+// update correlation vectors" loop; the multiplicative discount is our
+// concrete reading of the dot-product update, documented in DESIGN.md.
+//
+// Following the paper's methodology (§IV.A), byte-offset bits are *excluded*
+// from the candidate set — the paper attributes Givargis' poor 32-byte-line
+// results to exactly this exclusion, which bench/abl_givargis_blocksize
+// explores.
+#pragma once
+
+#include <vector>
+
+#include "indexing/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+/// Result of the quality/correlation analysis, exposed for tests and tools.
+struct GivargisAnalysis {
+  std::vector<unsigned> candidate_bits;  ///< bit positions analysed
+  std::vector<double> quality;           ///< Q_i per candidate
+  std::vector<std::vector<double>> correlation;  ///< C_ij per candidate pair
+  std::vector<unsigned> selected_bits;   ///< chosen index bits, LSB first
+};
+
+/// Tuning knobs for the Givargis analysis.
+struct GivargisOptions {
+  /// Number of candidate bits above the offset to analyse. Bits beyond the
+  /// highest set bit of any traced address have zero quality and are never
+  /// selected, so a generous window costs nothing.
+  unsigned candidate_window = 32;
+  /// Include byte-offset bits as candidates (paper: excluded).
+  bool include_offset_bits = false;
+};
+
+class GivargisIndex final : public IndexFunction {
+ public:
+
+  /// Train on a profiling trace. `sets` must be a power of two.
+  GivargisIndex(const Trace& profile, std::uint64_t sets, unsigned offset_bits,
+                GivargisOptions opt = GivargisOptions());
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override { return "givargis"; }
+
+  /// The trained bit positions (LSB of the produced index first).
+  const std::vector<unsigned>& selected_bits() const noexcept {
+    return analysis_.selected_bits;
+  }
+  const GivargisAnalysis& analysis() const noexcept { return analysis_; }
+
+  /// Run the quality/correlation analysis without constructing an index
+  /// function (used by GivargisXorIndex and by tests).
+  static GivargisAnalysis analyse(const Trace& profile, unsigned index_bits,
+                                  unsigned offset_bits, GivargisOptions opt = GivargisOptions());
+
+ private:
+  std::uint64_t sets_;
+  GivargisAnalysis analysis_;
+};
+
+}  // namespace canu

@@ -1,0 +1,29 @@
+#include "indexing/givargis_xor.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+GivargisXorIndex::GivargisXorIndex(const Trace& profile, std::uint64_t sets,
+                                   unsigned offset_bits,
+                                   GivargisOptions opt)
+    : sets_(sets),
+      offset_bits_(offset_bits),
+      index_bits_(log2_exact(sets)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  // Restrict candidates to the tag region by shifting the analysis window:
+  // analyse() starts its window at `offset_bits` when offset bits are
+  // excluded, so present it with an effective offset of offset+index bits.
+  GivargisAnalysis a = GivargisIndex::analyse(
+      profile, index_bits_, offset_bits_ + index_bits_, opt);
+  selected_tag_bits_ = a.selected_bits;
+}
+
+std::uint64_t GivargisXorIndex::index(std::uint64_t addr) const noexcept {
+  const std::uint64_t idx = bit_field(addr, offset_bits_, index_bits_);
+  const std::uint64_t tag_hash = gather_bits(addr, selected_tag_bits_);
+  return (idx ^ tag_hash) & (sets_ - 1);
+}
+
+}  // namespace canu

@@ -1,0 +1,39 @@
+// Givargis-XOR hybrid (paper §II.E, proposed by the paper's authors):
+// select m high-quality, low-correlation *tag* bits with Givargis' analysis,
+// then XOR them with the traditional index bits:
+//     index = (givargis_tag_bits(addr) XOR I) mod s
+#pragma once
+
+#include <vector>
+
+#include "indexing/givargis.hpp"
+#include "indexing/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+class GivargisXorIndex final : public IndexFunction {
+ public:
+  /// Train on a profiling trace; candidate bits are restricted to the tag
+  /// region (above offset+index bits), per the scheme's definition.
+  GivargisXorIndex(const Trace& profile, std::uint64_t sets,
+                   unsigned offset_bits,
+                   GivargisOptions opt = GivargisOptions());
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override { return "givargis_xor"; }
+
+  /// Tag-bit positions XOR-ed into the index (LSB first).
+  const std::vector<unsigned>& selected_tag_bits() const noexcept {
+    return selected_tag_bits_;
+  }
+
+ private:
+  std::uint64_t sets_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+  std::vector<unsigned> selected_tag_bits_;
+};
+
+}  // namespace canu

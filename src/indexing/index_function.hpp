@@ -1,0 +1,42 @@
+// IndexFunction: maps a byte address to a cache-set index.
+//
+// This is the strategy interface behind every indexing scheme in the paper's
+// Section II (modulo baseline, XOR, odd-multiplier, prime-modulo, Givargis,
+// Givargis-XOR, Patel). Cache models are parameterized on an IndexFunction;
+// the set of cache lines an address can live in is fully determined by it.
+//
+// Conventions (paper §1.1, Figure 2): for an address with `offset_bits` b and
+// a cache with 2^m sets, the traditional fields are
+//     offset = addr[b-1 : 0]
+//     index  = addr[b+m-1 : b]
+//     tag    = addr[N-1 : b+m]
+// An IndexFunction may consume any address bits above the offset, but must
+// always return a value < sets().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace canu {
+
+class IndexFunction {
+ public:
+  virtual ~IndexFunction() = default;
+
+  /// Map a byte address to a set index in [0, sets()).
+  virtual std::uint64_t index(std::uint64_t addr) const noexcept = 0;
+
+  /// Number of distinct sets this function can address. Note: for
+  /// prime-modulo this is smaller than the physical set count (the paper's
+  /// "cache fragmentation"); cache models size their arrays by the physical
+  /// geometry and simply never see the fragmented sets used.
+  virtual std::uint64_t sets() const noexcept = 0;
+
+  /// Scheme name for reports, e.g. "xor", "odd_multiplier(21)".
+  virtual std::string name() const = 0;
+};
+
+using IndexFunctionPtr = std::shared_ptr<const IndexFunction>;
+
+}  // namespace canu

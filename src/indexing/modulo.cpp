@@ -1,0 +1,19 @@
+#include "indexing/modulo.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+ModuloIndex::ModuloIndex(std::uint64_t sets, unsigned offset_bits)
+    : sets_(sets),
+      offset_bits_(offset_bits),
+      index_bits_(log2_exact(sets)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+}
+
+std::uint64_t ModuloIndex::index(std::uint64_t addr) const noexcept {
+  return bit_field(addr, offset_bits_, index_bits_);
+}
+
+}  // namespace canu

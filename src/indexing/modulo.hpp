@@ -1,0 +1,27 @@
+// Traditional modulo-2^m indexing — the baseline every scheme is compared to.
+#pragma once
+
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+/// index = addr[offset+m-1 : offset]  (i.e. line address mod 2^m).
+class ModuloIndex final : public IndexFunction {
+ public:
+  /// `sets` must be a power of two; `offset_bits` = log2(line size).
+  ModuloIndex(std::uint64_t sets, unsigned offset_bits);
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override { return "modulo"; }
+
+  unsigned offset_bits() const noexcept { return offset_bits_; }
+  unsigned index_bits() const noexcept { return index_bits_; }
+
+ private:
+  std::uint64_t sets_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+};
+
+}  // namespace canu

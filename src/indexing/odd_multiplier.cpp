@@ -1,0 +1,29 @@
+#include "indexing/odd_multiplier.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+OddMultiplierIndex::OddMultiplierIndex(std::uint64_t sets, unsigned offset_bits,
+                                       std::uint64_t multiplier)
+    : sets_(sets),
+      offset_bits_(offset_bits),
+      index_bits_(log2_exact(sets)),
+      multiplier_(multiplier) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  CANU_CHECK_MSG(multiplier % 2 == 1,
+                 "multiplier must be odd, got " << multiplier);
+}
+
+std::uint64_t OddMultiplierIndex::index(std::uint64_t addr) const noexcept {
+  const std::uint64_t idx = bit_field(addr, offset_bits_, index_bits_);
+  const std::uint64_t tag = addr >> (offset_bits_ + index_bits_);
+  return (multiplier_ * tag + idx) & (sets_ - 1);
+}
+
+std::string OddMultiplierIndex::name() const {
+  return "odd_multiplier(" + std::to_string(multiplier_) + ")";
+}
+
+}  // namespace canu

@@ -1,0 +1,36 @@
+// Odd-multiplier displacement hashing (paper §II.C, eq. (4); based on
+// Kharbutli et al. and Raghavan–Hayes RANDOM-H):
+//     index = (p * T + I) mod s
+// where T is the tag, I the traditional index field, s the set count and p an
+// odd multiplier. The paper's recommended multipliers are 9, 21, 31 and 61.
+#pragma once
+
+#include <array>
+
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class OddMultiplierIndex final : public IndexFunction {
+ public:
+  /// Multipliers recommended by the original authors (paper §II.C).
+  static constexpr std::array<std::uint64_t, 4> kRecommendedMultipliers = {
+      9, 21, 31, 61};
+
+  OddMultiplierIndex(std::uint64_t sets, unsigned offset_bits,
+                     std::uint64_t multiplier = 21);
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override;
+
+  std::uint64_t multiplier() const noexcept { return multiplier_; }
+
+ private:
+  std::uint64_t sets_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+  std::uint64_t multiplier_;
+};
+
+}  // namespace canu

@@ -1,0 +1,109 @@
+#include "indexing/patel.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace {
+
+/// C(n, k) with saturation to avoid overflow in feasibility checks.
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    // result * (n-k+i) may overflow for large windows; saturate.
+    if (result > ~std::uint64_t{0} / (n - k + i)) return ~std::uint64_t{0};
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t PatelOptimalIndex::combination_cost(
+    const Trace& trace, const std::vector<unsigned>& bits, std::uint64_t sets,
+    unsigned offset_bits) {
+  // Direct-mapped simulation: one resident line identity per set.
+  std::vector<std::uint64_t> resident(sets, ~std::uint64_t{0});
+  std::uint64_t misses = 0;
+  for (const MemRef& r : trace) {
+    const std::uint64_t set = gather_bits(r.addr, bits) & (sets - 1);
+    const std::uint64_t line = r.addr >> offset_bits;
+    if (resident[set] != line) {
+      ++misses;
+      resident[set] = line;
+    }
+  }
+  return misses;
+}
+
+PatelOptimalIndex::PatelOptimalIndex(const Trace& profile, std::uint64_t sets,
+                                     unsigned offset_bits, PatelOptions opt)
+    : sets_(sets) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  CANU_CHECK_MSG(!profile.empty(), "Patel search requires a non-empty profile");
+  const unsigned m = log2_exact(sets);
+  CANU_CHECK_MSG(opt.candidate_window >= m,
+                 "candidate window " << opt.candidate_window
+                                     << " smaller than index width " << m);
+  const std::uint64_t space = binomial(opt.candidate_window, m);
+  CANU_CHECK_MSG(space <= opt.max_combinations,
+                 "search space " << space << " exceeds cap "
+                                 << opt.max_combinations
+                                 << " (the intractability the paper cites)");
+
+  // Pre-extract line addresses once; cost evaluation then only gathers bits.
+  std::vector<std::uint64_t> lines;
+  lines.reserve(profile.size());
+  for (const MemRef& r : profile) lines.push_back(r.addr >> offset_bits);
+
+  auto cost_of = [&](const std::vector<unsigned>& rel_bits) {
+    std::vector<std::uint64_t> resident(sets, ~std::uint64_t{0});
+    std::uint64_t misses = 0;
+    for (std::uint64_t line : lines) {
+      const std::uint64_t set = gather_bits(line, rel_bits);
+      if (resident[set] != line) {
+        ++misses;
+        resident[set] = line;
+      }
+    }
+    return misses;
+  };
+
+  // Enumerate m-combinations of [0, window) in lexicographic order.
+  std::vector<unsigned> combo(m);
+  for (unsigned i = 0; i < m; ++i) combo[i] = i;
+  best_cost_ = ~std::uint64_t{0};
+  for (;;) {
+    ++searched_;
+    const std::uint64_t cost = cost_of(combo);
+    if (cost < best_cost_) {
+      best_cost_ = cost;
+      selected_bits_ = combo;
+    }
+    // Next combination.
+    int i = static_cast<int>(m) - 1;
+    while (i >= 0 &&
+           combo[static_cast<unsigned>(i)] ==
+               opt.candidate_window - m + static_cast<unsigned>(i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++combo[static_cast<unsigned>(i)];
+    for (unsigned j = static_cast<unsigned>(i) + 1; j < m; ++j) {
+      combo[j] = combo[j - 1] + 1;
+    }
+  }
+  // Rebase selected bits from line-relative to absolute address positions.
+  for (unsigned& b : selected_bits_) b += offset_bits;
+}
+
+std::uint64_t PatelOptimalIndex::index(std::uint64_t addr) const noexcept {
+  return gather_bits(addr, selected_bits_);
+}
+
+}  // namespace canu

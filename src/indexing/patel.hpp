@@ -1,0 +1,66 @@
+// Patel application-specific optimal indexing (paper §II.F; Patel et al.,
+// ICCAD 2004): exhaustively search bit combinations for the one minimizing
+// conflict misses on a given trace.
+//
+// The paper declined to evaluate this scheme at 1024 sets because the search
+// is intractable (C(32,10) ≈ 6.5e7 combinations × trace-length simulation).
+// We implement it for small caches — bench/abl_patel_optimal explores where
+// exhaustive search stops being feasible — and expose the paper's conflict-
+// pattern cost (eq. (6)) alongside direct miss-count simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "indexing/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+/// Tuning knobs for the Patel exhaustive search.
+struct PatelOptions {
+  /// Candidate bits above the offset considered by the search. The search
+  /// enumerates C(candidate_window, m) combinations; keep the window small.
+  unsigned candidate_window = 12;
+  /// Hard cap on combinations to guard against accidental blow-ups.
+  std::uint64_t max_combinations = 2'000'000;
+};
+
+class PatelOptimalIndex final : public IndexFunction {
+ public:
+
+  /// Search for the m-bit combination with the fewest direct-mapped misses
+  /// on `profile`. Throws canu::Error if the search space exceeds
+  /// opt.max_combinations.
+  PatelOptimalIndex(const Trace& profile, std::uint64_t sets,
+                    unsigned offset_bits, PatelOptions opt = PatelOptions());
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override { return "patel_optimal"; }
+
+  const std::vector<unsigned>& selected_bits() const noexcept {
+    return selected_bits_;
+  }
+  /// Miss count of the winning combination on the profiling trace.
+  std::uint64_t best_cost() const noexcept { return best_cost_; }
+  /// Number of combinations evaluated.
+  std::uint64_t combinations_searched() const noexcept { return searched_; }
+
+  /// The paper's cost (eq. (6)) of one bit combination: the number of
+  /// misses a direct-mapped cache indexed by the absolute address bits
+  /// `bits` incurs on `trace` (line identity = address >> offset_bits).
+  /// Exposed so tests can cross-check the search.
+  static std::uint64_t combination_cost(const Trace& trace,
+                                        const std::vector<unsigned>& bits,
+                                        std::uint64_t sets,
+                                        unsigned offset_bits);
+
+ private:
+  std::uint64_t sets_;
+  std::vector<unsigned> selected_bits_;
+  std::uint64_t best_cost_ = 0;
+  std::uint64_t searched_ = 0;
+};
+
+}  // namespace canu

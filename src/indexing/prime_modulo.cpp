@@ -1,0 +1,21 @@
+#include "indexing/prime_modulo.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+#include "util/prime.hpp"
+
+namespace canu {
+
+PrimeModuloIndex::PrimeModuloIndex(std::uint64_t physical_sets,
+                                   unsigned offset_bits)
+    : physical_sets_(physical_sets),
+      prime_(largest_prime_le(physical_sets)),
+      offset_bits_(offset_bits) {
+  CANU_CHECK_MSG(physical_sets >= 2, "need at least 2 sets");
+}
+
+std::uint64_t PrimeModuloIndex::index(std::uint64_t addr) const noexcept {
+  return (addr >> offset_bits_) % prime_;
+}
+
+}  // namespace canu

@@ -1,0 +1,38 @@
+// Prime-modulo hashing (paper §II.B, eq. (3); Kharbutli et al. HPCA'04):
+//     index = line_address mod p
+// where p is the largest prime <= the number of physical sets. Sets
+// [p, physical_sets) are never used — the paper's "cache fragmentation".
+#pragma once
+
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class PrimeModuloIndex final : public IndexFunction {
+ public:
+  /// `physical_sets` is the geometric set count; the modulus is the largest
+  /// prime <= physical_sets.
+  PrimeModuloIndex(std::uint64_t physical_sets, unsigned offset_bits);
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+
+  /// Number of sets actually reachable (= the prime modulus).
+  std::uint64_t sets() const noexcept override { return prime_; }
+  std::string name() const override { return "prime_modulo"; }
+
+  std::uint64_t prime() const noexcept { return prime_; }
+  std::uint64_t physical_sets() const noexcept { return physical_sets_; }
+
+  /// Fraction of the physical sets left unused (fragmentation).
+  double fragmentation() const noexcept {
+    return 1.0 - static_cast<double>(prime_) /
+                     static_cast<double>(physical_sets_);
+  }
+
+ private:
+  std::uint64_t physical_sets_;
+  std::uint64_t prime_;
+  unsigned offset_bits_;
+};
+
+}  // namespace canu

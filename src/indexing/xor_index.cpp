@@ -1,0 +1,20 @@
+#include "indexing/xor_index.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+XorIndex::XorIndex(std::uint64_t sets, unsigned offset_bits)
+    : sets_(sets), offset_bits_(offset_bits), index_bits_(log2_exact(sets)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+}
+
+std::uint64_t XorIndex::index(std::uint64_t addr) const noexcept {
+  const std::uint64_t idx = bit_field(addr, offset_bits_, index_bits_);
+  const std::uint64_t tag = bit_field(addr, offset_bits_ + index_bits_,
+                                      index_bits_);
+  return (idx ^ tag) & (sets_ - 1);
+}
+
+}  // namespace canu

@@ -1,0 +1,25 @@
+// Exclusive-OR hashing (paper §II.D, eq. (5); Kharbutli et al. HPCA'04):
+//     index = (t XOR I) mod s
+// where I is the traditional index field and t is the low `m` bits of the
+// tag (the number of tag bits used equals the number of index bits).
+#pragma once
+
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+class XorIndex final : public IndexFunction {
+ public:
+  XorIndex(std::uint64_t sets, unsigned offset_bits);
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override;
+  std::uint64_t sets() const noexcept override { return sets_; }
+  std::string name() const override { return "xor"; }
+
+ private:
+  std::uint64_t sets_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+};
+
+}  // namespace canu

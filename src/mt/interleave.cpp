@@ -1,0 +1,52 @@
+#include "mt/interleave.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace canu {
+
+ThreadedTrace interleave_round_robin(std::span<const Trace> traces,
+                                     std::size_t chunk) {
+  ThreadedTrace out;
+  std::size_t total = 0;
+  for (const Trace& t : traces) total += t.size();
+  out.reserve(total);
+
+  std::vector<std::size_t> pos(traces.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      for (std::size_t c = 0; c < chunk && pos[t] < traces[t].size(); ++c) {
+        out.push_back({traces[t][pos[t]++], static_cast<std::uint32_t>(t)});
+        progressed = true;
+      }
+    }
+  }
+  return out;
+}
+
+ThreadedTrace interleave_random(std::span<const Trace> traces,
+                                std::uint64_t seed) {
+  ThreadedTrace out;
+  std::size_t total = 0;
+  for (const Trace& t : traces) total += t.size();
+  out.reserve(total);
+
+  Xoshiro256 rng(seed);
+  std::vector<std::size_t> pos(traces.size(), 0);
+  std::vector<std::size_t> live(traces.size());
+  std::iota(live.begin(), live.end(), 0);
+  while (!live.empty()) {
+    const std::size_t pick = rng.below(live.size());
+    const std::size_t t = live[pick];
+    out.push_back({traces[t][pos[t]++], static_cast<std::uint32_t>(t)});
+    if (pos[t] >= traces[t].size()) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  return out;
+}
+
+}  // namespace canu

@@ -1,0 +1,36 @@
+// Thread-trace interleaving for SMT-style simulations (paper §IV.E).
+//
+// The paper's multithreaded experiments (Figures 13/14) run 2-4 concurrent
+// threads through a shared L1. We reproduce that by interleaving the
+// per-thread traces into one stream of (thread id, reference) pairs. The
+// threads' address spaces must be disjoint (WorkloadParams::address_base),
+// matching distinct processes co-scheduled on an SMT core.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct ThreadedRef {
+  MemRef ref;
+  std::uint32_t tid = 0;
+};
+
+using ThreadedTrace = std::vector<ThreadedRef>;
+
+/// Round-robin interleave with `chunk` consecutive references per turn
+/// (chunk=1 models perfectly fair fetch interleaving; larger chunks model
+/// burstier SMT scheduling). Threads that run out simply drop out.
+ThreadedTrace interleave_round_robin(std::span<const Trace> traces,
+                                     std::size_t chunk = 1);
+
+/// Stochastic interleave: at each step a uniformly random live thread (from
+/// a deterministic RNG) issues its next reference.
+ThreadedTrace interleave_random(std::span<const Trace> traces,
+                                std::uint64_t seed = 7);
+
+}  // namespace canu

@@ -1,0 +1,90 @@
+#include "mt/partitioned_adaptive.hpp"
+
+#include "cache/set_assoc_cache.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+PartitionIndex::PartitionIndex(std::uint64_t total_sets, unsigned offset_bits,
+                               std::uint32_t threads)
+    : total_sets_(total_sets),
+      partition_sets_(total_sets / threads),
+      offset_bits_(offset_bits),
+      threads_(threads) {
+  CANU_CHECK_MSG(threads >= 1 && is_pow2(threads),
+                 "thread count must be a power of two: " << threads);
+  CANU_CHECK_MSG(total_sets % threads == 0,
+                 "set count " << total_sets << " not divisible by " << threads);
+  CANU_CHECK_MSG(is_pow2(partition_sets_),
+                 "partition size must be a power of two");
+}
+
+void PartitionIndex::set_thread(std::uint32_t tid) const {
+  CANU_CHECK_MSG(tid < threads_, "thread id out of range: " << tid);
+  current_ = tid;
+}
+
+std::string PartitionIndex::name() const {
+  return "partition(x" + std::to_string(threads_) + ")";
+}
+
+PartitionedAdaptiveCache::PartitionedAdaptiveCache(CacheGeometry geometry,
+                                                   std::uint32_t threads,
+                                                   AdaptiveConfig config)
+    : index_(std::make_shared<PartitionIndex>(geometry.sets(),
+                                              geometry.offset_bits(), threads)),
+      core_(std::make_unique<AdaptiveCache>(geometry, config, index_)),
+      thread_stats_(threads) {}
+
+AccessOutcome PartitionedAdaptiveCache::access(std::uint32_t tid,
+                                               const MemRef& ref) {
+  index_->set_thread(tid);
+  const AccessOutcome out = core_->access(ref.addr, ref.type);
+  ThreadStats& ts = thread_stats_.at(tid);
+  ++ts.accesses;
+  if (out.hit) ++ts.hits;
+  else ++ts.misses;
+  return out;
+}
+
+void PartitionedAdaptiveCache::run(const ThreadedTrace& stream) {
+  for (const ThreadedRef& r : stream) access(r.tid, r.ref);
+}
+
+void PartitionedAdaptiveCache::flush() {
+  core_->flush();
+  for (ThreadStats& ts : thread_stats_) ts = ThreadStats{};
+}
+
+PartitionedDirectCache::PartitionedDirectCache(CacheGeometry geometry,
+                                               std::uint32_t threads)
+    : index_(std::make_shared<PartitionIndex>(geometry.sets(),
+                                              geometry.offset_bits(), threads)),
+      model_(std::make_unique<SetAssocCache>(geometry, index_)),
+      thread_stats_(threads) {}
+
+AccessOutcome PartitionedDirectCache::access(std::uint32_t tid,
+                                             const MemRef& ref) {
+  index_->set_thread(tid);
+  const AccessOutcome out = model_->access(ref.addr, ref.type);
+  ThreadStats& ts = thread_stats_.at(tid);
+  ++ts.accesses;
+  if (out.hit) ++ts.hits;
+  else ++ts.misses;
+  return out;
+}
+
+void PartitionedDirectCache::run(const ThreadedTrace& stream) {
+  for (const ThreadedRef& r : stream) access(r.tid, r.ref);
+}
+
+const CacheStats& PartitionedDirectCache::stats() const noexcept {
+  return model_->stats();
+}
+
+void PartitionedDirectCache::flush() {
+  model_->flush();
+  for (ThreadStats& ts : thread_stats_) ts = ThreadStats{};
+}
+
+}  // namespace canu

@@ -1,0 +1,101 @@
+// Partitioned adaptive cache for multithreaded workloads (paper §IV.E,
+// Figure 14).
+//
+// The cache is split equally among the threads: thread t's primary index is
+// confined to its own partition (partition base + modulo within the
+// partition). On top of the static split sit Peir-style SHT and OUT tables
+// that span the *whole* cache, so a block displaced from a hot set in one
+// thread's partition can be preserved in a lightly used set of another
+// partition — "combining the benefits of thread isolation with the ability
+// to divert traffic away from frequently accessed sets" (paper §V).
+//
+// Implementation: an AdaptiveCache whose index function is a PartitionIndex
+// (thread-aware decorator); the adaptive machinery (SHT/OUT/relocation) is
+// reused unchanged, and its find-disposable-set scan naturally crosses
+// partition boundaries.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "assoc/adaptive_cache.hpp"
+#include "cache/config.hpp"
+#include "mt/interleave.hpp"
+#include "mt/smt_cache.hpp"
+#include "util/bitops.hpp"
+
+namespace canu {
+
+/// Thread-aware index: set = tid * partition_size + (line mod partition).
+class PartitionIndex final : public IndexFunction {
+ public:
+  PartitionIndex(std::uint64_t total_sets, unsigned offset_bits,
+                 std::uint32_t threads);
+
+  void set_thread(std::uint32_t tid) const;
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override {
+    return static_cast<std::uint64_t>(current_) * partition_sets_ +
+           ((addr >> offset_bits_) & (partition_sets_ - 1));
+  }
+  std::uint64_t sets() const noexcept override { return total_sets_; }
+  std::string name() const override;
+
+  std::uint64_t partition_sets() const noexcept { return partition_sets_; }
+
+ private:
+  std::uint64_t total_sets_;
+  std::uint64_t partition_sets_;
+  unsigned offset_bits_;
+  std::uint32_t threads_;
+  mutable std::uint32_t current_ = 0;
+};
+
+class PartitionedAdaptiveCache {
+ public:
+  /// `threads` must be a power of two dividing the set count.
+  PartitionedAdaptiveCache(CacheGeometry geometry, std::uint32_t threads,
+                           AdaptiveConfig config = AdaptiveConfig());
+
+  AccessOutcome access(std::uint32_t tid, const MemRef& ref);
+  void run(const ThreadedTrace& stream);
+
+  const CacheStats& stats() const noexcept { return core_->stats(); }
+  std::span<const SetStats> set_stats() const noexcept {
+    return core_->set_stats();
+  }
+  const ThreadStats& thread_stats(std::uint32_t tid) const {
+    return thread_stats_.at(tid);
+  }
+  std::size_t threads() const noexcept { return thread_stats_.size(); }
+  AdaptiveCache& core() noexcept { return *core_; }
+  void flush();
+
+ private:
+  std::shared_ptr<PartitionIndex> index_;
+  std::unique_ptr<AdaptiveCache> core_;
+  std::vector<ThreadStats> thread_stats_;
+};
+
+/// Baseline for Figure 14: the same static partitioning with no SHT/OUT
+/// assistance (a plain direct-mapped cache under the partition index).
+class PartitionedDirectCache {
+ public:
+  PartitionedDirectCache(CacheGeometry geometry, std::uint32_t threads);
+
+  AccessOutcome access(std::uint32_t tid, const MemRef& ref);
+  void run(const ThreadedTrace& stream);
+
+  const CacheStats& stats() const noexcept;
+  const ThreadStats& thread_stats(std::uint32_t tid) const {
+    return thread_stats_.at(tid);
+  }
+  void flush();
+
+ private:
+  std::shared_ptr<PartitionIndex> index_;
+  std::unique_ptr<CacheModel> model_;
+  std::vector<ThreadStats> thread_stats_;
+};
+
+}  // namespace canu

@@ -1,0 +1,63 @@
+// PerThreadIndex: dispatches to a different index function per hardware
+// thread — the mechanism behind the paper's "multiple indexing schemes
+// within a single cache system" proposal (Figure 5 / §IV.E).
+//
+// CacheModel::access takes only an address, so the SMT driver selects the
+// active thread on this object before each access. The simulation is
+// single-threaded (one reference at a time, like the hardware pipeline), so
+// the mutable current-thread field is safe; it is what the thread-id wires
+// into the index-generation logic would be in hardware.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "indexing/index_function.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+class PerThreadIndex final : public IndexFunction {
+ public:
+  explicit PerThreadIndex(std::vector<IndexFunctionPtr> per_thread)
+      : fns_(std::move(per_thread)) {
+    CANU_CHECK_MSG(!fns_.empty(), "need at least one thread index function");
+    for (const auto& fn : fns_) {
+      CANU_CHECK(fn != nullptr);
+      // Functions may address fewer sets than the physical cache (prime
+      // modulo), but none may address more than the smallest declared.
+      CANU_CHECK_MSG(fn->sets() <= fns_.front()->sets() * 2 &&
+                         fns_.front()->sets() <= fn->sets() * 2,
+                     "per-thread index functions must target the same cache");
+      max_sets_ = std::max(max_sets_, fn->sets());
+    }
+  }
+
+  /// Select the thread whose function handles subsequent index() calls.
+  void set_thread(std::uint32_t tid) const {
+    CANU_CHECK_MSG(tid < fns_.size(), "thread id out of range: " << tid);
+    current_ = tid;
+  }
+
+  std::uint64_t index(std::uint64_t addr) const noexcept override {
+    return fns_[current_]->index(addr);
+  }
+  std::uint64_t sets() const noexcept override { return max_sets_; }
+  std::string name() const override {
+    std::string n = "per_thread{";
+    for (std::size_t i = 0; i < fns_.size(); ++i) {
+      if (i) n += ",";
+      n += fns_[i]->name();
+    }
+    return n + "}";
+  }
+
+  std::size_t threads() const noexcept { return fns_.size(); }
+
+ private:
+  std::vector<IndexFunctionPtr> fns_;
+  std::uint64_t max_sets_ = 0;
+  mutable std::uint32_t current_ = 0;
+};
+
+}  // namespace canu

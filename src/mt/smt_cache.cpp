@@ -1,0 +1,56 @@
+#include "mt/smt_cache.hpp"
+
+#include "cache/set_assoc_cache.hpp"
+#include "sim/amat.hpp"
+
+namespace canu {
+
+SmtSharedCache::SmtSharedCache(CacheGeometry geometry,
+                               std::vector<IndexFunctionPtr> per_thread_fns)
+    : index_(std::make_shared<PerThreadIndex>(std::move(per_thread_fns))),
+      thread_stats_(index_->threads()) {
+  model_ = std::make_unique<SetAssocCache>(geometry, index_);
+}
+
+AccessOutcome SmtSharedCache::access(std::uint32_t tid, const MemRef& ref) {
+  index_->set_thread(tid);
+  const AccessOutcome out = model_->access(ref.addr, ref.type);
+  ThreadStats& ts = thread_stats_.at(tid);
+  ++ts.accesses;
+  if (out.hit) ++ts.hits;
+  else ++ts.misses;
+  return out;
+}
+
+void SmtSharedCache::run(const ThreadedTrace& stream) {
+  for (const ThreadedRef& r : stream) access(r.tid, r.ref);
+}
+
+void SmtSharedCache::flush() {
+  model_->flush();
+  for (ThreadStats& ts : thread_stats_) ts = ThreadStats{};
+}
+
+SmtRunResult run_smt(SmtSharedCache& cache, const ThreadedTrace& stream,
+                     const CacheGeometry& l2_geometry,
+                     const TimingModel& timing) {
+  cache.flush();
+  SetAssocCache l2(l2_geometry);
+  for (const ThreadedRef& r : stream) {
+    const AccessOutcome out = cache.access(r.tid, r.ref);
+    if (!out.hit) l2.access(r.ref.addr, r.ref.type);
+  }
+  SmtRunResult result;
+  result.l1 = cache.stats();
+  result.l2 = l2.stats();
+  result.per_thread.reserve(cache.threads());
+  for (std::size_t t = 0; t < cache.threads(); ++t) {
+    result.per_thread.push_back(cache.thread_stats(static_cast<std::uint32_t>(t)));
+  }
+  result.miss_penalty = miss_penalty_from_l2(result.l2, timing);
+  result.amat = amat_conventional(result.l1.miss_rate(), result.miss_penalty,
+                                  timing.l1_hit_cycles);
+  return result;
+}
+
+}  // namespace canu

@@ -1,0 +1,77 @@
+// SmtSharedCache: a shared L1 driven by an interleaved multi-thread stream,
+// where each thread may use its own index function (paper §IV.E, Figure 13).
+//
+// The wrapper owns the underlying cache model and a PerThreadIndex; each
+// access first selects the issuing thread's index function, then performs a
+// normal lookup. Per-thread hit/miss statistics are accumulated alongside
+// the model's aggregate counters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "mt/interleave.hpp"
+#include "mt/per_thread_index.hpp"
+
+namespace canu {
+
+struct ThreadStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class SmtSharedCache {
+ public:
+  /// Build a direct-mapped shared cache of `geometry` where thread t indexes
+  /// through `per_thread_fns[t]`.
+  SmtSharedCache(CacheGeometry geometry,
+                 std::vector<IndexFunctionPtr> per_thread_fns);
+
+  /// Simulate one reference from thread `tid`.
+  AccessOutcome access(std::uint32_t tid, const MemRef& ref);
+
+  /// Replay a whole interleaved stream.
+  void run(const ThreadedTrace& stream);
+
+  const CacheStats& stats() const noexcept { return model_->stats(); }
+  std::span<const SetStats> set_stats() const noexcept {
+    return model_->set_stats();
+  }
+  const ThreadStats& thread_stats(std::uint32_t tid) const {
+    return thread_stats_.at(tid);
+  }
+  std::size_t threads() const noexcept { return thread_stats_.size(); }
+  CacheModel& model() noexcept { return *model_; }
+  void flush();
+
+ private:
+  std::shared_ptr<PerThreadIndex> index_;
+  std::unique_ptr<CacheModel> model_;
+  std::vector<ThreadStats> thread_stats_;
+};
+
+/// Result of a full SMT run through a two-level hierarchy.
+struct SmtRunResult {
+  CacheStats l1;
+  CacheStats l2;
+  std::vector<ThreadStats> per_thread;
+  double miss_penalty = 0;
+  double amat = 0;  ///< conventional AMAT over the shared stream
+};
+
+/// Drive an interleaved stream through a shared L1 (per-thread indexing)
+/// plus a unified L2, mirroring sim/runner.hpp for the SMT case.
+SmtRunResult run_smt(SmtSharedCache& cache, const ThreadedTrace& stream,
+                     const CacheGeometry& l2_geometry,
+                     const TimingModel& timing = TimingModel());
+
+}  // namespace canu

@@ -1,0 +1,79 @@
+#include "mt/way_partitioned.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+WayPartitionedCache::WayPartitionedCache(CacheGeometry geometry,
+                                         std::uint32_t threads)
+    : geometry_(geometry),
+      threads_(threads),
+      ways_per_thread_(geometry.ways / threads),
+      lines_(geometry.lines()),
+      thread_stats_(threads) {
+  geometry_.validate();
+  CANU_CHECK_MSG(threads >= 1, "need at least one thread");
+  CANU_CHECK_MSG(geometry_.ways % threads == 0,
+                 "ways " << geometry_.ways << " not divisible by " << threads
+                         << " threads");
+}
+
+AccessOutcome WayPartitionedCache::access(std::uint32_t tid,
+                                          const MemRef& ref) {
+  CANU_CHECK_MSG(tid < threads_, "thread id out of range: " << tid);
+  const std::uint64_t line_addr = ref.addr >> geometry_.offset_bits();
+  const std::uint64_t set =
+      (ref.addr >> geometry_.offset_bits()) & (geometry_.sets() - 1);
+  Line* ways = lines_.data() + set * geometry_.ways;
+  ++clock_;
+  ++stats_.accesses;
+  ThreadStats& ts = thread_stats_[tid];
+  ++ts.accesses;
+  if (ref.type == AccessType::kWrite) ++stats_.write_accesses;
+
+  // Lookup across ALL ways (shared read path).
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    if (ways[w].valid && ways[w].line_addr == line_addr) {
+      ways[w].stamp = clock_;
+      ++stats_.hits;
+      ++stats_.primary_hits;
+      ++ts.hits;
+      stats_.lookup_cycles += 1;
+      return {true, 1, 1};
+    }
+  }
+
+  // Miss: allocate only within this thread's way slice.
+  ++stats_.misses;
+  ++ts.misses;
+  const unsigned base = tid * ways_per_thread_;
+  unsigned slot = base;
+  bool found_invalid = false;
+  for (unsigned w = base; w < base + ways_per_thread_; ++w) {
+    if (!ways[w].valid) {
+      slot = w;
+      found_invalid = true;
+      break;
+    }
+    if (ways[w].stamp < ways[slot].stamp) slot = w;
+  }
+  if (!found_invalid && ways[slot].valid) ++stats_.evictions;
+  ways[slot] = Line{line_addr, clock_, true};
+  stats_.lookup_cycles += 1;
+  return {false, 1, 1};
+}
+
+void WayPartitionedCache::run(const ThreadedTrace& stream) {
+  for (const ThreadedRef& r : stream) access(r.tid, r.ref);
+}
+
+void WayPartitionedCache::flush() {
+  stats_ = CacheStats{};
+  for (ThreadStats& ts : thread_stats_) ts = ThreadStats{};
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  clock_ = 0;
+}
+
+}  // namespace canu

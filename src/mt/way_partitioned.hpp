@@ -1,0 +1,53 @@
+// Way-partitioned shared cache — the standard alternative to the paper's
+// set-partitioning (Figure 14): every thread can look up the whole cache,
+// but a thread may only *allocate* into its assigned ways. Hits are
+// unrestricted, so read-shared lines would not be duplicated; evictions
+// pick the LRU line among the issuing thread's own ways.
+//
+// With 2 threads on a 2-way cache this gives each thread a private
+// direct-mapped half interleaved at way granularity — the same capacity
+// split as set partitioning but with full index width per thread, which
+// preserves each thread's intra-partition set balance.
+#pragma once
+
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "mt/interleave.hpp"
+#include "mt/smt_cache.hpp"
+
+namespace canu {
+
+class WayPartitionedCache {
+ public:
+  /// `geometry.ways` must be divisible by `threads`.
+  WayPartitionedCache(CacheGeometry geometry, std::uint32_t threads);
+
+  AccessOutcome access(std::uint32_t tid, const MemRef& ref);
+  void run(const ThreadedTrace& stream);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  const ThreadStats& thread_stats(std::uint32_t tid) const {
+    return thread_stats_.at(tid);
+  }
+  std::uint32_t ways_per_thread() const noexcept { return ways_per_thread_; }
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t line_addr = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  std::uint32_t threads_;
+  std::uint32_t ways_per_thread_;
+  std::vector<Line> lines_;  ///< set-major, ways contiguous
+  std::vector<ThreadStats> thread_stats_;
+  CacheStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace canu

@@ -1,0 +1,32 @@
+#include "sim/amat.hpp"
+
+namespace canu {
+
+double amat_conventional(double miss_rate, double miss_penalty,
+                         double hit_time) {
+  return hit_time + miss_rate * miss_penalty;
+}
+
+double amat_adaptive(double fraction_direct_hits, double miss_rate,
+                     double miss_penalty, const TimingModel& t) {
+  return fraction_direct_hits * t.l1_hit_cycles +
+         (1.0 - fraction_direct_hits) * t.out_hit_cycles +
+         miss_rate * miss_penalty;
+}
+
+double amat_column_associative(double fraction_rehash_hits,
+                               double fraction_rehash_misses,
+                               double miss_rate, double miss_penalty,
+                               const TimingModel& t) {
+  return fraction_rehash_hits * t.rehash_hit_cycles +
+         (1.0 - fraction_rehash_hits) * t.l1_hit_cycles +
+         fraction_rehash_misses * miss_rate * (miss_penalty + 1.0) +
+         (1.0 - fraction_rehash_misses) * miss_rate * miss_penalty;
+}
+
+double miss_penalty_from_l2(const CacheStats& l2, const TimingModel& t) {
+  return static_cast<double>(t.l2_hit_cycles) +
+         l2.miss_rate() * static_cast<double>(t.memory_cycles);
+}
+
+}  // namespace canu

@@ -1,0 +1,42 @@
+// Average memory access time models (paper §IV.B, formulas (8) and (9)).
+//
+// Interpretation (paper §IV.B: "the hit-time is split into two fractions,
+// one for direct hit to the cache and the other for hits in the
+// OUT-directory"):
+//   * FractionOfDirectHits / FractionOfRehashHits are fractions of *hits* —
+//     they split the average hit time between primary and alternate
+//     locations; misses contribute only through the MissPenalty terms;
+//   * FractionOfRehashMisses is a fraction of *misses* (those that probed
+//     the alternate location and therefore pay MissPenalty + 1).
+#pragma once
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+
+namespace canu {
+
+/// Conventional cache: AMAT = hit_time + miss_rate * penalty.
+double amat_conventional(double miss_rate, double miss_penalty,
+                         double hit_time = 1.0);
+
+/// Adaptive cache, formula (8):
+/// AMAT = fDirect*1 + (1-fDirect)*3 + missRate*penalty,
+/// with fDirect = primary hits / hits (hit-time split).
+double amat_adaptive(double fraction_direct_hits, double miss_rate,
+                     double miss_penalty, const TimingModel& t = TimingModel());
+
+/// Column-associative cache, formula (9):
+/// AMAT = fRehashHit*2 + (1-fRehashHit)*1
+///      + fRehashMiss*missRate*(penalty+1) + (1-fRehashMiss)*missRate*penalty
+/// with fRehashHit over hits and fRehashMiss over misses.
+double amat_column_associative(double fraction_rehash_hits,
+                               double fraction_rehash_misses,
+                               double miss_rate, double miss_penalty,
+                               const TimingModel& t = TimingModel());
+
+/// Miss penalty implied by an L2's behaviour for this run:
+/// L2 hit latency + L2 miss rate * memory latency.
+double miss_penalty_from_l2(const CacheStats& l2,
+                            const TimingModel& t = TimingModel());
+
+}  // namespace canu

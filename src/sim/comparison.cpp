@@ -1,0 +1,88 @@
+#include "sim/comparison.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace canu {
+
+ComparisonTable::ComparisonTable(std::string value_label)
+    : value_label_(std::move(value_label)) {}
+
+void ComparisonTable::set(const std::string& row, const std::string& column,
+                          double value) {
+  if (std::find(rows_.begin(), rows_.end(), row) == rows_.end()) {
+    rows_.push_back(row);
+  }
+  if (std::find(columns_.begin(), columns_.end(), column) == columns_.end()) {
+    columns_.push_back(column);
+  }
+  cells_[{row, column}] = value;
+}
+
+std::optional<double> ComparisonTable::get(const std::string& row,
+                                           const std::string& column) const {
+  auto it = cells_.find({row, column});
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ComparisonTable::column_average(const std::string& column) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const std::string& row : rows_) {
+    const auto v = get(row, column);
+    if (v && std::isfinite(*v)) {
+      sum += *v;
+      ++n;
+    }
+  }
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum / static_cast<double>(n);
+}
+
+void ComparisonTable::print(std::ostream& os, int precision) const {
+  os << value_label_ << '\n';
+  TextTable table;
+  std::vector<std::string> header = {"benchmark"};
+  header.insert(header.end(), columns_.begin(), columns_.end());
+  table.set_header(std::move(header));
+  for (const std::string& row : rows_) {
+    std::vector<std::string> cells = {row};
+    for (const std::string& col : columns_) {
+      const auto v = get(row, col);
+      cells.push_back(v ? TextTable::num(*v, precision) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::vector<std::string> avg = {"Average"};
+  for (const std::string& col : columns_) {
+    avg.push_back(TextTable::num(column_average(col), precision));
+  }
+  table.add_row(std::move(avg));
+  table.print(os);
+}
+
+void ComparisonTable::write_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  std::vector<std::string> header = {"benchmark"};
+  header.insert(header.end(), columns_.begin(), columns_.end());
+  csv.write_row(header);
+  for (const std::string& row : rows_) {
+    std::vector<std::string> cells = {row};
+    for (const std::string& col : columns_) {
+      const auto v = get(row, col);
+      std::ostringstream num;
+      if (v) num << *v;
+      cells.push_back(num.str());
+    }
+    csv.write_row(cells);
+  }
+}
+
+}  // namespace canu

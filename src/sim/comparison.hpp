@@ -1,0 +1,46 @@
+// ComparisonTable: the workloads × schemes result grid every figure bench
+// prints — including the trailing "Average" row the paper's figures carry.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace canu {
+
+class ComparisonTable {
+ public:
+  /// `value_label` names the metric (e.g. "% reduction in miss-rate").
+  explicit ComparisonTable(std::string value_label);
+
+  /// Record one cell; rows and columns are created on first use, in
+  /// insertion order.
+  void set(const std::string& row, const std::string& column, double value);
+
+  std::optional<double> get(const std::string& row,
+                            const std::string& column) const;
+
+  /// Mean over rows that have a (finite) value in this column.
+  double column_average(const std::string& column) const;
+
+  const std::vector<std::string>& rows() const noexcept { return rows_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::string& value_label() const noexcept { return value_label_; }
+
+  /// Render as an aligned text table with an Average row appended.
+  void print(std::ostream& os, int precision = 2) const;
+
+  /// Write as CSV (same layout, unrounded values).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string value_label_;
+  std::vector<std::string> rows_;
+  std::vector<std::string> columns_;
+  std::map<std::pair<std::string, std::string>, double> cells_;
+};
+
+}  // namespace canu

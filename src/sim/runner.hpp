@@ -1,0 +1,46 @@
+// Trace runner: drives a trace through an L1 model + unified L2 hierarchy
+// and packages everything the figure benches need — miss rates, the
+// scheme-appropriate AMAT, and the per-set uniformity analysis.
+#pragma once
+
+#include <string>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "stats/uniformity.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct RunConfig {
+  CacheGeometry l2_geometry = CacheGeometry::paper_l2();
+  TimingModel timing;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string scheme;       ///< L1 model name
+  CacheStats l1;
+  CacheStats l2;
+  double miss_penalty = 0;  ///< derived from L2 behaviour (sim/amat.hpp)
+  double amat = 0;          ///< scheme-appropriate analytic AMAT
+  double measured_amat = 0; ///< cycle-accounting cross-check
+  UniformityReport uniformity;
+
+  double miss_rate() const noexcept { return l1.miss_rate(); }
+};
+
+/// Compute the analytic AMAT for `model` given a miss penalty, dispatching
+/// to the paper's formula (8) for the adaptive cache, formula (9) for the
+/// column-associative cache, and the conventional formula otherwise (the
+/// victim cache reuses the column formula shape: swap hits cost 2 cycles).
+double scheme_amat(const CacheModel& model, double miss_penalty,
+                   const TimingModel& timing = TimingModel());
+
+/// Run `trace` through `l1` backed by a fresh L2; fills every RunResult
+/// field. The L1 is flushed first, so results are independent of prior runs.
+RunResult run_trace(CacheModel& l1, const Trace& trace,
+                    const RunConfig& config = RunConfig());
+
+}  // namespace canu

@@ -1,0 +1,55 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace canu {
+
+Moments compute_moments(std::span<const double> values) {
+  Moments m;
+  m.n = values.size();
+  if (m.n == 0) return m;
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  m.mean = sum / static_cast<double>(m.n);
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : values) {
+    const double d = v - m.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  const double n = static_cast<double>(m.n);
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  m.variance = m2;
+  m.stddev = std::sqrt(m2);
+  if (m2 > 0.0) {
+    m.skewness = m3 / (m2 * m.stddev);
+    m.kurtosis = m4 / (m2 * m2);
+    m.excess_kurtosis = m.kurtosis - 3.0;
+  }
+  return m;
+}
+
+Moments compute_moments(std::span<const std::uint64_t> counts) {
+  std::vector<double> values(counts.begin(), counts.end());
+  return compute_moments(values);
+}
+
+double percent_increase(double baseline, double value) {
+  if (baseline == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * (value - baseline) / baseline;
+}
+
+double percent_reduction(double baseline, double value) {
+  if (baseline == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * (baseline - value) / baseline;
+}
+
+}  // namespace canu

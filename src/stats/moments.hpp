@@ -1,0 +1,41 @@
+// Central moments of per-set count distributions (paper §IV.D).
+//
+// The paper measures uniformity by treating the per-set miss counts as a
+// distribution and computing its skewness (third standardized moment) and
+// kurtosis (fourth standardized moment). A perfectly uniform cache has zero
+// skew and minimal kurtosis; sharp peaks (a few heavily-missed sets) drive
+// both up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace canu {
+
+struct Moments {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double stddev = 0.0;
+  double skewness = 0.0;  ///< m3 / m2^(3/2); 0 for degenerate distributions
+  double kurtosis = 0.0;  ///< m4 / m2^2 (Pearson; normal = 3)
+  double excess_kurtosis = 0.0;  ///< kurtosis - 3
+};
+
+/// Population moments of `values`.
+Moments compute_moments(std::span<const double> values);
+
+/// Convenience overload for count data.
+Moments compute_moments(std::span<const std::uint64_t> counts);
+
+/// Percent change from `baseline` to `value`: 100*(value-baseline)/baseline.
+/// Used for the paper's "% increase in kurtosis/skewness" figures. Returns
+/// NaN if baseline is 0 (reported as "n/a" by the tables).
+double percent_increase(double baseline, double value);
+
+/// Percent reduction from `baseline` to `value`:
+/// 100*(baseline-value)/baseline. Used for the "% reduction in miss-rate"
+/// and "% reduction in AMAT" figures. Returns NaN if baseline is 0.
+double percent_reduction(double baseline, double value);
+
+}  // namespace canu

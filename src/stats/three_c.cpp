@@ -1,0 +1,49 @@
+#include "stats/three_c.hpp"
+
+#include <unordered_set>
+
+#include "cache/set_assoc_cache.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+ThreeCReport classify_misses(CacheModel& model, const Trace& trace,
+                             const CacheGeometry& capacity_geometry) {
+  capacity_geometry.validate();
+  CacheGeometry full = capacity_geometry;
+  full.ways = static_cast<unsigned>(capacity_geometry.lines());
+  full.validate();
+  CANU_CHECK_MSG(full.sets() == 1,
+                 "capacity reference must be fully associative");
+
+  model.flush();
+  SetAssocCache reference(full);  // fully-associative LRU, same capacity
+  std::unordered_set<std::uint64_t> seen_lines;
+  seen_lines.reserve(trace.size() / 8 + 16);
+  const unsigned offset_bits = capacity_geometry.offset_bits();
+
+  ThreeCReport report;
+  for (const MemRef& r : trace) {
+    ++report.accesses;
+    const std::uint64_t line = r.addr >> offset_bits;
+    const bool first_touch = seen_lines.insert(line).second;
+    const bool full_miss = !reference.access(r.addr, r.type).hit;
+    const bool model_miss = !model.access(r.addr, r.type).hit;
+    if (model_miss) ++report.total_misses;
+    if (first_touch) {
+      ++report.compulsory;
+    } else if (full_miss) {
+      ++report.capacity;
+    }
+  }
+  report.conflict = static_cast<std::int64_t>(report.total_misses) -
+                    static_cast<std::int64_t>(report.compulsory) -
+                    static_cast<std::int64_t>(report.capacity);
+  return report;
+}
+
+ThreeCReport classify_misses_paper_l1(CacheModel& model, const Trace& trace) {
+  return classify_misses(model, trace, CacheGeometry::paper_l1());
+}
+
+}  // namespace canu

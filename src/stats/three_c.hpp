@@ -1,0 +1,54 @@
+// 3C miss classification (Hill): compulsory / capacity / conflict.
+//
+// The paper's techniques all target *conflict* misses — the misses a
+// direct-mapped or low-associative placement causes beyond what a
+// fully-associative cache of the same capacity would suffer. This module
+// decomposes a model's misses accordingly:
+//
+//   compulsory = first-ever reference to a line (infinite cache misses)
+//   capacity   = additional misses of a fully-associative LRU cache of the
+//                same capacity
+//   conflict   = the model's misses beyond compulsory + capacity
+//
+// Conflict can be negative for schemes that beat fully-associative LRU on a
+// trace (e.g. via OPT-like relocation or lucky hashing); the report keeps
+// the signed value, as the literature does.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_model.hpp"
+#include "cache/config.hpp"
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct ThreeCReport {
+  std::uint64_t accesses = 0;
+  std::uint64_t total_misses = 0;       ///< of the model under study
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::int64_t conflict = 0;            ///< signed (see header comment)
+
+  double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(total_misses) /
+                               static_cast<double>(accesses);
+  }
+  double conflict_fraction() const noexcept {
+    return total_misses == 0 ? 0.0
+                             : static_cast<double>(conflict) /
+                                   static_cast<double>(total_misses);
+  }
+};
+
+/// Classify the misses a (freshly flushed) `model` incurs on `trace`.
+/// `capacity_geometry` describes the equal-capacity fully-associative
+/// reference (ways = lines, one set). The model is flushed first.
+ThreeCReport classify_misses(CacheModel& model, const Trace& trace,
+                             const CacheGeometry& capacity_geometry);
+
+/// Convenience: classify against the paper's 32 KB L1 capacity.
+ThreeCReport classify_misses_paper_l1(CacheModel& model, const Trace& trace);
+
+}  // namespace canu

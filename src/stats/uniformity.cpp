@@ -1,0 +1,53 @@
+#include "stats/uniformity.hpp"
+
+namespace canu {
+
+std::vector<std::uint64_t> extract_counts(std::span<const SetStats> set_stats,
+                                          SetCounter counter) {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(set_stats.size());
+  for (const SetStats& s : set_stats) {
+    switch (counter) {
+      case SetCounter::kAccesses: counts.push_back(s.accesses); break;
+      case SetCounter::kHits: counts.push_back(s.hits); break;
+      case SetCounter::kMisses: counts.push_back(s.misses); break;
+    }
+  }
+  return counts;
+}
+
+UniformityReport analyse_uniformity(std::span<const SetStats> set_stats) {
+  UniformityReport r;
+  r.sets = set_stats.size();
+  if (r.sets == 0) return r;
+
+  const auto accesses = extract_counts(set_stats, SetCounter::kAccesses);
+  const auto hits = extract_counts(set_stats, SetCounter::kHits);
+  const auto misses = extract_counts(set_stats, SetCounter::kMisses);
+
+  r.access_moments = compute_moments(accesses);
+  r.hit_moments = compute_moments(hits);
+  r.miss_moments = compute_moments(misses);
+  r.avg_accesses = r.access_moments.mean;
+  r.avg_hits = r.hit_moments.mean;
+  r.avg_misses = r.miss_moments.mean;
+
+  std::size_t under_half = 0, over_twice = 0;
+  for (std::size_t i = 0; i < r.sets; ++i) {
+    const double a = static_cast<double>(accesses[i]);
+    const double h = static_cast<double>(hits[i]);
+    const double m = static_cast<double>(misses[i]);
+    if (h >= 2.0 * r.avg_hits && r.avg_hits > 0.0) ++r.fhs;
+    if (m >= 2.0 * r.avg_misses && r.avg_misses > 0.0) ++r.fms;
+    if (a < 0.5 * r.avg_accesses) ++r.las;
+    if (a < 0.5 * r.avg_accesses) ++under_half;
+    if (a > 2.0 * r.avg_accesses) ++over_twice;
+  }
+  r.frac_under_half =
+      static_cast<double>(under_half) / static_cast<double>(r.sets);
+  r.frac_over_twice =
+      static_cast<double>(over_twice) / static_cast<double>(r.sets);
+  return r;
+}
+
+}  // namespace canu

@@ -1,0 +1,59 @@
+// Set-level uniformity analysis.
+//
+// Implements Zhang's classification used by the paper (§IV.C):
+//   FHS — frequently-hit sets:    >= 2x the average number of hits
+//   FMS — frequently-missed sets: >= 2x the average number of misses
+//   LAS — least-accessed sets:    <  1/2 the average number of accesses
+// plus the Figure 1 style summary (fraction of sets below half / above twice
+// the average access count) and per-set moment extraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/cache_model.hpp"
+#include "stats/moments.hpp"
+
+namespace canu {
+
+struct UniformityReport {
+  std::size_t sets = 0;
+  double avg_accesses = 0.0;
+  double avg_hits = 0.0;
+  double avg_misses = 0.0;
+
+  std::size_t fhs = 0;  ///< frequently-hit sets
+  std::size_t fms = 0;  ///< frequently-missed sets
+  std::size_t las = 0;  ///< least-accessed sets
+
+  /// Fraction of sets receiving < 1/2 the average accesses (Fig. 1: 90.43%
+  /// for fft) and > 2x the average (6.641% for fft).
+  double frac_under_half = 0.0;
+  double frac_over_twice = 0.0;
+
+  Moments access_moments;
+  Moments hit_moments;
+  Moments miss_moments;
+
+  double fhs_fraction() const noexcept {
+    return sets ? static_cast<double>(fhs) / static_cast<double>(sets) : 0.0;
+  }
+  double fms_fraction() const noexcept {
+    return sets ? static_cast<double>(fms) / static_cast<double>(sets) : 0.0;
+  }
+  double las_fraction() const noexcept {
+    return sets ? static_cast<double>(las) / static_cast<double>(sets) : 0.0;
+  }
+};
+
+/// Analyse a per-set counter span produced by a cache model.
+UniformityReport analyse_uniformity(std::span<const SetStats> set_stats);
+
+/// Extract one field of the per-set counters as a vector (for histograms
+/// and custom analyses).
+enum class SetCounter { kAccesses, kHits, kMisses };
+std::vector<std::uint64_t> extract_counts(std::span<const SetStats> set_stats,
+                                          SetCounter counter);
+
+}  // namespace canu

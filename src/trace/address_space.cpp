@@ -1,0 +1,23 @@
+#include "trace/address_space.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+AddressSpace::AddressSpace(Options opt) : opt_(opt), next_(opt.base) {
+  CANU_CHECK_MSG(opt_.alignment > 0 && is_pow2(opt_.alignment),
+                 "alignment must be a power of two, got " << opt_.alignment);
+}
+
+std::uint64_t AddressSpace::allocate(std::uint64_t bytes,
+                                     const std::string& label) {
+  CANU_CHECK_MSG(bytes > 0, "zero-byte allocation for '" << label << "'");
+  const std::uint64_t mask = opt_.alignment - 1;
+  std::uint64_t base = (next_ + mask) & ~mask;
+  next_ = base + bytes + opt_.guard_gap;
+  labels_.push_back(label);
+  return base;
+}
+
+}  // namespace canu

@@ -1,0 +1,48 @@
+// Deterministic virtual address space for instrumented workloads.
+//
+// Each workload run owns an AddressSpace and allocates its data structures
+// from it. Allocation is strictly sequential with configurable alignment and
+// inter-allocation guard gaps, so the address of every object — and therefore
+// every trace — is a pure function of the workload's parameters. This is what
+// makes every figure in EXPERIMENTS.md bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canu {
+
+/// Sequential bump allocator over a synthetic virtual address range.
+class AddressSpace {
+ public:
+  struct Options {
+    std::uint64_t base = 0x1000'0000;  ///< first address handed out
+    std::uint64_t alignment = 64;      ///< allocation alignment (bytes)
+    std::uint64_t guard_gap = 64;      ///< unused bytes between allocations
+  };
+
+  AddressSpace() : AddressSpace(Options{}) {}
+  explicit AddressSpace(Options opt);
+
+  /// Allocate `bytes` bytes; returns the base address of the block.
+  std::uint64_t allocate(std::uint64_t bytes, const std::string& label = "");
+
+  /// Total bytes spanned so far (including guard gaps).
+  std::uint64_t span() const noexcept { return next_ - opt_.base; }
+
+  /// Number of allocations performed.
+  std::size_t allocations() const noexcept { return labels_.size(); }
+
+  /// Label of the i-th allocation (for debugging/reporting).
+  const std::string& label(std::size_t i) const { return labels_.at(i); }
+
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  Options opt_;
+  std::uint64_t next_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace canu

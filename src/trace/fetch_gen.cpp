@@ -1,0 +1,129 @@
+#include "trace/fetch_gen.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+
+namespace {
+
+constexpr std::uint64_t kInsnBytes = 4;
+
+struct Block {
+  std::uint64_t addr = 0;       ///< address of the first instruction
+  std::uint32_t insns = 4;      ///< instructions in the block
+  std::uint32_t loop_trips = 0; ///< mean extra iterations (0 = no loop)
+  std::uint32_t call_target = ~0u;  ///< function index or ~0
+};
+
+struct Function {
+  std::uint32_t first_block = 0;
+  std::uint32_t block_count = 0;
+};
+
+}  // namespace
+
+Trace generate_fetch_trace(const FetchParams& p) {
+  CANU_CHECK_MSG(p.functions >= 1, "need at least one function");
+  CANU_CHECK_MSG(p.hot_functions >= 1 && p.hot_functions <= p.functions,
+                 "hot_functions must be in [1, functions]");
+  CANU_CHECK_MSG(p.max_block_insns >= 4, "blocks need >= 4 instructions");
+
+  Xoshiro256 rng(p.seed * 0x9e3779b97f4a7c15ULL + 0xfe7c);
+
+  // Build the static code image.
+  std::vector<Function> functions(p.functions);
+  std::vector<Block> blocks;
+  blocks.reserve(static_cast<std::size_t>(p.functions) *
+                 p.blocks_per_function);
+  std::uint64_t pc = p.code_base;
+  for (std::uint32_t f = 0; f < p.functions; ++f) {
+    functions[f].first_block = static_cast<std::uint32_t>(blocks.size());
+    const std::uint32_t count =
+        2 + static_cast<std::uint32_t>(rng.below(p.blocks_per_function - 1));
+    functions[f].block_count = count;
+    for (std::uint32_t b = 0; b < count; ++b) {
+      Block blk;
+      blk.addr = pc;
+      blk.insns = 4 + static_cast<std::uint32_t>(
+                          rng.below(p.max_block_insns - 3));
+      if (rng.uniform() < p.loop_probability) {
+        blk.loop_trips = 1 + static_cast<std::uint32_t>(rng.below(16));
+      }
+      if (rng.uniform() < p.call_probability) {
+        // Locality bias: most calls go to the hot set.
+        blk.call_target = rng.below(4) != 0
+                              ? static_cast<std::uint32_t>(
+                                    rng.below(p.hot_functions))
+                              : static_cast<std::uint32_t>(
+                                    rng.below(p.functions));
+      }
+      pc += blk.insns * kInsnBytes;
+      blocks.push_back(blk);
+    }
+    pc += 64;  // inter-function padding/alignment
+  }
+
+  Trace trace("ifetch");
+  trace.reserve(p.length);
+
+  // Locality-biased function selection: the hot call set takes most of the
+  // dynamic dispatches, the rest spread over the whole image.
+  const auto pick_function = [&]() -> std::uint32_t {
+    return rng.below(4) != 0
+               ? static_cast<std::uint32_t>(rng.below(p.hot_functions))
+               : static_cast<std::uint32_t>(rng.below(p.functions));
+  };
+
+  // Execute: a call stack of (function, block offset); depth-capped. The
+  // bottom frame models the program's driver loop: each time it drains, it
+  // dispatches the next task to a (locality-biased) random function so the
+  // whole image is dynamically reachable even when individual functions
+  // have few static call sites.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  stack.emplace_back(0, 0);
+
+  const auto emit_block = [&](const Block& blk) {
+    for (std::uint32_t i = 0; i < blk.insns && trace.size() < p.length; ++i) {
+      trace.append(blk.addr + i * kInsnBytes, AccessType::kFetch);
+    }
+  };
+
+  while (trace.size() < p.length) {
+    auto& [func, boff] = stack.back();
+    const Function& fn = functions[func];
+    if (boff >= fn.block_count) {
+      // Return (or dispatch the next task when the stack would empty).
+      if (stack.size() > 1) {
+        stack.pop_back();
+      } else {
+        stack.back() = {pick_function(), 0};
+      }
+      continue;
+    }
+    const Block& blk = blocks[fn.first_block + boff];
+    emit_block(blk);
+    // Loop: re-fetch the block with a geometric number of extra trips.
+    if (blk.loop_trips > 0) {
+      std::uint32_t trips = 0;
+      while (trips < blk.loop_trips * 4 && rng.uniform() < 0.8 &&
+             trace.size() < p.length) {
+        emit_block(blk);
+        ++trips;
+      }
+    }
+    // Call: push the callee; cap the stack depth like a real program.
+    if (blk.call_target != ~0u && stack.size() < 24 &&
+        trace.size() < p.length) {
+      ++boff;  // resume after the call on return
+      stack.emplace_back(blk.call_target, 0);
+      continue;
+    }
+    ++boff;
+  }
+  return trace;
+}
+
+}  // namespace canu

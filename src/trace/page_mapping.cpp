@@ -1,0 +1,69 @@
+#include "trace/page_mapping.hpp"
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+const char* page_policy_name(PagePolicy policy) {
+  switch (policy) {
+    case PagePolicy::kIdentity: return "identity";
+    case PagePolicy::kRandom: return "random";
+    case PagePolicy::kColored: return "colored";
+  }
+  return "unknown";
+}
+
+PageMapper::PageMapper(Options options)
+    : opt_(options),
+      rng_(options.seed * 0x9e3779b97f4a7c15ULL + 0x9a6e),
+      next_in_color_(options.colors) {
+  CANU_CHECK_MSG(is_pow2(opt_.page_size) && opt_.page_size >= 256,
+                 "page size must be a power of two >= 256");
+  CANU_CHECK_MSG(opt_.colors >= 1 && is_pow2(opt_.colors),
+                 "color count must be a power of two >= 1");
+  page_bits_ = log2_exact(opt_.page_size);
+  // Per-color cursors: color c hands out frames c, c+colors, c+2*colors...
+  for (std::uint64_t c = 0; c < opt_.colors; ++c) {
+    next_in_color_[c] = next_frame_ + c;
+  }
+}
+
+std::uint64_t PageMapper::allocate_frame(std::uint64_t vpage) {
+  switch (opt_.policy) {
+    case PagePolicy::kIdentity:
+      return vpage;
+    case PagePolicy::kRandom:
+      // A fresh frame with random low bits: sequential allocation from a
+      // randomly permuted pool, approximated by salting the counter with
+      // random color bits (the index-visible part of the frame number).
+      return (next_frame_++ << log2_exact(opt_.colors)) |
+             rng_.below(opt_.colors);
+    case PagePolicy::kColored: {
+      const std::uint64_t color = vpage & (opt_.colors - 1);
+      const std::uint64_t frame = next_in_color_[color];
+      next_in_color_[color] += opt_.colors;
+      return frame;
+    }
+  }
+  return vpage;
+}
+
+std::uint64_t PageMapper::translate(std::uint64_t vaddr) {
+  const std::uint64_t vpage = vaddr >> page_bits_;
+  auto [it, inserted] = frame_of_.try_emplace(vpage, 0);
+  if (inserted) it->second = allocate_frame(vpage);
+  return (it->second << page_bits_) | (vaddr & (opt_.page_size - 1));
+}
+
+Trace apply_page_mapping(const Trace& trace, PageMapper::Options options) {
+  PageMapper mapper(options);
+  Trace out(trace.name() + "[" + page_policy_name(options.policy) + "]");
+  out.reserve(trace.size());
+  for (const MemRef& r : trace) {
+    out.append(mapper.translate(r.addr), r.type);
+  }
+  return out;
+}
+
+}  // namespace canu

@@ -1,0 +1,78 @@
+// Virtual-to-physical page mapping — the OS-level counterpart to the
+// paper's hardware techniques.
+//
+// The paper's cache is physically indexed in a machine whose OS assigns
+// page frames; with 4 KB pages and the paper's 32 KB direct-mapped L1, the
+// top 3 of the 10 index bits come from the *frame number*, so frame
+// allocation policy directly shapes per-set load:
+//
+//   * identity  — frame = virtual page: the paper's implicit setup (our
+//                 workload traces are synthetic virtual addresses);
+//   * random    — frames assigned in random order, as a buddy allocator
+//                 under memory pressure effectively does: randomizes the
+//                 top index bits, an OS-made XOR-lite;
+//   * colored   — classic page coloring: frames are handed out so
+//                 consecutive virtual pages cycle through the cache colors
+//                 (frame % colors == vpage % colors), keeping each process'
+//                 pages spread evenly over the sets.
+//
+// apply_mapping() rewrites a trace's addresses through the mapper, so any
+// CANU experiment can be re-run "as the OS would see it"
+// (bench/abl_page_coloring).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+
+enum class PagePolicy {
+  kIdentity,
+  kRandom,
+  kColored,
+};
+
+const char* page_policy_name(PagePolicy policy);
+
+/// Lazily assigns a physical frame to each virtual page on first touch,
+/// according to the selected policy. Deterministic in the seed.
+class PageMapper {
+ public:
+  struct Options {
+    PagePolicy policy = PagePolicy::kIdentity;
+    std::uint64_t page_size = 4096;  ///< power of two
+    /// Number of cache colors = sets * line / page (8 for the paper's L1).
+    std::uint64_t colors = 8;
+    std::uint64_t seed = 1;
+  };
+
+  PageMapper() : PageMapper(Options()) {}
+  explicit PageMapper(Options options);
+
+  /// Translate one virtual address.
+  std::uint64_t translate(std::uint64_t vaddr);
+
+  /// Number of distinct pages mapped so far.
+  std::size_t pages_mapped() const noexcept { return frame_of_.size(); }
+
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  std::uint64_t allocate_frame(std::uint64_t vpage);
+
+  Options opt_;
+  unsigned page_bits_ = 12;
+  Xoshiro256 rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> frame_of_;
+  std::uint64_t next_frame_ = 0x80000;          // physical frames base
+  std::vector<std::uint64_t> next_in_color_;    // per-color frame cursors
+};
+
+/// Rewrite every address of `trace` through a fresh mapper with `options`.
+Trace apply_page_mapping(const Trace& trace, PageMapper::Options options);
+
+}  // namespace canu

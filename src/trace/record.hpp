@@ -1,0 +1,35 @@
+// The fundamental unit of a memory trace: one reference.
+#pragma once
+
+#include <cstdint>
+
+namespace canu {
+
+/// Kind of memory reference. Fetch models instruction-stream references
+/// (used when driving the L1 instruction cache of the hierarchy).
+enum class AccessType : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kFetch = 2,
+};
+
+/// One memory reference. Addresses are byte addresses in a deterministic
+/// per-workload virtual address space (see trace/address_space.hpp).
+struct MemRef {
+  std::uint64_t addr = 0;
+  AccessType type = AccessType::kRead;
+
+  friend bool operator==(const MemRef&, const MemRef&) = default;
+};
+
+/// Short human-readable name for an access type ("R", "W", "F").
+constexpr const char* access_type_name(AccessType t) noexcept {
+  switch (t) {
+    case AccessType::kRead: return "R";
+    case AccessType::kWrite: return "W";
+    case AccessType::kFetch: return "F";
+  }
+  return "?";
+}
+
+}  // namespace canu

@@ -1,0 +1,58 @@
+// Trace: an in-memory sequence of memory references produced by a workload.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace canu {
+
+/// A named, ordered sequence of memory references.
+///
+/// Traces are value types; workloads produce them, cache models consume them.
+/// The reference stream is the complete interface between the two halves of
+/// the framework — nothing about a workload other than its trace influences
+/// simulation results.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void append(MemRef ref) { refs_.push_back(ref); }
+  void append(std::uint64_t addr, AccessType type) {
+    refs_.push_back(MemRef{addr, type});
+  }
+
+  /// Append all references of another trace (used to build phase traces).
+  void extend(const Trace& other) {
+    refs_.insert(refs_.end(), other.refs_.begin(), other.refs_.end());
+  }
+
+  void reserve(std::size_t n) { refs_.reserve(n); }
+  void clear() noexcept { refs_.clear(); }
+
+  std::size_t size() const noexcept { return refs_.size(); }
+  bool empty() const noexcept { return refs_.empty(); }
+
+  const MemRef& operator[](std::size_t i) const noexcept { return refs_[i]; }
+
+  const std::vector<MemRef>& refs() const noexcept { return refs_; }
+
+  auto begin() const noexcept { return refs_.begin(); }
+  auto end() const noexcept { return refs_.end(); }
+
+  friend bool operator==(const Trace& a, const Trace& b) {
+    return a.refs_ == b.refs_;  // name is metadata, not identity
+  }
+
+ private:
+  std::string name_;
+  std::vector<MemRef> refs_;
+};
+
+}  // namespace canu

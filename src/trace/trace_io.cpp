@@ -1,0 +1,223 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'A', 'N', 'U',
+                                        'T', 'R', 'C', '1'};
+constexpr std::array<char, 8> kMagicV2 = {'C', 'A', 'N', 'U',
+                                          'T', 'R', 'C', '2'};
+
+std::uint64_t zigzag_encode(std::int64_t d) {
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^
+         -static_cast<std::int64_t>(z & 1);
+}
+
+void write_header(std::ostream& os, const std::array<char, 8>& magic,
+                  const Trace& trace) {
+  os.write(magic.data(), magic.size());
+  const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+  unsigned char bytes[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>((name_len >> (8 * i)) & 0xff);
+  }
+  os.write(reinterpret_cast<const char*>(bytes), 4);
+  os.write(trace.name().data(), name_len);
+}
+
+template <typename T>
+void write_le(std::ostream& os, T value) {
+  // Host is little-endian on all supported platforms; keep the explicit
+  // byte serialization so the format stays portable regardless.
+  unsigned char bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(reinterpret_cast<const char*>(bytes), sizeof(T));
+}
+
+template <typename T>
+T read_le(std::istream& is) {
+  unsigned char bytes[sizeof(T)];
+  is.read(reinterpret_cast<char*>(bytes), sizeof(T));
+  CANU_CHECK_MSG(is.good(), "truncated trace stream");
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace_binary(const Trace& trace, std::ostream& os) {
+  write_header(os, kMagic, trace);
+  write_le<std::uint64_t>(os, trace.size());
+  for (const MemRef& r : trace) {
+    write_le<std::uint64_t>(os, r.addr);
+    os.put(static_cast<char>(r.type));
+  }
+  CANU_CHECK_MSG(os.good(), "failed writing trace '" << trace.name() << "'");
+}
+
+namespace {
+
+Trace read_body_raw(std::istream& is, Trace trace) {
+  const auto count = read_le<std::uint64_t>(is);
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto addr = read_le<std::uint64_t>(is);
+    const int type_byte = is.get();
+    CANU_CHECK_MSG(type_byte >= 0, "truncated trace records");
+    CANU_CHECK_MSG(type_byte <= 2, "invalid access type " << type_byte);
+    trace.append(addr, static_cast<AccessType>(type_byte));
+  }
+  return trace;
+}
+
+Trace read_body_compressed(std::istream& is, Trace trace) {
+  const auto count = read_le<std::uint64_t>(is);
+  trace.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int header = is.get();
+    CANU_CHECK_MSG(header >= 0, "truncated compressed records");
+    const int type_bits = header & 0x3;
+    const unsigned len = static_cast<unsigned>(header >> 2) & 0xf;
+    CANU_CHECK_MSG(type_bits <= 2, "invalid access type " << type_bits);
+    CANU_CHECK_MSG(len <= 8, "invalid delta length " << len);
+    std::uint64_t z = 0;
+    for (unsigned b = 0; b < len; ++b) {
+      const int byte = is.get();
+      CANU_CHECK_MSG(byte >= 0, "truncated delta bytes");
+      z |= static_cast<std::uint64_t>(byte) << (8 * b);
+    }
+    prev = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev) +
+                                      zigzag_decode(z));
+    trace.append(prev, static_cast<AccessType>(type_bits));
+  }
+  return trace;
+}
+
+std::string read_name(std::istream& is) {
+  const auto name_len = read_le<std::uint32_t>(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  CANU_CHECK_MSG(is.good(), "truncated trace name");
+  return name;
+}
+
+}  // namespace
+
+Trace read_trace_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  CANU_CHECK_MSG(is.good() && magic == kMagic, "bad trace magic");
+  return read_body_raw(is, Trace(read_name(is)));
+}
+
+void write_trace_compressed(const Trace& trace, std::ostream& os) {
+  write_header(os, kMagicV2, trace);
+  write_le<std::uint64_t>(os, trace.size());
+  std::uint64_t prev = 0;
+  for (const MemRef& r : trace) {
+    const std::int64_t delta = static_cast<std::int64_t>(r.addr) -
+                               static_cast<std::int64_t>(prev);
+    prev = r.addr;
+    std::uint64_t z = zigzag_encode(delta);
+    unsigned len = 0;
+    std::uint64_t probe = z;
+    while (probe != 0) {
+      ++len;
+      probe >>= 8;
+    }
+    os.put(static_cast<char>(static_cast<unsigned>(r.type) | (len << 2)));
+    for (unsigned b = 0; b < len; ++b) {
+      os.put(static_cast<char>((z >> (8 * b)) & 0xff));
+    }
+  }
+  CANU_CHECK_MSG(os.good(), "failed writing trace '" << trace.name() << "'");
+}
+
+Trace read_trace_any(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  CANU_CHECK_MSG(is.good(), "truncated trace stream");
+  if (magic == kMagic) return read_body_raw(is, Trace(read_name(is)));
+  if (magic == kMagicV2) {
+    return read_body_compressed(is, Trace(read_name(is)));
+  }
+  throw Error("bad trace magic");
+}
+
+void write_trace_text(const Trace& trace, std::ostream& os) {
+  os << "# canu trace: " << trace.name() << "\n";
+  std::ostringstream line;
+  for (const MemRef& r : trace) {
+    line.str("");
+    line << access_type_name(r.type) << " 0x" << std::hex << r.addr << "\n";
+    os << line.str();
+  }
+}
+
+Trace read_trace_text(std::istream& is) {
+  Trace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto pos = line.find("canu trace: ");
+      if (pos != std::string::npos) {
+        trace.set_name(line.substr(pos + 12));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string type_str, addr_str;
+    ls >> type_str >> addr_str;
+    CANU_CHECK_MSG(!type_str.empty() && !addr_str.empty(),
+                   "malformed trace line: " << line);
+    AccessType type;
+    if (type_str == "R") type = AccessType::kRead;
+    else if (type_str == "W") type = AccessType::kWrite;
+    else if (type_str == "F") type = AccessType::kFetch;
+    else CANU_CHECK_MSG(false, "unknown access type '" << type_str << "'");
+    trace.append(std::stoull(addr_str, nullptr, 16), type);
+  }
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CANU_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
+  write_trace_binary(trace, os);
+}
+
+void save_trace_compressed(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CANU_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
+  write_trace_compressed(trace, os);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CANU_CHECK_MSG(is.is_open(), "cannot open '" << path << "' for reading");
+  return read_trace_any(is);
+}
+
+}  // namespace canu

@@ -1,0 +1,51 @@
+// Trace serialization: a raw binary format, a delta-compressed binary
+// format, and a readable text format.
+//
+// Raw binary layout (little-endian):
+//   magic   : 8 bytes  "CANUTRC1"
+//   nameLen : u32
+//   name    : nameLen bytes
+//   count   : u64
+//   records : count × { addr: u64, type: u8 }
+//
+// Compressed layout ("CANUTRC2"): the same header, then per record one
+// byte combining the access type (bits 0-1) and the byte length of the
+// zigzag-encoded address delta (bits 2-5, 0..8), followed by that many
+// little-endian delta bytes. Memory traces are dominated by small strides,
+// so 1-2 delta bytes replace 9-byte raw records (typically 3-6x smaller).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace canu {
+
+/// Serialize `trace` to `os` in the binary format. Throws canu::Error on
+/// stream failure.
+void write_trace_binary(const Trace& trace, std::ostream& os);
+
+/// Deserialize a trace from `is`. Throws canu::Error on malformed input.
+Trace read_trace_binary(std::istream& is);
+
+/// Write a human-readable text form: one "<type> <hex addr>" line per record.
+void write_trace_text(const Trace& trace, std::ostream& os);
+
+/// Parse the text form produced by write_trace_text.
+Trace read_trace_text(std::istream& is);
+
+/// Serialize with delta compression ("CANUTRC2").
+void write_trace_compressed(const Trace& trace, std::ostream& os);
+
+/// Deserialize either format by magic ("CANUTRC1" raw or "CANUTRC2"
+/// compressed). Throws canu::Error on malformed input.
+Trace read_trace_any(std::istream& is);
+
+/// File-path convenience wrappers (save_trace writes the raw format;
+/// save_trace_compressed the delta format; load_trace accepts both).
+void save_trace(const Trace& trace, const std::string& path);
+void save_trace_compressed(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+}  // namespace canu

@@ -1,0 +1,78 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+std::vector<std::uint64_t> unique_addresses(const Trace& trace) {
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(trace.size());
+  for (const MemRef& r : trace) addrs.push_back(r.addr);
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  return addrs;
+}
+
+TraceStats compute_trace_stats(const Trace& trace, std::uint64_t line_size,
+                               std::size_t max_stride_peaks) {
+  CANU_CHECK_MSG(is_pow2(line_size), "line size must be a power of two");
+  TraceStats s;
+  s.total = trace.size();
+  if (trace.empty()) return s;
+
+  s.min_addr = ~std::uint64_t{0};
+  std::unordered_map<std::int64_t, std::size_t> stride_counts;
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  for (const MemRef& r : trace) {
+    switch (r.type) {
+      case AccessType::kRead: ++s.reads; break;
+      case AccessType::kWrite: ++s.writes; break;
+      case AccessType::kFetch: ++s.fetches; break;
+    }
+    s.min_addr = std::min(s.min_addr, r.addr);
+    s.max_addr = std::max(s.max_addr, r.addr);
+    if (have_prev) {
+      ++stride_counts[static_cast<std::int64_t>(r.addr) -
+                      static_cast<std::int64_t>(prev)];
+    }
+    prev = r.addr;
+    have_prev = true;
+  }
+
+  auto addrs = unique_addresses(trace);
+  s.unique_addresses = addrs.size();
+  const unsigned line_bits = log2_exact(line_size);
+  std::size_t lines = 0;
+  std::uint64_t prev_line = 0;
+  bool first = true;
+  for (std::uint64_t a : addrs) {
+    const std::uint64_t line = a >> line_bits;
+    if (first || line != prev_line) {
+      ++lines;
+      prev_line = line;
+      first = false;
+    }
+  }
+  s.unique_lines = lines;
+  s.footprint_bytes = lines * line_size;
+
+  std::vector<TraceStats::StridePeak> peaks;
+  peaks.reserve(stride_counts.size());
+  for (const auto& [stride, count] : stride_counts) {
+    peaks.push_back({stride, count});
+  }
+  std::sort(peaks.begin(), peaks.end(), [](const auto& a, const auto& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.stride < b.stride;  // deterministic tie-break
+  });
+  if (peaks.size() > max_stride_peaks) peaks.resize(max_stride_peaks);
+  s.top_strides = std::move(peaks);
+  return s;
+}
+
+}  // namespace canu

@@ -1,0 +1,44 @@
+// Descriptive statistics of a memory trace: footprint, read/write mix,
+// unique lines, and dominant strides. Used by workload tests (to validate
+// that kernels behave like their namesakes) and by the uniformity reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct TraceStats {
+  std::size_t total = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t fetches = 0;
+  std::size_t unique_addresses = 0;
+  std::size_t unique_lines = 0;      ///< distinct cache lines touched
+  std::uint64_t min_addr = 0;
+  std::uint64_t max_addr = 0;
+  std::uint64_t footprint_bytes = 0; ///< unique_lines × line size
+
+  /// Most frequent consecutive-reference strides, descending by count.
+  struct StridePeak {
+    std::int64_t stride = 0;
+    std::size_t count = 0;
+  };
+  std::vector<StridePeak> top_strides;
+};
+
+/// Compute statistics for `trace` with the given cache-line size.
+/// `max_stride_peaks` bounds the reported stride histogram.
+TraceStats compute_trace_stats(const Trace& trace,
+                               std::uint64_t line_size = 32,
+                               std::size_t max_stride_peaks = 8);
+
+/// All distinct addresses in the trace, sorted ascending. This is the input
+/// to Givargis' quality/correlation analysis (paper §II.A), which is defined
+/// over the set of *unique* addresses accessed by the program.
+std::vector<std::uint64_t> unique_addresses(const Trace& trace);
+
+}  // namespace canu

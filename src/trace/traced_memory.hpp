@@ -1,0 +1,132 @@
+// Instrumented containers used by workload kernels.
+//
+// A TracedArray<T> pairs real backing storage with a synthetic base address
+// from an AddressSpace; every load()/store() both performs the operation on
+// the backing store and appends the corresponding MemRef to the recorder's
+// trace. Kernels are therefore real algorithms whose data-access pattern is
+// captured exactly — the substitution for hardware-collected MiBench traces
+// (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/address_space.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+/// Sink that instrumented containers append references to.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Trace& trace) : trace_(&trace) {}
+
+  void record(std::uint64_t addr, AccessType type) {
+    if (enabled_) trace_->append(addr, type);
+  }
+
+  /// Temporarily pause recording (e.g. while building input data whose
+  /// initialization is not part of the benchmark's measured phase).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  Trace& trace() noexcept { return *trace_; }
+
+ private:
+  Trace* trace_;
+  bool enabled_ = true;
+};
+
+/// RAII guard that disables recording for a scope.
+class RecordingPause {
+ public:
+  explicit RecordingPause(TraceRecorder& rec)
+      : rec_(&rec), prev_(rec.enabled()) {
+    rec_->set_enabled(false);
+  }
+  ~RecordingPause() { rec_->set_enabled(prev_); }
+  RecordingPause(const RecordingPause&) = delete;
+  RecordingPause& operator=(const RecordingPause&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  bool prev_;
+};
+
+/// Fixed-size instrumented array of trivially-copyable elements.
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray(TraceRecorder& rec, AddressSpace& space, std::size_t n,
+              const std::string& label = "array")
+      : rec_(&rec),
+        base_(space.allocate(n * sizeof(T), label)),
+        data_(n) {}
+
+  TracedArray(TraceRecorder& rec, AddressSpace& space, std::vector<T> init,
+              const std::string& label = "array")
+      : rec_(&rec),
+        base_(space.allocate(init.size() * sizeof(T), label)),
+        data_(std::move(init)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::uint64_t base() const noexcept { return base_; }
+
+  /// Address of element i in the synthetic address space.
+  std::uint64_t addr_of(std::size_t i) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+
+  /// Recorded read of element i.
+  T load(std::size_t i) const {
+    CANU_CHECK_MSG(i < data_.size(), "load out of range: " << i);
+    rec_->record(addr_of(i), AccessType::kRead);
+    return data_[i];
+  }
+
+  /// Recorded write of element i.
+  void store(std::size_t i, T value) {
+    CANU_CHECK_MSG(i < data_.size(), "store out of range: " << i);
+    rec_->record(addr_of(i), AccessType::kWrite);
+    data_[i] = value;
+  }
+
+  /// Unrecorded access to the backing store (setup/verification only).
+  T& raw(std::size_t i) { return data_[i]; }
+  const T& raw(std::size_t i) const { return data_[i]; }
+
+  std::vector<T>& backing() noexcept { return data_; }
+  const std::vector<T>& backing() const noexcept { return data_; }
+
+ private:
+  TraceRecorder* rec_;
+  std::uint64_t base_;
+  std::vector<T> data_;
+};
+
+/// A single instrumented variable (e.g. an accumulator kept in memory).
+template <typename T>
+class TracedScalar {
+ public:
+  TracedScalar(TraceRecorder& rec, AddressSpace& space, T init = T{},
+               const std::string& label = "scalar")
+      : rec_(&rec), addr_(space.allocate(sizeof(T), label)), value_(init) {}
+
+  T load() const {
+    rec_->record(addr_, AccessType::kRead);
+    return value_;
+  }
+  void store(T v) {
+    rec_->record(addr_, AccessType::kWrite);
+    value_ = v;
+  }
+  std::uint64_t addr() const noexcept { return addr_; }
+
+ private:
+  TraceRecorder* rec_;
+  std::uint64_t addr_;
+  T value_;
+};
+
+}  // namespace canu

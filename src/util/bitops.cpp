@@ -1,0 +1,14 @@
+#include "util/bitops.hpp"
+
+namespace canu {
+
+std::uint64_t gather_bits(std::uint64_t v,
+                          const std::vector<unsigned>& positions) noexcept {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out |= static_cast<std::uint64_t>(get_bit(v, positions[i])) << i;
+  }
+  return out;
+}
+
+}  // namespace canu

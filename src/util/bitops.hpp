@@ -1,0 +1,52 @@
+// Bit-manipulation helpers used by index functions and cache geometry code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace canu {
+
+/// True if `v` is a (nonzero) power of two.
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Floor of log2(v); requires v > 0.
+constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/// Exact log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) noexcept { return log2_floor(v); }
+
+/// Extract bit `pos` (0 = LSB) of `v`.
+constexpr unsigned get_bit(std::uint64_t v, unsigned pos) noexcept {
+  return static_cast<unsigned>((v >> pos) & 1u);
+}
+
+/// Extract `count` contiguous bits of `v` starting at bit `lo`.
+constexpr std::uint64_t bit_field(std::uint64_t v, unsigned lo,
+                                  unsigned count) noexcept {
+  if (count == 0) return 0;
+  if (count >= 64) return v >> lo;
+  return (v >> lo) & ((std::uint64_t{1} << count) - 1);
+}
+
+/// Mask with the lowest `count` bits set.
+constexpr std::uint64_t low_mask(unsigned count) noexcept {
+  return count >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+}
+
+/// Gather the bits of `v` at the given positions (positions[0] becomes the
+/// LSB of the result). Used by trained index functions (Givargis, Patel)
+/// that select arbitrary address bits as the set index.
+std::uint64_t gather_bits(std::uint64_t v, const std::vector<unsigned>& positions) noexcept;
+
+/// Next power of two >= v (v=0 yields 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  if (v <= 1) return 1;
+  return std::uint64_t{1} << (64u - static_cast<unsigned>(std::countl_zero(v - 1)));
+}
+
+}  // namespace canu

@@ -1,0 +1,27 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+namespace canu {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace canu

@@ -1,0 +1,25 @@
+// Minimal RFC-4180-style CSV writer for exporting experiment results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace canu {
+
+/// Streams rows as CSV, quoting cells that contain separators/quotes/newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one row; cells are escaped as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escape a single cell per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace canu

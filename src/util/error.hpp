@@ -1,0 +1,48 @@
+// Error handling primitives shared by all CANU subsystems.
+//
+// CANU_CHECK is used for precondition/invariant validation on public API
+// boundaries; violations throw canu::Error so callers (tests, tools) can
+// observe them without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace canu {
+
+/// Exception type thrown on precondition or invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CANU_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace canu
+
+/// Validate `expr`; on failure throw canu::Error with location information.
+#define CANU_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::canu::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Validate `expr` with an explanatory message (streamed, e.g. "n=" << n).
+#define CANU_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream canu_check_os_;                                     \
+      canu_check_os_ << msg;                                                 \
+      ::canu::detail::throw_check_failure(#expr, __FILE__, __LINE__,         \
+                                          canu_check_os_.str());             \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "util/prime.hpp"
+
+#include "util/error.hpp"
+
+namespace canu {
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t largest_prime_le(std::uint64_t n) {
+  CANU_CHECK_MSG(n >= 2, "no prime <= " << n);
+  for (std::uint64_t p = n;; --p) {
+    if (is_prime(p)) return p;
+  }
+}
+
+std::uint64_t smallest_prime_ge(std::uint64_t n) {
+  CANU_CHECK(n >= 2);
+  for (std::uint64_t p = n;; ++p) {
+    if (is_prime(p)) return p;
+  }
+}
+
+}  // namespace canu

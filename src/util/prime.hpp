@@ -1,0 +1,20 @@
+// Primality helpers for the prime-modulo indexing scheme (Kharbutli et al.,
+// HPCA 2004): the cache index is computed as address mod p where p is the
+// largest prime not exceeding the number of sets.
+#pragma once
+
+#include <cstdint>
+
+namespace canu {
+
+/// Deterministic primality test (trial division up to sqrt; inputs are cache
+/// set counts, i.e. small, so this is never a bottleneck).
+bool is_prime(std::uint64_t n) noexcept;
+
+/// Largest prime p <= n. Requires n >= 2.
+std::uint64_t largest_prime_le(std::uint64_t n);
+
+/// Smallest prime p >= n. Requires n >= 2.
+std::uint64_t smallest_prime_ge(std::uint64_t n);
+
+}  // namespace canu

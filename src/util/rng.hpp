@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in CANU (synthetic workloads, random replacement,
+// stochastic trace interleaving) is driven by these generators so that every
+// experiment is bit-reproducible across runs and platforms. We deliberately
+// avoid std::mt19937 + std::uniform_int_distribution because distribution
+// implementations differ across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace canu {
+
+/// SplitMix64: used for seeding and cheap hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator for workload synthesis.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+  /// (bias negligible for 64-bit state; deterministic across platforms).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __extension__ typedef unsigned __int128 u128;
+    return static_cast<std::uint64_t>((static_cast<u128>(next()) * bound) >>
+                                      64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximate standard normal via sum of 4 uniforms (Irwin–Hall, rescaled).
+  /// Adequate for shaping synthetic access distributions.
+  double normal() noexcept {
+    double s = uniform() + uniform() + uniform() + uniform();
+    return (s - 2.0) * 1.7320508075688772;  // variance 4/12 -> rescale to 1
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace canu

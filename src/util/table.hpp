@@ -1,0 +1,46 @@
+// Aligned plain-text table rendering for experiment reports.
+//
+// Every figure-reproduction bench prints its rows through TextTable so output
+// is uniform and machine-greppable; the same data can be exported as CSV via
+// util/csv.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace canu {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set a header row, append data rows, print.
+class TextTable {
+ public:
+  TextTable() = default;
+
+  /// Define the header; column count is fixed from this call on.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Render with a header separator; first column left-aligned, the rest
+  /// right-aligned (the common layout for benchmark-per-row tables).
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace canu

@@ -1,0 +1,33 @@
+// Shared helpers for workload kernels (internal to src/workloads).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "trace/address_space.hpp"
+#include "trace/traced_memory.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::workloads_detail {
+
+/// Scale an element count by the workload's size multiplier (min 16).
+inline std::size_t scaled(const WorkloadParams& p, std::size_t base) {
+  const double v = static_cast<double>(base) * p.scale;
+  return std::max<std::size_t>(16, static_cast<std::size_t>(v));
+}
+
+/// Address space rooted at the workload's configured base.
+inline AddressSpace make_space(const WorkloadParams& p) {
+  AddressSpace::Options opt;
+  opt.base = p.address_base;
+  return AddressSpace(opt);
+}
+
+/// Per-kernel RNG stream: decorrelates kernels sharing one seed.
+inline Xoshiro256 make_rng(const WorkloadParams& p, std::uint64_t salt) {
+  return Xoshiro256(p.seed * 0x9e3779b97f4a7c15ULL + salt);
+}
+
+}  // namespace canu::workloads_detail

@@ -1,0 +1,113 @@
+// MiBench adpcm: IMA ADPCM encoding of a PCM sample stream.
+//
+// Access pattern: a strictly sequential read of the 16-bit sample buffer, a
+// sequential nibble-packed write of the compressed output, and repeated
+// references to the small step-size tables and predictor state — the classic
+// streaming benchmark with a tiny hot working set.
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+constexpr int kIndexAdjust[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                  -1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr int kStepSizes[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+}  // namespace
+
+Trace adpcm(const WorkloadParams& p) {
+  Trace trace("adpcm");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xadc0);
+
+  const std::size_t n = scaled(p, 120'000);
+  TracedArray<std::int16_t> pcm(rec, space, n, "pcm_in");
+  TracedArray<std::uint8_t> out(rec, space, n / 2 + 1, "adpcm_out");
+  TracedArray<std::int32_t> step_table(
+      rec, space, std::vector<std::int32_t>(std::begin(kStepSizes),
+                                            std::end(kStepSizes)),
+      "step_table");
+  TracedArray<std::int32_t> index_table(
+      rec, space, std::vector<std::int32_t>(std::begin(kIndexAdjust),
+                                            std::end(kIndexAdjust)),
+      "index_table");
+  // Predictor state lives in memory like the codec's struct does.
+  TracedArray<std::int32_t> state(rec, space, 2, "codec_state");
+
+  {
+    RecordingPause pause(rec);
+    // Synthesize a speech-like signal: random walk with occasional bursts.
+    std::int32_t level = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      level += static_cast<std::int32_t>(rng.below(1200)) - 600;
+      if (rng.below(256) == 0) level = static_cast<std::int32_t>(rng.below(20000)) - 10000;
+      level = std::clamp(level, -32768, 32767);
+      pcm.raw(i) = static_cast<std::int16_t>(level);
+    }
+    state.raw(0) = 0;  // valprev
+    state.raw(1) = 0;  // step index
+  }
+
+  std::uint8_t nibble_buf = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t sample = pcm.load(i);
+    std::int32_t valprev = state.load(0);
+    std::int32_t index = state.load(1);
+    const std::int32_t step = step_table.load(static_cast<std::size_t>(index));
+
+    std::int32_t diff = sample - valprev;
+    std::uint32_t code = 0;
+    if (diff < 0) {
+      code = 8;
+      diff = -diff;
+    }
+    std::int32_t delta = step >> 3;
+    if (diff >= step) {
+      code |= 4;
+      diff -= step;
+      delta += step;
+    }
+    if (diff >= (step >> 1)) {
+      code |= 2;
+      diff -= step >> 1;
+      delta += step >> 1;
+    }
+    if (diff >= (step >> 2)) {
+      code |= 1;
+      delta += step >> 2;
+    }
+    valprev = (code & 8) ? valprev - delta : valprev + delta;
+    valprev = std::clamp(valprev, -32768, 32767);
+    index = std::clamp(index + index_table.load(code), 0, 88);
+
+    state.store(0, valprev);
+    state.store(1, index);
+
+    if (i % 2 == 0) {
+      nibble_buf = static_cast<std::uint8_t>(code);
+    } else {
+      out.store(i / 2,
+                static_cast<std::uint8_t>(nibble_buf | (code << 4)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,104 @@
+// MiBench basicmath: cubic equation solving, integer square roots and
+// angle conversions over input vectors.
+//
+// Access pattern: several parallel coefficient arrays read in lockstep and
+// result arrays written sequentially — multiple interleaved streams whose
+// relative base addresses determine which cache sets collide.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+/// Real roots of a*x^3 + b*x^2 + c*x + d (Cardano; same math as MiBench's
+/// SolveCubic). Returns the number of real roots, roots in r[0..2].
+int solve_cubic(double a, double b, double c, double d, double r[3]) {
+  const double a1 = b / a, a2 = c / a, a3 = d / a;
+  const double q = (a1 * a1 - 3.0 * a2) / 9.0;
+  const double rr = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0;
+  const double q3 = q * q * q;
+  const double det = q3 - rr * rr;
+  if (det >= 0) {
+    const double theta = std::acos(std::clamp(rr / std::sqrt(q3), -1.0, 1.0));
+    const double sq = -2.0 * std::sqrt(q);
+    r[0] = sq * std::cos(theta / 3.0) - a1 / 3.0;
+    r[1] = sq * std::cos((theta + 2.0 * M_PI) / 3.0) - a1 / 3.0;
+    r[2] = sq * std::cos((theta + 4.0 * M_PI) / 3.0) - a1 / 3.0;
+    return 3;
+  }
+  const double e = std::cbrt(std::sqrt(-det) + std::fabs(rr));
+  r[0] = (rr > 0 ? -(e + q / e) : (e + q / e)) - a1 / 3.0;
+  return 1;
+}
+
+/// Integer square root by successive approximation (MiBench's usqrt).
+std::uint32_t usqrt(std::uint32_t x) {
+  std::uint32_t a = 0, r = 0;
+  for (int i = 0; i < 16; ++i) {
+    r = (r << 2) + (x >> 30);
+    x <<= 2;
+    a <<= 1;
+    const std::uint32_t e = (a << 1) + 1;
+    if (r >= e) {
+      r -= e;
+      ++a;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Trace basicmath(const WorkloadParams& p) {
+  Trace trace("basicmath");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xba51);
+
+  const std::size_t n = scaled(p, 40'000);
+  TracedArray<double> ca(rec, space, n, "coef_a");
+  TracedArray<double> cb(rec, space, n, "coef_b");
+  TracedArray<double> cc(rec, space, n, "coef_c");
+  TracedArray<double> cd(rec, space, n, "coef_d");
+  TracedArray<double> roots(rec, space, 3 * n, "roots");
+  TracedArray<std::uint32_t> ints(rec, space, n, "isqrt_in");
+  TracedArray<std::uint32_t> isq(rec, space, n, "isqrt_out");
+  TracedArray<double> degs(rec, space, n, "degrees");
+  TracedArray<double> rads(rec, space, n, "radians");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      ca.raw(i) = 1.0;
+      cb.raw(i) = static_cast<double>(rng.below(61)) - 30.0;
+      cc.raw(i) = static_cast<double>(rng.below(201)) - 100.0;
+      cd.raw(i) = static_cast<double>(rng.below(201)) - 100.0;
+      ints.raw(i) = static_cast<std::uint32_t>(rng.next());
+      degs.raw(i) = static_cast<double>(rng.below(360));
+    }
+  }
+
+  // Phase 1: cubic roots.
+  for (std::size_t i = 0; i < n; ++i) {
+    double r[3] = {0, 0, 0};
+    const int count = solve_cubic(ca.load(i), cb.load(i), cc.load(i),
+                                  cd.load(i), r);
+    for (int k = 0; k < count; ++k) roots.store(3 * i + static_cast<std::size_t>(k), r[k]);
+  }
+  // Phase 2: integer square roots.
+  for (std::size_t i = 0; i < n; ++i) isq.store(i, usqrt(ints.load(i)));
+  // Phase 3: degree -> radian conversion.
+  for (std::size_t i = 0; i < n; ++i) {
+    rads.store(i, degs.load(i) * (M_PI / 180.0));
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

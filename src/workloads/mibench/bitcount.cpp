@@ -1,0 +1,91 @@
+// MiBench bitcount: a battery of bit-counting algorithms over a word stream.
+//
+// Access pattern: repeated passes over a small input buffer plus a 256-entry
+// lookup table — a very small, very hot working set that hits the same sets
+// continuously (the paper singles bitcount out as a benchmark with uniform
+// accesses and almost no conflict misses to eliminate).
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+int count_shift(std::uint32_t x) {
+  int c = 0;
+  for (; x; x >>= 1) c += static_cast<int>(x & 1);
+  return c;
+}
+
+int count_kernighan(std::uint32_t x) {
+  int c = 0;
+  for (; x; ++c) x &= x - 1;
+  return c;
+}
+
+int count_parallel(std::uint32_t x) {
+  x = x - ((x >> 1) & 0x55555555u);
+  x = (x & 0x33333333u) + ((x >> 2) & 0x33333333u);
+  x = (x + (x >> 4)) & 0x0f0f0f0fu;
+  return static_cast<int>((x * 0x01010101u) >> 24);
+}
+
+}  // namespace
+
+Trace bitcount(const WorkloadParams& p) {
+  Trace trace("bitcount");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xb17c);
+
+  const std::size_t n = scaled(p, 24'000);
+  constexpr std::size_t kPasses = 6;
+  TracedArray<std::uint32_t> words(rec, space, n, "words");
+  TracedArray<std::uint8_t> table(rec, space, 256, "nibble_table");
+  TracedArray<std::int64_t> totals(rec, space, 4, "totals");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      words.raw(i) = static_cast<std::uint32_t>(rng.next());
+    }
+    for (std::size_t i = 0; i < 256; ++i) {
+      table.raw(i) =
+          static_cast<std::uint8_t>(count_parallel(static_cast<std::uint32_t>(i)));
+    }
+    for (std::size_t i = 0; i < 4; ++i) totals.raw(i) = 0;
+  }
+
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    // Method 0: byte-table lookups (4 table reads per word).
+    std::int64_t t = totals.load(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t w = words.load(i);
+      t += table.load(w & 0xff) + table.load((w >> 8) & 0xff) +
+           table.load((w >> 16) & 0xff) + table.load((w >> 24) & 0xff);
+    }
+    totals.store(0, t);
+
+    // Method 1: shift-and-test.
+    t = totals.load(1);
+    for (std::size_t i = 0; i < n; ++i) t += count_shift(words.load(i));
+    totals.store(1, t);
+
+    // Method 2: Kernighan clears.
+    t = totals.load(2);
+    for (std::size_t i = 0; i < n; ++i) t += count_kernighan(words.load(i));
+    totals.store(2, t);
+
+    // Method 3: SWAR parallel count.
+    t = totals.load(3);
+    for (std::size_t i = 0; i < n; ++i) t += count_parallel(words.load(i));
+    totals.store(3, t);
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,53 @@
+// MiBench crc: CRC-32 over a byte buffer using the standard 256-entry table.
+//
+// Access pattern: one sequential byte stream plus data-dependent lookups in
+// a 1 KB table — streaming with a small hot region, little reuse of the
+// stream itself.
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace crc(const WorkloadParams& p) {
+  Trace trace("crc");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xc12c);
+
+  const std::size_t n = scaled(p, 260'000);
+  TracedArray<std::uint8_t> buffer(rec, space, n, "file_buffer");
+  TracedArray<std::uint32_t> table(rec, space, 256, "crc_table");
+  TracedArray<std::uint32_t> crc_out(rec, space, 1, "crc_value");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      buffer.raw(i) = static_cast<std::uint8_t>(rng.next());
+    }
+    // Standard CRC-32 (IEEE 802.3) table.
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      table.raw(i) = c;
+    }
+    crc_out.raw(0) = 0xffffffffu;
+  }
+
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t byte = buffer.load(i);
+    crc = table.load((crc ^ byte) & 0xffu) ^ (crc >> 8);
+    // The MiBench driver updates an in-memory accumulator per block.
+    if ((i & 0x3ff) == 0x3ff) crc_out.store(0, crc);
+  }
+  crc_out.store(0, crc ^ 0xffffffffu);
+  return trace;
+}
+
+}  // namespace canu::mibench

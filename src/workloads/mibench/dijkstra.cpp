@@ -1,0 +1,71 @@
+// MiBench dijkstra: single-source shortest paths over an adjacency matrix
+// (the MiBench program runs an O(V^2) Dijkstra on a 100x100 matrix for many
+// source/destination pairs).
+//
+// Access pattern: row-major scans of the adjacency matrix (fixed stride per
+// row) interleaved with repeated sweeps of the distance and visited arrays.
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace dijkstra(const WorkloadParams& p) {
+  Trace trace("dijkstra");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xd1d5);
+
+  const std::size_t v = scaled(p, 100);  // vertices
+  const std::size_t sources = scaled(p, 16);
+  constexpr std::uint32_t kInf = 0x7fffffff;
+
+  TracedArray<std::uint32_t> adj(rec, space, v * v, "adjacency");
+  TracedArray<std::uint32_t> dist(rec, space, v, "dist");
+  TracedArray<std::uint8_t> visited(rec, space, v, "visited");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < v * v; ++i) {
+      adj.raw(i) = static_cast<std::uint32_t>(rng.below(100)) + 1;
+    }
+  }
+
+  for (std::size_t s = 0; s < sources; ++s) {
+    const std::size_t src = s % v;
+    for (std::size_t i = 0; i < v; ++i) {
+      dist.store(i, kInf);
+      visited.store(i, 0);
+    }
+    dist.store(src, 0);
+
+    for (std::size_t iter = 0; iter < v; ++iter) {
+      // Select the unvisited vertex with the smallest distance (linear scan,
+      // as the MiBench implementation does with its queue walk).
+      std::size_t u = v;
+      std::uint32_t best = kInf;
+      for (std::size_t i = 0; i < v; ++i) {
+        if (!visited.load(i) && dist.load(i) < best) {
+          best = dist.load(i);
+          u = i;
+        }
+      }
+      if (u == v) break;
+      visited.store(u, 1);
+      const std::uint32_t du = dist.load(u);
+      // Relax along row u of the adjacency matrix.
+      for (std::size_t w = 0; w < v; ++w) {
+        const std::uint32_t edge = adj.load(u * v + w);
+        if (!visited.load(w) && du + edge < dist.load(w)) {
+          dist.store(w, du + edge);
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,96 @@
+// MiBench fft: iterative radix-2 Cooley-Tukey FFT over split real/imaginary
+// arrays.
+//
+// Access pattern: the bit-reversal permutation followed by log2(n) butterfly
+// stages whose strides double each stage — the power-of-two strides map
+// whole stages onto a few cache sets, producing the heavily skewed per-set
+// distribution the paper's Figure 1 shows for this benchmark.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace fft(const WorkloadParams& p) {
+  Trace trace("fft");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xff7);
+
+  // Round the scaled size to a power of two.
+  std::size_t n = 1;
+  while (n * 2 <= scaled(p, 8192)) n *= 2;
+
+  TracedArray<double> re(rec, space, n, "real");
+  TracedArray<double> im(rec, space, n, "imag");
+  // Twiddle-factor tables, as the MiBench implementation precomputes its
+  // coefficient arrays. Entry k holds e^(-2*pi*i*k/n); stage `len` reads
+  // every (n/len)-th entry, so low-index entries are re-read every stage —
+  // the hot-set signature behind the paper's Figure 1.
+  TracedArray<double> tw_re(rec, space, n / 2, "twiddle_real");
+  TracedArray<double> tw_im(rec, space, n / 2, "twiddle_imag");
+
+  {
+    RecordingPause pause(rec);
+    // MiBench drives the FFT with a sum of random sinusoids.
+    for (std::size_t i = 0; i < n; ++i) {
+      re.raw(i) = rng.uniform() * 2.0 - 1.0;
+      im.raw(i) = 0.0;
+    }
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k) /
+                         static_cast<double>(n);
+      tw_re.raw(k) = std::cos(ang);
+      tw_im.raw(k) = std::sin(ang);
+    }
+  }
+
+  const auto run_fft = [&](bool inverse) {
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) {
+        const double tr = re.load(i);
+        const double ti = im.load(i);
+        re.store(i, re.load(j));
+        im.store(i, im.load(j));
+        re.store(j, tr);
+        im.store(j, ti);
+      }
+    }
+    // Butterfly stages, twiddles read from the precomputed tables.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t twiddle_stride = n / len;
+      for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const std::size_t a = i + k;
+          const std::size_t b = i + k + len / 2;
+          const double cr = tw_re.load(k * twiddle_stride);
+          const double ci_raw = tw_im.load(k * twiddle_stride);
+          const double ci = inverse ? -ci_raw : ci_raw;
+          const double ar = re.load(a), ai = im.load(a);
+          const double br = re.load(b), bi = im.load(b);
+          const double tr = br * cr - bi * ci;
+          const double ti = br * ci + bi * cr;
+          re.store(a, ar + tr);
+          im.store(a, ai + ti);
+          re.store(b, ar - tr);
+          im.store(b, ai - ti);
+        }
+      }
+    }
+  };
+
+  run_fft(false);  // forward transform
+  run_fft(true);   // inverse transform (MiBench runs fft followed by ifft)
+  return trace;
+}
+
+}  // namespace canu::mibench

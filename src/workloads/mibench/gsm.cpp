@@ -1,0 +1,101 @@
+// MiBench gsm: GSM full-rate speech encoding front end — per-frame LPC
+// autocorrelation and long-term-prediction (LTP) lag search.
+//
+// Access pattern: per 160-sample frame, triangular autocorrelation sweeps
+// (overlapping reads at small lags) followed by an LTP cross-correlation
+// against a 3-frame history at 80 candidate lags — dense re-reading of a
+// sliding window, plus sequential frame input.
+#include <cstdlib>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace gsm(const WorkloadParams& p) {
+  Trace trace("gsm");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x65a1);
+
+  constexpr std::size_t kFrame = 160;
+  constexpr std::size_t kLags = 9;       // LPC order + 1
+  constexpr std::size_t kHistory = 3 * kFrame;
+  const std::size_t frames = scaled(p, 220);
+
+  TracedArray<std::int16_t> samples(rec, space, frames * kFrame, "speech");
+  TracedArray<std::int32_t> autocorr(rec, space, kLags, "autocorr");
+  TracedArray<std::int16_t> history(rec, space, kHistory, "ltp_history");
+  TracedArray<std::int16_t> residual(rec, space, frames * kFrame, "residual");
+  TracedArray<std::int32_t> best_lag(rec, space, 1, "best_lag");
+
+  {
+    RecordingPause pause(rec);
+    std::int32_t level = 0;
+    for (std::size_t i = 0; i < frames * kFrame; ++i) {
+      level += static_cast<std::int32_t>(rng.below(800)) - 400;
+      level = std::clamp(level, -20000, 20000);
+      samples.raw(i) = static_cast<std::int16_t>(level);
+    }
+    for (std::size_t i = 0; i < kHistory; ++i) history.raw(i) = 0;
+  }
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t base = f * kFrame;
+
+    // LPC autocorrelation: acf[k] = sum s[i] * s[i-k].
+    for (std::size_t k = 0; k < kLags; ++k) {
+      std::int64_t acc = 0;
+      for (std::size_t i = k; i < kFrame; ++i) {
+        acc += static_cast<std::int64_t>(samples.load(base + i)) *
+               samples.load(base + i - k);
+      }
+      autocorr.store(k, static_cast<std::int32_t>(acc >> 16));
+    }
+
+    // LTP lag search over the history buffer (40-sample subframes, lags
+    // 40..120, as the GSM 06.10 long-term predictor does).
+    for (std::size_t sub = 0; sub < 4; ++sub) {
+      const std::size_t sbase = base + sub * 40;
+      std::int64_t best = -1;
+      std::int32_t lag_found = 40;
+      for (std::size_t lag = 40; lag <= 120; ++lag) {
+        std::int64_t corr = 0;
+        for (std::size_t i = 0; i < 40; ++i) {
+          const std::size_t hist_idx = kHistory - lag + i;
+          corr += static_cast<std::int64_t>(samples.load(sbase + i)) *
+                  history.load(hist_idx % kHistory);
+        }
+        if (std::llabs(corr) > best) {
+          best = std::llabs(corr);
+          lag_found = static_cast<std::int32_t>(lag);
+        }
+      }
+      best_lag.store(0, lag_found);
+      // Residual = sample - predicted (gain folded to 1 for the pattern).
+      for (std::size_t i = 0; i < 40; ++i) {
+        const std::size_t hist_idx =
+            kHistory - static_cast<std::size_t>(lag_found) + i;
+        residual.store(sbase + i,
+                       static_cast<std::int16_t>(
+                           samples.load(sbase + i) -
+                           history.load(hist_idx % kHistory) / 2));
+      }
+    }
+
+    // Slide the history: drop the oldest frame, append this one.
+    for (std::size_t i = 0; i < kHistory - kFrame; ++i) {
+      history.store(i, history.load(i + kFrame));
+    }
+    for (std::size_t i = 0; i < kFrame; ++i) {
+      history.store(kHistory - kFrame + i, samples.load(base + i));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,135 @@
+// MiBench jpeg: the DCT/quantization core of JPEG compression.
+//
+// Access pattern: 8x8 blocks gathered from a row-major image (eight reads
+// at image-width stride per block column), separable DCT over a small
+// scratch block, quantization-table reads, and a zigzag run-length output
+// whose write positions are data-dependent.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+// Zigzag order of an 8x8 block (standard JPEG scan).
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace
+
+Trace jpeg(const WorkloadParams& p) {
+  Trace trace("jpeg");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x09e6);
+
+  const double side_scale = std::sqrt(std::max(0.0625, p.scale));
+  const std::size_t width = std::max<std::size_t>(
+      64, (static_cast<std::size_t>(256 * side_scale) / 8) * 8);
+  const std::size_t height = std::max<std::size_t>(
+      64, (static_cast<std::size_t>(192 * side_scale) / 8) * 8);
+
+  TracedArray<std::uint8_t> image(rec, space, width * height, "image");
+  TracedArray<double> block(rec, space, 64, "dct_block");
+  TracedArray<double> scratch(rec, space, 64, "dct_scratch");
+  TracedArray<double> cosines(rec, space, 64, "cos_table");
+  TracedArray<std::uint8_t> quant(rec, space, 64, "quant_table");
+  TracedArray<std::int16_t> coeffs(rec, space, width * height, "coefficients");
+  TracedArray<std::int16_t> rle(rec, space, width * height / 2, "rle_out");
+
+  {
+    RecordingPause pause(rec);
+    // Photographic-ish content: smooth gradients + texture noise.
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double v = 96.0 + 64.0 * std::sin(x * 0.05) *
+                                     std::cos(y * 0.03) +
+                         static_cast<double>(rng.below(24));
+        image.raw(y * width + x) = static_cast<std::uint8_t>(
+            std::clamp(v, 0.0, 255.0));
+      }
+    }
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        cosines.raw(static_cast<std::size_t>(u * 8 + x)) =
+            std::cos((2 * x + 1) * u * M_PI / 16.0) *
+            (u == 0 ? std::sqrt(0.125) : 0.5);
+      }
+    }
+    // Luminance quantization table (scaled standard values).
+    static const std::uint8_t kQuant[64] = {
+        16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+        14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+        18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+    for (std::size_t i = 0; i < 64; ++i) quant.raw(i) = kQuant[i];
+  }
+
+  std::size_t rle_pos = 0;
+  for (std::size_t by = 0; by < height; by += 8) {
+    for (std::size_t bx = 0; bx < width; bx += 8) {
+      // Gather the block (strided rows).
+      for (std::size_t y = 0; y < 8; ++y) {
+        for (std::size_t x = 0; x < 8; ++x) {
+          block.store(y * 8 + x,
+                      static_cast<double>(
+                          image.load((by + y) * width + bx + x)) -
+                          128.0);
+        }
+      }
+      // Separable DCT: rows then columns.
+      for (int u = 0; u < 8; ++u) {
+        for (int y = 0; y < 8; ++y) {
+          double acc = 0;
+          for (int x = 0; x < 8; ++x) {
+            acc += block.load(static_cast<std::size_t>(y * 8 + x)) *
+                   cosines.load(static_cast<std::size_t>(u * 8 + x));
+          }
+          scratch.store(static_cast<std::size_t>(y * 8 + u), acc);
+        }
+      }
+      for (int v = 0; v < 8; ++v) {
+        for (int u = 0; u < 8; ++u) {
+          double acc = 0;
+          for (int y = 0; y < 8; ++y) {
+            acc += scratch.load(static_cast<std::size_t>(y * 8 + u)) *
+                   cosines.load(static_cast<std::size_t>(v * 8 + y));
+          }
+          // Quantize and store in zigzag position.
+          const std::size_t zz = static_cast<std::size_t>(kZigzag[v * 8 + u]);
+          const double q = quant.load(zz);
+          coeffs.store((by * width + bx * 8) / 8 + zz,
+                       static_cast<std::int16_t>(acc / q));
+        }
+      }
+      // Run-length pass over the zigzag coefficients (data-dependent
+      // output positions, like the entropy coder's symbol stream).
+      const std::size_t cbase = (by * width + bx * 8) / 8;
+      int zero_run = 0;
+      for (std::size_t i = 0; i < 64; ++i) {
+        const std::int16_t c = coeffs.load(cbase + i);
+        if (c == 0) {
+          ++zero_run;
+        } else {
+          if (rle_pos + 2 < rle.size()) {
+            rle.store(rle_pos++, static_cast<std::int16_t>(zero_run));
+            rle.store(rle_pos++, c);
+          }
+          zero_run = 0;
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

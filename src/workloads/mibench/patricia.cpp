@@ -1,0 +1,142 @@
+// MiBench patricia: Patricia trie insertion and lookup of IPv4-style keys
+// (the MiBench program builds a routing trie and queries it).
+//
+// Access pattern: pointer chasing through trie nodes scattered across the
+// heap — each probe walks a data-dependent chain of node records, the
+// canonical irregular-access benchmark.
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+/// Bit `b` (0 = MSB) of an IPv4-style key.
+inline std::uint32_t key_bit(std::uint32_t key, std::uint32_t b) {
+  return (key >> (31 - b)) & 1u;
+}
+
+}  // namespace
+
+Trace patricia(const WorkloadParams& p) {
+  Trace trace("patricia");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x9a72);
+
+  const std::size_t inserts = scaled(p, 12'000);
+  const std::size_t lookups = scaled(p, 24'000);
+  const std::size_t cap = inserts + 2;
+
+  // Node pool in structure-of-arrays form (a node record is 16 bytes in the
+  // original program; here the four fields live in four parallel arrays).
+  TracedArray<std::uint32_t> node_key(rec, space, cap, "node_key");
+  TracedArray<std::int32_t> node_bit(rec, space, cap, "node_bit");
+  TracedArray<std::uint32_t> node_left(rec, space, cap, "node_left");
+  TracedArray<std::uint32_t> node_right(rec, space, cap, "node_right");
+
+  std::uint32_t count = 0;
+  std::uint32_t root = kNil;
+
+  auto alloc_node = [&](std::uint32_t key, std::int32_t bit) {
+    const std::uint32_t idx = count++;
+    node_key.store(idx, key);
+    node_bit.store(idx, bit);
+    node_left.store(idx, idx);   // self-links, patricia-style
+    node_right.store(idx, idx);
+    return idx;
+  };
+
+  // Search: walk down until a node's bit index does not increase.
+  auto search = [&](std::uint32_t key) -> std::uint32_t {
+    if (root == kNil) return kNil;
+    std::uint32_t parent = root;
+    std::uint32_t cur = key_bit(key, 0) ? node_right.load(root)
+                                        : node_left.load(root);
+    std::int32_t parent_bit = node_bit.load(root);
+    while (node_bit.load(cur) > parent_bit) {
+      parent_bit = node_bit.load(cur);
+      cur = key_bit(key, static_cast<std::uint32_t>(parent_bit))
+                ? node_right.load(cur)
+                : node_left.load(cur);
+    }
+    (void)parent;
+    return cur;
+  };
+
+  auto insert = [&](std::uint32_t key) {
+    if (root == kNil) {
+      root = alloc_node(key, 0);
+      return;
+    }
+    const std::uint32_t t = search(key);
+    const std::uint32_t existing = node_key.load(t);
+    if (existing == key) return;
+    // First differing bit.
+    std::int32_t diff_bit = 0;
+    while (diff_bit < 32 &&
+           key_bit(key, static_cast<std::uint32_t>(diff_bit)) ==
+               key_bit(existing, static_cast<std::uint32_t>(diff_bit))) {
+      ++diff_bit;
+    }
+    if (diff_bit >= 32) return;
+    // Walk again to the insertion point.
+    std::uint32_t parent = kNil;
+    std::uint32_t cur = root;
+    std::int32_t cur_bit = -1;
+    for (;;) {
+      const std::int32_t b = node_bit.load(cur);
+      if (b <= cur_bit || b >= diff_bit) break;
+      cur_bit = b;
+      parent = cur;
+      cur = key_bit(key, static_cast<std::uint32_t>(b)) ? node_right.load(cur)
+                                                        : node_left.load(cur);
+    }
+    const std::uint32_t node = alloc_node(key, diff_bit);
+    if (key_bit(key, static_cast<std::uint32_t>(diff_bit))) {
+      node_right.store(node, node);
+      node_left.store(node, cur);
+    } else {
+      node_left.store(node, node);
+      node_right.store(node, cur);
+    }
+    if (parent == kNil) {
+      root = node;
+    } else if (key_bit(key, static_cast<std::uint32_t>(node_bit.load(parent)))) {
+      node_right.store(parent, node);
+    } else {
+      node_left.store(parent, node);
+    }
+  };
+
+  // Build phase: insert random /16-clustered addresses (routing tables
+  // cluster by prefix, which shapes the trie's depth distribution).
+  std::vector<std::uint32_t> keys;
+  keys.reserve(inserts);
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < inserts; ++i) {
+      const std::uint32_t prefix = static_cast<std::uint32_t>(rng.below(4096));
+      const std::uint32_t host = static_cast<std::uint32_t>(rng.next());
+      keys.push_back((prefix << 20) | (host & 0xfffffu));
+    }
+  }
+  for (std::uint32_t key : keys) insert(key);
+
+  // Query phase: mix of hits (existing keys) and misses (random keys).
+  for (std::size_t i = 0; i < lookups; ++i) {
+    const std::uint32_t key = (i % 3 == 0)
+                                  ? static_cast<std::uint32_t>(rng.next())
+                                  : keys[rng.below(keys.size())];
+    (void)search(key);
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,116 @@
+// MiBench qsort: quicksort of string records (the MiBench program sorts a
+// word list with libc qsort and strcmp).
+//
+// Access pattern: partition scans over a pointer array combined with
+// byte-wise key comparisons that chase into a string pool — a mix of
+// sequential sweeps at shrinking granularity and data-dependent reads.
+#include <vector>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+constexpr std::size_t kKeyLen = 16;  // fixed-size keys in the string pool
+
+}  // namespace
+
+Trace qsort(const WorkloadParams& p) {
+  Trace trace("qsort");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x4502);
+
+  const std::size_t n = scaled(p, 20'000);
+  TracedArray<std::uint8_t> pool(rec, space, n * kKeyLen, "string_pool");
+  TracedArray<std::uint32_t> ptrs(rec, space, n, "pointer_array");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      ptrs.raw(i) = static_cast<std::uint32_t>(i);
+      // Keys share common prefixes the way word lists do, so comparisons
+      // frequently read several bytes deep.
+      const std::size_t shared = rng.below(6);
+      for (std::size_t k = 0; k < kKeyLen; ++k) {
+        pool.raw(i * kKeyLen + k) =
+            k < shared ? static_cast<std::uint8_t>('a' + (k % 4))
+                       : static_cast<std::uint8_t>('a' + rng.below(26));
+      }
+    }
+  }
+
+  // strcmp over the instrumented pool.
+  auto compare = [&](std::uint32_t a, std::uint32_t b) -> int {
+    for (std::size_t k = 0; k < kKeyLen; ++k) {
+      const std::uint8_t ca = pool.load(static_cast<std::size_t>(a) * kKeyLen + k);
+      const std::uint8_t cb = pool.load(static_cast<std::size_t>(b) * kKeyLen + k);
+      if (ca != cb) return ca < cb ? -1 : 1;
+    }
+    return 0;
+  };
+
+  // Iterative quicksort with explicit stack and median-of-three pivots;
+  // small partitions finish with insertion sort, as libc qsort does.
+  std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+  stack.emplace_back(0, static_cast<std::int64_t>(n) - 1);
+  while (!stack.empty()) {
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    while (lo < hi) {
+      if (hi - lo < 8) {
+        for (std::int64_t i = lo + 1; i <= hi; ++i) {
+          const std::uint32_t key = ptrs.load(static_cast<std::size_t>(i));
+          std::int64_t j = i - 1;
+          while (j >= lo &&
+                 compare(ptrs.load(static_cast<std::size_t>(j)), key) > 0) {
+            ptrs.store(static_cast<std::size_t>(j + 1),
+                       ptrs.load(static_cast<std::size_t>(j)));
+            --j;
+          }
+          ptrs.store(static_cast<std::size_t>(j + 1), key);
+        }
+        break;
+      }
+      // Median-of-three pivot selection.
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      std::uint32_t a = ptrs.load(static_cast<std::size_t>(lo));
+      std::uint32_t b = ptrs.load(static_cast<std::size_t>(mid));
+      std::uint32_t c = ptrs.load(static_cast<std::size_t>(hi));
+      std::uint32_t pivot;
+      if (compare(a, b) < 0) {
+        pivot = compare(b, c) < 0 ? b : (compare(a, c) < 0 ? c : a);
+      } else {
+        pivot = compare(a, c) < 0 ? a : (compare(b, c) < 0 ? c : b);
+      }
+      // Hoare partition.
+      std::int64_t i = lo - 1, j = hi + 1;
+      for (;;) {
+        do { ++i; } while (compare(ptrs.load(static_cast<std::size_t>(i)), pivot) < 0);
+        do { --j; } while (compare(ptrs.load(static_cast<std::size_t>(j)), pivot) > 0);
+        if (i >= j) break;
+        const std::uint32_t tmp = ptrs.load(static_cast<std::size_t>(i));
+        ptrs.store(static_cast<std::size_t>(i),
+                   ptrs.load(static_cast<std::size_t>(j)));
+        ptrs.store(static_cast<std::size_t>(j), tmp);
+      }
+      // Recurse on the smaller side, loop on the larger.
+      if (j - lo < hi - (j + 1)) {
+        stack.emplace_back(j + 1, hi);
+        hi = j;
+      } else {
+        stack.emplace_back(lo, j);
+        lo = j + 1;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

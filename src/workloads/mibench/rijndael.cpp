@@ -1,0 +1,150 @@
+// MiBench rijndael: AES-128 encryption of a buffer using the T-table
+// formulation the original implementation (Gladman's code) uses.
+//
+// Access pattern: per 16-byte block, 40 data-dependent lookups into four
+// 1 KB tables plus sequential input/output streaming and round-key reads —
+// hot tables under a cold stream.
+#include <array>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  while (b) {
+    if (b & 1) r ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return r;
+}
+
+/// AES S-box computed from first principles (multiplicative inverse in
+/// GF(2^8) followed by the affine transform).
+std::array<std::uint8_t, 256> make_sbox() {
+  std::array<std::uint8_t, 256> inv{};
+  for (unsigned a = 1; a < 256; ++a) {
+    for (unsigned b = 1; b < 256; ++b) {
+      if (gf_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+        inv[a] = static_cast<std::uint8_t>(b);
+        break;
+      }
+    }
+  }
+  std::array<std::uint8_t, 256> sbox{};
+  for (unsigned i = 0; i < 256; ++i) {
+    std::uint8_t x = inv[i];
+    std::uint8_t y = x;
+    for (int k = 0; k < 4; ++k) {
+      y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+      x ^= y;
+    }
+    sbox[i] = static_cast<std::uint8_t>(x ^ 0x63);
+  }
+  return sbox;
+}
+
+std::uint32_t rotr8(std::uint32_t v) { return (v >> 8) | (v << 24); }
+
+}  // namespace
+
+Trace rijndael(const WorkloadParams& p) {
+  Trace trace("rijndael");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xae5);
+
+  const std::size_t blocks = scaled(p, 3'000);
+  TracedArray<std::uint32_t> t0(rec, space, 256, "T0");
+  TracedArray<std::uint32_t> t1(rec, space, 256, "T1");
+  TracedArray<std::uint32_t> t2(rec, space, 256, "T2");
+  TracedArray<std::uint32_t> t3(rec, space, 256, "T3");
+  TracedArray<std::uint8_t> sbox_mem(rec, space, 256, "sbox");
+  TracedArray<std::uint32_t> round_keys(rec, space, 44, "round_keys");
+  TracedArray<std::uint32_t> input(rec, space, blocks * 4, "plaintext");
+  TracedArray<std::uint32_t> output(rec, space, blocks * 4, "ciphertext");
+
+  {
+    RecordingPause pause(rec);
+    const auto sbox = make_sbox();
+    for (unsigned i = 0; i < 256; ++i) {
+      const std::uint8_t s = sbox[i];
+      const std::uint8_t s2 = xtime(s);
+      const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+      const std::uint32_t t = (static_cast<std::uint32_t>(s2) << 24) |
+                              (static_cast<std::uint32_t>(s) << 16) |
+                              (static_cast<std::uint32_t>(s) << 8) | s3;
+      t0.raw(i) = t;
+      t1.raw(i) = rotr8(t);
+      t2.raw(i) = rotr8(rotr8(t));
+      t3.raw(i) = rotr8(rotr8(rotr8(t)));
+      sbox_mem.raw(i) = s;
+    }
+    // AES-128 key schedule.
+    std::uint32_t key[4];
+    for (auto& k : key) k = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t rcon = 0x01000000u;
+    for (int i = 0; i < 4; ++i) round_keys.raw(static_cast<std::size_t>(i)) = key[i];
+    for (int i = 4; i < 44; ++i) {
+      std::uint32_t tmp = round_keys.raw(static_cast<std::size_t>(i - 1));
+      if (i % 4 == 0) {
+        tmp = (tmp << 8) | (tmp >> 24);
+        tmp = (static_cast<std::uint32_t>(sbox[(tmp >> 24) & 0xff]) << 24) |
+              (static_cast<std::uint32_t>(sbox[(tmp >> 16) & 0xff]) << 16) |
+              (static_cast<std::uint32_t>(sbox[(tmp >> 8) & 0xff]) << 8) |
+              sbox[tmp & 0xff];
+        tmp ^= rcon;
+        rcon = static_cast<std::uint32_t>(gf_mul(static_cast<std::uint8_t>(rcon >> 24), 2)) << 24;
+      }
+      round_keys.raw(static_cast<std::size_t>(i)) =
+          round_keys.raw(static_cast<std::size_t>(i - 4)) ^ tmp;
+    }
+    for (std::size_t i = 0; i < blocks * 4; ++i) {
+      input.raw(i) = static_cast<std::uint32_t>(rng.next());
+    }
+  }
+
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    std::uint32_t s[4];
+    for (int i = 0; i < 4; ++i) {
+      s[i] = input.load(blk * 4 + static_cast<std::size_t>(i)) ^
+             round_keys.load(static_cast<std::size_t>(i));
+    }
+    for (int round = 1; round < 10; ++round) {
+      std::uint32_t t[4];
+      for (int i = 0; i < 4; ++i) {
+        t[i] = t0.load((s[i] >> 24) & 0xff) ^
+               t1.load((s[(i + 1) % 4] >> 16) & 0xff) ^
+               t2.load((s[(i + 2) % 4] >> 8) & 0xff) ^
+               t3.load(s[(i + 3) % 4] & 0xff) ^
+               round_keys.load(static_cast<std::size_t>(round * 4 + i));
+      }
+      for (int i = 0; i < 4; ++i) s[i] = t[i];
+    }
+    // Final round uses the plain S-box.
+    for (int i = 0; i < 4; ++i) {
+      const std::uint32_t w =
+          (static_cast<std::uint32_t>(sbox_mem.load((s[i] >> 24) & 0xff)) << 24) |
+          (static_cast<std::uint32_t>(sbox_mem.load((s[(i + 1) % 4] >> 16) & 0xff)) << 16) |
+          (static_cast<std::uint32_t>(sbox_mem.load((s[(i + 2) % 4] >> 8) & 0xff)) << 8) |
+          sbox_mem.load(s[(i + 3) % 4] & 0xff);
+      output.store(blk * 4 + static_cast<std::size_t>(i),
+                   w ^ round_keys.load(static_cast<std::size_t>(40 + i)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,88 @@
+// MiBench sha: SHA-1 digest of a byte buffer.
+//
+// Access pattern: sequential 64-byte chunk reads, an 80-word message
+// schedule written then re-read inside each chunk, and a 5-word state —
+// streaming input over a small, extremely hot scratch area.
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Trace sha(const WorkloadParams& p) {
+  Trace trace("sha");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x5a1);
+
+  const std::size_t n_chunks = scaled(p, 2'000);
+  TracedArray<std::uint32_t> buffer(rec, space, n_chunks * 16, "message");
+  TracedArray<std::uint32_t> w(rec, space, 80, "schedule");
+  TracedArray<std::uint32_t> digest(rec, space, 5, "digest");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n_chunks * 16; ++i) {
+      buffer.raw(i) = static_cast<std::uint32_t>(rng.next());
+    }
+    digest.raw(0) = 0x67452301u;
+    digest.raw(1) = 0xefcdab89u;
+    digest.raw(2) = 0x98badcfeu;
+    digest.raw(3) = 0x10325476u;
+    digest.raw(4) = 0xc3d2e1f0u;
+  }
+
+  for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+    for (std::size_t t = 0; t < 16; ++t) {
+      w.store(t, buffer.load(chunk * 16 + t));
+    }
+    for (std::size_t t = 16; t < 80; ++t) {
+      w.store(t, rotl(w.load(t - 3) ^ w.load(t - 8) ^ w.load(t - 14) ^
+                          w.load(t - 16),
+                      1));
+    }
+    std::uint32_t a = digest.load(0), b = digest.load(1), c = digest.load(2),
+                  d = digest.load(3), e = digest.load(4);
+    for (std::size_t t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdcu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6u;
+      }
+      const std::uint32_t tmp = rotl(a, 5) + f + e + k + w.load(t);
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    digest.store(0, digest.load(0) + a);
+    digest.store(1, digest.load(1) + b);
+    digest.store(2, digest.load(2) + c);
+    digest.store(3, digest.load(3) + d);
+    digest.store(4, digest.load(4) + e);
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

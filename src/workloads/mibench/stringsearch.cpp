@@ -1,0 +1,77 @@
+// MiBench stringsearch: Boyer-Moore-Horspool search of a pattern set over a
+// text corpus.
+//
+// Access pattern: per pattern a 256-entry skip table, then text scans whose
+// stride is data-dependent (the skip values) — sequential-ish reads with
+// irregular gaps plus small hot tables.
+#include <vector>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace stringsearch(const WorkloadParams& p) {
+  Trace trace("stringsearch");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x577);
+
+  const std::size_t text_len = scaled(p, 160'000);
+  const std::size_t n_patterns = scaled(p, 24);
+  constexpr std::size_t kPatLen = 8;
+
+  TracedArray<std::uint8_t> text(rec, space, text_len, "text");
+  TracedArray<std::uint8_t> patterns(rec, space, n_patterns * kPatLen,
+                                     "patterns");
+  TracedArray<std::uint8_t> skip(rec, space, 256, "skip_table");
+  TracedArray<std::uint32_t> match_count(rec, space, 1, "matches");
+
+  {
+    RecordingPause pause(rec);
+    // Text over a small alphabet (word-like) so partial matches occur.
+    static const char alphabet[] = "etaoinshr dlu";
+    for (std::size_t i = 0; i < text_len; ++i) {
+      text.raw(i) = static_cast<std::uint8_t>(
+          alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    for (std::size_t i = 0; i < n_patterns * kPatLen; ++i) {
+      patterns.raw(i) = static_cast<std::uint8_t>(
+          alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    match_count.raw(0) = 0;
+  }
+
+  for (std::size_t pi = 0; pi < n_patterns; ++pi) {
+    // Build the bad-character skip table for this pattern.
+    for (std::size_t c = 0; c < 256; ++c) {
+      skip.store(c, static_cast<std::uint8_t>(kPatLen));
+    }
+    for (std::size_t k = 0; k + 1 < kPatLen; ++k) {
+      skip.store(patterns.load(pi * kPatLen + k),
+                 static_cast<std::uint8_t>(kPatLen - 1 - k));
+    }
+    // Horspool scan.
+    std::size_t pos = 0;
+    while (pos + kPatLen <= text_len) {
+      const std::uint8_t last = text.load(pos + kPatLen - 1);
+      // Compare right-to-left until mismatch.
+      std::size_t k = kPatLen;
+      while (k > 0 &&
+             text.load(pos + k - 1) == patterns.load(pi * kPatLen + k - 1)) {
+        --k;
+      }
+      if (k == 0) {
+        match_count.store(0, match_count.load(0) + 1);
+      }
+      pos += skip.load(last);
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

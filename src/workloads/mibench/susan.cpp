@@ -1,0 +1,86 @@
+// MiBench susan: SUSAN image smoothing — a circular-mask stencil over a
+// greyscale image with a brightness lookup table.
+//
+// Access pattern: row-major sweep where each output pixel gathers a
+// fixed-shape 2-D neighbourhood (multiple rows touched per pixel, i.e.
+// several large-stride streams in flight) plus LUT lookups keyed by pixel
+// differences.
+#include <cmath>
+#include <vector>
+
+#include "workloads/detail.hpp"
+#include "workloads/mibench.hpp"
+
+namespace canu::mibench {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace susan(const WorkloadParams& p) {
+  Trace trace("susan");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x5554);
+
+  // Image dimensions scale with sqrt of the multiplier to keep the stencil
+  // cost roughly linear in `scale`.
+  const double side_scale = std::sqrt(std::max(0.0625, p.scale));
+  const std::size_t width =
+      std::max<std::size_t>(32, static_cast<std::size_t>(192 * side_scale));
+  const std::size_t height =
+      std::max<std::size_t>(32, static_cast<std::size_t>(144 * side_scale));
+
+  TracedArray<std::uint8_t> image(rec, space, width * height, "image_in");
+  TracedArray<std::uint8_t> smoothed(rec, space, width * height, "image_out");
+  TracedArray<std::uint16_t> lut(rec, space, 512, "brightness_lut");
+
+  {
+    RecordingPause pause(rec);
+    // A synthetic scene: smooth gradients with step edges, like the SUSAN
+    // test images (edges are what the brightness LUT discriminates).
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const std::size_t block = (x / 24 + y / 24);
+        const std::uint8_t base =
+            static_cast<std::uint8_t>((block * 40) & 0xff);
+        image.raw(y * width + x) = static_cast<std::uint8_t>(
+            base + static_cast<std::uint8_t>(rng.below(12)));
+      }
+    }
+    // exp(-(dI/t)^2) table, quantized — the SUSAN brightness function.
+    for (int d = -256; d < 256; ++d) {
+      const double v = std::exp(-(d / 27.0) * (d / 27.0)) * 1024.0;
+      lut.raw(static_cast<std::size_t>(d + 256)) =
+          static_cast<std::uint16_t>(v);
+    }
+  }
+
+  // Circular mask of radius 2 (13 pixels, the "small" SUSAN mask).
+  static constexpr int kMask[][2] = {
+      {0, -2}, {-1, -1}, {0, -1}, {1, -1}, {-2, 0}, {-1, 0}, {0, 0},
+      {1, 0},  {2, 0},   {-1, 1}, {0, 1},  {1, 1},  {0, 2}};
+
+  for (std::size_t y = 2; y + 2 < height; ++y) {
+    for (std::size_t x = 2; x + 2 < width; ++x) {
+      const std::uint8_t centre = image.load(y * width + x);
+      std::uint32_t weight_sum = 0;
+      std::uint32_t value_sum = 0;
+      for (const auto& off : kMask) {
+        const std::size_t yy = y + static_cast<std::size_t>(off[1] + 2) - 2;
+        const std::size_t xx = x + static_cast<std::size_t>(off[0] + 2) - 2;
+        const std::uint8_t pix = image.load(yy * width + xx);
+        const std::uint16_t wgt = lut.load(static_cast<std::size_t>(
+            static_cast<int>(pix) - static_cast<int>(centre) + 256));
+        weight_sum += wgt;
+        value_sum += wgt * pix;
+      }
+      smoothed.store(y * width + x,
+                     static_cast<std::uint8_t>(
+                         weight_sum ? value_sum / weight_sum : centre));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::mibench

@@ -1,0 +1,127 @@
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "workloads/mibench.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+
+namespace {
+
+std::vector<WorkloadInfo> build_registry() {
+  std::vector<WorkloadInfo> w;
+  const auto add = [&w](std::string name, std::string suite,
+                        std::string description,
+                        Trace (*fn)(const WorkloadParams&)) {
+    w.push_back(WorkloadInfo{std::move(name), std::move(suite),
+                             std::move(description), fn});
+  };
+
+  // MiBench (paper Figures 4, 6, 7, 9-12).
+  add("adpcm", "mibench", "IMA ADPCM speech encoding", &mibench::adpcm);
+  add("basicmath", "mibench", "cubic roots, isqrt, angle conversion",
+      &mibench::basicmath);
+  add("bitcount", "mibench", "bit-count algorithm battery",
+      &mibench::bitcount);
+  add("crc", "mibench", "CRC-32 over a byte buffer", &mibench::crc);
+  add("dijkstra", "mibench", "adjacency-matrix shortest paths",
+      &mibench::dijkstra);
+  add("fft", "mibench", "iterative radix-2 FFT + inverse", &mibench::fft);
+  add("patricia", "mibench", "Patricia trie routing lookups",
+      &mibench::patricia);
+  add("qsort", "mibench", "quicksort of string records", &mibench::qsort);
+  add("rijndael", "mibench", "AES-128 T-table encryption",
+      &mibench::rijndael);
+  add("sha", "mibench", "SHA-1 digest of a buffer", &mibench::sha);
+  add("susan", "mibench", "SUSAN image smoothing stencil", &mibench::susan);
+
+  // Additional MiBench programs, beyond the 11 the paper's figures use.
+  add("stringsearch", "mibench_extra", "Horspool multi-pattern search",
+      &mibench::stringsearch);
+  add("blowfish", "mibench_extra", "Blowfish CBC encryption",
+      &mibench::blowfish);
+  add("gsm", "mibench_extra", "GSM LPC/LTP speech encoding", &mibench::gsm);
+  add("jpeg", "mibench_extra", "JPEG 8x8 DCT + quantization + RLE",
+      &mibench::jpeg);
+
+  // SPEC 2006-like (paper Figure 8).
+  add("astar", "spec2006", "grid A* path search", &spec::astar);
+  add("bzip2", "spec2006", "block-sort + MTF + RLE compression",
+      &spec::bzip2);
+  add("calculix", "spec2006", "FE assembly + CSR Jacobi sweeps",
+      &spec::calculix);
+  add("gromacs", "spec2006", "cell-list molecular dynamics",
+      &spec::gromacs);
+  add("hmmer", "spec2006", "profile-HMM Viterbi DP", &spec::hmmer);
+  add("libquantum", "spec2006", "quantum register gate strides",
+      &spec::libquantum);
+  add("mcf", "spec2006", "network-simplex pricing + tree walks",
+      &spec::mcf);
+  add("milc", "spec2006", "4-D lattice link update", &spec::milc);
+  add("namd", "spec2006", "pairlist molecular dynamics (AoS)", &spec::namd);
+  add("sjeng", "spec2006", "game-tree search + transposition table",
+      &spec::sjeng);
+
+  // Synthetic (tests and ablations).
+  add("synthetic_uniform", "synthetic", "uniform random lines",
+      &synthetic::uniform);
+  add("synthetic_hotset", "synthetic", "90/10 hot-set skew",
+      &synthetic::hotset);
+  add("synthetic_strided", "synthetic", "cache-size power-of-two stride",
+      &synthetic::strided);
+  add("synthetic_gaussian", "synthetic", "drifting gaussian locality",
+      &synthetic::gaussian);
+  add("synthetic_sequential", "synthetic", "pure sequential sweep",
+      &synthetic::sequential);
+
+  std::sort(w.begin(), w.end(), [](const WorkloadInfo& a, const WorkloadInfo& b) {
+    return std::tie(a.suite, a.name) < std::tie(b.suite, b.name);
+  });
+  return w;
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& all_workloads() {
+  static const std::vector<WorkloadInfo> registry = build_registry();
+  return registry;
+}
+
+const WorkloadInfo* find_workload(const std::string& name) {
+  for (const WorkloadInfo& w : all_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+Trace generate_workload(const std::string& name, const WorkloadParams& params) {
+  const WorkloadInfo* info = find_workload(name);
+  CANU_CHECK_MSG(info != nullptr, "unknown workload: " << name);
+  return info->generate(params);
+}
+
+std::vector<std::string> workload_names(const std::string& suite) {
+  std::vector<std::string> names;
+  for (const WorkloadInfo& w : all_workloads()) {
+    if (suite.empty() || w.suite == suite) names.push_back(w.name);
+  }
+  return names;
+}
+
+const std::vector<std::string>& paper_mibench_set() {
+  static const std::vector<std::string> set = {
+      "adpcm", "basicmath", "bitcount", "crc",      "dijkstra", "fft",
+      "patricia", "qsort",  "rijndael", "sha",      "susan"};
+  return set;
+}
+
+const std::vector<std::string>& paper_spec_set() {
+  static const std::vector<std::string> set = {
+      "astar", "bzip2",      "calculix", "gromacs", "hmmer",
+      "libquantum", "mcf",   "milc",     "namd",    "sjeng"};
+  return set;
+}
+
+}  // namespace canu

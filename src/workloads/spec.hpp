@@ -1,0 +1,21 @@
+// SPEC CPU2006-like instrumented kernels (DESIGN.md §1): each function
+// exercises the dominant memory-access idiom of its namesake benchmark.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::spec {
+
+Trace astar(const WorkloadParams& p);       ///< grid A* path search
+Trace bzip2(const WorkloadParams& p);       ///< BWT-style block transform
+Trace calculix(const WorkloadParams& p);    ///< FE sparse solver (CSR SpMV)
+Trace gromacs(const WorkloadParams& p);     ///< MD cell-list force loop
+Trace hmmer(const WorkloadParams& p);       ///< profile-HMM Viterbi DP
+Trace libquantum(const WorkloadParams& p);  ///< quantum register gates
+Trace mcf(const WorkloadParams& p);         ///< network-simplex pricing
+Trace milc(const WorkloadParams& p);        ///< 4-D lattice QCD sweep
+Trace namd(const WorkloadParams& p);        ///< pairlist MD forces
+Trace sjeng(const WorkloadParams& p);       ///< game-tree search + hash table
+
+}  // namespace canu::spec

@@ -1,0 +1,137 @@
+// SPEC-like astar: A* search on an obstacle grid.
+//
+// Access pattern: a binary-heap open list (log-depth strided accesses into a
+// growing array), random-ish neighbour probes into the cost/closed grids,
+// and g-score updates — the mix of regular and data-driven accesses that
+// characterizes 473.astar.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace astar(const WorkloadParams& p) {
+  Trace trace("astar");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xa57a);
+
+  const std::size_t side = std::max<std::size_t>(
+      32, static_cast<std::size_t>(180 * std::sqrt(std::max(0.0625, p.scale))));
+  const std::size_t cells = side * side;
+  constexpr std::uint32_t kInf = 0x7fffffffu;
+
+  TracedArray<std::uint8_t> blocked(rec, space, cells, "obstacles");
+  TracedArray<std::uint32_t> gscore(rec, space, cells, "g_score");
+  TracedArray<std::uint8_t> closed(rec, space, cells, "closed");
+  TracedArray<std::uint32_t> heap(rec, space, cells * 2, "open_heap");
+  TracedArray<std::uint32_t> heap_key(rec, space, cells * 2, "open_keys");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < cells; ++i) {
+      blocked.raw(i) = rng.below(100) < 28 ? 1 : 0;  // ~28% obstacle density
+      gscore.raw(i) = kInf;
+      closed.raw(i) = 0;
+    }
+  }
+
+  std::size_t heap_size = 0;
+  auto heap_push = [&](std::uint32_t cell, std::uint32_t key) {
+    std::size_t i = heap_size++;
+    heap.store(i, cell);
+    heap_key.store(i, key);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_key.load(parent) <= heap_key.load(i)) break;
+      const std::uint32_t tc = heap.load(parent), tk = heap_key.load(parent);
+      heap.store(parent, heap.load(i));
+      heap_key.store(parent, heap_key.load(i));
+      heap.store(i, tc);
+      heap_key.store(i, tk);
+      i = parent;
+    }
+  };
+  auto heap_pop = [&]() -> std::uint32_t {
+    const std::uint32_t top = heap.load(0);
+    --heap_size;
+    heap.store(0, heap.load(heap_size));
+    heap_key.store(0, heap_key.load(heap_size));
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      std::size_t smallest = i;
+      if (l < heap_size && heap_key.load(l) < heap_key.load(smallest)) smallest = l;
+      if (r < heap_size && heap_key.load(r) < heap_key.load(smallest)) smallest = r;
+      if (smallest == i) break;
+      const std::uint32_t tc = heap.load(i), tk = heap_key.load(i);
+      heap.store(i, heap.load(smallest));
+      heap_key.store(i, heap_key.load(smallest));
+      heap.store(smallest, tc);
+      heap_key.store(smallest, tk);
+      i = smallest;
+    }
+    return top;
+  };
+
+  // The SPEC benchmark runs a stream of path queries over one map; we do
+  // the same with random unblocked start/goal pairs. Each query begins with
+  // recorded sweeps resetting the per-query arrays (the real program
+  // reinitializes its waymaps too).
+  const std::size_t queries = std::max<std::size_t>(2, scaled(p, 8) / 2);
+  for (std::size_t q = 0; q < queries; ++q) {
+    std::size_t start = rng.below(cells);
+    while (blocked.raw(start)) start = rng.below(cells);
+    std::size_t goal = rng.below(cells);
+    while (blocked.raw(goal) || goal == start) goal = rng.below(cells);
+    const std::size_t gx = goal % side, gy = goal / side;
+    const auto heuristic = [&](std::size_t cell) -> std::uint32_t {
+      const std::size_t x = cell % side, y = cell / side;
+      const std::size_t dx = x > gx ? x - gx : gx - x;
+      const std::size_t dy = y > gy ? y - gy : gy - y;
+      return static_cast<std::uint32_t>(dx + dy);
+    };
+
+    for (std::size_t i = 0; i < cells; ++i) {
+      gscore.store(i, kInf);
+      closed.store(i, 0);
+    }
+    heap_size = 0;
+    gscore.store(start, 0);
+    heap_push(static_cast<std::uint32_t>(start), heuristic(start));
+    while (heap_size > 0) {
+      const std::uint32_t cur = heap_pop();
+      if (cur == goal) break;
+      if (closed.load(cur)) continue;
+      closed.store(cur, 1);
+      const std::size_t x = cur % side, y = cur / side;
+      const std::uint32_t g = gscore.load(cur);
+      const long long dx[4] = {1, -1, 0, 0};
+      const long long dy[4] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        const long long nx = static_cast<long long>(x) + dx[d];
+        const long long ny = static_cast<long long>(y) + dy[d];
+        if (nx < 0 || ny < 0 || nx >= static_cast<long long>(side) ||
+            ny >= static_cast<long long>(side)) {
+          continue;
+        }
+        const std::size_t n = static_cast<std::size_t>(ny) * side +
+                              static_cast<std::size_t>(nx);
+        if (blocked.load(n) || closed.load(n)) continue;
+        const std::uint32_t ng = g + 1;
+        if (ng < gscore.load(n)) {
+          gscore.store(n, ng);
+          heap_push(static_cast<std::uint32_t>(n), ng + heuristic(n));
+        }
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

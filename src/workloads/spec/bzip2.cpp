@@ -1,0 +1,122 @@
+// SPEC-like bzip2: block-sorting compression front end — counting sort of
+// rotations by leading bytes, move-to-front coding and run-length output.
+//
+// Access pattern: multiple full passes over a ~100 KB block at byte
+// granularity, a 256-bucket histogram/scatter phase with data-dependent
+// targets, and the MTF table's shifting reads — bursty, re-walking streams.
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace bzip2(const WorkloadParams& p) {
+  Trace trace("bzip2");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xb21b);
+
+  const std::size_t n = scaled(p, 100'000);
+  TracedArray<std::uint8_t> block(rec, space, n, "block");
+  TracedArray<std::uint32_t> counts(rec, space, 256, "bucket_counts");
+  TracedArray<std::uint32_t> starts(rec, space, 257, "bucket_starts");
+  TracedArray<std::uint32_t> order(rec, space, n, "rotation_order");
+  TracedArray<std::uint8_t> mtf_table(rec, space, 256, "mtf_table");
+  TracedArray<std::uint8_t> output(rec, space, n + 16, "compressed");
+
+  {
+    RecordingPause pause(rec);
+    // Text-like input: skewed byte distribution with runs.
+    std::uint8_t prev = 'e';
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.below(100) < 35) {
+        block.raw(i) = prev;  // runs, as natural text has
+      } else {
+        static const char alphabet[] = " etaoinshrdlucmfwypvbgkjqxz.,\n";
+        prev = static_cast<std::uint8_t>(
+            alphabet[rng.below(sizeof(alphabet) - 1)]);
+        block.raw(i) = prev;
+      }
+    }
+  }
+
+  // Pass 1: histogram of leading bytes.
+  for (std::size_t i = 0; i < 256; ++i) counts.store(i, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = block.load(i);
+    counts.store(b, counts.load(b) + 1);
+  }
+  // Prefix sums into bucket starts.
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    starts.store(i, running);
+    running += counts.load(i);
+  }
+  starts.store(256, running);
+
+  // Pass 2: scatter rotation indexes into their first-byte buckets (the
+  // radix step that seeds bzip2's rotation sort).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = block.load(i);
+    const std::uint32_t pos = starts.load(b);
+    order.store(pos, static_cast<std::uint32_t>(i));
+    starts.store(b, pos + 1);
+  }
+
+  // Pass 3: refine each bucket by second byte (insertion sort on the
+  // second character, bounded — stands in for the full rotation sort).
+  std::uint32_t bucket_start = 0;
+  for (std::size_t b = 0; b < 256; ++b) {
+    const std::uint32_t bucket_end = bucket_start + counts.load(b);
+    const std::uint32_t limit = std::min<std::uint32_t>(
+        bucket_end, bucket_start + 64);  // bounded refinement
+    for (std::uint32_t i = bucket_start + 1; i < limit; ++i) {
+      const std::uint32_t rot = order.load(i);
+      const std::uint8_t key = block.load((rot + 1) % n);
+      std::uint32_t j = i;
+      while (j > bucket_start &&
+             block.load((order.load(j - 1) + 1) % n) > key) {
+        order.store(j, order.load(j - 1));
+        --j;
+      }
+      order.store(j, rot);
+    }
+    bucket_start = bucket_end;
+  }
+
+  // Pass 4: last-column extraction + move-to-front + RLE write.
+  for (std::size_t i = 0; i < 256; ++i) {
+    mtf_table.store(i, static_cast<std::uint8_t>(i));
+  }
+  std::size_t out_pos = 0;
+  std::uint8_t run_char = 0;
+  std::uint32_t run_len = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t rot = order.load(i);
+    const std::uint8_t last = block.load((rot + n - 1) % n);
+    // Move-to-front: find the symbol's rank, shift the prefix down.
+    std::uint8_t rank = 0;
+    while (mtf_table.load(rank) != last) ++rank;
+    for (std::uint8_t r = rank; r > 0; --r) {
+      mtf_table.store(r, mtf_table.load(r - 1));
+    }
+    mtf_table.store(0, last);
+    // RLE of ranks.
+    if (rank == run_char && run_len < 255) {
+      ++run_len;
+    } else {
+      if (out_pos + 2 < n) {
+        output.store(out_pos++, run_char);
+        output.store(out_pos++, static_cast<std::uint8_t>(run_len));
+      }
+      run_char = rank;
+      run_len = 1;
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

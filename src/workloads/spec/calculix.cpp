@@ -1,0 +1,85 @@
+// SPEC-like calculix: finite-element structural solver inner loop — element
+// stiffness assembly (scatter-add into a CSR matrix) followed by Jacobi-
+// preconditioned matrix-vector iterations.
+//
+// Access pattern: indexed scatter during assembly, then repeated CSR SpMV
+// sweeps (sequential row pointers, indirect column gathers) — the
+// irregular-gather signature of sparse FE codes.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace calculix(const WorkloadParams& p) {
+  Trace trace("calculix");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0xca1c);
+
+  // 2-D structured grid; 5-point Laplacian stencil gives the CSR pattern.
+  const std::size_t side = std::max<std::size_t>(
+      16, static_cast<std::size_t>(100 * std::sqrt(std::max(0.0625, p.scale))));
+  const std::size_t rows = side * side;
+  const std::size_t max_nnz = rows * 5;
+  const std::size_t iterations = 8;
+
+  TracedArray<std::uint32_t> row_ptr(rec, space, rows + 1, "row_ptr");
+  TracedArray<std::uint32_t> col_idx(rec, space, max_nnz, "col_idx");
+  TracedArray<double> values(rec, space, max_nnz, "values");
+  TracedArray<double> x(rec, space, rows, "x");
+  TracedArray<double> y(rec, space, rows, "y");
+  TracedArray<double> diag(rec, space, rows, "diag");
+  TracedArray<double> rhs(rec, space, rows, "rhs");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < rows; ++i) {
+      x.raw(i) = 0.0;
+      rhs.raw(i) = rng.uniform();
+    }
+  }
+
+  // Assembly phase (recorded): build the CSR Laplacian row by row.
+  std::uint32_t nnz = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_ptr.store(r, nnz);
+    const std::size_t ix = r % side, iy = r / side;
+    const auto add = [&](std::size_t c, double v) {
+      col_idx.store(nnz, static_cast<std::uint32_t>(c));
+      values.store(nnz, v);
+      ++nnz;
+    };
+    if (iy > 0) add(r - side, -1.0);
+    if (ix > 0) add(r - 1, -1.0);
+    add(r, 4.0);
+    diag.store(r, 4.0);
+    if (ix + 1 < side) add(r + 1, -1.0);
+    if (iy + 1 < side) add(r + side, -1.0);
+  }
+  row_ptr.store(rows, nnz);
+
+  // Jacobi iterations: x_{k+1} = x_k + D^{-1} (b - A x_k).
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::uint32_t begin = row_ptr.load(r);
+      const std::uint32_t end = row_ptr.load(r + 1);
+      double acc = 0.0;
+      for (std::uint32_t k = begin; k < end; ++k) {
+        acc += values.load(k) * x.load(col_idx.load(k));
+      }
+      y.store(r, acc);
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      x.store(r, x.load(r) + (rhs.load(r) - y.load(r)) / diag.load(r));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

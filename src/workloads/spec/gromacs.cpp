@@ -1,0 +1,125 @@
+// SPEC-like gromacs: molecular-dynamics non-bonded force loop with cell
+// lists.
+//
+// Access pattern: per particle, gather the positions of neighbours found via
+// a spatial cell grid and scatter force updates back — spatially correlated
+// but irregular pairs, the signature of MD kernels.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace gromacs(const WorkloadParams& p) {
+  Trace trace("gromacs");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x602a);
+
+  const std::size_t n = scaled(p, 4'000);  // particles
+  constexpr double kBox = 10.0;
+  constexpr double kCut2 = 1.44;  // squared cutoff
+  const std::size_t cells_per_dim = 8;
+  const std::size_t n_cells = cells_per_dim * cells_per_dim * cells_per_dim;
+
+  // Split coordinate arrays, as gromacs stores them.
+  TracedArray<double> px(rec, space, n, "pos_x");
+  TracedArray<double> py(rec, space, n, "pos_y");
+  TracedArray<double> pz(rec, space, n, "pos_z");
+  TracedArray<double> fx(rec, space, n, "force_x");
+  TracedArray<double> fy(rec, space, n, "force_y");
+  TracedArray<double> fz(rec, space, n, "force_z");
+  TracedArray<std::uint32_t> cell_head(rec, space, n_cells, "cell_head");
+  TracedArray<std::uint32_t> cell_next(rec, space, n, "cell_next");
+  constexpr std::uint32_t kNil = 0xffffffffu;
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      px.raw(i) = rng.uniform() * kBox;
+      py.raw(i) = rng.uniform() * kBox;
+      pz.raw(i) = rng.uniform() * kBox;
+      fx.raw(i) = fy.raw(i) = fz.raw(i) = 0.0;
+    }
+  }
+
+  const auto cell_of = [&](double cx, double cy, double cz) {
+    const auto clampc = [&](double v) {
+      return std::min(cells_per_dim - 1,
+                      static_cast<std::size_t>(v / kBox *
+                                               static_cast<double>(cells_per_dim)));
+    };
+    return (clampc(cx) * cells_per_dim + clampc(cy)) * cells_per_dim +
+           clampc(cz);
+  };
+
+  constexpr std::size_t kSteps = 2;
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    // Build cell lists (linked lists threaded through cell_next).
+    for (std::size_t c = 0; c < n_cells; ++c) cell_head.store(c, kNil);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = cell_of(px.load(i), py.load(i), pz.load(i));
+      cell_next.store(i, cell_head.load(c));
+      cell_head.store(c, static_cast<std::uint32_t>(i));
+    }
+
+    // Force loop: each particle against its own and +1-neighbour cells.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = px.load(i), yi = py.load(i), zi = pz.load(i);
+      double fxi = fx.load(i), fyi = fy.load(i), fzi = fz.load(i);
+      const std::size_t ci = cell_of(xi, yi, zi);
+      const std::size_t cx = ci / (cells_per_dim * cells_per_dim);
+      const std::size_t cy = (ci / cells_per_dim) % cells_per_dim;
+      const std::size_t cz = ci % cells_per_dim;
+      for (std::size_t dx = 0; dx < 2; ++dx) {
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dz = 0; dz < 2; ++dz) {
+            const std::size_t nc =
+                ((cx + dx) % cells_per_dim * cells_per_dim +
+                 (cy + dy) % cells_per_dim) *
+                    cells_per_dim +
+                (cz + dz) % cells_per_dim;
+            for (std::uint32_t j = cell_head.load(nc); j != kNil;
+                 j = cell_next.load(j)) {
+              if (j <= i) continue;
+              const double ddx = xi - px.load(j);
+              const double ddy = yi - py.load(j);
+              const double ddz = zi - pz.load(j);
+              const double r2 = ddx * ddx + ddy * ddy + ddz * ddz;
+              if (r2 > kCut2 || r2 == 0.0) continue;
+              // Lennard-Jones force magnitude.
+              const double inv2 = 1.0 / r2;
+              const double inv6 = inv2 * inv2 * inv2;
+              const double f = (48.0 * inv6 * inv6 - 24.0 * inv6) * inv2;
+              fxi += f * ddx;
+              fyi += f * ddy;
+              fzi += f * ddz;
+              fx.store(j, fx.load(j) - f * ddx);
+              fy.store(j, fy.load(j) - f * ddy);
+              fz.store(j, fz.load(j) - f * ddz);
+            }
+          }
+        }
+      }
+      fx.store(i, fxi);
+      fy.store(i, fyi);
+      fz.store(i, fzi);
+    }
+
+    // Position integration (leapfrog step, forces as pseudo-velocities).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale = 1e-4;
+      px.store(i, std::fmod(px.load(i) + scale * fx.load(i) + kBox, kBox));
+      py.store(i, std::fmod(py.load(i) + scale * fy.load(i) + kBox, kBox));
+      pz.store(i, std::fmod(pz.load(i) + scale * fz.load(i) + kBox, kBox));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

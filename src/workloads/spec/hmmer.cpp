@@ -1,0 +1,92 @@
+// SPEC-like hmmer: profile-HMM Viterbi dynamic programming (the P7Viterbi
+// inner loop that dominates 456.hmmer).
+//
+// Access pattern: for each sequence position, a sequential sweep across all
+// model states reading three previous-row DP arrays and the transition/
+// emission tables — long unit-stride streams re-read every row.
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace hmmer(const WorkloadParams& p) {
+  Trace trace("hmmer");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x4e12);
+
+  const std::size_t m = scaled(p, 320);  // model states
+  const std::size_t l = scaled(p, 280);  // sequence length
+  constexpr std::int32_t kNegInf = -1'000'000'000;
+
+  TracedArray<std::int32_t> match_prev(rec, space, m + 1, "match_prev");
+  TracedArray<std::int32_t> match_cur(rec, space, m + 1, "match_cur");
+  TracedArray<std::int32_t> insert_prev(rec, space, m + 1, "insert_prev");
+  TracedArray<std::int32_t> insert_cur(rec, space, m + 1, "insert_cur");
+  TracedArray<std::int32_t> delete_cur(rec, space, m + 1, "delete_cur");
+  TracedArray<std::int32_t> tr_mm(rec, space, m + 1, "trans_mm");
+  TracedArray<std::int32_t> tr_im(rec, space, m + 1, "trans_im");
+  TracedArray<std::int32_t> tr_dm(rec, space, m + 1, "trans_dm");
+  TracedArray<std::int32_t> tr_mi(rec, space, m + 1, "trans_mi");
+  TracedArray<std::int32_t> tr_md(rec, space, m + 1, "trans_md");
+  TracedArray<std::int32_t> emit(rec, space, 20 * (m + 1), "emissions");
+  TracedArray<std::uint8_t> seq(rec, space, l, "sequence");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t k = 0; k <= m; ++k) {
+      tr_mm.raw(k) = -static_cast<std::int32_t>(rng.below(100));
+      tr_im.raw(k) = -static_cast<std::int32_t>(rng.below(400)) - 100;
+      tr_dm.raw(k) = -static_cast<std::int32_t>(rng.below(400)) - 100;
+      tr_mi.raw(k) = -static_cast<std::int32_t>(rng.below(600)) - 200;
+      tr_md.raw(k) = -static_cast<std::int32_t>(rng.below(600)) - 200;
+      match_prev.raw(k) = kNegInf;
+      insert_prev.raw(k) = kNegInf;
+    }
+    for (std::size_t e = 0; e < 20 * (m + 1); ++e) {
+      emit.raw(e) = -static_cast<std::int32_t>(rng.below(500));
+    }
+    for (std::size_t i = 0; i < l; ++i) {
+      seq.raw(i) = static_cast<std::uint8_t>(rng.below(20));
+    }
+    match_prev.raw(0) = 0;
+  }
+
+  const auto max3 = [](std::int32_t a, std::int32_t b, std::int32_t c) {
+    return std::max(a, std::max(b, c));
+  };
+
+  for (std::size_t i = 0; i < l; ++i) {
+    const std::uint8_t residue = seq.load(i);
+    match_cur.store(0, kNegInf);
+    insert_cur.store(0, kNegInf);
+    delete_cur.store(0, kNegInf);
+    for (std::size_t k = 1; k <= m; ++k) {
+      // Match state: best of M/I/D at k-1 plus transition, plus emission.
+      const std::int32_t mscore =
+          max3(match_prev.load(k - 1) + tr_mm.load(k - 1),
+               insert_prev.load(k - 1) + tr_im.load(k - 1),
+               delete_cur.load(k - 1) + tr_dm.load(k - 1)) +
+          emit.load(static_cast<std::size_t>(residue) * (m + 1) + k);
+      match_cur.store(k, mscore);
+      // Insert state.
+      insert_cur.store(k, std::max(match_prev.load(k) + tr_mi.load(k),
+                                   insert_prev.load(k) - 50));
+      // Delete state (within-row recurrence).
+      delete_cur.store(k, std::max(match_cur.load(k - 1) + tr_md.load(k - 1),
+                                   delete_cur.load(k - 1) - 50));
+    }
+    // Row swap: current becomes previous.
+    for (std::size_t k = 0; k <= m; ++k) {
+      match_prev.store(k, match_cur.load(k));
+      insert_prev.store(k, insert_cur.load(k));
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

@@ -1,0 +1,89 @@
+// SPEC-like libquantum: gate application over a quantum register's
+// amplitude vector.
+//
+// Access pattern: a Hadamard on qubit k touches amplitude pairs (i, i ^ 2^k)
+// — pure power-of-two-strided pair accesses whose stride grows gate by gate.
+// Like fft, this folds whole passes onto few cache sets, and is one of the
+// benchmarks where alternative index functions shine.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace libquantum(const WorkloadParams& p) {
+  Trace trace("libquantum");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x11b0);
+
+  // Register width scales logarithmically with the multiplier.
+  std::size_t qubits = 13;
+  double s = p.scale;
+  while (s >= 2.0 && qubits < 22) {
+    ++qubits;
+    s /= 2.0;
+  }
+  while (s <= 0.5 && qubits > 8) {
+    --qubits;
+    s *= 2.0;
+  }
+  const std::size_t n = std::size_t{1} << qubits;
+
+  TracedArray<double> amp_re(rec, space, n, "amp_real");
+  TracedArray<double> amp_im(rec, space, n, "amp_imag");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < n; ++i) {
+      amp_re.raw(i) = (i == 0) ? 1.0 : 0.0;
+      amp_im.raw(i) = 0.0;
+    }
+  }
+
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+  const auto hadamard = [&](std::size_t q) {
+    const std::size_t stride = std::size_t{1} << q;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i & stride) continue;
+      const std::size_t j = i | stride;
+      const double ar = amp_re.load(i), ai = amp_im.load(i);
+      const double br = amp_re.load(j), bi = amp_im.load(j);
+      amp_re.store(i, (ar + br) * inv_sqrt2);
+      amp_im.store(i, (ai + bi) * inv_sqrt2);
+      amp_re.store(j, (ar - br) * inv_sqrt2);
+      amp_im.store(j, (ai - bi) * inv_sqrt2);
+    }
+  };
+
+  const auto cnot = [&](std::size_t control, std::size_t target) {
+    const std::size_t cbit = std::size_t{1} << control;
+    const std::size_t tbit = std::size_t{1} << target;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i & cbit) && !(i & tbit)) {
+        const std::size_t j = i | tbit;
+        const double tr = amp_re.load(i), ti = amp_im.load(i);
+        amp_re.store(i, amp_re.load(j));
+        amp_im.store(i, amp_im.load(j));
+        amp_re.store(j, tr);
+        amp_im.store(j, ti);
+      }
+    }
+  };
+
+  // A Shor-like circuit sketch: Hadamard wall, entangling ladder, second
+  // Hadamard wall (the access pattern, not the algorithm, is the point).
+  for (std::size_t q = 0; q < qubits; ++q) hadamard(q);
+  for (std::size_t q = 0; q + 1 < qubits; ++q) cnot(q, q + 1);
+  for (std::size_t q = 0; q < qubits; ++q) hadamard(qubits - 1 - q);
+  (void)rng;
+  return trace;
+}
+
+}  // namespace canu::spec

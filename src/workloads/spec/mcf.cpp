@@ -1,0 +1,89 @@
+// SPEC-like mcf: minimum-cost-flow network simplex pricing and tree walks.
+//
+// Access pattern: full sweeps over the arc arrays reading the endpoint
+// nodes' potentials (two dependent random-ish gathers per arc), followed by
+// parent-pointer chasing up the spanning tree — the cache-hostile pointer
+// workload 429.mcf is famous for.
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+Trace mcf(const WorkloadParams& p) {
+  Trace trace("mcf");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x3cf);
+
+  const std::size_t nodes = scaled(p, 12'000);
+  const std::size_t arcs = nodes * 4;
+  const std::size_t iterations = 6;
+
+  TracedArray<std::int64_t> potential(rec, space, nodes, "node_potential");
+  TracedArray<std::uint32_t> parent(rec, space, nodes, "node_parent");
+  TracedArray<std::uint32_t> depth(rec, space, nodes, "node_depth");
+  TracedArray<std::uint32_t> arc_from(rec, space, arcs, "arc_from");
+  TracedArray<std::uint32_t> arc_to(rec, space, arcs, "arc_to");
+  TracedArray<std::int32_t> arc_cost(rec, space, arcs, "arc_cost");
+  TracedArray<std::int32_t> arc_flow(rec, space, arcs, "arc_flow");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      potential.raw(i) = static_cast<std::int64_t>(rng.below(10'000));
+      // Random spanning forest with shallow-ish depths.
+      parent.raw(i) = i == 0 ? 0 : static_cast<std::uint32_t>(rng.below(i));
+      depth.raw(i) = 0;
+    }
+    for (std::size_t a = 0; a < arcs; ++a) {
+      arc_from.raw(a) = static_cast<std::uint32_t>(rng.below(nodes));
+      arc_to.raw(a) = static_cast<std::uint32_t>(rng.below(nodes));
+      arc_cost.raw(a) = static_cast<std::int32_t>(rng.below(1000)) - 500;
+      arc_flow.raw(a) = 0;
+    }
+  }
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Pricing sweep: find the most negative reduced cost arc.
+    std::size_t best_arc = 0;
+    std::int64_t best_reduced = 0;
+    for (std::size_t a = 0; a < arcs; ++a) {
+      const std::uint32_t u = arc_from.load(a);
+      const std::uint32_t v = arc_to.load(a);
+      const std::int64_t reduced =
+          arc_cost.load(a) + potential.load(u) - potential.load(v);
+      if (reduced < best_reduced) {
+        best_reduced = reduced;
+        best_arc = a;
+      }
+    }
+    if (best_reduced == 0) break;
+
+    // Pivot: walk both endpoints up the tree to (approximately) their join,
+    // augmenting flow along the way.
+    std::uint32_t u = arc_from.load(best_arc);
+    std::uint32_t v = arc_to.load(best_arc);
+    arc_flow.store(best_arc, arc_flow.load(best_arc) + 1);
+    for (std::size_t hops = 0; hops < 64 && u != v; ++hops) {
+      if (u > v) {
+        u = parent.load(u);
+      } else {
+        v = parent.load(v);
+      }
+    }
+    // Potential update over a contiguous block of nodes (the subtree cut
+    // in the real code; approximated by the pivot node's neighbourhood).
+    const std::size_t start = arc_to.load(best_arc) % nodes;
+    const std::size_t span = std::min<std::size_t>(nodes - start, 2'048);
+    for (std::size_t i = start; i < start + span; ++i) {
+      potential.store(i, potential.load(i) + best_reduced);
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

@@ -1,0 +1,86 @@
+// SPEC-like milc: 4-D lattice QCD link update — SU(3)-style 3x3 complex
+// matrix multiplies between each site and its forward neighbours.
+//
+// Access pattern: sweeps over a 4-D lattice where the neighbour in each
+// dimension sits at a different power-of-two-ish stride (x: 1 site, y: Lx,
+// z: Lx*Ly, t: Lx*Ly*Lz sites of 144 bytes each) — multi-stride streaming
+// over a footprint far larger than L1.
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+constexpr std::size_t kMat = 18;  // 3x3 complex doubles per link matrix
+
+}  // namespace
+
+Trace milc(const WorkloadParams& p) {
+  Trace trace("milc");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x311c);
+
+  // Lattice side scales with the 4th root of the multiplier.
+  std::size_t side = 6;
+  double s = p.scale;
+  while (s >= 4.0 && side < 12) {
+    side += 2;
+    s /= 4.0;
+  }
+  while (s <= 0.25 && side > 4) {
+    side -= 2;
+    s *= 4.0;
+  }
+  const std::size_t sites = side * side * side * side;
+
+  TracedArray<double> links(rec, space, sites * kMat, "gauge_links");
+  TracedArray<double> staples(rec, space, sites * kMat, "staples");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < sites * kMat; ++i) {
+      links.raw(i) = rng.uniform() - 0.5;
+      staples.raw(i) = 0.0;
+    }
+  }
+
+  const std::size_t stride[4] = {1, side, side * side, side * side * side};
+
+  // 3x3 complex multiply C += A * B over the instrumented arrays.
+  const auto mat_mul_acc = [&](std::size_t a_base, std::size_t b_base,
+                               std::size_t c_base) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        double cr = staples.load(c_base + (i * 3 + j) * 2);
+        double ci = staples.load(c_base + (i * 3 + j) * 2 + 1);
+        for (std::size_t k = 0; k < 3; ++k) {
+          const double ar = links.load(a_base + (i * 3 + k) * 2);
+          const double ai = links.load(a_base + (i * 3 + k) * 2 + 1);
+          const double br = links.load(b_base + (k * 3 + j) * 2);
+          const double bi = links.load(b_base + (k * 3 + j) * 2 + 1);
+          cr += ar * br - ai * bi;
+          ci += ar * bi + ai * br;
+        }
+        staples.store(c_base + (i * 3 + j) * 2, cr);
+        staples.store(c_base + (i * 3 + j) * 2 + 1, ci);
+      }
+    }
+  };
+
+  // One staple-accumulation sweep per dimension.
+  for (std::size_t mu = 0; mu < 4; ++mu) {
+    for (std::size_t site = 0; site < sites; ++site) {
+      const std::size_t fwd = (site + stride[mu]) % sites;
+      mat_mul_acc(site * kMat, fwd * kMat, site * kMat);
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

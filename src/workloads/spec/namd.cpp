@@ -1,0 +1,103 @@
+// SPEC-like namd: molecular dynamics with precomputed pair lists
+// (444.namd's selfComputes/pairComputes iterate explicit neighbour lists).
+//
+// Access pattern: a long indirection list driving paired gathers into an
+// array-of-structures particle layout (position + force interleaved, unlike
+// the gromacs kernel's split arrays) — the same physics, a different memory
+// layout, hence a different per-set pressure signature.
+#include <cmath>
+
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+// AoS record: x, y, z, fx, fy, fz packed per atom.
+constexpr std::size_t kFields = 6;
+
+}  // namespace
+
+Trace namd(const WorkloadParams& p) {
+  Trace trace("namd");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x4a3d);
+
+  const std::size_t atoms = scaled(p, 3'000);
+  const std::size_t pairs_per_atom = 24;
+  const std::size_t n_pairs = atoms * pairs_per_atom;
+  constexpr double kBox = 12.0;
+
+  TracedArray<double> atom(rec, space, atoms * kFields, "atoms_aos");
+  TracedArray<std::uint32_t> pair_i(rec, space, n_pairs, "pairlist_i");
+  TracedArray<std::uint32_t> pair_j(rec, space, n_pairs, "pairlist_j");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < atoms; ++i) {
+      atom.raw(i * kFields + 0) = rng.uniform() * kBox;
+      atom.raw(i * kFields + 1) = rng.uniform() * kBox;
+      atom.raw(i * kFields + 2) = rng.uniform() * kBox;
+      atom.raw(i * kFields + 3) = 0.0;
+      atom.raw(i * kFields + 4) = 0.0;
+      atom.raw(i * kFields + 5) = 0.0;
+    }
+    // Pair lists are spatially local in real runs: neighbours are mostly
+    // nearby indexes (atoms are sorted by cell), with a random remainder.
+    std::size_t pl = 0;
+    for (std::size_t i = 0; i < atoms; ++i) {
+      for (std::size_t k = 0; k < pairs_per_atom; ++k) {
+        std::size_t j;
+        if (rng.below(100) < 80) {
+          j = std::min(atoms - 1, i + 1 + rng.below(32));
+        } else {
+          j = rng.below(atoms);
+        }
+        pair_i.raw(pl) = static_cast<std::uint32_t>(i);
+        pair_j.raw(pl) = static_cast<std::uint32_t>(j == i ? (i + 1) % atoms : j);
+        ++pl;
+      }
+    }
+  }
+
+  constexpr std::size_t kSteps = 2;
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    for (std::size_t pr = 0; pr < n_pairs; ++pr) {
+      const std::size_t i = pair_i.load(pr);
+      const std::size_t j = pair_j.load(pr);
+      const double dx = atom.load(i * kFields) - atom.load(j * kFields);
+      const double dy =
+          atom.load(i * kFields + 1) - atom.load(j * kFields + 1);
+      const double dz =
+          atom.load(i * kFields + 2) - atom.load(j * kFields + 2);
+      const double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      if (r2 > 2.25) continue;
+      const double inv2 = 1.0 / r2;
+      const double inv6 = inv2 * inv2 * inv2;
+      const double f = (48.0 * inv6 * inv6 - 24.0 * inv6) * inv2;
+      atom.store(i * kFields + 3, atom.load(i * kFields + 3) + f * dx);
+      atom.store(i * kFields + 4, atom.load(i * kFields + 4) + f * dy);
+      atom.store(i * kFields + 5, atom.load(i * kFields + 5) + f * dz);
+      atom.store(j * kFields + 3, atom.load(j * kFields + 3) - f * dx);
+      atom.store(j * kFields + 4, atom.load(j * kFields + 4) - f * dy);
+      atom.store(j * kFields + 5, atom.load(j * kFields + 5) - f * dz);
+    }
+    // Integration sweep.
+    for (std::size_t i = 0; i < atoms; ++i) {
+      for (std::size_t d = 0; d < 3; ++d) {
+        const double x = atom.load(i * kFields + d) +
+                         1e-5 * atom.load(i * kFields + 3 + d);
+        atom.store(i * kFields + d, std::fmod(x + kBox, kBox));
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

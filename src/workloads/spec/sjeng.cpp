@@ -1,0 +1,107 @@
+// SPEC-like sjeng: game-tree search with a Zobrist-hashed transposition
+// table (458.sjeng's dominant memory behaviour).
+//
+// Access pattern: random-looking probes into a multi-megabit hash table
+// keyed by incrementally updated Zobrist hashes, against a backdrop of tiny
+// hot board/history arrays — near-uniform random access over a large
+// footprint, the worst case for any indexing trick.
+#include "workloads/detail.hpp"
+#include "workloads/spec.hpp"
+
+namespace canu::spec {
+
+using workloads_detail::make_rng;
+using workloads_detail::make_space;
+using workloads_detail::scaled;
+
+namespace {
+
+// Transposition-table entry: packed key + score + depth (16 bytes).
+struct TtPacked {
+  std::uint64_t key;
+  std::uint64_t data;
+};
+
+}  // namespace
+
+Trace sjeng(const WorkloadParams& p) {
+  Trace trace("sjeng");
+  TraceRecorder rec(trace);
+  AddressSpace space = make_space(p);
+  Xoshiro256 rng = make_rng(p, 0x53e6);
+
+  const std::size_t tt_entries = 1u << 15;  // 512 KB of 16-byte entries
+  const std::size_t probes = scaled(p, 120'000);
+
+  TracedArray<std::uint64_t> zobrist(rec, space, 64 * 12, "zobrist_keys");
+  TracedArray<std::uint8_t> board(rec, space, 64, "board");
+  TracedArray<std::uint64_t> tt_key(rec, space, tt_entries, "tt_keys");
+  TracedArray<std::uint64_t> tt_data(rec, space, tt_entries, "tt_data");
+  TracedArray<std::uint32_t> history(rec, space, 64 * 64, "history_table");
+
+  {
+    RecordingPause pause(rec);
+    for (std::size_t i = 0; i < 64 * 12; ++i) zobrist.raw(i) = rng.next();
+    for (std::size_t i = 0; i < 64; ++i) {
+      board.raw(i) = static_cast<std::uint8_t>(rng.below(13));  // 0 = empty
+    }
+    for (std::size_t i = 0; i < tt_entries; ++i) {
+      tt_key.raw(i) = 0;
+      tt_data.raw(i) = 0;
+    }
+  }
+
+  // Compute the initial hash (a recorded scan of the board).
+  std::uint64_t hash = 0;
+  for (std::size_t sq = 0; sq < 64; ++sq) {
+    const std::uint8_t piece = board.load(sq);
+    if (piece) hash ^= zobrist.load((piece - 1) * 64 + sq);
+  }
+
+  // Search loop: make a pseudo-move (incremental hash update), probe the
+  // transposition table, update history on "cutoffs", then unmake the move
+  // — exactly the make/probe/unmake rhythm of a real alpha-beta search, so
+  // the board never drains of pieces and the hash keeps full entropy.
+  for (std::size_t n = 0; n < probes; ++n) {
+    // Pick a random occupied square and a destination.
+    const std::size_t from = rng.below(64);
+    const std::size_t to = rng.below(64);
+    const std::uint8_t piece = board.load(from);
+    const std::uint64_t saved_hash = hash;
+    std::uint8_t captured = 0;
+    if (piece && to != from) {
+      hash ^= zobrist.load((piece - 1) * 64 + from);
+      hash ^= zobrist.load((piece - 1) * 64 + to);
+      captured = board.load(to);
+      if (captured) hash ^= zobrist.load((captured - 1) * 64 + to);
+      board.store(to, piece);
+      board.store(from, 0);
+    }
+
+    // Transposition-table probe (always-replace policy, as sjeng's default).
+    const std::size_t slot = hash & (tt_entries - 1);
+    const std::uint64_t stored = tt_key.load(slot);
+    if (stored == hash) {
+      (void)tt_data.load(slot);  // TT hit: read the stored bound
+    } else {
+      tt_key.store(slot, hash);
+      tt_data.store(slot, (hash >> 16) ^ n);
+    }
+
+    // History-heuristic update on a simulated beta cutoff.
+    if (rng.below(4) == 0) {
+      const std::size_t h = from * 64 + to;
+      history.store(h, history.load(h) + 1);
+    }
+
+    // Unmake the move (restore board and hash).
+    if (piece && to != from) {
+      board.store(from, piece);
+      board.store(to, captured);
+      hash = saved_hash;
+    }
+  }
+  return trace;
+}
+
+}  // namespace canu::spec

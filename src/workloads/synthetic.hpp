@@ -1,0 +1,26 @@
+// Synthetic trace generators with analytically known properties — used by
+// property tests (e.g. "a uniform stream has near-zero per-set skewness")
+// and by the ablation benches.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::synthetic {
+
+/// Uniform random line-granularity accesses over a configurable footprint.
+Trace uniform(const WorkloadParams& p);
+
+/// Hot-set pattern: 90% of accesses hit 10% of the footprint.
+Trace hotset(const WorkloadParams& p);
+
+/// Fixed power-of-two stride walk (the worst case for modulo indexing).
+Trace strided(const WorkloadParams& p);
+
+/// Gaussian-centred accesses drifting across the footprint.
+Trace gaussian(const WorkloadParams& p);
+
+/// Pure sequential sweep (compulsory misses only).
+Trace sequential(const WorkloadParams& p);
+
+}  // namespace canu::synthetic

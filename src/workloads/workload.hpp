@@ -1,0 +1,58 @@
+// Workload interface and registry.
+//
+// A workload is a deterministic generator of a memory trace: a real algorithm
+// executed against instrumented containers (trace/traced_memory.hpp) in a
+// deterministic virtual address space. Workloads substitute for the paper's
+// SimpleScalar-collected MiBench/SPEC traces (DESIGN.md §1): the access
+// *pattern* is produced by the same algorithm the benchmark is named after.
+//
+// All generators are pure functions of WorkloadParams — same params, same
+// trace, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace canu {
+
+struct WorkloadParams {
+  /// RNG seed for input-data synthesis (not for the algorithm itself).
+  std::uint64_t seed = 1;
+  /// Problem-size multiplier; 1.0 gives roughly 10^5..10^6 references.
+  double scale = 1.0;
+  /// Base of the workload's virtual address space. Distinct bases give
+  /// co-scheduled threads disjoint address spaces (multithreaded runs).
+  std::uint64_t address_base = 0x1000'0000;
+};
+
+struct WorkloadInfo {
+  std::string name;         ///< e.g. "fft"
+  std::string suite;        ///< "mibench", "spec2006" or "synthetic"
+  std::string description;  ///< one-line summary of the kernel
+  std::function<Trace(const WorkloadParams&)> generate;
+};
+
+/// All registered workloads, in deterministic (suite, name) order.
+const std::vector<WorkloadInfo>& all_workloads();
+
+/// Look up a workload by name; returns nullptr if unknown.
+const WorkloadInfo* find_workload(const std::string& name);
+
+/// Generate a workload trace by name; throws canu::Error on unknown name.
+Trace generate_workload(const std::string& name,
+                        const WorkloadParams& params = WorkloadParams());
+
+/// Names of all workloads, optionally filtered by suite ("" = all).
+std::vector<std::string> workload_names(const std::string& suite = "");
+
+/// The 11 MiBench programs evaluated in the paper's Figures 4, 6, 7, 9-12.
+const std::vector<std::string>& paper_mibench_set();
+
+/// The 10 SPEC 2006 programs in the paper's Figure 8.
+const std::vector<std::string>& paper_spec_set();
+
+}  // namespace canu

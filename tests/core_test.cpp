@@ -1,0 +1,180 @@
+// Tests for src/core: scheme factory, the Evaluator and the Advisor.
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/evaluator.hpp"
+#include "core/scheme.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+WorkloadParams fast_params() {
+  WorkloadParams p;
+  p.scale = 0.25;
+  return p;
+}
+
+// -------------------------------------------------------------- scheme ----
+
+TEST(SchemeSpec, LabelsAreStable) {
+  EXPECT_EQ(SchemeSpec::baseline().label(), "direct[modulo]");
+  EXPECT_EQ(SchemeSpec::indexing(IndexScheme::kXor).label(), "direct[xor]");
+  EXPECT_EQ(SchemeSpec::set_assoc(4).label(), "4way");
+  EXPECT_EQ(SchemeSpec::column_associative().label(),
+            "column_assoc[modulo]");
+  EXPECT_EQ(SchemeSpec::column_associative(IndexScheme::kPrimeModulo).label(),
+            "column_assoc[prime_modulo]");
+  EXPECT_EQ(SchemeSpec::adaptive_cache().label(), "adaptive");
+  EXPECT_EQ(SchemeSpec::b_cache().label(), "b_cache");
+  EXPECT_EQ(SchemeSpec::victim_cache(4).label(), "victim(4)");
+}
+
+TEST(SchemeSpec, BuildsEveryOrganization) {
+  Trace profile;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    profile.append(rng.below(1 << 20), AccessType::kRead);
+  }
+  const CacheGeometry g = CacheGeometry::paper_l1();
+  for (const SchemeSpec& spec :
+       {SchemeSpec::baseline(), SchemeSpec::indexing(IndexScheme::kGivargis),
+        SchemeSpec::set_assoc(8), SchemeSpec::column_associative(),
+        SchemeSpec::adaptive_cache(), SchemeSpec::b_cache(),
+        SchemeSpec::victim_cache()}) {
+    auto model = build_l1_model(spec, g, &profile);
+    ASSERT_NE(model, nullptr) << spec.label();
+    model->access(0x1234);
+    EXPECT_EQ(model->stats().accesses, 1u) << spec.label();
+  }
+}
+
+TEST(SchemeSpec, SetAssocChangesGeometry) {
+  auto model = build_l1_model(SchemeSpec::set_assoc(8),
+                              CacheGeometry::paper_l1(), nullptr);
+  EXPECT_EQ(model->num_sets(), 128u) << "32KB / (32B * 8 ways)";
+}
+
+// ------------------------------------------------------------ evaluator ----
+
+TEST(Evaluator, ProducesAllCells) {
+  EvalOptions opt;
+  opt.params = fast_params();
+  Evaluator ev(opt);
+  ev.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+  ev.add_scheme(SchemeSpec::column_associative());
+
+  const EvalReport rep = ev.evaluate({"crc", "sha"});
+  EXPECT_EQ(rep.workloads.size(), 2u);
+  EXPECT_EQ(rep.scheme_labels.size(), 2u);
+  EXPECT_EQ(rep.cells.size(), 4u);
+  EXPECT_EQ(rep.baseline_runs.size(), 2u);
+  ASSERT_NE(rep.cell("crc", "direct[xor]"), nullptr);
+  EXPECT_EQ(rep.cell("crc", "nonexistent"), nullptr);
+}
+
+TEST(Evaluator, ReductionsConsistentWithRuns) {
+  EvalOptions opt;
+  opt.params = fast_params();
+  Evaluator ev(opt);
+  ev.add_scheme(SchemeSpec::column_associative());
+  const EvalReport rep = ev.evaluate({"crc"});
+  const EvalCell* cell = rep.cell("crc", "column_assoc[modulo]");
+  ASSERT_NE(cell, nullptr);
+  const RunResult& base = rep.baseline_runs.at("crc");
+  const double expected =
+      100.0 * (base.miss_rate() - cell->run.miss_rate()) / base.miss_rate();
+  EXPECT_NEAR(cell->miss_reduction_pct, expected, 1e-9);
+}
+
+TEST(Evaluator, DeterministicAcrossThreadCounts) {
+  EvalOptions opt1;
+  opt1.params = fast_params();
+  opt1.threads = 1;
+  EvalOptions opt4 = opt1;
+  opt4.threads = 4;
+
+  Evaluator e1(opt1), e4(opt4);
+  e1.add_paper_indexing_schemes();
+  e4.add_paper_indexing_schemes();
+  const EvalReport r1 = e1.evaluate({"crc", "bitcount"});
+  const EvalReport r4 = e4.evaluate({"crc", "bitcount"});
+  for (const auto& [key, cell] : r1.cells) {
+    const EvalCell* other = r4.cell(key.first, key.second);
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(cell.run.miss_rate(), other->run.miss_rate());
+  }
+}
+
+TEST(Evaluator, PaperSchemeSetsHaveExpectedLabels) {
+  Evaluator ev;
+  ev.add_paper_indexing_schemes();
+  ev.add_paper_assoc_schemes();
+  std::vector<std::string> labels;
+  for (const SchemeSpec& s : ev.schemes()) labels.push_back(s.label());
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{
+                "direct[xor]", "direct[odd_multiplier]",
+                "direct[prime_modulo]", "direct[givargis]",
+                "direct[givargis_xor]", "adaptive", "b_cache",
+                "column_assoc[modulo]"}));
+}
+
+TEST(Evaluator, TablesCarryAllRows) {
+  EvalOptions opt;
+  opt.params = fast_params();
+  Evaluator ev(opt);
+  ev.add_scheme(SchemeSpec::b_cache());
+  const EvalReport rep = ev.evaluate({"crc", "sha", "bitcount"});
+  const ComparisonTable t = rep.miss_reduction_table();
+  EXPECT_EQ(t.rows().size(), 3u);
+  EXPECT_EQ(t.columns().size(), 1u);
+}
+
+TEST(Evaluator, RejectsEmptyWorkloadList) {
+  Evaluator ev;
+  EXPECT_THROW(ev.evaluate({}), Error);
+}
+
+// -------------------------------------------------------------- advisor ----
+
+TEST(Advisor, RanksByMissRate) {
+  Advisor::Options opt;
+  Advisor advisor(opt);
+  const AdvisorReport rep = advisor.advise_workload("crc", fast_params());
+  ASSERT_FALSE(rep.ranked.empty());
+  for (std::size_t i = 1; i < rep.ranked.size(); ++i) {
+    EXPECT_LE(rep.ranked[i - 1].result.miss_rate(),
+              rep.ranked[i].result.miss_rate());
+  }
+}
+
+TEST(Advisor, CandidateSetMatchesOptions) {
+  Advisor::Options idx_only;
+  idx_only.include_programmable_associativity = false;
+  EXPECT_EQ(Advisor(idx_only).candidates().size(), 5u);
+
+  Advisor::Options assoc_only;
+  assoc_only.include_indexing = false;
+  EXPECT_EQ(Advisor(assoc_only).candidates().size(), 3u);
+}
+
+TEST(Advisor, BestChoiceBeatsOrMatchesRest) {
+  const AdvisorReport rep =
+      Advisor().advise_workload("synthetic_strided", fast_params());
+  // The strided workload aliases onto one set under modulo indexing: some
+  // candidate must improve on the baseline massively.
+  EXPECT_GT(rep.best().miss_reduction_pct, 50.0);
+  EXPECT_FALSE(rep.keep_conventional());
+}
+
+TEST(Advisor, KeepsConventionalWhenNothingHelps) {
+  // A pure sequential sweep has only compulsory misses: no scheme can
+  // reduce them, so the advisor should fall back to conventional indexing.
+  const AdvisorReport rep =
+      Advisor().advise_workload("synthetic_sequential", fast_params());
+  EXPECT_LE(rep.best().miss_reduction_pct, 1.0);
+}
+
+}  // namespace
+}  // namespace canu

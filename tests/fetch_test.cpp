@@ -1,0 +1,163 @@
+// Tests for the instruction-fetch generator and the split L1I/L1D
+// hierarchy.
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "cache/split_hierarchy.hpp"
+#include "trace/fetch_gen.hpp"
+#include "trace/trace_stats.hpp"
+#include "stats/uniformity.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+namespace {
+
+// ---------------------------------------------------------- fetch gen ----
+
+TEST(FetchGen, ProducesRequestedLengthOfFetches) {
+  FetchParams p;
+  p.length = 50'000;
+  const Trace t = generate_fetch_trace(p);
+  EXPECT_EQ(t.size(), 50'000u);
+  for (const MemRef& r : t) {
+    ASSERT_EQ(r.type, AccessType::kFetch);
+    ASSERT_GE(r.addr, p.code_base);
+  }
+}
+
+TEST(FetchGen, Deterministic) {
+  FetchParams p;
+  p.length = 30'000;
+  EXPECT_EQ(generate_fetch_trace(p), generate_fetch_trace(p));
+  FetchParams p2 = p;
+  p2.seed = 42;
+  EXPECT_NE(generate_fetch_trace(p), generate_fetch_trace(p2));
+}
+
+TEST(FetchGen, MostlySequentialWithinBlocks) {
+  FetchParams p;
+  p.length = 100'000;
+  const Trace t = generate_fetch_trace(p);
+  const TraceStats s = compute_trace_stats(t, 32);
+  // The dominant inter-reference stride of an instruction stream is the
+  // instruction size.
+  ASSERT_FALSE(s.top_strides.empty());
+  EXPECT_EQ(s.top_strides[0].stride, 4);
+  EXPECT_GT(s.top_strides[0].count, t.size() / 2);
+}
+
+TEST(FetchGen, CodeFootprintBounded) {
+  FetchParams p;
+  p.length = 200'000;
+  const Trace t = generate_fetch_trace(p);
+  const TraceStats s = compute_trace_stats(t, 32);
+  // 96 functions x ~7 blocks x ~7.5 insns x 4 B ~= 200 KB ceiling.
+  EXPECT_LT(s.footprint_bytes, 512 * 1024u);
+  EXPECT_GT(s.unique_lines, 100u);
+  // Heavy reuse: the trace revisits the image many times over.
+  EXPECT_GT(s.total, s.unique_addresses * 3);
+}
+
+TEST(FetchGen, InstructionStreamsAreCacheFriendly) {
+  // The motivation for split caches: I-streams hit far better than the
+  // D-streams of the same size class in a 32 KB direct-mapped cache.
+  FetchParams p;
+  p.length = 400'000;
+  const Trace t = generate_fetch_trace(p);
+  SetAssocCache icache(CacheGeometry::paper_l1());
+  for (const MemRef& r : t) icache.access(r.addr, r.type);
+  EXPECT_LT(icache.stats().miss_rate(), 0.05);
+}
+
+TEST(FetchGen, ValidatesParams) {
+  FetchParams p;
+  p.functions = 0;
+  EXPECT_THROW(generate_fetch_trace(p), Error);
+  FetchParams p2;
+  p2.hot_functions = 1000;
+  EXPECT_THROW(generate_fetch_trace(p2), Error);
+}
+
+// -------------------------------------------------------------- merge ----
+
+TEST(MergeFetchData, InterleavesAtRequestedRatio) {
+  Trace fetch("f"), data("d");
+  for (int i = 0; i < 9; ++i) {
+    fetch.append(0x400000 + static_cast<std::uint64_t>(i) * 4,
+                 AccessType::kFetch);
+  }
+  for (int i = 0; i < 3; ++i) {
+    data.append(0x1000 + static_cast<std::uint64_t>(i) * 8,
+                AccessType::kRead);
+  }
+  const Trace merged = merge_fetch_data(fetch, data, 3);
+  ASSERT_EQ(merged.size(), 12u);
+  // Pattern: F F F D F F F D F F F D.
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const bool expect_fetch = (i % 4) != 3;
+    EXPECT_EQ(merged[i].type == AccessType::kFetch, expect_fetch) << i;
+  }
+}
+
+TEST(MergeFetchData, DrainsLongerStream) {
+  Trace fetch("f"), data("d");
+  fetch.append(0x400000, AccessType::kFetch);
+  for (int i = 0; i < 5; ++i) {
+    data.append(static_cast<std::uint64_t>(i) * 32, AccessType::kRead);
+  }
+  const Trace merged = merge_fetch_data(fetch, data, 3);
+  EXPECT_EQ(merged.size(), 6u);
+}
+
+// ---------------------------------------------------- split hierarchy ----
+
+TEST(SplitHierarchy, RoutesByAccessType) {
+  SetAssocCache l1i(CacheGeometry::paper_l1());
+  SetAssocCache l1d(CacheGeometry::paper_l1());
+  SplitHierarchy h(l1i, l1d, CacheGeometry::paper_l2());
+
+  h.access(0x400000, AccessType::kFetch);
+  h.access(0x400000, AccessType::kFetch);
+  h.access(0x1000, AccessType::kRead);
+  h.access(0x2000, AccessType::kWrite);
+
+  EXPECT_EQ(l1i.stats().accesses, 2u);
+  EXPECT_EQ(l1d.stats().accesses, 2u);
+  EXPECT_EQ(h.result().l2.accesses, 3u);  // 1 I-miss + 2 D-misses
+}
+
+TEST(SplitHierarchy, SharedL2SeesBothStreams) {
+  FetchParams fp;
+  fp.length = 60'000;
+  const Trace fetch = generate_fetch_trace(fp);
+  Trace data("d");
+  for (int i = 0; i < 20'000; ++i) {
+    data.append(static_cast<std::uint64_t>(i % 3000) * 32, AccessType::kRead);
+  }
+  const Trace merged = merge_fetch_data(fetch, data, 3);
+
+  SetAssocCache l1i(CacheGeometry::paper_l1());
+  SetAssocCache l1d(CacheGeometry::paper_l1());
+  SplitHierarchy h(l1i, l1d, CacheGeometry::paper_l2());
+  const SplitHierarchyResult res = h.run(merged);
+
+  EXPECT_EQ(res.references, merged.size());
+  EXPECT_EQ(res.l1i.accesses + res.l1d.accesses, merged.size());
+  EXPECT_EQ(res.l2.accesses, res.l1i.misses + res.l1d.misses);
+  EXPECT_GT(res.measured_amat(), 1.0);
+  // I-side must be much more uniform than the D-side for this loopy code.
+  EXPECT_LT(res.l1i.miss_rate(), res.l1d.miss_rate());
+}
+
+TEST(SplitHierarchy, FlushResets) {
+  SetAssocCache l1i(CacheGeometry::paper_l1());
+  SetAssocCache l1d(CacheGeometry::paper_l1());
+  SplitHierarchy h(l1i, l1d, CacheGeometry::paper_l2());
+  h.access(0x400000, AccessType::kFetch);
+  h.flush();
+  EXPECT_EQ(h.result().references, 0u);
+  EXPECT_EQ(l1i.stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,372 @@
+// Unit + property tests for src/indexing: every scheme of the paper's
+// Section II.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "indexing/factory.hpp"
+#include "indexing/givargis.hpp"
+#include "indexing/givargis_xor.hpp"
+#include "indexing/modulo.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "indexing/patel.hpp"
+#include "indexing/prime_modulo.hpp"
+#include "indexing/xor_index.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+Trace make_profile(std::size_t n = 2000, std::uint64_t seed = 3) {
+  Trace t("profile");
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(0x1000'0000 + rng.below(1 << 20), AccessType::kRead);
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- modulo ----
+
+TEST(ModuloIndex, ExtractsTraditionalIndexBits) {
+  ModuloIndex idx(1024, 5);  // the paper's configuration
+  EXPECT_EQ(idx.index(0), 0u);
+  EXPECT_EQ(idx.index(32), 1u);            // one line up
+  EXPECT_EQ(idx.index(32 * 1024), 0u);     // wraps at cache size
+  EXPECT_EQ(idx.index(32 * 1023), 1023u);  // last set
+  EXPECT_EQ(idx.sets(), 1024u);
+  EXPECT_EQ(idx.index_bits(), 10u);
+}
+
+TEST(ModuloIndex, OffsetBitsIgnored) {
+  ModuloIndex idx(1024, 5);
+  for (std::uint64_t off = 0; off < 32; ++off) {
+    EXPECT_EQ(idx.index(0x1234000 + off), idx.index(0x1234000));
+  }
+}
+
+TEST(ModuloIndex, RejectsNonPow2Sets) {
+  EXPECT_THROW(ModuloIndex(1000, 5), Error);
+}
+
+// ---------------------------------------------------------------- xor ----
+
+TEST(XorIndex, XorsTagLowBitsIntoIndex) {
+  XorIndex idx(16, 2);  // 4 index bits at [2..6), tag bits at [6..10)
+  // addr: index field = 0b0011, tag low bits = 0b0101 -> 0b0110.
+  const std::uint64_t addr = (0b0101u << 6) | (0b0011u << 2);
+  EXPECT_EQ(idx.index(addr), 0b0110u);
+}
+
+TEST(XorIndex, ConflictingAddressesSeparated) {
+  // Two addresses with identical index fields but different tags must land
+  // in different sets (the XOR rationale in paper §II.D).
+  XorIndex idx(1024, 5);
+  const std::uint64_t a = (std::uint64_t{1} << 15) | (7u << 5);
+  const std::uint64_t b = (std::uint64_t{2} << 15) | (7u << 5);
+  EXPECT_NE(idx.index(a), idx.index(b));
+}
+
+// ----------------------------------------------------- odd multiplier ----
+
+TEST(OddMultiplierIndex, MatchesFormula) {
+  // index = (p*T + I) mod s  (paper eq. (4))
+  OddMultiplierIndex idx(1024, 5, 21);
+  const std::uint64_t tag = 37, index_field = 100;
+  const std::uint64_t addr = (tag << 15) | (index_field << 5);
+  EXPECT_EQ(idx.index(addr), (21 * tag + index_field) % 1024);
+}
+
+TEST(OddMultiplierIndex, RecommendedMultipliersAccepted) {
+  for (std::uint64_t m : OddMultiplierIndex::kRecommendedMultipliers) {
+    OddMultiplierIndex idx(1024, 5, m);
+    EXPECT_EQ(idx.multiplier(), m);
+    EXPECT_LT(idx.index(0xdeadbeef), 1024u);
+  }
+}
+
+TEST(OddMultiplierIndex, RejectsEvenMultiplier) {
+  EXPECT_THROW(OddMultiplierIndex(1024, 5, 10), Error);
+}
+
+TEST(OddMultiplierIndex, NameIncludesMultiplier) {
+  EXPECT_EQ(OddMultiplierIndex(64, 5, 31).name(), "odd_multiplier(31)");
+}
+
+// ------------------------------------------------------- prime modulo ----
+
+TEST(PrimeModuloIndex, UsesLargestPrimeBelowSets) {
+  PrimeModuloIndex idx(1024, 5);
+  EXPECT_EQ(idx.prime(), 1021u);
+  EXPECT_EQ(idx.sets(), 1021u);
+  EXPECT_EQ(idx.physical_sets(), 1024u);
+}
+
+TEST(PrimeModuloIndex, MatchesFormula) {
+  PrimeModuloIndex idx(1024, 5);
+  const std::uint64_t addr = 0x12345678;
+  EXPECT_EQ(idx.index(addr), (addr >> 5) % 1021);
+}
+
+TEST(PrimeModuloIndex, FragmentationReported) {
+  PrimeModuloIndex idx(1024, 5);
+  EXPECT_NEAR(idx.fragmentation(), 3.0 / 1024.0, 1e-12);
+}
+
+TEST(PrimeModuloIndex, NeverProducesFragmentedSets) {
+  PrimeModuloIndex idx(128, 5);  // prime = 127
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_LT(idx.index(rng.next()), 127u);
+  }
+}
+
+// ----------------------------------------------------------- givargis ----
+
+TEST(Givargis, QualityOfBalancedBitIsOne) {
+  // Addresses alternate bit 5: perfectly balanced -> quality 1.
+  Trace t;
+  for (int i = 0; i < 64; ++i) {
+    t.append(static_cast<std::uint64_t>(i) << 5, AccessType::kRead);
+  }
+  GivargisOptions opt;
+  opt.candidate_window = 6;
+  const auto a = GivargisIndex::analyse(t, 2, 5, opt);
+  // Candidate bits start at 5 (offset bits excluded); bit 5 alternates.
+  EXPECT_DOUBLE_EQ(a.quality[0], 1.0);
+}
+
+TEST(Givargis, ConstantBitHasZeroQuality) {
+  Trace t;
+  for (int i = 0; i < 32; ++i) {
+    // Bit 10 is always set.
+    t.append((1u << 10) | (static_cast<std::uint64_t>(i) << 5),
+             AccessType::kRead);
+  }
+  GivargisOptions opt;
+  opt.candidate_window = 8;
+  const auto a = GivargisIndex::analyse(t, 2, 5, opt);
+  // Bit 10 is candidate index 5 (candidates 5,6,7,8,9,10,11,12).
+  EXPECT_DOUBLE_EQ(a.quality[5], 0.0);
+}
+
+TEST(Givargis, SelectsRequestedNumberOfBits) {
+  const Trace profile = make_profile();
+  GivargisIndex idx(profile, 64, 5);
+  EXPECT_EQ(idx.selected_bits().size(), 6u);
+  EXPECT_EQ(idx.sets(), 64u);
+}
+
+TEST(Givargis, SelectedBitsAboveOffset) {
+  const Trace profile = make_profile();
+  GivargisIndex idx(profile, 64, 5);
+  for (unsigned b : idx.selected_bits()) EXPECT_GE(b, 5u);
+}
+
+TEST(Givargis, AvoidsPerfectlyCorrelatedDuplicate) {
+  // Construct addresses where bit 6 == bit 7 always (fully correlated) and
+  // bits 5, 8 are independent: selection must not take both 6 and 7.
+  Trace t;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t b5 = rng.below(2), b6 = rng.below(2),
+                        b8 = rng.below(2);
+    t.append((b5 << 5) | (b6 << 6) | (b6 << 7) | (b8 << 8),
+             AccessType::kRead);
+  }
+  GivargisOptions opt;
+  opt.candidate_window = 4;
+  const auto a = GivargisIndex::analyse(t, 3, 5, opt);
+  const std::set<unsigned> chosen(a.selected_bits.begin(),
+                                  a.selected_bits.end());
+  EXPECT_FALSE(chosen.count(6) && chosen.count(7))
+      << "picked both of a perfectly correlated pair";
+}
+
+TEST(Givargis, EmptyProfileThrows) {
+  Trace empty;
+  EXPECT_THROW(GivargisIndex(empty, 64, 5), Error);
+}
+
+TEST(GivargisXor, SelectsTagBitsOnly) {
+  const Trace profile = make_profile();
+  GivargisXorIndex idx(profile, 64, 5);  // tag region starts at bit 11
+  for (unsigned b : idx.selected_tag_bits()) EXPECT_GE(b, 11u);
+  EXPECT_EQ(idx.selected_tag_bits().size(), 6u);
+}
+
+TEST(GivargisXor, ReducesToIndexWhenTagHashZero) {
+  // With all tag bits zero, the XOR contributes nothing.
+  Trace t;
+  for (int i = 0; i < 64; ++i) {
+    t.append(static_cast<std::uint64_t>(i) << 5, AccessType::kRead);
+  }
+  GivargisXorIndex idx(t, 16, 5);
+  const std::uint64_t addr = 7u << 5;  // index field = 7, tag = 0
+  EXPECT_EQ(idx.index(addr), 7u);
+}
+
+// -------------------------------------------------------------- patel ----
+
+TEST(Patel, FindsConflictFreeBitsOnCraftedTrace) {
+  // Addresses differ only in bits [12..16): traditional low-index bits are
+  // constant, so modulo indexing thrashes while the optimal choice is
+  // conflict-free. Patel's search must find bits that separate them.
+  Trace t;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      t.append(v << 12, AccessType::kRead);
+    }
+  }
+  PatelOptions opt;
+  opt.candidate_window = 12;
+  PatelOptimalIndex idx(t, 16, 5, opt);
+  // 16 compulsory misses are unavoidable; the optimum has no conflicts.
+  EXPECT_EQ(idx.best_cost(), 16u);
+  // And the chosen function maps the 16 addresses to 16 distinct sets.
+  std::set<std::uint64_t> sets;
+  for (std::uint64_t v = 0; v < 16; ++v) sets.insert(idx.index(v << 12));
+  EXPECT_EQ(sets.size(), 16u);
+}
+
+TEST(Patel, SearchesExpectedCombinationCount) {
+  Trace t = make_profile(200);
+  PatelOptions opt;
+  opt.candidate_window = 8;
+  PatelOptimalIndex idx(t, 16, 5, opt);  // C(8,4) = 70
+  EXPECT_EQ(idx.combinations_searched(), 70u);
+}
+
+TEST(Patel, RespectsCombinationCap) {
+  Trace t = make_profile(100);
+  PatelOptions opt;
+  opt.candidate_window = 30;
+  opt.max_combinations = 1000;  // C(30,4) = 27405 > cap
+  EXPECT_THROW(PatelOptimalIndex(t, 16, 5, opt), Error);
+}
+
+TEST(Patel, CombinationCostMatchesDirectSimulation) {
+  Trace t = make_profile(500, 9);
+  const std::vector<unsigned> bits = {5, 6, 7, 8};
+  const std::uint64_t cost =
+      PatelOptimalIndex::combination_cost(t, bits, 16, 5);
+  // Reference simulation.
+  std::vector<std::uint64_t> resident(16, ~std::uint64_t{0});
+  std::uint64_t misses = 0;
+  for (const MemRef& r : t) {
+    std::uint64_t set = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      set |= ((r.addr >> bits[i]) & 1) << i;
+    }
+    const std::uint64_t line = r.addr >> 5;
+    if (resident[set] != line) {
+      ++misses;
+      resident[set] = line;
+    }
+  }
+  EXPECT_EQ(cost, misses);
+}
+
+// ------------------------------------------------------------ factory ----
+
+TEST(Factory, NamesRoundTrip) {
+  for (IndexScheme s : kAllIndexSchemes) {
+    EXPECT_EQ(parse_index_scheme(index_scheme_name(s)), s);
+  }
+  EXPECT_THROW(parse_index_scheme("nope"), Error);
+}
+
+TEST(Factory, ProfileRequirementEnforced) {
+  EXPECT_THROW(
+      make_index_function(IndexScheme::kGivargis, 64, 5, nullptr),
+      Error);
+  EXPECT_NO_THROW(make_index_function(IndexScheme::kXor, 64, 5, nullptr));
+}
+
+TEST(Factory, BuildsEverySchemeWithProfile) {
+  const Trace profile = make_profile();
+  IndexFactoryOptions opt;
+  opt.patel_candidate_window = 8;
+  for (IndexScheme s : kAllIndexSchemes) {
+    auto fn = make_index_function(s, 16, 5, &profile, opt);
+    ASSERT_NE(fn, nullptr) << index_scheme_name(s);
+    EXPECT_LE(fn->sets(), 16u);
+    EXPECT_FALSE(fn->name().empty());
+  }
+}
+
+// --------------------------------------------- range property (TEST_P) ----
+
+struct RangeCase {
+  IndexScheme scheme;
+  std::uint64_t sets;
+  unsigned offset_bits;
+};
+
+class IndexRangeProperty : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(IndexRangeProperty, IndexAlwaysBelowSets) {
+  const RangeCase c = GetParam();
+  const Trace profile = make_profile(1500, 17);
+  IndexFactoryOptions opt;
+  opt.patel_candidate_window = 10;
+  auto fn = make_index_function(c.scheme, c.sets, c.offset_bits, &profile, opt);
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t addr = rng.next() & ((std::uint64_t{1} << 34) - 1);
+    EXPECT_LT(fn->index(addr), fn->sets());
+  }
+  // And on the profile's own addresses.
+  for (const MemRef& r : profile) EXPECT_LT(fn->index(r.addr), fn->sets());
+}
+
+std::vector<RangeCase> range_cases() {
+  std::vector<RangeCase> cases;
+  for (IndexScheme s : kAllIndexSchemes) {
+    for (std::uint64_t sets : {16ull, 64ull, 256ull}) {
+      for (unsigned off : {4u, 5u, 6u}) {
+        cases.push_back({s, sets, off});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, IndexRangeProperty, ::testing::ValuesIn(range_cases()),
+    [](const ::testing::TestParamInfo<RangeCase>& info) {
+      return index_scheme_name(info.param.scheme) + "_s" +
+             std::to_string(info.param.sets) + "_o" +
+             std::to_string(info.param.offset_bits);
+    });
+
+// Offset-invariance: all schemes must map every byte of one line to the
+// same set (otherwise a line could straddle sets).
+class IndexLineInvariance : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(IndexLineInvariance, SameLineSameSet) {
+  const RangeCase c = GetParam();
+  const Trace profile = make_profile(800, 29);
+  IndexFactoryOptions opt;
+  opt.patel_candidate_window = 10;
+  auto fn = make_index_function(c.scheme, c.sets, c.offset_bits, &profile, opt);
+  Xoshiro256 rng(77);
+  const std::uint64_t line_size = std::uint64_t{1} << c.offset_bits;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t base = (rng.next() >> 20) & ~(line_size - 1);
+    const std::uint64_t expect = fn->index(base);
+    EXPECT_EQ(fn->index(base + rng.below(line_size)), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, IndexLineInvariance, ::testing::ValuesIn(range_cases()),
+    [](const ::testing::TestParamInfo<RangeCase>& info) {
+      return index_scheme_name(info.param.scheme) + "_s" +
+             std::to_string(info.param.sets) + "_o" +
+             std::to_string(info.param.offset_bits);
+    });
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,196 @@
+// Cross-module integration and property tests: every cache organization is
+// run against real workload traces and checked for the invariants that must
+// hold regardless of scheme, plus the theoretical bounds the paper appeals
+// to (fully-associative OPT as the floor).
+#include <cctype>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cache/belady.hpp"
+#include "core/evaluator.hpp"
+#include "core/scheme.hpp"
+#include "sim/runner.hpp"
+#include "stats/uniformity.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+WorkloadParams fast_params() {
+  WorkloadParams p;
+  p.scale = 0.25;
+  return p;
+}
+
+struct ModelCase {
+  std::string workload;
+  std::string scheme_label;
+  SchemeSpec spec;
+};
+
+std::vector<ModelCase> model_cases() {
+  const std::vector<std::string> workloads = {"fft", "crc", "sjeng",
+                                              "synthetic_hotset"};
+  const std::vector<SchemeSpec> specs = {
+      SchemeSpec::baseline(),
+      SchemeSpec::indexing(IndexScheme::kXor),
+      SchemeSpec::indexing(IndexScheme::kOddMultiplier),
+      SchemeSpec::indexing(IndexScheme::kPrimeModulo),
+      SchemeSpec::indexing(IndexScheme::kGivargis),
+      SchemeSpec::indexing(IndexScheme::kGivargisXor),
+      SchemeSpec::set_assoc(2),
+      SchemeSpec::set_assoc(8),
+      SchemeSpec::column_associative(),
+      SchemeSpec::column_associative(IndexScheme::kOddMultiplier),
+      SchemeSpec::adaptive_cache(),
+      SchemeSpec::b_cache(),
+      SchemeSpec::victim_cache(),
+      SchemeSpec::partner_cache(),
+      SchemeSpec::skewed_assoc(2),
+  };
+  std::vector<ModelCase> cases;
+  for (const auto& w : workloads) {
+    for (const auto& s : specs) {
+      cases.push_back({w, s.label(), s});
+    }
+  }
+  return cases;
+}
+
+class ModelInvariants : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  static const Trace& trace_for(const std::string& name) {
+    static std::map<std::string, Trace> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      it = cache.emplace(name, generate_workload(name, fast_params())).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(ModelInvariants, CountersAddUp) {
+  const ModelCase& c = GetParam();
+  const Trace& trace = trace_for(c.workload);
+  auto model = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  for (const MemRef& r : trace) model->access(r.addr, r.type);
+
+  const CacheStats& s = model->stats();
+  EXPECT_EQ(s.accesses, trace.size());
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_EQ(s.hits, s.primary_hits + s.secondary_hits);
+  EXPECT_GE(s.lookup_cycles, s.accesses);
+  EXPECT_LE(s.lookup_cycles, s.accesses * 3);
+}
+
+TEST_P(ModelInvariants, PerSetCountersConsistent) {
+  const ModelCase& c = GetParam();
+  const Trace& trace = trace_for(c.workload);
+  auto model = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  for (const MemRef& r : trace) model->access(r.addr, r.type);
+
+  std::uint64_t hits = 0, misses = 0;
+  for (const SetStats& s : model->set_stats()) {
+    hits += s.hits;
+    misses += s.misses;
+  }
+  EXPECT_EQ(hits, model->stats().hits);
+  EXPECT_EQ(misses, model->stats().misses);
+}
+
+TEST_P(ModelInvariants, RerunIsDeterministic) {
+  const ModelCase& c = GetParam();
+  const Trace& trace = trace_for(c.workload);
+  auto m1 = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  auto m2 = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  for (const MemRef& r : trace) {
+    m1->access(r.addr, r.type);
+    m2->access(r.addr, r.type);
+  }
+  EXPECT_EQ(m1->stats().misses, m2->stats().misses);
+  EXPECT_EQ(m1->stats().secondary_hits, m2->stats().secondary_hits);
+}
+
+TEST_P(ModelInvariants, OptIsTheFloor) {
+  // Belady OPT on a fully-associative cache of the same capacity lower-
+  // bounds every same-capacity organization (the paper's §III premise).
+  const ModelCase& c = GetParam();
+  const Trace& trace = trace_for(c.workload);
+  auto model = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  for (const MemRef& r : trace) model->access(r.addr, r.type);
+
+  const CacheGeometry full{32 * 1024, 32,
+                           static_cast<unsigned>(32 * 1024 / 32)};
+  const OptResult opt = simulate_opt(trace, full);
+  EXPECT_LE(opt.misses, model->stats().misses)
+      << c.scheme_label << " on " << c.workload << " beat OPT — impossible";
+}
+
+TEST_P(ModelInvariants, RunnerAgreesWithDirectSimulation) {
+  const ModelCase& c = GetParam();
+  const Trace& trace = trace_for(c.workload);
+  auto direct = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  for (const MemRef& r : trace) direct->access(r.addr, r.type);
+
+  auto via_runner = build_l1_model(c.spec, CacheGeometry::paper_l1(), &trace);
+  const RunResult rr = run_trace(*via_runner, trace);
+  EXPECT_EQ(rr.l1.misses, direct->stats().misses);
+  EXPECT_GE(rr.amat, 1.0);
+  EXPECT_LT(rr.amat, 120.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsOnRealTraces, ModelInvariants,
+    ::testing::ValuesIn(model_cases()),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      std::string name = info.param.workload + "_" + info.param.scheme_label;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// ----------------------------------------------------- paper headline ----
+
+TEST(PaperHeadline, ProgrammableAssociativityReducesMissesOnAverage) {
+  // Figure 6's headline: all three programmable-associativity techniques
+  // reduce misses on average across MiBench.
+  EvalOptions opt;
+  opt.params = fast_params();
+  Evaluator ev(opt);
+  ev.add_paper_assoc_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  const ComparisonTable t = rep.miss_reduction_table();
+  for (const std::string& scheme : t.columns()) {
+    EXPECT_GE(t.column_average(scheme), 0.0)
+        << scheme << " increased misses on average";
+  }
+}
+
+TEST(PaperHeadline, NoIndexingSchemeWinsEverywhere) {
+  // The paper's core conclusion: no single indexing scheme improves every
+  // application. Check that every scheme loses (or ties) on at least one
+  // MiBench workload.
+  EvalOptions opt;
+  opt.params = fast_params();
+  Evaluator ev(opt);
+  ev.add_paper_indexing_schemes();
+  const EvalReport rep = ev.evaluate(paper_mibench_set());
+  for (const std::string& scheme : rep.scheme_labels) {
+    bool loses_somewhere = false;
+    for (const std::string& w : rep.workloads) {
+      const EvalCell* cell = rep.cell(w, scheme);
+      ASSERT_NE(cell, nullptr);
+      if (cell->miss_reduction_pct <= 0.5) {
+        loses_somewhere = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(loses_somewhere)
+        << scheme << " won everywhere — contradicts the paper's conclusion";
+  }
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,309 @@
+// Tests for src/mt: interleavers, per-thread index dispatch, the SMT shared
+// cache and the partitioned adaptive cache (paper §IV.E).
+#include <gtest/gtest.h>
+
+#include "indexing/modulo.hpp"
+#include "indexing/odd_multiplier.hpp"
+#include "mt/interleave.hpp"
+#include "mt/partitioned_adaptive.hpp"
+#include "mt/per_thread_index.hpp"
+#include "mt/smt_cache.hpp"
+#include "mt/way_partitioned.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+constexpr std::uint64_t kLine = 32;
+
+Trace make_trace(std::size_t n, std::uint64_t base, std::uint64_t lines,
+                 std::uint64_t seed) {
+  Trace t;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(base + rng.below(lines) * kLine, AccessType::kRead);
+  }
+  return t;
+}
+
+// --------------------------------------------------------- interleave ----
+
+TEST(Interleave, RoundRobinAlternates) {
+  Trace a, b;
+  for (int i = 0; i < 4; ++i) a.append(static_cast<std::uint64_t>(i), AccessType::kRead);
+  for (int i = 0; i < 4; ++i) b.append(static_cast<std::uint64_t>(100 + i), AccessType::kRead);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace s = interleave_round_robin(traces);
+  ASSERT_EQ(s.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s[i].tid, i % 2);
+  }
+  EXPECT_EQ(s[0].ref.addr, 0u);
+  EXPECT_EQ(s[1].ref.addr, 100u);
+}
+
+TEST(Interleave, RoundRobinChunked) {
+  Trace a, b;
+  for (int i = 0; i < 4; ++i) a.append(static_cast<std::uint64_t>(i), AccessType::kRead);
+  for (int i = 0; i < 4; ++i) b.append(static_cast<std::uint64_t>(100 + i), AccessType::kRead);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace s = interleave_round_robin(traces, 2);
+  EXPECT_EQ(s[0].tid, 0u);
+  EXPECT_EQ(s[1].tid, 0u);
+  EXPECT_EQ(s[2].tid, 1u);
+  EXPECT_EQ(s[3].tid, 1u);
+}
+
+TEST(Interleave, UnevenLengthsDrainCompletely) {
+  Trace a, b;
+  for (int i = 0; i < 10; ++i) a.append(static_cast<std::uint64_t>(i), AccessType::kRead);
+  b.append(100, AccessType::kRead);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace s = interleave_round_robin(traces);
+  EXPECT_EQ(s.size(), 11u);
+  // Per-thread order is preserved.
+  std::uint64_t last_a = 0;
+  for (const ThreadedRef& r : s) {
+    if (r.tid == 0) {
+      EXPECT_GE(r.ref.addr, last_a);
+      last_a = r.ref.addr;
+    }
+  }
+}
+
+TEST(Interleave, RandomIsDeterministicAndComplete) {
+  const Trace a = make_trace(500, 0x1000'0000, 64, 1);
+  const Trace b = make_trace(300, 0x5000'0000, 64, 2);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace s1 = interleave_random(traces, 9);
+  const ThreadedTrace s2 = interleave_random(traces, 9);
+  ASSERT_EQ(s1.size(), 800u);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].tid, s2[i].tid);
+    EXPECT_EQ(s1[i].ref.addr, s2[i].ref.addr);
+  }
+}
+
+// ----------------------------------------------------- per-thread idx ----
+
+TEST(PerThreadIndex, DispatchesByThread) {
+  auto mod = std::make_shared<ModuloIndex>(1024, 5);
+  auto odd = std::make_shared<OddMultiplierIndex>(1024, 5, 21);
+  PerThreadIndex idx({mod, odd});
+  const std::uint64_t addr = 0xabcd00;
+  idx.set_thread(0);
+  EXPECT_EQ(idx.index(addr), mod->index(addr));
+  idx.set_thread(1);
+  EXPECT_EQ(idx.index(addr), odd->index(addr));
+}
+
+TEST(PerThreadIndex, RejectsBadThreadId) {
+  auto mod = std::make_shared<ModuloIndex>(1024, 5);
+  PerThreadIndex idx({mod});
+  EXPECT_THROW(idx.set_thread(1), Error);
+}
+
+TEST(PerThreadIndex, NameListsComponents) {
+  auto mod = std::make_shared<ModuloIndex>(64, 5);
+  PerThreadIndex idx({mod, mod});
+  EXPECT_EQ(idx.name(), "per_thread{modulo,modulo}");
+}
+
+// ---------------------------------------------------------- smt cache ----
+
+TEST(SmtSharedCache, PerThreadStatsSumToAggregate) {
+  const Trace a = make_trace(20'000, 0x1000'0000, 4096, 3);
+  const Trace b = make_trace(20'000, 0x5000'0000, 4096, 4);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace stream = interleave_round_robin(traces);
+
+  auto mod = std::make_shared<ModuloIndex>(1024, 5);
+  SmtSharedCache cache(CacheGeometry::paper_l1(), {mod, mod});
+  cache.run(stream);
+
+  const auto& t0 = cache.thread_stats(0);
+  const auto& t1 = cache.thread_stats(1);
+  EXPECT_EQ(t0.accesses + t1.accesses, cache.stats().accesses);
+  EXPECT_EQ(t0.hits + t1.hits, cache.stats().hits);
+  EXPECT_EQ(t0.misses + t1.misses, cache.stats().misses);
+  EXPECT_EQ(t0.accesses, a.size());
+}
+
+TEST(SmtSharedCache, DifferentMultipliersCanReduceInterference) {
+  // Two threads with the same strided hot pattern: under a shared modulo
+  // index they collide on the same sets; distinct odd multipliers spread
+  // them (the paper's Figure 13 effect). Verified on a crafted workload.
+  Trace a, b;
+  for (int rep = 0; rep < 2000; ++rep) {
+    for (int i = 0; i < 8; ++i) {
+      a.append(0x1000'0000 + static_cast<std::uint64_t>(i) * 32 * 1024,
+               AccessType::kRead);
+      b.append(0x5000'0000 + static_cast<std::uint64_t>(i) * 32 * 1024,
+               AccessType::kRead);
+    }
+  }
+  const Trace traces[] = {a, b};
+  const ThreadedTrace stream = interleave_round_robin(traces);
+
+  auto mod = std::make_shared<ModuloIndex>(1024, 5);
+  SmtSharedCache shared_modulo(CacheGeometry::paper_l1(), {mod, mod});
+  shared_modulo.run(stream);
+
+  auto odd9 = std::make_shared<OddMultiplierIndex>(1024, 5, 9);
+  auto odd21 = std::make_shared<OddMultiplierIndex>(1024, 5, 21);
+  SmtSharedCache multi(CacheGeometry::paper_l1(), {odd9, odd21});
+  multi.run(stream);
+
+  EXPECT_LT(multi.stats().misses, shared_modulo.stats().misses);
+}
+
+TEST(SmtRun, L2SeesOnlySharedL1Misses) {
+  const Trace a = make_trace(10'000, 0x1000'0000, 2048, 5);
+  const Trace b = make_trace(10'000, 0x5000'0000, 2048, 6);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace stream = interleave_round_robin(traces);
+  auto mod = std::make_shared<ModuloIndex>(1024, 5);
+  SmtSharedCache cache(CacheGeometry::paper_l1(), {mod, mod});
+  const SmtRunResult r = run_smt(cache, stream, CacheGeometry::paper_l2());
+  EXPECT_EQ(r.l2.accesses, r.l1.misses);
+  EXPECT_GT(r.amat, 1.0);
+  EXPECT_EQ(r.per_thread.size(), 2u);
+}
+
+// ----------------------------------------------- partitioned adaptive ----
+
+TEST(PartitionIndex, ConfinesThreadsToPartitions) {
+  PartitionIndex idx(1024, 5, 2);
+  EXPECT_EQ(idx.partition_sets(), 512u);
+  idx.set_thread(0);
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    EXPECT_LT(idx.index(a * 12345), 512u);
+  }
+  idx.set_thread(1);
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    EXPECT_GE(idx.index(a * 12345), 512u);
+    EXPECT_LT(idx.index(a * 12345), 1024u);
+  }
+}
+
+TEST(PartitionIndex, RejectsBadShapes) {
+  EXPECT_THROW(PartitionIndex(1024, 5, 3), Error);
+  PartitionIndex ok(1024, 5, 4);
+  EXPECT_THROW(ok.set_thread(4), Error);
+}
+
+TEST(PartitionedDirect, ThreadsAreIsolated) {
+  // With static partitioning, thread 0's hit/miss sequence must not depend
+  // on thread 1's behaviour at all.
+  const Trace a = make_trace(20'000, 0x1000'0000, 2048, 7);
+  const Trace b = make_trace(20'000, 0x5000'0000, 2048, 8);
+
+  PartitionedDirectCache alone(CacheGeometry::paper_l1(), 2);
+  for (const MemRef& r : a) alone.access(0, r);
+  const std::uint64_t misses_alone = alone.thread_stats(0).misses;
+
+  PartitionedDirectCache together(CacheGeometry::paper_l1(), 2);
+  const Trace traces[] = {a, b};
+  together.run(interleave_round_robin(traces));
+  EXPECT_EQ(together.thread_stats(0).misses, misses_alone);
+}
+
+TEST(PartitionedAdaptive, SpillsIntoOtherPartition) {
+  // Thread 0 thrashes two conflicting lines while thread 1 idles: the
+  // shared SHT/OUT must preserve victims in thread 1's cold partition,
+  // beating the statically partitioned direct-mapped cache.
+  Trace a;
+  for (int rep = 0; rep < 5000; ++rep) {
+    a.append(0x1000'0000, AccessType::kRead);
+    a.append(0x1000'0000 + 16 * 1024, AccessType::kRead);  // same partition set
+  }
+  PartitionedDirectCache direct(CacheGeometry::paper_l1(), 2);
+  PartitionedAdaptiveCache adaptive(CacheGeometry::paper_l1(), 2);
+  for (const MemRef& r : a) {
+    direct.access(0, r);
+    adaptive.access(0, r);
+  }
+  EXPECT_GT(direct.thread_stats(0).miss_rate(), 0.9) << "must thrash";
+  EXPECT_LT(adaptive.thread_stats(0).miss_rate(), 0.1)
+      << "adaptive spill must rescue the victims";
+}
+
+TEST(PartitionedAdaptive, StatsConsistency) {
+  const Trace a = make_trace(15'000, 0x1000'0000, 2048, 9);
+  const Trace b = make_trace(15'000, 0x5000'0000, 2048, 10);
+  const Trace traces[] = {a, b};
+  PartitionedAdaptiveCache cache(CacheGeometry::paper_l1(), 2);
+  cache.run(interleave_round_robin(traces));
+  EXPECT_EQ(cache.stats().accesses, 30'000u);
+  EXPECT_EQ(cache.thread_stats(0).accesses, 15'000u);
+  EXPECT_EQ(cache.thread_stats(1).accesses, 15'000u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            cache.stats().accesses);
+}
+
+// ----------------------------------------------- way partitioning ----
+
+TEST(WayPartitioned, RequiresDivisibleWays) {
+  EXPECT_THROW(WayPartitionedCache(CacheGeometry{32 * 1024, 32, 2}, 3),
+               Error);
+  EXPECT_NO_THROW(WayPartitionedCache(CacheGeometry{32 * 1024, 32, 4}, 2));
+}
+
+TEST(WayPartitioned, AllocationConfinedToOwnWays) {
+  // Thread 0 streams conflicting lines; thread 1's resident line in the
+  // same set must survive because thread 0 cannot allocate into its way.
+  WayPartitionedCache cache(CacheGeometry{32 * 1024, 32, 2}, 2);
+  const MemRef t1_line{0x5000'0000, AccessType::kRead};
+  cache.access(1, t1_line);
+  // Thread 0 lines that map to the same set (16KB stride at 512 sets).
+  const std::uint64_t set_stride = 512 * 32;
+  for (int i = 0; i < 10; ++i) {
+    cache.access(0, {0x5000'0000 + static_cast<std::uint64_t>(i + 1) *
+                                      set_stride,
+                     AccessType::kRead});
+  }
+  EXPECT_TRUE(cache.access(1, t1_line).hit)
+      << "thread 0's thrashing must not evict thread 1's line";
+}
+
+TEST(WayPartitioned, LookupSharedAcrossWays) {
+  // A line allocated by thread 0 hits for thread 1 (shared read path).
+  WayPartitionedCache cache(CacheGeometry{32 * 1024, 32, 2}, 2);
+  const MemRef line{0x1234'0000, AccessType::kRead};
+  cache.access(0, line);
+  EXPECT_TRUE(cache.access(1, line).hit);
+  EXPECT_EQ(cache.thread_stats(1).hits, 1u);
+}
+
+TEST(WayPartitioned, EquivalentToSetPartitioningForDisjointThreads) {
+  // With disjoint address spaces both partitionings give each thread an
+  // isolated 16 KB direct-mapped slice: per-thread miss counts match.
+  const Trace a = make_trace(20'000, 0x1000'0000, 1024, 21);
+  const Trace b = make_trace(20'000, 0x5000'0000, 1024, 22);
+  const Trace traces[] = {a, b};
+  const ThreadedTrace stream = interleave_round_robin(traces);
+
+  WayPartitionedCache ways(CacheGeometry{32 * 1024, 32, 2}, 2);
+  ways.run(stream);
+  PartitionedDirectCache sets(CacheGeometry::paper_l1(), 2);
+  sets.run(stream);
+  EXPECT_EQ(ways.thread_stats(0).misses, sets.thread_stats(0).misses);
+  EXPECT_EQ(ways.thread_stats(1).misses, sets.thread_stats(1).misses);
+}
+
+TEST(WayPartitioned, StatsConsistency) {
+  const Trace a = make_trace(15'000, 0x1000'0000, 2048, 23);
+  const Trace b = make_trace(15'000, 0x5000'0000, 2048, 24);
+  const Trace traces[] = {a, b};
+  WayPartitionedCache cache(CacheGeometry{32 * 1024, 32, 2}, 2);
+  cache.run(interleave_round_robin(traces));
+  EXPECT_EQ(cache.stats().accesses, 30'000u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 30'000u);
+  EXPECT_EQ(cache.thread_stats(0).accesses + cache.thread_stats(1).accesses,
+            30'000u);
+  cache.flush();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace canu

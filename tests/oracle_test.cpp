@@ -1,0 +1,125 @@
+// Differential testing: a deliberately naive, obviously-correct reference
+// simulator is replayed against SetAssocCache over randomized geometries,
+// index functions and traces. Any divergence in the per-access hit/miss
+// sequence is a bug in the optimized model (or the reference — either way,
+// a finding).
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "indexing/factory.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+/// Reference model: per set, an explicit LRU queue of line addresses,
+/// implemented with std:: containers and no cleverness.
+class NaiveLruCache {
+ public:
+  NaiveLruCache(std::uint64_t sets, unsigned ways, unsigned offset_bits,
+                IndexFunctionPtr fn)
+      : ways_(ways), offset_bits_(offset_bits), fn_(std::move(fn)),
+        sets_(sets) {}
+
+  bool access(std::uint64_t addr) {
+    const std::uint64_t set = fn_->index(addr);
+    const std::uint64_t line = addr >> offset_bits_;
+    auto& q = queues_[set];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == line) {
+        q.erase(it);
+        q.push_front(line);  // most-recently-used at the front
+        return true;
+      }
+    }
+    q.push_front(line);
+    if (q.size() > ways_) q.pop_back();
+    (void)sets_;
+    return false;
+  }
+
+ private:
+  unsigned ways_;
+  unsigned offset_bits_;
+  IndexFunctionPtr fn_;
+  std::uint64_t sets_;
+  std::map<std::uint64_t, std::deque<std::uint64_t>> queues_;
+};
+
+struct OracleCase {
+  std::uint64_t size_bytes;
+  std::uint64_t line;
+  unsigned ways;
+  IndexScheme scheme;
+};
+
+class OracleDifferential : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OracleDifferential, HitMissSequencesAgree) {
+  const OracleCase c = GetParam();
+  const CacheGeometry g{c.size_bytes, c.line, c.ways};
+
+  // Random trace with enough locality to produce hits.
+  Trace trace;
+  Xoshiro256 rng(0xabc ^ c.size_bytes ^ c.ways);
+  const std::uint64_t lines = g.lines() * 4;
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t line = rng.below(4) == 0
+                                   ? rng.below(lines)
+                                   : rng.below(lines / 8);  // hot subset
+    trace.append(0x10'0000 + line * c.line + rng.below(c.line),
+                 AccessType::kRead);
+  }
+
+  auto fn = make_index_function(c.scheme, g.sets(), g.offset_bits(), &trace);
+  SetAssocCache fast(g, fn);
+  NaiveLruCache slow(g.sets(), g.ways, g.offset_bits(), fn);
+
+  std::uint64_t divergences = 0;
+  for (const MemRef& r : trace) {
+    const bool fast_hit = fast.access(r.addr, r.type).hit;
+    const bool slow_hit = slow.access(r.addr);
+    if (fast_hit != slow_hit) ++divergences;
+  }
+  EXPECT_EQ(divergences, 0u)
+      << "optimized model diverged from the naive reference";
+  EXPECT_GT(fast.stats().hits, 0u) << "trace produced no hits — weak test";
+  EXPECT_GT(fast.stats().misses, 0u);
+}
+
+std::vector<OracleCase> oracle_cases() {
+  std::vector<OracleCase> cases;
+  const IndexScheme schemes[] = {IndexScheme::kModulo, IndexScheme::kXor,
+                                 IndexScheme::kOddMultiplier,
+                                 IndexScheme::kPrimeModulo};
+  for (const auto& [size, line, ways] :
+       std::vector<std::tuple<std::uint64_t, std::uint64_t, unsigned>>{
+           {2048, 32, 1},
+           {4096, 32, 2},
+           {8192, 64, 4},
+           {4096, 16, 8},
+           {32 * 1024, 32, 1},
+       }) {
+    for (IndexScheme s : schemes) {
+      cases.push_back({size, line, ways, s});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomConfigs, OracleDifferential, ::testing::ValuesIn(oracle_cases()),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      return "s" + std::to_string(info.param.size_bytes) + "_l" +
+             std::to_string(info.param.line) + "_w" +
+             std::to_string(info.param.ways) + "_" +
+             index_scheme_name(info.param.scheme);
+    });
+
+}  // namespace
+}  // namespace canu

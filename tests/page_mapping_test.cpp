@@ -1,0 +1,116 @@
+// Tests for the virtual-to-physical page mapper and trace rewriting.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/page_mapping.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+TEST(PageMapper, IdentityIsTransparent) {
+  PageMapper mapper;
+  for (std::uint64_t a : {0ull, 4095ull, 4096ull, 0x1234'5678ull}) {
+    EXPECT_EQ(mapper.translate(a), a);
+  }
+}
+
+TEST(PageMapper, OffsetPreservedUnderEveryPolicy) {
+  for (const PagePolicy policy :
+       {PagePolicy::kIdentity, PagePolicy::kRandom, PagePolicy::kColored}) {
+    PageMapper::Options opt;
+    opt.policy = policy;
+    PageMapper mapper(opt);
+    for (std::uint64_t a = 0x10000; a < 0x10000 + 3 * 4096; a += 777) {
+      EXPECT_EQ(mapper.translate(a) & 4095, a & 4095)
+          << page_policy_name(policy);
+    }
+  }
+}
+
+TEST(PageMapper, MappingIsStablePerPage) {
+  PageMapper::Options opt;
+  opt.policy = PagePolicy::kRandom;
+  PageMapper mapper(opt);
+  const std::uint64_t first = mapper.translate(0x40'0000);
+  EXPECT_EQ(mapper.translate(0x40'0000 + 100), first + 100);
+  EXPECT_EQ(mapper.translate(0x40'0000), first);
+  EXPECT_EQ(mapper.pages_mapped(), 1u);
+}
+
+TEST(PageMapper, DistinctPagesGetDistinctFrames) {
+  for (const PagePolicy policy : {PagePolicy::kRandom, PagePolicy::kColored}) {
+    PageMapper::Options opt;
+    opt.policy = policy;
+    PageMapper mapper(opt);
+    std::set<std::uint64_t> frames;
+    for (std::uint64_t p = 0; p < 500; ++p) {
+      frames.insert(mapper.translate(p * 4096) >> 12);
+    }
+    EXPECT_EQ(frames.size(), 500u) << page_policy_name(policy);
+  }
+}
+
+TEST(PageMapper, ColoredPreservesVirtualColor) {
+  PageMapper::Options opt;
+  opt.policy = PagePolicy::kColored;
+  opt.colors = 8;
+  PageMapper mapper(opt);
+  for (std::uint64_t p = 0; p < 256; ++p) {
+    const std::uint64_t frame = mapper.translate(p * 4096) >> 12;
+    EXPECT_EQ(frame % 8, p % 8) << "page " << p;
+  }
+}
+
+TEST(PageMapper, RandomIsSeedDeterministic) {
+  PageMapper::Options opt;
+  opt.policy = PagePolicy::kRandom;
+  PageMapper m1(opt), m2(opt);
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    EXPECT_EQ(m1.translate(p * 4096), m2.translate(p * 4096));
+  }
+  opt.seed = 99;
+  PageMapper m3(opt);
+  bool any_differs = false;
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    if (m3.translate(p * 4096) != m1.translate(p * 4096)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(PageMapper, ValidatesOptions) {
+  PageMapper::Options bad;
+  bad.page_size = 1000;
+  EXPECT_THROW(PageMapper{bad}, Error);
+  PageMapper::Options bad2;
+  bad2.colors = 3;
+  EXPECT_THROW(PageMapper{bad2}, Error);
+}
+
+TEST(ApplyPageMapping, RewritesWholeTrace) {
+  WorkloadParams p;
+  p.scale = 0.125;
+  const Trace v = generate_workload("crc", p);
+  PageMapper::Options opt;
+  opt.policy = PagePolicy::kColored;
+  const Trace phys = apply_page_mapping(v, opt);
+  ASSERT_EQ(phys.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(phys[i].type, v[i].type);
+    ASSERT_EQ(phys[i].addr & 4095, v[i].addr & 4095);
+  }
+  EXPECT_NE(phys.name().find("colored"), std::string::npos);
+}
+
+TEST(ApplyPageMapping, IdentityIsNoOpOnAddresses) {
+  WorkloadParams p;
+  p.scale = 0.125;
+  const Trace v = generate_workload("sha", p);
+  const Trace phys = apply_page_mapping(v, PageMapper::Options{});
+  EXPECT_EQ(phys, v);
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,174 @@
+// Tests for the replacement-policy battery of SetAssocCache: LRU, FIFO,
+// random, tree-PLRU and SRRIP.
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+constexpr std::uint64_t kLine = 32;
+
+Trace random_trace(std::size_t n, std::uint64_t lines, std::uint64_t seed) {
+  Trace t("random");
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(rng.below(lines) * kLine, AccessType::kRead);
+  }
+  return t;
+}
+
+/// Conflicting addresses: way w of logical "tall set" in a cache of
+/// `capacity` bytes: distinct tags, same index.
+std::uint64_t conflict_addr(std::uint64_t way, std::uint64_t capacity) {
+  return way * capacity;
+}
+
+// ---------------------------------------------------------------- plru ----
+
+TEST(Plru, RequiresPow2Ways) {
+  // 32KB, 48-byte... use 3-way geometry via 96-byte-way capacity: ways=3
+  // is impossible with pow2 sets; build 2 sets * 3 ways = 192 bytes.
+  CacheGeometry g{6 * 32, 32, 3};
+  EXPECT_THROW(SetAssocCache(g, nullptr, ReplacementPolicy::kPlru), Error);
+  EXPECT_NO_THROW(SetAssocCache(CacheGeometry{4 * 32, 32, 4}, nullptr,
+                                ReplacementPolicy::kPlru));
+}
+
+TEST(Plru, TwoWayBehavesLikeLru) {
+  // With 2 ways the PLRU tree is exact LRU: identical hit/miss sequences.
+  const Trace t = random_trace(50'000, 1024, 3);
+  SetAssocCache lru(CacheGeometry{16 * 1024, 32, 2});
+  SetAssocCache plru(CacheGeometry{16 * 1024, 32, 2}, nullptr,
+                     ReplacementPolicy::kPlru);
+  for (const MemRef& r : t) {
+    ASSERT_EQ(lru.access(r.addr).hit, plru.access(r.addr).hit);
+  }
+}
+
+TEST(Plru, ProtectsMostRecentlyUsedWay) {
+  // 4-way single-set cache: fill a,b,c,d; touch a; insert e.
+  // PLRU may not evict exact-LRU b, but must never evict just-touched a.
+  const CacheGeometry g{4 * 32, 32, 4};
+  SetAssocCache cache(g, nullptr, ReplacementPolicy::kPlru);
+  const std::uint64_t cap = 4 * 32;
+  for (std::uint64_t w = 0; w < 4; ++w) cache.access(conflict_addr(w, cap));
+  cache.access(conflict_addr(0, cap));  // touch a
+  cache.access(conflict_addr(4, cap));  // insert e
+  EXPECT_TRUE(cache.contains(conflict_addr(0, cap)));
+}
+
+TEST(Plru, NearLruQualityOnRandomTraces) {
+  const Trace t = random_trace(200'000, 2048, 5);
+  SetAssocCache lru(CacheGeometry{32 * 1024, 32, 8});
+  SetAssocCache plru(CacheGeometry{32 * 1024, 32, 8}, nullptr,
+                     ReplacementPolicy::kPlru);
+  for (const MemRef& r : t) {
+    lru.access(r.addr);
+    plru.access(r.addr);
+  }
+  // PLRU should track true LRU within a few percent on random traffic.
+  EXPECT_NEAR(static_cast<double>(plru.stats().misses),
+              static_cast<double>(lru.stats().misses),
+              static_cast<double>(lru.stats().misses) * 0.05);
+}
+
+TEST(Plru, NameCarriesPolicy) {
+  SetAssocCache cache(CacheGeometry{32 * 1024, 32, 4}, nullptr,
+                      ReplacementPolicy::kPlru);
+  EXPECT_EQ(cache.name(), "4way-plru[modulo]");
+}
+
+// --------------------------------------------------------------- srrip ----
+
+TEST(Srrip, HitPromotesLine) {
+  // 2-way single set: fill a,b; touch a repeatedly; insert c,d.
+  // a (rrpv 0) must survive the first replacement.
+  const CacheGeometry g{2 * 32, 32, 2};
+  SetAssocCache cache(g, nullptr, ReplacementPolicy::kSrrip);
+  const std::uint64_t cap = 2 * 32;
+  cache.access(conflict_addr(0, cap));  // a: rrpv 2
+  cache.access(conflict_addr(1, cap));  // b: rrpv 2
+  cache.access(conflict_addr(0, cap));  // a: rrpv 0
+  cache.access(conflict_addr(2, cap));  // c evicts b (aged to 3 first)
+  EXPECT_TRUE(cache.contains(conflict_addr(0, cap)));
+  EXPECT_FALSE(cache.contains(conflict_addr(1, cap)));
+}
+
+TEST(Srrip, ResistsScanningBetterThanLru) {
+  // Mixed workload: a small hot set with short re-reference intervals
+  // (back-to-back double touches) interleaved with a one-shot scan.
+  // LRU lets the scan flush the hot lines every round; SRRIP inserts scan
+  // lines at a long re-reference interval and keeps the re-referenced hot
+  // lines (RRPV 0) resident across rounds.
+  Trace t;
+  std::uint64_t scan_cursor = 1u << 24;
+  for (int round = 0; round < 400; ++round) {
+    for (int h = 0; h < 16; ++h) {
+      t.append(static_cast<std::uint64_t>(h) * kLine, AccessType::kRead);
+      t.append(static_cast<std::uint64_t>(h) * kLine, AccessType::kRead);
+      for (int sc = 0; sc < 4; ++sc) {
+        t.append(scan_cursor, AccessType::kRead);
+        scan_cursor += kLine;  // one-shot scan addresses
+      }
+    }
+  }
+  const CacheGeometry g{2 * 1024, 32, 8};  // 8 sets x 8 ways
+  SetAssocCache lru(g);
+  SetAssocCache srrip(g, nullptr, ReplacementPolicy::kSrrip);
+  for (const MemRef& r : t) {
+    lru.access(r.addr);
+    srrip.access(r.addr);
+  }
+  EXPECT_LT(srrip.stats().misses, lru.stats().misses);
+}
+
+TEST(Srrip, StatsInvariants) {
+  const Trace t = random_trace(80'000, 4096, 9);
+  SetAssocCache cache(CacheGeometry{32 * 1024, 32, 4}, nullptr,
+                      ReplacementPolicy::kSrrip);
+  for (const MemRef& r : t) cache.access(r.addr);
+  EXPECT_EQ(cache.stats().accesses, t.size());
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, t.size());
+}
+
+// ------------------------------------------------- policy battery sweep ----
+
+class PolicySweep : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(PolicySweep, DeterministicAndConsistent) {
+  const Trace t = random_trace(60'000, 2048, 11);
+  SetAssocCache c1(CacheGeometry{32 * 1024, 32, 4}, nullptr, GetParam(), 99);
+  SetAssocCache c2(CacheGeometry{32 * 1024, 32, 4}, nullptr, GetParam(), 99);
+  for (const MemRef& r : t) {
+    ASSERT_EQ(c1.access(r.addr).hit, c2.access(r.addr).hit);
+  }
+  EXPECT_EQ(c1.stats().hits + c1.stats().misses, c1.stats().accesses);
+}
+
+TEST_P(PolicySweep, RepeatedWorkingSetThatFitsAlwaysHits) {
+  // Any reasonable policy keeps a working set that fits the cache: after
+  // the compulsory pass, everything hits.
+  SetAssocCache cache(CacheGeometry{32 * 1024, 32, 4}, nullptr, GetParam());
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      cache.access(i * kLine);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                      ReplacementPolicy::kRandom, ReplacementPolicy::kPlru,
+                      ReplacementPolicy::kSrrip),
+    [](const ::testing::TestParamInfo<ReplacementPolicy>& info) {
+      return replacement_policy_name(info.param);
+    });
+
+}  // namespace
+}  // namespace canu

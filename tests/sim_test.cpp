@@ -1,0 +1,171 @@
+// Unit tests for src/sim: the paper's AMAT formulas, the trace runner and
+// the comparison-table renderer.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "assoc/adaptive_cache.hpp"
+#include "assoc/column_associative.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "cache/victim_cache.hpp"
+#include "sim/amat.hpp"
+#include "sim/comparison.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+Trace random_trace(std::size_t n, std::uint64_t lines, std::uint64_t seed) {
+  Trace t("random");
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.append(rng.below(lines) * 32, AccessType::kRead);
+  }
+  return t;
+}
+
+// --------------------------------------------------------------- amat ----
+
+TEST(Amat, ConventionalFormula) {
+  EXPECT_DOUBLE_EQ(amat_conventional(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(amat_conventional(0.1, 50.0), 1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(amat_conventional(1.0, 100.0, 2.0), 102.0);
+}
+
+TEST(Amat, AdaptiveFormulaHandCase) {
+  // Formula (8): 80% of hits are direct, 10% miss rate, penalty 20:
+  // 0.8*1 + 0.2*3 + 0.1*20 = 0.8 + 0.6 + 2.0 = 3.4
+  EXPECT_DOUBLE_EQ(amat_adaptive(0.8, 0.1, 20.0), 3.4);
+}
+
+TEST(Amat, ColumnFormulaHandCase) {
+  // Formula (9): 5% rehash hits (of hits), 60% of misses rehash-probed,
+  // 10% miss rate, penalty 20:
+  // 0.05*2 + 0.95*1 + 0.6*0.1*(21) + 0.4*0.1*20 = 0.1+0.95+1.26+0.8 = 3.11
+  EXPECT_NEAR(amat_column_associative(0.05, 0.6, 0.1, 20.0), 3.11, 1e-12);
+}
+
+TEST(Amat, ZeroMissRateReducesToHitTimeSplit) {
+  EXPECT_DOUBLE_EQ(amat_adaptive(1.0, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(amat_column_associative(0.0, 0.0, 0.0, 100.0), 1.0);
+}
+
+TEST(Amat, MissPenaltyFromL2) {
+  CacheStats l2;
+  l2.accesses = 100;
+  l2.misses = 25;
+  l2.hits = 75;
+  TimingModel t;
+  EXPECT_DOUBLE_EQ(miss_penalty_from_l2(l2, t), 10.0 + 0.25 * 100.0);
+}
+
+// ------------------------------------------------------------- runner ----
+
+TEST(Runner, FillsAllFields) {
+  const Trace t = random_trace(30'000, 4096, 3);
+  SetAssocCache l1(CacheGeometry::paper_l1());
+  const RunResult r = run_trace(l1, t);
+  EXPECT_EQ(r.l1.accesses, t.size());
+  EXPECT_EQ(r.l2.accesses, r.l1.misses);
+  EXPECT_GT(r.amat, 1.0);
+  EXPECT_GT(r.measured_amat, 1.0);
+  EXPECT_EQ(r.uniformity.sets, 1024u);
+  EXPECT_GE(r.miss_penalty, 10.0);
+  EXPECT_EQ(r.scheme, "direct[modulo]");
+}
+
+TEST(Runner, FlushesBeforeRunning) {
+  const Trace t = random_trace(10'000, 1024, 4);
+  SetAssocCache l1(CacheGeometry::paper_l1());
+  const RunResult first = run_trace(l1, t);
+  const RunResult second = run_trace(l1, t);
+  EXPECT_EQ(first.l1.misses, second.l1.misses) << "runs must be independent";
+}
+
+TEST(Runner, AnalyticMatchesMeasuredForConventional) {
+  // For a conventional L1 the analytic AMAT and the cycle-accounted AMAT
+  // use the same model, so they agree up to the averaging of the penalty.
+  const Trace t = random_trace(50'000, 4096, 5);
+  SetAssocCache l1(CacheGeometry::paper_l1());
+  const RunResult r = run_trace(l1, t);
+  EXPECT_NEAR(r.amat, r.measured_amat, r.measured_amat * 0.02);
+}
+
+TEST(Runner, SchemeAmatDispatchesToColumnFormula) {
+  const Trace t = random_trace(50'000, 2048, 6);
+  ColumnAssociativeCache column(CacheGeometry::paper_l1());
+  const RunResult r = run_trace(column, t);
+  // Reconstruct formula (9) by hand from the model's counters (hit-time
+  // fractions are over hits).
+  const CacheStats& s = column.stats();
+  const double expected = amat_column_associative(
+      column.fraction_rehash_hits(), column.fraction_rehash_misses(),
+      s.miss_rate(), r.miss_penalty);
+  EXPECT_DOUBLE_EQ(r.amat, expected);
+}
+
+TEST(Runner, SchemeAmatDispatchesToAdaptiveFormula) {
+  const Trace t = random_trace(50'000, 2048, 7);
+  AdaptiveCache adaptive(CacheGeometry::paper_l1());
+  const RunResult r = run_trace(adaptive, t);
+  const CacheStats& s = adaptive.stats();
+  EXPECT_DOUBLE_EQ(r.amat, amat_adaptive(s.primary_hit_fraction(),
+                                         s.miss_rate(), r.miss_penalty));
+}
+
+TEST(Runner, VictimCacheUsesTwoCycleSwapModel) {
+  const Trace t = random_trace(30'000, 2048, 8);
+  VictimCache victim(CacheGeometry::paper_l1(), 8);
+  const RunResult r = run_trace(victim, t);
+  EXPECT_GT(r.amat, 1.0);
+  // Victim AMAT must exceed the conventional formula at the same miss rate
+  // (secondary hits cost 2 cycles, misses pay the probe).
+  EXPECT_GT(r.amat,
+            amat_conventional(r.l1.miss_rate(), r.miss_penalty) - 1e-9);
+}
+
+// --------------------------------------------------- comparison table ----
+
+TEST(ComparisonTable, StoresAndAverages) {
+  ComparisonTable t("% reduction");
+  t.set("fft", "xor", 10.0);
+  t.set("fft", "odd", 20.0);
+  t.set("sha", "xor", 30.0);
+  EXPECT_DOUBLE_EQ(*t.get("fft", "xor"), 10.0);
+  EXPECT_FALSE(t.get("sha", "odd").has_value());
+  EXPECT_DOUBLE_EQ(t.column_average("xor"), 20.0);
+  EXPECT_DOUBLE_EQ(t.column_average("odd"), 20.0);
+}
+
+TEST(ComparisonTable, AverageSkipsNaN) {
+  ComparisonTable t("x");
+  t.set("a", "s", 10.0);
+  t.set("b", "s", std::nan(""));
+  EXPECT_DOUBLE_EQ(t.column_average("s"), 10.0);
+}
+
+TEST(ComparisonTable, PrintsAverageRow) {
+  ComparisonTable t("metric");
+  t.set("fft", "xor", 12.5);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Average"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("metric"), std::string::npos);
+}
+
+TEST(ComparisonTable, CsvRoundTripShape) {
+  ComparisonTable t("m");
+  t.set("a", "s1", 1.0);
+  t.set("a", "s2", 2.0);
+  t.set("b", "s1", 3.0);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "benchmark,s1,s2\na,1,2\nb,3,\n");
+}
+
+}  // namespace
+}  // namespace canu

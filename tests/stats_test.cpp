@@ -1,0 +1,186 @@
+// Unit tests for src/stats: central moments, the FHS/FMS/LAS classification
+// and the percent-change helpers used by every figure.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/moments.hpp"
+#include "stats/uniformity.hpp"
+#include "util/rng.hpp"
+
+namespace canu {
+namespace {
+
+// ------------------------------------------------------------ moments ----
+
+TEST(Moments, ConstantSeries) {
+  const std::vector<double> v(100, 5.0);
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(m.kurtosis, 0.0);  // degenerate: defined as 0
+}
+
+TEST(Moments, HandComputedSmallCase) {
+  // {1, 2, 3, 4}: mean 2.5, population variance 1.25.
+  const std::vector<double> v = {1, 2, 3, 4};
+  const Moments m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.variance, 1.25);
+  EXPECT_DOUBLE_EQ(m.skewness, 0.0);  // symmetric
+  // m4 = mean of d^4 with d in {±1.5, ±0.5}: (2*5.0625+2*0.0625)/4 = 2.5625
+  EXPECT_NEAR(m.kurtosis, 2.5625 / (1.25 * 1.25), 1e-12);
+}
+
+TEST(Moments, RightSkewPositive) {
+  // A long right tail gives positive skewness.
+  const std::vector<double> v = {1, 1, 1, 1, 1, 1, 1, 1, 1, 100};
+  EXPECT_GT(compute_moments(v).skewness, 2.0);
+}
+
+TEST(Moments, LeftSkewNegative) {
+  const std::vector<double> v = {100, 100, 100, 100, 100, 1};
+  EXPECT_LT(compute_moments(v).skewness, 0.0);
+}
+
+TEST(Moments, UniformDistributionLowKurtosis) {
+  // Continuous uniform has kurtosis 1.8 (excess -1.2) — the "flat" extreme
+  // the paper refers to; a peaked distribution is far above 3.
+  Xoshiro256 rng(3);
+  std::vector<double> uniform(20'000);
+  for (double& x : uniform) x = rng.uniform();
+  EXPECT_NEAR(compute_moments(uniform).kurtosis, 1.8, 0.1);
+}
+
+TEST(Moments, PeakedDistributionHighKurtosis) {
+  // Mostly identical values with rare extreme outliers -> sharp peak,
+  // long tail, kurtosis far above the normal distribution's 3.
+  Xoshiro256 rng(4);
+  std::vector<double> peaked(20'000, 10.0);
+  for (int i = 0; i < 20; ++i) peaked[rng.below(peaked.size())] = 10'000;
+  EXPECT_GT(compute_moments(peaked).kurtosis, 50.0);
+}
+
+TEST(Moments, NormalKurtosisNearThree) {
+  Xoshiro256 rng(5);
+  std::vector<double> normal(50'000);
+  for (double& x : normal) x = rng.normal();
+  // Irwin–Hall(4) approximation is slightly platykurtic (~2.5-2.9).
+  const Moments m = compute_moments(normal);
+  EXPECT_GT(m.kurtosis, 2.3);
+  EXPECT_LT(m.kurtosis, 3.3);
+  EXPECT_NEAR(m.excess_kurtosis, m.kurtosis - 3.0, 1e-12);
+}
+
+TEST(Moments, CountOverloadMatchesDoubleOverload) {
+  const std::vector<std::uint64_t> counts = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::vector<double> doubles(counts.begin(), counts.end());
+  const Moments a = compute_moments(std::span<const std::uint64_t>(counts));
+  const Moments b = compute_moments(std::span<const double>(doubles));
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.kurtosis, b.kurtosis);
+}
+
+TEST(Moments, EmptyInput) {
+  const Moments m = compute_moments(std::span<const double>{});
+  EXPECT_EQ(m.n, 0u);
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+}
+
+// ---------------------------------------------------- percent helpers ----
+
+TEST(PercentHelpers, Reduction) {
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 20.0), -100.0);
+  EXPECT_TRUE(std::isnan(percent_reduction(0.0, 1.0)));
+}
+
+TEST(PercentHelpers, Increase) {
+  EXPECT_DOUBLE_EQ(percent_increase(10.0, 15.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_increase(10.0, 5.0), -50.0);
+  EXPECT_TRUE(std::isnan(percent_increase(0.0, 1.0)));
+}
+
+// ----------------------------------------------------- FHS / FMS / LAS ----
+
+TEST(Uniformity, ClassifiesCraftedDistribution) {
+  // 8 sets: one monster set, others quiet.
+  std::vector<SetStats> sets(8);
+  for (auto& s : sets) {
+    s.accesses = 10;
+    s.hits = 10;
+    s.misses = 0;
+  }
+  sets[0].accesses = 1000;
+  sets[0].hits = 500;
+  sets[0].misses = 500;
+
+  const UniformityReport r = analyse_uniformity(sets);
+  EXPECT_EQ(r.sets, 8u);
+  // avg accesses = (1000 + 70)/8 = 133.75; the 7 quiet sets are < half.
+  EXPECT_EQ(r.las, 7u);
+  EXPECT_NEAR(r.frac_under_half, 7.0 / 8.0, 1e-12);
+  EXPECT_NEAR(r.frac_over_twice, 1.0 / 8.0, 1e-12);
+  // avg hits = 570/8 = 71.25 -> only set 0 has >= 2x.
+  EXPECT_EQ(r.fhs, 1u);
+  // avg misses = 62.5 -> only set 0.
+  EXPECT_EQ(r.fms, 1u);
+}
+
+TEST(Uniformity, PerfectlyUniformHasNoOutliers) {
+  std::vector<SetStats> sets(64);
+  for (auto& s : sets) {
+    s.accesses = 100;
+    s.hits = 90;
+    s.misses = 10;
+  }
+  const UniformityReport r = analyse_uniformity(sets);
+  EXPECT_EQ(r.fhs, 0u);
+  EXPECT_EQ(r.fms, 0u);
+  EXPECT_EQ(r.las, 0u);
+  EXPECT_DOUBLE_EQ(r.frac_under_half, 0.0);
+  EXPECT_DOUBLE_EQ(r.access_moments.variance, 0.0);
+}
+
+TEST(Uniformity, ZeroMissesGiveNoFms) {
+  std::vector<SetStats> sets(16);
+  for (auto& s : sets) {
+    s.accesses = 10;
+    s.hits = 10;
+  }
+  const UniformityReport r = analyse_uniformity(sets);
+  EXPECT_EQ(r.fms, 0u) << "every set >= 2*0 misses would be nonsense";
+}
+
+TEST(Uniformity, EmptySpan) {
+  const UniformityReport r = analyse_uniformity({});
+  EXPECT_EQ(r.sets, 0u);
+}
+
+TEST(Uniformity, ExtractCountsSelectsField) {
+  std::vector<SetStats> sets(3);
+  sets[1].misses = 7;
+  sets[2].hits = 9;
+  EXPECT_EQ(extract_counts(sets, SetCounter::kMisses),
+            (std::vector<std::uint64_t>{0, 7, 0}));
+  EXPECT_EQ(extract_counts(sets, SetCounter::kHits),
+            (std::vector<std::uint64_t>{0, 0, 9}));
+}
+
+TEST(Uniformity, SkewedMissesRaiseMissKurtosis) {
+  std::vector<SetStats> uniform(128), skewed(128);
+  for (auto& s : uniform) s.misses = 50;
+  for (std::size_t i = 0; i < skewed.size(); ++i) {
+    skewed[i].misses = i < 4 ? 1500 : 3;
+  }
+  const auto ur = analyse_uniformity(uniform);
+  const auto sr = analyse_uniformity(skewed);
+  EXPECT_GT(sr.miss_moments.kurtosis, ur.miss_moments.kurtosis + 5.0);
+  EXPECT_GT(sr.miss_moments.skewness, 3.0);
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,106 @@
+// Tests for the 3C miss classifier.
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+#include "core/scheme.hpp"
+#include "stats/three_c.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+constexpr std::uint64_t kLine = 32;
+
+TEST(ThreeC, SequentialSweepIsAllCompulsory) {
+  Trace t;
+  for (int i = 0; i < 4096; ++i) {
+    t.append(static_cast<std::uint64_t>(i) * kLine, AccessType::kRead);
+  }
+  SetAssocCache model(CacheGeometry::paper_l1());
+  const ThreeCReport r = classify_misses_paper_l1(model, t);
+  EXPECT_EQ(r.total_misses, 4096u);
+  EXPECT_EQ(r.compulsory, 4096u);
+  EXPECT_EQ(r.capacity, 0u);
+  EXPECT_EQ(r.conflict, 0);
+}
+
+TEST(ThreeC, PureConflictPattern) {
+  // Two lines aliasing in the direct-mapped cache, far under capacity:
+  // everything after the two compulsory misses is a conflict miss.
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.append(0, AccessType::kRead);
+    t.append(32 * 1024, AccessType::kRead);
+  }
+  SetAssocCache model(CacheGeometry::paper_l1());
+  const ThreeCReport r = classify_misses_paper_l1(model, t);
+  EXPECT_EQ(r.compulsory, 2u);
+  EXPECT_EQ(r.capacity, 0u);
+  EXPECT_EQ(r.conflict, static_cast<std::int64_t>(r.total_misses) - 2);
+  EXPECT_EQ(r.total_misses, 200u);
+}
+
+TEST(ThreeC, CapacityPattern) {
+  // Cyclic sweep over 2x the cache capacity: fully-associative LRU also
+  // misses every reference, so nothing is charged to conflict.
+  Trace t;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int i = 0; i < 2048; ++i) {
+      t.append(static_cast<std::uint64_t>(i) * kLine, AccessType::kRead);
+    }
+  }
+  SetAssocCache model(CacheGeometry::paper_l1());
+  const ThreeCReport r = classify_misses_paper_l1(model, t);
+  EXPECT_EQ(r.compulsory, 2048u);
+  EXPECT_EQ(r.capacity, 3u * 2048u);
+  EXPECT_EQ(r.conflict, 0);
+}
+
+TEST(ThreeC, ComponentsSumToTotal) {
+  const Trace t = generate_workload("qsort", [] {
+    WorkloadParams p;
+    p.scale = 0.25;
+    return p;
+  }());
+  SetAssocCache model(CacheGeometry::paper_l1());
+  const ThreeCReport r = classify_misses_paper_l1(model, t);
+  EXPECT_EQ(static_cast<std::int64_t>(r.total_misses),
+            static_cast<std::int64_t>(r.compulsory) +
+                static_cast<std::int64_t>(r.capacity) + r.conflict);
+  EXPECT_EQ(r.accesses, t.size());
+}
+
+TEST(ThreeC, FullyAssociativeModelHasNoConflict) {
+  // Classifying the reference against itself: conflict must be ~0 (exactly
+  // 0, since the model equals the reference).
+  Trace t;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    t.append(rng.below(4096) * kLine, AccessType::kRead);
+  }
+  SetAssocCache model(CacheGeometry{32 * 1024, 32, 1024});  // fully assoc
+  const ThreeCReport r = classify_misses_paper_l1(model, t);
+  EXPECT_EQ(r.conflict, 0);
+}
+
+TEST(ThreeC, SchemesShiftOnlyTheConflictComponent) {
+  Trace t;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 60'000; ++i) {
+    t.append(rng.below(2048) * kLine, AccessType::kRead);
+  }
+  auto base = build_l1_model(SchemeSpec::baseline(),
+                             CacheGeometry::paper_l1(), &t);
+  auto column = build_l1_model(SchemeSpec::column_associative(),
+                               CacheGeometry::paper_l1(), &t);
+  const ThreeCReport rb = classify_misses_paper_l1(*base, t);
+  const ThreeCReport rc = classify_misses_paper_l1(*column, t);
+  EXPECT_EQ(rb.compulsory, rc.compulsory);
+  EXPECT_EQ(rb.capacity, rc.capacity);
+  EXPECT_LE(rc.conflict, rb.conflict)
+      << "column-associative must not add conflicts on random traffic";
+}
+
+}  // namespace
+}  // namespace canu

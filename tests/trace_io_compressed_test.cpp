@@ -1,0 +1,103 @@
+// Tests for the delta-compressed trace format (CANUTRC2): round-trips,
+// compression effectiveness, cross-format loading, and robustness.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+TEST(CompressedTrace, RoundTripSmall) {
+  Trace t("small");
+  t.append(0x1000, AccessType::kRead);
+  t.append(0x1004, AccessType::kWrite);
+  t.append(0x0800, AccessType::kFetch);  // negative delta
+  t.append(0x0800, AccessType::kRead);   // zero delta (0 payload bytes)
+  t.append(0xffff'ffff'0000'0000ULL, AccessType::kRead);  // huge delta
+
+  std::stringstream ss;
+  write_trace_compressed(t, ss);
+  const Trace back = read_trace_any(ss);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.name(), "small");
+}
+
+TEST(CompressedTrace, EmptyTrace) {
+  Trace t("empty");
+  std::stringstream ss;
+  write_trace_compressed(t, ss);
+  EXPECT_TRUE(read_trace_any(ss).empty());
+}
+
+TEST(CompressedTrace, ReadAnyHandlesBothFormats) {
+  Trace t("both");
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    t.append(rng.below(1 << 24), AccessType::kRead);
+  }
+  std::stringstream raw, packed;
+  write_trace_binary(t, raw);
+  write_trace_compressed(t, packed);
+  EXPECT_EQ(read_trace_any(raw), t);
+  EXPECT_EQ(read_trace_any(packed), t);
+}
+
+TEST(CompressedTrace, RejectsUnknownMagic) {
+  std::stringstream ss;
+  ss << "CANUTRC9........";
+  EXPECT_THROW(read_trace_any(ss), Error);
+}
+
+TEST(CompressedTrace, RejectsTruncation) {
+  Trace t("trunc");
+  for (int i = 0; i < 100; ++i) {
+    t.append(static_cast<std::uint64_t>(i) * 4096, AccessType::kRead);
+  }
+  std::stringstream ss;
+  write_trace_compressed(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_trace_any(truncated), Error);
+}
+
+TEST(CompressedTrace, SequentialStreamShrinksHard) {
+  Trace t("seq");
+  for (int i = 0; i < 10'000; ++i) {
+    t.append(0x1000'0000 + static_cast<std::uint64_t>(i) * 4,
+             AccessType::kFetch);
+  }
+  std::stringstream raw, packed;
+  write_trace_binary(t, raw);
+  write_trace_compressed(t, packed);
+  // Raw: 9 bytes/record. Sequential deltas: 2 bytes/record.
+  EXPECT_LT(packed.str().size() * 4, raw.str().size());
+}
+
+class CompressedRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompressedRoundTrip, WorkloadTraceRoundTripsAndShrinks) {
+  WorkloadParams p;
+  p.scale = 0.125;
+  const Trace t = generate_workload(GetParam(), p);
+  std::stringstream raw, packed;
+  write_trace_binary(t, raw);
+  write_trace_compressed(t, packed);
+  EXPECT_EQ(read_trace_any(packed), t) << "lossless round-trip required";
+  EXPECT_LT(packed.str().size(), raw.str().size())
+      << "compression must not expand a real trace";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, CompressedRoundTrip,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,270 @@
+// Unit tests for src/trace: containers, the deterministic address space,
+// instrumented memory, serialization round-trips and trace statistics.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/address_space.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "trace/traced_memory.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+namespace {
+
+// -------------------------------------------------------------- trace ----
+
+TEST(Trace, AppendAndIterate) {
+  Trace t("demo");
+  t.append(0x100, AccessType::kRead);
+  t.append(MemRef{0x200, AccessType::kWrite});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x100u);
+  EXPECT_EQ(t[1].type, AccessType::kWrite);
+  EXPECT_EQ(t.name(), "demo");
+}
+
+TEST(Trace, EqualityIgnoresName) {
+  Trace a("x"), b("y");
+  a.append(1, AccessType::kRead);
+  b.append(1, AccessType::kRead);
+  EXPECT_EQ(a, b);
+  b.append(2, AccessType::kRead);
+  EXPECT_NE(a, b);
+}
+
+TEST(Trace, ExtendConcatenates) {
+  Trace a, b;
+  a.append(1, AccessType::kRead);
+  b.append(2, AccessType::kWrite);
+  a.extend(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].addr, 2u);
+}
+
+TEST(AccessTypeNames, AreStable) {
+  EXPECT_STREQ(access_type_name(AccessType::kRead), "R");
+  EXPECT_STREQ(access_type_name(AccessType::kWrite), "W");
+  EXPECT_STREQ(access_type_name(AccessType::kFetch), "F");
+}
+
+// ------------------------------------------------------ address space ----
+
+TEST(AddressSpace, SequentialAlignedAllocation) {
+  AddressSpace space;
+  const auto a = space.allocate(100, "a");
+  const auto b = space.allocate(100, "b");
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100 + 64);  // guard gap respected
+  EXPECT_EQ(space.allocations(), 2u);
+  EXPECT_EQ(space.label(0), "a");
+}
+
+TEST(AddressSpace, Deterministic) {
+  AddressSpace s1, s2;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s1.allocate(i * 7 + 1), s2.allocate(i * 7 + 1));
+  }
+}
+
+TEST(AddressSpace, CustomBase) {
+  AddressSpace::Options opt;
+  opt.base = 0x4000'0000;
+  AddressSpace space(opt);
+  EXPECT_GE(space.allocate(8), 0x4000'0000u);
+}
+
+TEST(AddressSpace, RejectsZeroByteAllocation) {
+  AddressSpace space;
+  EXPECT_THROW(space.allocate(0), Error);
+}
+
+TEST(AddressSpace, RejectsNonPow2Alignment) {
+  AddressSpace::Options opt;
+  opt.alignment = 48;
+  EXPECT_THROW(AddressSpace space(opt), Error);
+}
+
+// ------------------------------------------------------ traced memory ----
+
+TEST(TracedArray, RecordsLoadsAndStores) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedArray<std::uint32_t> arr(rec, space, 8, "arr");
+
+  arr.store(3, 77);
+  EXPECT_EQ(arr.load(3), 77u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].type, AccessType::kWrite);
+  EXPECT_EQ(trace[0].addr, arr.addr_of(3));
+  EXPECT_EQ(trace[1].type, AccessType::kRead);
+}
+
+TEST(TracedArray, AddressesAreContiguous) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedArray<std::uint64_t> arr(rec, space, 4);
+  EXPECT_EQ(arr.addr_of(1), arr.addr_of(0) + 8);
+  EXPECT_EQ(arr.addr_of(3), arr.base() + 24);
+}
+
+TEST(TracedArray, RawAccessIsUnrecorded) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedArray<int> arr(rec, space, 4);
+  arr.raw(0) = 5;
+  EXPECT_EQ(arr.raw(0), 5);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TracedArray, OutOfRangeThrows) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedArray<int> arr(rec, space, 4);
+  EXPECT_THROW(arr.load(4), Error);
+  EXPECT_THROW(arr.store(100, 1), Error);
+}
+
+TEST(RecordingPause, SuppressesAndRestores) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedArray<int> arr(rec, space, 4);
+  {
+    RecordingPause pause(rec);
+    arr.store(0, 1);
+    EXPECT_TRUE(trace.empty());
+  }
+  arr.store(0, 2);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TracedScalar, RecordsAccesses) {
+  Trace trace;
+  TraceRecorder rec(trace);
+  AddressSpace space;
+  TracedScalar<double> s(rec, space, 1.5);
+  EXPECT_DOUBLE_EQ(s.load(), 1.5);
+  s.store(2.5);
+  EXPECT_DOUBLE_EQ(s.load(), 2.5);
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+// ----------------------------------------------------------------- io ----
+
+TEST(TraceIo, BinaryRoundTrip) {
+  Trace t("roundtrip");
+  t.append(0xdeadbeef, AccessType::kRead);
+  t.append(0x12345678'9abcdef0ULL, AccessType::kWrite);
+  t.append(0, AccessType::kFetch);
+
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  const Trace back = read_trace_binary(ss);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.name(), "roundtrip");
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  Trace t("text");
+  t.append(0xff00, AccessType::kRead);
+  t.append(0x42, AccessType::kWrite);
+
+  std::stringstream ss;
+  write_trace_text(t, ss);
+  const Trace back = read_trace_text(ss);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.name(), "text");
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACE";
+  EXPECT_THROW(read_trace_binary(ss), Error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  Trace t;
+  t.append(1, AccessType::kRead);
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 3);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_trace_binary(truncated), Error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t("empty");
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  const Trace back = read_trace_binary(ss);
+  EXPECT_TRUE(back.empty());
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(TraceStats, CountsTypesAndUniques) {
+  Trace t;
+  t.append(0x100, AccessType::kRead);
+  t.append(0x100, AccessType::kWrite);
+  t.append(0x120, AccessType::kRead);  // same 32-byte line as 0x100? no: 0x100>>5=8, 0x120>>5=9
+  t.append(0x200, AccessType::kFetch);
+
+  const TraceStats s = compute_trace_stats(t, 32);
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.fetches, 1u);
+  EXPECT_EQ(s.unique_addresses, 3u);
+  EXPECT_EQ(s.unique_lines, 3u);
+  EXPECT_EQ(s.footprint_bytes, 3u * 32u);
+  EXPECT_EQ(s.min_addr, 0x100u);
+  EXPECT_EQ(s.max_addr, 0x200u);
+}
+
+TEST(TraceStats, LineGranularity) {
+  Trace t;
+  t.append(0x100, AccessType::kRead);
+  t.append(0x104, AccessType::kRead);  // same 32-byte line
+  const TraceStats s = compute_trace_stats(t, 32);
+  EXPECT_EQ(s.unique_addresses, 2u);
+  EXPECT_EQ(s.unique_lines, 1u);
+}
+
+TEST(TraceStats, DominantStrideDetected) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.append(static_cast<std::uint64_t>(i) * 64, AccessType::kRead);
+  }
+  const TraceStats s = compute_trace_stats(t, 32);
+  ASSERT_FALSE(s.top_strides.empty());
+  EXPECT_EQ(s.top_strides[0].stride, 64);
+  EXPECT_EQ(s.top_strides[0].count, 99u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats s = compute_trace_stats(Trace{}, 32);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.unique_lines, 0u);
+}
+
+TEST(UniqueAddresses, SortedAndDeduplicated) {
+  Trace t;
+  t.append(30, AccessType::kRead);
+  t.append(10, AccessType::kRead);
+  t.append(30, AccessType::kRead);
+  t.append(20, AccessType::kRead);
+  const auto u = unique_addresses(t);
+  EXPECT_EQ(u, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace canu

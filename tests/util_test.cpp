@@ -1,0 +1,269 @@
+// Unit tests for src/util: bit manipulation, primes, deterministic RNG,
+// table/CSV rendering and the thread pool.
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/prime.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu {
+namespace {
+
+// ------------------------------------------------------------- bitops ----
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1023));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+}
+
+TEST(Bitops, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(1025), 10u);
+  EXPECT_EQ(log2_floor(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bitops, GetBit) {
+  EXPECT_EQ(get_bit(0b1010, 0), 0u);
+  EXPECT_EQ(get_bit(0b1010, 1), 1u);
+  EXPECT_EQ(get_bit(0b1010, 2), 0u);
+  EXPECT_EQ(get_bit(0b1010, 3), 1u);
+  EXPECT_EQ(get_bit(std::uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bitops, BitField) {
+  EXPECT_EQ(bit_field(0xabcd, 0, 4), 0xdu);
+  EXPECT_EQ(bit_field(0xabcd, 4, 4), 0xcu);
+  EXPECT_EQ(bit_field(0xabcd, 8, 8), 0xabu);
+  EXPECT_EQ(bit_field(0xabcd, 0, 0), 0u);
+  EXPECT_EQ(bit_field(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(4), 0xfu);
+  EXPECT_EQ(low_mask(10), 0x3ffu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, GatherBits) {
+  // Bits 1 and 3 of 0b1010 are both 1 -> result 0b11.
+  EXPECT_EQ(gather_bits(0b1010, {1, 3}), 0b11u);
+  EXPECT_EQ(gather_bits(0b1010, {0, 2}), 0b00u);
+  EXPECT_EQ(gather_bits(0b1010, {3, 1}), 0b11u);
+  EXPECT_EQ(gather_bits(0xff, {}), 0u);
+  // Order matters: positions[0] becomes the LSB.
+  EXPECT_EQ(gather_bits(0b0010, {1, 5}), 0b01u);
+  EXPECT_EQ(gather_bits(0b100000, {1, 5}), 0b10u);
+}
+
+TEST(Bitops, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+// -------------------------------------------------------------- prime ----
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+}
+
+TEST(Prime, LargestPrimeLe) {
+  // The paper's configuration: 1021 is the largest prime <= 1024 sets.
+  EXPECT_EQ(largest_prime_le(1024), 1021u);
+  EXPECT_EQ(largest_prime_le(2), 2u);
+  EXPECT_EQ(largest_prime_le(3), 3u);
+  EXPECT_EQ(largest_prime_le(4), 3u);
+  EXPECT_EQ(largest_prime_le(128), 127u);
+  EXPECT_EQ(largest_prime_le(512), 509u);
+}
+
+TEST(Prime, SmallestPrimeGe) {
+  EXPECT_EQ(smallest_prime_ge(1024), 1031u);
+  EXPECT_EQ(smallest_prime_ge(2), 2u);
+  EXPECT_EQ(smallest_prime_ge(4), 5u);
+}
+
+TEST(Prime, LargestPrimeLeThrowsBelowTwo) {
+  EXPECT_THROW(largest_prime_le(1), Error);
+}
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Xoshiro256 rng(99);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0, sum2 = 0;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, HeaderAfterRowsThrows) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"b"}), Error);
+}
+
+TEST(TextTable, NumFormatsNan) {
+  EXPECT_EQ(TextTable::num(std::nan(""), 2), "n/a");
+  EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+  EXPECT_EQ(TextTable::num(-5.0, 1), "-5.0");
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n1,2\n");
+}
+
+// --------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndexes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](std::size_t i) {
+                          if (i == 3) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// -------------------------------------------------------------- error ----
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    CANU_CHECK_MSG(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesQuietly) {
+  EXPECT_NO_THROW(CANU_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace canu

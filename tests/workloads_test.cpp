@@ -1,0 +1,219 @@
+// Tests for src/workloads: registry integrity, determinism and per-kernel
+// access-pattern sanity (each kernel must look like its namesake).
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.scale = 0.25;  // keep the parameterized sweeps fast
+  return p;
+}
+
+// ----------------------------------------------------------- registry ----
+
+TEST(Registry, ContainsAllPaperBenchmarks) {
+  for (const std::string& name : paper_mibench_set()) {
+    EXPECT_NE(find_workload(name), nullptr) << name;
+  }
+  for (const std::string& name : paper_spec_set()) {
+    EXPECT_NE(find_workload(name), nullptr) << name;
+  }
+  EXPECT_EQ(paper_mibench_set().size(), 11u);
+  EXPECT_EQ(paper_spec_set().size(), 10u);
+}
+
+TEST(Registry, UnknownNameHandling) {
+  EXPECT_EQ(find_workload("not_a_workload"), nullptr);
+  EXPECT_THROW(generate_workload("not_a_workload"), Error);
+}
+
+TEST(Registry, SuiteFilterWorks) {
+  const auto mibench = workload_names("mibench");
+  EXPECT_EQ(mibench.size(), 11u);
+  const auto extra = workload_names("mibench_extra");
+  EXPECT_EQ(extra.size(), 4u);
+  const auto spec = workload_names("spec2006");
+  EXPECT_EQ(spec.size(), 10u);
+  const auto synth = workload_names("synthetic");
+  EXPECT_EQ(synth.size(), 5u);
+  const auto all = workload_names();
+  EXPECT_EQ(all.size(),
+            mibench.size() + extra.size() + spec.size() + synth.size());
+}
+
+TEST(Registry, NamesAreUniqueAndDescribed) {
+  std::vector<std::string> names;
+  for (const WorkloadInfo& w : all_workloads()) {
+    names.push_back(w.name);
+    EXPECT_FALSE(w.description.empty()) << w.name;
+    EXPECT_FALSE(w.suite.empty()) << w.name;
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+// --------------------------------------- generic properties (TEST_P) ----
+
+class WorkloadProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadProperty, Deterministic) {
+  const WorkloadParams p = small_params();
+  const Trace a = generate_workload(GetParam(), p);
+  const Trace b = generate_workload(GetParam(), p);
+  EXPECT_EQ(a, b) << "same params must give identical traces";
+}
+
+TEST_P(WorkloadProperty, SeedChangesTrace) {
+  WorkloadParams p1 = small_params(), p2 = small_params();
+  p2.seed = 999;
+  const Trace a = generate_workload(GetParam(), p1);
+  const Trace b = generate_workload(GetParam(), p2);
+  // Cache-oblivious kernels issue the same address stream regardless of the
+  // input data (fft, sha, calculix's fixed CSR structure, libquantum's gate
+  // strides, milc's lattice sweep, and the value-free synthetics); all
+  // other kernels have data-dependent accesses and must diverge.
+  static const std::set<std::string> kSeedInsensitive = {
+      "fft",  "sha",  "calculix", "libquantum", "milc",
+      "synthetic_sequential", "synthetic_strided"};
+  if (kSeedInsensitive.count(GetParam())) {
+    EXPECT_EQ(a, b);
+  } else {
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST_P(WorkloadProperty, NonTrivialSize) {
+  const Trace t = generate_workload(GetParam(), small_params());
+  EXPECT_GT(t.size(), 10'000u) << "trace too small to exercise a cache";
+  EXPECT_LT(t.size(), 50'000'000u) << "trace unreasonably large";
+}
+
+TEST_P(WorkloadProperty, AddressesRespectBase) {
+  WorkloadParams p = small_params();
+  p.address_base = 0x7000'0000;
+  const Trace t = generate_workload(GetParam(), p);
+  for (const MemRef& r : t) {
+    ASSERT_GE(r.addr, p.address_base);
+  }
+}
+
+TEST_P(WorkloadProperty, ScaleGrowsTrace) {
+  WorkloadParams small = small_params();
+  WorkloadParams large = small_params();
+  large.scale = 1.0;
+  const Trace s = generate_workload(GetParam(), small);
+  const Trace l = generate_workload(GetParam(), large);
+  // Search kernels (astar) explore data-dependent frontiers, so growth is
+  // not strictly monotone; everything else must not shrink.
+  if (GetParam() == "astar") {
+    EXPECT_GE(l.size() * 4, s.size()) << "scale collapsed the trace";
+  } else {
+    EXPECT_GE(l.size(), s.size()) << "scale must not shrink the trace";
+  }
+}
+
+TEST_P(WorkloadProperty, StatsAreSane) {
+  const Trace t = generate_workload(GetParam(), small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  EXPECT_EQ(s.total, t.size());
+  EXPECT_EQ(s.reads + s.writes + s.fetches, s.total);
+  EXPECT_GT(s.unique_lines, 4u);
+  EXPECT_GE(s.max_addr, s.min_addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+// ------------------------------------------------- per-kernel shapes ----
+
+TEST(WorkloadShape, FftFootprintAndWrites) {
+  const Trace t = generate_workload("fft", small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  // FFT writes its butterflies back: a large write share.
+  EXPECT_GT(static_cast<double>(s.writes) / static_cast<double>(s.total), 0.2);
+}
+
+TEST(WorkloadShape, CrcIsStreaming) {
+  const Trace t = generate_workload("crc", small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  // Dominant stride pattern: buffer byte + table lookup alternate.
+  EXPECT_GT(s.unique_lines, 1000u) << "streaming buffer should be large";
+  // Very few writes (only the accumulator).
+  EXPECT_LT(static_cast<double>(s.writes) / static_cast<double>(s.total),
+            0.01);
+}
+
+TEST(WorkloadShape, BitcountHasTinyFootprint) {
+  const Trace t = generate_workload("bitcount", small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  EXPECT_LT(s.footprint_bytes, 128 * 1024u)
+      << "bitcount's working set must be small and hot";
+  // Many passes -> total far exceeds unique addresses.
+  EXPECT_GT(s.total, s.unique_addresses * 4);
+}
+
+TEST(WorkloadShape, SequentialIsPureStride) {
+  const Trace t = generate_workload("synthetic_sequential", small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  ASSERT_FALSE(s.top_strides.empty());
+  EXPECT_EQ(s.top_strides[0].stride, 4);
+  EXPECT_EQ(s.top_strides[0].count, s.total - 1);
+}
+
+TEST(WorkloadShape, StridedConflictsUnderModulo) {
+  // The synthetic_strided workload is built to alias onto one set.
+  const Trace t = generate_workload("synthetic_strided", small_params());
+  std::vector<std::uint64_t> sets;
+  for (const MemRef& r : t) {
+    sets.push_back((r.addr >> 5) & 1023);
+  }
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  EXPECT_EQ(sets.size(), 1u) << "all accesses must alias to one set";
+}
+
+TEST(WorkloadShape, QsortActuallySorts) {
+  // White-box determinism check: run the kernel twice and ensure the trace
+  // ends with insertion-sorted small partitions (indirectly: the trace is
+  // deterministic and large); the sortedness itself is validated by the
+  // kernel's construction, exercised here for crash-freedom at scale 1.
+  WorkloadParams p;
+  p.scale = 0.5;
+  const Trace t = generate_workload("qsort", p);
+  EXPECT_GT(t.size(), 100'000u);
+}
+
+TEST(WorkloadShape, SjengFootprintDominatedByHashTable) {
+  const Trace t = generate_workload("sjeng", small_params());
+  const TraceStats s = compute_trace_stats(t, 32);
+  // 2^15 16-byte entries = 512 KB across the key/data arrays; even the
+  // scaled-down probe count touches well over 128 KB of distinct lines.
+  EXPECT_GT(s.footprint_bytes, 128 * 1024u);
+}
+
+TEST(WorkloadShape, DisjointAddressBasesDontOverlap) {
+  WorkloadParams p1 = small_params(), p2 = small_params();
+  p1.address_base = 0x1000'0000;
+  p2.address_base = 0x5000'0000;
+  const Trace a = generate_workload("fft", p1);
+  const Trace b = generate_workload("sha", p2);
+  const TraceStats sa = compute_trace_stats(a, 32);
+  const TraceStats sb = compute_trace_stats(b, 32);
+  EXPECT_LT(sa.max_addr, 0x5000'0000u);
+  EXPECT_GE(sb.min_addr, 0x5000'0000u);
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,106 @@
+// Tests for the write-back/write-allocate modeling: dirty bits, writeback
+// counting, and dirty-bit preservation across the relocation mechanisms.
+#include <gtest/gtest.h>
+
+#include "assoc/column_associative.hpp"
+#include "assoc/partner_cache.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "cache/victim_cache.hpp"
+#include "core/scheme.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+constexpr std::uint64_t kCache = 32 * 1024;
+
+TEST(WriteTraffic, ReadOnlyTraceProducesNoWritebacks) {
+  SetAssocCache cache(CacheGeometry::paper_l1());
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    cache.access(rng.below(8192) * 32, AccessType::kRead);
+  }
+  EXPECT_EQ(cache.stats().write_accesses, 0u);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(WriteTraffic, DirtyEvictionCountsOnce) {
+  SetAssocCache cache(CacheGeometry::paper_l1());
+  cache.access(0, AccessType::kWrite);       // install dirty (write-allocate)
+  cache.access(kCache, AccessType::kRead);   // evicts dirty line 0
+  EXPECT_EQ(cache.stats().write_accesses, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  cache.access(2 * kCache, AccessType::kRead);  // evicts clean line
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(WriteTraffic, WriteHitMarksDirty) {
+  SetAssocCache cache(CacheGeometry::paper_l1());
+  cache.access(0, AccessType::kRead);    // clean install
+  cache.access(0, AccessType::kWrite);   // hit marks dirty
+  cache.access(kCache, AccessType::kRead);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(WriteTraffic, WritebacksNeverExceedWritePlusEvictions) {
+  WorkloadParams p;
+  p.scale = 0.25;
+  for (const char* w : {"fft", "qsort", "sha"}) {
+    const Trace t = generate_workload(w, p);
+    SetAssocCache cache(CacheGeometry::paper_l1());
+    for (const MemRef& r : t) cache.access(r.addr, r.type);
+    EXPECT_LE(cache.stats().writebacks, cache.stats().evictions) << w;
+    EXPECT_LE(cache.stats().writebacks, cache.stats().write_accesses) << w;
+  }
+}
+
+TEST(WriteTraffic, ColumnRelocationCarriesDirtyBit) {
+  ColumnAssociativeCache cache(CacheGeometry::paper_l1());
+  const std::uint64_t a = 0, b = kCache;
+  cache.access(a, AccessType::kWrite);  // a dirty at set 0
+  cache.access(b, AccessType::kRead);   // a relocated (not written back)
+  EXPECT_EQ(cache.stats().writebacks, 0u)
+      << "relocation must not count as a writeback";
+  // Now displace a from its alternate slot: block c's primary slot is 512
+  // and carries the rehash-bit short circuit.
+  cache.access(512 * 32, AccessType::kRead);
+  EXPECT_EQ(cache.stats().writebacks, 1u)
+      << "the relocated dirty block finally left the cache";
+}
+
+TEST(WriteTraffic, VictimBufferCarriesDirtyBit) {
+  VictimCache cache(CacheGeometry::paper_l1(), 2);
+  const std::uint64_t a = 0;
+  cache.access(a, AccessType::kWrite);           // a dirty
+  cache.access(kCache, AccessType::kRead);       // a -> victim buffer
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+  cache.access(2 * kCache, AccessType::kRead);   // old primary -> buffer
+  cache.access(3 * kCache, AccessType::kRead);   // pushes a out of 2-entry buffer
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(WriteTraffic, AllModelsCountWriteAccesses) {
+  WorkloadParams p;
+  p.scale = 0.125;
+  const Trace t = generate_workload("fft", p);
+  std::uint64_t expected_writes = 0;
+  for (const MemRef& r : t) {
+    expected_writes += (r.type == AccessType::kWrite);
+  }
+  for (const SchemeSpec& spec :
+       {SchemeSpec::baseline(), SchemeSpec::set_assoc(4),
+        SchemeSpec::column_associative(), SchemeSpec::adaptive_cache(),
+        SchemeSpec::b_cache(), SchemeSpec::victim_cache(),
+        SchemeSpec::partner_cache(), SchemeSpec::skewed_assoc(2)}) {
+    auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &t);
+    for (const MemRef& r : t) model->access(r.addr, r.type);
+    EXPECT_EQ(model->stats().write_accesses, expected_writes) << spec.label();
+    EXPECT_LE(model->stats().writebacks, model->stats().write_accesses)
+        << spec.label();
+  }
+}
+
+}  // namespace
+}  // namespace canu

@@ -1,0 +1,236 @@
+// canu — unified command-line driver for the CANU framework.
+//
+//   canu list                         workloads and schemes
+//   canu run <workload> <scheme>      one simulation, full statistics
+//   canu evaluate <suite> [group]     comparison table over a suite
+//   canu advise <workload>            per-application scheme selection
+//   canu trace <workload> <file>      record a trace (".ctrc" = compressed)
+//   canu threec <workload> [scheme]   3C miss decomposition
+//
+// Every subcommand accepts a trailing --scale=<f> to resize workloads and
+// --seed=<n> to vary inputs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/evaluator.hpp"
+#include "stats/three_c.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace canu;
+
+struct CliArgs {
+  std::vector<std::string> positional;
+  WorkloadParams params;
+};
+
+CliArgs parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      args.params.scale = std::strtod(arg.c_str() + 8, nullptr);
+      if (args.params.scale <= 0) args.params.scale = 1.0;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.params.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+SchemeSpec scheme_from_name(const std::string& name) {
+  if (name == "column_assoc") return SchemeSpec::column_associative();
+  if (name == "adaptive") return SchemeSpec::adaptive_cache();
+  if (name == "b_cache") return SchemeSpec::b_cache();
+  if (name == "victim") return SchemeSpec::victim_cache();
+  if (name == "partner") return SchemeSpec::partner_cache();
+  if (name == "skewed") return SchemeSpec::skewed_assoc(2);
+  if (name == "2way") return SchemeSpec::set_assoc(2);
+  if (name == "4way") return SchemeSpec::set_assoc(4);
+  if (name == "8way") return SchemeSpec::set_assoc(8);
+  return SchemeSpec::indexing(parse_index_scheme(name));  // throws if unknown
+}
+
+const char* kSchemeNames =
+    "modulo xor odd_multiplier prime_modulo givargis givargis_xor "
+    "patel_optimal column_assoc adaptive b_cache victim partner skewed "
+    "2way 4way 8way";
+
+int cmd_list() {
+  std::cout << "workloads:\n";
+  TextTable table;
+  table.set_header({"name", "suite", "description"});
+  for (const WorkloadInfo& w : all_workloads()) {
+    table.add_row({w.name, w.suite, w.description});
+  }
+  table.print(std::cout);
+  std::cout << "\nschemes: " << kSchemeNames << "\n";
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: canu run <workload> <scheme>\n";
+    return 1;
+  }
+  const Trace trace = generate_workload(args.positional[1], args.params);
+  const SchemeSpec spec = scheme_from_name(args.positional[2]);
+  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+  const RunResult r = run_trace(*model, trace);
+
+  std::cout << args.positional[1] << " under " << spec.label() << " ("
+            << trace.size() << " refs)\n";
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"miss rate %", TextTable::num(100.0 * r.miss_rate(), 4)});
+  table.add_row({"AMAT (cycles)", TextTable::num(r.amat, 3)});
+  table.add_row({"measured AMAT", TextTable::num(r.measured_amat, 3)});
+  table.add_row({"L1 misses", std::to_string(r.l1.misses)});
+  table.add_row({"L2 miss rate %", TextTable::num(100.0 * r.l2.miss_rate(), 3)});
+  table.add_row({"alternate hits", std::to_string(r.l1.secondary_hits)});
+  table.add_row({"FMS sets", std::to_string(r.uniformity.fms)});
+  table.add_row({"LAS sets", std::to_string(r.uniformity.las)});
+  table.add_row({"miss skewness",
+                 TextTable::num(r.uniformity.miss_moments.skewness, 2)});
+  table.add_row({"miss kurtosis",
+                 TextTable::num(r.uniformity.miss_moments.kurtosis, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_evaluate(const CliArgs& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: canu evaluate <mibench|spec2006|synthetic|workload> "
+                 "[indexing|assoc|all]\n";
+    return 1;
+  }
+  const std::string what = args.positional[1];
+  std::vector<std::string> workloads = workload_names(what);
+  if (workloads.empty()) {
+    if (!find_workload(what)) {
+      std::cerr << "unknown suite or workload '" << what << "'\n";
+      return 1;
+    }
+    workloads = {what};
+  }
+  const std::string group =
+      args.positional.size() > 2 ? args.positional[2] : "all";
+
+  EvalOptions opt;
+  opt.params = args.params;
+  Evaluator ev(opt);
+  if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
+  if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
+  if (group == "extensions") {
+    ev.add_scheme(SchemeSpec::partner_cache());
+    ev.add_scheme(SchemeSpec::skewed_assoc(2));
+    ev.add_scheme(SchemeSpec::victim_cache());
+  }
+  if (ev.schemes().empty()) {
+    std::cerr << "unknown scheme group '" << group
+              << "' (indexing|assoc|extensions|all)\n";
+    return 1;
+  }
+  const EvalReport rep = ev.evaluate(workloads);
+  rep.print_miss_reduction(std::cout);
+  std::cout << "\n";
+  rep.print_amat_reduction(std::cout);
+  return 0;
+}
+
+int cmd_advise(const CliArgs& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: canu advise <workload>\n";
+    return 1;
+  }
+  const AdvisorReport rep =
+      Advisor().advise_workload(args.positional[1], args.params);
+  TextTable table;
+  table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
+  int rank = 1;
+  for (const AdvisorChoice& c : rep.ranked) {
+    table.add_row({std::to_string(rank++), c.scheme.label(),
+                   TextTable::num(100.0 * c.result.miss_rate(), 3),
+                   TextTable::num(c.miss_reduction_pct, 2)});
+  }
+  table.print(std::cout);
+  std::cout << (rep.keep_conventional()
+                    ? "recommendation: keep conventional indexing\n"
+                    : "recommendation: " + rep.best().scheme.label() + "\n");
+  return 0;
+}
+
+int cmd_trace(const CliArgs& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: canu trace <workload> <file> "
+                 "(.ctrc extension = compressed)\n";
+    return 1;
+  }
+  const Trace trace = generate_workload(args.positional[1], args.params);
+  const std::string& path = args.positional[2];
+  const bool compress =
+      path.size() >= 5 && path.substr(path.size() - 5) == ".ctrc";
+  if (compress) {
+    save_trace_compressed(trace, path);
+  } else {
+    save_trace(trace, path);
+  }
+  std::cout << "wrote " << trace.size() << " refs to " << path
+            << (compress ? " (compressed)" : "") << "\n";
+  return 0;
+}
+
+int cmd_threec(const CliArgs& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: canu threec <workload> [scheme]\n";
+    return 1;
+  }
+  const Trace trace = generate_workload(args.positional[1], args.params);
+  const SchemeSpec spec = args.positional.size() > 2
+                              ? scheme_from_name(args.positional[2])
+                              : SchemeSpec::baseline();
+  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+  const ThreeCReport r = classify_misses_paper_l1(*model, trace);
+  std::cout << args.positional[1] << " under " << spec.label() << ":\n"
+            << "  accesses    " << r.accesses << "\n"
+            << "  misses      " << r.total_misses << " ("
+            << TextTable::num(100.0 * r.miss_rate(), 3) << "%)\n"
+            << "  compulsory  " << r.compulsory << "\n"
+            << "  capacity    " << r.capacity << "\n"
+            << "  conflict    " << r.conflict << " ("
+            << TextTable::num(100.0 * r.conflict_fraction(), 1)
+            << "% of misses)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = parse(argc, argv);
+  if (args.positional.empty()) {
+    std::cout << "usage: canu <list|run|evaluate|advise|trace|threec> ...\n";
+    return 0;
+  }
+  try {
+    const std::string& cmd = args.positional[0];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "advise") return cmd_advise(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "threec") return cmd_threec(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
