@@ -3,9 +3,12 @@
 // cache, the three programmable-associativity organizations, and the
 // fully-associative Belady OPT floor the paper invokes in §III.
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "cache/belady.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/comparison.hpp"
 
 int main(int argc, char** argv) {
@@ -13,8 +16,7 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::banner("Ablation A3", "associativity ladder vs the OPT floor");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
 
   ComparisonTable table("miss rate %, 32KB capacity");
   const std::vector<SchemeSpec> specs = {
@@ -24,11 +26,17 @@ int main(int argc, char** argv) {
       SchemeSpec::adaptive_cache(),  SchemeSpec::b_cache(),
   };
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, opt.params);
+    const Trace trace = bench::bench_trace(w, opt.params);
+    BatchRunner runner(opt.run);
+    std::vector<std::unique_ptr<CacheModel>> models;
     for (const SchemeSpec& spec : specs) {
-      auto model = build_l1_model(spec, opt.l1_geometry, &trace);
-      const RunResult r = run_trace(*model, trace, opt.run);
-      table.set(w, spec.label(), 100.0 * r.miss_rate());
+      models.push_back(build_l1_model(spec, opt.l1_geometry, &trace));
+      runner.add(*models.back());
+    }
+    SpanSource source(w, trace.refs());
+    const std::vector<RunResult> results = run_batch(runner, source);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      table.set(w, specs[i].label(), 100.0 * results[i].miss_rate());
     }
     // Fully-associative Belady OPT (theoretical floor, paper §III).
     const CacheGeometry full{32 * 1024, 32,

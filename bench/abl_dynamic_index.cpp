@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   ComparisonTable table("miss rate %, 32KB direct-mapped");
   const CacheGeometry g = CacheGeometry::paper_l1();
   for (const std::string& w : paper_mibench_set()) {
-    const Trace t = generate_workload(w, bench::params_for(args));
+    const Trace t = bench::bench_trace(w, bench::params_for(args));
     SetAssocCache modulo(g);
     SetAssocCache xors(g, std::make_shared<XorIndex>(1024, 5));
     SetAssocCache odd(g, std::make_shared<OddMultiplierIndex>(1024, 5, 21));

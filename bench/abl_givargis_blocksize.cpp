@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       "% reduction in miss-rate: givargis vs modulo, by line size");
   for (const std::string& w : paper_mibench_set()) {
     WorkloadParams p = bench::params_for(args);
-    const Trace trace = generate_workload(w, p);
+    const Trace trace = bench::bench_trace(w, p);
     for (const std::uint64_t line : {8ull, 16ull, 32ull, 64ull}) {
       const CacheGeometry g{32 * 1024, line, 1};
       SetAssocCache modulo(g);

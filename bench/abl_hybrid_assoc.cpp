@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const CacheGeometry g = CacheGeometry::paper_l1();
   ComparisonTable table("% reduction in miss-rate vs direct[modulo]");
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     SetAssocCache baseline(g);
     const RunResult base = run_trace(baseline, trace);
 

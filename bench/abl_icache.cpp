@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   FetchParams fp;
   fp.length = static_cast<std::size_t>(1'000'000 * args.scale);
   const Trace fetch = generate_fetch_trace(fp);
-  const Trace data = generate_workload("fft", bench::params_for(args));
+  const Trace data = bench::bench_trace("fft", bench::params_for(args));
   const Trace merged = merge_fetch_data(fetch, data, 3);
   SetAssocCache l1i(CacheGeometry::paper_l1());
   SetAssocCache l1d(CacheGeometry::paper_l1());

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
   ComparisonTable table("L2 miss rate % (64 KB L2; L1 = paper baseline)");
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     for (const std::string which :
          {"8way_lru", "direct", "direct_odd", "column", "skewed"}) {
       SetAssocCache l1(CacheGeometry::paper_l1());

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t sizes[] = {4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
                                  64 * 1024, 128 * 1024, 256 * 1024};
   for (const std::string w : {"fft", "qsort", "patricia", "sjeng"}) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     TextTable table;
     table.set_header({"capacity", "direct %", "column_assoc %",
                       "fully-assoc LRU %", "OPT %"});

@@ -2,8 +2,12 @@
 // choice — the paper's authors recommend 9, 21, 31 and 61 (§II.C); this
 // sweep shows how much the choice matters per benchmark. (Figure 13 also
 // relies on distinct multipliers behaving differently per thread.)
+#include <memory>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "indexing/odd_multiplier.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/comparison.hpp"
 #include "stats/moments.hpp"
 
@@ -12,23 +16,36 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::banner("Ablation A2", "odd-multiplier choice sweep");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
 
   ComparisonTable table("% reduction in miss-rate by odd multiplier");
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, opt.params);
-    auto base_model =
-        build_l1_model(SchemeSpec::baseline(), opt.l1_geometry, &trace);
-    const RunResult base = run_trace(*base_model, trace, opt.run);
+    const Trace trace = bench::bench_trace(w, opt.params);
+
+    // Baseline plus one pipeline per recommended multiplier, all replayed
+    // in a single batch sweep over the trace.
+    BatchRunner runner(opt.run);
+    std::vector<std::unique_ptr<CacheModel>> models;
+    models.push_back(
+        build_l1_model(SchemeSpec::baseline(), opt.l1_geometry, &trace));
+    runner.add(*models.back());
     for (const std::uint64_t mult :
          OddMultiplierIndex::kRecommendedMultipliers) {
-      auto model = build_l1_model(
+      models.push_back(build_l1_model(
           SchemeSpec::indexing(IndexScheme::kOddMultiplier, mult),
-          opt.l1_geometry, &trace);
-      const RunResult r = run_trace(*model, trace, opt.run);
+          opt.l1_geometry, &trace));
+      runner.add(*models.back());
+    }
+    SpanSource source(w, trace.refs());
+    const std::vector<RunResult> results = run_batch(runner, source);
+
+    const RunResult& base = results.front();
+    std::size_t i = 1;
+    for (const std::uint64_t mult :
+         OddMultiplierIndex::kRecommendedMultipliers) {
       table.set(w, "p=" + std::to_string(mult),
-                percent_reduction(base.miss_rate(), r.miss_rate()));
+                percent_reduction(base.miss_rate(),
+                                  results[i++].miss_rate()));
     }
   }
   bench::emit(table, args);

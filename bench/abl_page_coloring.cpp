@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   ComparisonTable misses("% reduction in miss-rate vs identity mapping");
   ComparisonTable kurt("kurtosis of per-set misses");
   for (const std::string& w : paper_mibench_set()) {
-    const Trace vtrace = generate_workload(w, bench::params_for(args));
+    const Trace vtrace = bench::bench_trace(w, bench::params_for(args));
 
     SetAssocCache base(g);
     const RunResult rb = run_trace(base, vtrace);

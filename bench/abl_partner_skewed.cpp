@@ -18,8 +18,7 @@ int main(int argc, char** argv) {
   bench::banner("Ablation A6",
                 "partner-index cache (paper Fig. 3) and skewed associativity");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
   Evaluator ev(opt);
   ev.add_scheme(SchemeSpec::partner_cache());
   ev.add_scheme(SchemeSpec::column_associative());

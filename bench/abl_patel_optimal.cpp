@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
        {"fft", "crc", "sha", "dijkstra", "qsort", "synthetic_strided"}) {
     WorkloadParams p = bench::params_for(args);
     p.scale = std::min(p.scale, 0.25);  // keep the exhaustive search quick
-    const Trace trace = generate_workload(name, p);
+    const Trace trace = bench::bench_trace(name, p);
 
     SetAssocCache modulo(small);
     for (const MemRef& r : trace) modulo.access(r.addr, r.type);

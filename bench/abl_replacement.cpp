@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const CacheGeometry g{32 * 1024, 32, 8};
   ComparisonTable table("miss rate %, 8-way 32 KB");
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     for (const ReplacementPolicy policy :
          {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
           ReplacementPolicy::kRandom, ReplacementPolicy::kPlru,

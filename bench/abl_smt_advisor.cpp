@@ -33,7 +33,7 @@ IndexFunctionPtr advised_index(const std::string& workload, double scale) {
                                                    : rep.best().scheme;
   const CacheGeometry g = CacheGeometry::paper_l1();
   // Trained schemes need the profile trace to rebuild the function.
-  const Trace profile = generate_workload(workload, params);
+  const Trace profile = bench::bench_trace(workload, params);
   return make_index_function(best.index, g.sets(), g.offset_bits(), &profile,
                              best.index_options);
 }

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   anatomy.set_header({"benchmark", "misses", "compulsory %", "capacity %",
                       "conflict %"});
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     auto base = build_l1_model(SchemeSpec::baseline(),
                                CacheGeometry::paper_l1(), &trace);
     const ThreeCReport r = classify_misses_paper_l1(*base, trace);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       SchemeSpec::skewed_assoc(2),
   };
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     for (const SchemeSpec& spec : specs) {
       auto model =
           build_l1_model(spec, CacheGeometry::paper_l1(), &trace);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       SchemeSpec::skewed_assoc(2),
   };
   for (const std::string& w : paper_mibench_set()) {
-    const Trace trace = generate_workload(w, bench::params_for(args));
+    const Trace trace = bench::bench_trace(w, bench::params_for(args));
     for (const SchemeSpec& spec : specs) {
       auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
       for (const MemRef& r : trace) model->access(r.addr, r.type);

@@ -2,15 +2,20 @@
 //
 // Every fig*/abl* binary prints a titled ComparisonTable to stdout (rows =
 // benchmarks, columns = schemes, plus the trailing Average row the paper's
-// figures carry). An optional first argument scales the workloads
-// (default 1.0); `--csv` after it switches the output to CSV for plotting.
+// figures carry). An optional argument scales the workloads (default 1.0);
+// `--csv` switches the output to CSV for plotting. Workload traces go
+// through the on-disk trace cache (trace/trace_cache.hpp), so re-running a
+// bench — or running a different bench over the same workloads — skips
+// generation; set CANU_TRACE_CACHE=0 to opt out.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/evaluator.hpp"
+#include "trace/trace_cache.hpp"
 #include "workloads/workload.hpp"
 
 namespace canu::bench {
@@ -20,24 +25,80 @@ struct BenchArgs {
   bool csv = false;
 };
 
-inline BenchArgs parse_args(int argc, char** argv) {
+/// Parse bench arguments without touching the process: returns the parsed
+/// arguments, or std::nullopt with `*error` describing the offending
+/// argument. Accepted: an optional positive scale factor and `--csv`.
+inline std::optional<BenchArgs> try_parse_args(int argc, char** argv,
+                                               std::string* error = nullptr) {
   BenchArgs args;
+  bool have_scale = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       args.csv = true;
-    } else {
-      args.scale = std::strtod(arg.c_str(), nullptr);
-      if (args.scale <= 0) args.scale = 1.0;
+      continue;
     }
+    if (arg.size() >= 2 && arg.front() == '-' &&
+        (arg[1] < '0' || arg[1] > '9') && arg[1] != '.') {
+      if (error) *error = "unknown option: " + arg;
+      return std::nullopt;
+    }
+    if (have_scale) {
+      if (error) *error = "unexpected extra argument: " + arg;
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const double scale = std::strtod(arg.c_str(), &end);
+    if (end == arg.c_str() || *end != '\0') {
+      if (error) *error = "scale is not a number: " + arg;
+      return std::nullopt;
+    }
+    if (!(scale > 0)) {
+      if (error) *error = "scale must be > 0: " + arg;
+      return std::nullopt;
+    }
+    args.scale = scale;
+    have_scale = true;
   }
   return args;
+}
+
+/// Parse or die: prints the error and a usage line, then exits nonzero, so
+/// a typo'd invocation can never silently run at the default scale.
+inline BenchArgs parse_args(int argc, char** argv) {
+  std::string error;
+  const std::optional<BenchArgs> args = try_parse_args(argc, argv, &error);
+  if (!args) {
+    std::cerr << argv[0] << ": " << error << "\n"
+              << "usage: " << argv[0] << " [scale] [--csv]\n";
+    std::exit(2);
+  }
+  return *args;
 }
 
 inline WorkloadParams params_for(const BenchArgs& args) {
   WorkloadParams p;
   p.scale = args.scale;
   return p;
+}
+
+/// EvalOptions pre-wired for a bench: workload scale from the arguments and
+/// the environment-selected trace cache.
+inline EvalOptions eval_options_for(const BenchArgs& args) {
+  EvalOptions opt;
+  opt.params = params_for(args);
+  opt.trace_cache_dir = default_trace_cache_dir();
+  return opt;
+}
+
+/// Workload trace for a bench that replays traces itself (rather than going
+/// through the Evaluator): served from the trace cache when enabled.
+inline Trace bench_trace(const std::string& name,
+                         const WorkloadParams& params) {
+  const std::string dir = default_trace_cache_dir();
+  if (dir.empty()) return generate_workload(name, params);
+  const TraceCache cache(dir);
+  return cached_workload_trace(name, params, &cache);
 }
 
 inline void emit(const ComparisonTable& table, const BenchArgs& args) {

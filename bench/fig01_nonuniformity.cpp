@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                     "access skew", "access kurtosis", "FMS", "LAS"});
   std::vector<std::uint64_t> fft_counts;
   for (const std::string& name : paper_mibench_set()) {
-    const Trace trace = generate_workload(name, bench::params_for(args));
+    const Trace trace = bench::bench_trace(name, bench::params_for(args));
     SetAssocCache l1(CacheGeometry::paper_l1());
     const RunResult r = run_trace(l1, trace);
     if (name == "fft") {

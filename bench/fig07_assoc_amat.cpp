@@ -15,8 +15,7 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::banner("Figure 7", "AMAT reduction of programmable associativity");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
   Evaluator ev(opt);
   ev.add_paper_assoc_schemes();
   const EvalReport rep = ev.evaluate(paper_mibench_set());

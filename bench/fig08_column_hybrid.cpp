@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 8",
                 "column-associative + non-traditional primary index (SPEC)");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
   // The comparison baseline for this figure is the plain column-associative
   // cache, not the direct-mapped cache.
   opt.baseline = SchemeSpec::column_associative();

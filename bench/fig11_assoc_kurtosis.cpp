@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 11",
                 "kurtosis increase of per-set misses (prog. associativity)");
 
-  EvalOptions opt;
-  opt.params = bench::params_for(args);
+  EvalOptions opt = bench::eval_options_for(args);
   Evaluator ev(opt);
   ev.add_paper_assoc_schemes();
   const EvalReport rep = ev.evaluate(paper_mibench_set());

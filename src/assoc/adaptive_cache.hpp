@@ -95,6 +95,13 @@ class AdaptiveCache final : public CacheModel {
   void reset_stats() override;
   void flush() override;
 
+  AmatTerms amat_terms() const noexcept override {
+    AmatTerms t;
+    t.formula = AmatTerms::Formula::kAdaptive;
+    t.direct_hit_fraction = stats_.primary_hit_fraction();
+    return t;
+  }
+
   /// Hits satisfied through the OUT directory (== stats().secondary_hits).
   std::uint64_t out_hits() const noexcept { return stats_.secondary_hits; }
   /// Blocks preserved by relocation into a disposable line.

@@ -48,6 +48,14 @@ class ColumnAssociativeCache final : public CacheModel {
   void reset_stats() override;
   void flush() override;
 
+  AmatTerms amat_terms() const noexcept override {
+    AmatTerms t;
+    t.formula = AmatTerms::Formula::kColumn;
+    t.slow_hit_fraction = fraction_rehash_hits();
+    t.probed_miss_fraction = fraction_rehash_misses();
+    return t;
+  }
+
   /// Counters feeding the paper's AMAT formula (9).
   std::uint64_t rehash_probes() const noexcept { return rehash_probes_; }
   std::uint64_t rehash_hits() const noexcept { return stats_.secondary_hits; }

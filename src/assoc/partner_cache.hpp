@@ -60,6 +60,16 @@ class PartnerCache final : public CacheModel {
   void reset_stats() override;
   void flush() override;
 
+  // Partner hits behave like column-associative rehash hits (2 cycles);
+  // misses that followed a link pay the extra probe cycle.
+  AmatTerms amat_terms() const noexcept override {
+    AmatTerms t;
+    t.formula = AmatTerms::Formula::kColumn;
+    t.slow_hit_fraction = fraction_partner_hits();
+    t.probed_miss_fraction = fraction_partner_misses();
+    return t;
+  }
+
   /// Hits found through a partner link (== stats().secondary_hits).
   std::uint64_t partner_hits() const noexcept { return stats_.secondary_hits; }
   /// Currently linked set pairs.

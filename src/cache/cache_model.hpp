@@ -68,6 +68,28 @@ struct SetStats {
   std::uint64_t misses = 0;
 };
 
+/// Operands of the scheme-appropriate analytic AMAT formula (sim/amat.hpp).
+/// Each model reports which formula shape applies to it and the hit/miss
+/// splits that formula consumes, so the simulation engine never has to know
+/// the concrete scheme types.
+struct AmatTerms {
+  enum class Formula {
+    kConventional,  ///< AMAT = hit_time + miss_rate * penalty
+    kAdaptive,      ///< paper formula (8): direct vs OUT-directory hits
+    kColumn,        ///< paper formula (9): rehash hit/miss splits
+  };
+  Formula formula = Formula::kConventional;
+  /// kAdaptive: fraction of hits satisfied by the primary location
+  /// (formula (8)'s FractionOfDirectHits).
+  double direct_hit_fraction = 1.0;
+  /// kColumn: fraction of hits satisfied on the slow path — rehash,
+  /// partner or victim-buffer hits (formula (9)'s FractionOfRehashHits).
+  double slow_hit_fraction = 0.0;
+  /// kColumn: fraction of misses that performed the extra probe and
+  /// therefore pay MissPenalty + 1 (formula (9)'s FractionOfRehashMisses).
+  double probed_miss_fraction = 0.0;
+};
+
 class CacheModel {
  public:
   virtual ~CacheModel() = default;
@@ -84,6 +106,11 @@ class CacheModel {
 
   /// Organization name for reports, e.g. "direct[xor]" or "column_assoc".
   virtual std::string name() const = 0;
+
+  /// The AMAT formula this model's timing behaviour follows, with the
+  /// current values of the operands. The default is the conventional
+  /// single-probe formula; schemes with a slow hit path override this.
+  virtual AmatTerms amat_terms() const noexcept { return AmatTerms{}; }
 
   /// Clear counters but keep cache contents (for warmup/measure splits).
   virtual void reset_stats() = 0;

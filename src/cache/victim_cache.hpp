@@ -31,6 +31,19 @@ class VictimCache final : public CacheModel {
   void reset_stats() override;
   void flush() override;
 
+  // Victim-buffer hits pay a swap cycle, like a column-assoc rehash hit;
+  // every miss has probed the buffer, so it pays the +1 as well.
+  AmatTerms amat_terms() const noexcept override {
+    AmatTerms t;
+    t.formula = AmatTerms::Formula::kColumn;
+    t.slow_hit_fraction =
+        stats_.hits == 0 ? 0.0
+                         : static_cast<double>(stats_.secondary_hits) /
+                               static_cast<double>(stats_.hits);
+    t.probed_miss_fraction = 1.0;
+    return t;
+  }
+
   /// Hits satisfied by the victim buffer (== stats().secondary_hits).
   std::uint64_t victim_hits() const noexcept { return stats_.secondary_hits; }
 

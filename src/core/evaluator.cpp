@@ -1,8 +1,12 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 
+#include "sim/batch_runner.hpp"
 #include "stats/moments.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -27,6 +31,15 @@ ComparisonTable build_table(const EvalReport& rep, const std::string& label,
     }
   }
   return table;
+}
+
+/// Whether building this scheme requires a profiling trace (the trained
+/// index functions; only organizations that consume an index function).
+bool spec_needs_profile(const SchemeSpec& spec) {
+  const bool uses_index = spec.org == CacheOrg::kDirect ||
+                          spec.org == CacheOrg::kColumnAssoc ||
+                          spec.org == CacheOrg::kPartner;
+  return uses_index && scheme_needs_profile(spec.index);
 }
 
 }  // namespace
@@ -96,23 +109,75 @@ EvalReport Evaluator::evaluate(
   std::mutex report_mutex;
   ThreadPool pool(options_.threads);
 
-  // One task per workload: generate the trace once, then run the baseline
-  // and every scheme against it. (The trace is the expensive shared input;
-  // schemes within a workload run sequentially, workloads in parallel.)
+  const bool any_profiled =
+      spec_needs_profile(options_.baseline) ||
+      std::any_of(schemes_.begin(), schemes_.end(), spec_needs_profile);
+  std::optional<TraceCache> cache;
+  if (!options_.trace_cache_dir.empty()) {
+    cache.emplace(options_.trace_cache_dir);
+  }
+  const TraceCache* cache_ptr = cache ? &*cache : nullptr;
+
+  // One task per workload: obtain the reference stream once (from the trace
+  // cache when enabled, generated otherwise) and replay it through the
+  // baseline and every scheme in a single batch sweep. Workloads run in
+  // parallel; pipelines within a workload share each chunk while it is
+  // cache-resident (sim/batch_runner.hpp).
   pool.parallel_for(workload_names.size(), [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
-    const Trace trace = generate_workload(wname, options_.params);
 
-    auto baseline_model =
-        build_l1_model(options_.baseline, options_.l1_geometry, &trace);
-    const RunResult base = run_trace(*baseline_model, trace, options_.run);
+    BatchRunner runner(options_.run);
+    std::vector<std::unique_ptr<CacheModel>> models;
+    const auto build_all = [&](const ProfileContext* context) {
+      models.push_back(
+          build_l1_model(options_.baseline, options_.l1_geometry, context));
+      runner.add(*models.back());
+      for (const SchemeSpec& spec : schemes_) {
+        models.push_back(build_l1_model(spec, options_.l1_geometry, context));
+        runner.add(*models.back());
+      }
+    };
 
+    if (any_profiled) {
+      // Trained index functions profile the full stream before simulation
+      // starts, so materialize the trace (once — the ProfileContext shares
+      // the derived unique-address set across every trained scheme).
+      const Trace trace =
+          cached_workload_trace(wname, options_.params, cache_ptr);
+      const ProfileContext context(trace);
+      build_all(&context);
+      SpanSource source(wname, trace.refs());
+      run_batch(runner, source);
+    } else {
+      // Pure streaming: no pipeline needs the stream up front, so feed the
+      // engine chunks straight out of generation (teeing them into the
+      // cache on a miss) without ever materializing the trace.
+      build_all(nullptr);
+      ChunkingSink feed = runner.make_sink();
+      if (cache_ptr != nullptr) {
+        const std::string key = workload_cache_key(wname, options_.params);
+        if (auto source = cache_ptr->open(key)) {
+          pump(*source, feed);
+          feed.flush();
+        } else {
+          auto writer = cache_ptr->begin_store(key, wname);
+          TeeSink tee(*writer, feed);
+          generate_workload_into(wname, tee, options_.params);
+          feed.flush();
+          writer->commit();
+        }
+      } else {
+        generate_workload_into(wname, feed, options_.params);
+        feed.flush();
+      }
+    }
+
+    const RunResult base = runner.result(0, wname);
     std::vector<std::pair<std::string, EvalCell>> local;
     local.reserve(schemes_.size());
-    for (const SchemeSpec& spec : schemes_) {
-      auto model = build_l1_model(spec, options_.l1_geometry, &trace);
+    for (std::size_t si = 0; si < schemes_.size(); ++si) {
       EvalCell cell;
-      cell.run = run_trace(*model, trace, options_.run);
+      cell.run = runner.result(si + 1, wname);
       cell.miss_reduction_pct =
           percent_reduction(base.miss_rate(), cell.run.miss_rate());
       cell.amat_reduction_pct = percent_reduction(base.amat, cell.run.amat);
@@ -122,7 +187,7 @@ EvalReport Evaluator::evaluate(
       cell.skewness_increase_pct =
           percent_increase(base.uniformity.miss_moments.skewness,
                            cell.run.uniformity.miss_moments.skewness);
-      local.emplace_back(spec.label(), std::move(cell));
+      local.emplace_back(schemes_[si].label(), std::move(cell));
     }
 
     std::lock_guard<std::mutex> lock(report_mutex);

@@ -32,6 +32,10 @@ struct EvalOptions {
   WorkloadParams params;         ///< seed / scale for workload generation
   SchemeSpec baseline = SchemeSpec::baseline();
   unsigned threads = 0;          ///< worker threads (0 = hardware)
+  /// Directory of the on-disk trace cache; empty disables caching. Callers
+  /// wanting the environment-controlled default pass
+  /// default_trace_cache_dir() (trace/trace_cache.hpp).
+  std::string trace_cache_dir;
 };
 
 struct EvalCell {

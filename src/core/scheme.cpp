@@ -108,6 +108,17 @@ SchemeSpec SchemeSpec::skewed_assoc(unsigned banks) {
 std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
                                            const CacheGeometry& geometry,
                                            const Trace* profile) {
+  if (profile == nullptr) {
+    return build_l1_model(spec, geometry,
+                          static_cast<const ProfileContext*>(nullptr));
+  }
+  const ProfileContext context(*profile);
+  return build_l1_model(spec, geometry, &context);
+}
+
+std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
+                                           const CacheGeometry& geometry,
+                                           const ProfileContext* profile) {
   const auto make_index = [&]() {
     return make_index_function(spec.index, geometry.sets(),
                                geometry.offset_bits(), profile,

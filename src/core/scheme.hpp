@@ -68,4 +68,19 @@ std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
                                            const CacheGeometry& geometry,
                                            const Trace* profile = nullptr);
 
+/// Same, with trained schemes sharing one ProfileContext — building several
+/// schemes for the same workload then computes the profile-derived inputs
+/// (unique addresses) once instead of once per scheme.
+std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
+                                           const CacheGeometry& geometry,
+                                           const ProfileContext* profile);
+
+/// Disambiguate literal-nullptr calls between the two pointer overloads.
+inline std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
+                                                  const CacheGeometry& geometry,
+                                                  std::nullptr_t) {
+  return build_l1_model(spec, geometry,
+                        static_cast<const ProfileContext*>(nullptr));
+}
+
 }  // namespace canu

@@ -1,5 +1,6 @@
 #include "indexing/factory.hpp"
 
+#include "trace/trace_stats.hpp"
 #include "indexing/givargis.hpp"
 #include "indexing/givargis_xor.hpp"
 #include "indexing/modulo.hpp"
@@ -37,12 +38,30 @@ bool scheme_needs_profile(IndexScheme scheme) noexcept {
          scheme == IndexScheme::kPatelOptimal;
 }
 
+std::span<const std::uint64_t> ProfileContext::unique_addrs() const {
+  if (!unique_) unique_ = unique_addresses(*profile_);
+  return *unique_;
+}
+
 IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
                                      unsigned offset_bits,
                                      const Trace* profile,
                                      const IndexFactoryOptions& opt) {
+  if (profile == nullptr) {
+    return make_index_function(scheme, sets, offset_bits,
+                               static_cast<const ProfileContext*>(nullptr),
+                               opt);
+  }
+  const ProfileContext context(*profile);
+  return make_index_function(scheme, sets, offset_bits, &context, opt);
+}
+
+IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
+                                     unsigned offset_bits,
+                                     const ProfileContext* profile,
+                                     const IndexFactoryOptions& opt) {
   if (scheme_needs_profile(scheme)) {
-    CANU_CHECK_MSG(profile != nullptr && !profile->empty(),
+    CANU_CHECK_MSG(profile != nullptr && !profile->trace().empty(),
                    index_scheme_name(scheme)
                        << " requires a non-empty profiling trace");
   }
@@ -57,14 +76,16 @@ IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
     case IndexScheme::kPrimeModulo:
       return std::make_shared<PrimeModuloIndex>(sets, offset_bits);
     case IndexScheme::kGivargis:
-      return std::make_shared<GivargisIndex>(*profile, sets, offset_bits);
+      return std::make_shared<GivargisIndex>(profile->unique_addrs(), sets,
+                                             offset_bits);
     case IndexScheme::kGivargisXor:
-      return std::make_shared<GivargisXorIndex>(*profile, sets, offset_bits);
+      return std::make_shared<GivargisXorIndex>(profile->unique_addrs(), sets,
+                                                offset_bits);
     case IndexScheme::kPatelOptimal: {
       PatelOptions popt;
       popt.candidate_window = opt.patel_candidate_window;
-      return std::make_shared<PatelOptimalIndex>(*profile, sets, offset_bits,
-                                                 popt);
+      return std::make_shared<PatelOptimalIndex>(profile->trace(), sets,
+                                                 offset_bits, popt);
     }
   }
   throw Error("unhandled index scheme");

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "indexing/index_function.hpp"
 #include "trace/trace.hpp"
@@ -44,6 +46,28 @@ struct IndexFactoryOptions {
   unsigned patel_candidate_window = 12;
 };
 
+/// Shared derived state of one profiling trace. Every trained scheme built
+/// for the same workload needs the same expensive preprocessing (today: the
+/// sorted unique-address set Givargis' analysis is defined over), so the
+/// evaluator builds one ProfileContext per workload and hands it to every
+/// make_index_function call instead of letting each scheme recompute it.
+///
+/// Lazy members are computed on first use; a context is meant to be used
+/// from one thread (the evaluator gives each workload task its own).
+class ProfileContext {
+ public:
+  explicit ProfileContext(const Trace& profile) : profile_(&profile) {}
+
+  const Trace& trace() const noexcept { return *profile_; }
+
+  /// Sorted unique addresses of the profile, computed once and cached.
+  std::span<const std::uint64_t> unique_addrs() const;
+
+ private:
+  const Trace* profile_;
+  mutable std::optional<std::vector<std::uint64_t>> unique_;
+};
+
 /// Build an index function for `scheme` over a cache with `sets` sets and
 /// 2^offset_bits-byte lines. `profile` must be provided (non-null, non-empty)
 /// for trained schemes and is ignored otherwise.
@@ -51,5 +75,22 @@ IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
                                      unsigned offset_bits,
                                      const Trace* profile = nullptr,
                                      const IndexFactoryOptions& opt = {});
+
+/// Same, with trained schemes drawing their profiling inputs from a shared
+/// ProfileContext (null for untrained-only scheme sets).
+IndexFunctionPtr make_index_function(IndexScheme scheme, std::uint64_t sets,
+                                     unsigned offset_bits,
+                                     const ProfileContext* profile,
+                                     const IndexFactoryOptions& opt = {});
+
+/// Disambiguate literal-nullptr calls between the two pointer overloads.
+inline IndexFunctionPtr make_index_function(IndexScheme scheme,
+                                            std::uint64_t sets,
+                                            unsigned offset_bits,
+                                            std::nullptr_t,
+                                            const IndexFactoryOptions& opt = {}) {
+  return make_index_function(scheme, sets, offset_bits,
+                             static_cast<const ProfileContext*>(nullptr), opt);
+}
 
 }  // namespace canu

@@ -22,6 +22,7 @@
 // explores.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "indexing/index_function.hpp"
@@ -54,6 +55,12 @@ class GivargisIndex final : public IndexFunction {
   GivargisIndex(const Trace& profile, std::uint64_t sets, unsigned offset_bits,
                 GivargisOptions opt = GivargisOptions());
 
+  /// Train on a precomputed unique-address set (indexing/factory.hpp's
+  /// ProfileContext computes it once and shares it across trained schemes).
+  GivargisIndex(std::span<const std::uint64_t> unique_addrs,
+                std::uint64_t sets, unsigned offset_bits,
+                GivargisOptions opt = GivargisOptions());
+
   std::uint64_t index(std::uint64_t addr) const noexcept override;
   std::uint64_t sets() const noexcept override { return sets_; }
   std::string name() const override { return "givargis"; }
@@ -68,6 +75,11 @@ class GivargisIndex final : public IndexFunction {
   /// function (used by GivargisXorIndex and by tests).
   static GivargisAnalysis analyse(const Trace& profile, unsigned index_bits,
                                   unsigned offset_bits, GivargisOptions opt = GivargisOptions());
+
+  /// Same analysis over an already-deduplicated address set.
+  static GivargisAnalysis analyse_unique(
+      std::span<const std::uint64_t> unique_addrs, unsigned index_bits,
+      unsigned offset_bits, GivargisOptions opt = GivargisOptions());
 
  private:
   std::uint64_t sets_;

@@ -20,6 +20,18 @@ GivargisXorIndex::GivargisXorIndex(const Trace& profile, std::uint64_t sets,
   selected_tag_bits_ = a.selected_bits;
 }
 
+GivargisXorIndex::GivargisXorIndex(
+    std::span<const std::uint64_t> unique_addrs, std::uint64_t sets,
+    unsigned offset_bits, GivargisOptions opt)
+    : sets_(sets),
+      offset_bits_(offset_bits),
+      index_bits_(log2_exact(sets)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  GivargisAnalysis a = GivargisIndex::analyse_unique(
+      unique_addrs, index_bits_, offset_bits_ + index_bits_, opt);
+  selected_tag_bits_ = a.selected_bits;
+}
+
 std::uint64_t GivargisXorIndex::index(std::uint64_t addr) const noexcept {
   const std::uint64_t idx = bit_field(addr, offset_bits_, index_bits_);
   const std::uint64_t tag_hash = gather_bits(addr, selected_tag_bits_);

@@ -4,6 +4,7 @@
 //     index = (givargis_tag_bits(addr) XOR I) mod s
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "indexing/givargis.hpp"
@@ -18,6 +19,11 @@ class GivargisXorIndex final : public IndexFunction {
   /// region (above offset+index bits), per the scheme's definition.
   GivargisXorIndex(const Trace& profile, std::uint64_t sets,
                    unsigned offset_bits,
+                   GivargisOptions opt = GivargisOptions());
+
+  /// Train on a precomputed unique-address set (shared ProfileContext).
+  GivargisXorIndex(std::span<const std::uint64_t> unique_addrs,
+                   std::uint64_t sets, unsigned offset_bits,
                    GivargisOptions opt = GivargisOptions());
 
   std::uint64_t index(std::uint64_t addr) const noexcept override;

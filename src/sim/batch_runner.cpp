@@ -1,0 +1,76 @@
+#include "sim/batch_runner.hpp"
+
+#include "sim/amat.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+BatchRunner::BatchRunner(RunConfig config) : config_(std::move(config)) {}
+
+BatchRunner::~BatchRunner() = default;
+
+std::size_t BatchRunner::add(CacheModel& l1) {
+  l1.flush();
+  Pipeline p;
+  p.l1 = &l1;
+  p.hierarchy = std::make_unique<Hierarchy>(l1, config_.l2_geometry,
+                                            config_.timing);
+  pipelines_.push_back(std::move(p));
+  return pipelines_.size() - 1;
+}
+
+void BatchRunner::feed(std::span<const MemRef> refs) {
+  // Pipelines outer, references inner: the chunk stays resident in the
+  // host cache while every scheme consumes it.
+  for (Pipeline& p : pipelines_) {
+    Hierarchy& h = *p.hierarchy;
+    for (const MemRef& r : refs) h.access(r.addr, r.type);
+  }
+}
+
+RunResult BatchRunner::result(std::size_t i,
+                              const std::string& workload) const {
+  CANU_CHECK_MSG(i < pipelines_.size(),
+                 "batch pipeline index out of range: " << i);
+  const Pipeline& p = pipelines_[i];
+  const HierarchyResult hres = p.hierarchy->result();
+
+  RunResult result;
+  result.workload = workload;
+  result.scheme = p.l1->name();
+  result.l1 = hres.l1;
+  result.l2 = hres.l2;
+  result.miss_penalty = miss_penalty_from_l2(hres.l2, config_.timing);
+  result.amat = scheme_amat(*p.l1, result.miss_penalty, config_.timing);
+  result.measured_amat = hres.measured_amat();
+  result.uniformity = analyse_uniformity(p.l1->set_stats());
+  return result;
+}
+
+std::vector<RunResult> BatchRunner::results(const std::string& workload) const {
+  std::vector<RunResult> out;
+  out.reserve(pipelines_.size());
+  for (std::size_t i = 0; i < pipelines_.size(); ++i) {
+    out.push_back(result(i, workload));
+  }
+  return out;
+}
+
+void BatchRunner::reset() {
+  for (Pipeline& p : pipelines_) p.hierarchy->flush();
+}
+
+ChunkingSink BatchRunner::make_sink(std::size_t chunk_refs) {
+  return ChunkingSink(
+      [this](std::span<const MemRef> refs) { feed(refs); }, chunk_refs);
+}
+
+std::vector<RunResult> run_batch(BatchRunner& runner, TraceSource& source) {
+  for (std::span<const MemRef> chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    runner.feed(chunk);
+  }
+  return runner.results(source.name());
+}
+
+}  // namespace canu

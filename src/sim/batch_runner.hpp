@@ -1,0 +1,74 @@
+// Batch simulation engine: replay one reference stream through N scheme
+// pipelines in a single pass.
+//
+// The figure benches compare many L1 organizations over the same workload
+// trace. Driving them one at a time re-reads (or regenerates) the trace once
+// per scheme; the BatchRunner instead consumes the stream chunk by chunk and
+// replays each chunk through every pipeline while it is still cache-resident
+// — one generation, one sweep. Pipelines are fully independent (each has its
+// own L1 model and its own L2 hierarchy), so per-scheme results are
+// identical to running run_trace() per scheme; chunk boundaries cannot
+// change any outcome.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "sim/runner.hpp"
+#include "trace/stream.hpp"
+
+namespace canu {
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(RunConfig config = RunConfig());
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Register a scheme pipeline: borrows `l1` (the caller keeps it to
+  /// inspect per-set stats, as with run_trace), flushes it, and backs it
+  /// with a fresh L2 of the configured geometry. Returns the pipeline index
+  /// used by result().
+  std::size_t add(CacheModel& l1);
+
+  std::size_t pipeline_count() const noexcept { return pipelines_.size(); }
+
+  /// Replay one chunk of references through every pipeline.
+  void feed(std::span<const MemRef> refs);
+
+  /// Package pipeline `i`'s accumulated state, exactly as run_trace() would
+  /// for the same reference stream.
+  RunResult result(std::size_t i, const std::string& workload) const;
+
+  /// All pipeline results, in add() order.
+  std::vector<RunResult> results(const std::string& workload) const;
+
+  /// Flush every pipeline (L1 contents, L2, cycle counters) so the runner
+  /// can be reused for the next workload.
+  void reset();
+
+  /// A sink that forwards whole chunks into feed(); flush() the returned
+  /// sink after generation to deliver the buffered tail.
+  ChunkingSink make_sink(std::size_t chunk_refs = kDefaultChunkRefs);
+
+ private:
+  struct Pipeline {
+    CacheModel* l1;
+    std::unique_ptr<Hierarchy> hierarchy;
+  };
+
+  RunConfig config_;
+  std::vector<Pipeline> pipelines_;
+};
+
+/// Pull `source` through `runner` chunk by chunk and return all pipeline
+/// results (in add() order), labelled with the source's name.
+std::vector<RunResult> run_batch(BatchRunner& runner, TraceSource& source);
+
+}  // namespace canu

@@ -1,6 +1,5 @@
 #include "sim/comparison.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -16,10 +15,10 @@ ComparisonTable::ComparisonTable(std::string value_label)
 
 void ComparisonTable::set(const std::string& row, const std::string& column,
                           double value) {
-  if (std::find(rows_.begin(), rows_.end(), row) == rows_.end()) {
+  if (row_index_.emplace(row, rows_.size()).second) {
     rows_.push_back(row);
   }
-  if (std::find(columns_.begin(), columns_.end(), column) == columns_.end()) {
+  if (column_index_.emplace(column, columns_.size()).second) {
     columns_.push_back(column);
   }
   cells_[{row, column}] = value;

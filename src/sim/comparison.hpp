@@ -40,6 +40,10 @@ class ComparisonTable {
   std::string value_label_;
   std::vector<std::string> rows_;
   std::vector<std::string> columns_;
+  // Presentation order lives in rows_/columns_; these index maps make
+  // set() O(log n) instead of a linear membership scan per call.
+  std::map<std::string, std::size_t> row_index_;
+  std::map<std::string, std::size_t> column_index_;
   std::map<std::pair<std::string, std::string>, double> cells_;
 };
 

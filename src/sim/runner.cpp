@@ -1,9 +1,5 @@
 #include "sim/runner.hpp"
 
-#include "assoc/adaptive_cache.hpp"
-#include "assoc/column_associative.hpp"
-#include "assoc/partner_cache.hpp"
-#include "cache/victim_cache.hpp"
 #include "sim/amat.hpp"
 
 namespace canu {
@@ -11,32 +7,17 @@ namespace canu {
 double scheme_amat(const CacheModel& model, double miss_penalty,
                    const TimingModel& timing) {
   const CacheStats& s = model.stats();
-  if (dynamic_cast<const AdaptiveCache*>(&model) != nullptr) {
-    return amat_adaptive(s.primary_hit_fraction(), s.miss_rate(),
-                         miss_penalty, timing);
-  }
-  if (const auto* column =
-          dynamic_cast<const ColumnAssociativeCache*>(&model)) {
-    return amat_column_associative(column->fraction_rehash_hits(),
-                                   column->fraction_rehash_misses(),
-                                   s.miss_rate(), miss_penalty, timing);
-  }
-  if (const auto* partner = dynamic_cast<const PartnerCache*>(&model)) {
-    // Partner hits behave like column-associative rehash hits (2 cycles);
-    // misses that followed a link pay the extra probe cycle.
-    return amat_column_associative(partner->fraction_partner_hits(),
-                                   partner->fraction_partner_misses(),
-                                   s.miss_rate(), miss_penalty, timing);
-  }
-  if (dynamic_cast<const VictimCache*>(&model) != nullptr) {
-    // Victim-buffer hits pay a swap cycle, like a column-assoc rehash hit;
-    // every miss has probed the buffer, so it pays the +1 as well.
-    const double f_victim_hit =
-        s.hits == 0 ? 0.0
-                    : static_cast<double>(s.secondary_hits) /
-                          static_cast<double>(s.hits);
-    return amat_column_associative(f_victim_hit, 1.0, s.miss_rate(),
-                                   miss_penalty, timing);
+  const AmatTerms terms = model.amat_terms();
+  switch (terms.formula) {
+    case AmatTerms::Formula::kAdaptive:
+      return amat_adaptive(terms.direct_hit_fraction, s.miss_rate(),
+                           miss_penalty, timing);
+    case AmatTerms::Formula::kColumn:
+      return amat_column_associative(terms.slow_hit_fraction,
+                                     terms.probed_miss_fraction,
+                                     s.miss_rate(), miss_penalty, timing);
+    case AmatTerms::Formula::kConventional:
+      break;
   }
   return amat_conventional(s.miss_rate(), miss_penalty,
                            timing.l1_hit_cycles);

@@ -1,0 +1,72 @@
+#include "trace/stream.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+TraceSink::~TraceSink() = default;
+TraceSource::~TraceSource() = default;
+
+ChunkingSink::ChunkingSink(ChunkFn on_chunk, std::size_t chunk_refs)
+    : on_chunk_(std::move(on_chunk)), chunk_refs_(chunk_refs) {
+  CANU_CHECK_MSG(on_chunk_ != nullptr, "ChunkingSink requires a callback");
+  CANU_CHECK_MSG(chunk_refs_ > 0, "chunk size must be positive");
+  buffer_.reserve(chunk_refs_);
+}
+
+void ChunkingSink::write(std::span<const MemRef> refs) {
+  while (!refs.empty()) {
+    const std::size_t room = chunk_refs_ - buffer_.size();
+    const std::size_t take = std::min(room, refs.size());
+    buffer_.insert(buffer_.end(), refs.begin(), refs.begin() + take);
+    refs = refs.subspan(take);
+    if (buffer_.size() == chunk_refs_) {
+      on_chunk_(buffer_);
+      buffer_.clear();
+    }
+  }
+}
+
+void ChunkingSink::flush() {
+  if (!buffer_.empty()) {
+    on_chunk_(buffer_);
+    buffer_.clear();
+  }
+}
+
+TeeSink::TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {
+  for (TraceSink* s : sinks_) {
+    CANU_CHECK_MSG(s != nullptr, "TeeSink requires non-null sinks");
+  }
+}
+
+void TeeSink::write(std::span<const MemRef> refs) {
+  for (TraceSink* s : sinks_) s->write(refs);
+}
+
+SpanSource::SpanSource(std::string name, std::span<const MemRef> refs,
+                       std::size_t chunk_refs)
+    : name_(std::move(name)), refs_(refs), chunk_refs_(chunk_refs) {
+  CANU_CHECK_MSG(chunk_refs_ > 0, "chunk size must be positive");
+}
+
+std::span<const MemRef> SpanSource::next_chunk() {
+  const std::size_t take = std::min(chunk_refs_, refs_.size() - pos_);
+  const std::span<const MemRef> chunk = refs_.subspan(pos_, take);
+  pos_ += take;
+  return chunk;
+}
+
+std::size_t pump(TraceSource& source, TraceSink& sink) {
+  std::size_t moved = 0;
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    sink.write(chunk);
+    moved += chunk.size();
+  }
+  return moved;
+}
+
+}  // namespace canu

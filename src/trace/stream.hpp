@@ -1,0 +1,128 @@
+// Streaming trace plumbing: the chunked producer/consumer interfaces that
+// decouple workload generation from simulation.
+//
+// A workload pushes references into a TraceSink; a simulation engine pulls
+// fixed-size chunks from a TraceSource (or is fed chunks directly via
+// ChunkingSink). Chunks are sized to stay cache-resident while several
+// scheme pipelines replay them (sim/batch_runner.hpp), so one generation
+// pass can drive N consumers without ever materializing the full stream.
+//
+// Trace (trace/trace.hpp) implements TraceSink, so any existing in-memory
+// trace doubles as a sink adapter for tests and for the profiling paths
+// that genuinely need the whole stream.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace canu {
+
+/// References per streamed chunk (512 K of MemRefs): large enough to
+/// amortize per-chunk dispatch, small enough that a chunk plus the hot
+/// state of several cache-model pipelines stays resident in the host cache.
+inline constexpr std::size_t kDefaultChunkRefs = std::size_t{1} << 15;
+
+/// Consumer of an ordered reference stream.
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+
+  /// Consume a block of references. Blocks arrive in stream order and may
+  /// be any size (workload recorders push single references; chunked
+  /// replay pushes kDefaultChunkRefs at a time).
+  virtual void write(std::span<const MemRef> refs) = 0;
+
+  /// Convenience single-reference push.
+  void push(MemRef ref) { write({&ref, 1}); }
+  void push(std::uint64_t addr, AccessType type) {
+    push(MemRef{addr, type});
+  }
+};
+
+/// Producer of an ordered reference stream, pulled in chunks.
+class TraceSource {
+ public:
+  virtual ~TraceSource();
+
+  /// The next chunk, or an empty span at end of stream. The returned span
+  /// is valid until the next call on this source.
+  virtual std::span<const MemRef> next_chunk() = 0;
+
+  /// Restart the stream from the beginning. Every source in the framework
+  /// is deterministic, so a rewound source replays identical references
+  /// (this is what lets trained index functions profile the same stream
+  /// the simulation replays).
+  virtual void rewind() = 0;
+
+  /// Workload name carried with the stream (RunResult::workload).
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Total references if known up front (files, in-memory traces), or 0
+  /// for unbounded/unknown producers.
+  virtual std::size_t size_hint() const noexcept { return 0; }
+};
+
+/// Buffers single-reference pushes into fixed-size chunks and hands each
+/// full chunk to a callback — the adapter between a workload's push-style
+/// generation and a chunk-consuming engine. Call flush() after the
+/// producer finishes to deliver the final partial chunk.
+class ChunkingSink final : public TraceSink {
+ public:
+  using ChunkFn = std::function<void(std::span<const MemRef>)>;
+
+  explicit ChunkingSink(ChunkFn on_chunk,
+                        std::size_t chunk_refs = kDefaultChunkRefs);
+
+  void write(std::span<const MemRef> refs) override;
+
+  /// Deliver any buffered tail; the sink is reusable afterwards.
+  void flush();
+
+ private:
+  ChunkFn on_chunk_;
+  std::size_t chunk_refs_;
+  std::vector<MemRef> buffer_;
+};
+
+/// Forwards every block to each of a set of downstream sinks, in order —
+/// e.g. the trace-cache file writer and the simulation engine at once.
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks);
+  TeeSink(TraceSink& a, TraceSink& b) : TeeSink({&a, &b}) {}
+
+  void write(std::span<const MemRef> refs) override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Chunked view over an in-memory reference array (borrowed, not owned).
+/// The adapter that lets materialized traces drive the streaming engine.
+class SpanSource final : public TraceSource {
+ public:
+  SpanSource(std::string name, std::span<const MemRef> refs,
+             std::size_t chunk_refs = kDefaultChunkRefs);
+
+  std::span<const MemRef> next_chunk() override;
+  void rewind() override { pos_ = 0; }
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t size_hint() const noexcept override { return refs_.size(); }
+
+ private:
+  std::string name_;
+  std::span<const MemRef> refs_;
+  std::size_t chunk_refs_;
+  std::size_t pos_ = 0;
+};
+
+/// Drain `source` into `sink` chunk by chunk; returns references moved.
+std::size_t pump(TraceSource& source, TraceSink& sink);
+
+}  // namespace canu

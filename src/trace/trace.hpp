@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "trace/stream.hpp"
 
 namespace canu {
 
@@ -15,7 +17,11 @@ namespace canu {
 /// The reference stream is the complete interface between the two halves of
 /// the framework — nothing about a workload other than its trace influences
 /// simulation results.
-class Trace {
+///
+/// Trace implements TraceSink, so it serves as the materializing adapter
+/// wherever a streaming producer needs to be captured whole (tests, trained
+/// index profiling, trace serialization).
+class Trace final : public TraceSink {
  public:
   Trace() = default;
   explicit Trace(std::string name) : name_(std::move(name)) {}
@@ -26,6 +32,11 @@ class Trace {
   void append(MemRef ref) { refs_.push_back(ref); }
   void append(std::uint64_t addr, AccessType type) {
     refs_.push_back(MemRef{addr, type});
+  }
+
+  /// TraceSink: append a block of references.
+  void write(std::span<const MemRef> refs) override {
+    refs_.insert(refs_.end(), refs.begin(), refs.end());
   }
 
   /// Append all references of another trace (used to build phase traces).

@@ -1,0 +1,135 @@
+#include "trace/trace_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool log_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("CANU_TRACE_CACHE_LOG");
+    return v != nullptr && std::string(v) != "0";
+  }();
+  return enabled;
+}
+
+std::string unique_temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+std::string default_trace_cache_dir() {
+  if (const char* toggle = std::getenv("CANU_TRACE_CACHE")) {
+    const std::string v(toggle);
+    if (v == "0" || v == "off") return "";
+  }
+  if (const char* dir = std::getenv("CANU_TRACE_CACHE_DIR")) {
+    return dir;
+  }
+  return ".canu-trace-cache";
+}
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir)) {
+  CANU_CHECK_MSG(!dir_.empty(), "trace cache requires a directory");
+}
+
+std::string TraceCache::path_for(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".ctrc")).string();
+}
+
+bool TraceCache::contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(path_for(key), ec);
+}
+
+std::unique_ptr<TraceFileSource> TraceCache::open(
+    const std::string& key, std::size_t chunk_refs) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return nullptr;
+  auto source = std::make_unique<TraceFileSource>(path, chunk_refs);
+  note_hit(path);
+  return source;
+}
+
+bool TraceCache::load(const std::string& key, Trace& out) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return false;
+  out = load_trace(path);
+  note_hit(path);
+  return true;
+}
+
+void TraceCache::store(const Trace& trace, const std::string& key) const {
+  auto writer = begin_store(key, trace.name());
+  writer->write(trace.refs());
+  writer->commit();
+}
+
+std::unique_ptr<TraceCacheWriter> TraceCache::begin_store(
+    const std::string& key, std::string trace_name) const {
+  ensure_dir();
+  return std::make_unique<TraceCacheWriter>(*this, key,
+                                            std::move(trace_name));
+}
+
+void TraceCache::ensure_dir() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  CANU_CHECK_MSG(!ec, "cannot create trace cache dir '" << dir_
+                                                        << "': "
+                                                        << ec.message());
+}
+
+void TraceCache::note_hit(const std::string& path) const {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (log_enabled()) std::cerr << "[trace-cache] hit " << path << "\n";
+}
+
+void TraceCache::note_store(const std::string& path) const {
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  if (log_enabled()) std::cerr << "[trace-cache] store " << path << "\n";
+}
+
+TraceCacheWriter::TraceCacheWriter(const TraceCache& cache,
+                                   const std::string& key,
+                                   std::string trace_name)
+    : final_path_(cache.path_for(key)),
+      temp_path_(final_path_ + unique_temp_suffix()),
+      writer_(std::make_unique<TraceFileWriter>(temp_path_,
+                                                std::move(trace_name))),
+      cache_(&cache) {}
+
+TraceCacheWriter::~TraceCacheWriter() {
+  if (committed_) return;
+  writer_.reset();  // close the temp file before removing it
+  std::error_code ec;
+  fs::remove(temp_path_, ec);
+}
+
+void TraceCacheWriter::commit() {
+  CANU_CHECK_MSG(!committed_, "trace cache store committed twice");
+  writer_->close();
+  std::error_code ec;
+  fs::rename(temp_path_, final_path_, ec);
+  CANU_CHECK_MSG(!ec, "cannot publish cached trace '"
+                          << final_path_ << "': " << ec.message());
+  committed_ = true;
+  cache_->note_store(final_path_);
+}
+
+}  // namespace canu

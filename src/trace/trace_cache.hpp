@@ -1,0 +1,106 @@
+// On-disk trace cache: workload traces are pure functions of
+// (workload, params), so every bench binary regenerating them from scratch
+// is wasted work. The cache stores each generated stream once, in the
+// compressed trace format, under a key derived from those inputs; later
+// runs (or other binaries) stream the file back instead of re-running the
+// workload kernel.
+//
+// Layout: one file per key, `<dir>/<key>.ctrc`. Stores are atomic (written
+// to a temp file, then renamed), so concurrent processes racing on the
+// same key simply both win. The key encodes only (workload, seed, scale,
+// address base) — editing a workload kernel invalidates nothing, so wipe
+// the directory (`rm -rf`) after changing generation code.
+//
+// Environment knobs (honoured by default_trace_cache_dir()):
+//   CANU_TRACE_CACHE_DIR=<dir>  cache directory (default .canu-trace-cache)
+//   CANU_TRACE_CACHE=0|off      disable caching entirely
+//   CANU_TRACE_CACHE_LOG=1      log hit/store events to stderr
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/stream.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace canu {
+
+/// Cache directory selected by the environment: CANU_TRACE_CACHE_DIR if
+/// set, ".canu-trace-cache" otherwise; empty (disabled) when
+/// CANU_TRACE_CACHE is "0" or "off". Benches and the CLI pass this to
+/// EvalOptions; the library itself never touches the disk unless asked.
+std::string default_trace_cache_dir();
+
+class TraceCache;
+
+/// Streaming store into the cache: a TraceSink writing to a temp file that
+/// only becomes visible under its key when commit() is called. An
+/// uncommitted writer removes the temp file on destruction, so a failed
+/// generation never poisons the cache.
+class TraceCacheWriter final : public TraceSink {
+ public:
+  TraceCacheWriter(const TraceCache& cache, const std::string& key,
+                   std::string trace_name);
+  ~TraceCacheWriter() override;
+
+  void write(std::span<const MemRef> refs) override { writer_->write(refs); }
+
+  /// Finalize the temp file and atomically publish it under the key.
+  void commit();
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  std::unique_ptr<TraceFileWriter> writer_;
+  const TraceCache* cache_;
+  bool committed_ = false;
+};
+
+class TraceCache {
+ public:
+  /// The directory is created on first store, not on construction.
+  explicit TraceCache(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// File path a given key maps to.
+  std::string path_for(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+
+  /// Open a streaming source for the key, or nullptr on miss.
+  std::unique_ptr<TraceFileSource> open(
+      const std::string& key,
+      std::size_t chunk_refs = kDefaultChunkRefs) const;
+
+  /// Load the whole cached trace; returns false (and leaves `out` alone)
+  /// on miss.
+  bool load(const std::string& key, Trace& out) const;
+
+  /// Store a materialized trace under the key (atomic).
+  void store(const Trace& trace, const std::string& key) const;
+
+  /// Begin a streaming store (atomic on commit).
+  std::unique_ptr<TraceCacheWriter> begin_store(const std::string& key,
+                                                std::string trace_name) const;
+
+  /// Hit/store counters for this cache object (diagnostics and tests).
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t stores() const noexcept { return stores_; }
+
+ private:
+  friend class TraceCacheWriter;
+
+  void ensure_dir() const;
+  void note_hit(const std::string& path) const;
+  void note_store(const std::string& path) const;
+
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace canu

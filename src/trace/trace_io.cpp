@@ -220,4 +220,128 @@ Trace load_trace(const std::string& path) {
   return read_trace_any(is);
 }
 
+// ------------------------------------------------- streaming writer ----
+
+TraceFileWriter::TraceFileWriter(const std::string& path, std::string name)
+    : os_(path, std::ios::binary), trace_name_(std::move(name)) {
+  CANU_CHECK_MSG(os_.is_open(), "cannot open '" << path << "' for writing");
+  os_.write(kMagicV2.data(), kMagicV2.size());
+  write_le<std::uint32_t>(os_, static_cast<std::uint32_t>(trace_name_.size()));
+  os_.write(trace_name_.data(),
+            static_cast<std::streamsize>(trace_name_.size()));
+  count_pos_ = 8 + 4 + trace_name_.size();
+  write_le<std::uint64_t>(os_, 0);  // record count, patched by close()
+  CANU_CHECK_MSG(os_.good(), "failed writing trace header to '" << path
+                                                                << "'");
+  open_ = true;
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; close() explicitly to observe errors.
+  }
+}
+
+void TraceFileWriter::write(std::span<const MemRef> refs) {
+  for (const MemRef& r : refs) {
+    const std::int64_t delta = static_cast<std::int64_t>(r.addr) -
+                               static_cast<std::int64_t>(prev_addr_);
+    prev_addr_ = r.addr;
+    const std::uint64_t z = zigzag_encode(delta);
+    unsigned len = 0;
+    std::uint64_t probe = z;
+    while (probe != 0) {
+      ++len;
+      probe >>= 8;
+    }
+    os_.put(static_cast<char>(static_cast<unsigned>(r.type) | (len << 2)));
+    for (unsigned b = 0; b < len; ++b) {
+      os_.put(static_cast<char>((z >> (8 * b)) & 0xff));
+    }
+  }
+  written_ += refs.size();
+  CANU_CHECK_MSG(os_.good(),
+                 "failed writing trace '" << trace_name_ << "'");
+}
+
+void TraceFileWriter::close() {
+  if (!open_) return;
+  open_ = false;
+  os_.seekp(static_cast<std::streamoff>(count_pos_));
+  write_le<std::uint64_t>(os_, written_);
+  os_.close();
+  CANU_CHECK_MSG(!os_.fail(), "failed finalizing trace '" << trace_name_
+                                                          << "'");
+}
+
+// ------------------------------------------------- streaming reader ----
+
+TraceFileSource::TraceFileSource(const std::string& path,
+                                 std::size_t chunk_refs)
+    : is_(path, std::ios::binary), path_(path) {
+  CANU_CHECK_MSG(is_.is_open(), "cannot open '" << path << "' for reading");
+  CANU_CHECK_MSG(chunk_refs > 0, "chunk size must be positive");
+  std::array<char, 8> magic{};
+  is_.read(magic.data(), magic.size());
+  CANU_CHECK_MSG(is_.good(), "truncated trace stream");
+  if (magic == kMagic) {
+    compressed_ = false;
+  } else if (magic == kMagicV2) {
+    compressed_ = true;
+  } else {
+    throw Error("bad trace magic in '" + path + "'");
+  }
+  name_ = read_name(is_);
+  count_ = read_le<std::uint64_t>(is_);
+  data_pos_ = static_cast<std::uint64_t>(is_.tellg());
+  remaining_ = count_;
+  chunk_refs_ = chunk_refs;
+  buffer_.reserve(chunk_refs_);
+}
+
+std::span<const MemRef> TraceFileSource::next_chunk() {
+  const std::size_t take = std::min<std::uint64_t>(chunk_refs_, remaining_);
+  buffer_.resize(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    if (compressed_) {
+      const int header = is_.get();
+      CANU_CHECK_MSG(header >= 0, "truncated compressed records in '"
+                                      << path_ << "'");
+      const int type_bits = header & 0x3;
+      const unsigned len = static_cast<unsigned>(header >> 2) & 0xf;
+      CANU_CHECK_MSG(type_bits <= 2, "invalid access type " << type_bits);
+      CANU_CHECK_MSG(len <= 8, "invalid delta length " << len);
+      std::uint64_t z = 0;
+      for (unsigned b = 0; b < len; ++b) {
+        const int byte = is_.get();
+        CANU_CHECK_MSG(byte >= 0, "truncated delta bytes in '" << path_
+                                                               << "'");
+        z |= static_cast<std::uint64_t>(byte) << (8 * b);
+      }
+      prev_addr_ = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(prev_addr_) + zigzag_decode(z));
+      buffer_[i] = MemRef{prev_addr_, static_cast<AccessType>(type_bits)};
+    } else {
+      const auto addr = read_le<std::uint64_t>(is_);
+      const int type_byte = is_.get();
+      CANU_CHECK_MSG(type_byte >= 0, "truncated trace records in '" << path_
+                                                                    << "'");
+      CANU_CHECK_MSG(type_byte <= 2, "invalid access type " << type_byte);
+      buffer_[i] = MemRef{addr, static_cast<AccessType>(type_byte)};
+    }
+  }
+  remaining_ -= take;
+  return {buffer_.data(), take};
+}
+
+void TraceFileSource::rewind() {
+  is_.clear();
+  is_.seekg(static_cast<std::streamoff>(data_pos_));
+  CANU_CHECK_MSG(is_.good(), "failed rewinding '" << path_ << "'");
+  remaining_ = count_;
+  prev_addr_ = 0;
+}
+
 }  // namespace canu

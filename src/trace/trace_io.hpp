@@ -15,9 +15,12 @@
 // so 1-2 delta bytes replace 9-byte raw records (typically 3-6x smaller).
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace canu {
@@ -47,5 +50,61 @@ Trace read_trace_any(std::istream& is);
 void save_trace(const Trace& trace, const std::string& path);
 void save_trace_compressed(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path);
+
+/// Streaming writer: serializes references to a file in the compressed
+/// ("CANUTRC2") format as they arrive, without holding the trace in memory.
+/// The record count is patched into the header on close(), so the producer
+/// does not need to know the stream length up front.
+class TraceFileWriter final : public TraceSink {
+ public:
+  /// Opens `path` for writing and emits the header. Throws canu::Error if
+  /// the file cannot be created.
+  TraceFileWriter(const std::string& path, std::string name);
+  /// Closes the file if still open; errors are swallowed here — call
+  /// close() to observe them.
+  ~TraceFileWriter() override;
+
+  void write(std::span<const MemRef> refs) override;
+
+  /// Patch the record count and close the file. Throws canu::Error on
+  /// stream failure. Idempotent.
+  void close();
+
+  std::size_t written() const noexcept { return written_; }
+
+ private:
+  std::ofstream os_;
+  std::string trace_name_;
+  std::uint64_t count_pos_ = 0;  ///< header offset of the record count
+  std::uint64_t prev_addr_ = 0;  ///< delta-encoding state
+  std::size_t written_ = 0;
+  bool open_ = false;
+};
+
+/// Streaming reader over a serialized trace (either binary format),
+/// decoding fixed-size chunks on demand; rewind() seeks back to the first
+/// record, so one open file can serve multiple passes.
+class TraceFileSource final : public TraceSource {
+ public:
+  explicit TraceFileSource(const std::string& path,
+                           std::size_t chunk_refs = kDefaultChunkRefs);
+
+  std::span<const MemRef> next_chunk() override;
+  void rewind() override;
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t size_hint() const noexcept override { return count_; }
+
+ private:
+  std::ifstream is_;
+  std::string path_;
+  std::string name_;
+  bool compressed_ = false;
+  std::uint64_t count_ = 0;
+  std::uint64_t data_pos_ = 0;   ///< file offset of the first record
+  std::uint64_t remaining_ = 0;
+  std::uint64_t prev_addr_ = 0;  ///< delta-decoding state
+  std::size_t chunk_refs_ = 0;
+  std::vector<MemRef> buffer_;
+};
 
 }  // namespace canu

@@ -17,13 +17,15 @@
 
 namespace canu {
 
-/// Sink that instrumented containers append references to.
+/// Recorder that instrumented containers report references through. Writes
+/// into any TraceSink — an in-memory Trace (tests), or a streaming chunker
+/// feeding the batch simulation engine directly (workload generation).
 class TraceRecorder {
  public:
-  explicit TraceRecorder(Trace& trace) : trace_(&trace) {}
+  explicit TraceRecorder(TraceSink& sink) : sink_(&sink) {}
 
   void record(std::uint64_t addr, AccessType type) {
-    if (enabled_) trace_->append(addr, type);
+    if (enabled_) sink_->push(addr, type);
   }
 
   /// Temporarily pause recording (e.g. while building input data whose
@@ -31,10 +33,8 @@ class TraceRecorder {
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
 
-  Trace& trace() noexcept { return *trace_; }
-
  private:
-  Trace* trace_;
+  TraceSink* sink_;
   bool enabled_ = true;
 };
 

@@ -8,23 +8,23 @@
 
 namespace canu::mibench {
 
-Trace adpcm(const WorkloadParams& p);      ///< ADPCM speech encode/decode
-Trace basicmath(const WorkloadParams& p);  ///< cubic roots, isqrt, deg->rad
-Trace bitcount(const WorkloadParams& p);   ///< bit-count algorithm battery
-Trace crc(const WorkloadParams& p);        ///< CRC-32 over a file buffer
-Trace dijkstra(const WorkloadParams& p);   ///< adjacency-matrix Dijkstra
-Trace fft(const WorkloadParams& p);        ///< iterative radix-2 FFT
-Trace patricia(const WorkloadParams& p);   ///< Patricia trie of IPv4 routes
-Trace qsort(const WorkloadParams& p);      ///< quicksort of string keys
-Trace rijndael(const WorkloadParams& p);   ///< AES-128 T-table encryption
-Trace sha(const WorkloadParams& p);        ///< SHA-1 digest of a buffer
-Trace susan(const WorkloadParams& p);      ///< SUSAN image smoothing stencil
+void adpcm(TraceSink& sink, const WorkloadParams& p);      ///< ADPCM speech encode/decode
+void basicmath(TraceSink& sink, const WorkloadParams& p);  ///< cubic roots, isqrt, deg->rad
+void bitcount(TraceSink& sink, const WorkloadParams& p);   ///< bit-count algorithm battery
+void crc(TraceSink& sink, const WorkloadParams& p);        ///< CRC-32 over a file buffer
+void dijkstra(TraceSink& sink, const WorkloadParams& p);   ///< adjacency-matrix Dijkstra
+void fft(TraceSink& sink, const WorkloadParams& p);        ///< iterative radix-2 FFT
+void patricia(TraceSink& sink, const WorkloadParams& p);   ///< Patricia trie of IPv4 routes
+void qsort(TraceSink& sink, const WorkloadParams& p);      ///< quicksort of string keys
+void rijndael(TraceSink& sink, const WorkloadParams& p);   ///< AES-128 T-table encryption
+void sha(TraceSink& sink, const WorkloadParams& p);        ///< SHA-1 digest of a buffer
+void susan(TraceSink& sink, const WorkloadParams& p);      ///< SUSAN image smoothing stencil
 
 // Additional MiBench programs beyond the paper's evaluated set (suite
 // "mibench_extra" in the registry).
-Trace stringsearch(const WorkloadParams& p);  ///< Horspool pattern search
-Trace blowfish(const WorkloadParams& p);      ///< Blowfish CBC encryption
-Trace gsm(const WorkloadParams& p);           ///< GSM LPC/LTP speech encode
-Trace jpeg(const WorkloadParams& p);          ///< 8x8 DCT + quant + RLE
+void stringsearch(TraceSink& sink, const WorkloadParams& p);  ///< Horspool pattern search
+void blowfish(TraceSink& sink, const WorkloadParams& p);      ///< Blowfish CBC encryption
+void gsm(TraceSink& sink, const WorkloadParams& p);           ///< GSM LPC/LTP speech encode
+void jpeg(TraceSink& sink, const WorkloadParams& p);          ///< 8x8 DCT + quant + RLE
 
 }  // namespace canu::mibench

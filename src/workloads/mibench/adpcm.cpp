@@ -31,9 +31,8 @@ constexpr int kStepSizes[89] = {
 
 }  // namespace
 
-Trace adpcm(const WorkloadParams& p) {
-  Trace trace("adpcm");
-  TraceRecorder rec(trace);
+void adpcm(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xadc0);
 
@@ -107,7 +106,6 @@ Trace adpcm(const WorkloadParams& p) {
                 static_cast<std::uint8_t>(nibble_buf | (code << 4)));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -56,9 +56,8 @@ std::uint32_t usqrt(std::uint32_t x) {
 
 }  // namespace
 
-Trace basicmath(const WorkloadParams& p) {
-  Trace trace("basicmath");
-  TraceRecorder rec(trace);
+void basicmath(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xba51);
 
@@ -98,7 +97,6 @@ Trace basicmath(const WorkloadParams& p) {
   for (std::size_t i = 0; i < n; ++i) {
     rads.store(i, degs.load(i) * (M_PI / 180.0));
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -36,9 +36,8 @@ int count_parallel(std::uint32_t x) {
 
 }  // namespace
 
-Trace bitcount(const WorkloadParams& p) {
-  Trace trace("bitcount");
-  TraceRecorder rec(trace);
+void bitcount(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xb17c);
 
@@ -85,7 +84,6 @@ Trace bitcount(const WorkloadParams& p) {
     for (std::size_t i = 0; i < n; ++i) t += count_parallel(words.load(i));
     totals.store(3, t);
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -13,9 +13,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace blowfish(const WorkloadParams& p) {
-  Trace trace("blowfish");
-  TraceRecorder rec(trace);
+void blowfish(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xb1f5);
 
@@ -65,7 +64,6 @@ Trace blowfish(const WorkloadParams& p) {
     iv_l = l;
     iv_r = r;
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

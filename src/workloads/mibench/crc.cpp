@@ -12,9 +12,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace crc(const WorkloadParams& p) {
-  Trace trace("crc");
-  TraceRecorder rec(trace);
+void crc(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xc12c);
 
@@ -47,7 +46,6 @@ Trace crc(const WorkloadParams& p) {
     if ((i & 0x3ff) == 0x3ff) crc_out.store(0, crc);
   }
   crc_out.store(0, crc ^ 0xffffffffu);
-  return trace;
 }
 
 }  // namespace canu::mibench

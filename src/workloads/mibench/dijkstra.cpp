@@ -13,9 +13,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace dijkstra(const WorkloadParams& p) {
-  Trace trace("dijkstra");
-  TraceRecorder rec(trace);
+void dijkstra(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xd1d5);
 
@@ -65,7 +64,6 @@ Trace dijkstra(const WorkloadParams& p) {
       }
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -16,9 +16,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace fft(const WorkloadParams& p) {
-  Trace trace("fft");
-  TraceRecorder rec(trace);
+void fft(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xff7);
 
@@ -90,7 +89,6 @@ Trace fft(const WorkloadParams& p) {
 
   run_fft(false);  // forward transform
   run_fft(true);   // inverse transform (MiBench runs fft followed by ifft)
-  return trace;
 }
 
 }  // namespace canu::mibench

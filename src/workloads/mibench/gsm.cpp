@@ -16,9 +16,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace gsm(const WorkloadParams& p) {
-  Trace trace("gsm");
-  TraceRecorder rec(trace);
+void gsm(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x65a1);
 
@@ -95,7 +94,6 @@ Trace gsm(const WorkloadParams& p) {
       history.store(kHistory - kFrame + i, samples.load(base + i));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

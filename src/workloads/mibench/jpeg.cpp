@@ -26,9 +26,8 @@ constexpr int kZigzag[64] = {
 
 }  // namespace
 
-Trace jpeg(const WorkloadParams& p) {
-  Trace trace("jpeg");
-  TraceRecorder rec(trace);
+void jpeg(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x09e6);
 
@@ -129,7 +128,6 @@ Trace jpeg(const WorkloadParams& p) {
       }
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -24,9 +24,8 @@ inline std::uint32_t key_bit(std::uint32_t key, std::uint32_t b) {
 
 }  // namespace
 
-Trace patricia(const WorkloadParams& p) {
-  Trace trace("patricia");
-  TraceRecorder rec(trace);
+void patricia(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x9a72);
 
@@ -136,7 +135,6 @@ Trace patricia(const WorkloadParams& p) {
                                   : keys[rng.below(keys.size())];
     (void)search(key);
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -21,9 +21,8 @@ constexpr std::size_t kKeyLen = 16;  // fixed-size keys in the string pool
 
 }  // namespace
 
-Trace qsort(const WorkloadParams& p) {
-  Trace trace("qsort");
-  TraceRecorder rec(trace);
+void qsort(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x4502);
 
@@ -110,7 +109,6 @@ Trace qsort(const WorkloadParams& p) {
       }
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

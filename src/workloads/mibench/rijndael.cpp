@@ -60,9 +60,8 @@ std::uint32_t rotr8(std::uint32_t v) { return (v >> 8) | (v << 24); }
 
 }  // namespace
 
-Trace rijndael(const WorkloadParams& p) {
-  Trace trace("rijndael");
-  TraceRecorder rec(trace);
+void rijndael(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xae5);
 
@@ -144,7 +143,6 @@ Trace rijndael(const WorkloadParams& p) {
                    w ^ round_keys.load(static_cast<std::size_t>(40 + i)));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

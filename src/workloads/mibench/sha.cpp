@@ -20,9 +20,8 @@ std::uint32_t rotl(std::uint32_t x, int k) {
 
 }  // namespace
 
-Trace sha(const WorkloadParams& p) {
-  Trace trace("sha");
-  TraceRecorder rec(trace);
+void sha(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x5a1);
 
@@ -82,7 +81,6 @@ Trace sha(const WorkloadParams& p) {
     digest.store(3, digest.load(3) + d);
     digest.store(4, digest.load(4) + e);
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -15,9 +15,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace stringsearch(const WorkloadParams& p) {
-  Trace trace("stringsearch");
-  TraceRecorder rec(trace);
+void stringsearch(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x577);
 
@@ -71,7 +70,6 @@ Trace stringsearch(const WorkloadParams& p) {
       pos += skip.load(last);
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -17,9 +17,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace susan(const WorkloadParams& p) {
-  Trace trace("susan");
-  TraceRecorder rec(trace);
+void susan(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x5554);
 
@@ -80,7 +79,6 @@ Trace susan(const WorkloadParams& p) {
                          weight_sum ? value_sum / weight_sum : centre));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::mibench

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 #include "util/error.hpp"
 #include "workloads/mibench.hpp"
@@ -14,7 +16,7 @@ std::vector<WorkloadInfo> build_registry() {
   std::vector<WorkloadInfo> w;
   const auto add = [&w](std::string name, std::string suite,
                         std::string description,
-                        Trace (*fn)(const WorkloadParams&)) {
+                        void (*fn)(TraceSink&, const WorkloadParams&)) {
     w.push_back(WorkloadInfo{std::move(name), std::move(suite),
                              std::move(description), fn});
   };
@@ -97,9 +99,38 @@ const WorkloadInfo* find_workload(const std::string& name) {
 }
 
 Trace generate_workload(const std::string& name, const WorkloadParams& params) {
+  Trace trace(name);
+  generate_workload_into(name, trace, params);
+  return trace;
+}
+
+void generate_workload_into(const std::string& name, TraceSink& sink,
+                            const WorkloadParams& params) {
   const WorkloadInfo* info = find_workload(name);
   CANU_CHECK_MSG(info != nullptr, "unknown workload: " << name);
-  return info->generate(params);
+  info->generate(sink, params);
+}
+
+std::string workload_cache_key(const std::string& name,
+                               const WorkloadParams& params) {
+  char scale[32];
+  std::snprintf(scale, sizeof scale, "%.17g", params.scale);
+  std::ostringstream key;
+  key << name << "-s" << params.seed << "-x" << scale << "-b" << std::hex
+      << params.address_base;
+  return key.str();
+}
+
+Trace cached_workload_trace(const std::string& name,
+                            const WorkloadParams& params,
+                            const TraceCache* cache) {
+  if (cache == nullptr) return generate_workload(name, params);
+  const std::string key = workload_cache_key(name, params);
+  Trace trace(name);
+  if (cache->load(key, trace)) return trace;
+  generate_workload_into(name, trace, params);
+  cache->store(trace, key);
+  return trace;
 }
 
 std::vector<std::string> workload_names(const std::string& suite) {

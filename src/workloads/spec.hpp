@@ -7,15 +7,15 @@
 
 namespace canu::spec {
 
-Trace astar(const WorkloadParams& p);       ///< grid A* path search
-Trace bzip2(const WorkloadParams& p);       ///< BWT-style block transform
-Trace calculix(const WorkloadParams& p);    ///< FE sparse solver (CSR SpMV)
-Trace gromacs(const WorkloadParams& p);     ///< MD cell-list force loop
-Trace hmmer(const WorkloadParams& p);       ///< profile-HMM Viterbi DP
-Trace libquantum(const WorkloadParams& p);  ///< quantum register gates
-Trace mcf(const WorkloadParams& p);         ///< network-simplex pricing
-Trace milc(const WorkloadParams& p);        ///< 4-D lattice QCD sweep
-Trace namd(const WorkloadParams& p);        ///< pairlist MD forces
-Trace sjeng(const WorkloadParams& p);       ///< game-tree search + hash table
+void astar(TraceSink& sink, const WorkloadParams& p);       ///< grid A* path search
+void bzip2(TraceSink& sink, const WorkloadParams& p);       ///< BWT-style block transform
+void calculix(TraceSink& sink, const WorkloadParams& p);    ///< FE sparse solver (CSR SpMV)
+void gromacs(TraceSink& sink, const WorkloadParams& p);     ///< MD cell-list force loop
+void hmmer(TraceSink& sink, const WorkloadParams& p);       ///< profile-HMM Viterbi DP
+void libquantum(TraceSink& sink, const WorkloadParams& p);  ///< quantum register gates
+void mcf(TraceSink& sink, const WorkloadParams& p);         ///< network-simplex pricing
+void milc(TraceSink& sink, const WorkloadParams& p);        ///< 4-D lattice QCD sweep
+void namd(TraceSink& sink, const WorkloadParams& p);        ///< pairlist MD forces
+void sjeng(TraceSink& sink, const WorkloadParams& p);       ///< game-tree search + hash table
 
 }  // namespace canu::spec

@@ -15,9 +15,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace astar(const WorkloadParams& p) {
-  Trace trace("astar");
-  TraceRecorder rec(trace);
+void astar(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xa57a);
 
@@ -131,7 +130,6 @@ Trace astar(const WorkloadParams& p) {
       }
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

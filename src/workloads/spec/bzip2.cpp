@@ -13,9 +13,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace bzip2(const WorkloadParams& p) {
-  Trace trace("bzip2");
-  TraceRecorder rec(trace);
+void bzip2(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xb21b);
 
@@ -116,7 +115,6 @@ Trace bzip2(const WorkloadParams& p) {
       run_len = 1;
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

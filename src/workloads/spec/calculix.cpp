@@ -16,9 +16,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace calculix(const WorkloadParams& p) {
-  Trace trace("calculix");
-  TraceRecorder rec(trace);
+void calculix(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0xca1c);
 
@@ -79,7 +78,6 @@ Trace calculix(const WorkloadParams& p) {
       x.store(r, x.load(r) + (rhs.load(r) - y.load(r)) / diag.load(r));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

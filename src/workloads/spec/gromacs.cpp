@@ -15,9 +15,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace gromacs(const WorkloadParams& p) {
-  Trace trace("gromacs");
-  TraceRecorder rec(trace);
+void gromacs(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x602a);
 
@@ -119,7 +118,6 @@ Trace gromacs(const WorkloadParams& p) {
       pz.store(i, std::fmod(pz.load(i) + scale * fz.load(i) + kBox, kBox));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

@@ -13,9 +13,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace hmmer(const WorkloadParams& p) {
-  Trace trace("hmmer");
-  TraceRecorder rec(trace);
+void hmmer(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x4e12);
 
@@ -86,7 +85,6 @@ Trace hmmer(const WorkloadParams& p) {
       insert_prev.store(k, insert_cur.load(k));
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

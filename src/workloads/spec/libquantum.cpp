@@ -16,9 +16,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace libquantum(const WorkloadParams& p) {
-  Trace trace("libquantum");
-  TraceRecorder rec(trace);
+void libquantum(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x11b0);
 
@@ -83,7 +82,6 @@ Trace libquantum(const WorkloadParams& p) {
   for (std::size_t q = 0; q + 1 < qubits; ++q) cnot(q, q + 1);
   for (std::size_t q = 0; q < qubits; ++q) hadamard(qubits - 1 - q);
   (void)rng;
-  return trace;
 }
 
 }  // namespace canu::spec

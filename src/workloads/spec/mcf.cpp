@@ -13,9 +13,8 @@ using workloads_detail::make_rng;
 using workloads_detail::make_space;
 using workloads_detail::scaled;
 
-Trace mcf(const WorkloadParams& p) {
-  Trace trace("mcf");
-  TraceRecorder rec(trace);
+void mcf(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x3cf);
 
@@ -83,7 +82,6 @@ Trace mcf(const WorkloadParams& p) {
       potential.store(i, potential.load(i) + best_reduced);
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

@@ -20,9 +20,8 @@ constexpr std::size_t kMat = 18;  // 3x3 complex doubles per link matrix
 
 }  // namespace
 
-Trace milc(const WorkloadParams& p) {
-  Trace trace("milc");
-  TraceRecorder rec(trace);
+void milc(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x311c);
 
@@ -80,7 +79,6 @@ Trace milc(const WorkloadParams& p) {
       mat_mul_acc(site * kMat, fwd * kMat, site * kMat);
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

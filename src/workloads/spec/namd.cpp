@@ -23,9 +23,8 @@ constexpr std::size_t kFields = 6;
 
 }  // namespace
 
-Trace namd(const WorkloadParams& p) {
-  Trace trace("namd");
-  TraceRecorder rec(trace);
+void namd(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x4a3d);
 
@@ -97,7 +96,6 @@ Trace namd(const WorkloadParams& p) {
       }
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

@@ -24,9 +24,8 @@ struct TtPacked {
 
 }  // namespace
 
-Trace sjeng(const WorkloadParams& p) {
-  Trace trace("sjeng");
-  TraceRecorder rec(trace);
+void sjeng(TraceSink& sink, const WorkloadParams& p) {
+  TraceRecorder rec(sink);
   AddressSpace space = make_space(p);
   Xoshiro256 rng = make_rng(p, 0x53e6);
 
@@ -101,7 +100,6 @@ Trace sjeng(const WorkloadParams& p) {
       hash = saved_hash;
     }
   }
-  return trace;
 }
 
 }  // namespace canu::spec

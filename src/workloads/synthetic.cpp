@@ -16,21 +16,18 @@ constexpr std::uint64_t kLine = 32;
 
 }  // namespace
 
-Trace uniform(const WorkloadParams& p) {
-  Trace trace("synthetic_uniform");
+void uniform(TraceSink& sink, const WorkloadParams& p) {
   Xoshiro256 rng = make_rng(p, 0x0501);
   const std::size_t refs = scaled(p, 400'000);
   const std::uint64_t lines = 4096;  // 128 KB footprint
   for (std::size_t i = 0; i < refs; ++i) {
     const std::uint64_t line = rng.below(lines);
-    trace.append(p.address_base + line * kLine + rng.below(kLine),
+    sink.push(p.address_base + line * kLine + rng.below(kLine),
                  rng.below(4) == 0 ? AccessType::kWrite : AccessType::kRead);
   }
-  return trace;
 }
 
-Trace hotset(const WorkloadParams& p) {
-  Trace trace("synthetic_hotset");
+void hotset(TraceSink& sink, const WorkloadParams& p) {
   Xoshiro256 rng = make_rng(p, 0x0502);
   const std::size_t refs = scaled(p, 400'000);
   const std::uint64_t lines = 8192;
@@ -39,26 +36,22 @@ Trace hotset(const WorkloadParams& p) {
     const bool hot = rng.below(10) != 0;  // 90% of accesses
     const std::uint64_t line = hot ? rng.below(hot_lines)
                                    : hot_lines + rng.below(lines - hot_lines);
-    trace.append(p.address_base + line * kLine, AccessType::kRead);
+    sink.push(p.address_base + line * kLine, AccessType::kRead);
   }
-  return trace;
 }
 
-Trace strided(const WorkloadParams& p) {
-  Trace trace("synthetic_strided");
+void strided(TraceSink& sink, const WorkloadParams& p) {
   const std::size_t refs = scaled(p, 400'000);
   // Stride of exactly one cache way (32 KB): every access maps to the same
   // set under modulo indexing.
   const std::uint64_t stride = 32 * 1024;
   const std::uint64_t span = 64;  // 64 conflicting lines
   for (std::size_t i = 0; i < refs; ++i) {
-    trace.append(p.address_base + (i % span) * stride, AccessType::kRead);
+    sink.push(p.address_base + (i % span) * stride, AccessType::kRead);
   }
-  return trace;
 }
 
-Trace gaussian(const WorkloadParams& p) {
-  Trace trace("synthetic_gaussian");
+void gaussian(TraceSink& sink, const WorkloadParams& p) {
   Xoshiro256 rng = make_rng(p, 0x0504);
   const std::size_t refs = scaled(p, 400'000);
   const double lines = 16384.0;
@@ -67,21 +60,18 @@ Trace gaussian(const WorkloadParams& p) {
     centre += rng.uniform() - 0.5;  // slow drift
     const double v = centre + rng.normal() * 128.0;
     const double clamped = std::clamp(v, 0.0, lines - 1.0);
-    trace.append(p.address_base +
+    sink.push(p.address_base +
                      static_cast<std::uint64_t>(clamped) * kLine,
                  AccessType::kRead);
   }
-  return trace;
 }
 
-Trace sequential(const WorkloadParams& p) {
-  Trace trace("synthetic_sequential");
+void sequential(TraceSink& sink, const WorkloadParams& p) {
   const std::size_t refs = scaled(p, 400'000);
   for (std::size_t i = 0; i < refs; ++i) {
-    trace.append(p.address_base + static_cast<std::uint64_t>(i) * 4,
+    sink.push(p.address_base + static_cast<std::uint64_t>(i) * 4,
                  AccessType::kRead);
   }
-  return trace;
 }
 
 }  // namespace canu::synthetic

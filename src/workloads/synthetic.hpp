@@ -9,18 +9,18 @@
 namespace canu::synthetic {
 
 /// Uniform random line-granularity accesses over a configurable footprint.
-Trace uniform(const WorkloadParams& p);
+void uniform(TraceSink& sink, const WorkloadParams& p);
 
 /// Hot-set pattern: 90% of accesses hit 10% of the footprint.
-Trace hotset(const WorkloadParams& p);
+void hotset(TraceSink& sink, const WorkloadParams& p);
 
 /// Fixed power-of-two stride walk (the worst case for modulo indexing).
-Trace strided(const WorkloadParams& p);
+void strided(TraceSink& sink, const WorkloadParams& p);
 
 /// Gaussian-centred accesses drifting across the footprint.
-Trace gaussian(const WorkloadParams& p);
+void gaussian(TraceSink& sink, const WorkloadParams& p);
 
 /// Pure sequential sweep (compulsory misses only).
-Trace sequential(const WorkloadParams& p);
+void sequential(TraceSink& sink, const WorkloadParams& p);
 
 }  // namespace canu::synthetic

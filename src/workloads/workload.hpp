@@ -6,8 +6,13 @@
 // SimpleScalar-collected MiBench/SPEC traces (DESIGN.md §1): the access
 // *pattern* is produced by the same algorithm the benchmark is named after.
 //
+// Kernels emit their references into a TraceSink (docs/workloads.md): a
+// consumer can be an in-memory Trace, the on-disk trace cache, or the batch
+// simulation engine replaying chunks as they are produced — generation
+// never has to materialize the full stream.
+//
 // All generators are pure functions of WorkloadParams — same params, same
-// trace, on every platform.
+// reference stream, on every platform.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_cache.hpp"
 
 namespace canu {
 
@@ -33,7 +40,7 @@ struct WorkloadInfo {
   std::string name;         ///< e.g. "fft"
   std::string suite;        ///< "mibench", "spec2006" or "synthetic"
   std::string description;  ///< one-line summary of the kernel
-  std::function<Trace(const WorkloadParams&)> generate;
+  std::function<void(TraceSink&, const WorkloadParams&)> generate;
 };
 
 /// All registered workloads, in deterministic (suite, name) order.
@@ -45,6 +52,23 @@ const WorkloadInfo* find_workload(const std::string& name);
 /// Generate a workload trace by name; throws canu::Error on unknown name.
 Trace generate_workload(const std::string& name,
                         const WorkloadParams& params = WorkloadParams());
+
+/// Stream a workload's references into `sink` without materializing them;
+/// throws canu::Error on unknown name.
+void generate_workload_into(const std::string& name, TraceSink& sink,
+                            const WorkloadParams& params = WorkloadParams());
+
+/// Trace-cache key for (workload, params): workload traces are pure
+/// functions of these inputs, so the key encodes exactly name, seed, scale
+/// and address base.
+std::string workload_cache_key(const std::string& name,
+                               const WorkloadParams& params);
+
+/// Generate the workload trace, or load it from `cache` when present
+/// (storing it on a miss). A null cache degrades to plain generation.
+Trace cached_workload_trace(const std::string& name,
+                            const WorkloadParams& params,
+                            const TraceCache* cache);
 
 /// Names of all workloads, optionally filtered by suite ("" = all).
 std::vector<std::string> workload_names(const std::string& suite = "");

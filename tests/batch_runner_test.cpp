@@ -1,0 +1,289 @@
+// Golden parity of the batch simulation engine against the single-run
+// reference path, plus trace-cache round-trips and the strict bench
+// argument parser.
+//
+// The parity requirement is bit-for-bit: BatchRunner replays each chunk
+// through independent per-scheme pipelines, so every counter, AMAT value
+// and uniformity moment must equal what run_trace() produces for the same
+// scheme over the same stream — chunk boundaries must not be observable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_common.hpp"
+#include "core/scheme.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/runner.hpp"
+#include "trace/trace_cache.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.scale = 0.05;
+  return p;
+}
+
+/// Every scheme family the paper evaluates (Figures 4 and 6), plus the
+/// extension schemes, so the parity sweep covers each CacheModel subclass
+/// and each AMAT formula branch.
+std::vector<SchemeSpec> paper_schemes() {
+  return {
+      SchemeSpec::baseline(),
+      SchemeSpec::indexing(IndexScheme::kXor),
+      SchemeSpec::indexing(IndexScheme::kOddMultiplier),
+      SchemeSpec::indexing(IndexScheme::kPrimeModulo),
+      SchemeSpec::indexing(IndexScheme::kGivargis),
+      SchemeSpec::indexing(IndexScheme::kGivargisXor),
+      SchemeSpec::column_associative(),
+      SchemeSpec::adaptive_cache(),
+      SchemeSpec::b_cache(),
+      SchemeSpec::victim_cache(),
+      SchemeSpec::partner_cache(),
+      SchemeSpec::skewed_assoc(2),
+      SchemeSpec::set_assoc(2),
+  };
+}
+
+void expect_same_cache_stats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.primary_hits, b.primary_hits);
+  EXPECT_EQ(a.secondary_hits, b.secondary_hits);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.lookup_cycles, b.lookup_cycles);
+  EXPECT_EQ(a.write_accesses, b.write_accesses);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+}
+
+void expect_same_moments(const Moments& a, const Moments& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.variance, b.variance);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.skewness, b.skewness);
+  EXPECT_EQ(a.kurtosis, b.kurtosis);
+  EXPECT_EQ(a.excess_kurtosis, b.excess_kurtosis);
+}
+
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.scheme, b.scheme);
+  expect_same_cache_stats(a.l1, b.l1);
+  expect_same_cache_stats(a.l2, b.l2);
+  EXPECT_EQ(a.miss_penalty, b.miss_penalty);
+  EXPECT_EQ(a.amat, b.amat);
+  EXPECT_EQ(a.measured_amat, b.measured_amat);
+  EXPECT_EQ(a.uniformity.sets, b.uniformity.sets);
+  EXPECT_EQ(a.uniformity.fhs, b.uniformity.fhs);
+  EXPECT_EQ(a.uniformity.fms, b.uniformity.fms);
+  EXPECT_EQ(a.uniformity.las, b.uniformity.las);
+  expect_same_moments(a.uniformity.access_moments, b.uniformity.access_moments);
+  expect_same_moments(a.uniformity.hit_moments, b.uniformity.hit_moments);
+  expect_same_moments(a.uniformity.miss_moments, b.uniformity.miss_moments);
+}
+
+TEST(BatchRunnerParity, MatchesRunTraceForEverySchemeOnTwoWorkloads) {
+  for (const std::string& workload : {std::string("fft"),
+                                      std::string("qsort")}) {
+    const Trace trace = generate_workload(workload, small_params());
+    const std::vector<SchemeSpec> specs = paper_schemes();
+
+    // Reference: one run_trace per scheme, each with a fresh model.
+    std::vector<RunResult> reference;
+    for (const SchemeSpec& spec : specs) {
+      auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+      reference.push_back(run_trace(*model, trace));
+    }
+
+    // Batch: all schemes in one sweep, chunked smaller than the trace so
+    // several chunk boundaries land inside the stream.
+    BatchRunner runner;
+    std::vector<std::unique_ptr<CacheModel>> models;
+    for (const SchemeSpec& spec : specs) {
+      models.push_back(build_l1_model(spec, CacheGeometry::paper_l1(), &trace));
+      runner.add(*models.back());
+    }
+    SpanSource source(workload, trace.refs(), /*chunk_refs=*/4096);
+    const std::vector<RunResult> batch = run_batch(runner, source);
+
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE(workload + " / " + specs[i].label());
+      expect_same_result(batch[i], reference[i]);
+    }
+  }
+}
+
+TEST(BatchRunnerParity, ResetAllowsReuseAcrossWorkloads) {
+  const Trace first = generate_workload("fft", small_params());
+  const Trace second = generate_workload("crc", small_params());
+
+  auto model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                              CacheGeometry::paper_l1(), nullptr);
+  BatchRunner runner;
+  runner.add(*model);
+  SpanSource s1("fft", first.refs());
+  run_batch(runner, s1);
+
+  runner.reset();
+  model->flush();
+  SpanSource s2("crc", second.refs());
+  const RunResult reused = run_batch(runner, s2).front();
+
+  auto fresh_model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                                    CacheGeometry::paper_l1(), nullptr);
+  const RunResult fresh = run_trace(*fresh_model, second);
+  expect_same_result(reused, fresh);
+}
+
+TEST(BatchRunnerParity, ChunkSizeDoesNotChangeResults) {
+  const Trace trace = generate_workload("dijkstra", small_params());
+  std::vector<RunResult> per_chunk_size;
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{777},
+                                  std::size_t{1} << 20}) {
+    auto model = build_l1_model(SchemeSpec::column_associative(),
+                                CacheGeometry::paper_l1(), nullptr);
+    BatchRunner runner;
+    runner.add(*model);
+    SpanSource source("dijkstra", trace.refs(), chunk);
+    per_chunk_size.push_back(run_batch(runner, source).front());
+  }
+  expect_same_result(per_chunk_size[0], per_chunk_size[1]);
+  expect_same_result(per_chunk_size[0], per_chunk_size[2]);
+}
+
+class TraceCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("canu-trace-cache-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceCacheTest, RoundTripReproducesGeneratedTrace) {
+  const WorkloadParams params = small_params();
+  const TraceCache cache(dir_.string());
+  const std::string key = workload_cache_key("crc", params);
+  EXPECT_FALSE(cache.contains(key));
+
+  // First call generates and stores; second call loads.
+  const Trace generated = cached_workload_trace("crc", params, &cache);
+  EXPECT_TRUE(cache.contains(key));
+  EXPECT_EQ(cache.stores(), 1u);
+  const Trace loaded = cached_workload_trace("crc", params, &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  ASSERT_EQ(loaded.size(), generated.size());
+  EXPECT_EQ(loaded.name(), generated.name());
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    ASSERT_EQ(loaded.refs()[i], generated.refs()[i]) << "ref " << i;
+  }
+}
+
+TEST_F(TraceCacheTest, StreamedSourceMatchesDirectGeneration) {
+  const WorkloadParams params = small_params();
+  const TraceCache cache(dir_.string());
+  const Trace direct = generate_workload("adpcm", params);
+  cached_workload_trace("adpcm", params, &cache);  // populate
+
+  auto source = cache.open(workload_cache_key("adpcm", params),
+                           /*chunk_refs=*/1000);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->name(), "adpcm");
+  EXPECT_EQ(source->size_hint(), direct.size());
+
+  Trace streamed("adpcm");
+  pump(*source, streamed);
+  ASSERT_EQ(streamed.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ(streamed.refs()[i], direct.refs()[i]) << "ref " << i;
+  }
+
+  // rewind() restarts the stream for a second identical pass.
+  source->rewind();
+  Trace again("adpcm");
+  pump(*source, again);
+  EXPECT_EQ(again.size(), direct.size());
+}
+
+TEST_F(TraceCacheTest, CachedReplayGivesIdenticalRunResults) {
+  const WorkloadParams params = small_params();
+  const TraceCache cache(dir_.string());
+  const Trace fresh = generate_workload("sha", params);
+  const Trace cached_once = cached_workload_trace("sha", params, &cache);
+  const Trace cached_twice = cached_workload_trace("sha", params, &cache);
+
+  auto m1 = build_l1_model(SchemeSpec::baseline(), CacheGeometry::paper_l1(),
+                           nullptr);
+  auto m2 = build_l1_model(SchemeSpec::baseline(), CacheGeometry::paper_l1(),
+                           nullptr);
+  expect_same_result(run_trace(*m1, fresh), run_trace(*m2, cached_twice));
+  EXPECT_EQ(cached_once.size(), cached_twice.size());
+}
+
+TEST_F(TraceCacheTest, DistinctParamsGetDistinctKeys) {
+  WorkloadParams a = small_params();
+  WorkloadParams b = small_params();
+  b.seed = 2;
+  WorkloadParams c = small_params();
+  c.scale = 0.051;
+  WorkloadParams d = small_params();
+  d.address_base = 0x2000'0000;
+  const std::string ka = workload_cache_key("fft", a);
+  EXPECT_NE(ka, workload_cache_key("fft", b));
+  EXPECT_NE(ka, workload_cache_key("fft", c));
+  EXPECT_NE(ka, workload_cache_key("fft", d));
+  EXPECT_NE(ka, workload_cache_key("crc", a));
+}
+
+TEST(BenchArgsTest, ParsesScaleAndCsv) {
+  const char* argv[] = {"bench", "0.25", "--csv"};
+  std::string error;
+  const auto args = bench::try_parse_args(3, const_cast<char**>(argv), &error);
+  ASSERT_TRUE(args.has_value()) << error;
+  EXPECT_DOUBLE_EQ(args->scale, 0.25);
+  EXPECT_TRUE(args->csv);
+}
+
+TEST(BenchArgsTest, DefaultsWithNoArguments) {
+  const char* argv[] = {"bench"};
+  const auto args = bench::try_parse_args(1, const_cast<char**>(argv));
+  ASSERT_TRUE(args.has_value());
+  EXPECT_DOUBLE_EQ(args->scale, 1.0);
+  EXPECT_FALSE(args->csv);
+}
+
+TEST(BenchArgsTest, RejectsGarbage) {
+  const auto expect_rejects = [](std::vector<const char*> argv,
+                                 const std::string& what) {
+    std::string error;
+    const auto args = bench::try_parse_args(
+        static_cast<int>(argv.size()), const_cast<char**>(argv.data()), &error);
+    EXPECT_FALSE(args.has_value()) << what;
+    EXPECT_FALSE(error.empty()) << what;
+  };
+  expect_rejects({"bench", "bogus"}, "non-numeric scale");
+  expect_rejects({"bench", "1.5x"}, "trailing junk after number");
+  expect_rejects({"bench", "0"}, "zero scale");
+  expect_rejects({"bench", "-1"}, "negative scale");
+  expect_rejects({"bench", "--frobnicate"}, "unknown flag");
+  expect_rejects({"bench", "0.5", "0.25"}, "two scales");
+}
+
+}  // namespace
+}  // namespace canu

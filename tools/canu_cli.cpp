@@ -16,6 +16,7 @@
 #include "core/advisor.hpp"
 #include "core/evaluator.hpp"
 #include "stats/three_c.hpp"
+#include "trace/trace_cache.hpp"
 #include "trace/trace_io.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -30,15 +31,36 @@ struct CliArgs {
   WorkloadParams params;
 };
 
+/// Workload trace through the environment-selected trace cache (identical
+/// stream to plain generation; CANU_TRACE_CACHE=0 opts out).
+Trace cli_trace(const std::string& name, const WorkloadParams& params) {
+  const std::string dir = default_trace_cache_dir();
+  if (dir.empty()) return generate_workload(name, params);
+  const TraceCache cache(dir);
+  return cached_workload_trace(name, params, &cache);
+}
+
 CliArgs parse(int argc, char** argv) {
   CliArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
-      args.params.scale = std::strtod(arg.c_str() + 8, nullptr);
-      if (args.params.scale <= 0) args.params.scale = 1.0;
+      char* end = nullptr;
+      args.params.scale = std::strtod(arg.c_str() + 8, &end);
+      if (end == arg.c_str() + 8 || *end != '\0' ||
+          !(args.params.scale > 0)) {
+        std::cerr << "invalid --scale value '" << arg.substr(8)
+                  << "' (want a number > 0)\n";
+        std::exit(2);
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
-      args.params.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      char* end = nullptr;
+      args.params.seed = std::strtoull(arg.c_str() + 7, &end, 10);
+      if (end == arg.c_str() + 7 || *end != '\0') {
+        std::cerr << "invalid --seed value '" << arg.substr(7)
+                  << "' (want an unsigned integer)\n";
+        std::exit(2);
+      }
     } else {
       args.positional.push_back(arg);
     }
@@ -81,7 +103,7 @@ int cmd_run(const CliArgs& args) {
     std::cerr << "usage: canu run <workload> <scheme>\n";
     return 1;
   }
-  const Trace trace = generate_workload(args.positional[1], args.params);
+  const Trace trace = cli_trace(args.positional[1], args.params);
   const SchemeSpec spec = scheme_from_name(args.positional[2]);
   auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
   const RunResult r = run_trace(*model, trace);
@@ -126,6 +148,7 @@ int cmd_evaluate(const CliArgs& args) {
 
   EvalOptions opt;
   opt.params = args.params;
+  opt.trace_cache_dir = default_trace_cache_dir();
   Evaluator ev(opt);
   if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
   if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
@@ -174,7 +197,7 @@ int cmd_trace(const CliArgs& args) {
                  "(.ctrc extension = compressed)\n";
     return 1;
   }
-  const Trace trace = generate_workload(args.positional[1], args.params);
+  const Trace trace = cli_trace(args.positional[1], args.params);
   const std::string& path = args.positional[2];
   const bool compress =
       path.size() >= 5 && path.substr(path.size() - 5) == ".ctrc";
@@ -193,7 +216,7 @@ int cmd_threec(const CliArgs& args) {
     std::cerr << "usage: canu threec <workload> [scheme]\n";
     return 1;
   }
-  const Trace trace = generate_workload(args.positional[1], args.params);
+  const Trace trace = cli_trace(args.positional[1], args.params);
   const SchemeSpec spec = args.positional.size() > 2
                               ? scheme_from_name(args.positional[2])
                               : SchemeSpec::baseline();
