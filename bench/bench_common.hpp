@@ -3,7 +3,9 @@
 // Every fig*/abl* binary prints a titled ComparisonTable to stdout (rows =
 // benchmarks, columns = schemes, plus the trailing Average row the paper's
 // figures carry). An optional argument scales the workloads (default 1.0);
-// `--csv` switches the output to CSV for plotting. Workload traces go
+// `--csv` switches the output to CSV for plotting; `--threads N` sets the
+// worker-thread count (CANU_THREADS is the env fallback, N=1 selects the
+// serial engine). Workload traces go
 // through the on-disk trace cache (trace/trace_cache.hpp), so re-running a
 // bench — or running a different bench over the same workloads — skips
 // generation; set CANU_TRACE_CACHE=0 to opt out.
@@ -23,19 +25,46 @@ namespace canu::bench {
 struct BenchArgs {
   double scale = 1.0;
   bool csv = false;
+  /// Worker threads for the evaluation (0 = CANU_THREADS env var if set,
+  /// else hardware concurrency; 1 = the exact serial engine).
+  unsigned threads = 0;
 };
 
 /// Parse bench arguments without touching the process: returns the parsed
 /// arguments, or std::nullopt with `*error` describing the offending
-/// argument. Accepted: an optional positive scale factor and `--csv`.
+/// argument. Accepted: an optional positive scale factor, `--csv`, and
+/// `--threads=N` (or `--threads N`).
 inline std::optional<BenchArgs> try_parse_args(int argc, char** argv,
                                                std::string* error = nullptr) {
   BenchArgs args;
   bool have_scale = false;
+  const auto parse_threads = [&](const std::string& value) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || n == 0 ||
+        n >= 4096) {
+      if (error) *error = "invalid --threads value: " + value;
+      return false;
+    }
+    args.threads = static_cast<unsigned>(n);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       args.csv = true;
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_threads(arg.substr(10))) return std::nullopt;
+      continue;
+    }
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        if (error) *error = "--threads requires a value";
+        return std::nullopt;
+      }
+      if (!parse_threads(argv[++i])) return std::nullopt;
       continue;
     }
     if (arg.size() >= 2 && arg.front() == '-' &&
@@ -70,7 +99,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
   const std::optional<BenchArgs> args = try_parse_args(argc, argv, &error);
   if (!args) {
     std::cerr << argv[0] << ": " << error << "\n"
-              << "usage: " << argv[0] << " [scale] [--csv]\n";
+              << "usage: " << argv[0] << " [scale] [--csv] [--threads N]\n";
     std::exit(2);
   }
   return *args;
@@ -82,11 +111,12 @@ inline WorkloadParams params_for(const BenchArgs& args) {
   return p;
 }
 
-/// EvalOptions pre-wired for a bench: workload scale from the arguments and
-/// the environment-selected trace cache.
+/// EvalOptions pre-wired for a bench: workload scale and thread count from
+/// the arguments and the environment-selected trace cache.
 inline EvalOptions eval_options_for(const BenchArgs& args) {
   EvalOptions opt;
   opt.params = params_for(args);
+  opt.threads = args.threads;
   opt.trace_cache_dir = default_trace_cache_dir();
   return opt;
 }

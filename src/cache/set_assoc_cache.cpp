@@ -11,7 +11,10 @@ SetAssocCache::SetAssocCache(CacheGeometry geometry, IndexFunctionPtr index_fn,
     : geometry_(geometry),
       index_fn_(std::move(index_fn)),
       victim_(policy, rng_seed),
-      lines_(geometry.lines()),
+      tags_(geometry.lines(), kInvalidTag),
+      stamps_(geometry.lines(), 0),
+      dirty_(geometry.lines(), 0),
+      rrpv_(geometry.lines(), 0),
       set_stats_(geometry.sets()) {
   geometry_.validate();
   if (policy == ReplacementPolicy::kPlru) {
@@ -28,17 +31,15 @@ SetAssocCache::SetAssocCache(CacheGeometry geometry, IndexFunctionPtr index_fn,
                  "index function addresses " << index_fn_->sets()
                                              << " sets, cache has "
                                              << geometry_.sets());
+  hit_stamp_mask_ =
+      policy == ReplacementPolicy::kLru ? ~std::uint64_t{0} : std::uint64_t{0};
+  slow_touch_ = policy == ReplacementPolicy::kPlru ||
+                policy == ReplacementPolicy::kSrrip;
 }
 
-void SetAssocCache::touch(std::uint64_t set, unsigned way) noexcept {
-  Line& line = set_begin(set)[way];
+void SetAssocCache::touch_slow(std::uint64_t set, unsigned way,
+                               bool fill) noexcept {
   switch (victim_.policy()) {
-    case ReplacementPolicy::kLru:
-      line.stamp = clock_;
-      break;
-    case ReplacementPolicy::kFifo:
-    case ReplacementPolicy::kRandom:
-      break;  // recency is irrelevant
     case ReplacementPolicy::kPlru: {
       // Walk from the leaf to the root, pointing every tree bit away from
       // this way (heap layout: internal nodes 1..ways-1, leaves ways..2w-1).
@@ -56,21 +57,26 @@ void SetAssocCache::touch(std::uint64_t set, unsigned way) noexcept {
       break;
     }
     case ReplacementPolicy::kSrrip:
-      line.rrpv = 0;  // near-immediate re-reference on hit
+      // Near-immediate re-reference on hit; fills keep the long insertion
+      // interval (kRrpvInsert) already written by the caller.
+      if (!fill) rrpv_[set * geometry_.ways + way] = 0;
+      break;
+    default:
       break;
   }
 }
 
 unsigned SetAssocCache::pick_victim(std::uint64_t set) noexcept {
-  Line* ways = set_begin(set);
+  const std::size_t base = set * geometry_.ways;
   switch (victim_.policy()) {
     case ReplacementPolicy::kRandom:
       return victim_.select_random(geometry_.ways);
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
+      const std::uint64_t* stamps = stamps_.data() + base;
       unsigned slot = 0;
       for (unsigned w = 1; w < geometry_.ways; ++w) {
-        if (ways[w].stamp < ways[slot].stamp) slot = w;
+        if (stamps[w] < stamps[slot]) slot = w;
       }
       return slot;
     }
@@ -84,11 +90,12 @@ unsigned SetAssocCache::pick_victim(std::uint64_t set) noexcept {
     }
     case ReplacementPolicy::kSrrip: {
       // Find an RRPV==max line; if none, age everyone and retry.
+      std::uint8_t* rrpv = rrpv_.data() + base;
       for (;;) {
         for (unsigned w = 0; w < geometry_.ways; ++w) {
-          if (ways[w].rrpv >= kRrpvMax) return w;
+          if (rrpv[w] >= kRrpvMax) return w;
         }
-        for (unsigned w = 0; w < geometry_.ways; ++w) ++ways[w].rrpv;
+        for (unsigned w = 0; w < geometry_.ways; ++w) ++rrpv[w];
       }
     }
   }
@@ -98,47 +105,54 @@ unsigned SetAssocCache::pick_victim(std::uint64_t set) noexcept {
 AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
   const std::uint64_t set = index_fn_->index(addr);
   const std::uint64_t line_addr = addr >> geometry_.offset_bits();
-  Line* ways = set_begin(set);
+  CANU_CHECK_MSG(line_addr != kInvalidTag,
+                 "address 0x" << std::hex << addr
+                              << " aliases the invalid-tag sentinel");
+  const std::size_t base = set * geometry_.ways;
+  std::uint64_t* tags = tags_.data() + base;
+  const unsigned ways = geometry_.ways;
   ++clock_;
   ++stats_.accesses;
   ++set_stats_[set].accesses;
   const bool is_write = type == AccessType::kWrite;
   if (is_write) ++stats_.write_accesses;
 
-  for (unsigned w = 0; w < geometry_.ways; ++w) {
-    if (ways[w].valid && ways[w].line_addr == line_addr) {
-      touch(set, w);
-      if (is_write) ways[w].dirty = true;
-      ++stats_.hits;
-      ++stats_.primary_hits;
-      ++set_stats_[set].hits;
-      stats_.lookup_cycles += 1;
-      return {true, 1, 1};
-    }
+  // Tight probe: one compare per way over the contiguous tag column
+  // (validity is folded into the tag via the sentinel).
+  unsigned w = 0;
+  while (w < ways && tags[w] != line_addr) ++w;
+
+  if (w != ways) {
+    const std::size_t idx = base + w;
+    // Branchless recency update: refreshes the stamp under LRU, a no-op
+    // store under FIFO/Random/PLRU/SRRIP.
+    stamps_[idx] =
+        (stamps_[idx] & ~hit_stamp_mask_) | (clock_ & hit_stamp_mask_);
+    dirty_[idx] = static_cast<std::uint8_t>(dirty_[idx] | (is_write ? 1 : 0));
+    if (slow_touch_) touch_slow(set, w, /*fill=*/false);
+    ++stats_.hits;
+    ++stats_.primary_hits;
+    ++set_stats_[set].hits;
+    stats_.lookup_cycles += 1;
+    return {true, 1, 1};
   }
 
   // Miss: prefer an invalid way, otherwise consult the policy.
   ++stats_.misses;
   ++set_stats_[set].misses;
-  unsigned slot = geometry_.ways;
-  for (unsigned w = 0; w < geometry_.ways; ++w) {
-    if (!ways[w].valid) {
-      slot = w;
-      break;
-    }
-  }
-  if (slot == geometry_.ways) {
+  unsigned slot = 0;
+  while (slot < ways && tags[slot] != kInvalidTag) ++slot;
+  if (slot == ways) {
     slot = pick_victim(set);
     ++stats_.evictions;
-    if (ways[slot].dirty) ++stats_.writebacks;
+    if (dirty_[base + slot]) ++stats_.writebacks;
   }
-  ways[slot] = Line{line_addr, clock_, kRrpvInsert, true, is_write};
-  touch(set, slot);
-  // SRRIP distinguishes insertion (long interval) from promotion on hit;
-  // undo touch()'s hit-promotion for fills.
-  if (victim_.policy() == ReplacementPolicy::kSrrip) {
-    ways[slot].rrpv = kRrpvInsert;
-  }
+  const std::size_t idx = base + slot;
+  tags[slot] = line_addr;
+  stamps_[idx] = clock_;
+  rrpv_[idx] = kRrpvInsert;
+  dirty_[idx] = is_write ? 1 : 0;
+  if (slow_touch_) touch_slow(set, slot, /*fill=*/true);
   stats_.lookup_cycles += 1;
   return {false, 1, 1};
 }
@@ -146,9 +160,9 @@ AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
 bool SetAssocCache::contains(std::uint64_t addr) const noexcept {
   const std::uint64_t set = index_fn_->index(addr);
   const std::uint64_t line_addr = addr >> geometry_.offset_bits();
-  const Line* ways = set_begin(set);
+  const std::uint64_t* tags = tags_.data() + set * geometry_.ways;
   for (unsigned w = 0; w < geometry_.ways; ++w) {
-    if (ways[w].valid && ways[w].line_addr == line_addr) return true;
+    if (tags[w] == line_addr) return true;
   }
   return false;
 }
@@ -170,7 +184,10 @@ void SetAssocCache::reset_stats() {
 
 void SetAssocCache::flush() {
   reset_stats();
-  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(rrpv_.begin(), rrpv_.end(), 0);
   std::fill(plru_bits_.begin(), plru_bits_.end(), 0);
   clock_ = 0;
 }

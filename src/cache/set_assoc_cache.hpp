@@ -8,6 +8,14 @@
 // random, tree pseudo-LRU (per-set tree bits, the common hardware
 // approximation; requires a power-of-two way count) and SRRIP (2-bit
 // re-reference prediction values per line).
+//
+// Line state is stored structure-of-arrays (tags / stamps / dirty bytes /
+// RRPVs in separate flat arrays) so the probe loop touches only the tag
+// column — one cache line covers 8 ways — and the replacement-stamp update
+// is a branchless masked store for LRU/FIFO. Validity is encoded in the
+// tag array itself (kInvalidTag), which keeps the probe a single compare
+// per way; addresses in the top line-sized sliver of the 64-bit space are
+// rejected rather than aliased onto the sentinel.
 #pragma once
 
 #include <vector>
@@ -46,38 +54,42 @@ class SetAssocCache final : public CacheModel {
   bool contains(std::uint64_t addr) const noexcept;
 
  private:
-  struct Line {
-    std::uint64_t line_addr = 0;
-    std::uint64_t stamp = 0;
-    std::uint8_t rrpv = 0;  ///< SRRIP re-reference prediction value
-    bool valid = false;
-    bool dirty = false;
-  };
+  /// Tag value marking an empty way. A real line address can only collide
+  /// with it for addresses within one cache line of 2^64; access() rejects
+  /// those instead of silently treating the way as empty.
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
   // SRRIP parameters (2-bit RRPV, insert at "long" re-reference interval).
   static constexpr std::uint8_t kRrpvMax = 3;
   static constexpr std::uint8_t kRrpvInsert = 2;
 
-  Line* set_begin(std::uint64_t set) noexcept {
-    return lines_.data() + set * geometry_.ways;
-  }
-  const Line* set_begin(std::uint64_t set) const noexcept {
-    return lines_.data() + set * geometry_.ways;
-  }
-
-  /// Record a use of `way` in `set` (hit or fill).
-  void touch(std::uint64_t set, unsigned way) noexcept;
+  /// Policy-specific bookkeeping on a hit or fill of `way` in `set`,
+  /// beyond the branchless stamp update the hot path already did (PLRU
+  /// tree walk; SRRIP hit promotion).
+  void touch_slow(std::uint64_t set, unsigned way, bool fill) noexcept;
   /// Choose the victim way among an all-valid set.
   unsigned pick_victim(std::uint64_t set) noexcept;
 
   CacheGeometry geometry_;
   IndexFunctionPtr index_fn_;
   VictimSelector victim_;
-  std::vector<Line> lines_;
+  // Structure-of-arrays line state, indexed set * ways + way.
+  std::vector<std::uint64_t> tags_;    ///< line address, or kInvalidTag
+  std::vector<std::uint64_t> stamps_;  ///< LRU recency / FIFO insertion order
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint8_t> rrpv_;     ///< SRRIP re-reference prediction
   std::vector<std::uint64_t> plru_bits_;  ///< per-set PLRU tree bits
   std::vector<SetStats> set_stats_;
   CacheStats stats_;
   std::uint64_t clock_ = 0;
+  /// All-ones when a hit refreshes the stamp (LRU), zero otherwise: the
+  /// hot path applies `stamp = (stamp & ~mask) | (clock & mask)` instead
+  /// of switching on the policy.
+  std::uint64_t hit_stamp_mask_ = 0;
+  /// True for policies needing per-access bookkeeping beyond stamps
+  /// (PLRU, SRRIP); keeps the common LRU/FIFO/Random path free of the
+  /// policy switch.
+  bool slow_touch_ = false;
 };
 
 }  // namespace canu

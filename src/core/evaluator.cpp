@@ -6,7 +6,7 @@
 #include <optional>
 #include <ostream>
 
-#include "sim/batch_runner.hpp"
+#include "sim/parallel_batch_runner.hpp"
 #include "stats/moments.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -107,7 +107,16 @@ EvalReport Evaluator::evaluate(
   }
 
   std::mutex report_mutex;
-  ThreadPool pool(options_.threads);
+  // One shared pool carries both levels of parallelism: workload-level
+  // tasks and, inside each, the per-chunk pipeline shards of the parallel
+  // batch engine. TaskGroup waiters help run queued tasks, so the nesting
+  // neither deadlocks nor oversubscribes the worker set. A single-thread
+  // request (--threads 1 / CANU_THREADS=1) creates no pool at all and runs
+  // the serial engine inline — exactly the single-threaded code path.
+  const unsigned threads = resolve_thread_count(options_.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
   const bool any_profiled =
       spec_needs_profile(options_.baseline) ||
@@ -121,12 +130,14 @@ EvalReport Evaluator::evaluate(
   // One task per workload: obtain the reference stream once (from the trace
   // cache when enabled, generated otherwise) and replay it through the
   // baseline and every scheme in a single batch sweep. Workloads run in
-  // parallel; pipelines within a workload share each chunk while it is
-  // cache-resident (sim/batch_runner.hpp).
-  pool.parallel_for(workload_names.size(), [&](std::size_t wi) {
+  // parallel; within a workload, the scheme pipelines are sharded across
+  // the same pool and each chunk is replayed into all shards concurrently
+  // while generation of the next chunk overlaps the replay
+  // (sim/parallel_batch_runner.hpp).
+  const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
 
-    BatchRunner runner(options_.run);
+    ParallelBatchRunner runner(options_.run, pool_ptr);
     std::vector<std::unique_ptr<CacheModel>> models;
     const auto build_all = [&](const ProfileContext* context) {
       models.push_back(
@@ -195,7 +206,14 @@ EvalReport Evaluator::evaluate(
     for (auto& [label, cell] : local) {
       report.cells.emplace(std::make_pair(wname, label), std::move(cell));
     }
-  });
+  };
+  if (pool_ptr != nullptr) {
+    pool_ptr->parallel_for(workload_names.size(), run_workload);
+  } else {
+    for (std::size_t wi = 0; wi < workload_names.size(); ++wi) {
+      run_workload(wi);
+    }
+  }
   return report;
 }
 

@@ -31,7 +31,10 @@ struct EvalOptions {
   RunConfig run;                 ///< L2 geometry + timing
   WorkloadParams params;         ///< seed / scale for workload generation
   SchemeSpec baseline = SchemeSpec::baseline();
-  unsigned threads = 0;          ///< worker threads (0 = hardware)
+  /// Worker threads shared by workload tasks and pipeline shards
+  /// (0 = CANU_THREADS env var if set, else hardware concurrency;
+  /// 1 = the exact serial engine, no pool).
+  unsigned threads = 0;
   /// Directory of the on-disk trace cache; empty disables caching. Callers
   /// wanting the environment-controlled default pass
   /// default_trace_cache_dir() (trace/trace_cache.hpp).

@@ -20,10 +20,18 @@ std::size_t BatchRunner::add(CacheModel& l1) {
 }
 
 void BatchRunner::feed(std::span<const MemRef> refs) {
+  feed_range(refs, 0, pipelines_.size());
+}
+
+void BatchRunner::feed_range(std::span<const MemRef> refs, std::size_t first,
+                             std::size_t last) {
+  CANU_CHECK_MSG(first <= last && last <= pipelines_.size(),
+                 "batch pipeline range [" << first << ", " << last
+                                          << ") out of bounds");
   // Pipelines outer, references inner: the chunk stays resident in the
   // host cache while every scheme consumes it.
-  for (Pipeline& p : pipelines_) {
-    Hierarchy& h = *p.hierarchy;
+  for (std::size_t i = first; i < last; ++i) {
+    Hierarchy& h = *pipelines_[i].hierarchy;
     for (const MemRef& r : refs) h.access(r.addr, r.type);
   }
 }

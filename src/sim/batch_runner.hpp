@@ -42,6 +42,13 @@ class BatchRunner {
   /// Replay one chunk of references through every pipeline.
   void feed(std::span<const MemRef> refs);
 
+  /// Replay one chunk through pipelines [first, last) only — the shard
+  /// primitive of the parallel engine (sim/parallel_batch_runner.hpp).
+  /// Pipelines share no mutable state, so disjoint ranges may be replayed
+  /// concurrently; each pipeline must still see every chunk, in order.
+  void feed_range(std::span<const MemRef> refs, std::size_t first,
+                  std::size_t last);
+
   /// Package pipeline `i`'s accumulated state, exactly as run_trace() would
   /// for the same reference stream.
   RunResult result(std::size_t i, const std::string& workload) const;

@@ -1,0 +1,105 @@
+#include "sim/parallel_batch_runner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+ParallelBatchRunner::ParallelBatchRunner(RunConfig config, ThreadPool* pool)
+    : inner_(std::move(config)), pool_(pool) {}
+
+ParallelBatchRunner::~ParallelBatchRunner() {
+  // TaskGroup's destructor waits without throwing; replay exceptions are
+  // only observable through drain()/results().
+  in_flight_.reset();
+}
+
+std::size_t ParallelBatchRunner::add(CacheModel& l1) {
+  drain();
+  return inner_.add(l1);
+}
+
+void ParallelBatchRunner::launch(std::span<const MemRef> refs) {
+  // One contiguous shard per task, at most one task per worker: with more
+  // pipelines than workers, neighbouring pipelines share a shard so each
+  // task stays coarse.
+  const std::size_t pipelines = inner_.pipeline_count();
+  const std::size_t shards =
+      std::min<std::size_t>(std::max(1u, pool_->size()), pipelines);
+  in_flight_ = std::make_unique<TaskGroup>(pool_);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t first = s * pipelines / shards;
+    const std::size_t last = (s + 1) * pipelines / shards;
+    in_flight_->run(
+        [this, refs, first, last] { inner_.feed_range(refs, first, last); });
+  }
+}
+
+void ParallelBatchRunner::feed(std::span<const MemRef> refs) {
+  if (pool_ == nullptr || inner_.pipeline_count() <= 1) {
+    drain();
+    inner_.feed(refs);
+    return;
+  }
+  drain();
+  launch(refs);
+  drain();
+}
+
+void ParallelBatchRunner::feed_async(std::span<const MemRef> refs) {
+  if (pool_ == nullptr || inner_.pipeline_count() <= 1) {
+    inner_.feed(refs);
+    return;
+  }
+  // Copy into the slot the in-flight chunk is NOT using: the copy of chunk
+  // k+1 overlaps the replay of chunk k. Only then wait for chunk k — the
+  // per-pipeline order barrier — and launch chunk k+1.
+  std::vector<MemRef>& slot = slots_[next_slot_];
+  next_slot_ ^= 1u;
+  slot.assign(refs.begin(), refs.end());
+  drain();
+  launch(slot);
+}
+
+void ParallelBatchRunner::drain() {
+  if (in_flight_) {
+    // Clear the handle before wait() so a rethrown replay error leaves the
+    // runner drained rather than permanently poisoned.
+    std::unique_ptr<TaskGroup> group = std::move(in_flight_);
+    group->wait();
+  }
+}
+
+RunResult ParallelBatchRunner::result(std::size_t i,
+                                      const std::string& workload) {
+  drain();
+  return inner_.result(i, workload);
+}
+
+std::vector<RunResult> ParallelBatchRunner::results(
+    const std::string& workload) {
+  drain();
+  return inner_.results(workload);
+}
+
+void ParallelBatchRunner::reset() {
+  drain();
+  inner_.reset();
+}
+
+ChunkingSink ParallelBatchRunner::make_sink(std::size_t chunk_refs) {
+  return ChunkingSink(
+      [this](std::span<const MemRef> refs) { feed_async(refs); }, chunk_refs);
+}
+
+std::vector<RunResult> run_batch(ParallelBatchRunner& runner,
+                                 TraceSource& source) {
+  for (std::span<const MemRef> chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    runner.feed_async(chunk);
+  }
+  return runner.results(source.name());
+}
+
+}  // namespace canu

@@ -1,0 +1,105 @@
+// Parallel sharded batch replay: the multi-threaded face of the batch
+// simulation engine (sim/batch_runner.hpp).
+//
+// Two axes of overlap, both determinism-preserving (DESIGN.md §9):
+//
+//  * Shard parallelism. The registered scheme pipelines are split into
+//    contiguous shards, one replay task per shard per chunk, executed on a
+//    shared ThreadPool. Pipelines share no mutable state and every pipeline
+//    consumes the identical chunk sequence in order, so results are
+//    bit-for-bit identical to the serial BatchRunner for any thread count
+//    or shard assignment.
+//
+//  * Generation/replay overlap. feed_async() copies the caller's chunk
+//    into one of two slot buffers and returns as soon as the *previous*
+//    chunk's shard tasks have finished — a bounded two-slot queue between
+//    the producing thread (workload generator or trace-cache reader) and
+//    the replay shards. While chunk k replays, the producer generates
+//    chunk k+1 and the engine copies it into the free slot. At most one
+//    chunk is in flight, which is exactly the per-pipeline ordering
+//    constraint.
+//
+// With a null pool the runner degenerates to the serial BatchRunner paths
+// (feed_async == feed, no copies, no tasks) — this is the `--threads 1`
+// mode, bit-for-bit *and* code-path identical to PR 1's engine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/batch_runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu {
+
+class ParallelBatchRunner {
+ public:
+  /// `pool` is borrowed and may be shared with other runners (the
+  /// Evaluator nests workload-level tasks and shard tasks on one pool);
+  /// null selects the serial engine.
+  explicit ParallelBatchRunner(RunConfig config = RunConfig(),
+                               ThreadPool* pool = nullptr);
+
+  /// Waits for any in-flight replay before destruction.
+  ~ParallelBatchRunner();
+
+  ParallelBatchRunner(const ParallelBatchRunner&) = delete;
+  ParallelBatchRunner& operator=(const ParallelBatchRunner&) = delete;
+
+  /// Register a scheme pipeline (see BatchRunner::add). Must not be called
+  /// while a chunk is in flight.
+  std::size_t add(CacheModel& l1);
+
+  std::size_t pipeline_count() const noexcept {
+    return inner_.pipeline_count();
+  }
+
+  /// Replay one chunk through every pipeline, shards in parallel, and wait
+  /// for completion. The span is only read during the call.
+  void feed(std::span<const MemRef> refs);
+
+  /// Double-buffered replay: copy `refs` into a slot buffer, wait for the
+  /// previous chunk's shards, launch this chunk's shards, and return while
+  /// they run. The caller may immediately reuse (or regenerate) the memory
+  /// behind `refs`.
+  void feed_async(std::span<const MemRef> refs);
+
+  /// Wait for any in-flight chunk; rethrows the first replay exception.
+  void drain();
+
+  /// Pipeline results, exactly as the serial BatchRunner would produce
+  /// (drains first, so they see every fed chunk).
+  RunResult result(std::size_t i, const std::string& workload);
+  std::vector<RunResult> results(const std::string& workload);
+
+  /// Drain, then flush every pipeline for reuse on the next workload.
+  void reset();
+
+  /// A sink that forwards whole chunks into feed_async(); flush() the
+  /// returned sink after generation, then collect results (which drains).
+  ChunkingSink make_sink(std::size_t chunk_refs = kDefaultChunkRefs);
+
+  /// The serial engine this runner wraps (tests compare against it).
+  const BatchRunner& serial() const noexcept { return inner_; }
+
+ private:
+  void launch(std::span<const MemRef> refs);
+
+  BatchRunner inner_;
+  ThreadPool* pool_;
+  std::array<std::vector<MemRef>, 2> slots_;
+  unsigned next_slot_ = 0;
+  std::unique_ptr<TaskGroup> in_flight_;
+};
+
+/// Pull `source` through `runner` chunk by chunk — each chunk is copied
+/// and replayed while the source produces the next one — and return all
+/// pipeline results (in add() order), labelled with the source's name.
+std::vector<RunResult> run_batch(ParallelBatchRunner& runner,
+                                 TraceSource& source);
+
+}  // namespace canu

@@ -1,13 +1,24 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace canu {
 
-ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("CANU_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 4096) {
+      return static_cast<unsigned>(v);
+    }
   }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = resolve_thread_count(threads);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -21,6 +32,26 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_one_queued() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();  // wrappers capture exceptions; see enqueue()
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -42,20 +73,75 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
+  TaskGroup group(this);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+    group.run([&fn, i] { fn(i); });
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
+  group.wait();
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    // Serial mode: execute in place, with the same defer-to-wait() error
+    // semantics as the pooled path.
     try {
-      f.get();
+      fn();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!first_error_) first_error_ = std::current_exception();
     }
+    return;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->enqueue([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish_one(error);
+  });
+}
+
+void TaskGroup::finish_one(std::exception_ptr error) noexcept {
+  // Notify while still holding the mutex: the waiter may destroy this
+  // group the moment it observes pending_ == 0, and it cannot do so
+  // before we release the lock — which keeps done_ alive for the
+  // notify_all call.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error && !first_error_) first_error_ = error;
+  --pending_;
+  done_.notify_all();
+}
+
+void TaskGroup::wait_all() noexcept {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    // Help: run queued work instead of blocking, so a group waited on from
+    // inside a pool task cannot starve the fixed worker set. Once the queue
+    // is empty, every task of this group has been dequeued — each is either
+    // finished or running on some thread — so blocking until pending_ hits
+    // zero is safe.
+    if (pool_ != nullptr && pool_->run_one_queued()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
+}
+
+void TaskGroup::wait() {
+  wait_all();
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace canu

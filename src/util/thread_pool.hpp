@@ -1,10 +1,19 @@
-// Fixed-size thread pool used to run independent (workload × scheme)
-// simulations in parallel.
+// Fixed-size thread pool shared by every parallel stage of the framework:
+// workload-level tasks (core/evaluator.hpp) and the per-chunk pipeline
+// shards of the parallel batch engine (sim/parallel_batch_runner.hpp).
 //
-// Design notes (see DESIGN.md §5.6): simulations share no mutable state, so
+// Design notes (see DESIGN.md §9): simulations share no mutable state, so
 // parallelism does not affect determinism — each task owns its cache model
-// and trace. The pool is a plain mutex+condvar queue; experiment tasks are
-// coarse (millions of simulated accesses), so queue overhead is irrelevant.
+// and trace. The pool is a plain mutex+condvar queue; tasks are coarse
+// (tens of thousands of simulated accesses at minimum), so queue overhead
+// is irrelevant.
+//
+// Nesting: a task running on a pool worker may itself fan work out to the
+// same pool via a TaskGroup. Waiting threads *help* — while a group has
+// unfinished tasks, its waiter pops and executes queued pool tasks instead
+// of blocking — so nested waits can never deadlock the fixed worker set,
+// and the number of running tasks never exceeds workers + waiters (no
+// oversubscription from nesting).
 #pragma once
 
 #include <condition_variable>
@@ -17,9 +26,15 @@
 
 namespace canu {
 
+/// Worker count for a requested thread setting: an explicit request wins,
+/// else the CANU_THREADS environment variable (a positive integer), else
+/// hardware concurrency. Always returns >= 1.
+unsigned resolve_thread_count(unsigned requested);
+
 class ThreadPool {
  public:
-  /// Create a pool with `threads` workers (0 = hardware concurrency).
+  /// Create a pool with `threads` workers (0 = resolve_thread_count(0),
+  /// i.e. CANU_THREADS or hardware concurrency).
   explicit ThreadPool(unsigned threads = 0);
 
   /// Drains the queue, then joins all workers.
@@ -28,27 +43,38 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result. Exceptions thrown by
+  /// the task are captured into the future (std::packaged_task semantics),
+  /// so a throwing task never takes down a worker or stalls the queue.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// The calling thread participates (it executes queued tasks while
+  /// waiting), so this is safe to call from inside a pool task. Every index
+  /// is executed even if some throw; the first exception encountered is
+  /// rethrown after all n complete.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
  private:
+  friend class TaskGroup;
+
+  /// Push an already-wrapped task. Wrappers must not let exceptions escape
+  /// (submit/TaskGroup both capture them); see run_one_queued().
+  void enqueue(std::function<void()> task);
+
+  /// Pop and execute one queued task if any; false if the queue was empty.
+  /// Used by TaskGroup waiters to help instead of blocking.
+  bool run_one_queued();
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -56,6 +82,44 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// A batch of tasks submitted to a pool and awaited together — the unit of
+/// structured fan-out used by parallel_for and by the batch engine's
+/// per-chunk shard replay.
+///
+/// run() never executes the task inline when a pool is present; wait()
+/// executes queued pool tasks (any group's) until this group's tasks have
+/// all finished, then rethrows the first captured exception. With a null
+/// pool the group degenerates to immediate serial execution, which keeps a
+/// single code path for callers offering a `--threads 1` mode.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Blocks until all tasks finish; never throws (use wait() to observe
+  /// task exceptions).
+  ~TaskGroup() { wait_all(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task to the group.
+  void run(std::function<void()> fn);
+
+  /// Wait for every submitted task, helping the pool while blocked, then
+  /// rethrow the first exception any task threw (if any).
+  void wait();
+
+ private:
+  void wait_all() noexcept;
+  void finish_one(std::exception_ptr error) noexcept;
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace canu

@@ -16,6 +16,7 @@
 
 #include "../bench/bench_common.hpp"
 #include "core/scheme.hpp"
+#include "result_matchers.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "trace/trace_cache.hpp"
@@ -30,72 +31,11 @@ WorkloadParams small_params() {
   return p;
 }
 
-/// Every scheme family the paper evaluates (Figures 4 and 6), plus the
-/// extension schemes, so the parity sweep covers each CacheModel subclass
-/// and each AMAT formula branch.
-std::vector<SchemeSpec> paper_schemes() {
-  return {
-      SchemeSpec::baseline(),
-      SchemeSpec::indexing(IndexScheme::kXor),
-      SchemeSpec::indexing(IndexScheme::kOddMultiplier),
-      SchemeSpec::indexing(IndexScheme::kPrimeModulo),
-      SchemeSpec::indexing(IndexScheme::kGivargis),
-      SchemeSpec::indexing(IndexScheme::kGivargisXor),
-      SchemeSpec::column_associative(),
-      SchemeSpec::adaptive_cache(),
-      SchemeSpec::b_cache(),
-      SchemeSpec::victim_cache(),
-      SchemeSpec::partner_cache(),
-      SchemeSpec::skewed_assoc(2),
-      SchemeSpec::set_assoc(2),
-  };
-}
-
-void expect_same_cache_stats(const CacheStats& a, const CacheStats& b) {
-  EXPECT_EQ(a.accesses, b.accesses);
-  EXPECT_EQ(a.hits, b.hits);
-  EXPECT_EQ(a.misses, b.misses);
-  EXPECT_EQ(a.primary_hits, b.primary_hits);
-  EXPECT_EQ(a.secondary_hits, b.secondary_hits);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.swaps, b.swaps);
-  EXPECT_EQ(a.lookup_cycles, b.lookup_cycles);
-  EXPECT_EQ(a.write_accesses, b.write_accesses);
-  EXPECT_EQ(a.writebacks, b.writebacks);
-}
-
-void expect_same_moments(const Moments& a, const Moments& b) {
-  EXPECT_EQ(a.n, b.n);
-  EXPECT_EQ(a.mean, b.mean);
-  EXPECT_EQ(a.variance, b.variance);
-  EXPECT_EQ(a.stddev, b.stddev);
-  EXPECT_EQ(a.skewness, b.skewness);
-  EXPECT_EQ(a.kurtosis, b.kurtosis);
-  EXPECT_EQ(a.excess_kurtosis, b.excess_kurtosis);
-}
-
-void expect_same_result(const RunResult& a, const RunResult& b) {
-  EXPECT_EQ(a.workload, b.workload);
-  EXPECT_EQ(a.scheme, b.scheme);
-  expect_same_cache_stats(a.l1, b.l1);
-  expect_same_cache_stats(a.l2, b.l2);
-  EXPECT_EQ(a.miss_penalty, b.miss_penalty);
-  EXPECT_EQ(a.amat, b.amat);
-  EXPECT_EQ(a.measured_amat, b.measured_amat);
-  EXPECT_EQ(a.uniformity.sets, b.uniformity.sets);
-  EXPECT_EQ(a.uniformity.fhs, b.uniformity.fhs);
-  EXPECT_EQ(a.uniformity.fms, b.uniformity.fms);
-  EXPECT_EQ(a.uniformity.las, b.uniformity.las);
-  expect_same_moments(a.uniformity.access_moments, b.uniformity.access_moments);
-  expect_same_moments(a.uniformity.hit_moments, b.uniformity.hit_moments);
-  expect_same_moments(a.uniformity.miss_moments, b.uniformity.miss_moments);
-}
-
 TEST(BatchRunnerParity, MatchesRunTraceForEverySchemeOnTwoWorkloads) {
   for (const std::string& workload : {std::string("fft"),
                                       std::string("qsort")}) {
     const Trace trace = generate_workload(workload, small_params());
-    const std::vector<SchemeSpec> specs = paper_schemes();
+    const std::vector<SchemeSpec> specs = paper_parity_schemes();
 
     // Reference: one run_trace per scheme, each with a fresh model.
     std::vector<RunResult> reference;
@@ -266,6 +206,23 @@ TEST(BenchArgsTest, DefaultsWithNoArguments) {
   ASSERT_TRUE(args.has_value());
   EXPECT_DOUBLE_EQ(args->scale, 1.0);
   EXPECT_FALSE(args->csv);
+  EXPECT_EQ(args->threads, 0u);
+}
+
+TEST(BenchArgsTest, ParsesThreadsInBothSpellings) {
+  {
+    const char* argv[] = {"bench", "--threads=4"};
+    const auto args = bench::try_parse_args(2, const_cast<char**>(argv));
+    ASSERT_TRUE(args.has_value());
+    EXPECT_EQ(args->threads, 4u);
+  }
+  {
+    const char* argv[] = {"bench", "0.5", "--threads", "2"};
+    const auto args = bench::try_parse_args(4, const_cast<char**>(argv));
+    ASSERT_TRUE(args.has_value());
+    EXPECT_DOUBLE_EQ(args->scale, 0.5);
+    EXPECT_EQ(args->threads, 2u);
+  }
 }
 
 TEST(BenchArgsTest, RejectsGarbage) {
@@ -283,6 +240,9 @@ TEST(BenchArgsTest, RejectsGarbage) {
   expect_rejects({"bench", "-1"}, "negative scale");
   expect_rejects({"bench", "--frobnicate"}, "unknown flag");
   expect_rejects({"bench", "0.5", "0.25"}, "two scales");
+  expect_rejects({"bench", "--threads=0"}, "zero threads");
+  expect_rejects({"bench", "--threads=abc"}, "non-numeric threads");
+  expect_rejects({"bench", "--threads"}, "missing threads value");
 }
 
 }  // namespace

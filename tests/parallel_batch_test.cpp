@@ -1,0 +1,270 @@
+// Parity and safety of the parallel sharded batch engine.
+//
+// The determinism contract (DESIGN.md §9) is bit-for-bit: scheme pipelines
+// share no mutable state and every pipeline consumes the identical chunk
+// sequence in order, so ParallelBatchRunner must produce results EQ to the
+// serial BatchRunner and to run_trace() for every paper scheme, at every
+// thread count, through every feed path (synchronous, double-buffered
+// async, chunking sink).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/scheme.hpp"
+#include "result_matchers.hpp"
+#include "sim/parallel_batch_runner.hpp"
+#include "trace/trace_cache.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+#include <filesystem>
+
+namespace canu {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.scale = 0.05;
+  return p;
+}
+
+/// Thread counts every parity sweep covers: the serial engine, a small
+/// pool, and whatever the host offers.
+std::vector<unsigned> parity_thread_counts() {
+  return {1u, 2u, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+std::vector<RunResult> run_parallel(const Trace& trace,
+                                    const std::vector<SchemeSpec>& specs,
+                                    unsigned threads, std::size_t chunk_refs) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ParallelBatchRunner runner(RunConfig(), pool.get());
+  std::vector<std::unique_ptr<CacheModel>> models;
+  for (const SchemeSpec& spec : specs) {
+    models.push_back(build_l1_model(spec, CacheGeometry::paper_l1(), &trace));
+    runner.add(*models.back());
+  }
+  SpanSource source(trace.name(), trace.refs(), chunk_refs);
+  return run_batch(runner, source);
+}
+
+TEST(ParallelBatchParity, MatchesSerialAndRunTraceForEveryScheme) {
+  for (const std::string& workload : {std::string("fft"),
+                                      std::string("qsort")}) {
+    const Trace trace = generate_workload(workload, small_params());
+    const std::vector<SchemeSpec> specs = paper_parity_schemes();
+
+    // Reference 1: one run_trace per scheme, each with a fresh model.
+    std::vector<RunResult> reference;
+    for (const SchemeSpec& spec : specs) {
+      auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+      reference.push_back(run_trace(*model, trace));
+    }
+
+    // Reference 2: the serial BatchRunner.
+    std::vector<RunResult> serial;
+    {
+      BatchRunner runner;
+      std::vector<std::unique_ptr<CacheModel>> models;
+      for (const SchemeSpec& spec : specs) {
+        models.push_back(
+            build_l1_model(spec, CacheGeometry::paper_l1(), &trace));
+        runner.add(*models.back());
+      }
+      SpanSource source(workload, trace.refs(), /*chunk_refs=*/4096);
+      serial = run_batch(runner, source);
+    }
+    ASSERT_EQ(serial.size(), reference.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE(workload + " serial / " + specs[i].label());
+      expect_same_result(serial[i], reference[i]);
+    }
+
+    // Parallel at every thread count, chunked smaller than the trace so
+    // several double-buffer handoffs land inside the stream.
+    for (const unsigned threads : parity_thread_counts()) {
+      const std::vector<RunResult> parallel =
+          run_parallel(trace, specs, threads, /*chunk_refs=*/4096);
+      ASSERT_EQ(parallel.size(), reference.size());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(workload + " threads=" + std::to_string(threads) + " / " +
+                     specs[i].label());
+        expect_same_result(parallel[i], serial[i]);
+        expect_same_result(parallel[i], reference[i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelBatchParity, ChunkSizeAndShardingDoNotChangeResults) {
+  const Trace trace = generate_workload("dijkstra", small_params());
+  const std::vector<SchemeSpec> specs = {
+      SchemeSpec::baseline(),
+      SchemeSpec::column_associative(),
+      SchemeSpec::indexing(IndexScheme::kXor),
+  };
+  const std::vector<RunResult> reference =
+      run_parallel(trace, specs, 1, kDefaultChunkRefs);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{777},
+                                  std::size_t{1} << 20}) {
+    for (const unsigned threads : parity_thread_counts()) {
+      const std::vector<RunResult> got =
+          run_parallel(trace, specs, threads, chunk);
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE("chunk=" + std::to_string(chunk) +
+                     " threads=" + std::to_string(threads) + " / " +
+                     specs[i].label());
+        expect_same_result(got[i], reference[i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelBatchParity, SinkPathMatchesRunTrace) {
+  const Trace trace = generate_workload("crc", small_params());
+  auto reference_model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                                        CacheGeometry::paper_l1(), &trace);
+  const RunResult reference = run_trace(*reference_model, trace);
+
+  ThreadPool pool(2);
+  ParallelBatchRunner runner(RunConfig(), &pool);
+  auto model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                              CacheGeometry::paper_l1(), &trace);
+  runner.add(*model);
+  // Push single references through a small-chunk sink, as a generating
+  // workload would, exercising the double-buffer handoff many times.
+  ChunkingSink sink = runner.make_sink(/*chunk_refs=*/512);
+  for (const MemRef& r : trace.refs()) sink.push(r);
+  sink.flush();
+  expect_same_result(runner.result(0, "crc"), reference);
+}
+
+TEST(ParallelBatchParity, ResetAllowsReuseAcrossWorkloads) {
+  const Trace first = generate_workload("fft", small_params());
+  const Trace second = generate_workload("crc", small_params());
+
+  ThreadPool pool(2);
+  auto model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                              CacheGeometry::paper_l1(), nullptr);
+  ParallelBatchRunner runner(RunConfig(), &pool);
+  runner.add(*model);
+  SpanSource s1("fft", first.refs(), /*chunk_refs=*/4096);
+  run_batch(runner, s1);
+
+  runner.reset();
+  model->flush();
+  SpanSource s2("crc", second.refs(), /*chunk_refs=*/4096);
+  const RunResult reused = run_batch(runner, s2).front();
+
+  auto fresh_model = build_l1_model(SchemeSpec::indexing(IndexScheme::kXor),
+                                    CacheGeometry::paper_l1(), nullptr);
+  const RunResult fresh = run_trace(*fresh_model, second);
+  expect_same_result(reused, fresh);
+}
+
+// The Evaluator nests workload tasks and pipeline shards on one shared
+// pool; its report must not depend on the thread count either.
+TEST(ParallelBatchParity, EvaluatorReportIndependentOfThreadCount) {
+  EvalOptions base_opt;
+  base_opt.params = small_params();
+
+  const auto evaluate_with = [&](unsigned threads) {
+    EvalOptions opt = base_opt;
+    opt.threads = threads;
+    Evaluator ev(opt);
+    ev.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+    ev.add_scheme(SchemeSpec::column_associative());
+    ev.add_scheme(SchemeSpec::indexing(IndexScheme::kGivargis));
+    return ev.evaluate({"fft", "crc", "adpcm"});
+  };
+
+  const EvalReport serial = evaluate_with(1);
+  for (const unsigned threads : {2u, 4u}) {
+    const EvalReport parallel = evaluate_with(threads);
+    ASSERT_EQ(parallel.workloads, serial.workloads);
+    ASSERT_EQ(parallel.scheme_labels, serial.scheme_labels);
+    for (const std::string& w : serial.workloads) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " workload=" + w);
+      expect_same_result(parallel.baseline_runs.at(w),
+                         serial.baseline_runs.at(w));
+      for (const std::string& s : serial.scheme_labels) {
+        const EvalCell* sc = serial.cell(w, s);
+        const EvalCell* pc = parallel.cell(w, s);
+        ASSERT_NE(sc, nullptr);
+        ASSERT_NE(pc, nullptr);
+        expect_same_result(pc->run, sc->run);
+        EXPECT_EQ(pc->miss_reduction_pct, sc->miss_reduction_pct);
+        EXPECT_EQ(pc->amat_reduction_pct, sc->amat_reduction_pct);
+        EXPECT_EQ(pc->kurtosis_increase_pct, sc->kurtosis_increase_pct);
+        EXPECT_EQ(pc->skewness_increase_pct, sc->skewness_increase_pct);
+      }
+    }
+  }
+}
+
+// A replay exception (from a poisoned pipeline) must surface from the
+// collection call, and must not wedge the runner or the pool.
+TEST(ParallelBatchRunner, DrainsAndRethrowsWithoutOutOfRangeResults) {
+  ThreadPool pool(2);
+  ParallelBatchRunner runner(RunConfig(), &pool);
+  auto model = build_l1_model(SchemeSpec::baseline(),
+                              CacheGeometry::paper_l1(), nullptr);
+  runner.add(*model);
+  EXPECT_THROW(runner.result(1, "nope"), Error);
+  // The runner stays usable after the failed call.
+  const Trace trace = generate_workload("crc", small_params());
+  SpanSource source("crc", trace.refs(), 4096);
+  const std::vector<RunResult> results = run_batch(runner, source);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.front().l1.accesses, trace.size());
+}
+
+// Two threads racing a streaming store on the SAME key: stores are atomic
+// (temp file + rename), so both commit, the winner's file is a complete
+// valid trace, and readers never observe a partial file.
+TEST(TraceCacheConcurrency, TwoConcurrentWritersOnOneKey) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("canu-parallel-cache-test-" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(dir);
+  const WorkloadParams params = small_params();
+  const Trace trace = generate_workload("sha", params);
+  const std::string key = workload_cache_key("sha", params);
+
+  {
+    const TraceCache cache(dir.string());
+    std::atomic<bool> go{false};
+    const auto writer_thread = [&] {
+      while (!go.load()) std::this_thread::yield();
+      auto writer = cache.begin_store(key, "sha");
+      writer->write(trace.refs());
+      writer->commit();
+    };
+    std::thread a(writer_thread);
+    std::thread b(writer_thread);
+    go.store(true);
+    a.join();
+    b.join();
+    EXPECT_EQ(cache.stores(), 2u);
+    EXPECT_TRUE(cache.contains(key));
+
+    Trace loaded("sha");
+    ASSERT_TRUE(cache.load(key, loaded));
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      ASSERT_EQ(loaded.refs()[i], trace.refs()[i]) << "ref " << i;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace canu

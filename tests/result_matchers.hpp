@@ -1,0 +1,80 @@
+// Bit-for-bit RunResult comparison helpers shared by the batch-engine
+// parity suites (batch_runner_test.cpp, parallel_batch_test.cpp).
+//
+// The parity requirement across engines is exact: every counter, AMAT
+// value and uniformity moment must be EQ — chunk boundaries, sharding and
+// thread counts must not be observable in any output.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "sim/runner.hpp"
+#include "stats/moments.hpp"
+
+namespace canu {
+
+/// Every scheme family the paper evaluates (Figures 4 and 6), plus the
+/// extension schemes, so a parity sweep covers each CacheModel subclass
+/// and each AMAT formula branch.
+inline std::vector<SchemeSpec> paper_parity_schemes() {
+  return {
+      SchemeSpec::baseline(),
+      SchemeSpec::indexing(IndexScheme::kXor),
+      SchemeSpec::indexing(IndexScheme::kOddMultiplier),
+      SchemeSpec::indexing(IndexScheme::kPrimeModulo),
+      SchemeSpec::indexing(IndexScheme::kGivargis),
+      SchemeSpec::indexing(IndexScheme::kGivargisXor),
+      SchemeSpec::column_associative(),
+      SchemeSpec::adaptive_cache(),
+      SchemeSpec::b_cache(),
+      SchemeSpec::victim_cache(),
+      SchemeSpec::partner_cache(),
+      SchemeSpec::skewed_assoc(2),
+      SchemeSpec::set_assoc(2),
+  };
+}
+
+inline void expect_same_cache_stats(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.primary_hits, b.primary_hits);
+  EXPECT_EQ(a.secondary_hits, b.secondary_hits);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.lookup_cycles, b.lookup_cycles);
+  EXPECT_EQ(a.write_accesses, b.write_accesses);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+}
+
+inline void expect_same_moments(const Moments& a, const Moments& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.variance, b.variance);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.skewness, b.skewness);
+  EXPECT_EQ(a.kurtosis, b.kurtosis);
+  EXPECT_EQ(a.excess_kurtosis, b.excess_kurtosis);
+}
+
+inline void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.scheme, b.scheme);
+  expect_same_cache_stats(a.l1, b.l1);
+  expect_same_cache_stats(a.l2, b.l2);
+  EXPECT_EQ(a.miss_penalty, b.miss_penalty);
+  EXPECT_EQ(a.amat, b.amat);
+  EXPECT_EQ(a.measured_amat, b.measured_amat);
+  EXPECT_EQ(a.uniformity.sets, b.uniformity.sets);
+  EXPECT_EQ(a.uniformity.fhs, b.uniformity.fhs);
+  EXPECT_EQ(a.uniformity.fms, b.uniformity.fms);
+  EXPECT_EQ(a.uniformity.las, b.uniformity.las);
+  expect_same_moments(a.uniformity.access_moments, b.uniformity.access_moments);
+  expect_same_moments(a.uniformity.hit_moments, b.uniformity.hit_moments);
+  expect_same_moments(a.uniformity.miss_moments, b.uniformity.miss_moments);
+}
+
+}  // namespace canu

@@ -249,6 +249,80 @@ TEST(ThreadPool, SizeDefaultsToHardware) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+// Exception audit (DESIGN.md §9): a throwing task must neither deadlock
+// the pool nor lose queued work — every other index still runs, the first
+// error is rethrown after all complete, and the pool stays usable.
+TEST(ThreadPool, ThrowingTaskDrainsQueueAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> ran(64);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   ran[i]++;
+                                   if (i % 7 == 3) throw Error("boom");
+                                 }),
+               Error);
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "index " << i << " lost after a throw";
+  }
+  // The pool must still execute fresh work after the failed batch.
+  std::atomic<int> after{0};
+  pool.parallel_for(16, [&](std::size_t) { after++; });
+  EXPECT_EQ(after.load(), 16);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, SubmitCapturesExceptionInFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw Error("task failed"); });
+  EXPECT_THROW(f.get(), Error);
+  // Worker survived the throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// Nested fan-out on one pool: a task running on a worker issues its own
+// parallel_for against the same pool. Waiters help run queued tasks, so
+// this completes even when the nesting width exceeds the worker count
+// (the old blocking wait deadlocked here).
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { leaves++; });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(4, [&](std::size_t j) {
+                                     if (i == 1 && j == 2) throw Error("deep");
+                                   });
+                                 }),
+               Error);
+  // Still alive afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(4, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(TaskGroupTest, SerialModeDefersExceptionToWait) {
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.run([&] { ran++; });
+  group.run([&] { throw Error("serial boom"); });
+  group.run([&] { ran++; });
+  EXPECT_EQ(ran, 2);
+  EXPECT_THROW(group.wait(), Error);
+}
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
 // -------------------------------------------------------------- error ----
 
 TEST(Error, CheckMacroThrowsWithContext) {

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Machine-readable wall-clock timings for the perf-trajectory record.
+#
+# Usage: tools/bench_timings.sh <build-dir> [output.json]
+#
+# Runs the PR 2 reference benches — `canu evaluate mibench all` at scale
+# 0.125 (cold and warm trace cache) and the fig04/fig06 figure benches
+# (warm) — at the default thread count and at --threads 1 (the serial
+# engine), and writes one JSON object per configuration to the output
+# file (default BENCH_PR2.json). Timings are wall-clock seconds measured
+# around the whole process.
+set -eu
+
+BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
+OUT=${2:-BENCH_PR2.json}
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+export CANU_TRACE_CACHE_DIR="$CACHE_DIR"
+
+HW_THREADS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+
+# measure <name> <threads> <cache-state> <cmd...>
+measure() {
+  name=$1 threads=$2 state=$3
+  shift 3
+  start=$(date +%s%N)
+  "$@" > /dev/null
+  end=$(date +%s%N)
+  awk -v name="$name" -v threads="$threads" -v state="$state" \
+      -v ns=$((end - start)) 'BEGIN {
+    printf "  {\"bench\": \"%s\", \"threads\": %s, \"cache\": \"%s\", \"wall_s\": %.3f}",
+           name, threads, state, ns / 1e9
+  }' >> "$OUT.tmp"
+}
+
+sep() { printf ',\n' >> "$OUT.tmp"; }
+
+: > "$OUT.tmp"
+printf '[\n' > "$OUT.tmp"
+
+CANU="$BUILD_DIR/tools/canu"
+FIG04="$BUILD_DIR/bench/fig04_indexing_missrate"
+FIG06="$BUILD_DIR/bench/fig06_assoc_missrate"
+
+# Default thread count (hardware / CANU_THREADS): cold then warm cache.
+measure evaluate_mibench_all "$HW_THREADS" cold \
+  "$CANU" evaluate mibench all --scale=0.125; sep
+measure evaluate_mibench_all "$HW_THREADS" warm \
+  "$CANU" evaluate mibench all --scale=0.125; sep
+measure fig04_indexing_missrate "$HW_THREADS" warm "$FIG04" 0.125; sep
+measure fig06_assoc_missrate "$HW_THREADS" warm "$FIG06" 0.125; sep
+
+# Serial engine for the single-thread trajectory.
+measure evaluate_mibench_all 1 warm \
+  "$CANU" evaluate mibench all --scale=0.125 --threads=1; sep
+measure fig04_indexing_missrate 1 warm "$FIG04" 0.125 --threads 1; sep
+measure fig06_assoc_missrate 1 warm "$FIG06" 0.125 --threads 1
+
+printf '\n]\n' >> "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

@@ -8,7 +8,9 @@
 //   canu threec <workload> [scheme]   3C miss decomposition
 //
 // Every subcommand accepts a trailing --scale=<f> to resize workloads and
-// --seed=<n> to vary inputs.
+// --seed=<n> to vary inputs; `evaluate` also accepts --threads=<n> to set
+// the worker-thread count (CANU_THREADS is the env fallback; 1 selects the
+// serial engine exactly).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,6 +31,7 @@ using namespace canu;
 struct CliArgs {
   std::vector<std::string> positional;
   WorkloadParams params;
+  unsigned threads = 0;  ///< 0 = CANU_THREADS env var, else hardware
 };
 
 /// Workload trace through the environment-selected trace cache (identical
@@ -61,6 +64,15 @@ CliArgs parse(int argc, char** argv) {
                   << "' (want an unsigned integer)\n";
         std::exit(2);
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0' || n == 0 || n >= 4096) {
+        std::cerr << "invalid --threads value '" << arg.substr(10)
+                  << "' (want an integer in [1, 4095])\n";
+        std::exit(2);
+      }
+      args.threads = static_cast<unsigned>(n);
     } else {
       args.positional.push_back(arg);
     }
@@ -131,7 +143,7 @@ int cmd_run(const CliArgs& args) {
 int cmd_evaluate(const CliArgs& args) {
   if (args.positional.size() < 2) {
     std::cerr << "usage: canu evaluate <mibench|spec2006|synthetic|workload> "
-                 "[indexing|assoc|all]\n";
+                 "[indexing|assoc|all] [--threads=N]\n";
     return 1;
   }
   const std::string what = args.positional[1];
@@ -148,6 +160,7 @@ int cmd_evaluate(const CliArgs& args) {
 
   EvalOptions opt;
   opt.params = args.params;
+  opt.threads = args.threads;
   opt.trace_cache_dir = default_trace_cache_dir();
   Evaluator ev(opt);
   if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
