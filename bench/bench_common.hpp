@@ -5,10 +5,13 @@
 // figures carry). An optional argument scales the workloads (default 1.0);
 // `--csv` switches the output to CSV for plotting; `--threads N` sets the
 // worker-thread count (CANU_THREADS is the env fallback, N=1 selects the
-// serial engine). Workload traces go
-// through the on-disk trace cache (trace/trace_cache.hpp), so re-running a
-// bench — or running a different bench over the same workloads — skips
-// generation; set CANU_TRACE_CACHE=0 to opt out.
+// serial engine); `--seed=N` varies workload inputs. Observability:
+// `--metrics-out=FILE` writes a run manifest and `--trace-events=FILE`
+// Chrome trace-event spans (both written at exit); `--progress` prints a
+// stderr heartbeat (TTY only, `--progress=force` overrides). Workload
+// traces go through the on-disk trace cache (trace/trace_cache.hpp), so
+// re-running a bench — or running a different bench over the same
+// workloads — skips generation; set CANU_TRACE_CACHE=0 to opt out.
 #pragma once
 
 #include <cstdlib>
@@ -17,46 +20,46 @@
 #include <string>
 
 #include "core/evaluator.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace_cache.hpp"
+#include "util/cli_flags.hpp"
 #include "workloads/workload.hpp"
 
 namespace canu::bench {
 
 struct BenchArgs {
   double scale = 1.0;
+  std::uint64_t seed = 1;
   bool csv = false;
   /// Worker threads for the evaluation (0 = CANU_THREADS env var if set,
   /// else hardware concurrency; 1 = the exact serial engine).
   unsigned threads = 0;
+  std::string metrics_out;   ///< run-manifest path (empty = off)
+  std::string trace_events;  ///< trace-event path (empty = off)
+  bool progress = false;
+  bool progress_force = false;
 };
 
 /// Parse bench arguments without touching the process: returns the parsed
 /// arguments, or std::nullopt with `*error` describing the offending
-/// argument. Accepted: an optional positive scale factor, `--csv`, and
-/// `--threads=N` (or `--threads N`).
+/// argument. Accepted: an optional positive scale factor, `--csv`,
+/// `--seed=N`, `--threads=N` (or `--threads N`), `--metrics-out=FILE`,
+/// `--trace-events=FILE`, and `--progress[=force]`.
 inline std::optional<BenchArgs> try_parse_args(int argc, char** argv,
                                                std::string* error = nullptr) {
   BenchArgs args;
   bool have_scale = false;
-  const auto parse_threads = [&](const std::string& value) {
-    char* end = nullptr;
-    const unsigned long n = std::strtoul(value.c_str(), &end, 10);
-    if (value.empty() || end != value.c_str() + value.size() || n == 0 ||
-        n >= 4096) {
-      if (error) *error = "invalid --threads value: " + value;
-      return false;
-    }
-    args.threads = static_cast<unsigned>(n);
-    return true;
-  };
+  std::string value;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       args.csv = true;
       continue;
     }
-    if (arg.rfind("--threads=", 0) == 0) {
-      if (!parse_threads(arg.substr(10))) return std::nullopt;
+    if (flag_value(arg, "--threads", &value)) {
+      const auto v = parse_thread_count(value, error);
+      if (!v) return std::nullopt;
+      args.threads = *v;
       continue;
     }
     if (arg == "--threads") {
@@ -64,7 +67,44 @@ inline std::optional<BenchArgs> try_parse_args(int argc, char** argv,
         if (error) *error = "--threads requires a value";
         return std::nullopt;
       }
-      if (!parse_threads(argv[++i])) return std::nullopt;
+      const auto v = parse_thread_count(argv[++i], error);
+      if (!v) return std::nullopt;
+      args.threads = *v;
+      continue;
+    }
+    if (flag_value(arg, "--seed", &value)) {
+      const auto v = parse_u64(value, "--seed value", error);
+      if (!v) return std::nullopt;
+      args.seed = *v;
+      continue;
+    }
+    if (flag_value(arg, "--metrics-out", &value)) {
+      if (value.empty()) {
+        if (error) *error = "--metrics-out needs a file path";
+        return std::nullopt;
+      }
+      args.metrics_out = value;
+      continue;
+    }
+    if (flag_value(arg, "--trace-events", &value)) {
+      if (value.empty()) {
+        if (error) *error = "--trace-events needs a file path";
+        return std::nullopt;
+      }
+      args.trace_events = value;
+      continue;
+    }
+    if (arg == "--progress") {
+      args.progress = true;
+      continue;
+    }
+    if (flag_value(arg, "--progress", &value)) {
+      if (value != "force") {
+        if (error) *error = "invalid --progress value: " + value;
+        return std::nullopt;
+      }
+      args.progress = true;
+      args.progress_force = true;
       continue;
     }
     if (arg.size() >= 2 && arg.front() == '-' &&
@@ -76,31 +116,45 @@ inline std::optional<BenchArgs> try_parse_args(int argc, char** argv,
       if (error) *error = "unexpected extra argument: " + arg;
       return std::nullopt;
     }
-    char* end = nullptr;
-    const double scale = std::strtod(arg.c_str(), &end);
-    if (end == arg.c_str() || *end != '\0') {
-      if (error) *error = "scale is not a number: " + arg;
-      return std::nullopt;
-    }
-    if (!(scale > 0)) {
-      if (error) *error = "scale must be > 0: " + arg;
-      return std::nullopt;
-    }
-    args.scale = scale;
+    const auto scale = parse_positive_double(arg, "scale", error);
+    if (!scale) return std::nullopt;
+    args.scale = *scale;
     have_scale = true;
   }
   return args;
 }
 
 /// Parse or die: prints the error and a usage line, then exits nonzero, so
-/// a typo'd invocation can never silently run at the default scale.
+/// a typo'd invocation can never silently run at the default scale. When
+/// observability outputs are requested, installs the global session and
+/// registers an atexit hook that writes the artifacts when the bench ends.
 inline BenchArgs parse_args(int argc, char** argv) {
   std::string error;
   const std::optional<BenchArgs> args = try_parse_args(argc, argv, &error);
   if (!args) {
     std::cerr << argv[0] << ": " << error << "\n"
-              << "usage: " << argv[0] << " [scale] [--csv] [--threads N]\n";
+              << "usage: " << argv[0]
+              << " [scale] [--csv] [--seed=N] [--threads N]"
+                 " [--metrics-out=FILE] [--trace-events=FILE]"
+                 " [--progress[=force]]\n";
     std::exit(2);
+  }
+  if (!args->metrics_out.empty() || !args->trace_events.empty()) {
+    std::string command;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) command += ' ';
+      command += argv[i];
+    }
+    obs::install_outputs(
+        obs::OutputConfig{args->metrics_out, args->trace_events, command});
+    std::atexit([] {
+      try {
+        obs::finalize_outputs();
+      } catch (const std::exception& e) {
+        std::cerr << "error writing observability artifacts: " << e.what()
+                  << "\n";
+      }
+    });
   }
   return *args;
 }
@@ -108,16 +162,21 @@ inline BenchArgs parse_args(int argc, char** argv) {
 inline WorkloadParams params_for(const BenchArgs& args) {
   WorkloadParams p;
   p.scale = args.scale;
+  p.seed = args.seed;
   return p;
 }
 
-/// EvalOptions pre-wired for a bench: workload scale and thread count from
-/// the arguments and the environment-selected trace cache.
+/// EvalOptions pre-wired for a bench: workload scale, seed, and thread
+/// count from the arguments, the environment-selected trace cache, and the
+/// progress heartbeat when requested.
 inline EvalOptions eval_options_for(const BenchArgs& args) {
   EvalOptions opt;
   opt.params = params_for(args);
   opt.threads = args.threads;
   opt.trace_cache_dir = default_trace_cache_dir();
+  if (args.progress) {
+    opt.progress = obs::make_progress_printer(args.progress_force);
+  }
   return opt;
 }
 

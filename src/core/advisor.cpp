@@ -1,8 +1,14 @@
 #include "core/advisor.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
+#include "indexing/factory.hpp"
+#include "obs/obs.hpp"
+#include "sim/parallel_batch_runner.hpp"
 #include "stats/moments.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace canu {
@@ -23,16 +29,38 @@ Advisor::Advisor(Options options) : options_(std::move(options)) {
 }
 
 AdvisorReport Advisor::advise(const Trace& trace) const {
-  AdvisorReport report;
-  auto baseline_model =
-      build_l1_model(SchemeSpec::baseline(), options_.l1_geometry, &trace);
-  report.baseline = run_trace(*baseline_model, trace, options_.run);
+  obs::Span span("advise", "advise " + trace.name());
 
+  // Baseline + candidates run as pipelines of the parallel batch engine,
+  // sharded across a pool when more than one thread is requested. The
+  // engine is bit-for-bit identical to run_trace() per pipeline (pinned by
+  // the batch/parallel parity tests), so rankings match the serial path at
+  // any thread count. Trained candidates share one ProfileContext, so the
+  // profile-derived unique-address set is computed once.
+  const unsigned threads = resolve_thread_count(options_.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  const ProfileContext context(trace);
+  ParallelBatchRunner runner(options_.run, pool ? &*pool : nullptr);
+  std::vector<std::unique_ptr<CacheModel>> models;
+  models.push_back(
+      build_l1_model(SchemeSpec::baseline(), options_.l1_geometry, &context));
+  runner.add(*models.back());
   for (const SchemeSpec& spec : candidates_) {
-    auto model = build_l1_model(spec, options_.l1_geometry, &trace);
+    models.push_back(build_l1_model(spec, options_.l1_geometry, &context));
+    runner.add(*models.back());
+  }
+
+  SpanSource source(trace.name(), trace.refs());
+  std::vector<RunResult> results = run_batch(runner, source);
+
+  AdvisorReport report;
+  report.baseline = std::move(results[0]);
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
     AdvisorChoice choice;
-    choice.scheme = spec;
-    choice.result = run_trace(*model, trace, options_.run);
+    choice.scheme = candidates_[i];
+    choice.result = std::move(results[i + 1]);
     choice.miss_reduction_pct = percent_reduction(
         report.baseline.miss_rate(), choice.result.miss_rate());
     report.ranked.push_back(std::move(choice));

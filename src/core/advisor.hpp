@@ -43,6 +43,10 @@ class Advisor {
     /// optionally also the three programmable-associativity schemes.
     bool include_indexing = true;
     bool include_programmable_associativity = true;
+    /// Worker threads for candidate replay (same semantics as
+    /// EvalOptions::threads: 0 = CANU_THREADS env var if set, else
+    /// hardware concurrency; 1 = serial, no pool).
+    unsigned threads = 0;
   };
 
   Advisor() : Advisor(Options()) {}

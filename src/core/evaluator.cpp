@@ -1,11 +1,13 @@
 #include "core/evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
 
+#include "obs/obs.hpp"
 #include "sim/parallel_batch_runner.hpp"
 #include "stats/moments.hpp"
 #include "util/error.hpp"
@@ -40,6 +42,36 @@ bool spec_needs_profile(const SchemeSpec& spec) {
                           spec.org == CacheOrg::kColumnAssoc ||
                           spec.org == CacheOrg::kPartner;
   return uses_index && scheme_needs_profile(spec.index);
+}
+
+std::string describe_geometry(const CacheGeometry& g) {
+  return std::to_string(g.size_bytes) + "B/" + std::to_string(g.line_size) +
+         "B-line/" + std::to_string(g.ways) + "-way";
+}
+
+/// Fold a finished run's cache-model statistics into the metrics registry
+/// (collection-time aggregation: the simulation hot path stays untouched).
+void count_cache_stats(const RunResult& r) {
+  obs::count(obs::Counter::kL1Accesses, r.l1.accesses);
+  obs::count(obs::Counter::kL1Hits, r.l1.hits);
+  obs::count(obs::Counter::kL1Misses, r.l1.misses);
+  obs::count(obs::Counter::kL1Evictions, r.l1.evictions);
+  obs::count(obs::Counter::kL1Writebacks, r.l1.writebacks);
+  obs::count(obs::Counter::kL2Accesses, r.l2.accesses);
+  obs::count(obs::Counter::kL2Misses, r.l2.misses);
+  obs::count(obs::Counter::kL2Evictions, r.l2.evictions);
+  obs::count(obs::Counter::kL2Writebacks, r.l2.writebacks);
+}
+
+obs::SchemeRunRecord scheme_run_record(const std::string& label,
+                                       const RunResult& r) {
+  obs::SchemeRunRecord rec;
+  rec.scheme = label;
+  rec.miss_rate = r.miss_rate();
+  rec.amat = r.amat;
+  rec.l1_accesses = r.l1.accesses;
+  rec.l1_misses = r.l1.misses;
+  return rec;
 }
 
 }  // namespace
@@ -118,6 +150,21 @@ EvalReport Evaluator::evaluate(
   if (threads > 1) pool.emplace(threads);
   ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
+  if (obs::Session* session = obs::Session::active()) {
+    obs::EvalConfigRecord cfg;
+    cfg.seed = options_.params.seed;
+    cfg.scale = options_.params.scale;
+    cfg.threads = threads;
+    cfg.baseline = report.baseline_label;
+    cfg.trace_cache_dir = options_.trace_cache_dir;
+    cfg.l1_geometry = describe_geometry(options_.l1_geometry);
+    cfg.l2_geometry = describe_geometry(options_.run.l2_geometry);
+    cfg.schemes = report.scheme_labels;
+    cfg.workloads = workload_names;
+    session->record_eval_config(std::move(cfg));
+  }
+  std::size_t workloads_done = 0;
+
   const bool any_profiled =
       spec_needs_profile(options_.baseline) ||
       std::any_of(schemes_.begin(), schemes_.end(), spec_needs_profile);
@@ -136,6 +183,8 @@ EvalReport Evaluator::evaluate(
   // (sim/parallel_batch_runner.hpp).
   const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
+    obs::Span workload_span("evaluate", "evaluate " + wname);
+    const auto wall_start = std::chrono::steady_clock::now();
 
     ParallelBatchRunner runner(options_.run, pool_ptr);
     std::vector<std::unique_ptr<CacheModel>> models;
@@ -153,17 +202,24 @@ EvalReport Evaluator::evaluate(
       // Trained index functions profile the full stream before simulation
       // starts, so materialize the trace (once — the ProfileContext shares
       // the derived unique-address set across every trained scheme).
-      const Trace trace =
-          cached_workload_trace(wname, options_.params, cache_ptr);
+      const Trace trace = [&] {
+        obs::Span span("generate", "materialize " + wname);
+        return cached_workload_trace(wname, options_.params, cache_ptr);
+      }();
       const ProfileContext context(trace);
-      build_all(&context);
+      {
+        obs::Span span("train", "build schemes " + wname);
+        build_all(&context);
+      }
       SpanSource source(wname, trace.refs());
+      obs::Span span("replay", "replay " + wname);
       run_batch(runner, source);
     } else {
       // Pure streaming: no pipeline needs the stream up front, so feed the
       // engine chunks straight out of generation (teeing them into the
       // cache on a miss) without ever materializing the trace.
       build_all(nullptr);
+      obs::Span span("replay", "stream " + wname);
       ChunkingSink feed = runner.make_sink();
       if (cache_ptr != nullptr) {
         const std::string key = workload_cache_key(wname, options_.params);
@@ -201,10 +257,34 @@ EvalReport Evaluator::evaluate(
       local.emplace_back(schemes_[si].label(), std::move(cell));
     }
 
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (obs::metrics_on()) {
+      obs::count(obs::Counter::kWorkloadsEvaluated);
+      count_cache_stats(base);
+      for (const auto& [label, cell] : local) count_cache_stats(cell.run);
+    }
+    if (obs::Session* session = obs::Session::active()) {
+      obs::WorkloadRecord rec;
+      rec.name = wname;
+      rec.wall_s = wall_s;
+      rec.runs.push_back(scheme_run_record(report.baseline_label, base));
+      for (const auto& [label, cell] : local) {
+        rec.runs.push_back(scheme_run_record(label, cell.run));
+      }
+      session->record_workload(std::move(rec));
+    }
+
     std::lock_guard<std::mutex> lock(report_mutex);
     report.baseline_runs.emplace(wname, base);
     for (auto& [label, cell] : local) {
       report.cells.emplace(std::make_pair(wname, label), std::move(cell));
+    }
+    ++workloads_done;
+    if (options_.progress) {
+      options_.progress(workloads_done, workload_names.size(), wname);
     }
   };
   if (pool_ptr != nullptr) {

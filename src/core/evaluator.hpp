@@ -13,6 +13,8 @@
 // pool; results are deterministic because each run owns its models.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -39,6 +41,10 @@ struct EvalOptions {
   /// wanting the environment-controlled default pass
   /// default_trace_cache_dir() (trace/trace_cache.hpp).
   std::string trace_cache_dir;
+  /// Invoked after each workload completes (under the report lock, so
+  /// callbacks are serialized): (done, total, workload just finished).
+  /// Null disables progress reporting.
+  std::function<void(std::size_t, std::size_t, const std::string&)> progress;
 };
 
 struct EvalCell {

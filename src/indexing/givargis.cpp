@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/obs.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/bitops.hpp"
 #include "util/error.hpp"
@@ -23,6 +24,9 @@ GivargisAnalysis GivargisIndex::analyse_unique(
     unsigned offset_bits, GivargisOptions opt) {
   CANU_CHECK_MSG(!unique_addrs.empty(),
                  "Givargis requires a non-empty profile");
+  obs::Span span("train", "givargis training", "unique_addrs",
+                 unique_addrs.size());
+  obs::count(obs::Counter::kGivargisTrainings);
   CANU_CHECK_MSG(opt.candidate_window >= index_bits,
                  "candidate window " << opt.candidate_window
                                      << " smaller than index width "

@@ -1,0 +1,376 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace canu::obs {
+
+// --------------------------------------------------------------------------
+// JsonValue
+
+bool JsonValue::is_null() const noexcept {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+bool JsonValue::is_bool() const noexcept {
+  return std::holds_alternative<bool>(value_);
+}
+bool JsonValue::is_number() const noexcept {
+  return std::holds_alternative<double>(value_);
+}
+bool JsonValue::is_string() const noexcept {
+  return std::holds_alternative<std::string>(value_);
+}
+bool JsonValue::is_array() const noexcept {
+  return std::holds_alternative<Array>(value_);
+}
+bool JsonValue::is_object() const noexcept {
+  return std::holds_alternative<Object>(value_);
+}
+
+bool JsonValue::as_bool() const {
+  CANU_CHECK_MSG(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(value_);
+}
+double JsonValue::as_number() const {
+  CANU_CHECK_MSG(is_number(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+std::uint64_t JsonValue::as_u64() const {
+  const double d = as_number();
+  CANU_CHECK_MSG(d >= 0 && d == std::floor(d),
+                 "JSON number is not a non-negative integer: " << d);
+  return static_cast<std::uint64_t>(d);
+}
+const std::string& JsonValue::as_string() const {
+  CANU_CHECK_MSG(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+const JsonValue::Array& JsonValue::as_array() const {
+  CANU_CHECK_MSG(is_array(), "JSON value is not an array");
+  return std::get<Array>(value_);
+}
+const JsonValue::Object& JsonValue::as_object() const {
+  CANU_CHECK_MSG(is_object(), "JSON value is not an object");
+  return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const Object& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  CANU_CHECK_MSG(v != nullptr, "JSON object has no member '" << key << "'");
+  return *v;
+}
+
+// --------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    CANU_CHECK_MSG(pos_ == text_.size(),
+                   "trailing characters after JSON document at offset "
+                       << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; decode them as-is if ever seen).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) fail("invalid number '" + num + "'");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+// --------------------------------------------------------------------------
+// Writer
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  *os_ << '\n';
+  for (std::size_t i = 0; i < has_elems_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_elems_.empty()) return;
+  if (has_elems_.back()) *os_ << ',';
+  has_elems_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  *os_ << '{';
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had = has_elems_.back();
+  has_elems_.pop_back();
+  if (had) newline_indent();
+  *os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  *os_ << '[';
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had = has_elems_.back();
+  has_elems_.pop_back();
+  if (had) newline_indent();
+  *os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (has_elems_.back()) *os_ << ',';
+  has_elems_.back() = true;
+  newline_indent();
+  *os_ << json_quote(k) << ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_value();
+  *os_ << json_quote(s);
+}
+
+void JsonWriter::value(double d) {
+  pre_value();
+  char buf[64];
+  // %.17g round-trips doubles; JSON has no NaN/Inf, clamp to null.
+  if (std::isfinite(d)) {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    *os_ << buf;
+  } else {
+    *os_ << "null";
+  }
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  *os_ << v;
+}
+
+void JsonWriter::value(bool b) {
+  pre_value();
+  *os_ << (b ? "true" : "false");
+}
+
+}  // namespace canu::obs

@@ -1,0 +1,104 @@
+// Minimal JSON support for the observability artifacts: a streaming writer
+// (run manifests, Chrome trace-event files) and a small recursive-descent
+// parser (the manifest reader used by tests and tooling).
+//
+// Deliberately tiny rather than general: objects preserve no duplicate
+// keys, numbers are IEEE doubles (counters in practice stay far below
+// 2^53), and the parser exists so a manifest can round-trip without an
+// external dependency — the container bakes in no JSON library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace canu::obs {
+
+/// Parsed JSON value. Accessors throw canu::Error on kind mismatch, so a
+/// malformed manifest fails loudly instead of reading zeros.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const noexcept;
+  bool is_bool() const noexcept;
+  bool is_number() const noexcept;
+  bool is_string() const noexcept;
+  bool is_array() const noexcept;
+  bool is_object() const noexcept;
+
+  bool as_bool() const;
+  double as_number() const;
+  std::uint64_t as_u64() const;  ///< as_number, checked non-negative integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (throws if not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws canu::Error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Parse a complete JSON document; throws canu::Error on malformed input
+  /// or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Quote + escape a string for JSON output.
+std::string json_quote(std::string_view s);
+
+/// Streaming JSON writer with two-space indentation. Callers drive the
+/// nesting (begin/end must balance); keys apply to the enclosing object.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::uint64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool b);
+
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  std::ostream* os_;
+  /// One entry per open container: whether it already holds an element.
+  std::vector<bool> has_elems_;
+  bool pending_key_ = false;
+};
+
+}  // namespace canu::obs

@@ -1,0 +1,163 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/version.hpp"
+#include "util/error.hpp"
+
+namespace canu::obs {
+
+void write_manifest(const Session& session, std::ostream& os) {
+  const MetricsSnapshot snap = session.metrics_snapshot();
+  const EvalConfigRecord& cfg = session.eval_config();
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("canu_version", kVersion);
+  w.kv("command", session.command());
+  w.kv("wall_s", session.elapsed_s());
+
+  w.key("options");
+  w.begin_object();
+  w.kv("seed", cfg.seed);
+  w.kv("scale", cfg.scale);
+  w.kv("threads", cfg.threads);
+  w.kv("baseline", cfg.baseline);
+  w.kv("trace_cache_dir", cfg.trace_cache_dir);
+  w.kv("l1", cfg.l1_geometry);
+  w.kv("l2", cfg.l2_geometry);
+  w.key("schemes");
+  w.begin_array();
+  for (const std::string& s : cfg.schemes) w.value(s);
+  w.end_array();
+  w.key("workloads");
+  w.begin_array();
+  for (const std::string& s : cfg.workloads) w.value(s);
+  w.end_array();
+  w.end_object();
+
+  w.key("workloads");
+  w.begin_array();
+  for (const WorkloadRecord& wl : session.workload_records()) {
+    w.begin_object();
+    w.kv("name", wl.name);
+    w.kv("wall_s", wl.wall_s);
+    w.key("runs");
+    w.begin_array();
+    for (const SchemeRunRecord& run : wl.runs) {
+      w.begin_object();
+      w.kv("scheme", run.scheme);
+      w.kv("miss_rate", run.miss_rate);
+      w.kv("amat", run.amat);
+      w.kv("l1_accesses", run.l1_accesses);
+      w.kv("l1_misses", run.l1_misses);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("metrics");
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    w.kv(counter_name(static_cast<Counter>(i)), snap.counters[i]);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (std::size_t i = 0; i < kHistCount; ++i) {
+    const HistogramData& h = snap.hists[i];
+    w.key(hist_name(static_cast<Hist>(i)));
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("mean", h.mean());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+void write_manifest_file(const Session& session, const std::string& path) {
+  std::ofstream os(path);
+  CANU_CHECK_MSG(os.good(), "cannot open manifest file '" << path << "'");
+  write_manifest(session, os);
+  CANU_CHECK_MSG(os.good(), "failed writing manifest file '" << path << "'");
+}
+
+namespace {
+
+std::vector<std::string> string_array(const JsonValue& v) {
+  std::vector<std::string> out;
+  for (const JsonValue& e : v.as_array()) out.push_back(e.as_string());
+  return out;
+}
+
+}  // namespace
+
+RunManifest read_manifest(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  RunManifest m;
+  m.version = doc.at("canu_version").as_string();
+  m.command = doc.at("command").as_string();
+  m.wall_s = doc.at("wall_s").as_number();
+
+  const JsonValue& opt = doc.at("options");
+  m.options.seed = opt.at("seed").as_u64();
+  m.options.scale = opt.at("scale").as_number();
+  m.options.threads = static_cast<unsigned>(opt.at("threads").as_u64());
+  m.options.baseline = opt.at("baseline").as_string();
+  m.options.trace_cache_dir = opt.at("trace_cache_dir").as_string();
+  m.options.l1_geometry = opt.at("l1").as_string();
+  m.options.l2_geometry = opt.at("l2").as_string();
+  m.options.schemes = string_array(opt.at("schemes"));
+  m.options.workloads = string_array(opt.at("workloads"));
+
+  for (const JsonValue& wl : doc.at("workloads").as_array()) {
+    WorkloadRecord rec;
+    rec.name = wl.at("name").as_string();
+    rec.wall_s = wl.at("wall_s").as_number();
+    for (const JsonValue& run : wl.at("runs").as_array()) {
+      SchemeRunRecord r;
+      r.scheme = run.at("scheme").as_string();
+      r.miss_rate = run.at("miss_rate").as_number();
+      r.amat = run.at("amat").as_number();
+      r.l1_accesses = run.at("l1_accesses").as_u64();
+      r.l1_misses = run.at("l1_misses").as_u64();
+      rec.runs.push_back(std::move(r));
+    }
+    m.workloads.push_back(std::move(rec));
+  }
+
+  const JsonValue& metrics = doc.at("metrics");
+  for (const auto& [name, v] : metrics.at("counters").as_object()) {
+    m.counters[name] = v.as_u64();
+  }
+  for (const auto& [name, v] : metrics.at("histograms").as_object()) {
+    RunManifest::HistSummary h;
+    h.count = v.at("count").as_u64();
+    h.sum = v.at("sum").as_u64();
+    h.mean = v.at("mean").as_number();
+    m.histograms[name] = h;
+  }
+  return m;
+}
+
+RunManifest read_manifest_file(const std::string& path) {
+  std::ifstream is(path);
+  CANU_CHECK_MSG(is.good(), "cannot open manifest file '" << path << "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return read_manifest(buf.str());
+}
+
+}  // namespace canu::obs

@@ -1,0 +1,48 @@
+// Run manifest: a single JSON artifact per run capturing what was executed
+// (command, config, seed, scale, threads, CANU version), how long each
+// workload × scheme took, and the aggregated observability metrics. Written
+// by `canu --metrics-out=FILE` and the benches; `read_manifest` round-trips
+// it so tests and tooling can diff perf trajectories machine-readably.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace canu::obs {
+
+/// A manifest parsed back from JSON.
+struct RunManifest {
+  std::string version;
+  std::string command;
+  double wall_s = 0;
+  EvalConfigRecord options;
+  std::vector<WorkloadRecord> workloads;
+  std::map<std::string, std::uint64_t> counters;
+
+  struct HistSummary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double mean = 0;
+  };
+  std::map<std::string, HistSummary> histograms;
+};
+
+/// Serialize the session's accumulated records + metrics snapshot.
+void write_manifest(const Session& session, std::ostream& os);
+
+/// write_manifest to `path`; throws canu::Error on I/O failure.
+void write_manifest_file(const Session& session, const std::string& path);
+
+/// Parse a manifest document; throws canu::Error on malformed input.
+RunManifest read_manifest(std::string_view text);
+
+/// read_manifest from `path`; throws canu::Error if unreadable.
+RunManifest read_manifest_file(const std::string& path);
+
+}  // namespace canu::obs

@@ -1,0 +1,384 @@
+#include "obs/obs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "util/error.hpp"
+
+namespace canu::obs {
+
+// --------------------------------------------------------------------------
+// Names
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kTraceRecordsGenerated: return "trace_records_generated";
+    case Counter::kChunksProduced: return "chunks_produced";
+    case Counter::kChunksConsumed: return "chunks_consumed";
+    case Counter::kChunkReplays: return "chunk_replays";
+    case Counter::kBufferFullStallNs: return "buffer_full_stall_ns";
+    case Counter::kBufferEmptyStallNs: return "buffer_empty_stall_ns";
+    case Counter::kTraceCacheHits: return "trace_cache_hits";
+    case Counter::kTraceCacheMisses: return "trace_cache_misses";
+    case Counter::kTraceCacheStores: return "trace_cache_stores";
+    case Counter::kTraceCacheBytesRead: return "trace_cache_bytes_read";
+    case Counter::kTraceCacheBytesWritten: return "trace_cache_bytes_written";
+    case Counter::kPoolTasksExecuted: return "pool_tasks_executed";
+    case Counter::kPoolQueueWaitNs: return "pool_queue_wait_ns";
+    case Counter::kGivargisTrainings: return "givargis_trainings";
+    case Counter::kWorkloadsEvaluated: return "workloads_evaluated";
+    case Counter::kL1Accesses: return "l1_accesses";
+    case Counter::kL1Hits: return "l1_hits";
+    case Counter::kL1Misses: return "l1_misses";
+    case Counter::kL1Evictions: return "l1_evictions";
+    case Counter::kL1Writebacks: return "l1_writebacks";
+    case Counter::kL2Accesses: return "l2_accesses";
+    case Counter::kL2Misses: return "l2_misses";
+    case Counter::kL2Evictions: return "l2_evictions";
+    case Counter::kL2Writebacks: return "l2_writebacks";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* hist_name(Hist h) noexcept {
+  switch (h) {
+    case Hist::kPoolQueueWaitNs: return "pool_queue_wait_ns";
+    case Hist::kChunkReplayNs: return "chunk_replay_ns";
+    case Hist::kCount: break;
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------------------------
+// Session plumbing
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<Session*> g_session{nullptr};
+/// Bumped on every install/uninstall so cached thread-local slot pointers
+/// from an earlier session are never reused for a later one.
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::uint64_t> g_start_ns{0};
+
+}  // namespace
+
+/// One span recorded on some thread's track.
+struct SpanEvent {
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* cat = nullptr;
+  const char* name = nullptr;   ///< static name, or nullptr → dyn_name
+  std::string dyn_name;
+  const char* arg_name = nullptr;
+  std::uint64_t arg_value = 0;
+};
+
+struct Session::ThreadSlot {
+  CounterBlock block;
+  std::vector<SpanEvent> spans;
+  std::uint64_t tid = 0;  ///< registration order; 0 is the installing thread
+};
+
+/// Thread-local cache of this thread's slot in the active session; the
+/// epoch check re-registers the thread after a session change.
+struct SpanSink {
+  static thread_local Session::ThreadSlot* slot;
+  static thread_local std::uint64_t epoch;
+
+  static Session::ThreadSlot* current() {
+    const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+    if (epoch != e) {
+      Session* s = g_session.load(std::memory_order_acquire);
+      slot = s ? s->slot_for_this_thread() : nullptr;
+      epoch = e;
+    }
+    return slot;
+  }
+};
+thread_local Session::ThreadSlot* SpanSink::slot = nullptr;
+thread_local std::uint64_t SpanSink::epoch = 0;
+
+#ifndef CANU_OBS_DISABLED
+namespace detail {
+std::atomic<bool> metrics_flag{false};
+std::atomic<bool> spans_flag{false};
+
+CounterBlock* local_block() {
+  if (auto* slot = SpanSink::current()) return &slot->block;
+  // Session torn down between the flag check and here; drop into a scratch
+  // block rather than crash (install/uninstall normally happen with no
+  // workers running, so this is a safety net, not a code path).
+  static thread_local CounterBlock scratch;
+  return &scratch;
+}
+}  // namespace detail
+
+std::uint64_t now_ns() noexcept {
+  const std::uint64_t base = g_start_ns.load(std::memory_order_relaxed);
+  if (base == 0) return 0;
+  const std::uint64_t now = steady_now_ns();
+  return now > base ? now - base : 0;
+}
+
+void Span::start(const char* arg_name, std::uint64_t arg_value) {
+  arg_name_ = arg_name;
+  arg_value_ = arg_value;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+void Span::finish() noexcept {
+  active_ = false;
+  if (!spans_on()) return;
+  auto* slot = SpanSink::current();
+  if (slot == nullptr) return;
+  const std::uint64_t end = now_ns();
+  try {
+    slot->spans.push_back(SpanEvent{
+        start_ns_, end > start_ns_ ? end - start_ns_ : 0, cat_, name_,
+        std::move(dynamic_name_), arg_name_, arg_value_});
+  } catch (...) {
+    // Out of memory while recording a span: drop the event.
+  }
+}
+#endif  // CANU_OBS_DISABLED
+
+// --------------------------------------------------------------------------
+// Session
+
+Session::Session(SessionOptions options)
+    : options_(options), start_ns_(steady_now_ns()) {}
+
+Session::~Session() = default;
+
+Session* Session::active() noexcept {
+  return g_session.load(std::memory_order_acquire);
+}
+
+Session* Session::install(SessionOptions options) {
+  CANU_CHECK_MSG(g_session.load(std::memory_order_acquire) == nullptr,
+                 "an observability session is already active");
+  auto* session = new Session(options);
+  g_start_ns.store(session->start_ns_, std::memory_order_relaxed);
+  g_session.store(session, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+#ifndef CANU_OBS_DISABLED
+  detail::metrics_flag.store(options.metrics, std::memory_order_release);
+  detail::spans_flag.store(options.spans, std::memory_order_release);
+#endif
+  return session;
+}
+
+void Session::uninstall() {
+#ifndef CANU_OBS_DISABLED
+  detail::metrics_flag.store(false, std::memory_order_release);
+  detail::spans_flag.store(false, std::memory_order_release);
+#endif
+  Session* session = g_session.exchange(nullptr, std::memory_order_acq_rel);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  g_start_ns.store(0, std::memory_order_relaxed);
+  delete session;
+}
+
+Session::ThreadSlot* Session::slot_for_this_thread() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto slot = std::make_unique<ThreadSlot>();
+  slot->tid = slots_.size();
+  slots_.push_back(std::move(slot));
+  return slots_.back().get();
+}
+
+CounterBlock* Session::register_thread() {
+  if (Session::ThreadSlot* slot = SpanSink::current();
+      slot != nullptr && active() == this) {
+    return &slot->block;
+  }
+  return &slot_for_this_thread()->block;
+}
+
+MetricsSnapshot Session::metrics_snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& slot : slots_) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      snap.counters[i] += slot->block.counters[i];
+    }
+    for (std::size_t i = 0; i < kHistCount; ++i) {
+      snap.hists[i].merge(slot->block.hists[i]);
+    }
+  }
+  return snap;
+}
+
+void Session::write_trace_events(std::ostream& os) const {
+  struct Track {
+    std::uint64_t tid;
+    std::vector<SpanEvent> events;
+  };
+  std::vector<Track> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracks.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+      tracks.push_back(Track{slot->tid, slot->spans});
+    }
+  }
+  // Spans are appended at close, so children precede their parents; Chrome
+  // wants "X" events sorted by start time. Ties (possible at coarse clock
+  // resolution) put the longer — enclosing — span first.
+  for (Track& t : tracks) {
+    std::stable_sort(t.events.begin(), t.events.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.start_ns != b.start_ns)
+                         return a.start_ns < b.start_ns;
+                       return a.dur_ns > b.dur_ns;
+                     });
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents");
+  w.begin_array();
+  // Metadata: one named track per registered thread. Thread 0 is the thread
+  // that installed the session (the CLI main thread, which also drives
+  // trace generation); the rest are pool workers.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "canu");
+  w.end_object();
+  w.end_object();
+  for (const Track& t : tracks) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.kv("tid", t.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", t.tid == 0 ? std::string("main/generate")
+                            : "worker-" + std::to_string(t.tid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const Track& t : tracks) {
+    for (const SpanEvent& ev : t.events) {
+      w.begin_object();
+      w.kv("name", ev.name != nullptr ? std::string_view(ev.name)
+                                      : std::string_view(ev.dyn_name));
+      w.kv("cat", ev.cat);
+      w.kv("ph", "X");
+      w.kv("pid", 1);
+      w.kv("tid", t.tid);
+      // Trace-event timestamps are microseconds; keep ns precision as the
+      // fractional part.
+      w.kv("ts", static_cast<double>(ev.start_ns) / 1000.0);
+      w.kv("dur", static_cast<double>(ev.dur_ns) / 1000.0);
+      if (ev.arg_name != nullptr) {
+        w.key("args");
+        w.begin_object();
+        w.kv(ev.arg_name, ev.arg_value);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Session::record_eval_config(EvalConfigRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = std::move(rec);
+  have_config_ = true;
+}
+
+void Session::record_workload(WorkloadRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  workloads_.push_back(std::move(rec));
+}
+
+void Session::set_command(std::string command) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  command_ = std::move(command);
+}
+
+double Session::elapsed_s() const noexcept {
+  return static_cast<double>(steady_now_ns() - start_ns_) / 1e9;
+}
+
+// --------------------------------------------------------------------------
+// Output wiring
+
+namespace {
+OutputConfig g_output;
+bool g_outputs_active = false;
+}  // namespace
+
+void install_outputs(const OutputConfig& out) {
+  if (out.manifest_path.empty() && out.trace_event_path.empty()) return;
+  SessionOptions options;
+  options.metrics = true;
+  options.spans = !out.trace_event_path.empty();
+  Session* session = Session::install(options);
+  session->set_command(out.command);
+  g_output = out;
+  g_outputs_active = true;
+}
+
+void finalize_outputs() {
+  if (!g_outputs_active) return;
+  g_outputs_active = false;
+  Session* session = Session::active();
+  if (session == nullptr) return;
+  if (!g_output.manifest_path.empty()) {
+    write_manifest_file(*session, g_output.manifest_path);
+  }
+  if (!g_output.trace_event_path.empty()) {
+    std::ofstream os(g_output.trace_event_path);
+    CANU_CHECK_MSG(os.good(), "cannot open trace-event file '"
+                                  << g_output.trace_event_path << "'");
+    session->write_trace_events(os);
+    CANU_CHECK_MSG(os.good(), "failed writing trace-event file '"
+                                  << g_output.trace_event_path << "'");
+  }
+  Session::uninstall();
+}
+
+// --------------------------------------------------------------------------
+// Progress heartbeat
+
+ProgressFn make_progress_printer(bool force) {
+  if (!force && isatty(fileno(stderr)) == 0) return ProgressFn();
+  const auto start = std::chrono::steady_clock::now();
+  return [start](std::size_t done, std::size_t total,
+                 const std::string& item) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::fprintf(stderr, "[canu] %zu/%zu workloads, %.1fs elapsed%s%s\n", done,
+                 total, elapsed, item.empty() ? "" : ", last: ", item.c_str());
+  };
+}
+
+}  // namespace canu::obs

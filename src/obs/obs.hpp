@@ -1,0 +1,349 @@
+// Runtime observability layer (DESIGN.md §10): a metrics registry of cheap
+// per-thread counters/histograms, scoped spans emitted as Chrome/Perfetto
+// trace-event JSON, and the Session that aggregates both into run
+// artifacts (the run manifest, obs/manifest.hpp).
+//
+// Cost model — the layer must be provably free when off:
+//  * Off by default. Every hot-path helper first reads one relaxed atomic
+//    flag; with no session installed that is the entire cost (no atomics,
+//    no locks, no clock reads on the replay path).
+//  * When on, counters are plain uint64_t slots in a per-thread block owned
+//    by the session — workers increment their own block with ordinary
+//    stores and the session sums blocks only at snapshot time. Spans append
+//    to per-thread buffers the same way. Instrumentation sites are
+//    coarse-grained (per chunk, per task, per workload — never per
+//    simulated access; per-level cache counters are folded in from the
+//    models' existing CacheStats at result-collection time).
+//  * Defining CANU_OBS_DISABLED compiles every helper to a no-op.
+//
+// Determinism: instrumentation only reads timestamps and copies counters —
+// it never alters chunk boundaries, task order or replay state, so
+// EvalReports are bit-for-bit identical with observability on or off
+// (pinned by tests/obs_test.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace canu::obs {
+
+// --------------------------------------------------------------------------
+// Metric identifiers
+
+enum class Counter : unsigned {
+  kTraceRecordsGenerated,   ///< references produced by workload kernels
+  kChunksProduced,          ///< chunks handed to the parallel engine
+  kChunksConsumed,          ///< chunks replayed through all pipelines
+  kChunkReplays,            ///< per-shard chunk replay executions
+  kBufferFullStallNs,       ///< producer waited for the in-flight chunk
+  kBufferEmptyStallNs,      ///< replay sat idle waiting for generation
+  kTraceCacheHits,
+  kTraceCacheMisses,
+  kTraceCacheStores,
+  kTraceCacheBytesRead,
+  kTraceCacheBytesWritten,
+  kPoolTasksExecuted,
+  kPoolQueueWaitNs,         ///< summed enqueue→execute latency
+  kGivargisTrainings,       ///< trained-index analyses performed
+  kWorkloadsEvaluated,
+  kL1Accesses,
+  kL1Hits,
+  kL1Misses,
+  kL1Evictions,
+  kL1Writebacks,
+  kL2Accesses,
+  kL2Misses,
+  kL2Evictions,
+  kL2Writebacks,
+  kCount
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name used as the manifest JSON key.
+const char* counter_name(Counter c) noexcept;
+
+enum class Hist : unsigned {
+  kPoolQueueWaitNs,  ///< enqueue→execute latency per pool task
+  kChunkReplayNs,    ///< wall time of one per-shard chunk replay
+  kCount
+};
+inline constexpr std::size_t kHistCount = static_cast<std::size_t>(Hist::kCount);
+
+const char* hist_name(Hist h) noexcept;
+
+/// Log2-bucketed histogram: bucket i counts values with bit_width i (bucket
+/// 0 holds zeros). 48 buckets cover any nanosecond duration we can see.
+inline constexpr unsigned kHistBuckets = 48;
+
+struct HistogramData {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void record(std::uint64_t v) noexcept {
+    unsigned b = static_cast<unsigned>(std::bit_width(v));
+    if (b >= kHistBuckets) b = kHistBuckets - 1;
+    ++buckets[b];
+    ++count;
+    sum += v;
+  }
+  void merge(const HistogramData& other) noexcept {
+    for (unsigned i = 0; i < kHistBuckets; ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+  }
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// One thread's metric slots: plain integers, written only by the owning
+/// thread, summed by the session at snapshot time.
+struct CounterBlock {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<HistogramData, kHistCount> hists{};
+};
+
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<HistogramData, kHistCount> hists{};
+
+  std::uint64_t operator[](Counter c) const noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const HistogramData& hist(Hist h) const noexcept {
+    return hists[static_cast<std::size_t>(h)];
+  }
+};
+
+// --------------------------------------------------------------------------
+// Manifest accumulation records (filled in by the Evaluator / CLI)
+
+struct SchemeRunRecord {
+  std::string scheme;
+  double miss_rate = 0;
+  double amat = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+};
+
+struct WorkloadRecord {
+  std::string name;
+  double wall_s = 0;
+  std::vector<SchemeRunRecord> runs;  ///< baseline first, then schemes
+};
+
+struct EvalConfigRecord {
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  unsigned threads = 0;  ///< resolved worker count actually used
+  std::string baseline;
+  std::string trace_cache_dir;
+  std::string l1_geometry;
+  std::string l2_geometry;
+  std::vector<std::string> schemes;
+  std::vector<std::string> workloads;
+};
+
+// --------------------------------------------------------------------------
+// Session
+
+struct SessionOptions {
+  bool metrics = true;
+  bool spans = false;
+};
+
+/// The process-wide observability session. At most one is active; install()
+/// and uninstall() must be called while no instrumented worker threads are
+/// running (the CLI and benches install before building any thread pool and
+/// finalize after all pools are destroyed).
+class Session {
+ public:
+  static Session* active() noexcept;
+  /// Install a fresh session; throws canu::Error if one is active.
+  static Session* install(SessionOptions options);
+  /// Tear down the active session (no artifacts written). No-op if none.
+  static void uninstall();
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const SessionOptions& options() const noexcept { return options_; }
+
+  /// This thread's counter block, registering the thread on first use.
+  /// The returned pointer stays valid for the session's lifetime.
+  CounterBlock* register_thread();
+
+  /// Sum of every thread's counters and histograms.
+  MetricsSnapshot metrics_snapshot() const;
+
+  /// Chrome trace-event JSON of all recorded spans: one track (tid) per
+  /// registered thread, events sorted by timestamp.
+  void write_trace_events(std::ostream& os) const;
+
+  // Manifest accumulation (thread-safe, coarse-grained).
+  void record_eval_config(EvalConfigRecord rec);
+  void record_workload(WorkloadRecord rec);
+  void set_command(std::string command);
+
+  const EvalConfigRecord& eval_config() const noexcept { return config_; }
+  const std::vector<WorkloadRecord>& workload_records() const noexcept {
+    return workloads_;
+  }
+  const std::string& command() const noexcept { return command_; }
+  double elapsed_s() const noexcept;
+
+ private:
+  friend struct SpanSink;
+  explicit Session(SessionOptions options);
+
+  struct ThreadSlot;
+  ThreadSlot* slot_for_this_thread();
+
+  SessionOptions options_;
+  std::uint64_t start_ns_ = 0;  ///< steady-clock base for all timestamps
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;
+  EvalConfigRecord config_;
+  bool have_config_ = false;
+  std::vector<WorkloadRecord> workloads_;
+  std::string command_;
+};
+
+// --------------------------------------------------------------------------
+// Hot-path helpers
+
+#ifndef CANU_OBS_DISABLED
+
+namespace detail {
+extern std::atomic<bool> metrics_flag;
+extern std::atomic<bool> spans_flag;
+/// This thread's counter block for the active session (registers on first
+/// use; only call when metrics_on()).
+CounterBlock* local_block();
+}  // namespace detail
+
+inline bool metrics_on() noexcept {
+  return detail::metrics_flag.load(std::memory_order_relaxed);
+}
+inline bool spans_on() noexcept {
+  return detail::spans_flag.load(std::memory_order_relaxed);
+}
+
+/// Nanoseconds since the active session started (0 with no session).
+std::uint64_t now_ns() noexcept;
+
+inline void count(Counter c, std::uint64_t n = 1) {
+  if (!metrics_on()) return;
+  detail::local_block()->counters[static_cast<std::size_t>(c)] += n;
+}
+
+inline void observe(Hist h, std::uint64_t value) {
+  if (!metrics_on()) return;
+  detail::local_block()->hists[static_cast<std::size_t>(h)].record(value);
+}
+
+/// RAII scoped span: records a Chrome "X" (complete) event on the calling
+/// thread's track when spans are enabled; a flag check otherwise. Use the
+/// static-name constructor on per-chunk paths (no allocation); the
+/// std::string constructor is for per-workload/per-phase labels.
+class Span {
+ public:
+  Span(const char* category, const char* name) : cat_(category), name_(name) {
+    if (spans_on()) start(nullptr, 0);
+  }
+  Span(const char* category, const char* name, const char* arg_name,
+       std::uint64_t arg_value)
+      : cat_(category), name_(name) {
+    if (spans_on()) start(arg_name, arg_value);
+  }
+  Span(const char* category, std::string name)
+      : cat_(category), dynamic_name_(std::move(name)) {
+    if (spans_on()) start(nullptr, 0);
+  }
+  Span(const char* category, std::string name, const char* arg_name,
+       std::uint64_t arg_value)
+      : cat_(category), dynamic_name_(std::move(name)) {
+    if (spans_on()) start(arg_name, arg_value);
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void start(const char* arg_name, std::uint64_t arg_value);
+  void finish() noexcept;
+
+  const char* cat_;
+  const char* name_ = nullptr;
+  std::string dynamic_name_;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_value_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+#else  // CANU_OBS_DISABLED: the whole layer compiles to no-ops.
+
+inline constexpr bool metrics_on() noexcept { return false; }
+inline constexpr bool spans_on() noexcept { return false; }
+inline std::uint64_t now_ns() noexcept { return 0; }
+inline void count(Counter, std::uint64_t = 1) {}
+inline void observe(Hist, std::uint64_t) {}
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+  Span(const char*, const char*, const char*, std::uint64_t) {}
+  Span(const char*, std::string) {}
+  Span(const char*, std::string, const char*, std::uint64_t) {}
+};
+
+#endif  // CANU_OBS_DISABLED
+
+// --------------------------------------------------------------------------
+// Output wiring (shared by the CLI and the benches)
+
+struct OutputConfig {
+  std::string manifest_path;     ///< --metrics-out (empty = no manifest)
+  std::string trace_event_path;  ///< --trace-events (empty = no spans)
+  std::string command;           ///< invoking command line, for the manifest
+};
+
+/// Install the global session configured for `out`; no-op when both paths
+/// are empty. Call before any worker thread exists.
+void install_outputs(const OutputConfig& out);
+
+/// Write the configured artifacts (manifest + trace events) and tear the
+/// session down. Idempotent; call after all pools are destroyed. Throws
+/// canu::Error if an artifact cannot be written.
+void finalize_outputs();
+
+// --------------------------------------------------------------------------
+// Progress heartbeat
+
+using ProgressFn =
+    std::function<void(std::size_t done, std::size_t total,
+                       const std::string& item)>;
+
+/// A stderr heartbeat ("[canu] 3/11 workloads ...") for long evaluations.
+/// Returns a null function when stderr is not a TTY and `force` is false,
+/// so redirected runs stay clean by default.
+ProgressFn make_progress_printer(bool force);
+
+}  // namespace canu::obs

@@ -1,5 +1,6 @@
 #include "sim/batch_runner.hpp"
 
+#include "obs/obs.hpp"
 #include "sim/amat.hpp"
 #include "util/error.hpp"
 
@@ -20,6 +21,7 @@ std::size_t BatchRunner::add(CacheModel& l1) {
 }
 
 void BatchRunner::feed(std::span<const MemRef> refs) {
+  obs::count(obs::Counter::kChunksConsumed);
   feed_range(refs, 0, pipelines_.size());
 }
 
@@ -28,11 +30,17 @@ void BatchRunner::feed_range(std::span<const MemRef> refs, std::size_t first,
   CANU_CHECK_MSG(first <= last && last <= pipelines_.size(),
                  "batch pipeline range [" << first << ", " << last
                                           << ") out of bounds");
+  obs::Span span("replay", "replay chunk", "refs", refs.size());
+  const std::uint64_t t0 = obs::metrics_on() ? obs::now_ns() : 0;
   // Pipelines outer, references inner: the chunk stays resident in the
   // host cache while every scheme consumes it.
   for (std::size_t i = first; i < last; ++i) {
     Hierarchy& h = *pipelines_[i].hierarchy;
     for (const MemRef& r : refs) h.access(r.addr, r.type);
+  }
+  if (obs::metrics_on()) {
+    obs::count(obs::Counter::kChunkReplays);
+    obs::observe(obs::Hist::kChunkReplayNs, obs::now_ns() - t0);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace canu {
@@ -27,12 +28,21 @@ void ParallelBatchRunner::launch(std::span<const MemRef> refs) {
   const std::size_t pipelines = inner_.pipeline_count();
   const std::size_t shards =
       std::min<std::size_t>(std::max(1u, pool_->size()), pipelines);
+  const bool timed = obs::metrics_on();
+  if (timed) {
+    obs::count(obs::Counter::kChunksConsumed);
+    shard_end_ns_.assign(shards, 0);
+  }
   in_flight_ = std::make_unique<TaskGroup>(pool_);
   for (std::size_t s = 0; s < shards; ++s) {
     const std::size_t first = s * pipelines / shards;
     const std::size_t last = (s + 1) * pipelines / shards;
-    in_flight_->run(
-        [this, refs, first, last] { inner_.feed_range(refs, first, last); });
+    in_flight_->run([this, refs, first, last, s, timed] {
+      inner_.feed_range(refs, first, last);
+      // Each task writes only its own slot; the TaskGroup wait in drain()
+      // publishes the values to the producer thread.
+      if (timed) shard_end_ns_[s] = obs::now_ns();
+    });
   }
 }
 
@@ -48,6 +58,7 @@ void ParallelBatchRunner::feed(std::span<const MemRef> refs) {
 }
 
 void ParallelBatchRunner::feed_async(std::span<const MemRef> refs) {
+  obs::count(obs::Counter::kChunksProduced);
   if (pool_ == nullptr || inner_.pipeline_count() <= 1) {
     inner_.feed(refs);
     return;
@@ -58,7 +69,24 @@ void ParallelBatchRunner::feed_async(std::span<const MemRef> refs) {
   std::vector<MemRef>& slot = slots_[next_slot_];
   next_slot_ ^= 1u;
   slot.assign(refs.begin(), refs.end());
-  drain();
+  if (obs::metrics_on() && in_flight_ != nullptr) {
+    // Attribute this handoff to one side of the double buffer: if the last
+    // shard was still replaying when the producer arrived, the producer
+    // stalled on a full buffer until it finished; otherwise the replay side
+    // sat idle (buffer empty) from its end timestamp until now.
+    const std::uint64_t arrive = obs::now_ns();
+    drain();
+    std::uint64_t replay_end = 0;
+    for (const std::uint64_t e : shard_end_ns_)
+      replay_end = std::max(replay_end, e);
+    if (replay_end > arrive) {
+      obs::count(obs::Counter::kBufferFullStallNs, replay_end - arrive);
+    } else if (replay_end != 0) {
+      obs::count(obs::Counter::kBufferEmptyStallNs, arrive - replay_end);
+    }
+  } else {
+    drain();
+  }
   launch(slot);
 }
 

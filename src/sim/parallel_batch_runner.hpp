@@ -94,6 +94,10 @@ class ParallelBatchRunner {
   std::array<std::vector<MemRef>, 2> slots_;
   unsigned next_slot_ = 0;
   std::unique_ptr<TaskGroup> in_flight_;
+  /// Per-shard replay end timestamps for the in-flight chunk (observability
+  /// only; one slot per task, written by the owning task, read after the
+  /// TaskGroup wait — no concurrent access).
+  std::vector<std::uint64_t> shard_end_ns_;
 };
 
 /// Pull `source` through `runner` chunk by chunk — each chunk is copied

@@ -23,6 +23,8 @@
 
 namespace canu {
 
+class ThreadPool;
+
 struct ThreeCReport {
   std::uint64_t accesses = 0;
   std::uint64_t total_misses = 0;       ///< of the model under study
@@ -44,11 +46,15 @@ struct ThreeCReport {
 
 /// Classify the misses a (freshly flushed) `model` incurs on `trace`.
 /// `capacity_geometry` describes the equal-capacity fully-associative
-/// reference (ways = lines, one set). The model is flushed first.
+/// reference (ways = lines, one set). The model is flushed first. With a
+/// pool, the model leg and the compulsory/capacity reference leg run as
+/// two concurrent tasks (identical counts either way).
 ThreeCReport classify_misses(CacheModel& model, const Trace& trace,
-                             const CacheGeometry& capacity_geometry);
+                             const CacheGeometry& capacity_geometry,
+                             ThreadPool* pool = nullptr);
 
 /// Convenience: classify against the paper's 32 KB L1 capacity.
-ThreeCReport classify_misses_paper_l1(CacheModel& model, const Trace& trace);
+ThreeCReport classify_misses_paper_l1(CacheModel& model, const Trace& trace,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace canu

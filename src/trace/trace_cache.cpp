@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace canu {
@@ -59,7 +60,10 @@ std::unique_ptr<TraceFileSource> TraceCache::open(
     const std::string& key, std::size_t chunk_refs) const {
   const std::string path = path_for(key);
   std::error_code ec;
-  if (!fs::exists(path, ec)) return nullptr;
+  if (!fs::exists(path, ec)) {
+    obs::count(obs::Counter::kTraceCacheMisses);
+    return nullptr;
+  }
   auto source = std::make_unique<TraceFileSource>(path, chunk_refs);
   note_hit(path);
   return source;
@@ -68,7 +72,10 @@ std::unique_ptr<TraceFileSource> TraceCache::open(
 bool TraceCache::load(const std::string& key, Trace& out) const {
   const std::string path = path_for(key);
   std::error_code ec;
-  if (!fs::exists(path, ec)) return false;
+  if (!fs::exists(path, ec)) {
+    obs::count(obs::Counter::kTraceCacheMisses);
+    return false;
+  }
   out = load_trace(path);
   note_hit(path);
   return true;
@@ -97,11 +104,23 @@ void TraceCache::ensure_dir() const {
 
 void TraceCache::note_hit(const std::string& path) const {
   hits_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_on()) {
+    obs::count(obs::Counter::kTraceCacheHits);
+    std::error_code ec;
+    const auto bytes = fs::file_size(path, ec);
+    if (!ec) obs::count(obs::Counter::kTraceCacheBytesRead, bytes);
+  }
   if (log_enabled()) std::cerr << "[trace-cache] hit " << path << "\n";
 }
 
 void TraceCache::note_store(const std::string& path) const {
   stores_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_on()) {
+    obs::count(obs::Counter::kTraceCacheStores);
+    std::error_code ec;
+    const auto bytes = fs::file_size(path, ec);
+    if (!ec) obs::count(obs::Counter::kTraceCacheBytesWritten, bytes);
+  }
   if (log_enabled()) std::cerr << "[trace-cache] store " << path << "\n";
 }
 

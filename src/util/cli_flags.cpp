@@ -1,0 +1,58 @@
+#include "util/cli_flags.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace canu {
+
+bool flag_value(const std::string& arg, const char* name, std::string* value) {
+  const std::size_t name_len = std::strlen(name);
+  if (arg.compare(0, name_len, name) != 0) return false;
+  if (arg.size() <= name_len || arg[name_len] != '=') return false;
+  *value = arg.substr(name_len + 1);
+  return true;
+}
+
+std::optional<double> parse_positive_double(const std::string& text,
+                                            const char* what,
+                                            std::string* error) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v <= 0.0) {
+    if (error != nullptr) {
+      *error = std::string("invalid ") + what + " '" + text +
+               "' (want a positive number)";
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& text,
+                                       const char* what, std::string* error) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || text[0] == '-') {
+    if (error != nullptr) {
+      *error = std::string("invalid ") + what + " '" + text +
+               "' (want a non-negative integer)";
+    }
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<unsigned> parse_thread_count(const std::string& text,
+                                           std::string* error) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 1 || v > 4095) {
+    if (error != nullptr) {
+      *error = "invalid thread count '" + text + "' (want 1..4095)";
+    }
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace canu

@@ -1,0 +1,34 @@
+// Shared command-line flag parsing for the canu CLI and the benchmarks.
+// Factors the strtod/strtoul handling of --scale/--seed/--threads (and the
+// observability flags) into one place so both frontends agree on syntax
+// and error reporting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace canu {
+
+/// If `arg` is `--name=value`, store the value and return true.
+/// `--name` with no '=' is NOT matched (callers handle space-separated
+/// forms themselves where they support them).
+bool flag_value(const std::string& arg, const char* name, std::string* value);
+
+/// Parse a strictly positive double ("0.25"); on failure returns nullopt
+/// and describes the problem in *error.
+std::optional<double> parse_positive_double(const std::string& text,
+                                            const char* what,
+                                            std::string* error);
+
+/// Parse a non-negative u64 ("42"); on failure returns nullopt and
+/// describes the problem in *error.
+std::optional<std::uint64_t> parse_u64(const std::string& text,
+                                       const char* what, std::string* error);
+
+/// Parse a thread count in [1, 4095]; on failure returns nullopt and
+/// describes the problem in *error.
+std::optional<unsigned> parse_thread_count(const std::string& text,
+                                           std::string* error);
+
+}  // namespace canu

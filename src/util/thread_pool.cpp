@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
 namespace canu {
 
 unsigned resolve_thread_count(unsigned requested) {
@@ -35,6 +37,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  if (obs::metrics_on()) {
+    // Observe enqueue→execute latency; the wrapper runs on the worker, so
+    // both counters land in the executing thread's block.
+    task = [enq_ns = obs::now_ns(), task = std::move(task)] {
+      const std::uint64_t run_ns = obs::now_ns();
+      const std::uint64_t wait = run_ns > enq_ns ? run_ns - enq_ns : 0;
+      obs::count(obs::Counter::kPoolTasksExecuted);
+      obs::count(obs::Counter::kPoolQueueWaitNs, wait);
+      obs::observe(obs::Hist::kPoolQueueWaitNs, wait);
+      task();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));

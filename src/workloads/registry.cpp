@@ -2,6 +2,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "workloads/mibench.hpp"
 #include "workloads/spec.hpp"
@@ -104,10 +105,36 @@ Trace generate_workload(const std::string& name, const WorkloadParams& params) {
   return trace;
 }
 
+namespace {
+
+/// Pass-through sink that tallies references for the metrics registry.
+class CountingSink final : public TraceSink {
+ public:
+  explicit CountingSink(TraceSink& inner) : inner_(&inner) {}
+  void write(std::span<const MemRef> refs) override {
+    total_ += refs.size();
+    inner_->write(refs);
+  }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  TraceSink* inner_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
 void generate_workload_into(const std::string& name, TraceSink& sink,
                             const WorkloadParams& params) {
   const WorkloadInfo* info = find_workload(name);
   CANU_CHECK_MSG(info != nullptr, "unknown workload: " << name);
+  if (obs::metrics_on() || obs::spans_on()) {
+    obs::Span span("generate", "generate " + name);
+    CountingSink counting(sink);
+    info->generate(counting, params);
+    obs::count(obs::Counter::kTraceRecordsGenerated, counting.total());
+    return;
+  }
   info->generate(sink, params);
 }
 

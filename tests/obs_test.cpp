@@ -1,0 +1,374 @@
+// Tests for src/obs (DESIGN.md §10): the observability layer must be
+// invisible in every simulation output — EvalReports are bit-for-bit
+// identical with metrics/spans on or off at any thread count — while the
+// artifacts it produces (trace-event JSON, run manifest) must be valid,
+// well-nested and round-trippable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/scheme.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
+#include "result_matchers.hpp"
+#include "util/cli_flags.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Install an observability session for one test, tearing it down on every
+/// exit path so later tests start clean.
+class ScopedSession {
+ public:
+  explicit ScopedSession(obs::SessionOptions options)
+      : session_(obs::Session::install(options)) {}
+  ~ScopedSession() { obs::Session::uninstall(); }
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+  obs::Session* operator->() const noexcept { return session_; }
+  obs::Session& operator*() const noexcept { return *session_; }
+
+ private:
+  obs::Session* session_;
+};
+
+std::vector<unsigned> parity_thread_counts() {
+  return {1u, 2u, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+EvalReport evaluate_paper_schemes(unsigned threads) {
+  EvalOptions opt;
+  opt.params.scale = 0.125;
+  opt.threads = threads;
+  Evaluator ev(opt);
+  // Skip element 0: paper_parity_schemes() leads with the baseline, which
+  // the Evaluator always runs anyway.
+  const std::vector<SchemeSpec> schemes = paper_parity_schemes();
+  for (std::size_t i = 1; i < schemes.size(); ++i) ev.add_scheme(schemes[i]);
+  return ev.evaluate({"crc", "bitcount"});
+}
+
+void expect_same_report(const EvalReport& a, const EvalReport& b) {
+  ASSERT_EQ(a.workloads, b.workloads);
+  ASSERT_EQ(a.scheme_labels, b.scheme_labels);
+  for (const auto& [name, run] : a.baseline_runs) {
+    const auto it = b.baseline_runs.find(name);
+    ASSERT_NE(it, b.baseline_runs.end()) << name;
+    expect_same_result(run, it->second);
+  }
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (const auto& [key, cell] : a.cells) {
+    const EvalCell* other = b.cell(key.first, key.second);
+    ASSERT_NE(other, nullptr) << key.first << " / " << key.second;
+    expect_same_result(cell.run, other->run);
+    EXPECT_EQ(cell.miss_reduction_pct, other->miss_reduction_pct);
+    EXPECT_EQ(cell.amat_reduction_pct, other->amat_reduction_pct);
+  }
+}
+
+// ------------------------------------------------------------- parity ----
+
+// The acceptance bar for the whole layer: every paper scheme, at the serial
+// engine, a small pool and the full hardware pool, produces bit-for-bit the
+// same EvalReport whether or not metrics + spans are being recorded.
+TEST(ObsParity, ReportsIdenticalWithMetricsAndSpansOn) {
+  for (const unsigned threads : parity_thread_counts()) {
+    const EvalReport off = evaluate_paper_schemes(threads);
+    EvalReport on;
+    {
+      ScopedSession session(obs::SessionOptions{true, true});
+      on = evaluate_paper_schemes(threads);
+    }
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_same_report(off, on);
+  }
+}
+
+TEST(ObsParity, HelpersAreInertWithoutSession) {
+  EXPECT_FALSE(obs::metrics_on());
+  EXPECT_FALSE(obs::spans_on());
+  EXPECT_EQ(obs::now_ns(), 0u);
+  obs::count(obs::Counter::kChunksProduced);       // must not crash
+  obs::observe(obs::Hist::kChunkReplayNs, 42);     // must not crash
+  obs::Span span("test", "no session");
+}
+
+TEST(ObsSession, SecondInstallThrows) {
+  ScopedSession session(obs::SessionOptions{});
+  EXPECT_THROW(obs::Session::install(obs::SessionOptions{}), Error);
+}
+
+// -------------------------------------------------------- trace events ----
+
+// Spans grouped by track must be start-sorted and properly nested — that is
+// what makes the file loadable as a flame chart in Perfetto/chrome://tracing.
+TEST(ObsTraceEvents, ValidJsonWithNestedMonotonicTracks) {
+  std::ostringstream os;
+  {
+    ScopedSession session(obs::SessionOptions{true, true});
+    evaluate_paper_schemes(2);
+    session->write_trace_events(os);
+  }
+
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> categories;
+  std::map<std::uint64_t, std::vector<std::pair<double, double>>> tracks;
+  for (const obs::JsonValue& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      EXPECT_TRUE(ev.at("name").as_string() == "process_name" ||
+                  ev.at("name").as_string() == "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    EXPECT_EQ(ev.at("pid").as_u64(), 1u);
+    EXPECT_FALSE(ev.at("name").as_string().empty());
+    categories.insert(ev.at("cat").as_string());
+    tracks[ev.at("tid").as_u64()].emplace_back(ev.at("ts").as_number(),
+                                               ev.at("dur").as_number());
+  }
+  // The evaluation exercises the workload, generation and replay spans.
+  EXPECT_TRUE(categories.count("evaluate"));
+  EXPECT_TRUE(categories.count("replay"));
+  EXPECT_TRUE(categories.count("generate"));
+
+  constexpr double kSlackUs = 1e-6;
+  for (const auto& [tid, spans] : tracks) {
+    SCOPED_TRACE("tid=" + std::to_string(tid));
+    std::vector<double> open_ends;  // stack of enclosing spans' end times
+    double prev_ts = -1.0;
+    for (const auto& [ts, dur] : spans) {
+      EXPECT_GE(ts, prev_ts) << "track not start-sorted";
+      prev_ts = ts;
+      while (!open_ends.empty() && ts >= open_ends.back() - kSlackUs) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty()) {
+        EXPECT_LE(ts + dur, open_ends.back() + kSlackUs)
+            << "span overlaps its enclosing span instead of nesting";
+      }
+      open_ends.push_back(ts + dur);
+    }
+  }
+}
+
+// ----------------------------------------------------------- manifest ----
+
+TEST(ObsManifest, RoundTripsConfigTimingsAndCounters) {
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "canu_obs_test_trace_cache";
+  fs::remove_all(cache_dir);
+  fs::create_directories(cache_dir);
+
+  std::ostringstream os;
+  {
+    ScopedSession session(obs::SessionOptions{true, false});
+    session->set_command("obs_test evaluate");
+
+    EvalOptions opt;
+    opt.params.scale = 0.125;
+    opt.params.seed = 7;
+    opt.threads = 2;
+    opt.trace_cache_dir = cache_dir.string();
+    Evaluator ev(opt);
+    ev.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+    ev.add_scheme(SchemeSpec::column_associative());
+    ev.evaluate({"crc"});
+
+    obs::write_manifest(*session, os);
+  }
+  fs::remove_all(cache_dir);
+
+  const obs::RunManifest m = obs::read_manifest(os.str());
+  EXPECT_FALSE(m.version.empty());
+  EXPECT_EQ(m.command, "obs_test evaluate");
+  EXPECT_GE(m.wall_s, 0.0);
+
+  // The options block records the exact EvalOptions the run used.
+  EXPECT_EQ(m.options.seed, 7u);
+  EXPECT_DOUBLE_EQ(m.options.scale, 0.125);
+  EXPECT_EQ(m.options.threads, 2u);
+  EXPECT_EQ(m.options.baseline, "direct[modulo]");
+  EXPECT_EQ(m.options.trace_cache_dir, cache_dir.string());
+  EXPECT_EQ(m.options.l1_geometry, "32768B/32B-line/1-way");
+  EXPECT_EQ(m.options.workloads, std::vector<std::string>{"crc"});
+  const std::vector<std::string> expected_schemes = {"direct[xor]",
+                                                     "column_assoc[modulo]"};
+  EXPECT_EQ(m.options.schemes, expected_schemes);
+
+  // Per-workload timing breakdown: baseline first, then each scheme.
+  ASSERT_EQ(m.workloads.size(), 1u);
+  EXPECT_EQ(m.workloads[0].name, "crc");
+  EXPECT_GE(m.workloads[0].wall_s, 0.0);
+  ASSERT_EQ(m.workloads[0].runs.size(), 3u);
+  EXPECT_EQ(m.workloads[0].runs[0].scheme, "direct[modulo]");
+  EXPECT_GT(m.workloads[0].runs[0].l1_accesses, 0u);
+  EXPECT_GT(m.workloads[0].runs[0].amat, 0.0);
+
+  // Aggregated counters: generation, evaluation, cache traffic and the
+  // trace-cache store of the cold run must all be visible.
+  EXPECT_EQ(m.counters.at("workloads_evaluated"), 1u);
+  EXPECT_GT(m.counters.at("trace_records_generated"), 0u);
+  EXPECT_GT(m.counters.at("l1_accesses"), 0u);
+  EXPECT_GT(m.counters.at("l1_misses"), 0u);
+  EXPECT_GT(m.counters.at("trace_cache_stores"), 0u);
+  EXPECT_GT(m.counters.at("trace_cache_bytes_written"), 0u);
+  EXPECT_GT(m.counters.at("pool_tasks_executed"), 0u);
+
+  // Histogram summaries carry count/sum/mean.
+  const auto& replay = m.histograms.at("chunk_replay_ns");
+  EXPECT_GT(replay.count, 0u);
+  EXPECT_GE(replay.mean, 0.0);
+}
+
+TEST(ObsManifest, ReadRejectsMalformedInput) {
+  EXPECT_THROW(obs::read_manifest("not json"), Error);
+  EXPECT_THROW(obs::read_manifest("[]"), Error);
+}
+
+// --------------------------------------------------------------- json ----
+
+TEST(ObsJson, ParseRoundTripsTypes) {
+  const obs::JsonValue v = obs::JsonValue::parse(
+      R"({"a": [1, 2.5, "x\nü", true, null], "b": {"c": -3}})");
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0].as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.5);
+  EXPECT_EQ(a[2].as_string(), "x\n\xc3\xbc");
+  EXPECT_TRUE(a[3].as_bool());
+  EXPECT_TRUE(a[4].is_null());
+  EXPECT_DOUBLE_EQ(v.at("b").at("c").as_number(), -3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ObsJson, ParseRejectsMalformed) {
+  EXPECT_THROW(obs::JsonValue::parse("{"), Error);
+  EXPECT_THROW(obs::JsonValue::parse("{} trailing"), Error);
+  EXPECT_THROW(obs::JsonValue::parse(R"("bad \q escape")"), Error);
+  EXPECT_THROW(obs::JsonValue::parse("[1,]"), Error);
+}
+
+TEST(ObsJson, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(obs::json_quote("a\"b\\c\n"), R"("a\"b\\c\n")");
+  EXPECT_EQ(obs::json_quote(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(ObsJson, WriterMatchesParser) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("n", std::uint64_t{18446744073709551615ull});
+  w.kv("d", 0.5);
+  w.kv("s", "hi");
+  w.key("arr");
+  w.begin_array();
+  w.value(true);
+  w.value(1);
+  w.end_array();
+  w.end_object();
+
+  const obs::JsonValue v = obs::JsonValue::parse(os.str());
+  // 2^64-1 is not exactly representable as a double; the writer emits the
+  // integer digits, so only smaller counters survive as_u64 — spot-check
+  // the representable fields.
+  EXPECT_DOUBLE_EQ(v.at("d").as_number(), 0.5);
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  EXPECT_TRUE(v.at("arr").as_array()[0].as_bool());
+  EXPECT_EQ(v.at("arr").as_array()[1].as_u64(), 1u);
+}
+
+// ---------------------------------------------------------- histograms ----
+
+TEST(ObsHistogram, BucketsByBitWidth) {
+  obs::HistogramData h;
+  h.record(0);     // bit_width 0
+  h.record(1);     // bit_width 1
+  h.record(1024);  // bit_width 11
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 1025u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1025.0 / 3.0);
+
+  obs::HistogramData other;
+  other.record(3);
+  h.merge(other);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.buckets[2], 1u);
+}
+
+TEST(ObsNames, CounterAndHistNamesAreUniqueSnakeCase) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const std::string name =
+        obs::counter_name(static_cast<obs::Counter>(i));
+    EXPECT_FALSE(name.empty());
+    for (const char ch : name) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                  ch == '_')
+          << name;
+    }
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), obs::kCounterCount);
+  EXPECT_NE(obs::hist_name(obs::Hist::kChunkReplayNs),
+            obs::hist_name(obs::Hist::kPoolQueueWaitNs));
+}
+
+// ----------------------------------------------------------- cli flags ----
+
+TEST(CliFlags, FlagValueMatchesOnlyEqualsForm) {
+  std::string value;
+  EXPECT_TRUE(flag_value("--seed=42", "--seed", &value));
+  EXPECT_EQ(value, "42");
+  EXPECT_TRUE(flag_value("--seed=", "--seed", &value));
+  EXPECT_EQ(value, "");
+  EXPECT_FALSE(flag_value("--seed", "--seed", &value));
+  EXPECT_FALSE(flag_value("--seeds=1", "--seed", &value));
+}
+
+TEST(CliFlags, ParsersRejectGarbage) {
+  std::string error;
+  EXPECT_EQ(parse_thread_count("0", &error), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4096", &error), std::nullopt);
+  EXPECT_EQ(parse_thread_count("two", &error), std::nullopt);
+  EXPECT_EQ(parse_thread_count("8", &error), 8u);
+
+  EXPECT_EQ(parse_positive_double("0", "scale", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_double("-1", "scale", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_double("0.25", "scale", &error), 0.25);
+
+  EXPECT_EQ(parse_u64("-3", "seed", &error), std::nullopt);
+  EXPECT_EQ(parse_u64("12x", "seed", &error), std::nullopt);
+  EXPECT_EQ(parse_u64("12", "seed", &error), 12u);
+}
+
+// ----------------------------------------------------------- progress ----
+
+TEST(ObsProgress, ForcedPrinterIsCallable) {
+  const obs::ProgressFn fn = obs::make_progress_printer(true);
+  ASSERT_TRUE(fn);
+  fn(1, 2, "crc");  // must not crash; writes one heartbeat line to stderr
+}
+
+}  // namespace
+}  // namespace canu

@@ -8,7 +8,9 @@
 # (warm) — at the default thread count and at --threads 1 (the serial
 # engine), and writes one JSON object per configuration to the output
 # file (default BENCH_PR2.json). Timings are wall-clock seconds measured
-# around the whole process.
+# around the whole process. A run manifest with the engine's internal
+# counters (trace-cache traffic, chunk handoffs, stall time) is captured
+# from an instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
@@ -60,3 +62,10 @@ printf '\n]\n' >> "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT:"
 cat "$OUT"
+
+# Instrumented warm run: per-workload timing breakdown plus the engine's
+# internal counters (outside the timed runs above, so instrumentation can
+# never skew the recorded wall-clock numbers).
+"$CANU" evaluate mibench all --scale=0.125 \
+  --metrics-out="$OUT.manifest.json" > /dev/null
+echo "wrote $OUT.manifest.json"

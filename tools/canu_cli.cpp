@@ -7,21 +7,30 @@
 //   canu trace <workload> <file>      record a trace (".ctrc" = compressed)
 //   canu threec <workload> [scheme]   3C miss decomposition
 //
-// Every subcommand accepts a trailing --scale=<f> to resize workloads and
-// --seed=<n> to vary inputs; `evaluate` also accepts --threads=<n> to set
-// the worker-thread count (CANU_THREADS is the env fallback; 1 selects the
-// serial engine exactly).
+// Every subcommand accepts a trailing --scale=<f> to resize workloads,
+// --seed=<n> to vary inputs, and --threads=<n> to set the worker-thread
+// count (CANU_THREADS is the env fallback; 1 selects the serial engine
+// exactly). Observability flags: --metrics-out=<file> writes a run manifest
+// (JSON: config, version, per-workload timings, aggregated metrics),
+// --trace-events=<file> writes Chrome/Perfetto trace-event spans, and
+// --progress prints a heartbeat to stderr during `evaluate` (TTY only;
+// --progress=force overrides).
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/advisor.hpp"
 #include "core/evaluator.hpp"
+#include "obs/obs.hpp"
+#include "sim/parallel_batch_runner.hpp"
 #include "stats/three_c.hpp"
 #include "trace/trace_cache.hpp"
 #include "trace/trace_io.hpp"
+#include "util/cli_flags.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -32,6 +41,10 @@ struct CliArgs {
   std::vector<std::string> positional;
   WorkloadParams params;
   unsigned threads = 0;  ///< 0 = CANU_THREADS env var, else hardware
+  std::string metrics_out;   ///< run-manifest path (empty = off)
+  std::string trace_events;  ///< trace-event path (empty = off)
+  bool progress = false;
+  bool progress_force = false;  ///< heartbeat even when stderr is no TTY
 };
 
 /// Workload trace through the environment-selected trace cache (identical
@@ -43,36 +56,45 @@ Trace cli_trace(const std::string& name, const WorkloadParams& params) {
   return cached_workload_trace(name, params, &cache);
 }
 
+[[noreturn]] void die_flag(const std::string& error) {
+  std::cerr << error << "\n";
+  std::exit(2);
+}
+
 CliArgs parse(int argc, char** argv) {
   CliArgs args;
+  std::string value;
+  std::string error;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--scale=", 0) == 0) {
-      char* end = nullptr;
-      args.params.scale = std::strtod(arg.c_str() + 8, &end);
-      if (end == arg.c_str() + 8 || *end != '\0' ||
-          !(args.params.scale > 0)) {
-        std::cerr << "invalid --scale value '" << arg.substr(8)
-                  << "' (want a number > 0)\n";
-        std::exit(2);
+    if (flag_value(arg, "--scale", &value)) {
+      const auto v = parse_positive_double(value, "--scale value", &error);
+      if (!v) die_flag(error);
+      args.params.scale = *v;
+    } else if (flag_value(arg, "--seed", &value)) {
+      const auto v = parse_u64(value, "--seed value", &error);
+      if (!v) die_flag(error);
+      args.params.seed = *v;
+    } else if (flag_value(arg, "--threads", &value)) {
+      const auto v = parse_thread_count(value, &error);
+      if (!v) die_flag(error);
+      args.threads = *v;
+    } else if (flag_value(arg, "--metrics-out", &value)) {
+      if (value.empty()) die_flag("--metrics-out needs a file path");
+      args.metrics_out = value;
+    } else if (flag_value(arg, "--trace-events", &value)) {
+      if (value.empty()) die_flag("--trace-events needs a file path");
+      args.trace_events = value;
+    } else if (arg == "--progress") {
+      args.progress = true;
+    } else if (flag_value(arg, "--progress", &value)) {
+      if (value != "force") {
+        die_flag("invalid --progress value '" + value + "' (only 'force')");
       }
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      char* end = nullptr;
-      args.params.seed = std::strtoull(arg.c_str() + 7, &end, 10);
-      if (end == arg.c_str() + 7 || *end != '\0') {
-        std::cerr << "invalid --seed value '" << arg.substr(7)
-                  << "' (want an unsigned integer)\n";
-        std::exit(2);
-      }
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      const unsigned long n = std::strtoul(arg.c_str() + 10, &end, 10);
-      if (end == arg.c_str() + 10 || *end != '\0' || n == 0 || n >= 4096) {
-        std::cerr << "invalid --threads value '" << arg.substr(10)
-                  << "' (want an integer in [1, 4095])\n";
-        std::exit(2);
-      }
-      args.threads = static_cast<unsigned>(n);
+      args.progress = true;
+      args.progress_force = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      die_flag("unknown option '" + arg + "'");
     } else {
       args.positional.push_back(arg);
     }
@@ -118,7 +140,20 @@ int cmd_run(const CliArgs& args) {
   const Trace trace = cli_trace(args.positional[1], args.params);
   const SchemeSpec spec = scheme_from_name(args.positional[2]);
   auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
-  const RunResult r = run_trace(*model, trace);
+  // --threads 1 (or CANU_THREADS=1) takes the exact serial run_trace path;
+  // more threads replay through the parallel batch engine, which is
+  // bit-for-bit identical per pipeline.
+  const unsigned threads = resolve_thread_count(args.threads);
+  RunResult r;
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    ParallelBatchRunner runner(RunConfig(), &pool);
+    runner.add(*model);
+    SpanSource source(trace.name(), trace.refs());
+    r = run_batch(runner, source).front();
+  } else {
+    r = run_trace(*model, trace);
+  }
 
   std::cout << args.positional[1] << " under " << spec.label() << " ("
             << trace.size() << " refs)\n";
@@ -162,6 +197,9 @@ int cmd_evaluate(const CliArgs& args) {
   opt.params = args.params;
   opt.threads = args.threads;
   opt.trace_cache_dir = default_trace_cache_dir();
+  if (args.progress) {
+    opt.progress = obs::make_progress_printer(args.progress_force);
+  }
   Evaluator ev(opt);
   if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
   if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
@@ -187,8 +225,10 @@ int cmd_advise(const CliArgs& args) {
     std::cerr << "usage: canu advise <workload>\n";
     return 1;
   }
+  Advisor::Options aopt;
+  aopt.threads = args.threads;
   const AdvisorReport rep =
-      Advisor().advise_workload(args.positional[1], args.params);
+      Advisor(aopt).advise_workload(args.positional[1], args.params);
   TextTable table;
   table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
   int rank = 1;
@@ -234,7 +274,11 @@ int cmd_threec(const CliArgs& args) {
                               ? scheme_from_name(args.positional[2])
                               : SchemeSpec::baseline();
   auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
-  const ThreeCReport r = classify_misses_paper_l1(*model, trace);
+  const unsigned threads = resolve_thread_count(args.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  const ThreeCReport r =
+      classify_misses_paper_l1(*model, trace, pool ? &*pool : nullptr);
   std::cout << args.positional[1] << " under " << spec.label() << ":\n"
             << "  accesses    " << r.accesses << "\n"
             << "  misses      " << r.total_misses << " ("
@@ -255,18 +299,49 @@ int main(int argc, char** argv) {
     std::cout << "usage: canu <list|run|evaluate|advise|trace|threec> ...\n";
     return 0;
   }
+
+  std::string command;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command += ' ';
+    command += argv[i];
+  }
   try {
-    const std::string& cmd = args.positional[0];
-    if (cmd == "list") return cmd_list();
-    if (cmd == "run") return cmd_run(args);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "advise") return cmd_advise(args);
-    if (cmd == "trace") return cmd_trace(args);
-    if (cmd == "threec") return cmd_threec(args);
-    std::cerr << "unknown command '" << cmd << "'\n";
-    return 1;
+    obs::install_outputs(
+        obs::OutputConfig{args.metrics_out, args.trace_events, command});
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+
+  int rc = 1;
+  try {
+    const std::string& cmd = args.positional[0];
+    if (cmd == "list") {
+      rc = cmd_list();
+    } else if (cmd == "run") {
+      rc = cmd_run(args);
+    } else if (cmd == "evaluate") {
+      rc = cmd_evaluate(args);
+    } else if (cmd == "advise") {
+      rc = cmd_advise(args);
+    } else if (cmd == "trace") {
+      rc = cmd_trace(args);
+    } else if (cmd == "threec") {
+      rc = cmd_threec(args);
+    } else {
+      std::cerr << "unknown command '" << cmd << "'\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+  }
+
+  // Write the requested artifacts even after a failed command — a partial
+  // manifest still says what ran and how far it got.
+  try {
+    obs::finalize_outputs();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
