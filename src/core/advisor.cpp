@@ -37,12 +37,18 @@ AdvisorReport Advisor::advise(const Trace& trace) const {
   // the batch/parallel parity tests), so rankings match the serial path at
   // any thread count. Trained candidates share one ProfileContext, so the
   // profile-derived unique-address set is computed once.
-  const unsigned threads = resolve_thread_count(options_.threads);
+  ThreadPool* pool_ptr = options_.pool;
   std::optional<ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
+  if (pool_ptr == nullptr) {
+    const unsigned threads = resolve_thread_count(options_.threads);
+    if (threads > 1) {
+      pool.emplace(threads);
+      pool_ptr = &*pool;
+    }
+  }
 
   const ProfileContext context(trace);
-  ParallelBatchRunner runner(options_.run, pool ? &*pool : nullptr);
+  ParallelBatchRunner runner(options_.run, pool_ptr);
   std::vector<std::unique_ptr<CacheModel>> models;
   models.push_back(
       build_l1_model(SchemeSpec::baseline(), options_.l1_geometry, &context));

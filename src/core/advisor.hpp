@@ -14,6 +14,8 @@
 
 namespace canu {
 
+class ThreadPool;
+
 struct AdvisorChoice {
   SchemeSpec scheme;
   RunResult result;
@@ -47,6 +49,9 @@ class Advisor {
     /// EvalOptions::threads: 0 = CANU_THREADS env var if set, else
     /// hardware concurrency; 1 = serial, no pool).
     unsigned threads = 0;
+    /// External pool to shard candidates on (not owned; overrides
+    /// `threads`) — same sharing contract as EvalOptions::pool.
+    ThreadPool* pool = nullptr;
   };
 
   Advisor() : Advisor(Options()) {}

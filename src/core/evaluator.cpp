@@ -145,10 +145,15 @@ EvalReport Evaluator::evaluate(
   // neither deadlocks nor oversubscribes the worker set. A single-thread
   // request (--threads 1 / CANU_THREADS=1) creates no pool at all and runs
   // the serial engine inline — exactly the single-threaded code path.
-  const unsigned threads = resolve_thread_count(options_.threads);
+  ThreadPool* pool_ptr = options_.pool;
+  const unsigned threads =
+      pool_ptr != nullptr ? pool_ptr->size()
+                          : resolve_thread_count(options_.threads);
   std::optional<ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
-  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  if (pool_ptr == nullptr && threads > 1) {
+    pool.emplace(threads);
+    pool_ptr = &*pool;
+  }
 
   if (obs::Session* session = obs::Session::active()) {
     obs::EvalConfigRecord cfg;

@@ -28,6 +28,8 @@
 
 namespace canu {
 
+class ThreadPool;
+
 struct EvalOptions {
   CacheGeometry l1_geometry = CacheGeometry::paper_l1();
   RunConfig run;                 ///< L2 geometry + timing
@@ -37,6 +39,12 @@ struct EvalOptions {
   /// (0 = CANU_THREADS env var if set, else hardware concurrency;
   /// 1 = the exact serial engine, no pool).
   unsigned threads = 0;
+  /// External pool to run on instead of creating one (not owned; overrides
+  /// `threads`). The canud daemon shares a single help-while-waiting pool
+  /// across concurrent requests this way, so N overlapping evaluations
+  /// never oversubscribe the worker set. Results are bit-for-bit identical
+  /// with any pool (pinned by tests/svc_test.cpp).
+  ThreadPool* pool = nullptr;
   /// Directory of the on-disk trace cache; empty disables caching. Callers
   /// wanting the environment-controlled default pass
   /// default_trace_cache_dir() (trace/trace_cache.hpp).

@@ -105,6 +105,25 @@ SchemeSpec SchemeSpec::skewed_assoc(unsigned banks) {
   return s;
 }
 
+SchemeSpec parse_scheme_spec(const std::string& name) {
+  if (name == "column_assoc") return SchemeSpec::column_associative();
+  if (name == "adaptive") return SchemeSpec::adaptive_cache();
+  if (name == "b_cache") return SchemeSpec::b_cache();
+  if (name == "victim") return SchemeSpec::victim_cache();
+  if (name == "partner") return SchemeSpec::partner_cache();
+  if (name == "skewed") return SchemeSpec::skewed_assoc(2);
+  if (name == "2way") return SchemeSpec::set_assoc(2);
+  if (name == "4way") return SchemeSpec::set_assoc(4);
+  if (name == "8way") return SchemeSpec::set_assoc(8);
+  return SchemeSpec::indexing(parse_index_scheme(name));  // throws if unknown
+}
+
+const char* scheme_spec_names() noexcept {
+  return "modulo xor odd_multiplier prime_modulo givargis givargis_xor "
+         "patel_optimal column_assoc adaptive b_cache victim partner skewed "
+         "2way 4way 8way";
+}
+
 std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
                                            const CacheGeometry& geometry,
                                            const Trace* profile) {

@@ -61,6 +61,15 @@ struct SchemeSpec {
   static SchemeSpec skewed_assoc(unsigned banks = 2);
 };
 
+/// Parse a CLI/service scheme name ("xor", "column_assoc", "4way", ...)
+/// into its SchemeSpec; throws canu::Error on an unknown name. The accepted
+/// vocabulary is scheme_spec_names().
+SchemeSpec parse_scheme_spec(const std::string& name);
+
+/// Space-separated list of every name parse_scheme_spec accepts (usage
+/// text, `canu list`).
+const char* scheme_spec_names() noexcept;
+
 /// Instantiate the L1 model described by `spec` over `geometry`. Schemes
 /// whose index function is trained (Givargis, Givargis-XOR, Patel) require a
 /// non-null profiling trace.

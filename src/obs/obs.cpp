@@ -43,6 +43,11 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kL2Misses: return "l2_misses";
     case Counter::kL2Evictions: return "l2_evictions";
     case Counter::kL2Writebacks: return "l2_writebacks";
+    case Counter::kSvcRequests: return "svc_requests";
+    case Counter::kSvcOverloadRejections: return "svc_overload_rejections";
+    case Counter::kSvcResultCacheHits: return "svc_result_cache_hits";
+    case Counter::kSvcResultCacheMisses: return "svc_result_cache_misses";
+    case Counter::kSvcCoalescedRequests: return "svc_coalesced_requests";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -52,6 +57,7 @@ const char* hist_name(Hist h) noexcept {
   switch (h) {
     case Hist::kPoolQueueWaitNs: return "pool_queue_wait_ns";
     case Hist::kChunkReplayNs: return "chunk_replay_ns";
+    case Hist::kSvcRequestNs: return "svc_request_ns";
     case Hist::kCount: break;
   }
   return "unknown";

@@ -64,6 +64,11 @@ enum class Counter : unsigned {
   kL2Misses,
   kL2Evictions,
   kL2Writebacks,
+  kSvcRequests,             ///< daemon requests admitted to the scheduler
+  kSvcOverloadRejections,   ///< requests refused by admission control
+  kSvcResultCacheHits,      ///< requests answered from the result cache
+  kSvcResultCacheMisses,    ///< requests that had to simulate
+  kSvcCoalescedRequests,    ///< requests that joined an in-flight duplicate
   kCount
 };
 inline constexpr std::size_t kCounterCount =
@@ -75,6 +80,7 @@ const char* counter_name(Counter c) noexcept;
 enum class Hist : unsigned {
   kPoolQueueWaitNs,  ///< enqueue→execute latency per pool task
   kChunkReplayNs,    ///< wall time of one per-shard chunk replay
+  kSvcRequestNs,     ///< daemon request service time (admission → response)
   kCount
 };
 inline constexpr std::size_t kHistCount = static_cast<std::size_t>(Hist::kCount);

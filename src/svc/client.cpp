@@ -1,0 +1,34 @@
+#include "svc/client.hpp"
+
+#include "svc/socket.hpp"
+#include "util/error.hpp"
+
+namespace canu::svc {
+
+std::string Endpoint::describe() const {
+  if (!unix_path.empty()) return "unix:" + unix_path;
+  if (port >= 0) return "tcp:" + host + ":" + std::to_string(port);
+  return "<unconfigured>";
+}
+
+Client::Client(Endpoint endpoint) : endpoint_(std::move(endpoint)) {
+  CANU_CHECK_MSG(endpoint_.configured(),
+                 "client needs --socket=<path> or --port=<n>");
+}
+
+Response Client::call(const Request& req) const {
+  const FdHandle conn =
+      endpoint_.unix_path.empty()
+          ? connect_tcp(endpoint_.host,
+                        static_cast<std::uint16_t>(endpoint_.port))
+          : connect_unix(endpoint_.unix_path);
+  write_frame(conn.get(), encode_request(req));
+  std::string payload;
+  if (!read_frame(conn.get(), &payload)) {
+    throw Error("canud at " + endpoint_.describe() +
+                " closed the connection without a response");
+  }
+  return decode_response(payload);
+}
+
+}  // namespace canu::svc

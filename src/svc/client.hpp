@@ -1,0 +1,41 @@
+// Client library for the canud daemon: connect, send one framed request,
+// read the framed response. Used by `canu submit` / `canu status` and by
+// any program that wants simulation results without paying trace
+// generation and scheme construction per invocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace canu::svc {
+
+/// Where the daemon lives. A non-empty Unix path wins over TCP.
+struct Endpoint {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+
+  bool configured() const noexcept {
+    return !unix_path.empty() || port >= 0;
+  }
+  std::string describe() const;
+};
+
+class Client {
+ public:
+  explicit Client(Endpoint endpoint);
+
+  /// One request→response round trip on a fresh connection; throws
+  /// canu::Error on connection or protocol failure. Server-side failures
+  /// come back as Response.status "error"/"overloaded", not exceptions.
+  Response call(const Request& req) const;
+
+  const Endpoint& endpoint() const noexcept { return endpoint_; }
+
+ private:
+  Endpoint endpoint_;
+};
+
+}  // namespace canu::svc

@@ -1,0 +1,223 @@
+#include "svc/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/version.hpp"
+#include "svc/socket.hpp"
+#include "svc/verbs.hpp"
+#include "util/error.hpp"
+
+namespace canu::svc {
+
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+void check_protocol_version(const JsonValue& doc, const char* what) {
+  const JsonValue* v = doc.find("canu");
+  CANU_CHECK_MSG(v != nullptr, what << " missing protocol version");
+  CANU_CHECK_MSG(v->as_u64() == kProtocolVersion,
+                 what << " protocol version " << v->as_u64() << " != "
+                      << kProtocolVersion);
+}
+
+std::uint64_t u64_or(const JsonValue& doc, const char* key,
+                     std::uint64_t fallback) {
+  const JsonValue* v = doc.find(key);
+  return v == nullptr ? fallback : v->as_u64();
+}
+
+double number_or(const JsonValue& doc, const char* key, double fallback) {
+  const JsonValue* v = doc.find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::string string_or(const JsonValue& doc, const char* key,
+                      std::string fallback) {
+  const JsonValue* v = doc.find(key);
+  return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+bool bool_or(const JsonValue& doc, const char* key, bool fallback) {
+  const JsonValue* v = doc.find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+/// Canonical double spelling shared by encoding and key derivation.
+std::string canonical_double(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& req) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("canu", kProtocolVersion);
+  w.kv("verb", req.verb);
+  w.key("args");
+  w.begin_array();
+  for (const std::string& a : req.args) w.value(a);
+  w.end_array();
+  w.kv("seed", req.params.seed);
+  w.kv("scale", req.params.scale);
+  w.kv("address_base", req.params.address_base);
+  w.kv("threads", req.threads);
+  w.end_object();
+  return std::move(os).str();
+}
+
+Request decode_request(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  check_protocol_version(doc, "request");
+  Request req;
+  req.verb = doc.at("verb").as_string();
+  if (const JsonValue* args = doc.find("args")) {
+    for (const JsonValue& a : args->as_array()) {
+      req.args.push_back(a.as_string());
+    }
+  }
+  const WorkloadParams defaults;
+  req.params.seed = u64_or(doc, "seed", defaults.seed);
+  req.params.scale = number_or(doc, "scale", defaults.scale);
+  CANU_CHECK_MSG(req.params.scale > 0, "request scale must be positive");
+  req.params.address_base = u64_or(doc, "address_base", defaults.address_base);
+  req.threads = static_cast<unsigned>(u64_or(doc, "threads", 0));
+  return req;
+}
+
+std::string encode_response(const Response& resp) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("canu", kProtocolVersion);
+  w.kv("status", resp.status);
+  w.kv("version", resp.version);
+  w.kv("exit_code", resp.exit_code);
+  w.kv("wall_s", resp.wall_s);
+  w.kv("result_cache_hit", resp.result_cache_hit);
+  w.kv("coalesced", resp.coalesced);
+  w.kv("cache_key", resp.cache_key);
+  w.key("server");
+  w.begin_object();
+  w.kv("admitted", resp.server.admitted);
+  w.kv("rejected", resp.server.rejected);
+  w.kv("result_cache_hits", resp.server.result_cache_hits);
+  w.kv("result_cache_misses", resp.server.result_cache_misses);
+  w.kv("coalesced", resp.server.coalesced);
+  w.kv("in_flight", resp.server.in_flight);
+  w.kv("capacity", resp.server.capacity);
+  w.end_object();
+  w.kv("output", resp.output);
+  w.kv("error", resp.error);
+  w.end_object();
+  return std::move(os).str();
+}
+
+Response decode_response(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  check_protocol_version(doc, "response");
+  Response resp;
+  resp.status = doc.at("status").as_string();
+  resp.version = string_or(doc, "version", "");
+  resp.exit_code = static_cast<int>(u64_or(doc, "exit_code", 0));
+  resp.wall_s = number_or(doc, "wall_s", 0);
+  resp.result_cache_hit = bool_or(doc, "result_cache_hit", false);
+  resp.coalesced = bool_or(doc, "coalesced", false);
+  resp.cache_key = string_or(doc, "cache_key", "");
+  if (const JsonValue* server = doc.find("server")) {
+    resp.server.admitted = u64_or(*server, "admitted", 0);
+    resp.server.rejected = u64_or(*server, "rejected", 0);
+    resp.server.result_cache_hits = u64_or(*server, "result_cache_hits", 0);
+    resp.server.result_cache_misses =
+        u64_or(*server, "result_cache_misses", 0);
+    resp.server.coalesced = u64_or(*server, "coalesced", 0);
+    resp.server.in_flight = u64_or(*server, "in_flight", 0);
+    resp.server.capacity = u64_or(*server, "capacity", 0);
+  }
+  resp.output = string_or(doc, "output", "");
+  resp.error = string_or(doc, "error", "");
+  return resp;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  CANU_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                 "frame of " << payload.size() << " bytes exceeds limit");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(n >> 24),
+      static_cast<unsigned char>(n >> 16),
+      static_cast<unsigned char>(n >> 8),
+      static_cast<unsigned char>(n),
+  };
+  write_all(fd, header, sizeof header);
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string* payload) {
+  unsigned char header[4];
+  if (!read_exact(fd, header, sizeof header)) return false;
+  const std::uint32_t n = (std::uint32_t{header[0]} << 24) |
+                          (std::uint32_t{header[1]} << 16) |
+                          (std::uint32_t{header[2]} << 8) |
+                          std::uint32_t{header[3]};
+  CANU_CHECK_MSG(n <= kMaxFrameBytes,
+                 "incoming frame of " << n << " bytes exceeds limit");
+  payload->resize(n);
+  if (n > 0 && !read_exact(fd, payload->data(), n)) {
+    throw Error("connection closed mid-frame");
+  }
+  return true;
+}
+
+namespace {
+
+/// FNV-1a over `s`, continuing from `h`.
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Append one length-prefixed field, so adjacent fields can never alias
+/// ("ab"+"c" vs "a"+"bc").
+void field(std::string* canon, std::string_view value) {
+  *canon += std::to_string(value.size());
+  *canon += ':';
+  *canon += value;
+  *canon += ';';
+}
+
+}  // namespace
+
+std::string canonical_request_key(const Request& req) {
+  std::string canon;
+  field(&canon, "canu" + std::to_string(kProtocolVersion));
+  field(&canon, req.verb);
+  for (const std::string& a : req.args) field(&canon, a);
+  field(&canon, std::to_string(req.params.seed));
+  field(&canon, canonical_double(req.params.scale));
+  field(&canon, std::to_string(req.params.address_base));
+  for (const std::string& label : scheme_set_for(req)) field(&canon, label);
+  field(&canon, obs::kVersion);
+
+  // Two independent 64-bit FNV-1a streams give a 128-bit key: collisions
+  // would silently serve one request's table for another, so headroom is
+  // cheap insurance.
+  const std::uint64_t lo = fnv1a(0xcbf29ce484222325ULL, canon);
+  const std::uint64_t hi = fnv1a(0x84222325cbf29ce4ULL, canon);
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "%016" PRIx64, hi, lo);
+  return buf;
+}
+
+}  // namespace canu::svc

@@ -1,0 +1,90 @@
+// canud wire protocol (DESIGN.md §11): length-prefixed JSON frames over a
+// stream socket. Each frame is a 4-byte big-endian payload length followed
+// by one JSON document; a connection carries any number of
+// request→response exchanges in order.
+//
+// The JSON layer reuses the dependency-free obs writer/parser, so the
+// daemon adds no third-party code. Requests mirror the CLI surface (verb +
+// positional args + the --scale/--seed/--threads knobs); responses carry
+// the verb's exact stdout/stderr bytes plus a metadata fragment (build
+// version, result-cache disposition, server counters) that clients can
+// surface without ever touching the payload — `canu submit` output stays
+// byte-identical to the direct CLI path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace canu::svc {
+
+/// Frames larger than this are a protocol violation (read_frame throws
+/// before allocating), bounding memory a malformed or hostile peer can pin.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Bumped on incompatible wire changes; carried in every document.
+inline constexpr unsigned kProtocolVersion = 1;
+
+struct Request {
+  std::string verb;               ///< "evaluate", "advise", "status", ...
+  std::vector<std::string> args;  ///< positional args after the verb
+  WorkloadParams params;          ///< seed + scale (+ address base)
+  unsigned threads = 0;           ///< 0 = server default (shared pool)
+};
+
+/// Monotonic server counters, snapshotted into every response and rendered
+/// by the `status` verb. Mirrors (and, when a session is active, feeds) the
+/// svc_* counters of the obs metrics registry.
+struct ServerCounters {
+  std::uint64_t admitted = 0;            ///< requests the scheduler accepted
+  std::uint64_t rejected = 0;            ///< explicit `overloaded` responses
+  std::uint64_t result_cache_hits = 0;   ///< answered from the result cache
+  std::uint64_t result_cache_misses = 0; ///< had to simulate
+  std::uint64_t coalesced = 0;           ///< joined an identical in-flight run
+  std::uint64_t in_flight = 0;           ///< queued+running at snapshot time
+  std::uint64_t capacity = 0;            ///< admission bound
+};
+
+struct Response {
+  std::string status;       ///< "ok" | "error" | "overloaded"
+  std::string version;      ///< server build version (obs::kVersion)
+  int exit_code = 0;        ///< process exit code of the verb
+  std::string output;       ///< verb stdout, byte-exact
+  std::string error;        ///< verb stderr / failure message
+  double wall_s = 0;        ///< server-side service time
+  bool result_cache_hit = false;
+  bool coalesced = false;   ///< deduplicated onto an in-flight identical run
+  std::string cache_key;    ///< canonical key ("" for uncacheable verbs)
+  ServerCounters server;
+
+  bool ok() const noexcept { return status == "ok"; }
+};
+
+std::string encode_request(const Request& req);
+std::string encode_response(const Response& resp);
+
+/// Parse a document; throws canu::Error on malformed input or a protocol
+/// version mismatch.
+Request decode_request(std::string_view json);
+Response decode_response(std::string_view json);
+
+/// Write one frame to `fd`; throws canu::Error on I/O failure or oversize
+/// payload.
+void write_frame(int fd, std::string_view payload);
+
+/// Read one frame. Returns false on clean EOF before a header byte; throws
+/// canu::Error on truncated frames, I/O errors, or oversize lengths.
+bool read_frame(int fd, std::string* payload);
+
+/// Canonical result-cache key: a 128-bit FNV-1a hash (hex) over the
+/// protocol version, verb, args, seed, scale, address base, the scheme set
+/// the request resolves to, and the build version. The thread count is
+/// deliberately excluded — results are bit-for-bit identical at any thread
+/// count (pinned by the parallel-parity suites), so requests differing
+/// only in --threads deduplicate onto one simulation.
+std::string canonical_request_key(const Request& req);
+
+}  // namespace canu::svc

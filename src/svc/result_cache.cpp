@@ -1,0 +1,68 @@
+#include "svc/result_cache.hpp"
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace canu::svc {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  CANU_CHECK_MSG(max_entries > 0, "result cache needs at least one entry");
+}
+
+ResultCache::Lookup ResultCache::acquire(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Lookup result;
+  if (auto it = done_.find(key); it != done_.end()) {
+    ++hits_;
+    obs::count(obs::Counter::kSvcResultCacheHits);
+    result.role = Role::kHit;
+    result.hit = it->second;
+    return result;
+  }
+  if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+    ++coalesced_;
+    obs::count(obs::Counter::kSvcCoalescedRequests);
+    result.role = Role::kJoined;
+    result.pending = it->second->future;
+    return result;
+  }
+  ++misses_;
+  obs::count(obs::Counter::kSvcResultCacheMisses);
+  auto flight = std::make_shared<InFlight>();
+  flight->future = flight->promise.get_future().share();
+  result.role = Role::kOwner;
+  result.pending = flight->future;
+  in_flight_.emplace(key, std::move(flight));
+  return result;
+}
+
+void ResultCache::complete(const std::string& key, ResultPtr result) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(key);
+    CANU_CHECK_MSG(it != in_flight_.end(),
+                   "complete() for key with no in-flight owner: " << key);
+    flight = std::move(it->second);
+    in_flight_.erase(it);
+    if (result->status == "ok") {
+      done_.emplace(key, result);
+      order_.push_back(key);
+      while (order_.size() > max_entries_) {
+        done_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+  }
+  // Resolve waiters outside the lock: their continuations run on their own
+  // threads and must not serialize against new acquires.
+  flight->promise.set_value(std::move(result));
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace canu::svc

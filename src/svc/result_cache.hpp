@@ -1,0 +1,83 @@
+// Cross-request result cache with single-flight deduplication
+// (DESIGN.md §11): verb executions are pure functions of the canonical
+// request key (canonical_request_key), so the daemon stores each finished
+// result once and N identical concurrent requests run ONE simulation — the
+// first caller becomes the owner, later callers join its in-flight future.
+//
+// Only successful ("ok") results are retained across requests; failures
+// still resolve every joined waiter but are never served to a later
+// request, so a transient error cannot poison the cache. Capacity is
+// bounded with FIFO eviction — entries are deterministic to recompute, so
+// sophistication buys nothing here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace canu::svc {
+
+/// One finished verb execution, shared between the cache, in-flight
+/// waiters, and response assembly.
+struct CachedResult {
+  std::string status = "ok";  ///< "ok" | "error" | "overloaded"
+  int exit_code = 0;
+  std::string output;  ///< verb stdout, byte-exact
+  std::string error;   ///< verb stderr
+};
+
+using ResultPtr = std::shared_ptr<const CachedResult>;
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t max_entries);
+
+  enum class Role {
+    kHit,    ///< completed result available immediately
+    kJoined, ///< an identical request is in flight; wait on `pending`
+    kOwner,  ///< caller must execute and then complete() the key
+  };
+
+  struct Lookup {
+    Role role = Role::kOwner;
+    ResultPtr hit;  ///< kHit only
+    /// Resolved by the owner's complete(); valid for kJoined and kOwner
+    /// (owners wait on their own future after scheduling the work).
+    std::shared_future<ResultPtr> pending;
+  };
+
+  /// Classify this request against the cache, atomically registering the
+  /// caller as owner when the key is neither cached nor in flight.
+  Lookup acquire(const std::string& key);
+
+  /// Owner-only: publish the result, waking every joined waiter. Caches it
+  /// for later requests iff status == "ok".
+  void complete(const std::string& key, ResultPtr result);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t coalesced() const noexcept { return coalesced_; }
+  std::size_t size() const;
+
+ private:
+  struct InFlight {
+    std::promise<ResultPtr> promise;
+    std::shared_future<ResultPtr> future;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ResultPtr> done_;
+  std::deque<std::string> order_;  ///< insertion order for FIFO eviction
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace canu::svc

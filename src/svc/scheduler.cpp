@@ -1,0 +1,65 @@
+#include "svc/scheduler.hpp"
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu::svc {
+
+RequestScheduler::RequestScheduler(ThreadPool* pool, std::size_t capacity)
+    : pool_(pool), capacity_(capacity) {
+  CANU_CHECK_MSG(capacity > 0, "scheduler capacity must be positive");
+}
+
+bool RequestScheduler::try_submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || in_flight_ >= capacity_) {
+      ++rejected_;
+      obs::count(obs::Counter::kSvcOverloadRejections);
+      return false;
+    }
+    ++in_flight_;
+    ++admitted_;
+  }
+  obs::count(obs::Counter::kSvcRequests);
+  auto task = [this, fn = std::move(fn)] {
+    fn();
+    finish_one();
+  };
+  if (pool_ != nullptr) {
+    pool_->submit(std::move(task));
+  } else {
+    task();
+  }
+  return true;
+}
+
+void RequestScheduler::finish_one() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  idle_.notify_all();
+}
+
+void RequestScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t RequestScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+std::uint64_t RequestScheduler::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::uint64_t RequestScheduler::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace canu::svc

@@ -1,0 +1,61 @@
+// RequestScheduler: the admission-controlled front end between connection
+// handlers and the shared help-while-waiting ThreadPool (DESIGN.md §11).
+//
+// Admission is a hard bound on queued+running requests: at capacity,
+// try_submit refuses immediately and the server answers `overloaded` —
+// clients always get an explicit signal, never an unbounded queue or a
+// hang. Requests fan their inner work (workload tasks, pipeline shards)
+// onto the same pool; TaskGroup waiters help, so nested parallelism cannot
+// deadlock the fixed worker set.
+//
+// drain() is the graceful-shutdown path: stop admitting, then wait for
+// every admitted request to finish so in-flight clients get their replies
+// before the process exits.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace canu {
+class ThreadPool;
+}  // namespace canu
+
+namespace canu::svc {
+
+class RequestScheduler {
+ public:
+  /// `pool` is shared, not owned (null = execute inline on the caller,
+  /// the --threads=1 serial configuration).
+  RequestScheduler(ThreadPool* pool, std::size_t capacity);
+
+  /// Dispatch `fn` to the pool, or refuse: false when at capacity or
+  /// draining (the caller answers `overloaded`). `fn` must not throw —
+  /// request execution converts failures into error responses.
+  bool try_submit(std::function<void()> fn);
+
+  /// Stop admitting and block until every admitted request has finished.
+  /// Idempotent; safe to call from any thread.
+  void drain();
+
+  ThreadPool* pool() const noexcept { return pool_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_flight() const;
+  std::uint64_t admitted() const;
+  std::uint64_t rejected() const;
+
+ private:
+  void finish_one();
+
+  ThreadPool* pool_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace canu::svc

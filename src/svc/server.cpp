@@ -1,0 +1,336 @@
+#include "svc/server.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "obs/version.hpp"
+#include "svc/verbs.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace canu::svc {
+
+namespace {
+
+CachedResult overloaded_result(const RequestScheduler& scheduler) {
+  CachedResult r;
+  r.status = "overloaded";
+  r.exit_code = 75;  // EX_TEMPFAIL: retry later
+  r.error = "canud overloaded: " + std::to_string(scheduler.capacity()) +
+            " requests already queued or running\n";
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.result_cache_entries) {
+  const unsigned threads = resolve_thread_count(options_.threads);
+  if (threads > 1) {
+    pool_storage_.emplace(threads);
+    pool_ = &*pool_storage_;
+  }
+  scheduler_ =
+      std::make_unique<RequestScheduler>(pool_, options_.queue_capacity);
+}
+
+Server::~Server() {
+  try {
+    stop();
+  } catch (...) {
+    // Destruction must not throw; stop() failures leave joined threads at
+    // worst.
+  }
+}
+
+void Server::start() {
+  CANU_CHECK_MSG(!options_.unix_socket.empty() || options_.tcp_port >= 0,
+                 "canud needs a Unix socket path or a TCP port");
+  CANU_CHECK_MSG(!started_, "server already started");
+
+  int pipe_fds[2];
+  CANU_CHECK_MSG(::pipe(pipe_fds) == 0, "pipe() failed");
+  stop_read_ = FdHandle(pipe_fds[0]);
+  stop_write_ = FdHandle(pipe_fds[1]);
+
+  if (!options_.unix_socket.empty()) {
+    unix_listener_ = listen_unix(options_.unix_socket);
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_listener_ = listen_tcp(
+        options_.tcp_host, static_cast<std::uint16_t>(options_.tcp_port),
+        &tcp_port_);
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  started_ = true;
+  if (unix_listener_) {
+    accept_threads_.emplace_back(
+        [this, fd = unix_listener_.get()] { accept_loop(fd); });
+  }
+  if (tcp_listener_) {
+    accept_threads_.emplace_back(
+        [this, fd = tcp_listener_.get()] { accept_loop(fd); });
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  // Wake every accept loop and every connection waiting between frames; a
+  // handler that is mid-request finishes and answers before it sees the
+  // stop (wait_readable checks the pipe only between frames).
+  const char byte = 'x';
+  write_all(stop_write_.get(), &byte, 1);
+
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+
+  for (;;) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (auto& [id, thread] : connections_) {
+        to_join.push_back(std::move(thread));
+      }
+      connections_.clear();
+      finished_.clear();
+    }
+    if (to_join.empty()) break;
+    for (std::thread& t : to_join) t.join();
+  }
+
+  // Every admitted request has answered by now; drain() asserts that and
+  // refuses any late stragglers.
+  scheduler_->drain();
+
+  unix_listener_.reset();
+  tcp_listener_.reset();
+  if (!options_.unix_socket.empty()) {
+    std::remove(options_.unix_socket.c_str());
+  }
+}
+
+std::string Server::endpoints() const {
+  std::string s;
+  if (unix_listener_) s += "unix:" + options_.unix_socket;
+  if (tcp_listener_) {
+    if (!s.empty()) s += " ";
+    s += "tcp:" + options_.tcp_host + ":" + std::to_string(tcp_port_);
+  }
+  return s;
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.admitted = scheduler_->admitted();
+  c.rejected = scheduler_->rejected();
+  c.result_cache_hits = cache_.hits();
+  c.result_cache_misses = cache_.misses();
+  c.coalesced = cache_.coalesced();
+  c.in_flight = scheduler_->in_flight();
+  c.capacity = scheduler_->capacity();
+  return c;
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    FdHandle conn = accept_or_stop(listen_fd, stop_read_.get());
+    if (!conn) return;
+    std::vector<std::thread> reaped;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (stopped_) return;  // raced with stop(): drop the connection
+      const std::uint64_t id = next_conn_id_++;
+      std::thread t(&Server::handle_connection, this, std::move(conn), id);
+      connections_.emplace(id, std::move(t));
+      reap_finished_locked(&reaped);
+    }
+    for (std::thread& t : reaped) t.join();
+  }
+}
+
+void Server::reap_finished_locked(std::vector<std::thread>* out) {
+  for (const std::uint64_t id : finished_) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // already claimed by stop()
+    out->push_back(std::move(it->second));
+    connections_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Server::handle_connection(FdHandle conn, std::uint64_t id) {
+  try {
+    std::string payload;
+    while (wait_readable(conn.get(), stop_read_.get()) &&
+           read_frame(conn.get(), &payload)) {
+      Response resp;
+      try {
+        resp = execute(decode_request(payload));
+      } catch (const Error& e) {
+        resp.status = "error";
+        resp.version = obs::kVersion;
+        resp.exit_code = 1;
+        resp.error = std::string("bad request: ") + e.what() + "\n";
+        resp.server = counters();
+      }
+      write_frame(conn.get(), encode_response(resp));
+    }
+  } catch (const Error&) {
+    // Peer vanished or spoke garbage mid-frame; drop the connection. The
+    // daemon itself must outlive any single client.
+  }
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  finished_.push_back(id);
+}
+
+Response Server::respond(const Request& req, const CachedResult& result,
+                         bool cache_hit, bool coalesced,
+                         const std::string& cache_key, double wall_s) const {
+  (void)req;
+  Response resp;
+  resp.status = result.status;
+  resp.version = obs::kVersion;
+  resp.exit_code = result.exit_code;
+  resp.output = result.output;
+  resp.error = result.error;
+  resp.wall_s = wall_s;
+  resp.result_cache_hit = cache_hit;
+  resp.coalesced = coalesced;
+  resp.cache_key = cache_key;
+  resp.server = counters();
+  return resp;
+}
+
+Response Server::status_response() const {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const ServerCounters c = counters();
+  std::ostringstream os;
+  os << "canud " << obs::kVersion << "\n";
+  TextTable table;
+  table.set_header({"counter", "value"});
+  table.add_row({"uptime_s", TextTable::num(uptime_s, 3)});
+  table.add_row({"threads", std::to_string(threads())});
+  table.add_row({"in_flight", std::to_string(c.in_flight) + "/" +
+                                  std::to_string(c.capacity)});
+  table.add_row({"admitted", std::to_string(c.admitted)});
+  table.add_row({"rejected", std::to_string(c.rejected)});
+  table.add_row({"result_cache_hits", std::to_string(c.result_cache_hits)});
+  table.add_row(
+      {"result_cache_misses", std::to_string(c.result_cache_misses)});
+  table.add_row({"coalesced", std::to_string(c.coalesced)});
+  table.add_row({"result_cache_size", std::to_string(cache_.size())});
+  table.print(os);
+
+  CachedResult result;
+  result.output = std::move(os).str();
+  return respond(Request{}, result, false, false, "", 0.0);
+}
+
+Response Server::execute(const Request& req) {
+  obs::Span span("svc", "request " + req.verb);
+  const auto start = std::chrono::steady_clock::now();
+  const auto wall = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const auto observe_request = [&] {
+    obs::observe(obs::Hist::kSvcRequestNs,
+                 static_cast<std::uint64_t>(wall() * 1e9));
+  };
+
+  // `status` answers inline, outside admission control — an overloaded
+  // daemon must still be observable.
+  if (req.verb == "status") return status_response();
+
+  if (!verb_is_servable(req.verb)) {
+    CachedResult r;
+    r.status = "error";
+    r.exit_code = 1;
+    r.error = "verb '" + req.verb +
+              "' is not servable by canud; run it with the canu CLI\n";
+    return respond(req, r, false, false, "", wall());
+  }
+
+  // The daemon's pool is the execution budget: request-supplied --threads
+  // never spawns extra workers. A serial daemon (--threads=1) runs the
+  // exact serial engine per request.
+  Request exec_req = req;
+  if (pool_ == nullptr) exec_req.threads = 1;
+  VerbOptions verb_options;
+  verb_options.pool = pool_;
+
+  const auto run_to_result = [this, exec_req, verb_options] {
+    auto result = std::make_shared<CachedResult>();
+    std::ostringstream out;
+    std::ostringstream err;
+    try {
+      result->exit_code = run_verb(exec_req, out, err, verb_options);
+      result->status = result->exit_code == 0 ? "ok" : "error";
+    } catch (const Error& e) {
+      result->status = "error";
+      result->exit_code = 1;
+      err << "error: " << e.what() << "\n";
+    }
+    result->output = std::move(out).str();
+    result->error = std::move(err).str();
+    return result;
+  };
+
+  if (!verb_is_cacheable(req.verb)) {
+    std::promise<ResultPtr> promise;
+    std::future<ResultPtr> future = promise.get_future();
+    const bool admitted = scheduler_->try_submit(
+        [&promise, &run_to_result] { promise.set_value(run_to_result()); });
+    if (!admitted) {
+      return respond(req, overloaded_result(*scheduler_), false, false, "",
+                     wall());
+    }
+    const ResultPtr result = future.get();
+    observe_request();
+    return respond(req, *result, false, false, "", wall());
+  }
+
+  const std::string key = canonical_request_key(req);
+  ResultCache::Lookup lookup = cache_.acquire(key);
+  switch (lookup.role) {
+    case ResultCache::Role::kHit:
+      observe_request();
+      return respond(req, *lookup.hit, true, false, key, wall());
+    case ResultCache::Role::kJoined: {
+      const ResultPtr result = lookup.pending.get();
+      observe_request();
+      return respond(req, *result, false, true, key, wall());
+    }
+    case ResultCache::Role::kOwner:
+      break;
+  }
+
+  const bool admitted = scheduler_->try_submit([this, key, run_to_result] {
+    cache_.complete(key, run_to_result());
+  });
+  if (!admitted) {
+    // Joiners are already waiting on this key; resolve them with the same
+    // explicit overload signal rather than leaving them hanging.
+    auto overloaded = std::make_shared<CachedResult>(
+        overloaded_result(*scheduler_));
+    cache_.complete(key, overloaded);
+    return respond(req, *overloaded, false, false, key, wall());
+  }
+  const ResultPtr result = lookup.pending.get();
+  observe_request();
+  return respond(req, *result, false, false, key, wall());
+}
+
+}  // namespace canu::svc

@@ -1,0 +1,109 @@
+// canud: the resident request-serving daemon (DESIGN.md §11). Listens on a
+// Unix-domain socket and/or a TCP socket, speaks the length-prefixed JSON
+// protocol (svc/protocol.hpp), and serves the CLI verbs as typed requests.
+//
+// Execution path per request:
+//   connection thread → ResultCache (hit / join in-flight / own)
+//                     → RequestScheduler admission (own only; at capacity
+//                       the client gets an explicit `overloaded` response)
+//                     → run_verb on the shared help-while-waiting pool
+//                     → response frame with the verb's exact bytes + a
+//                       metadata fragment (version, cache disposition,
+//                       server counters)
+//
+// stop() is the graceful-drain path used by the SIGTERM/SIGINT handler of
+// `canu serve`: close the listeners, wake idle connections, let in-flight
+// requests finish and answer, then join every thread. The amortized state
+// PRs 1–3 built — the on-disk trace cache, the shared ThreadPool, the obs
+// registry — lives for the daemon's whole life instead of one CLI process.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu::svc {
+
+struct ServerOptions {
+  std::string unix_socket;  ///< listener path; empty = no Unix listener
+  int tcp_port = -1;        ///< >= 0 = TCP listener (0 = kernel-assigned)
+  std::string tcp_host = "127.0.0.1";
+  unsigned threads = 0;     ///< worker pool size (resolve_thread_count)
+  std::size_t queue_capacity = 64;       ///< admission bound
+  std::size_t result_cache_entries = 256;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the configured listeners and start accepting. Throws canu::Error
+  /// when no endpoint is configured or a bind fails.
+  void start();
+
+  /// Graceful shutdown: stop accepting, answer in-flight requests, join
+  /// all threads. Idempotent; callable from any thread.
+  void stop();
+
+  /// Human-readable endpoint list, e.g. "unix:/run/canud.sock tcp:127.0.0.1:7070".
+  std::string endpoints() const;
+
+  std::uint16_t bound_tcp_port() const noexcept { return tcp_port_; }
+  const ServerOptions& options() const noexcept { return options_; }
+  unsigned threads() const noexcept { return pool_ ? pool_->size() : 1; }
+
+  ServerCounters counters() const;
+
+  /// Execute one request exactly as a connection would (admission, result
+  /// cache, dedup) without any socket — the in-process loopback used by
+  /// tests and by future embedded deployments.
+  Response execute(const Request& req);
+
+ private:
+  void accept_loop(int listen_fd);
+  void handle_connection(FdHandle conn, std::uint64_t id);
+  void reap_finished_locked(std::vector<std::thread>* out);
+  Response respond(const Request& req, const CachedResult& result,
+                   bool cache_hit, bool coalesced,
+                   const std::string& cache_key, double wall_s) const;
+  Response status_response() const;
+
+  ServerOptions options_;
+  std::optional<ThreadPool> pool_storage_;
+  ThreadPool* pool_ = nullptr;  ///< null in the serial (--threads=1) config
+  ResultCache cache_;
+  std::unique_ptr<RequestScheduler> scheduler_;
+
+  FdHandle unix_listener_;
+  FdHandle tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+  FdHandle stop_read_;   ///< self-pipe: readable once stop() begins
+  FdHandle stop_write_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::vector<std::thread> accept_threads_;
+  mutable std::mutex conn_mutex_;
+  std::map<std::uint64_t, std::thread> connections_;
+  std::vector<std::uint64_t> finished_;  ///< connection ids ready to join
+  std::uint64_t next_conn_id_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace canu::svc

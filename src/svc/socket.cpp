@@ -1,0 +1,178 @@
+#include "svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace canu::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+FdHandle make_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket()");
+  return FdHandle(fd);
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CANU_CHECK_MSG(path.size() < sizeof addr.sun_path,
+                 "socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CANU_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "invalid IPv4 host '" << host << "'");
+  return addr;
+}
+
+}  // namespace
+
+void FdHandle::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+FdHandle listen_unix(const std::string& path) {
+  // Replace a stale socket file from a previous daemon; refuse to clobber
+  // anything that is not a socket.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    CANU_CHECK_MSG(S_ISSOCK(st.st_mode),
+                   "refusing to replace non-socket file " << path);
+    if (::unlink(path.c_str()) != 0) throw_errno("unlink(" + path + ")");
+  }
+  FdHandle fd = make_socket(AF_UNIX);
+  const sockaddr_un addr = unix_address(path);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) throw_errno("listen(" + path + ")");
+  return fd;
+}
+
+FdHandle listen_tcp(const std::string& host, std::uint16_t port,
+                    std::uint16_t* bound_port) {
+  FdHandle fd = make_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = tcp_address(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) throw_errno("listen()");
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      throw_errno("getsockname()");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+FdHandle connect_unix(const std::string& path) {
+  FdHandle fd = make_socket(AF_UNIX);
+  const sockaddr_un addr = unix_address(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+FdHandle connect_tcp(const std::string& host, std::uint16_t port) {
+  FdHandle fd = make_socket(AF_INET);
+  const sockaddr_in addr = tcp_address(host, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL turns a vanished peer into EPIPE instead of a
+    // process-killing SIGPIPE; pipes (the server's self-pipe) fall back to
+    // plain write().
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write()");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read()");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw Error("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool wait_readable(int fd, int stop_fd) {
+  pollfd fds[2] = {{fd, POLLIN, 0}, {stop_fd, POLLIN, 0}};
+  const nfds_t nfds = stop_fd >= 0 ? 2 : 1;
+  for (;;) {
+    const int rc = ::poll(fds, nfds, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll()");
+    }
+    // The stop pipe wins over pending data: a draining server answers the
+    // request it is processing but takes no new frames.
+    if (nfds == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return false;
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return true;
+  }
+}
+
+FdHandle accept_or_stop(int listen_fd, int stop_fd) {
+  for (;;) {
+    if (!wait_readable(listen_fd, stop_fd)) return FdHandle();
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn >= 0) return FdHandle(conn);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    throw_errno("accept()");
+  }
+}
+
+}  // namespace canu::svc

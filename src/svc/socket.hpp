@@ -1,0 +1,73 @@
+// Thin POSIX socket layer for the canud daemon and its client: RAII fd
+// ownership, Unix-domain + TCP listeners/connectors, and EINTR-safe
+// exact-length I/O. Everything throws canu::Error with the errno text so
+// callers never check int returns.
+//
+// Deliberately minimal: IPv4 only, blocking sockets, poll()-based readiness
+// with a stop descriptor (the server's self-pipe) so accept loops and
+// in-frame reads wake promptly on shutdown.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace canu::svc {
+
+/// Move-only owner of a file descriptor.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const noexcept { return fd_; }
+  explicit operator bool() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a Unix-domain socket, replacing a stale socket file at
+/// `path` (plain files are never unlinked). Throws canu::Error on failure,
+/// including paths longer than sockaddr_un allows.
+FdHandle listen_unix(const std::string& path);
+
+/// Bind + listen on host:port (IPv4 dotted quad; port 0 = kernel-assigned).
+/// The actually bound port is stored through `bound_port` when non-null.
+FdHandle listen_tcp(const std::string& host, std::uint16_t port,
+                    std::uint16_t* bound_port);
+
+FdHandle connect_unix(const std::string& path);
+FdHandle connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Write all n bytes (EINTR-safe); throws canu::Error on error.
+void write_all(int fd, const void* data, std::size_t n);
+
+/// Read exactly n bytes. Returns false on EOF before the first byte;
+/// throws canu::Error on mid-buffer EOF or error.
+bool read_exact(int fd, void* data, std::size_t n);
+
+/// Block until `fd` is readable or `stop_fd` becomes readable (stop wins);
+/// returns true when `fd` has data, false when the stop fired. A negative
+/// stop_fd waits on `fd` alone.
+bool wait_readable(int fd, int stop_fd);
+
+/// accept(2) wrapper: nullopt-like invalid handle when the stop fired or
+/// the listener was closed; throws on real errors.
+FdHandle accept_or_stop(int listen_fd, int stop_fd);
+
+}  // namespace canu::svc

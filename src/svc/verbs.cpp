@@ -1,0 +1,276 @@
+#include "svc/verbs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <ostream>
+#include <thread>
+
+#include "core/advisor.hpp"
+#include "core/evaluator.hpp"
+#include "obs/obs.hpp"
+#include "obs/version.hpp"
+#include "sim/parallel_batch_runner.hpp"
+#include "stats/three_c.hpp"
+#include "trace/trace_cache.hpp"
+#include "util/cli_flags.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu::svc {
+
+Trace env_cached_workload_trace(const std::string& name,
+                                const WorkloadParams& params) {
+  const std::string dir = default_trace_cache_dir();
+  if (dir.empty()) return generate_workload(name, params);
+  const TraceCache cache(dir);
+  return cached_workload_trace(name, params, &cache);
+}
+
+namespace {
+
+int usage_error(std::ostream& err, const std::string& verb) {
+  print_verb_usage(err, verb);
+  return 1;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "workloads:\n";
+  TextTable table;
+  table.set_header({"name", "suite", "description"});
+  for (const WorkloadInfo& w : all_workloads()) {
+    table.add_row({w.name, w.suite, w.description});
+  }
+  table.print(out);
+  out << "\nschemes: " << scheme_spec_names() << "\n";
+  return 0;
+}
+
+int cmd_run(const Request& req, std::ostream& out, std::ostream& err,
+            const VerbOptions& options) {
+  if (req.args.size() < 2) return usage_error(err, "run");
+  const Trace trace = env_cached_workload_trace(req.args[0], req.params);
+  const SchemeSpec spec = parse_scheme_spec(req.args[1]);
+  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+  // --threads 1 (or CANU_THREADS=1) takes the exact serial run_trace path;
+  // more threads — or the daemon's shared pool — replay through the
+  // parallel batch engine, which is bit-for-bit identical per pipeline.
+  RunResult r;
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    const unsigned threads = resolve_thread_count(req.threads);
+    if (threads > 1) owned.emplace(threads);
+    pool = owned ? &*owned : nullptr;
+  }
+  if (pool != nullptr) {
+    ParallelBatchRunner runner(RunConfig(), pool);
+    runner.add(*model);
+    SpanSource source(trace.name(), trace.refs());
+    r = run_batch(runner, source).front();
+  } else {
+    r = run_trace(*model, trace);
+  }
+
+  out << req.args[0] << " under " << spec.label() << " (" << trace.size()
+      << " refs)\n";
+  TextTable table;
+  table.set_header({"metric", "value"});
+  table.add_row({"miss rate %", TextTable::num(100.0 * r.miss_rate(), 4)});
+  table.add_row({"AMAT (cycles)", TextTable::num(r.amat, 3)});
+  table.add_row({"measured AMAT", TextTable::num(r.measured_amat, 3)});
+  table.add_row({"L1 misses", std::to_string(r.l1.misses)});
+  table.add_row({"L2 miss rate %", TextTable::num(100.0 * r.l2.miss_rate(), 3)});
+  table.add_row({"alternate hits", std::to_string(r.l1.secondary_hits)});
+  table.add_row({"FMS sets", std::to_string(r.uniformity.fms)});
+  table.add_row({"LAS sets", std::to_string(r.uniformity.las)});
+  table.add_row({"miss skewness",
+                 TextTable::num(r.uniformity.miss_moments.skewness, 2)});
+  table.add_row({"miss kurtosis",
+                 TextTable::num(r.uniformity.miss_moments.kurtosis, 2)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
+                 const VerbOptions& options) {
+  if (req.args.empty()) return usage_error(err, "evaluate");
+  const std::string& what = req.args[0];
+  std::vector<std::string> workloads = workload_names(what);
+  if (workloads.empty()) {
+    if (!find_workload(what)) {
+      err << "unknown suite or workload '" << what << "'\n";
+      return 1;
+    }
+    workloads = {what};
+  }
+  const std::string group = req.args.size() > 1 ? req.args[1] : "all";
+
+  EvalOptions opt;
+  opt.params = req.params;
+  opt.threads = req.threads;
+  opt.pool = options.pool;
+  opt.trace_cache_dir = default_trace_cache_dir();
+  if (options.progress) {
+    opt.progress = obs::make_progress_printer(options.progress_force);
+  }
+  Evaluator ev(opt);
+  if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
+  if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
+  if (group == "extensions") {
+    ev.add_scheme(SchemeSpec::partner_cache());
+    ev.add_scheme(SchemeSpec::skewed_assoc(2));
+    ev.add_scheme(SchemeSpec::victim_cache());
+  }
+  if (ev.schemes().empty()) {
+    err << "unknown scheme group '" << group
+        << "' (indexing|assoc|extensions|all)\n";
+    return 1;
+  }
+  const EvalReport rep = ev.evaluate(workloads);
+  rep.print_miss_reduction(out);
+  out << "\n";
+  rep.print_amat_reduction(out);
+  return 0;
+}
+
+int cmd_advise(const Request& req, std::ostream& out, std::ostream& err,
+               const VerbOptions& options) {
+  if (req.args.empty()) return usage_error(err, "advise");
+  Advisor::Options aopt;
+  aopt.threads = req.threads;
+  aopt.pool = options.pool;
+  const AdvisorReport rep =
+      Advisor(aopt).advise_workload(req.args[0], req.params);
+  TextTable table;
+  table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
+  int rank = 1;
+  for (const AdvisorChoice& c : rep.ranked) {
+    table.add_row({std::to_string(rank++), c.scheme.label(),
+                   TextTable::num(100.0 * c.result.miss_rate(), 3),
+                   TextTable::num(c.miss_reduction_pct, 2)});
+  }
+  table.print(out);
+  out << (rep.keep_conventional()
+              ? "recommendation: keep conventional indexing\n"
+              : "recommendation: " + rep.best().scheme.label() + "\n");
+  return 0;
+}
+
+int cmd_threec(const Request& req, std::ostream& out, std::ostream& err,
+               const VerbOptions& options) {
+  if (req.args.empty()) return usage_error(err, "threec");
+  const Trace trace = env_cached_workload_trace(req.args[0], req.params);
+  const SchemeSpec spec = req.args.size() > 1 ? parse_scheme_spec(req.args[1])
+                                              : SchemeSpec::baseline();
+  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    const unsigned threads = resolve_thread_count(req.threads);
+    if (threads > 1) owned.emplace(threads);
+    pool = owned ? &*owned : nullptr;
+  }
+  const ThreeCReport r = classify_misses_paper_l1(*model, trace, pool);
+  out << req.args[0] << " under " << spec.label() << ":\n"
+      << "  accesses    " << r.accesses << "\n"
+      << "  misses      " << r.total_misses << " ("
+      << TextTable::num(100.0 * r.miss_rate(), 3) << "%)\n"
+      << "  compulsory  " << r.compulsory << "\n"
+      << "  capacity    " << r.capacity << "\n"
+      << "  conflict    " << r.conflict << " ("
+      << TextTable::num(100.0 * r.conflict_fraction(), 1)
+      << "% of misses)\n";
+  return 0;
+}
+
+int cmd_version(std::ostream& out) {
+  out << "canu " << obs::kVersion << "\n";
+  return 0;
+}
+
+/// Diagnostic round trip for health checks and the overload/drain tests:
+/// optional arg = milliseconds to hold an execution slot (capped so a typo
+/// cannot wedge a worker for minutes).
+int cmd_ping(const Request& req, std::ostream& out, std::ostream& err) {
+  std::uint64_t delay_ms = 0;
+  if (!req.args.empty()) {
+    std::string error;
+    const auto v = parse_u64(req.args[0], "ping delay", &error);
+    if (!v) {
+      err << error << "\n";
+      return 1;
+    }
+    delay_ms = std::min<std::uint64_t>(*v, 10'000);
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  out << "pong\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_verb(const Request& req, std::ostream& out, std::ostream& err,
+             const VerbOptions& options) {
+  obs::Span span("svc", "verb " + req.verb);
+  if (req.verb == "list") return cmd_list(out);
+  if (req.verb == "run") return cmd_run(req, out, err, options);
+  if (req.verb == "evaluate") return cmd_evaluate(req, out, err, options);
+  if (req.verb == "advise") return cmd_advise(req, out, err, options);
+  if (req.verb == "threec") return cmd_threec(req, out, err, options);
+  if (req.verb == "version") return cmd_version(out);
+  if (req.verb == "ping") return cmd_ping(req, out, err);
+  err << "unknown verb '" << req.verb << "'\n";
+  return 1;
+}
+
+bool verb_is_servable(const std::string& verb) {
+  return verb == "list" || verb == "run" || verb == "evaluate" ||
+         verb == "advise" || verb == "threec" || verb == "version" ||
+         verb == "ping";
+}
+
+bool verb_is_cacheable(const std::string& verb) {
+  return verb_is_servable(verb) && verb != "ping";
+}
+
+std::vector<std::string> scheme_set_for(const Request& req) {
+  std::vector<std::string> labels;
+  const auto push_spec = [&labels](const SchemeSpec& spec) {
+    labels.push_back(spec.label());
+  };
+  try {
+    if (req.verb == "run" && req.args.size() >= 2) {
+      push_spec(parse_scheme_spec(req.args[1]));
+    } else if (req.verb == "evaluate") {
+      const std::string group = req.args.size() > 1 ? req.args[1] : "all";
+      Evaluator ev;
+      if (group == "indexing" || group == "all") {
+        ev.add_paper_indexing_schemes();
+      }
+      if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
+      if (group == "extensions") {
+        ev.add_scheme(SchemeSpec::partner_cache());
+        ev.add_scheme(SchemeSpec::skewed_assoc(2));
+        ev.add_scheme(SchemeSpec::victim_cache());
+      }
+      for (const SchemeSpec& s : ev.schemes()) push_spec(s);
+    } else if (req.verb == "advise") {
+      for (const SchemeSpec& s : Advisor().candidates()) push_spec(s);
+    } else if (req.verb == "threec") {
+      push_spec(req.args.size() > 1 ? parse_scheme_spec(req.args[1])
+                                    : SchemeSpec::baseline());
+    }
+  } catch (const Error&) {
+    // Unparseable scheme names: the request will fail during execution and
+    // never be cached, so an empty set is fine.
+    labels.clear();
+  }
+  return labels;
+}
+
+}  // namespace canu::svc

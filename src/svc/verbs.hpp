@@ -1,0 +1,58 @@
+// Shared verb implementations: the single execution path behind BOTH the
+// `canu` CLI and the canud daemon. The CLI calls run_verb with std::cout;
+// the daemon calls it with a string stream and ships the bytes back — so
+// `canu submit evaluate ...` output is byte-identical to
+// `canu evaluate ...` by construction, not by parallel maintenance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+namespace canu {
+class ThreadPool;
+}  // namespace canu
+
+namespace canu::svc {
+
+/// Caller-side execution knobs that are not part of the request identity.
+struct VerbOptions {
+  /// Shared worker pool (daemon mode; not owned). Null resolves
+  /// req.threads exactly like the standalone CLI.
+  ThreadPool* pool = nullptr;
+  /// stderr heartbeat during evaluate (CLI-only; never set by the daemon).
+  bool progress = false;
+  bool progress_force = false;
+};
+
+/// Execute one verb, writing its stdout to `out` and usage/diagnostics to
+/// `err`; returns the process exit code. Throws canu::Error exactly where
+/// the CLI would (callers render the message). Handles every servable verb
+/// plus "trace" (CLI-only, see verb_is_servable).
+int run_verb(const Request& req, std::ostream& out, std::ostream& err,
+             const VerbOptions& options = {});
+
+/// True if the daemon executes this verb remotely. "trace" is CLI-only (it
+/// writes caller-side files); "serve"/"submit"/"status" are the service
+/// plumbing itself.
+bool verb_is_servable(const std::string& verb);
+
+/// True if results of this verb may be stored in the cross-request result
+/// cache (deterministic output; excludes the "ping" diagnostic).
+bool verb_is_cacheable(const std::string& verb);
+
+/// Scheme labels the request resolves to — a component of the canonical
+/// result-cache key, so two spellings of the same scheme set share one
+/// cache entry. Empty for requests that would fail to parse (those are
+/// never cached anyway).
+std::vector<std::string> scheme_set_for(const Request& req);
+
+/// Workload trace through the environment-selected trace cache (identical
+/// stream to plain generation; CANU_TRACE_CACHE=0 opts out). Shared by the
+/// run/threec/trace verbs.
+Trace env_cached_workload_trace(const std::string& name,
+                                const WorkloadParams& params);
+
+}  // namespace canu::svc

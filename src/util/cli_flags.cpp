@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
 
 namespace canu {
 
@@ -53,6 +56,125 @@ std::optional<unsigned> parse_thread_count(const std::string& text,
     return std::nullopt;
   }
   return static_cast<unsigned>(v);
+}
+
+const std::vector<VerbHelp>& canu_verbs() {
+  static const std::vector<VerbHelp> verbs = {
+      {"list", "", "workloads and schemes", ""},
+      {"run", "<workload> <scheme>", "one simulation, full statistics",
+       "--scale --seed --threads"},
+      {"evaluate", "<suite|workload> [indexing|assoc|extensions|all]",
+       "comparison table over a suite",
+       "--scale --seed --threads --progress"},
+      {"advise", "<workload>", "per-application scheme selection",
+       "--scale --seed --threads"},
+      {"trace", "<workload> <file>", "record a trace (.ctrc = compressed)",
+       "--scale --seed"},
+      {"threec", "<workload> [scheme]", "3C miss decomposition",
+       "--scale --seed --threads"},
+      {"serve", "", "run the canud simulation daemon",
+       "--socket --port --host --threads --queue --result-cache "
+       "--metrics-out --trace-events"},
+      {"submit", "<verb> [args...]", "send a request to a running daemon",
+       "--socket --port --host --scale --seed --threads --meta-out"},
+      {"status", "", "query a running daemon's counters",
+       "--socket --port --host --meta-out"},
+      {"version", "", "print the canu build version", ""},
+  };
+  return verbs;
+}
+
+const std::vector<FlagHelp>& canu_flags() {
+  static const std::vector<FlagHelp> flags = {
+      {"--scale", "<f>", "problem-size multiplier (default 1.0)"},
+      {"--seed", "<n>", "input-data RNG seed (default 1)"},
+      {"--threads", "<n>",
+       "worker threads (default CANU_THREADS, else hardware; 1 = serial "
+       "engine)"},
+      {"--progress", "[=force]",
+       "stderr heartbeat during evaluate (TTY only unless forced)"},
+      {"--metrics-out", "<file>", "write a run-manifest JSON artifact"},
+      {"--trace-events", "<file>", "write Chrome/Perfetto trace-event spans"},
+      {"--socket", "<path>", "Unix-domain socket of the daemon"},
+      {"--port", "<n>", "TCP port of the daemon (0 = ephemeral for serve)"},
+      {"--host", "<addr>", "TCP host (default 127.0.0.1)"},
+      {"--queue", "<n>",
+       "serve: max queued+running requests before `overloaded` (default 64)"},
+      {"--result-cache", "<n>",
+       "serve: max cached results before FIFO eviction (default 256)"},
+      {"--meta-out", "<file>",
+       "write the response metadata (cache hit, version, counters) as JSON"},
+      {"--version", "", "print the canu build version and exit"},
+  };
+  return flags;
+}
+
+const VerbHelp* find_verb_help(const std::string& verb) {
+  for (const VerbHelp& v : canu_verbs()) {
+    if (verb == v.name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// "--scale" listed in a verb's space-separated flag set?
+bool verb_accepts_flag(const VerbHelp& verb, const char* flag) {
+  const char* hay = verb.flags;
+  const std::size_t len = std::strlen(flag);
+  while ((hay = std::strstr(hay, flag)) != nullptr) {
+    const bool end_ok = hay[len] == '\0' || hay[len] == ' ';
+    if (end_ok) return true;
+    hay += len;
+  }
+  return false;
+}
+
+void print_flag_lines(std::ostream& os, const VerbHelp* only_verb) {
+  for (const FlagHelp& f : canu_flags()) {
+    if (only_verb != nullptr && !verb_accepts_flag(*only_verb, f.name)) {
+      continue;
+    }
+    std::string head = std::string(f.name);
+    // A value spec starting with '[' is an optional suffix that already
+    // carries its own '=' (e.g. --progress[=force]).
+    if (f.value[0] == '[') {
+      head += f.value;
+    } else if (f.value[0] != '\0') {
+      head += std::string("=") + f.value;
+    }
+    os << "  " << std::left << std::setw(22) << head + " " << f.summary
+       << "\n";
+  }
+}
+
+}  // namespace
+
+void print_canu_usage(std::ostream& os) {
+  os << "usage: canu <verb> [args...] [flags]\n\nverbs:\n";
+  for (const VerbHelp& v : canu_verbs()) {
+    std::string head = v.name;
+    if (v.args[0] != '\0') head += std::string(" ") + v.args;
+    os << "  " << std::left << std::setw(40) << head + " " << v.summary
+       << "\n";
+  }
+  os << "\nflags (--flag=value):\n";
+  print_flag_lines(os, nullptr);
+}
+
+void print_verb_usage(std::ostream& os, const std::string& verb) {
+  const VerbHelp* v = find_verb_help(verb);
+  if (v == nullptr) {
+    print_canu_usage(os);
+    return;
+  }
+  os << "usage: canu " << v->name;
+  if (v->args[0] != '\0') os << " " << v->args;
+  os << "\n  " << v->summary << "\n";
+  if (v->flags[0] != '\0') {
+    os << "flags:\n";
+    print_flag_lines(os, v);
+  }
 }
 
 }  // namespace canu

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace canu {
 
@@ -30,5 +32,39 @@ std::optional<std::uint64_t> parse_u64(const std::string& text,
 /// describes the problem in *error.
 std::optional<unsigned> parse_thread_count(const std::string& text,
                                            std::string* error);
+
+// --------------------------------------------------------------------------
+// Verb / flag help tables — the single source of the canu usage text. Both
+// the CLI driver and the canud service print from these, so a verb added in
+// one place can never be missing from the other's help again.
+
+struct VerbHelp {
+  const char* name;     ///< verb, e.g. "evaluate"
+  const char* args;     ///< positional signature, e.g. "<suite> [group]"
+  const char* summary;  ///< one-line description
+  const char* flags;    ///< space-separated flag names the verb accepts
+};
+
+struct FlagHelp {
+  const char* name;     ///< e.g. "--scale"
+  const char* value;    ///< value placeholder, e.g. "<f>" ("" = no value)
+  const char* summary;  ///< one-line description
+};
+
+/// Every canu verb in display order.
+const std::vector<VerbHelp>& canu_verbs();
+
+/// Every canu flag (described once, shared across verbs).
+const std::vector<FlagHelp>& canu_flags();
+
+/// Look up a verb's help entry; nullptr if unknown.
+const VerbHelp* find_verb_help(const std::string& verb);
+
+/// Full usage text: one line per verb, then the flag glossary.
+void print_canu_usage(std::ostream& os);
+
+/// One verb's "usage:" line plus the flags it accepts; falls back to the
+/// full usage text when the verb is unknown.
+void print_verb_usage(std::ostream& os, const std::string& verb);
 
 }  // namespace canu

@@ -1,0 +1,641 @@
+// canud service-layer suite: wire framing, protocol round-trips, canonical
+// cache keys, single-flight result cache, admission control, and the full
+// daemon over an in-process loopback plus real Unix/TCP sockets.
+//
+// Server tests use short mkdtemp paths under /tmp (sockaddr_un caps paths
+// at ~107 bytes) and kernel-assigned TCP ports, so nothing here depends on
+// a free well-known port.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "obs/version.hpp"
+#include "result_matchers.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "svc/socket.hpp"
+#include "svc/verbs.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu::svc {
+namespace {
+
+/// mkdtemp under /tmp — short enough for sockaddr_un — removed on scope
+/// exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/canu_svc_XXXXXX";
+    const char* p = mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+struct SocketPair {
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = FdHandle(fds[0]);
+    b = FdHandle(fds[1]);
+  }
+  FdHandle a, b;
+};
+
+Request evaluate_request(double scale = 0.0625) {
+  Request req;
+  req.verb = "evaluate";
+  req.args = {"crc", "indexing"};
+  req.params.scale = scale;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(Framing, RoundTripsFramesInOrder) {
+  SocketPair sp;
+  write_frame(sp.a.get(), "first");
+  write_frame(sp.a.get(), "");
+  write_frame(sp.a.get(), std::string(100000, 'x'));
+  std::string payload;
+  ASSERT_TRUE(read_frame(sp.b.get(), &payload));
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(read_frame(sp.b.get(), &payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(read_frame(sp.b.get(), &payload));
+  EXPECT_EQ(payload, std::string(100000, 'x'));
+}
+
+TEST(Framing, CleanEofReturnsFalse) {
+  SocketPair sp;
+  sp.a.reset();
+  std::string payload;
+  EXPECT_FALSE(read_frame(sp.b.get(), &payload));
+}
+
+TEST(Framing, MidFrameEofThrows) {
+  SocketPair sp;
+  const unsigned char header[4] = {0, 0, 0, 10};  // promises 10 bytes
+  write_all(sp.a.get(), header, 4);
+  write_all(sp.a.get(), "abc", 3);
+  sp.a.reset();
+  std::string payload;
+  EXPECT_THROW(read_frame(sp.b.get(), &payload), Error);
+}
+
+TEST(Framing, OversizeLengthThrowsBeforeAllocating) {
+  SocketPair sp;
+  const std::uint32_t n = kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(n >> 24), static_cast<unsigned char>(n >> 16),
+      static_cast<unsigned char>(n >> 8), static_cast<unsigned char>(n)};
+  write_all(sp.a.get(), header, 4);
+  std::string payload;
+  EXPECT_THROW(read_frame(sp.b.get(), &payload), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol documents
+
+TEST(Protocol, RequestRoundTrip) {
+  Request req;
+  req.verb = "evaluate";
+  req.args = {"crc", "with \"quotes\"\nand newline"};
+  req.params.seed = 42;
+  req.params.scale = 0.37;
+  req.params.address_base = 0xdeadbeef;
+  req.threads = 7;
+
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.verb, req.verb);
+  EXPECT_EQ(back.args, req.args);
+  EXPECT_EQ(back.params.seed, req.params.seed);
+  EXPECT_EQ(back.params.scale, req.params.scale);
+  EXPECT_EQ(back.params.address_base, req.params.address_base);
+  EXPECT_EQ(back.threads, req.threads);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response resp;
+  resp.status = "ok";
+  resp.version = "v1.2.3-g123";
+  resp.exit_code = 75;
+  resp.output = "line one\nline two\n";
+  resp.error = "warning: x\n";
+  resp.wall_s = 1.25;
+  resp.result_cache_hit = true;
+  resp.coalesced = true;
+  resp.cache_key = "abc123";
+  resp.server.admitted = 10;
+  resp.server.rejected = 2;
+  resp.server.result_cache_hits = 3;
+  resp.server.result_cache_misses = 4;
+  resp.server.coalesced = 5;
+  resp.server.in_flight = 6;
+  resp.server.capacity = 64;
+
+  const Response back = decode_response(encode_response(resp));
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.version, resp.version);
+  EXPECT_EQ(back.exit_code, resp.exit_code);
+  EXPECT_EQ(back.output, resp.output);
+  EXPECT_EQ(back.error, resp.error);
+  EXPECT_EQ(back.wall_s, resp.wall_s);
+  EXPECT_TRUE(back.result_cache_hit);
+  EXPECT_TRUE(back.coalesced);
+  EXPECT_EQ(back.cache_key, resp.cache_key);
+  EXPECT_EQ(back.server.admitted, resp.server.admitted);
+  EXPECT_EQ(back.server.rejected, resp.server.rejected);
+  EXPECT_EQ(back.server.result_cache_hits, resp.server.result_cache_hits);
+  EXPECT_EQ(back.server.result_cache_misses, resp.server.result_cache_misses);
+  EXPECT_EQ(back.server.coalesced, resp.server.coalesced);
+  EXPECT_EQ(back.server.in_flight, resp.server.in_flight);
+  EXPECT_EQ(back.server.capacity, resp.server.capacity);
+}
+
+TEST(Protocol, DecodeRejectsGarbageAndVersionMismatch) {
+  EXPECT_THROW(decode_request("not json"), Error);
+  EXPECT_THROW(decode_response("{}"), Error);  // missing protocol version
+  EXPECT_THROW(decode_request("{\"canu\": 999, \"verb\": \"list\"}"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical cache key
+
+TEST(CanonicalKey, StableAndHexShaped) {
+  const std::string k1 = canonical_request_key(evaluate_request());
+  const std::string k2 = canonical_request_key(evaluate_request());
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+  EXPECT_EQ(k1.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(CanonicalKey, ThreadCountIsExcluded) {
+  Request a = evaluate_request();
+  Request b = evaluate_request();
+  a.threads = 1;
+  b.threads = 16;
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+}
+
+TEST(CanonicalKey, IdentityFieldsAllVaryTheKey) {
+  const std::string base = canonical_request_key(evaluate_request());
+
+  Request r = evaluate_request();
+  r.verb = "threec";
+  EXPECT_NE(canonical_request_key(r), base);
+
+  r = evaluate_request();
+  r.args = {"crc", "assoc"};
+  EXPECT_NE(canonical_request_key(r), base);
+
+  r = evaluate_request();
+  r.params.seed = 2;
+  EXPECT_NE(canonical_request_key(r), base);
+
+  r = evaluate_request();
+  r.params.scale = 0.125;
+  EXPECT_NE(canonical_request_key(r), base);
+
+  r = evaluate_request();
+  r.params.address_base += 64;
+  EXPECT_NE(canonical_request_key(r), base);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+ResultPtr make_result(const std::string& status, const std::string& output) {
+  auto r = std::make_shared<CachedResult>();
+  r->status = status;
+  r->output = output;
+  return r;
+}
+
+TEST(ResultCache, OwnerJoinHitLifecycle) {
+  ResultCache cache(8);
+
+  ResultCache::Lookup owner = cache.acquire("k");
+  ASSERT_EQ(owner.role, ResultCache::Role::kOwner);
+  ResultCache::Lookup joiner = cache.acquire("k");
+  ASSERT_EQ(joiner.role, ResultCache::Role::kJoined);
+
+  cache.complete("k", make_result("ok", "payload"));
+  EXPECT_EQ(owner.pending.get()->output, "payload");
+  EXPECT_EQ(joiner.pending.get()->output, "payload");
+
+  ResultCache::Lookup hit = cache.acquire("k");
+  ASSERT_EQ(hit.role, ResultCache::Role::kHit);
+  EXPECT_EQ(hit.hit->output, "payload");
+
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.coalesced(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, FailuresResolveWaitersButAreNotCached) {
+  ResultCache cache(8);
+  ResultCache::Lookup owner = cache.acquire("k");
+  ASSERT_EQ(owner.role, ResultCache::Role::kOwner);
+  ResultCache::Lookup joiner = cache.acquire("k");
+
+  cache.complete("k", make_result("error", ""));
+  EXPECT_EQ(joiner.pending.get()->status, "error");
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A later identical request retries rather than replaying the failure.
+  EXPECT_EQ(cache.acquire("k").role, ResultCache::Role::kOwner);
+}
+
+TEST(ResultCache, FifoEvictionBoundsSize) {
+  ResultCache cache(2);
+  for (const char* key : {"a", "b", "c"}) {
+    ASSERT_EQ(cache.acquire(key).role, ResultCache::Role::kOwner);
+    cache.complete(key, make_result("ok", key));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.acquire("a").role, ResultCache::Role::kOwner);  // evicted
+  EXPECT_EQ(cache.acquire("b").role, ResultCache::Role::kHit);
+  EXPECT_EQ(cache.acquire("c").role, ResultCache::Role::kHit);
+}
+
+TEST(ResultCache, ConcurrentAcquireElectsExactlyOneOwner) {
+  ResultCache cache(8);
+  constexpr int kThreads = 8;
+  std::atomic<int> owners{0};
+  std::vector<ResultPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ResultCache::Lookup lookup = cache.acquire("k");
+      if (lookup.role == ResultCache::Role::kOwner) {
+        ++owners;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        cache.complete("k", make_result("ok", "once"));
+      }
+      results[i] = lookup.role == ResultCache::Role::kHit
+                       ? lookup.hit
+                       : lookup.pending.get();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(owners.load(), 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i], results[0]);  // one shared execution, one object
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestScheduler
+
+TEST(Scheduler, RefusesAtCapacityThenDrains) {
+  ThreadPool pool(2);
+  RequestScheduler scheduler(&pool, 2);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  const auto blocker = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+
+  ASSERT_TRUE(scheduler.try_submit(blocker));
+  ASSERT_TRUE(scheduler.try_submit(blocker));
+  EXPECT_FALSE(scheduler.try_submit([] {}));  // at capacity: explicit refusal
+  EXPECT_EQ(scheduler.rejected(), 1u);
+  EXPECT_EQ(scheduler.in_flight(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.drain();
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+  EXPECT_EQ(scheduler.admitted(), 2u);
+  EXPECT_FALSE(scheduler.try_submit([] {}));  // draining is terminal
+}
+
+TEST(Scheduler, NullPoolRunsInline) {
+  RequestScheduler scheduler(nullptr, 4);
+  bool ran = false;
+  ASSERT_TRUE(scheduler.try_submit([&] { ran = true; }));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+  scheduler.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent Evaluator use over a shared pool + shared trace cache — the
+// configuration the daemon runs requests in. Must be bit-for-bit identical
+// to the serial engine.
+
+TEST(SharedPoolEvaluator, ConcurrentReportsMatchSerialBitForBit) {
+  TempDir cache_dir;
+  const std::vector<std::string> workloads = {"crc"};
+
+  EvalOptions serial_options;
+  serial_options.params.scale = 0.0625;
+  serial_options.threads = 1;
+  serial_options.trace_cache_dir = cache_dir.path;
+  Evaluator serial(serial_options);
+  serial.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+  serial.add_scheme(SchemeSpec::set_assoc(2));
+  const EvalReport want = serial.evaluate(workloads);
+
+  ThreadPool pool(4);
+  constexpr int kConcurrent = 3;
+  std::vector<EvalReport> got(kConcurrent);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kConcurrent; ++i) {
+    threads.emplace_back([&, i] {
+      EvalOptions options = serial_options;
+      options.threads = 0;
+      options.pool = &pool;
+      Evaluator ev(options);
+      ev.add_scheme(SchemeSpec::indexing(IndexScheme::kXor));
+      ev.add_scheme(SchemeSpec::set_assoc(2));
+      got[i] = ev.evaluate(workloads);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const EvalReport& report : got) {
+    ASSERT_EQ(report.scheme_labels, want.scheme_labels);
+    for (const std::string& w : workloads) {
+      expect_same_result(report.baseline_runs.at(w), want.baseline_runs.at(w));
+      for (const std::string& label : want.scheme_labels) {
+        const EvalCell* got_cell = report.cell(w, label);
+        const EvalCell* want_cell = want.cell(w, label);
+        ASSERT_NE(got_cell, nullptr);
+        ASSERT_NE(want_cell, nullptr);
+        expect_same_result(got_cell->run, want_cell->run);
+        EXPECT_EQ(got_cell->miss_reduction_pct, want_cell->miss_reduction_pct);
+        EXPECT_EQ(got_cell->amat_reduction_pct, want_cell->amat_reduction_pct);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server, in-process loopback (no sockets — Server::execute is the same
+// admission + dedup + cache path the connection handlers run).
+
+std::string direct_verb_output(const Request& req) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_verb(req, out, err), 0);
+  EXPECT_EQ(err.str(), "");
+  return std::move(out).str();
+}
+
+TEST(ServerLoopback, ByteIdenticalAndCachedOnRepeat) {
+  Server server(ServerOptions{});
+  const Request req = evaluate_request();
+  const std::string want = direct_verb_output(req);
+
+  const Response first = server.execute(req);
+  EXPECT_EQ(first.status, "ok");
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_FALSE(first.result_cache_hit);
+  EXPECT_EQ(first.output, want);
+  EXPECT_EQ(first.version, obs::kVersion);
+  EXPECT_EQ(first.cache_key.size(), 32u);
+
+  // Repeat — including with a different thread count, which is not part of
+  // the request identity — must come from the result cache.
+  Request repeat = req;
+  repeat.threads = 4;
+  const Response second = server.execute(repeat);
+  EXPECT_TRUE(second.result_cache_hit);
+  EXPECT_EQ(second.output, want);
+  EXPECT_EQ(second.cache_key, first.cache_key);
+  EXPECT_EQ(second.server.result_cache_hits, 1u);
+  EXPECT_EQ(second.server.result_cache_misses, 1u);
+  EXPECT_EQ(second.server.admitted, 1u);  // the hit never touched admission
+}
+
+TEST(ServerLoopback, ConcurrentIdenticalRequestsRunOnce) {
+  Server server(ServerOptions{});
+  const Request req = evaluate_request();
+  constexpr int kClients = 3;
+  std::vector<Response> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] { responses[i] = server.execute(req); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.result_cache_misses, 1u);  // exactly one simulation ran
+  EXPECT_EQ(c.result_cache_hits + c.coalesced,
+            static_cast<std::uint64_t>(kClients - 1));
+  for (const Response& resp : responses) {
+    EXPECT_EQ(resp.status, "ok");
+    EXPECT_EQ(resp.output, responses[0].output);
+  }
+}
+
+TEST(ServerLoopback, PingIsNeverCached) {
+  Server server(ServerOptions{});
+  Request req;
+  req.verb = "ping";
+  const Response first = server.execute(req);
+  const Response second = server.execute(req);
+  EXPECT_EQ(first.output, "pong\n");
+  EXPECT_FALSE(first.result_cache_hit);
+  EXPECT_FALSE(second.result_cache_hit);
+  EXPECT_EQ(first.cache_key, "");
+  EXPECT_EQ(second.server.admitted, 2u);
+}
+
+TEST(ServerLoopback, UnservableVerbsGetExplicitErrors) {
+  Server server(ServerOptions{});
+  for (const char* verb : {"trace", "serve", "submit", "no_such_verb"}) {
+    Request req;
+    req.verb = verb;
+    const Response resp = server.execute(req);
+    EXPECT_EQ(resp.status, "error") << verb;
+    EXPECT_EQ(resp.exit_code, 1) << verb;
+    EXPECT_NE(resp.error.find("not servable"), std::string::npos) << verb;
+  }
+}
+
+TEST(ServerLoopback, VersionVerbReportsBuildVersion) {
+  Server server(ServerOptions{});
+  Request req;
+  req.verb = "version";
+  const Response resp = server.execute(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, std::string("canu ") + obs::kVersion + "\n");
+}
+
+TEST(ServerLoopback, StatusAnswersInlineWithCounters) {
+  Server server(ServerOptions{});
+  Request req;
+  req.verb = "status";
+  const Response resp = server.execute(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_NE(resp.output.find("canud "), std::string::npos);
+  EXPECT_NE(resp.output.find("result_cache_hits"), std::string::npos);
+  EXPECT_EQ(resp.server.admitted, 0u);  // status bypasses admission
+}
+
+TEST(ServerLoopback, OverCapacityRequestsGetOverloadedNotAHang) {
+  ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 1;
+  Server server(std::move(options));
+
+  Request slow;
+  slow.verb = "ping";
+  slow.args = {"400"};  // hold the only admission slot for 400 ms
+  std::thread holder([&] {
+    const Response resp = server.execute(slow);
+    EXPECT_EQ(resp.status, "ok");
+  });
+
+  // Wait until the slow ping owns the slot, then overflow it.
+  while (server.counters().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Request fast;
+  fast.verb = "ping";
+  const Response rejected = server.execute(fast);
+  EXPECT_EQ(rejected.status, "overloaded");
+  EXPECT_EQ(rejected.exit_code, 75);
+  EXPECT_NE(rejected.error.find("overloaded"), std::string::npos);
+  EXPECT_GE(server.counters().rejected, 1u);
+  holder.join();
+}
+
+// ---------------------------------------------------------------------------
+// Real sockets
+
+TEST(ServerSocket, UnixSocketEndToEndWithResultCache) {
+  TempDir dir;
+  ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  Server server(std::move(options));
+  server.start();
+
+  Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  const Client client(endpoint);
+
+  const Request req = evaluate_request();
+  const std::string want = direct_verb_output(req);
+  const Response first = client.call(req);
+  EXPECT_EQ(first.status, "ok");
+  EXPECT_EQ(first.output, want);
+  EXPECT_FALSE(first.result_cache_hit);
+
+  const Response second = client.call(req);
+  EXPECT_TRUE(second.result_cache_hit);
+  EXPECT_EQ(second.output, want);
+
+  Request status;
+  status.verb = "status";
+  const Response st = client.call(status);
+  EXPECT_NE(st.output.find("result_cache_hits"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/s"));  // socket removed
+}
+
+TEST(ServerSocket, TcpEphemeralPortEndToEnd) {
+  ServerOptions options;
+  options.tcp_port = 0;  // kernel-assigned: never collides in CI
+  Server server(std::move(options));
+  server.start();
+  ASSERT_GT(server.bound_tcp_port(), 0);
+
+  Endpoint endpoint;
+  endpoint.port = server.bound_tcp_port();
+  const Client client(endpoint);
+  Request req;
+  req.verb = "ping";
+  const Response resp = client.call(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, "pong\n");
+  server.stop();
+}
+
+TEST(ServerSocket, GracefulStopAnswersInFlightRequests) {
+  TempDir dir;
+  ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  Server server(std::move(options));
+  server.start();
+
+  Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  Response resp;
+  std::thread client_thread([&] {
+    Request slow;
+    slow.verb = "ping";
+    slow.args = {"400"};
+    resp = Client(endpoint).call(slow);
+  });
+
+  // Let the request land, then stop: the drain must answer it first.
+  while (server.counters().admitted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.stop();
+  client_thread.join();
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, "pong\n");
+}
+
+TEST(ServerSocket, MalformedFrameGetsErrorResponseNotDeadDaemon) {
+  TempDir dir;
+  ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  Server server(std::move(options));
+  server.start();
+
+  {
+    const FdHandle conn = connect_unix(dir.path + "/s");
+    write_frame(conn.get(), "this is not a request document");
+    std::string payload;
+    ASSERT_TRUE(read_frame(conn.get(), &payload));
+    const Response resp = decode_response(payload);
+    EXPECT_EQ(resp.status, "error");
+    EXPECT_NE(resp.error.find("bad request"), std::string::npos);
+  }
+
+  // The daemon survives and serves the next client.
+  Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  Request req;
+  req.verb = "ping";
+  EXPECT_EQ(Client(endpoint).call(req).status, "ok");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace canu::svc

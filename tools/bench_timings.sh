@@ -6,17 +6,25 @@
 # Runs the PR 2 reference benches — `canu evaluate mibench all` at scale
 # 0.125 (cold and warm trace cache) and the fig04/fig06 figure benches
 # (warm) — at the default thread count and at --threads 1 (the serial
-# engine), and writes one JSON object per configuration to the output
-# file (default BENCH_PR2.json). Timings are wall-clock seconds measured
-# around the whole process. A run manifest with the engine's internal
-# counters (trace-cache traffic, chunk handoffs, stall time) is captured
-# from an instrumented warm run into <output>.manifest.json.
+# engine), plus the PR 4 server-throughput rows (32 mixed `canu submit`
+# requests against one canud daemon, cold vs warm result cache), and
+# writes one JSON object per configuration to the output file (default
+# BENCH_PR4.json). Timings are wall-clock seconds measured around the
+# whole process. A run manifest with the engine's internal counters
+# (trace-cache traffic, chunk handoffs, stall time) is captured from an
+# instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
-OUT=${2:-BENCH_PR2.json}
+OUT=${2:-BENCH_PR4.json}
 CACHE_DIR=$(mktemp -d)
-trap 'rm -rf "$CACHE_DIR"' EXIT
+SOCK_DIR=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null || true
+  rm -rf "$CACHE_DIR" "$SOCK_DIR"
+}
+trap cleanup EXIT
 export CANU_TRACE_CACHE_DIR="$CACHE_DIR"
 
 HW_THREADS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
@@ -56,7 +64,47 @@ measure fig06_assoc_missrate "$HW_THREADS" warm "$FIG06" 0.125; sep
 measure evaluate_mibench_all 1 warm \
   "$CANU" evaluate mibench all --scale=0.125 --threads=1; sep
 measure fig04_indexing_missrate 1 warm "$FIG04" 0.125 --threads 1; sep
-measure fig06_assoc_missrate 1 warm "$FIG06" 0.125 --threads 1
+measure fig06_assoc_missrate 1 warm "$FIG06" 0.125 --threads 1; sep
+
+# Server throughput: one resident canud, 32 mixed submits. The cold pass
+# simulates every request; the warm pass repeats the identical mix, so
+# every reply comes from the result cache and the row measures pure
+# protocol + dispatch overhead.
+SOCK="$SOCK_DIR/canud.sock"
+"$CANU" serve --socket="$SOCK" 2> /dev/null &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+
+# 4 workloads x 8 schemes/verbs = 32 requests per pass.
+submit_mix() {
+  for w in crc qsort sha fft; do
+    for s in modulo xor odd_multiplier prime_modulo givargis 2way victim \
+             partner; do
+      "$CANU" submit run "$w" "$s" --scale=0.125 --socket="$SOCK" > /dev/null
+    done
+  done
+}
+
+# measure_server <name> <cache-state>: 32-request batch, derive req/s.
+measure_server() {
+  name=$1 state=$2
+  start=$(date +%s%N)
+  submit_mix
+  end=$(date +%s%N)
+  awk -v name="$name" -v state="$state" -v ns=$((end - start)) 'BEGIN {
+    wall = ns / 1e9
+    printf "  {\"bench\": \"%s\", \"requests\": 32, \"cache\": \"%s\", \"wall_s\": %.3f, \"rps\": %.1f}",
+           name, state, wall, 32 / wall
+  }' >> "$OUT.tmp"
+}
+
+measure_server server_mixed_submits cold; sep
+measure_server server_mixed_submits warm
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=
 
 printf '\n]\n' >> "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"

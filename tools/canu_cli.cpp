@@ -1,37 +1,33 @@
 // canu — unified command-line driver for the CANU framework.
 //
-//   canu list                         workloads and schemes
-//   canu run <workload> <scheme>      one simulation, full statistics
-//   canu evaluate <suite> [group]     comparison table over a suite
-//   canu advise <workload>            per-application scheme selection
-//   canu trace <workload> <file>      record a trace (".ctrc" = compressed)
-//   canu threec <workload> [scheme]   3C miss decomposition
+// Run `canu` with no arguments for the full verb/flag listing (generated
+// from the shared help tables in util/cli_flags.hpp). Simulation verbs
+// (run, evaluate, advise, threec, list, version) execute through the same
+// svc::run_verb used by the canud daemon, so `canu submit <verb> ...`
+// against a running daemon produces byte-identical output to the direct
+// CLI path.
 //
-// Every subcommand accepts a trailing --scale=<f> to resize workloads,
-// --seed=<n> to vary inputs, and --threads=<n> to set the worker-thread
-// count (CANU_THREADS is the env fallback; 1 selects the serial engine
-// exactly). Observability flags: --metrics-out=<file> writes a run manifest
-// (JSON: config, version, per-workload timings, aggregated metrics),
-// --trace-events=<file> writes Chrome/Perfetto trace-event spans, and
-// --progress prints a heartbeat to stderr during `evaluate` (TTY only;
-// --progress=force overrides).
+// Service verbs:
+//   canu serve    run the canud daemon on a Unix socket and/or TCP port
+//   canu submit   send one request to a daemon, print its reply verbatim
+//   canu status   print a daemon's admission/result-cache counters
+#include <unistd.h>
+
+#include <csignal>
+#include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/advisor.hpp"
-#include "core/evaluator.hpp"
 #include "obs/obs.hpp"
-#include "sim/parallel_batch_runner.hpp"
-#include "stats/three_c.hpp"
-#include "trace/trace_cache.hpp"
+#include "obs/version.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/verbs.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli_flags.hpp"
 #include "util/error.hpp"
-#include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "workloads/workload.hpp"
 
 namespace {
 
@@ -45,16 +41,15 @@ struct CliArgs {
   std::string trace_events;  ///< trace-event path (empty = off)
   bool progress = false;
   bool progress_force = false;  ///< heartbeat even when stderr is no TTY
+  bool version = false;         ///< --version
+  // Service endpoint + daemon tuning.
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::size_t queue_capacity = 64;
+  std::size_t result_cache_entries = 256;
+  std::string meta_out;  ///< response-metadata JSON path (submit/status)
 };
-
-/// Workload trace through the environment-selected trace cache (identical
-/// stream to plain generation; CANU_TRACE_CACHE=0 opts out).
-Trace cli_trace(const std::string& name, const WorkloadParams& params) {
-  const std::string dir = default_trace_cache_dir();
-  if (dir.empty()) return generate_workload(name, params);
-  const TraceCache cache(dir);
-  return cached_workload_trace(name, params, &cache);
-}
 
 [[noreturn]] void die_flag(const std::string& error) {
   std::cerr << error << "\n";
@@ -93,6 +88,29 @@ CliArgs parse(int argc, char** argv) {
       }
       args.progress = true;
       args.progress_force = true;
+    } else if (arg == "--version") {
+      args.version = true;
+    } else if (flag_value(arg, "--socket", &value)) {
+      if (value.empty()) die_flag("--socket needs a path");
+      args.socket_path = value;
+    } else if (flag_value(arg, "--host", &value)) {
+      if (value.empty()) die_flag("--host needs an address");
+      args.host = value;
+    } else if (flag_value(arg, "--port", &value)) {
+      const auto v = parse_u64(value, "--port value", &error);
+      if (!v || *v > 65535) die_flag("invalid --port value '" + value + "'");
+      args.port = static_cast<int>(*v);
+    } else if (flag_value(arg, "--queue", &value)) {
+      const auto v = parse_u64(value, "--queue value", &error);
+      if (!v || *v == 0) die_flag("--queue needs a positive integer");
+      args.queue_capacity = static_cast<std::size_t>(*v);
+    } else if (flag_value(arg, "--result-cache", &value)) {
+      const auto v = parse_u64(value, "--result-cache value", &error);
+      if (!v || *v == 0) die_flag("--result-cache needs a positive integer");
+      args.result_cache_entries = static_cast<std::size_t>(*v);
+    } else if (flag_value(arg, "--meta-out", &value)) {
+      if (value.empty()) die_flag("--meta-out needs a file path");
+      args.meta_out = value;
     } else if (arg.rfind("--", 0) == 0) {
       die_flag("unknown option '" + arg + "'");
     } else {
@@ -102,155 +120,26 @@ CliArgs parse(int argc, char** argv) {
   return args;
 }
 
-SchemeSpec scheme_from_name(const std::string& name) {
-  if (name == "column_assoc") return SchemeSpec::column_associative();
-  if (name == "adaptive") return SchemeSpec::adaptive_cache();
-  if (name == "b_cache") return SchemeSpec::b_cache();
-  if (name == "victim") return SchemeSpec::victim_cache();
-  if (name == "partner") return SchemeSpec::partner_cache();
-  if (name == "skewed") return SchemeSpec::skewed_assoc(2);
-  if (name == "2way") return SchemeSpec::set_assoc(2);
-  if (name == "4way") return SchemeSpec::set_assoc(4);
-  if (name == "8way") return SchemeSpec::set_assoc(8);
-  return SchemeSpec::indexing(parse_index_scheme(name));  // throws if unknown
-}
-
-const char* kSchemeNames =
-    "modulo xor odd_multiplier prime_modulo givargis givargis_xor "
-    "patel_optimal column_assoc adaptive b_cache victim partner skewed "
-    "2way 4way 8way";
-
-int cmd_list() {
-  std::cout << "workloads:\n";
-  TextTable table;
-  table.set_header({"name", "suite", "description"});
-  for (const WorkloadInfo& w : all_workloads()) {
-    table.add_row({w.name, w.suite, w.description});
+/// Request for the shared verb implementations: positional[0] is the verb,
+/// the rest are its args.
+svc::Request to_request(const CliArgs& args, std::size_t skip = 1) {
+  svc::Request req;
+  if (!args.positional.empty()) req.verb = args.positional[0];
+  for (std::size_t i = skip; i < args.positional.size(); ++i) {
+    req.args.push_back(args.positional[i]);
   }
-  table.print(std::cout);
-  std::cout << "\nschemes: " << kSchemeNames << "\n";
-  return 0;
-}
-
-int cmd_run(const CliArgs& args) {
-  if (args.positional.size() < 3) {
-    std::cerr << "usage: canu run <workload> <scheme>\n";
-    return 1;
-  }
-  const Trace trace = cli_trace(args.positional[1], args.params);
-  const SchemeSpec spec = scheme_from_name(args.positional[2]);
-  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
-  // --threads 1 (or CANU_THREADS=1) takes the exact serial run_trace path;
-  // more threads replay through the parallel batch engine, which is
-  // bit-for-bit identical per pipeline.
-  const unsigned threads = resolve_thread_count(args.threads);
-  RunResult r;
-  if (threads > 1) {
-    ThreadPool pool(threads);
-    ParallelBatchRunner runner(RunConfig(), &pool);
-    runner.add(*model);
-    SpanSource source(trace.name(), trace.refs());
-    r = run_batch(runner, source).front();
-  } else {
-    r = run_trace(*model, trace);
-  }
-
-  std::cout << args.positional[1] << " under " << spec.label() << " ("
-            << trace.size() << " refs)\n";
-  TextTable table;
-  table.set_header({"metric", "value"});
-  table.add_row({"miss rate %", TextTable::num(100.0 * r.miss_rate(), 4)});
-  table.add_row({"AMAT (cycles)", TextTable::num(r.amat, 3)});
-  table.add_row({"measured AMAT", TextTable::num(r.measured_amat, 3)});
-  table.add_row({"L1 misses", std::to_string(r.l1.misses)});
-  table.add_row({"L2 miss rate %", TextTable::num(100.0 * r.l2.miss_rate(), 3)});
-  table.add_row({"alternate hits", std::to_string(r.l1.secondary_hits)});
-  table.add_row({"FMS sets", std::to_string(r.uniformity.fms)});
-  table.add_row({"LAS sets", std::to_string(r.uniformity.las)});
-  table.add_row({"miss skewness",
-                 TextTable::num(r.uniformity.miss_moments.skewness, 2)});
-  table.add_row({"miss kurtosis",
-                 TextTable::num(r.uniformity.miss_moments.kurtosis, 2)});
-  table.print(std::cout);
-  return 0;
-}
-
-int cmd_evaluate(const CliArgs& args) {
-  if (args.positional.size() < 2) {
-    std::cerr << "usage: canu evaluate <mibench|spec2006|synthetic|workload> "
-                 "[indexing|assoc|all] [--threads=N]\n";
-    return 1;
-  }
-  const std::string what = args.positional[1];
-  std::vector<std::string> workloads = workload_names(what);
-  if (workloads.empty()) {
-    if (!find_workload(what)) {
-      std::cerr << "unknown suite or workload '" << what << "'\n";
-      return 1;
-    }
-    workloads = {what};
-  }
-  const std::string group =
-      args.positional.size() > 2 ? args.positional[2] : "all";
-
-  EvalOptions opt;
-  opt.params = args.params;
-  opt.threads = args.threads;
-  opt.trace_cache_dir = default_trace_cache_dir();
-  if (args.progress) {
-    opt.progress = obs::make_progress_printer(args.progress_force);
-  }
-  Evaluator ev(opt);
-  if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
-  if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
-  if (group == "extensions") {
-    ev.add_scheme(SchemeSpec::partner_cache());
-    ev.add_scheme(SchemeSpec::skewed_assoc(2));
-    ev.add_scheme(SchemeSpec::victim_cache());
-  }
-  if (ev.schemes().empty()) {
-    std::cerr << "unknown scheme group '" << group
-              << "' (indexing|assoc|extensions|all)\n";
-    return 1;
-  }
-  const EvalReport rep = ev.evaluate(workloads);
-  rep.print_miss_reduction(std::cout);
-  std::cout << "\n";
-  rep.print_amat_reduction(std::cout);
-  return 0;
-}
-
-int cmd_advise(const CliArgs& args) {
-  if (args.positional.size() < 2) {
-    std::cerr << "usage: canu advise <workload>\n";
-    return 1;
-  }
-  Advisor::Options aopt;
-  aopt.threads = args.threads;
-  const AdvisorReport rep =
-      Advisor(aopt).advise_workload(args.positional[1], args.params);
-  TextTable table;
-  table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
-  int rank = 1;
-  for (const AdvisorChoice& c : rep.ranked) {
-    table.add_row({std::to_string(rank++), c.scheme.label(),
-                   TextTable::num(100.0 * c.result.miss_rate(), 3),
-                   TextTable::num(c.miss_reduction_pct, 2)});
-  }
-  table.print(std::cout);
-  std::cout << (rep.keep_conventional()
-                    ? "recommendation: keep conventional indexing\n"
-                    : "recommendation: " + rep.best().scheme.label() + "\n");
-  return 0;
+  req.params = args.params;
+  req.threads = args.threads;
+  return req;
 }
 
 int cmd_trace(const CliArgs& args) {
   if (args.positional.size() < 3) {
-    std::cerr << "usage: canu trace <workload> <file> "
-                 "(.ctrc extension = compressed)\n";
+    print_verb_usage(std::cerr, "trace");
     return 1;
   }
-  const Trace trace = cli_trace(args.positional[1], args.params);
+  const Trace trace =
+      svc::env_cached_workload_trace(args.positional[1], args.params);
   const std::string& path = args.positional[2];
   const bool compress =
       path.size() >= 5 && path.substr(path.size() - 5) == ".ctrc";
@@ -264,30 +153,102 @@ int cmd_trace(const CliArgs& args) {
   return 0;
 }
 
-int cmd_threec(const CliArgs& args) {
+svc::Endpoint endpoint_from(const CliArgs& args) {
+  svc::Endpoint ep;
+  ep.unix_path = args.socket_path;
+  ep.host = args.host;
+  ep.port = args.port;
+  return ep;
+}
+
+/// Write the response's metadata fragment (everything except the payload
+/// bytes) for machine consumption — CI asserts result-cache hits this way.
+void write_meta(const svc::Response& resp, const std::string& path) {
+  svc::Response meta = resp;
+  meta.output.clear();
+  std::ofstream os(path);
+  CANU_CHECK_MSG(os.good(), "cannot write " << path);
+  os << svc::encode_response(meta) << "\n";
+}
+
+int finish_remote(const svc::Response& resp, const CliArgs& args) {
+  if (!args.meta_out.empty()) write_meta(resp, args.meta_out);
+  if (resp.version != obs::kVersion) {
+    std::cerr << "[canu] warning: daemon version " << resp.version
+              << " != client " << obs::kVersion << "\n";
+  }
+  std::cout << resp.output;
+  std::cerr << resp.error;
+  return resp.exit_code;
+}
+
+int cmd_submit(const CliArgs& args) {
   if (args.positional.size() < 2) {
-    std::cerr << "usage: canu threec <workload> [scheme]\n";
+    print_verb_usage(std::cerr, "submit");
     return 1;
   }
-  const Trace trace = cli_trace(args.positional[1], args.params);
-  const SchemeSpec spec = args.positional.size() > 2
-                              ? scheme_from_name(args.positional[2])
-                              : SchemeSpec::baseline();
-  auto model = build_l1_model(spec, CacheGeometry::paper_l1(), &trace);
-  const unsigned threads = resolve_thread_count(args.threads);
-  std::optional<ThreadPool> pool;
-  if (threads > 1) pool.emplace(threads);
-  const ThreeCReport r =
-      classify_misses_paper_l1(*model, trace, pool ? &*pool : nullptr);
-  std::cout << args.positional[1] << " under " << spec.label() << ":\n"
-            << "  accesses    " << r.accesses << "\n"
-            << "  misses      " << r.total_misses << " ("
-            << TextTable::num(100.0 * r.miss_rate(), 3) << "%)\n"
-            << "  compulsory  " << r.compulsory << "\n"
-            << "  capacity    " << r.capacity << "\n"
-            << "  conflict    " << r.conflict << " ("
-            << TextTable::num(100.0 * r.conflict_fraction(), 1)
-            << "% of misses)\n";
+  CliArgs remote = args;
+  remote.positional.erase(remote.positional.begin());  // drop "submit"
+  const svc::Client client(endpoint_from(args));
+  return finish_remote(client.call(to_request(remote)), args);
+}
+
+int cmd_status(const CliArgs& args) {
+  const svc::Client client(endpoint_from(args));
+  svc::Request req;
+  req.verb = "status";
+  return finish_remote(client.call(req), args);
+}
+
+// ---------------------------------------------------------------------------
+// canu serve: signal-driven daemon lifecycle. The handler only writes one
+// byte to a self-pipe (async-signal-safe); the main thread blocks on the
+// pipe and runs the graceful drain.
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_stop_signal(int) {
+  const char byte = 's';
+  // Best-effort: a full pipe already guarantees wake-up.
+  [[maybe_unused]] const auto n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const CliArgs& args) {
+  svc::ServerOptions opt;
+  opt.unix_socket = args.socket_path;
+  opt.tcp_port = args.port;
+  opt.tcp_host = args.host;
+  opt.threads = args.threads;
+  opt.queue_capacity = args.queue_capacity;
+  opt.result_cache_entries = args.result_cache_entries;
+  if (opt.unix_socket.empty() && opt.tcp_port < 0) {
+    std::cerr << "canu serve needs --socket=<path> and/or --port=<n>\n";
+    print_verb_usage(std::cerr, "serve");
+    return 1;
+  }
+
+  CANU_CHECK_MSG(pipe(g_signal_pipe) == 0, "pipe() failed");
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  svc::Server server(std::move(opt));
+  server.start();
+  std::cerr << "[canud] " << obs::kVersion << " listening on "
+            << server.endpoints() << " (threads=" << server.threads()
+            << ", queue=" << args.queue_capacity << ")\n";
+
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cerr << "[canud] draining...\n";
+  server.stop();
+  const svc::ServerCounters c = server.counters();
+  std::cerr << "[canud] drained: " << c.admitted << " admitted, "
+            << c.rejected << " rejected, " << c.result_cache_hits
+            << " cache hits, " << c.coalesced << " coalesced\n";
   return 0;
 }
 
@@ -295,8 +256,12 @@ int cmd_threec(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const CliArgs args = parse(argc, argv);
+  if (args.version) {
+    std::cout << "canu " << canu::obs::kVersion << "\n";
+    return 0;
+  }
   if (args.positional.empty()) {
-    std::cout << "usage: canu <list|run|evaluate|advise|trace|threec> ...\n";
+    print_canu_usage(std::cout);
     return 0;
   }
 
@@ -316,20 +281,22 @@ int main(int argc, char** argv) {
   int rc = 1;
   try {
     const std::string& cmd = args.positional[0];
-    if (cmd == "list") {
-      rc = cmd_list();
-    } else if (cmd == "run") {
-      rc = cmd_run(args);
-    } else if (cmd == "evaluate") {
-      rc = cmd_evaluate(args);
-    } else if (cmd == "advise") {
-      rc = cmd_advise(args);
-    } else if (cmd == "trace") {
+    if (cmd == "trace") {
       rc = cmd_trace(args);
-    } else if (cmd == "threec") {
-      rc = cmd_threec(args);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(args);
+    } else if (cmd == "submit") {
+      rc = cmd_submit(args);
+    } else if (cmd == "status") {
+      rc = cmd_status(args);
+    } else if (svc::verb_is_servable(cmd)) {
+      svc::VerbOptions options;
+      options.progress = args.progress;
+      options.progress_force = args.progress_force;
+      rc = svc::run_verb(to_request(args), std::cout, std::cerr, options);
     } else {
-      std::cerr << "unknown command '" << cmd << "'\n";
+      std::cerr << "unknown command '" << cmd << "'\n\n";
+      print_canu_usage(std::cerr);
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
