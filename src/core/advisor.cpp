@@ -47,8 +47,10 @@ AdvisorReport Advisor::advise(const Trace& trace) const {
     }
   }
 
+  if (options_.cancel != nullptr) options_.cancel->check();
   const ProfileContext context(trace);
   ParallelBatchRunner runner(options_.run, pool_ptr);
+  runner.set_cancel(options_.cancel);
   std::vector<std::unique_ptr<CacheModel>> models;
   models.push_back(
       build_l1_model(SchemeSpec::baseline(), options_.l1_geometry, &context));

@@ -10,6 +10,7 @@
 #include "core/scheme.hpp"
 #include "sim/runner.hpp"
 #include "trace/trace.hpp"
+#include "util/cancel.hpp"
 #include "workloads/workload.hpp"
 
 namespace canu {
@@ -52,6 +53,9 @@ class Advisor {
     /// External pool to shard candidates on (not owned; overrides
     /// `threads`) — same sharing contract as EvalOptions::pool.
     ThreadPool* pool = nullptr;
+    /// Cooperative cancellation token (borrowed; null = none) — same
+    /// chunk-boundary contract as EvalOptions::cancel.
+    const CancelToken* cancel = nullptr;
   };
 
   Advisor() : Advisor(Options()) {}

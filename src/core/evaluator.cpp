@@ -188,10 +188,12 @@ EvalReport Evaluator::evaluate(
   // (sim/parallel_batch_runner.hpp).
   const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
+    if (options_.cancel != nullptr) options_.cancel->check();
     obs::Span workload_span("evaluate", "evaluate " + wname);
     const auto wall_start = std::chrono::steady_clock::now();
 
     ParallelBatchRunner runner(options_.run, pool_ptr);
+    runner.set_cancel(options_.cancel);
     std::vector<std::unique_ptr<CacheModel>> models;
     const auto build_all = [&](const ProfileContext* context) {
       models.push_back(

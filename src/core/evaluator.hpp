@@ -24,6 +24,7 @@
 #include "core/scheme.hpp"
 #include "sim/comparison.hpp"
 #include "sim/runner.hpp"
+#include "util/cancel.hpp"
 #include "workloads/workload.hpp"
 
 namespace canu {
@@ -53,6 +54,11 @@ struct EvalOptions {
   /// callbacks are serialized): (done, total, workload just finished).
   /// Null disables progress reporting.
   std::function<void(std::size_t, std::size_t, const std::string&)> progress;
+  /// Cooperative cancellation token (borrowed; null = none), polled at
+  /// workload start and at every replay chunk boundary. A fired token
+  /// unwinds evaluate() with canu::Cancelled; completed results are
+  /// bit-for-bit unaffected (the token is never consulted mid-chunk).
+  const CancelToken* cancel = nullptr;
 };
 
 struct EvalCell {

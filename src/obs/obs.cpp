@@ -48,6 +48,11 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kSvcResultCacheHits: return "svc_result_cache_hits";
     case Counter::kSvcResultCacheMisses: return "svc_result_cache_misses";
     case Counter::kSvcCoalescedRequests: return "svc_coalesced_requests";
+    case Counter::kSvcDeadlineExceeded: return "svc_deadline_exceeded";
+    case Counter::kSvcCancelled: return "svc_cancelled";
+    case Counter::kSvcJournalRestored: return "svc_journal_restored";
+    case Counter::kSvcJournalRecoveries: return "svc_journal_recoveries";
+    case Counter::kSvcJournalCompactions: return "svc_journal_compactions";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -69,6 +69,11 @@ enum class Counter : unsigned {
   kSvcResultCacheHits,      ///< requests answered from the result cache
   kSvcResultCacheMisses,    ///< requests that had to simulate
   kSvcCoalescedRequests,    ///< requests that joined an in-flight duplicate
+  kSvcDeadlineExceeded,     ///< requests that hit their --timeout-ms budget
+  kSvcCancelled,            ///< requests cancelled (peer gone / shutdown)
+  kSvcJournalRestored,      ///< cache entries replayed from the journal
+  kSvcJournalRecoveries,    ///< journal loads that truncated a corrupt tail
+  kSvcJournalCompactions,   ///< journal rewrites that dropped dead records
   kCount
 };
 inline constexpr std::size_t kCounterCount =

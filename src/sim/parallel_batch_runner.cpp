@@ -47,6 +47,7 @@ void ParallelBatchRunner::launch(std::span<const MemRef> refs) {
 }
 
 void ParallelBatchRunner::feed(std::span<const MemRef> refs) {
+  if (cancel_ != nullptr) cancel_->check();
   if (pool_ == nullptr || inner_.pipeline_count() <= 1) {
     drain();
     inner_.feed(refs);
@@ -58,6 +59,7 @@ void ParallelBatchRunner::feed(std::span<const MemRef> refs) {
 }
 
 void ParallelBatchRunner::feed_async(std::span<const MemRef> refs) {
+  if (cancel_ != nullptr) cancel_->check();
   obs::count(obs::Counter::kChunksProduced);
   if (pool_ == nullptr || inner_.pipeline_count() <= 1) {
     inner_.feed(refs);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sim/batch_runner.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace canu {
@@ -57,6 +58,13 @@ class ParallelBatchRunner {
   std::size_t pipeline_count() const noexcept {
     return inner_.pipeline_count();
   }
+
+  /// Cooperative cancellation: `token` (borrowed; null = none) is checked
+  /// at every chunk boundary, so a cancelled or expired request abandons
+  /// the replay within one chunk of work — feed/feed_async throw Cancelled
+  /// and the runner stays drained. Never checked mid-chunk: results that
+  /// DO complete are bit-for-bit unaffected by the token.
+  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
 
   /// Replay one chunk through every pipeline, shards in parallel, and wait
   /// for completion. The span is only read during the call.
@@ -91,6 +99,7 @@ class ParallelBatchRunner {
 
   BatchRunner inner_;
   ThreadPool* pool_;
+  const CancelToken* cancel_ = nullptr;
   std::array<std::vector<MemRef>, 2> slots_;
   unsigned next_slot_ = 0;
   std::unique_ptr<TaskGroup> in_flight_;

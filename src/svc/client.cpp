@@ -1,7 +1,11 @@
 #include "svc/client.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "svc/socket.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace canu::svc {
 
@@ -29,6 +33,50 @@ Response Client::call(const Request& req) const {
                 " closed the connection without a response");
   }
   return decode_response(payload);
+}
+
+Response Client::call_with_retry(const Request& req,
+                                 const RetryPolicy& policy,
+                                 unsigned* attempts_made) const {
+  using Clock = std::chrono::steady_clock;
+  const unsigned attempts = std::max(1u, policy.attempts);
+  const auto start = Clock::now();
+  const bool budgeted = policy.budget.count() > 0;
+  const auto deadline = start + policy.budget;
+
+  SplitMix64 rng(policy.seed);
+  auto prev_sleep = policy.base;
+  for (unsigned attempt = 1;; ++attempt) {
+    if (attempts_made != nullptr) *attempts_made = attempt;
+    const bool last = attempt >= attempts ||
+                      (budgeted && Clock::now() >= deadline);
+    try {
+      const Response resp = call(req);
+      if (resp.status != "overloaded" || last) return resp;
+    } catch (const Error&) {
+      // Transient transport failure (daemon restarting, socket not yet
+      // bound). Protocol-mismatch errors also land here; retrying those is
+      // wasted sleeps but still bounded, and telling them apart would couple
+      // the client to error strings.
+      if (last) throw;
+    }
+    // Decorrelated jitter: spreads a thundering herd of retries instead of
+    // synchronizing it the way plain exponential backoff does.
+    const auto lo = static_cast<std::uint64_t>(policy.base.count());
+    const auto hi = static_cast<std::uint64_t>(
+        std::min(policy.cap, prev_sleep * 3).count());
+    auto sleep = std::chrono::milliseconds(
+        hi > lo ? lo + rng.next() % (hi - lo + 1) : lo);
+    prev_sleep = sleep;
+    if (budgeted) {
+      // Never sleep past the budget; an exhausted budget makes the next
+      // iteration the final attempt.
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      sleep = std::min(sleep, std::max(left, std::chrono::milliseconds(0)));
+    }
+    if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
+  }
 }
 
 }  // namespace canu::svc

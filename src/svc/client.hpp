@@ -4,6 +4,7 @@
 // generation and scheme construction per invocation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,21 @@ struct Endpoint {
   std::string describe() const;
 };
 
+/// Retry behaviour of call_with_retry: exponential backoff with
+/// decorrelated jitter (each sleep drawn uniformly from [base, min(cap,
+/// prev*3)]) on transient failures — `overloaded` replies (exit 75) and
+/// connect/transport errors. Non-transient outcomes (verb errors,
+/// deadline_exceeded, protocol mismatches) return/throw immediately.
+struct RetryPolicy {
+  unsigned attempts = 1;  ///< total tries, including the first (1 = none)
+  std::chrono::milliseconds base{50};
+  std::chrono::milliseconds cap{2000};
+  /// Overall budget across attempts and sleeps; 0 = none. Wired from
+  /// --timeout-ms so retries never outlive the caller's deadline.
+  std::chrono::milliseconds budget{0};
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< jitter RNG seed
+};
+
 class Client {
  public:
   explicit Client(Endpoint endpoint);
@@ -31,6 +47,12 @@ class Client {
   /// canu::Error on connection or protocol failure. Server-side failures
   /// come back as Response.status "error"/"overloaded", not exceptions.
   Response call(const Request& req) const;
+
+  /// call(), retried per `policy`. The last attempt's outcome is returned
+  /// (or its transport error rethrown) once attempts or budget run out.
+  /// `attempts_made` (optional) reports how many calls were issued.
+  Response call_with_retry(const Request& req, const RetryPolicy& policy,
+                           unsigned* attempts_made = nullptr) const;
 
   const Endpoint& endpoint() const noexcept { return endpoint_; }
 

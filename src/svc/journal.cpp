@@ -1,0 +1,249 @@
+#include "svc/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace canu::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'N', 'U', 'J', 'R', 'N', 'L'};
+constexpr std::uint32_t kFormatVersion = 1;
+/// A record larger than this cannot be legitimate (responses are bounded by
+/// the wire-frame limit); treat it as corruption instead of allocating.
+constexpr std::uint32_t kMaxRecordBytes = 80u << 20;
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <typename T>
+void put_le(std::string* out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+bool get_le(std::string_view s, std::size_t* pos, T* value) {
+  if (s.size() - *pos < sizeof(T)) return false;
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(s[*pos + i])) << (8 * i);
+  }
+  *pos += sizeof(T);
+  *value = v;
+  return true;
+}
+
+void put_field(std::string* out, std::string_view value) {
+  put_le<std::uint32_t>(out, static_cast<std::uint32_t>(value.size()));
+  out->append(value);
+}
+
+bool get_field(std::string_view s, std::size_t* pos, std::string* value) {
+  std::uint32_t len = 0;
+  if (!get_le(s, pos, &len)) return false;
+  if (s.size() - *pos < len) return false;
+  value->assign(s.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+std::string encode_record(const std::string& key, const CachedResult& r) {
+  std::string payload;
+  put_field(&payload, key);
+  put_field(&payload, std::to_string(r.exit_code));
+  put_field(&payload, r.output);
+  put_field(&payload, r.error);
+  std::string record;
+  put_le<std::uint32_t>(&record, static_cast<std::uint32_t>(payload.size()));
+  put_le<std::uint64_t>(&record, fnv1a64(payload));
+  record += payload;
+  return record;
+}
+
+bool decode_payload(std::string_view payload, ResultJournal::Record* out) {
+  std::size_t pos = 0;
+  std::string exit_code;
+  if (!get_field(payload, &pos, &out->key)) return false;
+  if (!get_field(payload, &pos, &exit_code)) return false;
+  if (!get_field(payload, &pos, &out->result.output)) return false;
+  if (!get_field(payload, &pos, &out->result.error)) return false;
+  if (pos != payload.size()) return false;
+  char* end = nullptr;
+  out->result.exit_code =
+      static_cast<int>(std::strtol(exit_code.c_str(), &end, 10));
+  if (end == exit_code.c_str() || *end != '\0') return false;
+  out->result.status = "ok";  // only successful results are journaled
+  return true;
+}
+
+}  // namespace
+
+ResultJournal::ResultJournal(std::string path) : path_(std::move(path)) {
+  CANU_CHECK_MSG(!path_.empty(), "result journal requires a file path");
+}
+
+std::vector<ResultJournal::Record> ResultJournal::load() {
+  std::vector<Record> records;
+  restored_ = 0;
+  corrupt_tail_ = false;
+  appended_records_ = 0;
+
+  std::ifstream is(path_, std::ios::binary);
+  if (!is.is_open()) return records;  // no journal yet
+
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  is.read(magic, sizeof magic);
+  {
+    char vbuf[4] = {};
+    is.read(vbuf, sizeof vbuf);
+    for (std::size_t i = 0; i < 4; ++i) {
+      version |= static_cast<std::uint32_t>(static_cast<unsigned char>(vbuf[i]))
+                 << (8 * i);
+    }
+  }
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
+      version != kFormatVersion) {
+    // Not a journal we understand: start over rather than guessing.
+    is.close();
+    corrupt_tail_ = true;
+    std::error_code ec;
+    fs::remove(path_, ec);
+    return records;
+  }
+
+  std::uint64_t good_end = sizeof kMagic + 4;
+  for (;;) {
+    char header[12];
+    is.read(header, sizeof header);
+    if (is.gcount() == 0 && is.eof()) break;  // clean end of journal
+    if (is.gcount() < static_cast<std::streamsize>(sizeof header)) {
+      corrupt_tail_ = true;
+      break;
+    }
+    std::uint32_t len = 0;
+    std::uint64_t checksum = 0;
+    std::size_t pos = 0;
+    get_le(std::string_view(header, sizeof header), &pos, &len);
+    get_le(std::string_view(header, sizeof header), &pos, &checksum);
+    if (len > kMaxRecordBytes) {
+      corrupt_tail_ = true;
+      break;
+    }
+    std::string payload(len, '\0');
+    is.read(payload.data(), len);
+    if (is.gcount() < static_cast<std::streamsize>(len)) {
+      corrupt_tail_ = true;
+      break;
+    }
+    Record rec;
+    if (fnv1a64(payload) != checksum || !decode_payload(payload, &rec)) {
+      corrupt_tail_ = true;
+      break;
+    }
+    records.push_back(std::move(rec));
+    good_end += sizeof header + len;
+  }
+  is.close();
+
+  if (corrupt_tail_) {
+    // Keep the valid prefix: future appends must extend consistent state,
+    // never interleave with half-written garbage.
+    std::error_code ec;
+    fs::resize_file(path_, good_end, ec);
+    CANU_CHECK_MSG(!ec, "cannot truncate corrupt journal tail of '"
+                            << path_ << "': " << ec.message());
+  }
+  restored_ = records.size();
+  appended_records_ = records.size();
+  return records;
+}
+
+void ResultJournal::append(const std::string& key, const CachedResult& r) {
+  fault::inject("journal.write");
+  const std::string record = encode_record(key, r);
+
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  CANU_CHECK_MSG(os.is_open(),
+                 "cannot open result journal '" << path_ << "'");
+  if (os.tellp() == std::streampos(0)) {
+    os.write(kMagic, sizeof kMagic);
+    char vbuf[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      vbuf[i] = static_cast<char>((kFormatVersion >> (8 * i)) & 0xff);
+    }
+    os.write(vbuf, sizeof vbuf);
+  }
+
+  if (fault::armed() && fault::should_fail("journal.mid_write")) {
+    // Simulate dying mid-append: push half the record to the kernel, then
+    // die as `kill -9` would. (Reached only under a `throw`-action arming;
+    // a `kill` action raises inside should_fail with nothing yet written.)
+    os.write(record.data(),
+             static_cast<std::streamsize>(record.size() / 2));
+    os.flush();
+    throw Error("injected fault at journal.mid_write");
+  }
+
+  os.write(record.data(), static_cast<std::streamsize>(record.size()));
+  os.flush();
+  CANU_CHECK_MSG(os.good(),
+                 "failed appending to result journal '" << path_ << "'");
+  ++appended_records_;
+}
+
+void ResultJournal::compact(const std::vector<Record>& live) {
+  const std::string temp =
+      path_ + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+    CANU_CHECK_MSG(os.is_open(),
+                   "cannot open journal temp file '" << temp << "'");
+    os.write(kMagic, sizeof kMagic);
+    char vbuf[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      vbuf[i] = static_cast<char>((kFormatVersion >> (8 * i)) & 0xff);
+    }
+    os.write(vbuf, sizeof vbuf);
+    for (const Record& rec : live) {
+      const std::string record = encode_record(rec.key, rec.result);
+      os.write(record.data(), static_cast<std::streamsize>(record.size()));
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ec;
+      fs::remove(temp, ec);
+      throw Error("failed writing compacted journal '" + temp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path_, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(temp, ec2);
+    throw Error("cannot publish compacted journal '" + path_ +
+                "': " + ec.message());
+  }
+  appended_records_ = live.size();
+}
+
+}  // namespace canu::svc

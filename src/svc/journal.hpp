@@ -1,0 +1,76 @@
+// Crash-safe persistence for the daemon's result cache (DESIGN.md §12): an
+// append-only journal of finished "ok" results, one checksummed record per
+// entry, replayed at startup so a restarted daemon serves its warm state
+// again. The canonical request key already embeds the build version, so a
+// record written by any binary is safe to serve by construction — a new
+// build simply never matches old keys.
+//
+// On-disk layout (little-endian):
+//   header : "CANUJRNL" (8 bytes) + u32 format version (1)
+//   record : u32 payload_len, u64 fnv1a64(payload), payload
+//   payload: len-prefixed fields — key, exit_code (decimal), output, error
+//
+// Recovery contract: load() validates records in order and stops at the
+// first bad one (short read, oversize length, checksum mismatch, malformed
+// payload), truncating the file back to the end of the valid prefix — a
+// `kill -9` mid-append costs at most the record being written, never the
+// entries before it. A missing file is an empty journal; an unrecognizable
+// header restarts the journal from scratch.
+//
+// Compaction: append() tracks live vs written records and rewrites the
+// journal through a temp file + atomic rename once the dead fraction grows
+// past half, bounding the file at ~2x the live set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/result_cache.hpp"
+
+namespace canu::svc {
+
+class ResultJournal {
+ public:
+  struct Record {
+    std::string key;
+    CachedResult result;
+  };
+
+  /// Attach to `path` without touching the disk; the file is created on the
+  /// first append.
+  explicit ResultJournal(std::string path);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Replay the valid record prefix (oldest first) and truncate any corrupt
+  /// tail so subsequent appends extend a consistent file. Never throws on
+  /// corruption — a damaged journal degrades to fewer restored entries.
+  std::vector<Record> load();
+
+  /// Append one finished result. Throws canu::Error on I/O failure (the
+  /// caller treats the journal as degraded; the in-memory cache is
+  /// unaffected).
+  void append(const std::string& key, const CachedResult& result);
+
+  /// Rewrite the journal to exactly `live` (temp file + atomic rename).
+  /// Called automatically by append() when the dead fraction grows.
+  void compact(const std::vector<Record>& live);
+
+  /// True when the record count on disk warrants compaction against a live
+  /// set of `live_entries`.
+  bool wants_compaction(std::size_t live_entries) const noexcept {
+    return appended_records_ > 2 * live_entries + 8;
+  }
+
+  std::uint64_t restored() const noexcept { return restored_; }
+  bool recovered_corrupt_tail() const noexcept { return corrupt_tail_; }
+
+ private:
+  std::string path_;
+  std::uint64_t appended_records_ = 0;  ///< records in the file right now
+  std::uint64_t restored_ = 0;
+  bool corrupt_tail_ = false;
+};
+
+}  // namespace canu::svc

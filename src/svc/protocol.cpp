@@ -70,6 +70,7 @@ std::string encode_request(const Request& req) {
   w.kv("scale", req.params.scale);
   w.kv("address_base", req.params.address_base);
   w.kv("threads", req.threads);
+  w.kv("timeout_ms", req.timeout_ms);
   w.end_object();
   return std::move(os).str();
 }
@@ -90,6 +91,7 @@ Request decode_request(std::string_view json) {
   CANU_CHECK_MSG(req.params.scale > 0, "request scale must be positive");
   req.params.address_base = u64_or(doc, "address_base", defaults.address_base);
   req.threads = static_cast<unsigned>(u64_or(doc, "threads", 0));
+  req.timeout_ms = u64_or(doc, "timeout_ms", 0);
   return req;
 }
 
@@ -114,6 +116,10 @@ std::string encode_response(const Response& resp) {
   w.kv("coalesced", resp.server.coalesced);
   w.kv("in_flight", resp.server.in_flight);
   w.kv("capacity", resp.server.capacity);
+  w.kv("timed_out", resp.server.timed_out);
+  w.kv("cancelled", resp.server.cancelled);
+  w.kv("restored", resp.server.restored);
+  w.kv("persisted", resp.server.persisted);
   w.end_object();
   w.kv("output", resp.output);
   w.kv("error", resp.error);
@@ -141,6 +147,10 @@ Response decode_response(std::string_view json) {
     resp.server.coalesced = u64_or(*server, "coalesced", 0);
     resp.server.in_flight = u64_or(*server, "in_flight", 0);
     resp.server.capacity = u64_or(*server, "capacity", 0);
+    resp.server.timed_out = u64_or(*server, "timed_out", 0);
+    resp.server.cancelled = u64_or(*server, "cancelled", 0);
+    resp.server.restored = u64_or(*server, "restored", 0);
+    resp.server.persisted = u64_or(*server, "persisted", 0);
   }
   resp.output = string_or(doc, "output", "");
   resp.error = string_or(doc, "error", "");

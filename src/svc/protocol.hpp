@@ -33,6 +33,9 @@ struct Request {
   std::vector<std::string> args;  ///< positional args after the verb
   WorkloadParams params;          ///< seed + scale (+ address base)
   unsigned threads = 0;           ///< 0 = server default (shared pool)
+  /// Server-enforced deadline in milliseconds; 0 = no deadline. Excluded
+  /// from the canonical key (the result does not depend on it).
+  std::uint64_t timeout_ms = 0;
 };
 
 /// Monotonic server counters, snapshotted into every response and rendered
@@ -46,10 +49,15 @@ struct ServerCounters {
   std::uint64_t coalesced = 0;           ///< joined an identical in-flight run
   std::uint64_t in_flight = 0;           ///< queued+running at snapshot time
   std::uint64_t capacity = 0;            ///< admission bound
+  std::uint64_t timed_out = 0;           ///< `deadline_exceeded` responses
+  std::uint64_t cancelled = 0;           ///< cancelled (peer gone / shutdown)
+  std::uint64_t restored = 0;            ///< cache entries replayed from disk
+  std::uint64_t persisted = 0;           ///< cache entries journaled to disk
 };
 
 struct Response {
-  std::string status;       ///< "ok" | "error" | "overloaded"
+  /// "ok" | "error" | "overloaded" | "deadline_exceeded" | "cancelled"
+  std::string status;
   std::string version;      ///< server build version (obs::kVersion)
   int exit_code = 0;        ///< process exit code of the verb
   std::string output;       ///< verb stdout, byte-exact

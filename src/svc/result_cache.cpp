@@ -1,13 +1,67 @@
 #include "svc/result_cache.hpp"
 
+#include <iostream>
+
 #include "obs/obs.hpp"
+#include "svc/journal.hpp"
 #include "util/error.hpp"
 
 namespace canu::svc {
 
-ResultCache::ResultCache(std::size_t max_entries)
+ResultCache::ResultCache(std::size_t max_entries,
+                         const std::string& journal_path)
     : max_entries_(max_entries) {
   CANU_CHECK_MSG(max_entries > 0, "result cache needs at least one entry");
+  if (journal_path.empty()) return;
+  journal_ = std::make_unique<ResultJournal>(journal_path);
+  for (ResultJournal::Record& rec : journal_->load()) {
+    if (done_.emplace(rec.key, std::make_shared<const CachedResult>(
+                                   std::move(rec.result)))
+            .second) {
+      order_.push_back(std::move(rec.key));
+      while (order_.size() > max_entries_) {
+        done_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+  }
+  restored_ = done_.size();
+  obs::count(obs::Counter::kSvcJournalRestored,
+             static_cast<std::uint64_t>(done_.size()));
+  if (journal_->recovered_corrupt_tail()) {
+    obs::count(obs::Counter::kSvcJournalRecoveries);
+    std::cerr << "[canud] result journal '" << journal_path
+              << "': corrupt tail truncated, " << done_.size()
+              << " entries restored\n";
+  }
+}
+
+ResultCache::~ResultCache() = default;
+
+void ResultCache::journal_append_locked(const std::string& key,
+                                        const CachedResult& result) {
+  if (!journal_ || journal_degraded_) return;
+  try {
+    if (journal_->wants_compaction(done_.size())) {
+      std::vector<ResultJournal::Record> live;
+      live.reserve(order_.size());
+      for (const std::string& k : order_) {
+        if (auto it = done_.find(k); it != done_.end()) {
+          live.push_back({k, *it->second});
+        }
+      }
+      journal_->compact(live);
+      obs::count(obs::Counter::kSvcJournalCompactions);
+    }
+    journal_->append(key, result);
+    ++persisted_;
+  } catch (const Error& e) {
+    // Persistence is an optimization: never fail the request over it, but
+    // stop writing — a half-broken disk must not burn time per request.
+    journal_degraded_ = true;
+    std::cerr << "[canud] result journal degraded to memory-only: "
+              << e.what() << "\n";
+  }
 }
 
 ResultCache::Lookup ResultCache::acquire(const std::string& key) {
@@ -53,6 +107,7 @@ void ResultCache::complete(const std::string& key, ResultPtr result) {
         done_.erase(order_.front());
         order_.pop_front();
       }
+      journal_append_locked(key, *result);
     }
   }
   // Resolve waiters outside the lock: their continuations run on their own

@@ -9,6 +9,12 @@
 // request, so a transient error cannot poison the cache. Capacity is
 // bounded with FIFO eviction — entries are deterministic to recompute, so
 // sophistication buys nothing here.
+//
+// Persistence (optional): when constructed with a journal path, finished
+// "ok" results are appended to a crash-safe on-disk journal (ResultJournal,
+// DESIGN.md §12) and replayed on construction, so a restarted daemon serves
+// its previous results as warm hits. Journal I/O failures degrade the cache
+// to memory-only — they never fail the request being served.
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,8 @@
 #include <string>
 
 namespace canu::svc {
+
+class ResultJournal;
 
 /// One finished verb execution, shared between the cache, in-flight
 /// waiters, and response assembly.
@@ -35,7 +43,12 @@ using ResultPtr = std::shared_ptr<const CachedResult>;
 
 class ResultCache {
  public:
-  explicit ResultCache(std::size_t max_entries);
+  /// `journal_path` empty → memory-only cache. Otherwise the journal at
+  /// that path is replayed into the cache (newest entries win under the
+  /// FIFO bound) and every later "ok" completion is appended to it.
+  explicit ResultCache(std::size_t max_entries,
+                       const std::string& journal_path = {});
+  ~ResultCache();
 
   enum class Role {
     kHit,    ///< completed result available immediately
@@ -64,20 +77,36 @@ class ResultCache {
   std::uint64_t coalesced() const noexcept { return coalesced_; }
   std::size_t size() const;
 
+  /// Entries replayed from the journal at construction (0 without one).
+  std::uint64_t restored() const noexcept { return restored_; }
+  /// Entries appended to the journal since construction.
+  std::uint64_t persisted() const noexcept { return persisted_; }
+  /// True once a journal write failed and persistence was switched off.
+  bool journal_degraded() const noexcept { return journal_degraded_; }
+
  private:
   struct InFlight {
     std::promise<ResultPtr> promise;
     std::shared_future<ResultPtr> future;
   };
 
+  /// Holding mutex_: append to the journal, compacting first when the dead
+  /// fraction warrants it; one failure disables persistence for good.
+  void journal_append_locked(const std::string& key,
+                             const CachedResult& result);
+
   const std::size_t max_entries_;
   mutable std::mutex mutex_;
   std::map<std::string, ResultPtr> done_;
   std::deque<std::string> order_;  ///< insertion order for FIFO eviction
   std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  std::unique_ptr<ResultJournal> journal_;  ///< null → memory-only
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> restored_{0};
+  std::atomic<std::uint64_t> persisted_{0};
+  std::atomic<bool> journal_degraded_{false};
 };
 
 }  // namespace canu::svc

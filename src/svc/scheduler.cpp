@@ -6,12 +6,14 @@
 
 namespace canu::svc {
 
-RequestScheduler::RequestScheduler(ThreadPool* pool, std::size_t capacity)
-    : pool_(pool), capacity_(capacity) {
+RequestScheduler::RequestScheduler(ThreadPool* pool, std::size_t capacity,
+                                   std::chrono::milliseconds aging)
+    : pool_(pool), capacity_(capacity), aging_(aging) {
   CANU_CHECK_MSG(capacity > 0, "scheduler capacity must be positive");
 }
 
-bool RequestScheduler::try_submit(std::function<void()> fn) {
+bool RequestScheduler::try_submit(std::function<void()> fn,
+                                  Priority priority) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_ || in_flight_ >= capacity_) {
@@ -21,18 +23,42 @@ bool RequestScheduler::try_submit(std::function<void()> fn) {
     }
     ++in_flight_;
     ++admitted_;
+    Pending p{std::move(fn), std::chrono::steady_clock::now()};
+    (priority == Priority::kInteractive ? interactive_ : batch_)
+        .push_back(std::move(p));
   }
   obs::count(obs::Counter::kSvcRequests);
-  auto task = [this, fn = std::move(fn)] {
-    fn();
-    finish_one();
-  };
   if (pool_ != nullptr) {
-    pool_->submit(std::move(task));
+    // Generic runner, not the request itself: by the time a worker frees
+    // up, a higher-priority request may have arrived, and it should go
+    // first even though this slot was enqueued for someone else.
+    pool_->submit([this] { run_next(); });
   } else {
-    task();
+    run_next();
   }
   return true;
+}
+
+std::function<void()> RequestScheduler::pop_best() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One runner per admitted request, so there is always work here.
+  CANU_CHECK_MSG(!interactive_.empty() || !batch_.empty(),
+                 "scheduler runner woke with no pending request");
+  auto take = [](std::deque<Pending>& q) {
+    std::function<void()> fn = std::move(q.front().fn);
+    q.pop_front();
+    return fn;
+  };
+  if (interactive_.empty()) return take(batch_);
+  if (batch_.empty()) return take(interactive_);
+  const auto now = std::chrono::steady_clock::now();
+  if (now - batch_.front().enqueued > aging_) return take(batch_);
+  return take(interactive_);
+}
+
+void RequestScheduler::run_next() {
+  pop_best()();
+  finish_one();
 }
 
 void RequestScheduler::finish_one() {

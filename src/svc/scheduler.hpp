@@ -8,13 +8,24 @@
 // onto the same pool; TaskGroup waiters help, so nested parallelism cannot
 // deadlock the fixed worker set.
 //
+// Scheduling is two-class (DESIGN.md §12): `kInteractive` requests
+// (status/version/cache hits — cheap by construction) jump ahead of
+// `kBatch` work (evaluate and friends), so a stream of long simulations
+// never blocks a health probe behind them. The pool itself stays FIFO;
+// instead each admitted request enqueues a generic "runner" task that pops
+// the highest-priority pending request when it actually reaches a worker.
+// Starvation is bounded by aging: a batch request older than `aging` beats
+// fresh interactive arrivals.
+//
 // drain() is the graceful-shutdown path: stop admitting, then wait for
 // every admitted request to finish so in-flight clients get their replies
 // before the process exits.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 
@@ -24,16 +35,26 @@ class ThreadPool;
 
 namespace canu::svc {
 
+enum class Priority {
+  kInteractive,  ///< cheap control-plane verbs; served ahead of batch
+  kBatch,        ///< simulation work; yields to interactive until aged
+};
+
 class RequestScheduler {
  public:
+  /// Batch requests older than this beat fresh interactive ones.
+  static constexpr std::chrono::milliseconds kDefaultAging{2000};
+
   /// `pool` is shared, not owned (null = execute inline on the caller,
   /// the --threads=1 serial configuration).
-  RequestScheduler(ThreadPool* pool, std::size_t capacity);
+  RequestScheduler(ThreadPool* pool, std::size_t capacity,
+                   std::chrono::milliseconds aging = kDefaultAging);
 
   /// Dispatch `fn` to the pool, or refuse: false when at capacity or
   /// draining (the caller answers `overloaded`). `fn` must not throw —
   /// request execution converts failures into error responses.
-  bool try_submit(std::function<void()> fn);
+  bool try_submit(std::function<void()> fn,
+                  Priority priority = Priority::kBatch);
 
   /// Stop admitting and block until every admitted request has finished.
   /// Idempotent; safe to call from any thread.
@@ -46,13 +67,25 @@ class RequestScheduler {
   std::uint64_t rejected() const;
 
  private:
+  struct Pending {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Pool-worker entry: pop and run the best pending request (interactive
+  /// first unless the oldest batch request has aged past the bound).
+  void run_next();
+  std::function<void()> pop_best();
   void finish_one();
 
   ThreadPool* pool_;
   const std::size_t capacity_;
+  const std::chrono::milliseconds aging_;
   mutable std::mutex mutex_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
+  std::deque<Pending> interactive_;
+  std::deque<Pending> batch_;
+  std::size_t in_flight_ = 0;  ///< pending + running
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   bool draining_ = false;

@@ -2,13 +2,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
-#include "obs/obs.hpp"
+#include "obs/json.hpp"
 #include "obs/version.hpp"
 #include "svc/verbs.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 namespace canu::svc {
@@ -24,18 +28,72 @@ CachedResult overloaded_result(const RequestScheduler& scheduler) {
   return r;
 }
 
+CachedResult deadline_result(std::uint64_t timeout_ms) {
+  CachedResult r;
+  r.status = "deadline_exceeded";
+  r.exit_code = 124;  // timeout(1) convention
+  r.error = "canud: request exceeded its " + std::to_string(timeout_ms) +
+            "ms deadline\n";
+  return r;
+}
+
+CachedResult cancelled_result() {
+  CachedResult r;
+  r.status = "cancelled";
+  r.exit_code = 130;
+  r.error = "canud: request cancelled\n";
+  return r;
+}
+
+/// Cheap control-plane verbs class as interactive and jump queued batch
+/// work; anything that simulates is batch. (`status` never reaches the
+/// scheduler at all, and result-cache hits answer inline.)
+Priority priority_for(const std::string& verb) {
+  return verb == "version" || verb == "list" ? Priority::kInteractive
+                                             : Priority::kBatch;
+}
+
+bool cancelled_status(const std::string& status) {
+  return status == "deadline_exceeded" || status == "cancelled";
+}
+
+/// Interpolated percentile (0..1) of a log2-bucketed histogram, in the
+/// recorded unit. Bucket i spans [2^(i-1), 2^i); linear interpolation
+/// within the bucket keeps p50/p99 stable enough for a rollup manifest.
+double hist_percentile(const obs::HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (unsigned i = 0; i < obs::kHistBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += h.buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      if (i == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double frac = std::clamp(
+          (target - static_cast<double>(prev)) /
+              static_cast<double>(h.buckets[i]),
+          0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      cache_(options_.result_cache_entries) {
+      cache_(options_.result_cache_entries, options_.cache_file) {
   const unsigned threads = resolve_thread_count(options_.threads);
   if (threads > 1) {
     pool_storage_.emplace(threads);
     pool_ = &*pool_storage_;
   }
-  scheduler_ =
-      std::make_unique<RequestScheduler>(pool_, options_.queue_capacity);
+  scheduler_ = std::make_unique<RequestScheduler>(
+      pool_, options_.queue_capacity, options_.aging);
 }
 
 Server::~Server() {
@@ -112,7 +170,7 @@ void Server::stop() {
 
   unix_listener_.reset();
   tcp_listener_.reset();
-  if (!options_.unix_socket.empty()) {
+  if (!options_.unix_socket.empty() && options_.unix_socket[0] != '@') {
     std::remove(options_.unix_socket.c_str());
   }
 }
@@ -136,6 +194,10 @@ ServerCounters Server::counters() const {
   c.coalesced = cache_.coalesced();
   c.in_flight = scheduler_->in_flight();
   c.capacity = scheduler_->capacity();
+  c.timed_out = timed_out_.load(std::memory_order_relaxed);
+  c.cancelled = cancelled_.load(std::memory_order_relaxed);
+  c.restored = cache_.restored();
+  c.persisted = cache_.persisted();
   return c;
 }
 
@@ -173,7 +235,7 @@ void Server::handle_connection(FdHandle conn, std::uint64_t id) {
            read_frame(conn.get(), &payload)) {
       Response resp;
       try {
-        resp = execute(decode_request(payload));
+        resp = execute(decode_request(payload), conn.get());
       } catch (const Error& e) {
         resp.status = "error";
         resp.version = obs::kVersion;
@@ -193,8 +255,18 @@ void Server::handle_connection(FdHandle conn, std::uint64_t id) {
 
 Response Server::respond(const Request& req, const CachedResult& result,
                          bool cache_hit, bool coalesced,
-                         const std::string& cache_key, double wall_s) const {
-  (void)req;
+                         const std::string& cache_key, double wall_s) {
+  // Count typed outcomes here, once per answered request: the wait loop and
+  // the worker's own chunk-boundary check race to notice a dead deadline,
+  // and both paths converge on this respond().
+  if (result.status == "deadline_exceeded") {
+    obs::count(obs::Counter::kSvcDeadlineExceeded);
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status == "cancelled") {
+    obs::count(obs::Counter::kSvcCancelled);
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  record_verb(req.verb.empty() ? "status" : req.verb, result.status, wall_s);
   Response resp;
   resp.status = result.status;
   resp.version = obs::kVersion;
@@ -209,7 +281,16 @@ Response Server::respond(const Request& req, const CachedResult& result,
   return resp;
 }
 
-Response Server::status_response() const {
+void Server::record_verb(const std::string& verb, const std::string& status,
+                         double wall_s) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  VerbStats& s = verb_stats_[verb];
+  ++s.count;
+  if (status != "ok") ++s.errors;
+  s.latency_ns.record(static_cast<std::uint64_t>(wall_s * 1e9));
+}
+
+Response Server::status_response() {
   const double uptime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
@@ -230,6 +311,12 @@ Response Server::status_response() const {
       {"result_cache_misses", std::to_string(c.result_cache_misses)});
   table.add_row({"coalesced", std::to_string(c.coalesced)});
   table.add_row({"result_cache_size", std::to_string(cache_.size())});
+  table.add_row({"timed_out", std::to_string(c.timed_out)});
+  table.add_row({"cancelled", std::to_string(c.cancelled)});
+  if (!options_.cache_file.empty()) {
+    table.add_row({"journal_restored", std::to_string(c.restored)});
+    table.add_row({"journal_persisted", std::to_string(c.persisted)});
+  }
   table.print(os);
 
   CachedResult result;
@@ -237,7 +324,31 @@ Response Server::status_response() const {
   return respond(Request{}, result, false, false, "", 0.0);
 }
 
-Response Server::execute(const Request& req) {
+ResultPtr Server::wait_for_result(const std::shared_future<ResultPtr>& future,
+                                  CancelToken* token, int peer_fd,
+                                  bool* timed_out, bool* peer_gone) {
+  *timed_out = false;
+  *peer_gone = false;
+  for (;;) {
+    if (future.wait_for(std::chrono::milliseconds(10)) ==
+        std::future_status::ready) {
+      return future.get();
+    }
+    if (token->expired()) {
+      // The worker sees the same deadline at its next chunk boundary and
+      // frees its slot; the client gets its typed answer now.
+      *timed_out = true;
+      return nullptr;
+    }
+    if (peer_fd >= 0 && peer_disconnected(peer_fd)) {
+      token->cancel();
+      *peer_gone = true;
+      return nullptr;
+    }
+  }
+}
+
+Response Server::execute(const Request& req, int peer_fd) {
   obs::Span span("svc", "request " + req.verb);
   const auto start = std::chrono::steady_clock::now();
   const auto wall = [&start] {
@@ -263,6 +374,11 @@ Response Server::execute(const Request& req) {
     return respond(req, r, false, false, "", wall());
   }
 
+  // Per-request cancellation state, shared with the worker executing the
+  // verb: the token outlives an early (deadline) return of this thread.
+  auto token = std::make_shared<CancelToken>();
+  token->set_timeout_ms(req.timeout_ms);
+
   // The daemon's pool is the execution budget: request-supplied --threads
   // never spawns extra workers. A serial daemon (--threads=1) runs the
   // exact serial engine per request.
@@ -270,67 +386,168 @@ Response Server::execute(const Request& req) {
   if (pool_ == nullptr) exec_req.threads = 1;
   VerbOptions verb_options;
   verb_options.pool = pool_;
+  verb_options.cancel = token.get();
 
-  const auto run_to_result = [this, exec_req, verb_options] {
+  const auto run_to_result = [exec_req, verb_options, token] {
     auto result = std::make_shared<CachedResult>();
     std::ostringstream out;
     std::ostringstream err;
     try {
       result->exit_code = run_verb(exec_req, out, err, verb_options);
       result->status = result->exit_code == 0 ? "ok" : "error";
+    } catch (const Cancelled& c) {
+      // Typed unwind: a timed-out or abandoned request frees its slot here,
+      // within one chunk of the deadline.
+      *result = c.deadline_exceeded() ? deadline_result(exec_req.timeout_ms)
+                                      : cancelled_result();
     } catch (const Error& e) {
       result->status = "error";
       result->exit_code = 1;
       err << "error: " << e.what() << "\n";
     }
-    result->output = std::move(out).str();
-    result->error = std::move(err).str();
+    if (result->output.empty()) result->output = std::move(out).str();
+    if (result->error.empty()) result->error = std::move(err).str();
     return result;
   };
 
+  const Priority priority = priority_for(req.verb);
+
   if (!verb_is_cacheable(req.verb)) {
-    std::promise<ResultPtr> promise;
-    std::future<ResultPtr> future = promise.get_future();
+    // shared_ptr promise: this thread may answer `deadline_exceeded` and
+    // move on while the worker is still running toward set_value().
+    auto promise = std::make_shared<std::promise<ResultPtr>>();
+    std::shared_future<ResultPtr> future = promise->get_future().share();
     const bool admitted = scheduler_->try_submit(
-        [&promise, &run_to_result] { promise.set_value(run_to_result()); });
+        [promise, run_to_result] { promise->set_value(run_to_result()); },
+        priority);
     if (!admitted) {
       return respond(req, overloaded_result(*scheduler_), false, false, "",
                      wall());
     }
-    const ResultPtr result = future.get();
+    bool timed_out = false;
+    bool peer_gone = false;
+    const ResultPtr result =
+        wait_for_result(future, token.get(), peer_fd, &timed_out, &peer_gone);
     observe_request();
+    if (result == nullptr) {
+      return respond(req,
+                     timed_out ? deadline_result(req.timeout_ms)
+                               : cancelled_result(),
+                     false, false, "", wall());
+    }
     return respond(req, *result, false, false, "", wall());
   }
 
   const std::string key = canonical_request_key(req);
-  ResultCache::Lookup lookup = cache_.acquire(key);
-  switch (lookup.role) {
-    case ResultCache::Role::kHit:
-      observe_request();
-      return respond(req, *lookup.hit, true, false, key, wall());
-    case ResultCache::Role::kJoined: {
-      const ResultPtr result = lookup.pending.get();
-      observe_request();
-      return respond(req, *result, false, true, key, wall());
+  // A joiner whose owner got cancelled re-acquires: its own budget is
+  // intact, so it should compute (or join a fresh owner), not inherit the
+  // other client's timeout. Bounded to keep a pathological churn finite.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    ResultCache::Lookup lookup = cache_.acquire(key);
+    switch (lookup.role) {
+      case ResultCache::Role::kHit:
+        observe_request();
+        return respond(req, *lookup.hit, true, false, key, wall());
+      case ResultCache::Role::kJoined: {
+        bool timed_out = false;
+        bool peer_gone = false;
+        const ResultPtr result = wait_for_result(
+            lookup.pending, token.get(), peer_fd, &timed_out, &peer_gone);
+        if (result == nullptr) {
+          observe_request();
+          return respond(req,
+                         timed_out ? deadline_result(req.timeout_ms)
+                                   : cancelled_result(),
+                         false, true, key, wall());
+        }
+        if (cancelled_status(result->status)) continue;  // owner died; retry
+        observe_request();
+        return respond(req, *result, false, true, key, wall());
+      }
+      case ResultCache::Role::kOwner: {
+        const bool admitted = scheduler_->try_submit(
+            [this, key, run_to_result] {
+              cache_.complete(key, run_to_result());
+            },
+            priority);
+        if (!admitted) {
+          // Joiners are already waiting on this key; resolve them with the
+          // same explicit overload signal rather than leaving them hanging.
+          auto overloaded = std::make_shared<CachedResult>(
+              overloaded_result(*scheduler_));
+          cache_.complete(key, overloaded);
+          return respond(req, *overloaded, false, false, key, wall());
+        }
+        bool timed_out = false;
+        bool peer_gone = false;
+        const ResultPtr result = wait_for_result(
+            lookup.pending, token.get(), peer_fd, &timed_out, &peer_gone);
+        observe_request();
+        if (result == nullptr) {
+          return respond(req,
+                         timed_out ? deadline_result(req.timeout_ms)
+                                   : cancelled_result(),
+                         false, false, key, wall());
+        }
+        return respond(req, *result, false, false, key, wall());
+      }
     }
-    case ResultCache::Role::kOwner:
-      break;
   }
-
-  const bool admitted = scheduler_->try_submit([this, key, run_to_result] {
-    cache_.complete(key, run_to_result());
-  });
-  if (!admitted) {
-    // Joiners are already waiting on this key; resolve them with the same
-    // explicit overload signal rather than leaving them hanging.
-    auto overloaded = std::make_shared<CachedResult>(
-        overloaded_result(*scheduler_));
-    cache_.complete(key, overloaded);
-    return respond(req, *overloaded, false, false, key, wall());
-  }
-  const ResultPtr result = lookup.pending.get();
+  // Three consecutive owners cancelled under this key; give this client the
+  // same typed answer instead of spinning.
   observe_request();
-  return respond(req, *result, false, false, key, wall());
+  return respond(req, cancelled_result(), false, false, key, wall());
+}
+
+void Server::write_rollup(const std::string& path) const {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const ServerCounters c = counters();
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("canud", obs::kVersion);
+    w.kv("uptime_s", uptime_s);
+    w.kv("threads", static_cast<std::uint64_t>(threads()));
+    w.kv("admitted", c.admitted);
+    w.kv("rejected", c.rejected);
+    w.kv("timed_out", c.timed_out);
+    w.kv("cancelled", c.cancelled);
+    w.kv("result_cache_hits", c.result_cache_hits);
+    w.kv("result_cache_misses", c.result_cache_misses);
+    w.kv("coalesced", c.coalesced);
+    const std::uint64_t classified =
+        c.result_cache_hits + c.result_cache_misses;
+    w.kv("cache_hit_ratio",
+         classified == 0 ? 0.0
+                         : static_cast<double>(c.result_cache_hits) /
+                               static_cast<double>(classified));
+    w.kv("journal_restored", c.restored);
+    w.kv("journal_persisted", c.persisted);
+    w.key("verbs");
+    w.begin_object();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const auto& [verb, s] : verb_stats_) {
+      w.key(verb);
+      w.begin_object();
+      w.kv("count", s.count);
+      w.kv("errors", s.errors);
+      w.kv("p50_ms", hist_percentile(s.latency_ns, 0.50) / 1e6);
+      w.kv("p99_ms", hist_percentile(s.latency_ns, 0.99) / 1e6);
+      w.kv("mean_ms", s.latency_ns.mean() / 1e6);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  std::ofstream out(path, std::ios::trunc);
+  CANU_CHECK_MSG(out.is_open(), "cannot write rollup manifest " << path);
+  out << os.str() << "\n";
+  out.flush();
+  CANU_CHECK_MSG(out.good(), "failed writing rollup manifest " << path);
 }
 
 }  // namespace canu::svc

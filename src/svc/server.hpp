@@ -1,23 +1,33 @@
-// canud: the resident request-serving daemon (DESIGN.md §11). Listens on a
-// Unix-domain socket and/or a TCP socket, speaks the length-prefixed JSON
-// protocol (svc/protocol.hpp), and serves the CLI verbs as typed requests.
+// canud: the resident request-serving daemon (DESIGN.md §11, §12). Listens
+// on a Unix-domain socket and/or a TCP socket, speaks the length-prefixed
+// JSON protocol (svc/protocol.hpp), and serves the CLI verbs as typed
+// requests.
 //
 // Execution path per request:
 //   connection thread → ResultCache (hit / join in-flight / own)
 //                     → RequestScheduler admission (own only; at capacity
-//                       the client gets an explicit `overloaded` response)
-//                     → run_verb on the shared help-while-waiting pool
+//                       the client gets an explicit `overloaded` response);
+//                       control-plane verbs class as interactive and jump
+//                       queued batch work (with aging, so batch never
+//                       starves)
+//                     → run_verb on the shared help-while-waiting pool,
+//                       under a per-request CancelToken: the connection
+//                       thread waits with the request's --timeout-ms
+//                       deadline and polls for client disconnect, answering
+//                       `deadline_exceeded` / `cancelled` while the worker
+//                       unwinds at its next chunk boundary
 //                     → response frame with the verb's exact bytes + a
 //                       metadata fragment (version, cache disposition,
 //                       server counters)
 //
 // stop() is the graceful-drain path used by the SIGTERM/SIGINT handler of
 // `canu serve`: close the listeners, wake idle connections, let in-flight
-// requests finish and answer, then join every thread. The amortized state
-// PRs 1–3 built — the on-disk trace cache, the shared ThreadPool, the obs
-// registry — lives for the daemon's whole life instead of one CLI process.
+// requests finish and answer, then join every thread. With a cache_file
+// configured, finished results also persist across restarts via the
+// crash-safe ResultJournal.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -28,10 +38,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "svc/protocol.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/scheduler.hpp"
 #include "svc/socket.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace canu::svc {
@@ -43,6 +55,10 @@ struct ServerOptions {
   unsigned threads = 0;     ///< worker pool size (resolve_thread_count)
   std::size_t queue_capacity = 64;       ///< admission bound
   std::size_t result_cache_entries = 256;
+  /// Crash-safe result-cache journal (svc/journal.hpp); empty = memory-only.
+  std::string cache_file;
+  /// Batch requests older than this beat queued interactive ones.
+  std::chrono::milliseconds aging = RequestScheduler::kDefaultAging;
 };
 
 class Server {
@@ -71,18 +87,43 @@ class Server {
   ServerCounters counters() const;
 
   /// Execute one request exactly as a connection would (admission, result
-  /// cache, dedup) without any socket — the in-process loopback used by
-  /// tests and by future embedded deployments.
-  Response execute(const Request& req);
+  /// cache, dedup, deadline) without any socket — the in-process loopback
+  /// used by tests and by future embedded deployments. `peer_fd` (>= 0)
+  /// lets the deadline wait loop detect a vanished client and cancel the
+  /// request's work.
+  Response execute(const Request& req, int peer_fd = -1);
+
+  /// Write the whole-process rollup manifest (per-verb counts and p50/p99
+  /// latency, cache hit ratio, rejected/timed-out/cancelled counts) as
+  /// JSON. Used by `canu serve --metrics-out` on shutdown and SIGHUP.
+  /// Throws canu::Error when the file cannot be written.
+  void write_rollup(const std::string& path) const;
 
  private:
+  /// Per-verb slice of the rollup manifest.
+  struct VerbStats {
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;  ///< responses with status != "ok"
+    obs::HistogramData latency_ns;
+  };
+
   void accept_loop(int listen_fd);
   void handle_connection(FdHandle conn, std::uint64_t id);
   void reap_finished_locked(std::vector<std::thread>* out);
   Response respond(const Request& req, const CachedResult& result,
                    bool cache_hit, bool coalesced,
-                   const std::string& cache_key, double wall_s) const;
-  Response status_response() const;
+                   const std::string& cache_key, double wall_s);
+  Response status_response();
+  void record_verb(const std::string& verb, const std::string& status,
+                   double wall_s);
+
+  /// Wait for `future` under the request's deadline, polling `peer_fd` for
+  /// client disconnect. Returns the result, or null with exactly one of
+  /// *timed_out / *peer_gone set (cancelling `token` so the worker unwinds
+  /// at its next chunk boundary).
+  ResultPtr wait_for_result(const std::shared_future<ResultPtr>& future,
+                            CancelToken* token, int peer_fd,
+                            bool* timed_out, bool* peer_gone);
 
   ServerOptions options_;
   std::optional<ThreadPool> pool_storage_;
@@ -96,6 +137,11 @@ class Server {
   FdHandle stop_read_;   ///< self-pipe: readable once stop() begins
   FdHandle stop_write_;
   std::chrono::steady_clock::time_point start_time_;
+
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  mutable std::mutex stats_mutex_;
+  std::map<std::string, VerbStats> verb_stats_;
 
   std::vector<std::thread> accept_threads_;
   mutable std::mutex conn_mutex_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace canu::svc {
 
@@ -27,25 +28,54 @@ FdHandle make_socket(int domain) {
   return FdHandle(fd);
 }
 
-sockaddr_un unix_address(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  CANU_CHECK_MSG(path.size() < sizeof addr.sun_path,
-                 "socket path too long: " << path);
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
-}
-
-sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  CANU_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-                 "invalid IPv4 host '" << host << "'");
-  return addr;
-}
-
 }  // namespace
+
+UnixAddress resolve_unix(const std::string& path) {
+  UnixAddress out;
+  out.addr.sun_family = AF_UNIX;
+  CANU_CHECK_MSG(!path.empty(), "empty unix socket path");
+  CANU_CHECK_MSG(path.size() < sizeof out.addr.sun_path,
+                 "socket path too long: " << path);
+  if (path[0] == '@') {
+    // Linux abstract namespace: a leading NUL and an exact length — the
+    // name is the remaining bytes, NOT NUL-terminated.
+    CANU_CHECK_MSG(path.size() > 1, "empty abstract socket name '@'");
+    out.abstract = true;
+    out.addr.sun_path[0] = '\0';
+    std::memcpy(out.addr.sun_path + 1, path.data() + 1, path.size() - 1);
+    out.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                     path.size());
+  } else {
+    std::memcpy(out.addr.sun_path, path.c_str(), path.size() + 1);
+    out.len = static_cast<socklen_t>(sizeof out.addr);
+  }
+  return out;
+}
+
+TcpAddress resolve_tcp(const std::string& host, std::uint16_t port) {
+  TcpAddress out;
+  // "[::1]" → "::1": brackets are URL/flag syntax, not address bytes.
+  std::string bare = host;
+  if (bare.size() >= 2 && bare.front() == '[' && bare.back() == ']') {
+    bare = bare.substr(1, bare.size() - 2);
+  }
+  auto* v4 = reinterpret_cast<sockaddr_in*>(&out.addr);
+  auto* v6 = reinterpret_cast<sockaddr_in6*>(&out.addr);
+  if (::inet_pton(AF_INET, bare.c_str(), &v4->sin_addr) == 1) {
+    v4->sin_family = AF_INET;
+    v4->sin_port = htons(port);
+    out.family = AF_INET;
+    out.len = sizeof(sockaddr_in);
+  } else if (::inet_pton(AF_INET6, bare.c_str(), &v6->sin6_addr) == 1) {
+    v6->sin6_family = AF_INET6;
+    v6->sin6_port = htons(port);
+    out.family = AF_INET6;
+    out.len = sizeof(sockaddr_in6);
+  } else {
+    throw Error("invalid IPv4/IPv6 host '" + host + "'");
+  }
+  return out;
+}
 
 void FdHandle::reset() noexcept {
   if (fd_ >= 0) ::close(fd_);
@@ -53,18 +83,20 @@ void FdHandle::reset() noexcept {
 }
 
 FdHandle listen_unix(const std::string& path) {
-  // Replace a stale socket file from a previous daemon; refuse to clobber
-  // anything that is not a socket.
-  struct stat st{};
-  if (::lstat(path.c_str(), &st) == 0) {
-    CANU_CHECK_MSG(S_ISSOCK(st.st_mode),
-                   "refusing to replace non-socket file " << path);
-    if (::unlink(path.c_str()) != 0) throw_errno("unlink(" + path + ")");
+  const UnixAddress ua = resolve_unix(path);
+  if (!ua.abstract) {
+    // Replace a stale socket file from a previous daemon; refuse to
+    // clobber anything that is not a socket.
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0) {
+      CANU_CHECK_MSG(S_ISSOCK(st.st_mode),
+                     "refusing to replace non-socket file " << path);
+      if (::unlink(path.c_str()) != 0) throw_errno("unlink(" + path + ")");
+    }
   }
   FdHandle fd = make_socket(AF_UNIX);
-  const sockaddr_un addr = unix_address(path);
-  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0) {
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&ua.addr),
+             ua.len) != 0) {
     throw_errno("bind(" + path + ")");
   }
   if (::listen(fd.get(), SOMAXCONN) != 0) throw_errno("listen(" + path + ")");
@@ -73,46 +105,54 @@ FdHandle listen_unix(const std::string& path) {
 
 FdHandle listen_tcp(const std::string& host, std::uint16_t port,
                     std::uint16_t* bound_port) {
-  FdHandle fd = make_socket(AF_INET);
+  const TcpAddress ta = resolve_tcp(host, port);
+  FdHandle fd = make_socket(ta.family);
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr = tcp_address(host, port);
-  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0) {
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&ta.addr),
+             ta.len) != 0) {
     throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
   }
   if (::listen(fd.get(), SOMAXCONN) != 0) throw_errno("listen()");
   if (bound_port != nullptr) {
-    socklen_t len = sizeof addr;
-    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
       throw_errno("getsockname()");
     }
-    *bound_port = ntohs(addr.sin_port);
+    *bound_port =
+        ta.family == AF_INET6
+            ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+            : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
   }
   return fd;
 }
 
 FdHandle connect_unix(const std::string& path) {
+  fault::inject("socket.connect");
+  const UnixAddress ua = resolve_unix(path);
   FdHandle fd = make_socket(AF_UNIX);
-  const sockaddr_un addr = unix_address(path);
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&ua.addr),
+                ua.len) != 0) {
     throw_errno("connect(" + path + ")");
   }
   return fd;
 }
 
 FdHandle connect_tcp(const std::string& host, std::uint16_t port) {
-  FdHandle fd = make_socket(AF_INET);
-  const sockaddr_in addr = tcp_address(host, port);
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
+  fault::inject("socket.connect");
+  const TcpAddress ta = resolve_tcp(host, port);
+  FdHandle fd = make_socket(ta.family);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&ta.addr),
+                ta.len) != 0) {
     throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
   }
   return fd;
 }
 
 void write_all(int fd, const void* data, std::size_t n) {
+  fault::inject("socket.write");
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     // MSG_NOSIGNAL turns a vanished peer into EPIPE instead of a
@@ -130,6 +170,7 @@ void write_all(int fd, const void* data, std::size_t n) {
 }
 
 bool read_exact(int fd, void* data, std::size_t n) {
+  fault::inject("socket.read");
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < n) {
@@ -173,6 +214,20 @@ FdHandle accept_or_stop(int listen_fd, int stop_fd) {
     if (errno == EINTR || errno == ECONNABORTED) continue;
     throw_errno("accept()");
   }
+}
+
+bool peer_disconnected(int fd) noexcept {
+  pollfd pfd{fd, POLLIN, 0};
+  if (::poll(&pfd, 1, 0) <= 0) return false;
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return true;
+  if ((pfd.revents & POLLIN) != 0) {
+    // Readable can mean EOF or a pipelined request; peek to tell them
+    // apart without consuming the next frame.
+    char byte;
+    const ssize_t r = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+    return r == 0;
+  }
+  return false;
 }
 
 }  // namespace canu::svc

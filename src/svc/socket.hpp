@@ -3,7 +3,14 @@
 // exact-length I/O. Everything throws canu::Error with the errno text so
 // callers never check int returns.
 //
-// Deliberately minimal: IPv4 only, blocking sockets, poll()-based readiness
+// Address forms:
+//  * TCP hosts may be IPv4 ("127.0.0.1") or IPv6, bare ("::1") or bracketed
+//    ("[::1]") — brackets are how ports disambiguate in URLs and flags.
+//  * Unix paths starting with '@' name the Linux abstract namespace
+//    ("@canud" → leading NUL in sun_path): no filesystem entry, no stale
+//    socket files, automatic cleanup when the last fd closes.
+//
+// Deliberately minimal otherwise: blocking sockets, poll()-based readiness
 // with a stop descriptor (the server's self-pipe) so accept loops and
 // in-frame reads wake promptly on shutdown.
 #pragma once
@@ -12,6 +19,9 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+
+#include <netinet/in.h>
+#include <sys/un.h>
 
 namespace canu::svc {
 
@@ -41,13 +51,40 @@ class FdHandle {
   int fd_ = -1;
 };
 
+/// A parsed Unix-domain address: filesystem or abstract ('@'-prefixed).
+/// Exposed for tests; produced by resolve_unix().
+struct UnixAddress {
+  sockaddr_un addr{};
+  socklen_t len = 0;      ///< exact bind/connect length (abstract ≠ sizeof)
+  bool abstract = false;  ///< no filesystem entry; never unlink
+};
+
+/// Parse `path` into a bindable address. '@name' selects the abstract
+/// namespace (sun_path[0] = NUL). Throws canu::Error on empty or oversize
+/// paths.
+UnixAddress resolve_unix(const std::string& path);
+
+/// A parsed TCP host: IPv4 or IPv6 (brackets stripped). Exposed for tests;
+/// produced by resolve_tcp().
+struct TcpAddress {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = 0;  ///< AF_INET or AF_INET6
+};
+
+/// Parse host + port, accepting "127.0.0.1", "::1" and "[::1]". Throws
+/// canu::Error when `host` is neither a valid IPv4 nor IPv6 literal.
+TcpAddress resolve_tcp(const std::string& host, std::uint16_t port);
+
 /// Bind + listen on a Unix-domain socket, replacing a stale socket file at
-/// `path` (plain files are never unlinked). Throws canu::Error on failure,
-/// including paths longer than sockaddr_un allows.
+/// `path` (plain files are never unlinked; abstract '@' addresses have no
+/// file at all). Throws canu::Error on failure, including paths longer
+/// than sockaddr_un allows.
 FdHandle listen_unix(const std::string& path);
 
-/// Bind + listen on host:port (IPv4 dotted quad; port 0 = kernel-assigned).
-/// The actually bound port is stored through `bound_port` when non-null.
+/// Bind + listen on host:port (IPv4 or IPv6 literal; port 0 =
+/// kernel-assigned). The actually bound port is stored through
+/// `bound_port` when non-null.
 FdHandle listen_tcp(const std::string& host, std::uint16_t port,
                     std::uint16_t* bound_port);
 
@@ -69,5 +106,10 @@ bool wait_readable(int fd, int stop_fd);
 /// accept(2) wrapper: nullopt-like invalid handle when the stop fired or
 /// the listener was closed; throws on real errors.
 FdHandle accept_or_stop(int listen_fd, int stop_fd);
+
+/// Non-blocking probe: true when the peer has closed its end (EOF or error
+/// pending). Used by the server's deadline wait loop to cancel work whose
+/// client has already hung up.
+bool peer_disconnected(int fd) noexcept;
 
 }  // namespace canu::svc

@@ -67,6 +67,7 @@ int cmd_run(const Request& req, std::ostream& out, std::ostream& err,
   }
   if (pool != nullptr) {
     ParallelBatchRunner runner(RunConfig(), pool);
+    runner.set_cancel(options.cancel);
     runner.add(*model);
     SpanSource source(trace.name(), trace.refs());
     r = run_batch(runner, source).front();
@@ -112,6 +113,7 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
   opt.params = req.params;
   opt.threads = req.threads;
   opt.pool = options.pool;
+  opt.cancel = options.cancel;
   opt.trace_cache_dir = default_trace_cache_dir();
   if (options.progress) {
     opt.progress = obs::make_progress_printer(options.progress_force);
@@ -142,6 +144,7 @@ int cmd_advise(const Request& req, std::ostream& out, std::ostream& err,
   Advisor::Options aopt;
   aopt.threads = req.threads;
   aopt.pool = options.pool;
+  aopt.cancel = options.cancel;
   const AdvisorReport rep =
       Advisor(aopt).advise_workload(req.args[0], req.params);
   TextTable table;
@@ -193,8 +196,10 @@ int cmd_version(std::ostream& out) {
 
 /// Diagnostic round trip for health checks and the overload/drain tests:
 /// optional arg = milliseconds to hold an execution slot (capped so a typo
-/// cannot wedge a worker for minutes).
-int cmd_ping(const Request& req, std::ostream& out, std::ostream& err) {
+/// cannot wedge a worker for minutes). The sleep runs in 10ms slices so a
+/// deadline or disconnect cancels a parked ping promptly.
+int cmd_ping(const Request& req, std::ostream& out, std::ostream& err,
+             const VerbOptions& options) {
   std::uint64_t delay_ms = 0;
   if (!req.args.empty()) {
     std::string error;
@@ -205,8 +210,12 @@ int cmd_ping(const Request& req, std::ostream& out, std::ostream& err) {
     }
     delay_ms = std::min<std::uint64_t>(*v, 10'000);
   }
-  if (delay_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(delay_ms);
+  while (std::chrono::steady_clock::now() < until) {
+    if (options.cancel != nullptr) options.cancel->check();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint64_t>(delay_ms, 10)));
   }
   out << "pong\n";
   return 0;
@@ -217,13 +226,15 @@ int cmd_ping(const Request& req, std::ostream& out, std::ostream& err) {
 int run_verb(const Request& req, std::ostream& out, std::ostream& err,
              const VerbOptions& options) {
   obs::Span span("svc", "verb " + req.verb);
+  // A request that expired while queued never starts executing.
+  if (options.cancel != nullptr) options.cancel->check();
   if (req.verb == "list") return cmd_list(out);
   if (req.verb == "run") return cmd_run(req, out, err, options);
   if (req.verb == "evaluate") return cmd_evaluate(req, out, err, options);
   if (req.verb == "advise") return cmd_advise(req, out, err, options);
   if (req.verb == "threec") return cmd_threec(req, out, err, options);
   if (req.verb == "version") return cmd_version(out);
-  if (req.verb == "ping") return cmd_ping(req, out, err);
+  if (req.verb == "ping") return cmd_ping(req, out, err, options);
   err << "unknown verb '" << req.verb << "'\n";
   return 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "svc/protocol.hpp"
+#include "util/cancel.hpp"
 
 namespace canu {
 class ThreadPool;
@@ -25,6 +26,11 @@ struct VerbOptions {
   /// stderr heartbeat during evaluate (CLI-only; never set by the daemon).
   bool progress = false;
   bool progress_force = false;
+  /// Cooperative cancellation token (borrowed; null = none): checked on
+  /// entry and at chunk boundaries of the simulation engines, so a
+  /// timed-out or abandoned request unwinds with canu::Cancelled within
+  /// one chunk of work.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Execute one verb, writing its stdout to `out` and usage/diagnostics to

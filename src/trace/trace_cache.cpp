@@ -30,6 +30,16 @@ std::string unique_temp_suffix() {
          std::to_string(counter.fetch_add(1));
 }
 
+/// A cached file that fails validation (truncated copy, crashed writer,
+/// bit rot) is removed and reported as a miss so the caller regenerates
+/// it — a corrupt cache entry must never poison a simulation.
+void discard_corrupt(const std::string& path, const canu::Error& why) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  std::cerr << "[trace-cache] discarding corrupt entry " << path << ": "
+            << why.what() << "\n";
+}
+
 }  // namespace
 
 std::string default_trace_cache_dir() {
@@ -64,9 +74,16 @@ std::unique_ptr<TraceFileSource> TraceCache::open(
     obs::count(obs::Counter::kTraceCacheMisses);
     return nullptr;
   }
-  auto source = std::make_unique<TraceFileSource>(path, chunk_refs);
-  note_hit(path);
-  return source;
+  try {
+    validate_trace_file(path);
+    auto source = std::make_unique<TraceFileSource>(path, chunk_refs);
+    note_hit(path);
+    return source;
+  } catch (const Error& e) {
+    discard_corrupt(path, e);
+    obs::count(obs::Counter::kTraceCacheMisses);
+    return nullptr;
+  }
 }
 
 bool TraceCache::load(const std::string& key, Trace& out) const {
@@ -76,7 +93,13 @@ bool TraceCache::load(const std::string& key, Trace& out) const {
     obs::count(obs::Counter::kTraceCacheMisses);
     return false;
   }
-  out = load_trace(path);
+  try {
+    out = load_trace(path);  // full decode: catches any malformed record
+  } catch (const Error& e) {
+    discard_corrupt(path, e);
+    obs::count(obs::Counter::kTraceCacheMisses);
+    return false;
+  }
   note_hit(path);
   return true;
 }

@@ -220,6 +220,32 @@ Trace load_trace(const std::string& path) {
   return read_trace_any(is);
 }
 
+void validate_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CANU_CHECK_MSG(is.is_open(), "cannot open '" << path << "' for reading");
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  CANU_CHECK_MSG(is.good(), "truncated trace header in '" << path << "'");
+  std::uint64_t min_record = 0;
+  if (magic == kMagic) {
+    min_record = 9;  // u64 addr + u8 type
+  } else if (magic == kMagicV2) {
+    min_record = 1;  // type/len byte, zero delta bytes for a repeat
+  } else {
+    throw Error("bad trace magic in '" + path + "'");
+  }
+  read_name(is);
+  const auto count = read_le<std::uint64_t>(is);
+  const auto data_pos = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(is.tellg());
+  CANU_CHECK_MSG(size >= data_pos + count * min_record,
+                 "truncated trace '" << path << "': " << count
+                                     << " records need >= "
+                                     << count * min_record << " bytes, have "
+                                     << size - data_pos);
+}
+
 // ------------------------------------------------- streaming writer ----
 
 TraceFileWriter::TraceFileWriter(const std::string& path, std::string name)

@@ -51,6 +51,13 @@ void save_trace(const Trace& trace, const std::string& path);
 void save_trace_compressed(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path);
 
+/// Cheap completeness check without decoding records: parse the header,
+/// then verify the file holds at least `count` records of the format's
+/// minimum encoded size (9 bytes raw, 1 byte compressed). Catches the
+/// truncated/partial files a crashed writer or interrupted copy leaves
+/// behind. Throws canu::Error when the file is malformed or too short.
+void validate_trace_file(const std::string& path);
+
 /// Streaming writer: serializes references to a file in the compressed
 /// ("CANUTRC2") format as they arrive, without holding the trace in memory.
 /// The record count is patched into the header on close(), so the producer

@@ -1,0 +1,87 @@
+// Cooperative cancellation for long-running verb executions (DESIGN.md
+// §12): a CancelToken carries an optional deadline and an explicit cancel
+// flag, and the simulation engines check it at chunk boundaries — the
+// natural quantum of work (tens of thousands of simulated accesses), coarse
+// enough that the disarmed check never shows up in a profile, fine enough
+// that a timed-out request releases its pool slots within one chunk.
+//
+// Cancellation is observed by throwing Cancelled, which unwinds the verb
+// through the ordinary exception path (TaskGroup captures and rethrows, the
+// streaming generators clean up their temp files) and is converted into a
+// typed `deadline_exceeded` / `cancelled` reply by the daemon.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+/// Thrown when a CancelToken fires; `deadline` distinguishes a server-
+/// enforced timeout from an explicit cancellation (client disconnect).
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(bool deadline)
+      : Error(deadline ? "deadline exceeded" : "request cancelled"),
+        deadline_(deadline) {}
+
+  bool deadline_exceeded() const noexcept { return deadline_; }
+
+ private:
+  bool deadline_;
+};
+
+/// Shared between the thread that owns a request (which sets the deadline
+/// or cancels) and the workers executing it (which poll). All members are
+/// safe to call concurrently.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm a wall-clock deadline `timeout_ms` from now (0 = none).
+  void set_timeout_ms(std::uint64_t timeout_ms) {
+    if (timeout_ms == 0) return;
+    deadline_ns_.store(
+        ns_since_epoch(Clock::now()) + timeout_ms * 1'000'000ull,
+        std::memory_order_relaxed);
+  }
+
+  /// Explicit cancellation (e.g. the client disconnected).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the armed deadline has passed (false when no deadline).
+  bool expired() const noexcept {
+    const std::uint64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && ns_since_epoch(Clock::now()) >= d;
+  }
+
+  /// The chunk-boundary poll: throws Cancelled when cancelled or expired.
+  /// Explicit cancellation wins over the deadline when both apply.
+  void check() const {
+    if (cancel_requested()) throw Cancelled(false);
+    if (expired()) throw Cancelled(true);
+  }
+
+ private:
+  static std::uint64_t ns_since_epoch(Clock::time_point t) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count());
+  }
+
+  std::atomic<std::uint64_t> deadline_ns_{0};  ///< 0 = no deadline
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace canu

@@ -74,9 +74,10 @@ const std::vector<VerbHelp>& canu_verbs() {
        "--scale --seed --threads"},
       {"serve", "", "run the canud simulation daemon",
        "--socket --port --host --threads --queue --result-cache "
-       "--metrics-out --trace-events"},
+       "--cache-file --metrics-out --trace-events"},
       {"submit", "<verb> [args...]", "send a request to a running daemon",
-       "--socket --port --host --scale --seed --threads --meta-out"},
+       "--socket --port --host --scale --seed --threads --timeout-ms "
+       "--retry --meta-out"},
       {"status", "", "query a running daemon's counters",
        "--socket --port --host --meta-out"},
       {"version", "", "print the canu build version", ""},
@@ -93,17 +94,28 @@ const std::vector<FlagHelp>& canu_flags() {
        "engine)"},
       {"--progress", "[=force]",
        "stderr heartbeat during evaluate (TTY only unless forced)"},
-      {"--metrics-out", "<file>", "write a run-manifest JSON artifact"},
+      {"--metrics-out", "<file>",
+       "write a run-manifest JSON artifact (serve: whole-process rollup on "
+       "SIGHUP and shutdown)"},
       {"--trace-events", "<file>", "write Chrome/Perfetto trace-event spans"},
-      {"--socket", "<path>", "Unix-domain socket of the daemon"},
+      {"--socket", "<path>",
+       "Unix-domain socket of the daemon ('@name' = abstract namespace)"},
       {"--port", "<n>", "TCP port of the daemon (0 = ephemeral for serve)"},
-      {"--host", "<addr>", "TCP host (default 127.0.0.1)"},
+      {"--host", "<addr>", "TCP host, IPv4 or IPv6 (default 127.0.0.1)"},
       {"--queue", "<n>",
        "serve: max queued+running requests before `overloaded` (default 64)"},
       {"--result-cache", "<n>",
        "serve: max cached results before FIFO eviction (default 256)"},
       {"--meta-out", "<file>",
        "write the response metadata (cache hit, version, counters) as JSON"},
+      {"--timeout-ms", "<n>",
+       "submit: server-enforced deadline; expired work answers "
+       "deadline_exceeded (exit 124)"},
+      {"--retry", "<n>",
+       "submit: extra attempts on overload/connect failure, exponential "
+       "backoff with jitter (default 0)"},
+      {"--cache-file", "<file>",
+       "serve: crash-safe result-cache journal, replayed on restart"},
       {"--version", "", "print the canu build version and exit"},
   };
   return flags;

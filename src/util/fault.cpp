@@ -1,0 +1,137 @@
+#include "util/fault.hpp"
+
+#ifndef CANU_FAULT_DISABLED
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace canu::fault {
+
+namespace {
+
+enum class Action { kThrow, kKill };
+
+struct Site {
+  std::uint64_t fail_at = 0;  ///< 1-based hit index that fails (0 = never)
+  Action action = Action::kThrow;
+  std::uint64_t hits = 0;
+  bool fired = false;
+};
+
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::map<std::string, Site>& registry() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+
+void parse_into(const std::string& spec, std::map<std::string, Site>* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t c1 = entry.find(':');
+    CANU_CHECK_MSG(c1 != std::string::npos && c1 > 0,
+                   "fault spec entry '" << entry << "' wants <site>:<n>");
+    Site site;
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    const std::string count =
+        entry.substr(c1 + 1, (c2 == std::string::npos ? entry.size() : c2) -
+                                 c1 - 1);
+    char* parse_end = nullptr;
+    site.fail_at = std::strtoull(count.c_str(), &parse_end, 10);
+    CANU_CHECK_MSG(parse_end != count.c_str() && *parse_end == '\0' &&
+                       site.fail_at > 0,
+                   "fault spec entry '" << entry
+                                        << "' wants a positive hit count");
+    if (c2 != std::string::npos) {
+      const std::string action = entry.substr(c2 + 1);
+      if (action == "kill") {
+        site.action = Action::kKill;
+      } else {
+        CANU_CHECK_MSG(action == "throw",
+                       "unknown fault action '" << action << "'");
+      }
+    }
+    (*out)[entry.substr(0, c1)] = site;
+  }
+}
+
+/// Consult CANU_FAULT exactly once, the first time any hook runs.
+void arm_from_env_once() {
+  static const bool done = [] {
+    if (const char* spec = std::getenv("CANU_FAULT")) {
+      if (spec[0] != '\0') arm(spec);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  std::map<std::string, Site> sites;
+  parse_into(spec, &sites);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry() = std::move(sites);
+  g_armed.store(!registry().empty(), std::memory_order_release);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool armed() noexcept {
+  arm_from_env_once();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+bool should_fail(const char* site) noexcept {
+  if (!armed()) return false;
+  Action action = Action::kThrow;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = registry().find(site);
+    if (it == registry().end()) return false;
+    Site& s = it->second;
+    ++s.hits;
+    if (s.fired || s.hits != s.fail_at) return false;
+    s.fired = true;
+    action = s.action;
+  }
+  if (action == Action::kKill) {
+    // Crash-recovery tests: die exactly as `kill -9` would, mid-operation,
+    // with whatever bytes the caller already pushed into kernel buffers.
+    ::raise(SIGKILL);
+  }
+  return true;
+}
+
+std::uint64_t hits(const char* site) noexcept {
+  if (!armed()) return 0;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+void inject(const char* site) {
+  if (should_fail(site)) {
+    throw Error(std::string("injected fault at ") + site);
+  }
+}
+
+}  // namespace canu::fault
+
+#endif  // CANU_FAULT_DISABLED

@@ -1,0 +1,57 @@
+// Deterministic fault-injection harness (DESIGN.md §12): named injection
+// points compiled into the I/O and scheduling layers that do nothing until
+// armed, then fail on an exact, reproducible hit count — so every recovery
+// path in tests/fault_test.cpp is exercised by construction, not by luck.
+//
+// Arming: programmatic (fault::arm("socket.read:2")) or via the CANU_FAULT
+// environment variable at first use. A spec is a comma-separated list of
+//   <site>:<n>          throw canu::Error on the n-th hit (1-based)
+//   <site>:<n>:kill     raise SIGKILL on the n-th hit (crash-recovery tests)
+// Each site fires once, then stays quiet (counters keep advancing), so a
+// recovery path that retries the operation observes it succeeding.
+//
+// Cost when disarmed: one relaxed atomic load per hit — the global `armed`
+// flag — on paths that are I/O-bound anyway (socket reads/writes, journal
+// appends, request dispatch). Defining CANU_FAULT_DISABLED compiles every
+// hook to nothing for builds that want the hooks provably absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace canu::fault {
+
+#ifndef CANU_FAULT_DISABLED
+
+/// Arm from a spec string; replaces any previous arming. Throws canu::Error
+/// on a malformed spec.
+void arm(const std::string& spec);
+
+/// Return to the fully quiet state (counters reset).
+void disarm();
+
+/// True when any site is armed (after consulting CANU_FAULT once).
+bool armed() noexcept;
+
+/// Record one hit of `site`; true when this hit is the armed failure (a
+/// `kill` action never returns — it raises SIGKILL after flushing nothing).
+bool should_fail(const char* site) noexcept;
+
+/// Hits observed for `site` since arming (0 when disarmed; diagnostics).
+std::uint64_t hits(const char* site) noexcept;
+
+/// should_fail + throw: the standard injection point for error-path sites.
+void inject(const char* site);
+
+#else  // CANU_FAULT_DISABLED: hooks compile to nothing.
+
+inline void arm(const std::string&) {}
+inline void disarm() {}
+inline constexpr bool armed() noexcept { return false; }
+inline bool should_fail(const char*) noexcept { return false; }
+inline std::uint64_t hits(const char*) noexcept { return 0; }
+inline void inject(const char*) {}
+
+#endif  // CANU_FAULT_DISABLED
+
+}  // namespace canu::fault

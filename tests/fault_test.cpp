@@ -1,0 +1,846 @@
+// Robustness suite (DESIGN.md §12): deterministic fault injection, the
+// crash-safe result journal (including a real SIGKILL-mid-append subprocess
+// test), persistent-cache restore, request deadlines and cancellation, the
+// two-class priority scheduler, IPv6/abstract socket addressing, client
+// retry with backoff, and trace-cache corruption recovery.
+//
+// Fault arming is process-global; every test that arms a site disarms it
+// via FaultGuard so failures cannot leak into later tests.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "svc/protocol.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "svc/socket.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_cache.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/thread_pool.hpp"
+
+namespace canu {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/// mkdtemp under /tmp — short enough for sockaddr_un — removed on scope
+/// exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/canu_flt_XXXXXX";
+    const char* p = mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Disarms on scope exit so one test's faults never outlive it.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) { fault::arm(spec); }
+  ~FaultGuard() { fault::disarm(); }
+};
+
+svc::CachedResult ok_result(const std::string& output) {
+  svc::CachedResult r;
+  r.status = "ok";
+  r.exit_code = 0;
+  r.output = output;
+  return r;
+}
+
+void wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds limit = 5000ms) {
+  const auto give_up = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up);
+    std::this_thread::sleep_for(2ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection harness
+
+TEST(FaultSpec, FiresOnExactHitThenStaysQuiet) {
+  FaultGuard guard("unit.site:3");
+  EXPECT_TRUE(fault::armed());
+  EXPECT_FALSE(fault::should_fail("unit.site"));
+  EXPECT_FALSE(fault::should_fail("unit.site"));
+  EXPECT_TRUE(fault::should_fail("unit.site"));   // the armed 3rd hit
+  EXPECT_FALSE(fault::should_fail("unit.site"));  // fires exactly once
+  EXPECT_EQ(fault::hits("unit.site"), 4u);
+  EXPECT_FALSE(fault::should_fail("other.site"));  // unarmed sites are quiet
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  EXPECT_EQ(fault::hits("unit.site"), 0u);
+}
+
+TEST(FaultSpec, ParsesMultipleEntriesAndActions) {
+  FaultGuard guard("a.one:1,b.two:2:throw");
+  EXPECT_TRUE(fault::should_fail("a.one"));
+  EXPECT_FALSE(fault::should_fail("b.two"));
+  EXPECT_TRUE(fault::should_fail("b.two"));
+}
+
+TEST(FaultSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(fault::arm("nocolon"), Error);
+  EXPECT_THROW(fault::arm("site:0"), Error);
+  EXPECT_THROW(fault::arm("site:abc"), Error);
+  EXPECT_THROW(fault::arm("site:1:explode"), Error);
+  EXPECT_THROW(fault::arm(":3"), Error);
+  fault::disarm();
+}
+
+TEST(FaultSpec, InjectThrowsTypedErrorOnce) {
+  FaultGuard guard("inj.site:1");
+  EXPECT_THROW(fault::inject("inj.site"), Error);
+  EXPECT_NO_THROW(fault::inject("inj.site"));  // retry path sees success
+}
+
+// ---------------------------------------------------------------------------
+// Result journal
+
+TEST(Journal, RoundTripsRecordsInOrder) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  {
+    svc::ResultJournal j(path);
+    EXPECT_TRUE(j.load().empty());  // missing file = empty journal
+    j.append("key-a", ok_result("first\n"));
+    j.append("key-b", ok_result("second\n"));
+    svc::CachedResult with_err = ok_result("third\n");
+    with_err.error = "warning: something\n";
+    j.append("key-c", with_err);
+  }
+  svc::ResultJournal j(path);
+  const auto records = j.load();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, "key-a");
+  EXPECT_EQ(records[0].result.output, "first\n");
+  EXPECT_EQ(records[0].result.status, "ok");
+  EXPECT_EQ(records[0].result.exit_code, 0);
+  EXPECT_EQ(records[1].key, "key-b");
+  EXPECT_EQ(records[2].result.error, "warning: something\n");
+  EXPECT_EQ(j.restored(), 3u);
+  EXPECT_FALSE(j.recovered_corrupt_tail());
+}
+
+TEST(Journal, TruncatedTailKeepsValidPrefixAndHeals) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  {
+    svc::ResultJournal j(path);
+    j.append("k1", ok_result("one\n"));
+    j.append("k2", ok_result("two\n"));
+    j.append("k3", ok_result("three\n"));
+  }
+  // Chop into the last record, as a crash mid-append would.
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full - 5);
+
+  svc::ResultJournal j(path);
+  const auto records = j.load();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(j.recovered_corrupt_tail());
+  EXPECT_LT(fs::file_size(path), full - 5);  // bad tail truncated away
+
+  // The healed journal extends cleanly.
+  j.append("k3", ok_result("three again\n"));
+  svc::ResultJournal reread(path);
+  const auto healed = reread.load();
+  ASSERT_EQ(healed.size(), 3u);
+  EXPECT_EQ(healed[2].result.output, "three again\n");
+  EXPECT_FALSE(reread.recovered_corrupt_tail());
+}
+
+TEST(Journal, ChecksumMismatchStopsAtBadRecord) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  {
+    svc::ResultJournal j(path);
+    j.append("k1", ok_result("one\n"));
+    j.append("k2", ok_result("two\n"));
+  }
+  {
+    // Flip one payload byte inside the last record.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    f.put('\xff');
+  }
+  svc::ResultJournal j(path);
+  const auto records = j.load();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "k1");
+  EXPECT_TRUE(j.recovered_corrupt_tail());
+}
+
+TEST(Journal, UnrecognizableHeaderStartsOver) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  {
+    std::ofstream f(path);
+    f << "this was never a journal";
+  }
+  svc::ResultJournal j(path);
+  EXPECT_TRUE(j.load().empty());
+  EXPECT_TRUE(j.recovered_corrupt_tail());
+  EXPECT_FALSE(fs::exists(path));  // removed rather than guessed at
+  j.append("k", ok_result("fresh\n"));
+  svc::ResultJournal reread(path);
+  EXPECT_EQ(reread.load().size(), 1u);
+}
+
+TEST(Journal, CompactionRewritesToLiveSet) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  svc::ResultJournal j(path);
+  for (int i = 0; i < 30; ++i) {
+    j.append("hot-key", ok_result("version " + std::to_string(i) + "\n"));
+  }
+  EXPECT_TRUE(j.wants_compaction(1));
+  const auto before = fs::file_size(path);
+  j.compact({{"hot-key", ok_result("version 29\n")}});
+  EXPECT_LT(fs::file_size(path), before);
+  EXPECT_FALSE(j.wants_compaction(1));
+
+  svc::ResultJournal reread(path);
+  const auto records = reread.load();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].result.output, "version 29\n");
+}
+
+TEST(Journal, MidWriteFaultLeavesRecoverablePrefix) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+  {
+    svc::ResultJournal j(path);
+    j.append("k1", ok_result("one\n"));
+    FaultGuard guard("journal.mid_write:1");
+    EXPECT_THROW(j.append("k2", ok_result("two\n")), Error);
+  }
+  svc::ResultJournal j(path);
+  const auto records = j.load();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "k1");
+  EXPECT_TRUE(j.recovered_corrupt_tail());
+}
+
+// The real thing: a child process dies from SIGKILL halfway through an
+// append (half the record flushed to disk), and the parent recovers the
+// valid prefix and keeps appending.
+TEST(Journal, SigkillMidAppendSubprocessRecovery) {
+  TempDir dir;
+  const std::string path = dir.path + "/j";
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: one good record, then die mid-append exactly like kill -9.
+    try {
+      svc::ResultJournal j(path);
+      j.append("survivor", ok_result("written before the crash\n"));
+      fault::arm("journal.mid_write:1");
+      try {
+        j.append("victim", ok_result("never fully written\n"));
+      } catch (const Error&) {
+        // Half the record is on disk; now die for real.
+        ::raise(SIGKILL);
+      }
+    } catch (...) {
+    }
+    _exit(3);  // only reached if the kill path failed
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  svc::ResultJournal j(path);
+  const auto records = j.load();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "survivor");
+  EXPECT_TRUE(j.recovered_corrupt_tail());
+
+  j.append("after-restart", ok_result("life goes on\n"));
+  svc::ResultJournal reread(path);
+  EXPECT_EQ(reread.load().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent result cache
+
+TEST(PersistentResultCache, RestoresAcrossInstances) {
+  TempDir dir;
+  const std::string path = dir.path + "/cache.jrnl";
+  const std::string key(32, 'a');
+  {
+    svc::ResultCache cache(8, path);
+    auto lookup = cache.acquire(key);
+    ASSERT_EQ(lookup.role, svc::ResultCache::Role::kOwner);
+    cache.complete(key,
+                   std::make_shared<svc::CachedResult>(ok_result("warm\n")));
+    EXPECT_EQ(cache.persisted(), 1u);
+    EXPECT_EQ(cache.restored(), 0u);
+  }
+  svc::ResultCache cache(8, path);
+  EXPECT_EQ(cache.restored(), 1u);
+  auto lookup = cache.acquire(key);
+  ASSERT_EQ(lookup.role, svc::ResultCache::Role::kHit);
+  EXPECT_EQ(lookup.hit->output, "warm\n");
+}
+
+TEST(PersistentResultCache, JournalFaultDegradesButServesFromMemory) {
+  TempDir dir;
+  const std::string path = dir.path + "/cache.jrnl";
+  const std::string key(32, 'b');
+  FaultGuard guard("journal.write:1");
+  svc::ResultCache cache(8, path);
+  auto lookup = cache.acquire(key);
+  ASSERT_EQ(lookup.role, svc::ResultCache::Role::kOwner);
+  cache.complete(key,
+                 std::make_shared<svc::CachedResult>(ok_result("memory\n")));
+  EXPECT_TRUE(cache.journal_degraded());
+  EXPECT_EQ(cache.persisted(), 0u);
+  // The in-memory cache is unaffected by the dead journal.
+  EXPECT_EQ(cache.acquire(key).role, svc::ResultCache::Role::kHit);
+}
+
+TEST(PersistentResultCache, OnlyOkResultsPersist) {
+  TempDir dir;
+  const std::string path = dir.path + "/cache.jrnl";
+  const std::string key(32, 'c');
+  {
+    svc::ResultCache cache(8, path);
+    auto lookup = cache.acquire(key);
+    ASSERT_EQ(lookup.role, svc::ResultCache::Role::kOwner);
+    auto failed = std::make_shared<svc::CachedResult>();
+    failed->status = "error";
+    failed->exit_code = 1;
+    cache.complete(key, failed);
+    EXPECT_EQ(cache.persisted(), 0u);
+  }
+  svc::ResultCache cache(8, path);
+  EXPECT_EQ(cache.restored(), 0u);
+}
+
+TEST(PersistentResultCache, ServerRestartServesWarmCache) {
+  TempDir dir;
+  svc::Request req;
+  req.verb = "evaluate";
+  req.args = {"crc", "indexing"};
+  req.params.scale = 0.0625;
+
+  std::string want;
+  {
+    svc::ServerOptions options;
+    options.cache_file = dir.path + "/daemon.jrnl";
+    svc::Server server(std::move(options));
+    const svc::Response first = server.execute(req);
+    ASSERT_EQ(first.status, "ok");
+    EXPECT_FALSE(first.result_cache_hit);
+    EXPECT_GE(server.counters().persisted, 1u);
+    want = first.output;
+  }
+  svc::ServerOptions options;
+  options.cache_file = dir.path + "/daemon.jrnl";
+  svc::Server server(std::move(options));
+  EXPECT_GE(server.counters().restored, 1u);
+  const svc::Response warm = server.execute(req);
+  EXPECT_TRUE(warm.result_cache_hit);
+  EXPECT_EQ(warm.output, want);  // byte-identical across the restart
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation
+
+TEST(Deadline, TimedOutRequestAnswersTypedAndFreesItsSlot) {
+  svc::Server server(svc::ServerOptions{});
+  svc::Request slow;
+  slow.verb = "ping";
+  slow.args = {"5000"};
+  slow.timeout_ms = 80;
+
+  const auto start = std::chrono::steady_clock::now();
+  const svc::Response resp = server.execute(slow);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(resp.status, "deadline_exceeded");
+  EXPECT_EQ(resp.exit_code, 124);
+  EXPECT_NE(resp.error.find("deadline"), std::string::npos);
+  EXPECT_GE(resp.server.timed_out, 1u);
+  EXPECT_LT(elapsed, 3s);  // answered near the deadline, not after 5 s
+
+  // The worker unwinds at its next chunk boundary and frees the slot; the
+  // daemon then serves the next request normally.
+  wait_until([&] { return server.counters().in_flight == 0; });
+  svc::Request fast;
+  fast.verb = "ping";
+  EXPECT_EQ(server.execute(fast).status, "ok");
+}
+
+TEST(Deadline, CancelTokenSemantics) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.check());
+  token.set_timeout_ms(1);
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(token.expired());
+  try {
+    token.check();
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_TRUE(c.deadline_exceeded());
+  }
+  // Explicit cancellation wins over the deadline when both apply.
+  token.cancel();
+  try {
+    token.check();
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_FALSE(c.deadline_exceeded());
+  }
+}
+
+TEST(Deadline, TimeoutRoundTripsThroughTheProtocol) {
+  svc::Request req;
+  req.verb = "evaluate";
+  req.timeout_ms = 1234;
+  const svc::Request decoded = svc::decode_request(svc::encode_request(req));
+  EXPECT_EQ(decoded.timeout_ms, 1234u);
+
+  // timeout_ms is execution policy, not request identity: the cache must
+  // serve the same key regardless of the caller's patience.
+  svc::Request other = req;
+  other.timeout_ms = 9999;
+  EXPECT_EQ(svc::canonical_request_key(req),
+            svc::canonical_request_key(other));
+
+  svc::Response resp;
+  resp.status = "ok";
+  resp.server.timed_out = 7;
+  resp.server.cancelled = 3;
+  resp.server.restored = 11;
+  resp.server.persisted = 13;
+  const svc::Response rt = svc::decode_response(svc::encode_response(resp));
+  EXPECT_EQ(rt.server.timed_out, 7u);
+  EXPECT_EQ(rt.server.cancelled, 3u);
+  EXPECT_EQ(rt.server.restored, 11u);
+  EXPECT_EQ(rt.server.persisted, 13u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-class priority scheduler
+
+TEST(PriorityScheduler, InteractiveJumpsQueuedBatch) {
+  ThreadPool pool(1);  // one worker: deterministic execution order
+  svc::RequestScheduler sched(&pool, 8);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> blocker_started{false};
+  ASSERT_TRUE(sched.try_submit(
+      [&] {
+        blocker_started = true;
+        gate.wait();
+      },
+      svc::Priority::kBatch));
+  wait_until([&] { return blocker_started.load(); });
+
+  std::mutex m;
+  std::vector<std::string> order;
+  const auto record = [&](const char* label) {
+    std::lock_guard<std::mutex> lock(m);
+    order.emplace_back(label);
+  };
+  ASSERT_TRUE(sched.try_submit([&] { record("batch"); },
+                               svc::Priority::kBatch));
+  ASSERT_TRUE(sched.try_submit([&] { record("interactive"); },
+                               svc::Priority::kInteractive));
+
+  release.set_value();
+  wait_until([&] { return sched.in_flight() == 0; });
+  ASSERT_EQ(order.size(), 2u);
+  // The batch request was enqueued FIRST, but the interactive one runs
+  // first: that is the whole point of the two classes.
+  EXPECT_EQ(order[0], "interactive");
+  EXPECT_EQ(order[1], "batch");
+}
+
+TEST(PriorityScheduler, AgedBatchBeatsFreshInteractive) {
+  ThreadPool pool(1);
+  svc::RequestScheduler sched(&pool, 8, std::chrono::milliseconds(0));
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> blocker_started{false};
+  ASSERT_TRUE(sched.try_submit(
+      [&] {
+        blocker_started = true;
+        gate.wait();
+      },
+      svc::Priority::kBatch));
+  wait_until([&] { return blocker_started.load(); });
+
+  std::mutex m;
+  std::vector<std::string> order;
+  const auto record = [&](const char* label) {
+    std::lock_guard<std::mutex> lock(m);
+    order.emplace_back(label);
+  };
+  ASSERT_TRUE(sched.try_submit([&] { record("batch"); },
+                               svc::Priority::kBatch));
+  std::this_thread::sleep_for(5ms);  // age the batch head past 0 ms
+  ASSERT_TRUE(sched.try_submit([&] { record("interactive"); },
+                               svc::Priority::kInteractive));
+
+  release.set_value();
+  wait_until([&] { return sched.in_flight() == 0; });
+  ASSERT_EQ(order.size(), 2u);
+  // With the aging threshold exceeded, the starved batch request wins.
+  EXPECT_EQ(order[0], "batch");
+  EXPECT_EQ(order[1], "interactive");
+}
+
+// ---------------------------------------------------------------------------
+// Socket addressing: IPv6 and the abstract Unix namespace
+
+TEST(Address, ResolvesFilesystemUnixPath) {
+  const svc::UnixAddress ua = svc::resolve_unix("/tmp/canu-test.sock");
+  EXPECT_FALSE(ua.abstract);
+  EXPECT_EQ(ua.addr.sun_family, AF_UNIX);
+  EXPECT_STREQ(ua.addr.sun_path, "/tmp/canu-test.sock");
+}
+
+TEST(Address, ResolvesAbstractNamespace) {
+  const std::string name = "@canu-abstract-test";
+  const svc::UnixAddress ua = svc::resolve_unix(name);
+  EXPECT_TRUE(ua.abstract);
+  EXPECT_EQ(ua.addr.sun_path[0], '\0');  // leading NUL marks the namespace
+  EXPECT_EQ(std::memcmp(ua.addr.sun_path + 1, name.data() + 1,
+                        name.size() - 1),
+            0);
+  EXPECT_EQ(ua.len, static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                           name.size()));
+}
+
+TEST(Address, RejectsBadUnixPaths) {
+  EXPECT_THROW(svc::resolve_unix(""), Error);
+  EXPECT_THROW(svc::resolve_unix("@"), Error);
+  EXPECT_THROW(svc::resolve_unix(std::string(200, 'x')), Error);
+}
+
+TEST(Address, ResolvesIpv4AndIpv6Literals) {
+  EXPECT_EQ(svc::resolve_tcp("127.0.0.1", 80).family, AF_INET);
+  EXPECT_EQ(svc::resolve_tcp("::1", 80).family, AF_INET6);
+  EXPECT_EQ(svc::resolve_tcp("[::1]", 80).family, AF_INET6);  // bracketed
+  EXPECT_EQ(svc::resolve_tcp("[2001:db8::7]", 0).family, AF_INET6);
+  EXPECT_THROW(svc::resolve_tcp("not-an-address", 80), Error);
+  EXPECT_THROW(svc::resolve_tcp("[127.0.0.1", 80), Error);
+}
+
+TEST(ServerSocketRobust, AbstractUnixEndToEnd) {
+  const std::string name =
+      "@canu-fault-test-" + std::to_string(::getpid());
+  svc::ServerOptions options;
+  options.unix_socket = name;
+  svc::Server server(std::move(options));
+  server.start();
+
+  svc::Endpoint endpoint;
+  endpoint.unix_path = name;
+  svc::Request req;
+  req.verb = "ping";
+  EXPECT_EQ(svc::Client(endpoint).call(req).status, "ok");
+  server.stop();
+
+  // Abstract names leave no filesystem entry and free on close: a second
+  // daemon can bind the same name immediately.
+  svc::ServerOptions again;
+  again.unix_socket = name;
+  svc::Server second(std::move(again));
+  second.start();
+  EXPECT_EQ(svc::Client(endpoint).call(req).status, "ok");
+  second.stop();
+}
+
+TEST(ServerSocketRobust, Ipv6LoopbackEndToEnd) {
+  svc::ServerOptions options;
+  options.tcp_host = "::1";
+  options.tcp_port = 0;
+  svc::Server server(std::move(options));
+  try {
+    server.start();
+  } catch (const Error& e) {
+    GTEST_SKIP() << "IPv6 loopback unavailable: " << e.what();
+  }
+  svc::Endpoint endpoint;
+  endpoint.host = "[::1]";
+  endpoint.port = server.bound_tcp_port();
+  svc::Request req;
+  req.verb = "ping";
+  const svc::Response resp = svc::Client(endpoint).call(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, "pong\n");
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Socket fault injection + client retry
+
+TEST(SocketFault, InjectedConnectFailureSurfacesAsError) {
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+
+  svc::Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  svc::Request req;
+  req.verb = "ping";
+  {
+    FaultGuard guard("socket.connect:1");
+    EXPECT_THROW(svc::Client(endpoint).call(req), Error);
+  }
+  // The daemon never saw the doomed connection; the next one works.
+  EXPECT_EQ(svc::Client(endpoint).call(req).status, "ok");
+  server.stop();
+}
+
+TEST(SocketFault, RetryRecoversFromInjectedConnectFault) {
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+
+  svc::Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  svc::Request req;
+  req.verb = "ping";
+  svc::RetryPolicy policy;
+  policy.attempts = 3;
+  policy.base = std::chrono::milliseconds(1);
+  policy.cap = std::chrono::milliseconds(2);
+
+  FaultGuard guard("socket.connect:1");
+  unsigned attempts_made = 0;
+  const svc::Response resp =
+      svc::Client(endpoint).call_with_retry(req, policy, &attempts_made);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(attempts_made, 2u);  // one injected failure, one success
+  server.stop();
+}
+
+TEST(SocketFault, ReadFaultDropsOneConnectionNotTheDaemon) {
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+
+  svc::Endpoint endpoint;
+  endpoint.unix_path = dir.path + "/s";
+  svc::Request req;
+  req.verb = "ping";
+  {
+    // First read in the exchange is the daemon reading the request header;
+    // it fails, the daemon drops that connection, the client sees EOF.
+    FaultGuard guard("socket.read:1");
+    EXPECT_THROW(svc::Client(endpoint).call(req), Error);
+  }
+  EXPECT_EQ(svc::Client(endpoint).call(req).status, "ok");
+  server.stop();
+}
+
+TEST(Retry, ExhaustsAttemptsAgainstDeadEndpointThenThrows) {
+  svc::Endpoint endpoint;
+  endpoint.unix_path = "/tmp/canu-no-such-daemon.sock";
+  svc::Request req;
+  req.verb = "ping";
+  svc::RetryPolicy policy;
+  policy.attempts = 3;
+  policy.base = std::chrono::milliseconds(1);
+  policy.cap = std::chrono::milliseconds(2);
+  unsigned attempts_made = 0;
+  EXPECT_THROW(
+      svc::Client(endpoint).call_with_retry(req, policy, &attempts_made),
+      Error);
+  EXPECT_EQ(attempts_made, 3u);
+}
+
+TEST(Retry, BudgetCapsTotalRetryTime) {
+  svc::Endpoint endpoint;
+  endpoint.unix_path = "/tmp/canu-no-such-daemon.sock";
+  svc::Request req;
+  req.verb = "ping";
+  svc::RetryPolicy policy;
+  policy.attempts = 1000;
+  policy.base = std::chrono::milliseconds(20);
+  policy.cap = std::chrono::milliseconds(50);
+  policy.budget = std::chrono::milliseconds(100);
+  const auto start = std::chrono::steady_clock::now();
+  unsigned attempts_made = 0;
+  EXPECT_THROW(
+      svc::Client(endpoint).call_with_retry(req, policy, &attempts_made),
+      Error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 2s);  // nowhere near 1000 × base
+  EXPECT_GE(attempts_made, 2u);
+  EXPECT_LT(attempts_made, 100u);
+}
+
+TEST(Retry, OverloadedReplyIsRetriedUntilCapacityFrees) {
+  svc::ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 1;
+  svc::Server server(std::move(options));
+
+  svc::Request slow;
+  slow.verb = "ping";
+  slow.args = {"300"};  // hold the only slot for 300 ms
+  std::thread holder([&] {
+    EXPECT_EQ(server.execute(slow).status, "ok");
+  });
+  wait_until([&] { return server.counters().in_flight >= 1; });
+
+  svc::Request fast;
+  fast.verb = "ping";
+  // In-process loopback equivalent of call_with_retry's overload handling:
+  // keep resubmitting with backoff until the slot frees.
+  svc::Response resp;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    resp = server.execute(fast);
+    if (resp.status != "overloaded") break;
+    EXPECT_EQ(resp.exit_code, 75);
+    std::this_thread::sleep_for(25ms);
+  }
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_GE(server.counters().rejected, 1u);
+  holder.join();
+}
+
+// ---------------------------------------------------------------------------
+// Rollup manifest
+
+TEST(Rollup, WritesPerVerbStatsAndRatios) {
+  TempDir dir;
+  svc::Server server(svc::ServerOptions{});
+  svc::Request ping;
+  ping.verb = "ping";
+  server.execute(ping);
+  svc::Request version;
+  version.verb = "version";
+  server.execute(version);
+  server.execute(version);
+
+  const std::string path = dir.path + "/rollup.json";
+  server.write_rollup(path);
+  std::ifstream is(path);
+  std::string json((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  for (const char* needle :
+       {"\"verbs\"", "\"ping\"", "\"version\"", "\"p50_ms\"", "\"p99_ms\"",
+        "\"cache_hit_ratio\"", "\"timed_out\"", "\"cancelled\"",
+        "\"admitted\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_THROW(server.write_rollup(dir.path + "/no/such/dir/x.json"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-cache corruption recovery
+
+Trace make_test_trace(std::size_t refs) {
+  Trace trace("fault-test");
+  for (std::size_t i = 0; i < refs; ++i) {
+    // Large stride: multi-byte deltas, so truncation always lands mid-record.
+    trace.append(0x10000 + i * 0x10000, AccessType::kRead);
+  }
+  return trace;
+}
+
+TEST(TraceCacheCorruption, TruncatedEntryIsDiscardedAndRegenerated) {
+  TempDir dir;
+  TraceCache cache(dir.path);
+  const Trace trace = make_test_trace(200);
+  cache.store(trace, "victim");
+  ASSERT_TRUE(cache.contains("victim"));
+
+  // Keep only the first 30 bytes: the header survives, the records do not —
+  // exactly what an interrupted copy or a crashed writer leaves behind.
+  const std::string path = dir.path + "/victim.ctrc";
+  fs::resize_file(path, 30);
+
+  EXPECT_EQ(cache.open("victim"), nullptr);      // corrupt = miss
+  EXPECT_FALSE(fs::exists(path));                // and the entry is gone
+  EXPECT_FALSE(cache.contains("victim"));
+
+  // The regeneration path: store again, read back intact.
+  cache.store(trace, "victim");
+  auto source = cache.open("victim");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->size_hint(), trace.size());
+}
+
+TEST(TraceCacheCorruption, LoadRejectsMidRecordTruncation) {
+  TempDir dir;
+  TraceCache cache(dir.path);
+  const Trace trace = make_test_trace(100);
+  cache.store(trace, "victim");
+
+  const std::string path = dir.path + "/victim.ctrc";
+  fs::resize_file(path, fs::file_size(path) - 3);  // cut into the last record
+
+  Trace out;
+  EXPECT_FALSE(cache.load("victim", out));  // full decode catches the cut
+  EXPECT_FALSE(fs::exists(path));
+
+  cache.store(trace, "victim");
+  ASSERT_TRUE(cache.load("victim", out));
+  ASSERT_EQ(out.size(), trace.size());
+  EXPECT_EQ(out.refs()[99].addr, trace.refs()[99].addr);
+}
+
+TEST(TraceCacheCorruption, ValidateTraceFileChecksBounds) {
+  TempDir dir;
+  const std::string path = dir.path + "/t.ctrc";
+  const Trace trace = make_test_trace(50);
+  save_trace_compressed(trace, path);
+  EXPECT_NO_THROW(validate_trace_file(path));
+
+  fs::resize_file(path, 25);
+  EXPECT_THROW(validate_trace_file(path), Error);
+
+  std::ofstream(path, std::ios::trunc) << "garbage, not a trace at all";
+  EXPECT_THROW(validate_trace_file(path), Error);
+  EXPECT_THROW(validate_trace_file(dir.path + "/missing.ctrc"), Error);
+}
+
+}  // namespace
+}  // namespace canu

@@ -49,6 +49,9 @@ struct CliArgs {
   std::size_t queue_capacity = 64;
   std::size_t result_cache_entries = 256;
   std::string meta_out;  ///< response-metadata JSON path (submit/status)
+  std::uint64_t timeout_ms = 0;  ///< server-enforced deadline (0 = none)
+  unsigned retry = 0;            ///< extra submit attempts on overload
+  std::string cache_file;        ///< serve: persistent result journal
 };
 
 [[noreturn]] void die_flag(const std::string& error) {
@@ -111,6 +114,17 @@ CliArgs parse(int argc, char** argv) {
     } else if (flag_value(arg, "--meta-out", &value)) {
       if (value.empty()) die_flag("--meta-out needs a file path");
       args.meta_out = value;
+    } else if (flag_value(arg, "--timeout-ms", &value)) {
+      const auto v = parse_u64(value, "--timeout-ms value", &error);
+      if (!v || *v == 0) die_flag("--timeout-ms needs a positive integer");
+      args.timeout_ms = *v;
+    } else if (flag_value(arg, "--retry", &value)) {
+      const auto v = parse_u64(value, "--retry value", &error);
+      if (!v || *v > 100) die_flag("--retry needs an integer 0..100");
+      args.retry = static_cast<unsigned>(*v);
+    } else if (flag_value(arg, "--cache-file", &value)) {
+      if (value.empty()) die_flag("--cache-file needs a file path");
+      args.cache_file = value;
     } else if (arg.rfind("--", 0) == 0) {
       die_flag("unknown option '" + arg + "'");
     } else {
@@ -130,6 +144,7 @@ svc::Request to_request(const CliArgs& args, std::size_t skip = 1) {
   }
   req.params = args.params;
   req.threads = args.threads;
+  req.timeout_ms = args.timeout_ms;
   return req;
 }
 
@@ -190,7 +205,17 @@ int cmd_submit(const CliArgs& args) {
   CliArgs remote = args;
   remote.positional.erase(remote.positional.begin());  // drop "submit"
   const svc::Client client(endpoint_from(args));
-  return finish_remote(client.call(to_request(remote)), args);
+  svc::RetryPolicy policy;
+  policy.attempts = args.retry + 1;
+  policy.budget = std::chrono::milliseconds(args.timeout_ms);
+  // Jitter seeded per process so concurrent clients desynchronize their
+  // backoff; getpid ^ a monotonic tick is plenty for spreading sleeps.
+  policy.seed = static_cast<std::uint64_t>(getpid()) ^
+                static_cast<std::uint64_t>(
+                    std::chrono::steady_clock::now().time_since_epoch()
+                        .count());
+  return finish_remote(client.call_with_retry(to_request(remote), policy),
+                       args);
 }
 
 int cmd_status(const CliArgs& args) {
@@ -201,9 +226,9 @@ int cmd_status(const CliArgs& args) {
 }
 
 // ---------------------------------------------------------------------------
-// canu serve: signal-driven daemon lifecycle. The handler only writes one
+// canu serve: signal-driven daemon lifecycle. The handlers only write one
 // byte to a self-pipe (async-signal-safe); the main thread blocks on the
-// pipe and runs the graceful drain.
+// pipe and runs the graceful drain ('s') or a metrics rollup ('h').
 
 int g_signal_pipe[2] = {-1, -1};
 
@@ -211,6 +236,22 @@ extern "C" void handle_stop_signal(int) {
   const char byte = 's';
   // Best-effort: a full pipe already guarantees wake-up.
   [[maybe_unused]] const auto n = write(g_signal_pipe[1], &byte, 1);
+}
+
+extern "C" void handle_hup_signal(int) {
+  const char byte = 'h';
+  [[maybe_unused]] const auto n = write(g_signal_pipe[1], &byte, 1);
+}
+
+void serve_rollup(const svc::Server& server, const std::string& path) {
+  if (path.empty()) return;
+  try {
+    server.write_rollup(path);
+    std::cerr << "[canud] wrote metrics rollup to " << path << "\n";
+  } catch (const Error& e) {
+    std::cerr << "[canud] warning: metrics rollup failed: " << e.what()
+              << "\n";
+  }
 }
 
 int cmd_serve(const CliArgs& args) {
@@ -221,6 +262,7 @@ int cmd_serve(const CliArgs& args) {
   opt.threads = args.threads;
   opt.queue_capacity = args.queue_capacity;
   opt.result_cache_entries = args.result_cache_entries;
+  opt.cache_file = args.cache_file;
   if (opt.unix_socket.empty() && opt.tcp_port < 0) {
     std::cerr << "canu serve needs --socket=<path> and/or --port=<n>\n";
     print_verb_usage(std::cerr, "serve");
@@ -232,6 +274,9 @@ int cmd_serve(const CliArgs& args) {
   sa.sa_handler = handle_stop_signal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction hup{};
+  hup.sa_handler = handle_hup_signal;
+  sigaction(SIGHUP, &hup, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
   svc::Server server(std::move(opt));
@@ -240,8 +285,12 @@ int cmd_serve(const CliArgs& args) {
             << server.endpoints() << " (threads=" << server.threads()
             << ", queue=" << args.queue_capacity << ")\n";
 
-  char byte;
-  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  for (;;) {
+    char byte = 0;
+    const auto n = read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || byte != 'h') break;  // SIGINT/SIGTERM (or pipe gone)
+    serve_rollup(server, args.metrics_out);  // SIGHUP: rollup, keep serving
   }
   std::cerr << "[canud] draining...\n";
   server.stop();
@@ -249,6 +298,7 @@ int cmd_serve(const CliArgs& args) {
   std::cerr << "[canud] drained: " << c.admitted << " admitted, "
             << c.rejected << " rejected, " << c.result_cache_hits
             << " cache hits, " << c.coalesced << " coalesced\n";
+  serve_rollup(server, args.metrics_out);
   return 0;
 }
 
@@ -270,9 +320,15 @@ int main(int argc, char** argv) {
     if (i > 0) command += ' ';
     command += argv[i];
   }
+  // For `serve`, --metrics-out is the daemon's whole-process rollup (written
+  // by cmd_serve on SIGHUP and shutdown), not the per-run obs manifest —
+  // finalize_outputs() must not clobber it at exit.
+  const bool serving =
+      !args.positional.empty() && args.positional[0] == "serve";
   try {
-    obs::install_outputs(
-        obs::OutputConfig{args.metrics_out, args.trace_events, command});
+    obs::install_outputs(obs::OutputConfig{
+        serving ? std::string() : args.metrics_out, args.trace_events,
+        command});
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Mixed-priority soak against a live canud: batch evaluates, interactive
+# control-plane requests, and deliberately timed-out submits all hammer one
+# daemon for a fixed window. Asserts that
+#   - every client invocation returns (no hung requests: each is wrapped in
+#     a hard `timeout` well above any legitimate latency),
+#   - interactive requests stay fast even while batch work queues
+#     (p99 bound read from the shutdown rollup),
+#   - deadlines produce typed exit-124 answers, not stuck clients,
+#   - SIGHUP produces a parseable metrics rollup mid-flight,
+#   - the daemon drains cleanly on SIGTERM and writes the final rollup.
+#
+# Usage: tools/soak_daemon.sh [build-dir] [duration-seconds]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+DURATION=${2:-60}
+CANU="$BUILD_DIR/tools/canu"
+[ -x "$CANU" ] || { echo "no canu binary at $CANU" >&2; exit 2; }
+
+WORK=$(mktemp -d /tmp/canu_soak_XXXXXX)
+SOCK="$WORK/canud.sock"
+ROLLUP="$WORK/rollup.json"
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CANU" serve --socket="$SOCK" --queue=8 \
+  --cache-file="$WORK/results.jrnl" --metrics-out="$ROLLUP" \
+  2> "$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+
+END=$((SECONDS + DURATION))
+# A client that does not return inside 120 s is hung; SIGKILL gives the
+# distinctive exit 137, never confusable with canu's own deadline exit 124.
+CLIENT="timeout --signal=KILL 120"
+
+fail() { echo "soak: $*" >&2; touch "$WORK/failed"; }
+
+batch_loop() {
+  local i=0 rc
+  while [ $SECONDS -lt $END ]; do
+    rc=0
+    $CLIENT "$CANU" submit evaluate crc indexing --scale=0.0625 \
+      --seed=$(((i % 4) + 1)) --retry=5 --socket="$SOCK" \
+      > /dev/null 2>> "$WORK/batch.err" || rc=$?
+    case $rc in
+      0 | 75) ;;  # overload past the retry budget is load shedding, not a bug
+      *) fail "batch submit exited $rc" ;;
+    esac
+    i=$((i + 1))
+  done
+  echo "$i" > "$WORK/batch.count"
+}
+
+interactive_loop() {
+  local i=0 rc verb
+  while [ $SECONDS -lt $END ]; do
+    for verb in version status; do
+      rc=0
+      $CLIENT "$CANU" submit "$verb" --retry=5 --socket="$SOCK" \
+        > /dev/null 2>> "$WORK/interactive.err" || rc=$?
+      [ "$rc" -eq 0 ] || fail "interactive $verb exited $rc"
+    done
+    i=$((i + 1))
+    sleep 0.05
+  done
+  echo "$i" > "$WORK/interactive.count"
+}
+
+deadline_loop() {
+  local i=0 timed_out=0 rc
+  while [ $SECONDS -lt $END ]; do
+    rc=0
+    $CLIENT "$CANU" submit evaluate mibench all --scale=0.25 \
+      --seed=$((i + 100)) --timeout-ms=40 --socket="$SOCK" \
+      > /dev/null 2>> "$WORK/deadline.err" || rc=$?
+    case $rc in
+      124) timed_out=$((timed_out + 1)) ;;
+      0 | 75) ;;  # cache hit beat the deadline / admission shed it
+      *) fail "deadline submit exited $rc" ;;
+    esac
+    i=$((i + 1))
+    sleep 0.2
+  done
+  echo "$i $timed_out" > "$WORK/deadline.count"
+}
+
+batch_loop &
+BATCH=$!
+interactive_loop &
+INTERACTIVE=$!
+deadline_loop &
+DEADLINE=$!
+
+# Mid-flight SIGHUP: the rollup must appear and parse while serving.
+sleep $((DURATION / 2))
+kill -HUP "$SERVE_PID"
+for _ in $(seq 1 50); do [ -s "$ROLLUP" ] && break; sleep 0.1; done
+python3 -m json.tool "$ROLLUP" > /dev/null || fail "SIGHUP rollup unparseable"
+
+wait "$BATCH" "$INTERACTIVE" "$DEADLINE"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "daemon exited nonzero"
+SERVE_PID=
+
+[ ! -e "$WORK/failed" ] || { cat "$WORK"/*.err >&2 || true; exit 1; }
+
+read -r BATCH_N < "$WORK/batch.count"
+read -r INTERACTIVE_N < "$WORK/interactive.count"
+read -r DEADLINE_N DEADLINE_124 < "$WORK/deadline.count"
+echo "soak: $BATCH_N batch, $INTERACTIVE_N interactive rounds," \
+  "$DEADLINE_N deadline submits ($DEADLINE_124 timed out)"
+[ "$BATCH_N" -ge 1 ] && [ "$INTERACTIVE_N" -ge 5 ] || {
+  echo "soak: suspiciously little work completed" >&2
+  exit 1
+}
+
+# Final rollup: written on drain, parseable, and interactive latency stayed
+# bounded while batch evaluates saturated the queue.
+python3 - "$ROLLUP" << 'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    rollup = json.load(f)
+verbs = rollup["verbs"]
+p99 = verbs.get("version", {}).get("p99_ms", 0.0)
+assert p99 < 5000.0, f"interactive p99 {p99:.1f} ms: batch starved it"
+assert rollup["admitted"] > 0, "rollup counted no admitted requests"
+print(f"soak: interactive p99 {p99:.1f} ms,"
+      f" admitted {rollup['admitted']},"
+      f" timed_out {rollup['timed_out']},"
+      f" cache hits {rollup['result_cache_hits']}")
+EOF
+echo "soak: PASS"
