@@ -1,0 +1,156 @@
+#include "cache/config_grid.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace {
+
+/// Split "a,b,c" on commas; an empty list or empty element is an error.
+std::vector<std::string> split_list(const std::string& dim,
+                                    const std::string& text) {
+  CANU_CHECK_MSG(!text.empty(), "--grid " << dim << "= needs a value list");
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    CANU_CHECK_MSG(!item.empty(),
+                   "empty element in --grid " << dim << "=" << text);
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_dim_u64(const std::string& dim, const std::string& item) {
+  CANU_CHECK_MSG(!item.empty() && item.find_first_not_of("0123456789") ==
+                                      std::string::npos,
+                 "invalid --grid " << dim << " value '" << item
+                                   << "' (want a positive integer)");
+  CANU_CHECK_MSG(item.size() <= 10, "--grid " << dim << " value '" << item
+                                              << "' out of range");
+  return std::stoull(item);
+}
+
+template <typename T>
+void sort_dedup(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+std::string GridPoint::label() const {
+  return scheme + "@" + std::to_string(sets) + "x" + std::to_string(ways) +
+         "x" + std::to_string(line);
+}
+
+ConfigGrid ConfigGrid::parse(std::span<const std::string> tokens) {
+  ConfigGrid grid;
+  bool seen_sets = false, seen_ways = false, seen_line = false,
+       seen_scheme = false;
+  for (const std::string& token : tokens) {
+    const std::size_t eq = token.find('=');
+    CANU_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "malformed --grid dimension '"
+                       << token << "' (want sets=|ways=|line=|scheme=)");
+    const std::string dim = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (dim == "sets") {
+      CANU_CHECK_MSG(!seen_sets, "--grid dimension 'sets' given twice");
+      seen_sets = true;
+      grid.sets_.clear();
+      for (const std::string& item : split_list(dim, value)) {
+        const std::uint64_t v = parse_dim_u64(dim, item);
+        CANU_CHECK_MSG(v >= 1 && v <= (1u << 24) && is_pow2(v),
+                       "--grid sets value " << v
+                                            << " must be a power of two "
+                                               "in [1, 2^24]");
+        grid.sets_.push_back(v);
+      }
+    } else if (dim == "ways") {
+      CANU_CHECK_MSG(!seen_ways, "--grid dimension 'ways' given twice");
+      seen_ways = true;
+      grid.ways_.clear();
+      for (const std::string& item : split_list(dim, value)) {
+        const std::uint64_t v = parse_dim_u64(dim, item);
+        CANU_CHECK_MSG(v >= 1 && v <= 64,
+                       "--grid ways value " << v << " must be in [1, 64]");
+        grid.ways_.push_back(static_cast<unsigned>(v));
+      }
+    } else if (dim == "line") {
+      CANU_CHECK_MSG(!seen_line, "--grid dimension 'line' given twice");
+      seen_line = true;
+      grid.lines_.clear();
+      for (const std::string& item : split_list(dim, value)) {
+        const std::uint64_t v = parse_dim_u64(dim, item);
+        CANU_CHECK_MSG(v >= 4 && v <= 4096 && is_pow2(v),
+                       "--grid line value "
+                           << v << " must be a power of two in [4, 4096]");
+        grid.lines_.push_back(v);
+      }
+    } else if (dim == "scheme") {
+      CANU_CHECK_MSG(!seen_scheme, "--grid dimension 'scheme' given twice");
+      seen_scheme = true;
+      grid.schemes_ = split_list(dim, value);
+    } else {
+      throw Error("unknown --grid dimension '" + dim +
+                  "' (want sets|ways|line|scheme)");
+    }
+  }
+  sort_dedup(&grid.sets_);
+  sort_dedup(&grid.ways_);
+  sort_dedup(&grid.lines_);
+  sort_dedup(&grid.schemes_);
+  CANU_CHECK_MSG(grid.cell_count() <= kMaxCells,
+                 "--grid expands to " << grid.cell_count()
+                                      << " configurations (max " << kMaxCells
+                                      << ")");
+  return grid;
+}
+
+std::vector<GridPoint> ConfigGrid::cells() const {
+  std::vector<GridPoint> out;
+  out.reserve(cell_count());
+  for (const std::string& scheme : schemes_) {
+    for (const std::uint64_t sets : sets_) {
+      for (const unsigned ways : ways_) {
+        for (const std::uint64_t line : lines_) {
+          out.push_back(GridPoint{sets, ways, line, scheme});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ConfigGrid::canonical_tokens() const {
+  const auto join_nums = [](const auto& items) {
+    std::string s;
+    for (const auto& v : items) {
+      if (!s.empty()) s += ',';
+      s += std::to_string(v);
+    }
+    return s;
+  };
+  std::string schemes;
+  for (const std::string& s : schemes_) {
+    if (!schemes.empty()) schemes += ',';
+    schemes += s;
+  }
+  return {"sets=" + join_nums(sets_), "ways=" + join_nums(ways_),
+          "line=" + join_nums(lines_), "scheme=" + schemes};
+}
+
+bool is_grid_dimension_token(const std::string& arg) noexcept {
+  return arg.rfind("sets=", 0) == 0 || arg.rfind("ways=", 0) == 0 ||
+         arg.rfind("line=", 0) == 0 || arg.rfind("scheme=", 0) == 0;
+}
+
+}  // namespace canu

@@ -1,0 +1,85 @@
+// ConfigGrid: the design-space sweep vocabulary for one-pass multi-
+// configuration replay (DESIGN.md §13).
+//
+// A grid is four dimension lists — sets × ways × line size × scheme — and
+// expands to the cross product in one canonical order. Canonicalization
+// (each list sorted and deduplicated, cells enumerated scheme-major, then
+// sets, ways, line) is part of the contract: two permuted-but-equivalent
+// `--grid` specs expand to the same cells in the same order, print the
+// same tables, and hash to the same daemon result-cache key.
+//
+// The scheme dimension is carried as names ("modulo", "xor",
+// "column_assoc", ...): resolving a name to a live cache model is the
+// core layer's job (core/evaluator.hpp), so the cache layer stays free of
+// the scheme registry and the grid type is usable from the service layer
+// for request-key canonicalization without dragging in model code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace canu {
+
+/// One cell of the expanded grid.
+struct GridPoint {
+  std::uint64_t sets = 0;
+  unsigned ways = 0;
+  std::uint64_t line = 0;
+  std::string scheme;
+
+  /// The cell's L1 geometry (size follows from sets * ways * line).
+  CacheGeometry geometry() const noexcept {
+    return CacheGeometry{sets * ways * line, line, ways};
+  }
+
+  /// Canonical row label, e.g. "xor@1024x2x32" (sets x ways x line).
+  std::string label() const;
+};
+
+class ConfigGrid {
+ public:
+  /// Hard ceiling on expanded cells: wide enough for any real design-space
+  /// sweep, small enough that one request cannot OOM the daemon.
+  static constexpr std::size_t kMaxCells = 1024;
+
+  /// Parse dimension tokens ("sets=512,1024", "ways=1,2", "line=32",
+  /// "scheme=modulo,xor"). Omitted dimensions default to the paper's L1
+  /// (1024 sets, 1 way, 32-byte lines, modulo indexing). Lists are
+  /// canonicalized on parse. Throws canu::Error on malformed tokens,
+  /// repeated dimensions, invalid values, or an oversize grid.
+  static ConfigGrid parse(std::span<const std::string> tokens);
+
+  const std::vector<std::uint64_t>& sets() const noexcept { return sets_; }
+  const std::vector<unsigned>& ways() const noexcept { return ways_; }
+  const std::vector<std::uint64_t>& lines() const noexcept { return lines_; }
+  const std::vector<std::string>& schemes() const noexcept { return schemes_; }
+
+  std::size_t cell_count() const noexcept {
+    return sets_.size() * ways_.size() * lines_.size() * schemes_.size();
+  }
+
+  /// Every cell in canonical order: schemes outer, then sets, ways, line.
+  std::vector<GridPoint> cells() const;
+
+  /// The spec re-serialized in canonical form, one token per dimension in
+  /// fixed order ("sets=...", "ways=...", "line=...", "scheme=...") — the
+  /// normal form hashed into the daemon's result-cache key.
+  std::vector<std::string> canonical_tokens() const;
+
+ private:
+  std::vector<std::uint64_t> sets_{1024};
+  std::vector<unsigned> ways_{1};
+  std::vector<std::uint64_t> lines_{32};
+  std::vector<std::string> schemes_{"modulo"};
+};
+
+/// True if `arg` looks like a grid dimension token (sets=/ways=/line=/
+/// scheme= prefix) — how the CLI and daemon tell dimension args apart from
+/// suite or group names.
+bool is_grid_dimension_token(const std::string& arg) noexcept;
+
+}  // namespace canu

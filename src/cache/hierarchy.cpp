@@ -17,15 +17,7 @@ Hierarchy::Hierarchy(CacheModel& l1, std::unique_ptr<CacheModel> l2,
 }
 
 std::uint64_t Hierarchy::access(std::uint64_t addr, AccessType type) {
-  const AccessOutcome l1_out = l1_->access(addr, type);
-  std::uint64_t cycles = l1_out.cycles;
-  if (!l1_out.hit) {
-    const AccessOutcome l2_out = l2_->access(addr, type);
-    cycles += timing_.l2_hit_cycles;
-    if (!l2_out.hit) cycles += timing_.memory_cycles;
-  }
-  total_cycles_ += cycles;
-  return cycles;
+  return finish_access(l1_->access(addr, type), addr, type);
 }
 
 HierarchyResult Hierarchy::run(const Trace& trace) {

@@ -51,6 +51,22 @@ class Hierarchy {
   /// Simulate one reference through both levels; returns cycles charged.
   std::uint64_t access(std::uint64_t addr, AccessType type = AccessType::kRead);
 
+  /// Second half of access() for callers that drove the L1 probe
+  /// themselves (the planned batch kernel, sim/batch_runner.cpp): charge
+  /// the L2 on an L1 miss and accumulate cycles, exactly as access() does
+  /// after its own l1->access() call.
+  std::uint64_t finish_access(const AccessOutcome& l1_out, std::uint64_t addr,
+                              AccessType type) {
+    std::uint64_t cycles = l1_out.cycles;
+    if (!l1_out.hit) {
+      const AccessOutcome l2_out = l2_->access(addr, type);
+      cycles += timing_.l2_hit_cycles;
+      if (!l2_out.hit) cycles += timing_.memory_cycles;
+    }
+    total_cycles_ += cycles;
+    return cycles;
+  }
+
   /// Replay a whole trace; returns the accumulated result.
   HierarchyResult run(const Trace& trace);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "indexing/modulo.hpp"
+#include "util/simd.hpp"
 
 namespace canu {
 
@@ -103,10 +104,16 @@ unsigned SetAssocCache::pick_victim(std::uint64_t set) noexcept {
 }
 
 AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
-  const std::uint64_t set = index_fn_->index(addr);
-  const std::uint64_t line_addr = addr >> geometry_.offset_bits();
+  return access_preindexed(index_fn_->index(addr),
+                           addr >> geometry_.offset_bits(), type);
+}
+
+AccessOutcome SetAssocCache::access_preindexed(std::uint64_t set,
+                                               std::uint64_t line_addr,
+                                               AccessType type) {
   CANU_CHECK_MSG(line_addr != kInvalidTag,
-                 "address 0x" << std::hex << addr
+                 "address 0x" << std::hex
+                              << (line_addr << geometry_.offset_bits())
                               << " aliases the invalid-tag sentinel");
   const std::size_t base = set * geometry_.ways;
   std::uint64_t* tags = tags_.data() + base;
@@ -118,9 +125,10 @@ AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
   if (is_write) ++stats_.write_accesses;
 
   // Tight probe: one compare per way over the contiguous tag column
-  // (validity is folded into the tag via the sentinel).
-  unsigned w = 0;
-  while (w < ways && tags[w] != line_addr) ++w;
+  // (validity is folded into the tag via the sentinel). Wide way counts
+  // take the AVX2 kernel when the host has it; first-match semantics are
+  // identical either way (util/simd.hpp).
+  const unsigned w = simd::find_u64(tags, ways, line_addr);
 
   if (w != ways) {
     const std::size_t idx = base + w;
@@ -137,11 +145,10 @@ AccessOutcome SetAssocCache::access(std::uint64_t addr, AccessType type) {
     return {true, 1, 1};
   }
 
-  // Miss: prefer an invalid way, otherwise consult the policy.
+  // Miss: prefer the first invalid way, otherwise consult the policy.
   ++stats_.misses;
   ++set_stats_[set].misses;
-  unsigned slot = 0;
-  while (slot < ways && tags[slot] != kInvalidTag) ++slot;
+  unsigned slot = simd::find_u64(tags, ways, kInvalidTag);
   if (slot == ways) {
     slot = pick_victim(set);
     ++stats_.evictions;

@@ -36,6 +36,16 @@ class SetAssocCache final : public CacheModel {
 
   AccessOutcome access(std::uint64_t addr,
                        AccessType type = AccessType::kRead) override;
+
+  /// The access-plan entry of the batch replay kernel (DESIGN.md §13):
+  /// identical to access() but with the set index and line address already
+  /// derived by the caller — the grid engine computes them once per
+  /// line-size/index-function class and fans them out to every member
+  /// configuration. `set` MUST equal index_function().index(addr) and
+  /// `line_addr` MUST equal addr >> offset_bits for the results to match
+  /// the virtual path (the planned kernel guarantees this by construction).
+  AccessOutcome access_preindexed(std::uint64_t set, std::uint64_t line_addr,
+                                  AccessType type);
   std::uint64_t num_sets() const noexcept override { return geometry_.sets(); }
   const CacheStats& stats() const noexcept override { return stats_; }
   std::span<const SetStats> set_stats() const noexcept override {

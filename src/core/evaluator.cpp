@@ -6,6 +6,9 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <tuple>
+
+#include "cache/set_assoc_cache.hpp"
 
 #include "obs/obs.hpp"
 #include "sim/parallel_batch_runner.hpp"
@@ -72,6 +75,57 @@ obs::SchemeRunRecord scheme_run_record(const std::string& label,
   rec.l1_accesses = r.l1.accesses;
   rec.l1_misses = r.l1.misses;
   return rec;
+}
+
+/// Obtain the reference stream for `wname` and replay it through every
+/// pipeline `build_all` registers — shared by evaluate() and
+/// evaluate_grid(). When any registered scheme is trained the trace is
+/// materialized first (profiling needs the full stream); otherwise chunks
+/// stream straight from the generator (or the trace cache) into the engine.
+void replay_workload(ParallelBatchRunner& runner,
+                     const std::function<void(const ProfileContext*)>& build_all,
+                     const std::string& wname, const WorkloadParams& params,
+                     const TraceCache* cache_ptr, bool any_profiled) {
+  if (any_profiled) {
+    // Trained index functions profile the full stream before simulation
+    // starts, so materialize the trace (once — the ProfileContext shares
+    // the derived unique-address set across every trained scheme).
+    const Trace trace = [&] {
+      obs::Span span("generate", "materialize " + wname);
+      return cached_workload_trace(wname, params, cache_ptr);
+    }();
+    const ProfileContext context(trace);
+    {
+      obs::Span span("train", "build schemes " + wname);
+      build_all(&context);
+    }
+    SpanSource source(wname, trace.refs());
+    obs::Span span("replay", "replay " + wname);
+    run_batch(runner, source);
+    return;
+  }
+  // Pure streaming: no pipeline needs the stream up front, so feed the
+  // engine chunks straight out of generation (teeing them into the cache
+  // on a miss) without ever materializing the trace.
+  build_all(nullptr);
+  obs::Span span("replay", "stream " + wname);
+  ChunkingSink feed = runner.make_sink();
+  if (cache_ptr != nullptr) {
+    const std::string key = workload_cache_key(wname, params);
+    if (auto source = cache_ptr->open(key)) {
+      pump(*source, feed);
+      feed.flush();
+    } else {
+      auto writer = cache_ptr->begin_store(key, wname);
+      TeeSink tee(*writer, feed);
+      generate_workload_into(wname, tee, params);
+      feed.flush();
+      writer->commit();
+    }
+  } else {
+    generate_workload_into(wname, feed, params);
+    feed.flush();
+  }
 }
 
 }  // namespace
@@ -205,46 +259,8 @@ EvalReport Evaluator::evaluate(
       }
     };
 
-    if (any_profiled) {
-      // Trained index functions profile the full stream before simulation
-      // starts, so materialize the trace (once — the ProfileContext shares
-      // the derived unique-address set across every trained scheme).
-      const Trace trace = [&] {
-        obs::Span span("generate", "materialize " + wname);
-        return cached_workload_trace(wname, options_.params, cache_ptr);
-      }();
-      const ProfileContext context(trace);
-      {
-        obs::Span span("train", "build schemes " + wname);
-        build_all(&context);
-      }
-      SpanSource source(wname, trace.refs());
-      obs::Span span("replay", "replay " + wname);
-      run_batch(runner, source);
-    } else {
-      // Pure streaming: no pipeline needs the stream up front, so feed the
-      // engine chunks straight out of generation (teeing them into the
-      // cache on a miss) without ever materializing the trace.
-      build_all(nullptr);
-      obs::Span span("replay", "stream " + wname);
-      ChunkingSink feed = runner.make_sink();
-      if (cache_ptr != nullptr) {
-        const std::string key = workload_cache_key(wname, options_.params);
-        if (auto source = cache_ptr->open(key)) {
-          pump(*source, feed);
-          feed.flush();
-        } else {
-          auto writer = cache_ptr->begin_store(key, wname);
-          TeeSink tee(*writer, feed);
-          generate_workload_into(wname, tee, options_.params);
-          feed.flush();
-          writer->commit();
-        }
-      } else {
-        generate_workload_into(wname, feed, options_.params);
-        feed.flush();
-      }
-    }
+    replay_workload(runner, build_all, wname, options_.params, cache_ptr,
+                    any_profiled);
 
     const RunResult base = runner.result(0, wname);
     std::vector<std::pair<std::string, EvalCell>> local;
@@ -288,6 +304,193 @@ EvalReport Evaluator::evaluate(
     report.baseline_runs.emplace(wname, base);
     for (auto& [label, cell] : local) {
       report.cells.emplace(std::make_pair(wname, label), std::move(cell));
+    }
+    ++workloads_done;
+    if (options_.progress) {
+      options_.progress(workloads_done, workload_names.size(), wname);
+    }
+  };
+  if (pool_ptr != nullptr) {
+    pool_ptr->parallel_for(workload_names.size(), run_workload);
+  } else {
+    for (std::size_t wi = 0; wi < workload_names.size(); ++wi) {
+      run_workload(wi);
+    }
+  }
+  return report;
+}
+
+const RunResult* GridReport::run(const std::string& workload,
+                                 const std::string& cell) const {
+  auto it = runs.find({workload, cell});
+  return it == runs.end() ? nullptr : &it->second;
+}
+
+ComparisonTable GridReport::miss_rate_table() const {
+  ComparisonTable table("% L1 miss rate per grid cell");
+  for (const std::string& w : workloads) {
+    for (const std::string& c : cell_labels) {
+      if (const RunResult* r = run(w, c)) table.set(w, c, 100.0 * r->miss_rate());
+    }
+  }
+  return table;
+}
+
+ComparisonTable GridReport::amat_table() const {
+  ComparisonTable table("AMAT (cycles) per grid cell");
+  for (const std::string& w : workloads) {
+    for (const std::string& c : cell_labels) {
+      if (const RunResult* r = run(w, c)) table.set(w, c, r->amat);
+    }
+  }
+  return table;
+}
+
+void GridReport::print(std::ostream& os) const {
+  miss_rate_table().print(os);
+  os << '\n';
+  amat_table().print(os);
+  for (const std::string& s : skipped) {
+    os << "skipped: " << s << '\n';
+  }
+}
+
+GridReport Evaluator::evaluate_grid(
+    const ConfigGrid& grid,
+    const std::vector<std::string>& workload_names) const {
+  CANU_CHECK_MSG(!workload_names.empty(), "no workloads to evaluate");
+
+  struct CellPlan {
+    GridPoint point;
+    SchemeSpec spec;
+  };
+  std::vector<CellPlan> plan;
+  GridReport report;
+  report.workloads = workload_names;
+  for (const GridPoint& pt : grid.cells()) {
+    const SchemeSpec spec = parse_scheme_spec(pt.scheme);  // throws if unknown
+    CANU_CHECK_MSG(
+        spec.org != CacheOrg::kSetAssoc && spec.org != CacheOrg::kSkewed,
+        "grid scheme '" << pt.scheme
+                        << "' fixes its own associativity and conflicts with "
+                           "the ways dimension; use an indexing scheme or an "
+                           "associativity organization instead");
+    if (spec.org != CacheOrg::kDirect && pt.ways != 1) {
+      report.skipped.push_back(pt.label() + ": " + cache_org_name(spec.org) +
+                               " organization requires ways=1");
+      continue;
+    }
+    report.cell_labels.push_back(pt.label());
+    plan.push_back(CellPlan{pt, spec});
+  }
+  CANU_CHECK_MSG(!plan.empty(), "config grid has no feasible cells");
+
+  std::mutex report_mutex;
+  ThreadPool* pool_ptr = options_.pool;
+  const unsigned threads =
+      pool_ptr != nullptr ? pool_ptr->size()
+                          : resolve_thread_count(options_.threads);
+  std::optional<ThreadPool> pool;
+  if (pool_ptr == nullptr && threads > 1) {
+    pool.emplace(threads);
+    pool_ptr = &*pool;
+  }
+
+  if (obs::Session* session = obs::Session::active()) {
+    obs::EvalConfigRecord cfg;
+    cfg.seed = options_.params.seed;
+    cfg.scale = options_.params.scale;
+    cfg.threads = threads;
+    cfg.baseline = "(grid)";
+    cfg.trace_cache_dir = options_.trace_cache_dir;
+    cfg.l1_geometry = "(grid)";
+    cfg.l2_geometry = describe_geometry(options_.run.l2_geometry);
+    cfg.schemes = report.cell_labels;
+    cfg.workloads = workload_names;
+    session->record_eval_config(std::move(cfg));
+  }
+  std::size_t workloads_done = 0;
+
+  const bool any_profiled =
+      std::any_of(plan.begin(), plan.end(),
+                  [](const CellPlan& c) { return spec_needs_profile(c.spec); });
+  std::optional<TraceCache> cache;
+  if (!options_.trace_cache_dir.empty()) {
+    cache.emplace(options_.trace_cache_dir);
+  }
+  const TraceCache* cache_ptr = cache ? &*cache : nullptr;
+
+  // One task per workload, exactly as evaluate(): one reference stream,
+  // every grid cell as a pipeline of one batch sweep. Cells sharing a
+  // (scheme, sets, line) class additionally share the per-reference index/
+  // line-address derivation via the engine's access-plan classes.
+  const auto run_workload = [&](std::size_t wi) {
+    const std::string& wname = workload_names[wi];
+    if (options_.cancel != nullptr) options_.cancel->check();
+    obs::Span workload_span("evaluate", "grid " + wname);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    ParallelBatchRunner runner(options_.run, pool_ptr);
+    runner.set_cancel(options_.cancel);
+    std::vector<std::unique_ptr<CacheModel>> models;
+    const auto build_all = [&](const ProfileContext* context) {
+      // One index function per (scheme, sets, line) class, shared across
+      // its ways variants — the object identity the batch engine keys its
+      // access-plan classes on (sim/batch_runner.hpp). Every variant in the
+      // class derives identical (set, line) values by construction, so
+      // sharing cannot change results.
+      std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>,
+               IndexFunctionPtr>
+          shared_index;
+      for (const CellPlan& c : plan) {
+        const CacheGeometry g = c.point.geometry();
+        if (c.spec.org == CacheOrg::kDirect) {
+          IndexFunctionPtr& fn =
+              shared_index[{c.point.scheme, c.point.sets, c.point.line}];
+          if (fn == nullptr) {
+            fn = make_index_function(c.spec.index, g.sets(), g.offset_bits(),
+                                     context, c.spec.index_options);
+          }
+          models.push_back(std::make_unique<SetAssocCache>(g, fn));
+        } else {
+          models.push_back(build_l1_model(c.spec, g, context));
+        }
+        runner.add(*models.back());
+      }
+    };
+    replay_workload(runner, build_all, wname, options_.params, cache_ptr,
+                    any_profiled);
+
+    std::vector<RunResult> local;
+    local.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      RunResult r = runner.result(i, wname);
+      r.scheme = report.cell_labels[i];  // grid label, not the model's name
+      local.push_back(std::move(r));
+    }
+
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (obs::metrics_on()) {
+      obs::count(obs::Counter::kWorkloadsEvaluated);
+      for (const RunResult& r : local) count_cache_stats(r);
+    }
+    if (obs::Session* session = obs::Session::active()) {
+      obs::WorkloadRecord rec;
+      rec.name = wname;
+      rec.wall_s = wall_s;
+      for (const RunResult& r : local) {
+        rec.runs.push_back(scheme_run_record(r.scheme, r));
+      }
+      session->record_workload(std::move(rec));
+    }
+
+    std::lock_guard<std::mutex> lock(report_mutex);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      report.runs.emplace(std::make_pair(wname, report.cell_labels[i]),
+                          std::move(local[i]));
     }
     ++workloads_done;
     if (options_.progress) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/config_grid.hpp"
 #include "core/scheme.hpp"
 #include "sim/comparison.hpp"
 #include "sim/runner.hpp"
@@ -89,6 +90,29 @@ struct EvalReport {
   void print_amat_reduction(std::ostream& os) const;
 };
 
+/// Result of a one-pass configuration-grid sweep (DESIGN.md §13): every
+/// feasible (sets, ways, line, scheme) cell replayed against every workload,
+/// one trace sweep per workload, bit-for-bit equal to running each cell as
+/// its own single-configuration evaluation.
+struct GridReport {
+  std::vector<std::string> workloads;
+  /// Feasible cell labels (GridPoint::label()), in canonical grid order.
+  std::vector<std::string> cell_labels;
+  /// Infeasible cells that were skipped, as "<label>: <reason>" lines
+  /// (e.g. an associativity-scheme row at ways > 1).
+  std::vector<std::string> skipped;
+  std::map<std::pair<std::string, std::string>, RunResult> runs;
+
+  const RunResult* run(const std::string& workload,
+                       const std::string& cell) const;
+
+  ComparisonTable miss_rate_table() const;  ///< % L1 miss rate per cell
+  ComparisonTable amat_table() const;       ///< model AMAT (cycles) per cell
+
+  /// Render both metric tables plus any skipped-row notes.
+  void print(std::ostream& os) const;
+};
+
 class Evaluator {
  public:
   Evaluator() : Evaluator(EvalOptions()) {}
@@ -105,6 +129,17 @@ class Evaluator {
 
   /// Run baseline + every scheme over every named workload (in parallel).
   EvalReport evaluate(const std::vector<std::string>& workload_names) const;
+
+  /// One-pass grid sweep: replay every workload ONCE through all feasible
+  /// grid cells simultaneously, sharing the per-reference set-index/line-
+  /// address derivation across same-(scheme, sets, line) cells via the
+  /// batch engine's access-plan classes (sim/batch_runner.hpp). Cells whose
+  /// organization cannot honour the ways dimension are skipped and
+  /// reported; scheme names that fix their own associativity ("2way",
+  /// "skewed", ...) are rejected. Uses the grid's geometry per cell —
+  /// options().l1_geometry and the registered scheme list do not apply.
+  GridReport evaluate_grid(const ConfigGrid& grid,
+                           const std::vector<std::string>& workload_names) const;
 
   const EvalOptions& options() const noexcept { return options_; }
   const std::vector<SchemeSpec>& schemes() const noexcept { return schemes_; }

@@ -1,10 +1,22 @@
 #include "sim/batch_runner.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 #include "sim/amat.hpp"
 #include "util/error.hpp"
 
 namespace canu {
+
+namespace {
+
+/// Block size of the planned kernel: (set, line) plans are derived for this
+/// many references at a time, small enough that the two plan buffers
+/// (2 × 8 B × 2048 = 32 KB) stay L1/L2-resident while every member
+/// configuration consumes them.
+constexpr std::size_t kPlanBlockRefs = 2048;
+
+}  // namespace
 
 BatchRunner::BatchRunner(RunConfig config) : config_(std::move(config)) {}
 
@@ -16,6 +28,28 @@ std::size_t BatchRunner::add(CacheModel& l1) {
   p.l1 = &l1;
   p.hierarchy = std::make_unique<Hierarchy>(l1, config_.l2_geometry,
                                             config_.timing);
+  // Plannable organization? Join (or open) the access-plan class of its
+  // exact index-function object. Models that each own a private index
+  // function land in singleton classes and keep the classic replay path;
+  // only deliberately shared functions (the grid builder's per-
+  // (scheme, sets, line) classes) fan out one derivation to many members.
+  p.planned = dynamic_cast<SetAssocCache*>(&l1);
+  if (p.planned != nullptr) {
+    const IndexFunction* index = &p.planned->index_function();
+    const unsigned offset_bits = p.planned->geometry().offset_bits();
+    for (std::size_t c = 0; c < plan_classes_.size(); ++c) {
+      if (plan_classes_[c].index == index &&
+          plan_classes_[c].offset_bits == offset_bits) {
+        p.plan_class = c;
+        break;
+      }
+    }
+    if (p.plan_class == kNoPlanClass) {
+      plan_classes_.push_back(PlanClass{index, offset_bits, 0});
+      p.plan_class = plan_classes_.size() - 1;
+    }
+    ++plan_classes_[p.plan_class].members;
+  }
   pipelines_.push_back(std::move(p));
   return pipelines_.size() - 1;
 }
@@ -23,6 +57,35 @@ std::size_t BatchRunner::add(CacheModel& l1) {
 void BatchRunner::feed(std::span<const MemRef> refs) {
   obs::count(obs::Counter::kChunksConsumed);
   feed_range(refs, 0, pipelines_.size());
+}
+
+void BatchRunner::replay_planned(std::span<const MemRef> refs,
+                                 std::span<const std::size_t> members,
+                                 const PlanClass& cls) {
+  const IndexFunction& index = *cls.index;
+  const unsigned offset_bits = cls.offset_bits;
+  std::uint64_t set_buf[kPlanBlockRefs];
+  std::uint64_t line_buf[kPlanBlockRefs];
+  for (std::size_t start = 0; start < refs.size(); start += kPlanBlockRefs) {
+    const std::size_t n = std::min(kPlanBlockRefs, refs.size() - start);
+    const MemRef* block = refs.data() + start;
+    // Shared derivation: set index and line address once per reference,
+    // not once per reference per configuration.
+    for (std::size_t i = 0; i < n; ++i) {
+      set_buf[i] = index.index(block[i].addr);
+      line_buf[i] = block[i].addr >> offset_bits;
+    }
+    for (const std::size_t m : members) {
+      if (cancel_ != nullptr) cancel_->check();
+      SetAssocCache& l1 = *pipelines_[m].planned;
+      Hierarchy& h = *pipelines_[m].hierarchy;
+      for (std::size_t i = 0; i < n; ++i) {
+        h.finish_access(l1.access_preindexed(set_buf[i], line_buf[i],
+                                             block[i].type),
+                        block[i].addr, block[i].type);
+      }
+    }
+  }
 }
 
 void BatchRunner::feed_range(std::span<const MemRef> refs, std::size_t first,
@@ -33,9 +96,33 @@ void BatchRunner::feed_range(std::span<const MemRef> refs, std::size_t first,
   obs::Span span("replay", "replay chunk", "refs", refs.size());
   const std::uint64_t t0 = obs::metrics_on() ? obs::now_ns() : 0;
   // Pipelines outer, references inner: the chunk stays resident in the
-  // host cache while every scheme consumes it.
+  // host cache while every scheme consumes it. Same-class pipelines within
+  // the range are lifted into one planned replay; grouping never crosses
+  // the [first, last) shard boundary, so concurrent shards stay disjoint.
+  std::vector<std::uint8_t> grouped(last - first, 0);
+  std::vector<std::size_t> members;
   for (std::size_t i = first; i < last; ++i) {
-    Hierarchy& h = *pipelines_[i].hierarchy;
+    if (grouped[i - first]) continue;
+    if (cancel_ != nullptr) cancel_->check();
+    Pipeline& p = pipelines_[i];
+    if (p.plan_class != kNoPlanClass &&
+        plan_classes_[p.plan_class].members > 1) {
+      members.clear();
+      for (std::size_t j = i; j < last; ++j) {
+        if (pipelines_[j].plan_class == p.plan_class) {
+          members.push_back(j);
+          grouped[j - first] = 1;
+        }
+      }
+      if (members.size() > 1) {
+        replay_planned(refs, members, plan_classes_[p.plan_class]);
+        continue;
+      }
+      // Lone member within this shard: the classic path below is cheaper
+      // than staging plan buffers for a single consumer.
+    }
+    grouped[i - first] = 1;
+    Hierarchy& h = *p.hierarchy;
     for (const MemRef& r : refs) h.access(r.addr, r.type);
   }
   if (obs::metrics_on()) {

@@ -9,17 +9,31 @@
 // own L1 model and its own L2 hierarchy), so per-scheme results are
 // identical to running run_trace() per scheme; chunk boundaries cannot
 // change any outcome.
+//
+// Config-grid replay (DESIGN.md §13): pipelines whose L1 is a SetAssocCache
+// SHARING an IndexFunction object form an access-plan class. For such a
+// class the kernel derives each reference's set index and line address once
+// per block and fans the precomputed plan out to every member — the DEW-
+// style shared tag derivation that makes a sets × ways × line × scheme grid
+// cost roughly one run instead of N. Sharing is keyed on index-function
+// object identity, so it engages exactly when the caller built the grid
+// that way (core/evaluator.cpp) and never changes results: the planned
+// entry (SetAssocCache::access_preindexed) is the body of access() with the
+// derivation hoisted out.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "cache/set_assoc_cache.hpp"
 #include "sim/runner.hpp"
 #include "trace/stream.hpp"
+#include "util/cancel.hpp"
 
 namespace canu {
 
@@ -39,6 +53,13 @@ class BatchRunner {
 
   std::size_t pipeline_count() const noexcept { return pipelines_.size(); }
 
+  /// Cooperative cancellation: `token` (borrowed; null = none) is checked
+  /// between pipelines within a chunk — between grid rows in the planned
+  /// kernel — so a cancelled or expired request abandons the replay within
+  /// one pipeline-chunk of work rather than one whole chunk × N pipelines.
+  /// Results that DO complete are bit-for-bit unaffected by the token.
+  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
+
   /// Replay one chunk of references through every pipeline.
   void feed(std::span<const MemRef> refs);
 
@@ -46,6 +67,8 @@ class BatchRunner {
   /// primitive of the parallel engine (sim/parallel_batch_runner.hpp).
   /// Pipelines share no mutable state, so disjoint ranges may be replayed
   /// concurrently; each pipeline must still see every chunk, in order.
+  /// Access-plan classes are grouped within the range only, keeping shards
+  /// independent.
   void feed_range(std::span<const MemRef> refs, std::size_t first,
                   std::size_t last);
 
@@ -65,13 +88,36 @@ class BatchRunner {
   ChunkingSink make_sink(std::size_t chunk_refs = kDefaultChunkRefs);
 
  private:
+  static constexpr std::size_t kNoPlanClass =
+      std::numeric_limits<std::size_t>::max();
+
   struct Pipeline {
     CacheModel* l1;
     std::unique_ptr<Hierarchy> hierarchy;
+    /// Non-null when l1 is a SetAssocCache (the plannable organization).
+    SetAssocCache* planned = nullptr;
+    std::size_t plan_class = kNoPlanClass;
   };
+
+  /// Pipelines sharing one set-index/line-address derivation: same
+  /// IndexFunction OBJECT (pointer identity — the caller's statement that
+  /// the mapping is literally the same function) and same offset width.
+  struct PlanClass {
+    const IndexFunction* index;
+    unsigned offset_bits;
+    std::size_t members = 0;
+  };
+
+  /// Replay `refs` through every member pipeline, deriving the per-
+  /// reference (set, line address) plan once per block and fanning it out.
+  void replay_planned(std::span<const MemRef> refs,
+                      std::span<const std::size_t> members,
+                      const PlanClass& cls);
 
   RunConfig config_;
   std::vector<Pipeline> pipelines_;
+  std::vector<PlanClass> plan_classes_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Pull `source` through `runner` chunk by chunk and return all pipeline

@@ -60,11 +60,16 @@ class ParallelBatchRunner {
   }
 
   /// Cooperative cancellation: `token` (borrowed; null = none) is checked
-  /// at every chunk boundary, so a cancelled or expired request abandons
-  /// the replay within one chunk of work — feed/feed_async throw Cancelled
-  /// and the runner stays drained. Never checked mid-chunk: results that
-  /// DO complete are bit-for-bit unaffected by the token.
-  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
+  /// at every chunk boundary AND, via the serial engine, between pipelines
+  /// within each shard's replay (between grid rows in the planned kernel),
+  /// so a cancelled or expired request abandons the replay within one
+  /// pipeline-chunk of work — feed/feed_async/drain throw Cancelled and
+  /// the runner stays drained. Never checked mid-pipeline: results that DO
+  /// complete are bit-for-bit unaffected by the token.
+  void set_cancel(const CancelToken* token) noexcept {
+    cancel_ = token;
+    inner_.set_cancel(token);
+  }
 
   /// Replay one chunk through every pipeline, shards in parallel, and wait
   /// for completion. The span is only read during the call.

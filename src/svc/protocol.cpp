@@ -213,7 +213,9 @@ std::string canonical_request_key(const Request& req) {
   std::string canon;
   field(&canon, "canu" + std::to_string(kProtocolVersion));
   field(&canon, req.verb);
-  for (const std::string& a : req.args) field(&canon, a);
+  // Args in canonical form: permuted-but-equivalent evaluate --grid specs
+  // hash to one key (svc/verbs.hpp).
+  for (const std::string& a : canonical_request_args(req)) field(&canon, a);
   field(&canon, std::to_string(req.params.seed));
   field(&canon, canonical_double(req.params.scale));
   field(&canon, std::to_string(req.params.address_base));

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <thread>
 
+#include "cache/config_grid.hpp"
 #include "core/advisor.hpp"
 #include "core/evaluator.hpp"
 #include "obs/obs.hpp"
@@ -95,10 +96,39 @@ int cmd_run(const Request& req, std::ostream& out, std::ostream& err,
   return 0;
 }
 
+/// Split an evaluate request's args into the grid flag, grid dimension
+/// tokens, and everything else (suite/workload/group names) — the shared
+/// vocabulary of cmd_evaluate, scheme_set_for and canonical_request_args.
+struct EvaluateArgs {
+  bool grid = false;
+  std::vector<std::string> dims;
+  std::vector<std::string> rest;
+};
+
+EvaluateArgs split_evaluate_args(const std::vector<std::string>& args) {
+  EvaluateArgs split;
+  for (const std::string& a : args) {
+    if (a == "--grid") {
+      split.grid = true;
+    } else if (is_grid_dimension_token(a)) {
+      split.dims.push_back(a);
+    } else {
+      split.rest.push_back(a);
+    }
+  }
+  return split;
+}
+
 int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
                  const VerbOptions& options) {
-  if (req.args.empty()) return usage_error(err, "evaluate");
-  const std::string& what = req.args[0];
+  const EvaluateArgs split = split_evaluate_args(req.args);
+  if (!split.grid && !split.dims.empty()) {
+    err << "grid dimension tokens (" << split.dims[0]
+        << ", ...) require --grid\n";
+    return 1;
+  }
+  if (split.rest.empty()) return usage_error(err, "evaluate");
+  const std::string& what = split.rest[0];
   std::vector<std::string> workloads = workload_names(what);
   if (workloads.empty()) {
     if (!find_workload(what)) {
@@ -107,7 +137,6 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
     }
     workloads = {what};
   }
-  const std::string group = req.args.size() > 1 ? req.args[1] : "all";
 
   EvalOptions opt;
   opt.params = req.params;
@@ -118,6 +147,21 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
   if (options.progress) {
     opt.progress = obs::make_progress_printer(options.progress_force);
   }
+
+  if (split.grid) {
+    if (split.rest.size() > 1) {
+      err << "evaluate --grid takes dimension tokens, not a scheme group "
+             "('"
+          << split.rest[1] << "')\n";
+      return 1;
+    }
+    const ConfigGrid grid = ConfigGrid::parse(split.dims);
+    const GridReport rep = Evaluator(opt).evaluate_grid(grid, workloads);
+    rep.print(out);
+    return 0;
+  }
+
+  const std::string group = split.rest.size() > 1 ? split.rest[1] : "all";
   Evaluator ev(opt);
   if (group == "indexing" || group == "all") ev.add_paper_indexing_schemes();
   if (group == "assoc" || group == "all") ev.add_paper_assoc_schemes();
@@ -258,6 +302,13 @@ std::vector<std::string> scheme_set_for(const Request& req) {
     if (req.verb == "run" && req.args.size() >= 2) {
       push_spec(parse_scheme_spec(req.args[1]));
     } else if (req.verb == "evaluate") {
+      const EvaluateArgs split = split_evaluate_args(req.args);
+      if (split.grid) {
+        for (const GridPoint& pt : ConfigGrid::parse(split.dims).cells()) {
+          labels.push_back(pt.label());
+        }
+        return labels;
+      }
       const std::string group = req.args.size() > 1 ? req.args[1] : "all";
       Evaluator ev;
       if (group == "indexing" || group == "all") {
@@ -282,6 +333,25 @@ std::vector<std::string> scheme_set_for(const Request& req) {
     labels.clear();
   }
   return labels;
+}
+
+std::vector<std::string> canonical_request_args(const Request& req) {
+  if (req.verb != "evaluate") return req.args;
+  const EvaluateArgs split = split_evaluate_args(req.args);
+  if (!split.grid) return req.args;
+  try {
+    const ConfigGrid grid = ConfigGrid::parse(split.dims);
+    std::vector<std::string> canon = split.rest;
+    canon.emplace_back("--grid");
+    for (std::string& token : grid.canonical_tokens()) {
+      canon.push_back(std::move(token));
+    }
+    return canon;
+  } catch (const Error&) {
+    // Malformed grid spec: execution will fail and the result is never
+    // cached, so the literal args are as good a key as any.
+    return req.args;
+  }
 }
 
 }  // namespace canu::svc

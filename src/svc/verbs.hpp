@@ -51,9 +51,18 @@ bool verb_is_cacheable(const std::string& verb);
 
 /// Scheme labels the request resolves to — a component of the canonical
 /// result-cache key, so two spellings of the same scheme set share one
-/// cache entry. Empty for requests that would fail to parse (those are
+/// cache entry. For evaluate --grid requests these are the expanded grid
+/// cell labels. Empty for requests that would fail to parse (those are
 /// never cached anyway).
 std::vector<std::string> scheme_set_for(const Request& req);
+
+/// Request args in the normal form hashed into the result-cache key: for
+/// evaluate --grid requests the dimension tokens are re-serialized
+/// canonically (lists sorted and deduplicated, dimensions in fixed order),
+/// so permuted-but-equivalent grid specs share one cache entry. Any other
+/// request — including a grid spec that fails to parse, which can never be
+/// cached — passes through unchanged.
+std::vector<std::string> canonical_request_args(const Request& req);
 
 /// Workload trace through the environment-selected trace cache (identical
 /// stream to plain generation; CANU_TRACE_CACHE=0 opts out). Shared by the

@@ -63,9 +63,11 @@ const std::vector<VerbHelp>& canu_verbs() {
       {"list", "", "workloads and schemes", ""},
       {"run", "<workload> <scheme>", "one simulation, full statistics",
        "--scale --seed --threads"},
-      {"evaluate", "<suite|workload> [indexing|assoc|extensions|all]",
-       "comparison table over a suite",
-       "--scale --seed --threads --progress"},
+      {"evaluate",
+       "<suite|workload> [indexing|assoc|extensions|all] | "
+       "--grid [sets=..] [ways=..] [line=..] [scheme=..]",
+       "comparison table over a suite, or a one-pass config-grid sweep",
+       "--scale --seed --threads --progress --grid"},
       {"advise", "<workload>", "per-application scheme selection",
        "--scale --seed --threads"},
       {"trace", "<workload> <file>", "record a trace (.ctrc = compressed)",
@@ -94,6 +96,9 @@ const std::vector<FlagHelp>& canu_flags() {
        "engine)"},
       {"--progress", "[=force]",
        "stderr heartbeat during evaluate (TTY only unless forced)"},
+      {"--grid", "",
+       "evaluate a sets/ways/line/scheme grid in one trace sweep "
+       "(dimension lists like sets=512,1024; omitted dims = paper L1)"},
       {"--metrics-out", "<file>",
        "write a run-manifest JSON artifact (serve: whole-process rollup on "
        "SIGHUP and shutdown)"},

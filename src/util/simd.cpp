@@ -1,0 +1,110 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__) && !defined(CANU_NO_AVX2)
+#define CANU_BUILD_AVX2 1
+#include <immintrin.h>
+#else
+#define CANU_BUILD_AVX2 0
+#endif
+
+namespace canu::simd {
+namespace {
+
+unsigned find_u64_scalar(const std::uint64_t* data, unsigned n,
+                         std::uint64_t key) noexcept {
+  unsigned i = 0;
+  while (i < n && data[i] != key) ++i;
+  return i;
+}
+
+#if CANU_BUILD_AVX2
+__attribute__((target("avx2"))) unsigned find_u64_avx2(
+    const std::uint64_t* data, unsigned n, std::uint64_t key) noexcept {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(key));
+  unsigned i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i lanes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i eq = _mm256_cmpeq_epi64(lanes, needle);
+    // One sign bit per 64-bit lane; the lowest set bit is the first match.
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (mask != 0) {
+      return i + static_cast<unsigned>(__builtin_ctz(
+                     static_cast<unsigned>(mask)));
+    }
+  }
+  while (i < n && data[i] != key) ++i;
+  return i;
+}
+
+bool host_has_avx2() noexcept { return __builtin_cpu_supports("avx2") != 0; }
+#endif
+
+FindU64Fn pick_kernel() noexcept {
+#if CANU_BUILD_AVX2
+  if (host_has_avx2()) return &find_u64_avx2;
+#endif
+  return &find_u64_scalar;
+}
+
+unsigned find_u64_resolve(const std::uint64_t* data, unsigned n,
+                          std::uint64_t key) noexcept;
+
+// Starts at the resolver so the very first call — even from another
+// translation unit's static initialization, before this one ran — picks
+// the kernel and rebinds. constinit keeps that safe: the atomic is ready
+// at load time, no dynamic-init ordering involved.
+constinit std::atomic<FindU64Fn> g_find{&find_u64_resolve};
+
+unsigned find_u64_resolve(const std::uint64_t* data, unsigned n,
+                          std::uint64_t key) noexcept {
+  FindU64Fn kernel = pick_kernel();
+  g_find.store(kernel, std::memory_order_relaxed);
+  return kernel(data, n, key);
+}
+
+/// The currently bound kernel, resolving first if still on the trampoline.
+FindU64Fn current_kernel() noexcept {
+  FindU64Fn f = g_find.load(std::memory_order_relaxed);
+  if (f == &find_u64_resolve) {
+    f = pick_kernel();
+    g_find.store(f, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+}  // namespace
+
+namespace detail {
+unsigned find_u64_dispatch(const std::uint64_t* data, unsigned n,
+                           std::uint64_t key) noexcept {
+  return g_find.load(std::memory_order_relaxed)(data, n, key);
+}
+}  // namespace detail
+
+const char* find_u64_kernel() noexcept {
+#if CANU_BUILD_AVX2
+  if (current_kernel() == &find_u64_avx2) return "avx2";
+#endif
+  (void)current_kernel();
+  return "scalar";
+}
+
+bool set_find_u64_kernel(const char* name) noexcept {
+  if (std::strcmp(name, "scalar") == 0) {
+    g_find.store(&find_u64_scalar, std::memory_order_relaxed);
+    return true;
+  }
+#if CANU_BUILD_AVX2
+  if (std::strcmp(name, "avx2") == 0 && host_has_avx2()) {
+    g_find.store(&find_u64_avx2, std::memory_order_relaxed);
+    return true;
+  }
+#endif
+  return false;
+}
+
+}  // namespace canu::simd

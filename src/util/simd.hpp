@@ -1,0 +1,56 @@
+// SIMD probe kernel for the set-associative hot path (DESIGN.md §13).
+//
+// The tag probe and the invalid-way search in SetAssocCache are both
+// "find the first element equal to `key` in a short contiguous u64 array"
+// — over the SoA flat tag columns introduced in PR 2. find_u64() is that
+// primitive, vectorized with AVX2 (4 tags per compare, movemask for the
+// first-match index) behind runtime dispatch: the binary always carries
+// the scalar kernel, probes CPUID once on first use, and upgrades to the
+// AVX2 kernel only when the host supports it. Building with
+// -DCANU_NO_AVX2=ON compiles the vector kernel out entirely (the CI
+// scalar-fallback leg), leaving pure standard C++.
+//
+// First-match semantics are part of the contract: kInvalidTag may appear
+// in several ways of a set and fills must pick the lowest one, so both
+// kernels return the smallest matching index — which is also what makes
+// the AVX2 path bit-for-bit equal to the scalar path in every simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace canu::simd {
+
+using FindU64Fn = unsigned (*)(const std::uint64_t*, unsigned,
+                               std::uint64_t) noexcept;
+
+namespace detail {
+/// Dispatch target for wide searches; resolved on first call (util/simd.cpp).
+unsigned find_u64_dispatch(const std::uint64_t* data, unsigned n,
+                           std::uint64_t key) noexcept;
+}  // namespace detail
+
+/// Width below which vectorization cannot pay for itself; searched with the
+/// inline scalar loop regardless of the selected kernel. Direct-mapped and
+/// 2-way probes never leave the header.
+inline constexpr unsigned kSimdMinLanes = 4;
+
+/// Index of the FIRST element equal to `key` in [data, data + n), or `n`
+/// when absent.
+inline unsigned find_u64(const std::uint64_t* data, unsigned n,
+                         std::uint64_t key) noexcept {
+  if (n >= kSimdMinLanes) return detail::find_u64_dispatch(data, n, key);
+  unsigned i = 0;
+  while (i < n && data[i] != key) ++i;
+  return i;
+}
+
+/// Name of the kernel wide searches dispatch to: "avx2" or "scalar".
+const char* find_u64_kernel() noexcept;
+
+/// Test hook: pin the dispatch kernel by name ("avx2" | "scalar").
+/// Returns false (and changes nothing) if the kernel is unavailable on
+/// this host or was compiled out. Not thread-safe against concurrent
+/// simulations — flip it only from test setup code.
+bool set_find_u64_kernel(const char* name) noexcept;
+
+}  // namespace canu::simd

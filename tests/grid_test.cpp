@@ -1,0 +1,269 @@
+// Config-grid replay suite (DESIGN.md §13): the one-pass grid sweep must be
+// bit-for-bit equal to N independent single-configuration runs — the shared
+// access-plan derivation, the SIMD probe kernel, sharding, and thread count
+// must all be unobservable in any output. Plus the ConfigGrid parse /
+// canonicalization contract and grid-row cancellation.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/config_grid.hpp"
+#include "core/evaluator.hpp"
+#include "result_matchers.hpp"
+#include "sim/runner.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/simd.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+constexpr const char* kWorkload = "synthetic_hotset";
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.scale = 0.05;
+  return p;
+}
+
+std::vector<std::string> tokens(std::initializer_list<const char*> list) {
+  return std::vector<std::string>(list.begin(), list.end());
+}
+
+GridReport run_grid(const ConfigGrid& grid, unsigned threads) {
+  EvalOptions opt;
+  opt.params = small_params();
+  opt.threads = threads;
+  Evaluator ev(opt);
+  return ev.evaluate_grid(grid, {kWorkload});
+}
+
+/// The reference each grid cell must match exactly: its own private model
+/// (own index function — no sharing) driven through the serial single-run
+/// path, on the same materialized trace.
+RunResult independent_run(const GridPoint& pt, const Trace& trace) {
+  const SchemeSpec spec = parse_scheme_spec(pt.scheme);
+  auto model = build_l1_model(spec, pt.geometry(), &trace);
+  RunResult r = run_trace(*model, trace);
+  r.scheme = pt.label();  // grid reports label cells, not model names
+  return r;
+}
+
+void expect_grid_matches_independent_runs(const ConfigGrid& grid,
+                                          const std::vector<unsigned>& threads) {
+  const Trace trace = generate_workload(kWorkload, small_params());
+  std::map<std::string, RunResult> expected;
+  for (const GridPoint& pt : grid.cells()) {
+    expected.emplace(pt.label(), independent_run(pt, trace));
+  }
+  for (const unsigned t : threads) {
+    SCOPED_TRACE("threads=" + std::to_string(t));
+    const GridReport rep = run_grid(grid, t);
+    ASSERT_EQ(rep.cell_labels.size(), grid.cell_count());
+    EXPECT_TRUE(rep.skipped.empty());
+    for (const std::string& label : rep.cell_labels) {
+      SCOPED_TRACE("cell=" + label);
+      const RunResult* got = rep.run(kWorkload, label);
+      ASSERT_NE(got, nullptr);
+      expect_same_result(expected.at(label), *got);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parity: one-pass grid vs independent runs
+
+TEST(GridParity, IndexingSchemesAcrossSetsWaysAndThreads) {
+  // Shared-index plan classes at every ways count, including a trained
+  // scheme (givargis) so the profiled/materialized path is covered.
+  const ConfigGrid grid =
+      ConfigGrid::parse(tokens({"sets=512,1024", "ways=1,2,4", "line=32",
+                                "scheme=modulo,xor,givargis"}));
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  expect_grid_matches_independent_runs(grid, {1, 2, hw});
+}
+
+TEST(GridParity, LineSizeDimensionAndWideWays) {
+  // Distinct line sizes must land in distinct plan classes; ways=8 drives
+  // the wide (SIMD-eligible) probe path in the L1 as well as the L2.
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=256", "ways=1,8", "line=32,64", "scheme=modulo,xor"}));
+  expect_grid_matches_independent_runs(grid, {1, 2});
+}
+
+TEST(GridParity, AssociativityOrganizationsAtWaysOne) {
+  // The paper's programmable-associativity schemes ride the grid at ways=1
+  // through the classic (unplanned) replay path.
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=1024", "ways=1", "line=32",
+              "scheme=column_assoc,adaptive,b_cache,victim,partner"}));
+  expect_grid_matches_independent_runs(grid, {1, 2});
+}
+
+TEST(GridParity, ScalarAndAvx2KernelsAgree) {
+  if (!simd::set_find_u64_kernel("avx2")) {
+    GTEST_SKIP() << "AVX2 kernel unavailable (host or -DCANU_NO_AVX2 build)";
+  }
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=256", "ways=4,8", "line=32", "scheme=modulo,xor"}));
+  const GridReport with_avx2 = run_grid(grid, 1);
+  ASSERT_TRUE(simd::set_find_u64_kernel("scalar"));
+  const GridReport with_scalar = run_grid(grid, 1);
+  simd::set_find_u64_kernel("avx2");  // restore for later tests
+  ASSERT_EQ(with_avx2.cell_labels, with_scalar.cell_labels);
+  for (const std::string& label : with_avx2.cell_labels) {
+    SCOPED_TRACE("cell=" + label);
+    const RunResult* a = with_avx2.run(kWorkload, label);
+    const RunResult* s = with_scalar.run(kWorkload, label);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(s, nullptr);
+    expect_same_result(*a, *s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feasibility filtering
+
+TEST(GridFeasibility, DirectOnlyOrganizationsSkipWiderWaysRows) {
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=512", "ways=1,2", "scheme=column_assoc,modulo"}));
+  const GridReport rep = run_grid(grid, 1);
+  EXPECT_EQ(rep.cell_labels,
+            (std::vector<std::string>{"column_assoc@512x1x32",
+                                      "modulo@512x1x32", "modulo@512x2x32"}));
+  ASSERT_EQ(rep.skipped.size(), 1u);
+  EXPECT_NE(rep.skipped[0].find("column_assoc@512x2x32"), std::string::npos);
+  EXPECT_NE(rep.skipped[0].find("ways=1"), std::string::npos);
+  for (const std::string& label : rep.cell_labels) {
+    EXPECT_NE(rep.run(kWorkload, label), nullptr);
+  }
+}
+
+TEST(GridFeasibility, RejectsSchemesThatFixTheirOwnAssociativity) {
+  EvalOptions opt;
+  opt.params = small_params();
+  opt.threads = 1;
+  const Evaluator ev(opt);
+  for (const char* name : {"2way", "4way", "8way", "skewed"}) {
+    SCOPED_TRACE(name);
+    const std::vector<std::string> spec = {std::string("scheme=") + name};
+    const ConfigGrid grid = ConfigGrid::parse(spec);
+    EXPECT_THROW(ev.evaluate_grid(grid, {kWorkload}), Error);
+  }
+}
+
+TEST(GridFeasibility, UnknownSchemeNameThrows) {
+  const ConfigGrid grid = ConfigGrid::parse(tokens({"scheme=nonesuch"}));
+  EvalOptions opt;
+  opt.params = small_params();
+  opt.threads = 1;
+  EXPECT_THROW(Evaluator(opt).evaluate_grid(grid, {kWorkload}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Parse and canonicalization
+
+TEST(GridParse, DefaultsArePaperL1) {
+  const ConfigGrid grid = ConfigGrid::parse({});
+  EXPECT_EQ(grid.canonical_tokens(),
+            (std::vector<std::string>{"sets=1024", "ways=1", "line=32",
+                                      "scheme=modulo"}));
+  ASSERT_EQ(grid.cell_count(), 1u);
+  EXPECT_EQ(grid.cells()[0].label(), "modulo@1024x1x32");
+  EXPECT_EQ(grid.cells()[0].geometry().sets(), 1024u);
+}
+
+TEST(GridParse, PermutedAndDuplicatedSpecsCanonicalizeIdentically) {
+  const ConfigGrid a = ConfigGrid::parse(tokens(
+      {"scheme=xor,modulo", "ways=2,1", "sets=1024,512", "line=64,32"}));
+  const ConfigGrid b = ConfigGrid::parse(tokens(
+      {"sets=512,1024,512", "line=32,64", "ways=1,2",
+       "scheme=modulo,xor,modulo"}));
+  EXPECT_EQ(a.canonical_tokens(), b.canonical_tokens());
+  const std::vector<GridPoint> ca = a.cells();
+  const std::vector<GridPoint> cb = b.cells();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].label(), cb[i].label());
+  }
+}
+
+TEST(GridParse, CanonicalOrderIsSchemeMajorThenSetsWaysLine) {
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=1024,512", "ways=2,1", "line=64,32", "scheme=xor,modulo"}));
+  std::vector<std::string> labels;
+  for (const GridPoint& pt : grid.cells()) labels.push_back(pt.label());
+  EXPECT_EQ(labels, (std::vector<std::string>{
+                        "modulo@512x1x32", "modulo@512x1x64",
+                        "modulo@512x2x32", "modulo@512x2x64",
+                        "modulo@1024x1x32", "modulo@1024x1x64",
+                        "modulo@1024x2x32", "modulo@1024x2x64",
+                        "xor@512x1x32", "xor@512x1x64",
+                        "xor@512x2x32", "xor@512x2x64",
+                        "xor@1024x1x32", "xor@1024x1x64",
+                        "xor@1024x2x32", "xor@1024x2x64"}));
+}
+
+TEST(GridParse, MalformedDimensionsThrow) {
+  const auto expect_bad = [](std::vector<std::string> ts) {
+    std::string what;
+    for (const std::string& t : ts) what += t + " ";
+    SCOPED_TRACE(what);
+    EXPECT_THROW(ConfigGrid::parse(ts), Error);
+  };
+  expect_bad(tokens({"sets=abc"}));        // not a number
+  expect_bad(tokens({"sets="}));           // empty list
+  expect_bad(tokens({"sets=1,,2"}));       // empty element
+  expect_bad(tokens({"sets=-1"}));         // sign rejected
+  expect_bad(tokens({"sets=3"}));          // not a power of two
+  expect_bad(tokens({"sets=0"}));
+  expect_bad(tokens({"ways=0"}));
+  expect_bad(tokens({"ways=65"}));         // above the 64-way ceiling
+  expect_bad(tokens({"line=3"}));          // not a power of two
+  expect_bad(tokens({"line=2"}));          // below the 4-byte floor
+  expect_bad(tokens({"line=8192"}));       // above the 4096-byte ceiling
+  expect_bad(tokens({"scheme="}));
+  expect_bad(tokens({"sets=512", "sets=1024"}));  // repeated dimension
+  expect_bad(tokens({"bogus=1"}));         // unknown dimension
+}
+
+TEST(GridParse, OversizeGridThrows) {
+  std::string scheme_list = "scheme=s0";
+  for (int i = 1; i <= static_cast<int>(ConfigGrid::kMaxCells); ++i) {
+    scheme_list += ",s" + std::to_string(i);
+  }
+  EXPECT_THROW(ConfigGrid::parse(tokens({scheme_list.c_str()})), Error);
+}
+
+TEST(GridParse, DimensionTokenDetection) {
+  EXPECT_TRUE(is_grid_dimension_token("sets=512"));
+  EXPECT_TRUE(is_grid_dimension_token("ways=1,2"));
+  EXPECT_TRUE(is_grid_dimension_token("line=32"));
+  EXPECT_TRUE(is_grid_dimension_token("scheme=modulo"));
+  EXPECT_FALSE(is_grid_dimension_token("mibench"));
+  EXPECT_FALSE(is_grid_dimension_token("--grid"));
+  EXPECT_FALSE(is_grid_dimension_token("setsize=1"));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation between grid rows
+
+TEST(GridCancel, PreCancelledTokenUnwindsEvaluation) {
+  CancelToken token;
+  token.cancel();
+  EvalOptions opt;
+  opt.params = small_params();
+  opt.threads = 1;
+  opt.cancel = &token;
+  const ConfigGrid grid = ConfigGrid::parse(
+      tokens({"sets=512,1024", "ways=1,2", "scheme=modulo,xor"}));
+  EXPECT_THROW(Evaluator(opt).evaluate_grid(grid, {kWorkload}), Cancelled);
+}
+
+}  // namespace
+}  // namespace canu

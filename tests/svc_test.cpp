@@ -222,6 +222,80 @@ TEST(CanonicalKey, IdentityFieldsAllVaryTheKey) {
   EXPECT_NE(canonical_request_key(r), base);
 }
 
+Request grid_request(std::vector<std::string> dims) {
+  Request req;
+  req.verb = "evaluate";
+  req.args = {"crc", "--grid"};
+  for (std::string& d : dims) req.args.push_back(std::move(d));
+  req.params.scale = 0.0625;
+  return req;
+}
+
+TEST(CanonicalKey, PermutedEquivalentGridSpecsShareOneKey) {
+  const Request a = grid_request(
+      {"sets=512,1024", "ways=1,2", "line=32", "scheme=modulo,xor"});
+  // Dimension tokens reordered, lists permuted and duplicated, flag moved:
+  // the same grid, so the same cache entry.
+  Request b;
+  b.verb = "evaluate";
+  b.args = {"scheme=xor,modulo", "crc", "ways=2,1", "--grid",
+            "line=32,32", "sets=1024,512,512"};
+  b.params.scale = 0.0625;
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+}
+
+TEST(CanonicalKey, DifferentGridsGetDifferentKeys) {
+  const std::string base = canonical_request_key(
+      grid_request({"sets=512,1024", "ways=1,2", "scheme=modulo,xor"}));
+  EXPECT_NE(canonical_request_key(
+                grid_request({"sets=512", "ways=1,2", "scheme=modulo,xor"})),
+            base);
+  EXPECT_NE(canonical_request_key(
+                grid_request({"sets=512,1024", "ways=1", "scheme=modulo,xor"})),
+            base);
+  EXPECT_NE(canonical_request_key(grid_request(
+                {"sets=512,1024", "ways=1,2", "scheme=modulo"})),
+            base);
+  // A grid request is not the same identity as the plain evaluate it
+  // superficially resembles.
+  EXPECT_NE(canonical_request_key(grid_request({})),
+            canonical_request_key(evaluate_request()));
+}
+
+TEST(CanonicalKey, MalformedGridSpecFallsBackToLiteralArgs) {
+  const Request bad = grid_request({"sets=notanumber"});
+  // Must not throw, and stays stable — the request will fail at execution
+  // and never be cached, but the key is still computed for the lookup.
+  const std::string k1 = canonical_request_key(bad);
+  const std::string k2 = canonical_request_key(bad);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+}
+
+TEST(CanonicalRequestArgs, NormalizesOnlyGridEvaluates) {
+  const Request plain = evaluate_request();
+  EXPECT_EQ(canonical_request_args(plain), plain.args);
+
+  Request run;
+  run.verb = "run";
+  run.args = {"crc", "xor"};
+  EXPECT_EQ(canonical_request_args(run), run.args);
+
+  const Request grid = grid_request({"ways=2,1", "sets=1024,512"});
+  EXPECT_EQ(canonical_request_args(grid),
+            (std::vector<std::string>{"crc", "--grid", "sets=512,1024",
+                                      "ways=1,2", "line=32",
+                                      "scheme=modulo"}));
+}
+
+TEST(SchemeSetFor, GridRequestsExpandToCellLabels) {
+  const Request grid =
+      grid_request({"sets=512", "ways=1,2", "scheme=xor,modulo"});
+  EXPECT_EQ(scheme_set_for(grid),
+            (std::vector<std::string>{"modulo@512x1x32", "modulo@512x2x32",
+                                      "xor@512x1x32", "xor@512x2x32"}));
+}
+
 // ---------------------------------------------------------------------------
 // ResultCache
 
@@ -436,6 +510,30 @@ TEST(ServerLoopback, ByteIdenticalAndCachedOnRepeat) {
   EXPECT_EQ(second.server.result_cache_hits, 1u);
   EXPECT_EQ(second.server.result_cache_misses, 1u);
   EXPECT_EQ(second.server.admitted, 1u);  // the hit never touched admission
+}
+
+TEST(ServerLoopback, PermutedGridSpecsHitOneCacheEntry) {
+  Server server(ServerOptions{});
+  const Request first_req = grid_request(
+      {"sets=512,1024", "ways=1,2", "line=32", "scheme=modulo,xor"});
+  const std::string want = direct_verb_output(first_req);
+
+  const Response first = server.execute(first_req);
+  ASSERT_EQ(first.status, "ok");
+  EXPECT_FALSE(first.result_cache_hit);
+  EXPECT_EQ(first.output, want);
+
+  // Same grid spelled differently: dimension tokens shuffled, lists
+  // permuted with duplicates — a warm cache hit, never re-simulated.
+  Request permuted;
+  permuted.verb = "evaluate";
+  permuted.args = {"ways=2,1", "crc", "--grid", "scheme=xor,modulo,xor",
+                   "sets=1024,512", "line=32"};
+  permuted.params.scale = first_req.params.scale;
+  const Response second = server.execute(permuted);
+  EXPECT_TRUE(second.result_cache_hit);
+  EXPECT_EQ(second.cache_key, first.cache_key);
+  EXPECT_EQ(second.output, want);
 }
 
 TEST(ServerLoopback, ConcurrentIdenticalRequestsRunOnce) {

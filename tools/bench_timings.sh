@@ -7,16 +7,18 @@
 # 0.125 (cold and warm trace cache) and the fig04/fig06 figure benches
 # (warm) — at the default thread count and at --threads 1 (the serial
 # engine), plus the PR 4 server-throughput rows (32 mixed `canu submit`
-# requests against one canud daemon, cold vs warm result cache), and
+# requests against one canud daemon, cold vs warm result cache), plus
+# the PR 6 grid rows (one 16-cell `--grid` sweep vs the same 16 cells
+# run as independent processes; `grid_speedup` = singles / grid), and
 # writes one JSON object per configuration to the output file (default
-# BENCH_PR4.json). Timings are wall-clock seconds measured around the
+# BENCH_PR6.json). Timings are wall-clock seconds measured around the
 # whole process. A run manifest with the engine's internal counters
 # (trace-cache traffic, chunk handoffs, stall time) is captured from an
 # instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
-OUT=${2:-BENCH_PR4.json}
+OUT=${2:-BENCH_PR6.json}
 CACHE_DIR=$(mktemp -d)
 SOCK_DIR=$(mktemp -d)
 SERVE_PID=
@@ -65,6 +67,37 @@ measure evaluate_mibench_all 1 warm \
   "$CANU" evaluate mibench all --scale=0.125 --threads=1; sep
 measure fig04_indexing_missrate 1 warm "$FIG04" 0.125 --threads 1; sep
 measure fig06_assoc_missrate 1 warm "$FIG06" 0.125 --threads 1; sep
+
+# One-pass config-grid sweep vs the same 16 cells run independently.
+# The grid derives each reference's set index and line address once per
+# (scheme, sets, line) class and fans it out to every member; the
+# singles pass replays the trace 16 times. Both run on a warm trace
+# cache so the comparison isolates replay cost.
+grid_sweep() {
+  "$CANU" evaluate crc --grid sets=512,1024 ways=1,2,4,8 line=32 \
+    scheme=modulo,xor --scale=0.125
+}
+grid_sweep > /dev/null  # warm the crc trace
+start=$(date +%s%N); grid_sweep > /dev/null; end=$(date +%s%N)
+GRID_NS=$((end - start))
+start=$(date +%s%N)
+for gs in 512 1024; do
+  for gw in 1 2 4 8; do
+    for gsch in modulo xor; do
+      "$CANU" evaluate crc --grid "sets=$gs" "ways=$gw" line=32 \
+        "scheme=$gsch" --scale=0.125 > /dev/null
+    done
+  done
+done
+end=$(date +%s%N)
+SINGLES_NS=$((end - start))
+awk -v threads="$HW_THREADS" -v g="$GRID_NS" -v s="$SINGLES_NS" 'BEGIN {
+  printf "  {\"bench\": \"evaluate_crc_grid16\", \"threads\": %s, \"cache\": \"warm\", \"cells\": 16, \"wall_s\": %.3f},\n",
+         threads, g / 1e9
+  printf "  {\"bench\": \"evaluate_crc_grid16_singles\", \"threads\": %s, \"cache\": \"warm\", \"cells\": 16, \"wall_s\": %.3f, \"grid_speedup\": %.2f}",
+         threads, s / 1e9, s / g
+}' >> "$OUT.tmp"
+sep
 
 # Server throughput: one resident canud, 32 mixed submits. The cold pass
 # simulates every request; the warm pass repeats the identical mix, so

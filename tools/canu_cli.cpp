@@ -41,6 +41,7 @@ struct CliArgs {
   std::string trace_events;  ///< trace-event path (empty = off)
   bool progress = false;
   bool progress_force = false;  ///< heartbeat even when stderr is no TTY
+  bool grid = false;            ///< evaluate: config-grid sweep mode
   bool version = false;         ///< --version
   // Service endpoint + daemon tuning.
   std::string socket_path;
@@ -91,6 +92,8 @@ CliArgs parse(int argc, char** argv) {
       }
       args.progress = true;
       args.progress_force = true;
+    } else if (arg == "--grid") {
+      args.grid = true;
     } else if (arg == "--version") {
       args.version = true;
     } else if (flag_value(arg, "--socket", &value)) {
@@ -141,6 +144,14 @@ svc::Request to_request(const CliArgs& args, std::size_t skip = 1) {
   if (!args.positional.empty()) req.verb = args.positional[0];
   for (std::size_t i = skip; i < args.positional.size(); ++i) {
     req.args.push_back(args.positional[i]);
+  }
+  if (args.grid) {
+    // --grid is request identity (it selects the grid-sweep evaluate path
+    // server-side), so it travels in args rather than as a local option.
+    if (req.verb != "evaluate") {
+      die_flag("--grid is only supported by the evaluate verb");
+    }
+    req.args.emplace_back("--grid");
   }
   req.params = args.params;
   req.threads = args.threads;
