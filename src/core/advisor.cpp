@@ -6,8 +6,11 @@
 
 #include "indexing/factory.hpp"
 #include "obs/obs.hpp"
+#include "sample/sample_plan.hpp"
 #include "sim/parallel_batch_runner.hpp"
+#include "sim/sampled_replay.hpp"
 #include "stats/moments.hpp"
+#include "trace/chunk_features.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
@@ -60,8 +63,46 @@ AdvisorReport Advisor::advise(const Trace& trace) const {
     runner.add(*models.back());
   }
 
-  SpanSource source(trace.name(), trace.refs());
-  std::vector<RunResult> results = run_batch(runner, source);
+  std::vector<RunResult> results;
+  if (options_.sample.enabled) {
+    // Sampled ranking: cluster the trace's intervals and replay only the
+    // representatives. Falls back to the exact engine (with an annotation)
+    // when the trace is too small to sample.
+    const FeatureSet features = compute_features(trace.refs());
+    SampleOptions sopt;
+    sopt.clusters = options_.sample.clusters;
+    sopt.seed = options_.sample.seed;
+    sopt.max_error_pct = options_.sample.max_error_pct;
+    SamplePlan plan = build_sample_plan(features, sopt);
+    if (plan.exact) {
+      SpanSource source(trace.name(), trace.refs());
+      results = run_batch(runner, source);
+      for (RunResult& r : results) r.sample.note = plan.reason;
+    } else {
+      MemoryIntervalReader reader(trace.refs(), kSampleIntervalRefs);
+      results = run_sampled(runner, reader, plan, trace.name());
+      const auto worst_ci_pct = [](const std::vector<RunResult>& rs) {
+        double worst = 0;
+        for (const RunResult& r : rs) {
+          worst = std::max(worst, 100.0 * r.sample.miss_rate_ci95);
+        }
+        return worst;
+      };
+      if (sopt.max_error_pct > 0 &&
+          worst_ci_pct(results) > sopt.max_error_pct) {
+        SampleOptions escalated = sopt;
+        escalated.clusters = plan.clusters * 2;
+        const SamplePlan plan2 = build_sample_plan(features, escalated);
+        if (!plan2.exact && plan2.clusters > plan.clusters) {
+          runner.reset();
+          results = run_sampled(runner, reader, plan2, trace.name());
+        }
+      }
+    }
+  } else {
+    SpanSource source(trace.name(), trace.refs());
+    results = run_batch(runner, source);
+  }
 
   AdvisorReport report;
   report.baseline = std::move(results[0]);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.hpp"
 #include "core/scheme.hpp"
 #include "sim/runner.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +57,11 @@ class Advisor {
     /// Cooperative cancellation token (borrowed; null = none) — same
     /// chunk-boundary contract as EvalOptions::cancel.
     const CancelToken* cancel = nullptr;
+    /// Sampled-interval candidate replay (same semantics as
+    /// EvalOptions::sample): rank candidates from extrapolated estimates,
+    /// annotated with CI95 half-widths. Profiling for trained candidates
+    /// still consumes the full trace (it is already in memory here).
+    SampleSpec sample;
   };
 
   Advisor() : Advisor(Options()) {}

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
-#include <tuple>
 
-#include "cache/set_assoc_cache.hpp"
-
+#include "indexing/trained_store.hpp"
 #include "obs/obs.hpp"
+#include "sample/sample_plan.hpp"
 #include "sim/parallel_batch_runner.hpp"
+#include "sim/sampled_replay.hpp"
 #include "stats/moments.hpp"
+#include "trace/chunk_features.hpp"
+#include "trace/trace_cache.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,58 +79,345 @@ obs::SchemeRunRecord scheme_run_record(const std::string& label,
   rec.amat = r.amat;
   rec.l1_accesses = r.l1.accesses;
   rec.l1_misses = r.l1.misses;
+  rec.sampled = r.sample.sampled;
+  rec.miss_rate_ci95 = r.sample.miss_rate_ci95;
+  rec.amat_ci95 = r.sample.amat_ci95;
   return rec;
 }
 
-/// Obtain the reference stream for `wname` and replay it through every
-/// pipeline `build_all` registers — shared by evaluate() and
-/// evaluate_grid(). When any registered scheme is trained the trace is
-/// materialized first (profiling needs the full stream); otherwise chunks
-/// stream straight from the generator (or the trace cache) into the engine.
-void replay_workload(ParallelBatchRunner& runner,
-                     const std::function<void(const ProfileContext*)>& build_all,
-                     const std::string& wname, const WorkloadParams& params,
-                     const TraceCache* cache_ptr, bool any_profiled) {
-  if (any_profiled) {
-    // Trained index functions profile the full stream before simulation
-    // starts, so materialize the trace (once — the ProfileContext shares
-    // the derived unique-address set across every trained scheme).
-    const Trace trace = [&] {
-      obs::Span span("generate", "materialize " + wname);
-      return cached_workload_trace(wname, params, cache_ptr);
-    }();
-    const ProfileContext context(trace);
-    {
-      obs::Span span("train", "build schemes " + wname);
+/// Accumulate wall time of a scope into a phase counter.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& acc)
+      : acc_(&acc), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One pipeline of a workload replay: a scheme over a concrete geometry.
+/// evaluate() uses the fixed L1 geometry for every entry; evaluate_grid()
+/// one geometry per cell.
+struct PipelineSpec {
+  SchemeSpec spec;
+  CacheGeometry geometry;
+};
+
+/// Everything a workload replay produces: per-pipeline results (in
+/// PipelineSpec order) plus the phase timing split recorded into the run
+/// manifest (--metrics-out).
+struct ReplayOutcome {
+  std::vector<RunResult> results;
+  double generate_s = 0;  ///< trace generation / materialization
+  double extract_s = 0;   ///< feature extraction + plan construction
+  double train_s = 0;     ///< model construction incl. index training
+  double replay_s = 0;    ///< engine feeding
+  bool sampled = false;   ///< results are sampled estimates
+};
+
+bool spec_uses_index(const SchemeSpec& spec) {
+  return spec.org == CacheOrg::kDirect || spec.org == CacheOrg::kColumnAssoc ||
+         spec.org == CacheOrg::kPartner;
+}
+
+std::string pipeline_fingerprint(const PipelineSpec& p) {
+  return index_fingerprint(p.spec.index, p.geometry.sets(),
+                           p.geometry.offset_bits(), p.spec.index_options);
+}
+
+double worst_miss_ci_pct(const std::vector<RunResult>& results) {
+  double worst = 0;
+  for (const RunResult& r : results) {
+    worst = std::max(worst, 100.0 * r.sample.miss_rate_ci95);
+  }
+  return worst;
+}
+
+/// Obtain the reference stream for `wname` and replay it through one
+/// pipeline per PipelineSpec — shared by evaluate() and evaluate_grid().
+///
+/// Exact mode replays every reference: when any registered scheme is
+/// trained the trace is materialized first (profiling needs the full
+/// stream), otherwise chunks stream straight from the generator (or the
+/// trace cache) into the engine.
+///
+/// Sampled mode (options.sample.enabled) replays only the representative
+/// intervals of a SamplePlan and extrapolates. The expensive inputs are
+/// persisted next to the cached trace so warm runs skip them: per-interval
+/// feature vectors as a checksummed sidecar, trained index functions in the
+/// TrainedIndexStore. A degenerate plan (trace too small) falls back to the
+/// exact engine and annotates every result with the reason.
+///
+/// Index functions are shared across pipelines by fingerprint — the object
+/// identity the batch engine keys its access-plan classes on, so grid
+/// cells of one (scheme, sets, line) class compute each reference's set
+/// index once (sim/batch_runner.hpp). Identical index functions are pure
+/// per-address functions, so sharing cannot change results.
+ReplayOutcome replay_workload(const EvalOptions& options, ThreadPool* pool,
+                              const std::vector<PipelineSpec>& pipelines,
+                              const std::string& wname,
+                              const TraceCache* cache_ptr) {
+  ReplayOutcome out;
+  const bool any_profiled =
+      std::any_of(pipelines.begin(), pipelines.end(),
+                  [](const PipelineSpec& p) { return spec_needs_profile(p.spec); });
+  const std::string trace_key = workload_cache_key(wname, options.params);
+
+  // The trained-index store engages only for sampled runs: exact replay
+  // keeps its training cost so exact results never depend on store state
+  // (and the sampled-vs-exact speedup comparison stays honest).
+  std::optional<TrainedIndexStore> store;
+  if (options.sample.enabled && cache_ptr != nullptr) {
+    store.emplace(cache_ptr->dir());
+  }
+
+  ParallelBatchRunner runner(options.run, pool);
+  runner.set_cancel(options.cancel);
+  std::vector<std::unique_ptr<CacheModel>> models;
+  // Index functions shared across pipelines (and pre-seeded from the
+  // trained store on sampled runs), keyed by fingerprint.
+  std::map<std::string, IndexFunctionPtr> shared_index;
+
+  const auto build_all = [&](const ProfileContext* context) {
+    obs::Span span("train", "build schemes " + wname);
+    PhaseTimer timer(out.train_s);
+    for (const PipelineSpec& p : pipelines) {
+      if (spec_uses_index(p.spec)) {
+        IndexFunctionPtr& fn = shared_index[pipeline_fingerprint(p)];
+        if (fn == nullptr) {
+          fn = make_index_function(p.spec.index, p.geometry.sets(),
+                                   p.geometry.offset_bits(), context,
+                                   p.spec.index_options);
+          if (store && store->enabled() && scheme_needs_profile(p.spec.index)) {
+            if (auto bits = extract_trained_bits(*fn)) {
+              store->store(trace_key, pipeline_fingerprint(p), *bits);
+            }
+          }
+        }
+        models.push_back(build_l1_model_with_index(p.spec, p.geometry, fn));
+      } else {
+        models.push_back(build_l1_model(p.spec, p.geometry, context));
+      }
+      runner.add(*models.back());
+    }
+  };
+
+  if (!options.sample.enabled) {
+    if (any_profiled) {
+      // Trained index functions profile the full stream before simulation
+      // starts, so materialize the trace (once — the ProfileContext shares
+      // the derived unique-address set across every trained scheme).
+      const Trace trace = [&] {
+        obs::Span span("generate", "materialize " + wname);
+        PhaseTimer timer(out.generate_s);
+        return cached_workload_trace(wname, options.params, cache_ptr);
+      }();
+      const ProfileContext context(trace);
       build_all(&context);
+      SpanSource source(wname, trace.refs());
+      obs::Span span("replay", "replay " + wname);
+      PhaseTimer timer(out.replay_s);
+      out.results = run_batch(runner, source);
+      return out;
     }
-    SpanSource source(wname, trace.refs());
-    obs::Span span("replay", "replay " + wname);
-    run_batch(runner, source);
-    return;
-  }
-  // Pure streaming: no pipeline needs the stream up front, so feed the
-  // engine chunks straight out of generation (teeing them into the cache
-  // on a miss) without ever materializing the trace.
-  build_all(nullptr);
-  obs::Span span("replay", "stream " + wname);
-  ChunkingSink feed = runner.make_sink();
-  if (cache_ptr != nullptr) {
-    const std::string key = workload_cache_key(wname, params);
-    if (auto source = cache_ptr->open(key)) {
-      pump(*source, feed);
-      feed.flush();
+    // Pure streaming: no pipeline needs the stream up front, so feed the
+    // engine chunks straight out of generation (teeing them into the cache
+    // on a miss) without ever materializing the trace.
+    build_all(nullptr);
+    obs::Span span("replay", "stream " + wname);
+    PhaseTimer timer(out.replay_s);
+    ChunkingSink feed = runner.make_sink();
+    if (cache_ptr != nullptr) {
+      if (auto source = cache_ptr->open(trace_key)) {
+        pump(*source, feed);
+        feed.flush();
+      } else {
+        auto writer = cache_ptr->begin_store(trace_key, wname);
+        TeeSink tee(*writer, feed);
+        generate_workload_into(wname, tee, options.params);
+        feed.flush();
+        writer->commit();
+      }
     } else {
-      auto writer = cache_ptr->begin_store(key, wname);
-      TeeSink tee(*writer, feed);
-      generate_workload_into(wname, tee, params);
+      generate_workload_into(wname, feed, options.params);
       feed.flush();
-      writer->commit();
     }
-  } else {
-    generate_workload_into(wname, feed, params);
-    feed.flush();
+    out.results = runner.results(wname);
+    return out;
   }
+
+  // ---- Sampled mode ----------------------------------------------------
+  // Restore trained index functions from the store where possible; only
+  // fingerprints that miss force trace materialization + profiling.
+  bool need_profile = false;
+  if (any_profiled) {
+    for (const PipelineSpec& p : pipelines) {
+      if (!spec_needs_profile(p.spec)) continue;
+      const std::string fp = pipeline_fingerprint(p);
+      IndexFunctionPtr& fn = shared_index[fp];
+      if (fn != nullptr) continue;
+      if (store && store->enabled()) {
+        if (auto bits = store->load(trace_key, fp)) {
+          PhaseTimer timer(out.train_s);
+          fn = restore_index_function(p.spec.index, std::move(*bits),
+                                      p.geometry.sets(),
+                                      p.geometry.offset_bits());
+          continue;
+        }
+      }
+      need_profile = true;
+    }
+  }
+
+  // Acquire the interval features and a reader over the trace's intervals.
+  std::optional<Trace> trace;  // materialized only when unavoidable
+  FeatureSet features;
+  std::unique_ptr<IntervalReader> reader;
+  if (need_profile || cache_ptr == nullptr) {
+    // Profiling (or the absence of a cache) forces the full stream into
+    // memory anyway; slice intervals straight out of it.
+    {
+      obs::Span span("generate", "materialize " + wname);
+      PhaseTimer timer(out.generate_s);
+      trace.emplace(cached_workload_trace(wname, options.params, cache_ptr));
+    }
+    {
+      obs::Span span("extract", "features " + wname);
+      PhaseTimer timer(out.extract_s);
+      if (cache_ptr != nullptr && cache_ptr->contains(trace_key)) {
+        // The materialization above populated the cache entry: extract from
+        // the file so the anchored sidecar is persisted and the NEXT run
+        // (trained store warm, no profiling) starts from it directly.
+        features = features_for_cached_trace(*cache_ptr, trace_key);
+      } else {
+        features = compute_features(trace->refs());
+      }
+    }
+    reader = std::make_unique<MemoryIntervalReader>(trace->refs(),
+                                                    kSampleIntervalRefs);
+  } else if (cache_ptr->contains(trace_key)) {
+    // Warm cache: load (or rescan-and-rewrite) the feature sidecar and
+    // seek straight to the selected intervals in the trace file.
+    obs::Span span("extract", "features " + wname);
+    PhaseTimer timer(out.extract_s);
+    features = features_for_cached_trace(*cache_ptr, trace_key);
+    reader = std::make_unique<FileIntervalReader>(cache_ptr->path_for(trace_key),
+                                                  features);
+  } else {
+    // Cold cache: generate once, teeing records into the cache writer
+    // (which records per-interval seek anchors) and the feature extractor —
+    // the engine is NOT fed during generation; sampled replay then reads
+    // back only the selected intervals.
+    {
+      obs::Span span("generate", "generate " + wname);
+      PhaseTimer timer(out.generate_s);
+      auto writer = cache_ptr->begin_store(trace_key, wname);
+      writer->set_anchor_interval(kSampleIntervalRefs);
+      FeatureExtractor extractor;
+      TeeSink tee(*writer, extractor);
+      generate_workload_into(wname, tee, options.params);
+      features = extractor.finish();
+      writer->commit();
+      const std::vector<TraceAnchor>& anchors = writer->anchors();
+      CANU_CHECK_MSG(anchors.size() == features.intervals.size(),
+                     "anchor/interval mismatch for " << wname << ": "
+                         << anchors.size() << " anchors vs "
+                         << features.intervals.size() << " intervals");
+      for (std::size_t i = 0; i < anchors.size(); ++i) {
+        features.intervals[i].anchor = anchors[i];
+      }
+      features.trace_file_size =
+          std::filesystem::file_size(writer->final_path());
+      write_feature_sidecar(features,
+                            feature_sidecar_path(*cache_ptr, trace_key));
+    }
+    reader = std::make_unique<FileIntervalReader>(cache_ptr->path_for(trace_key),
+                                                  features);
+  }
+
+  SampleOptions sopt;
+  sopt.clusters = options.sample.clusters;
+  sopt.seed = options.sample.seed;
+  sopt.max_error_pct = options.sample.max_error_pct;
+  SamplePlan plan;
+  {
+    obs::Span span("extract", "cluster " + wname);
+    PhaseTimer timer(out.extract_s);
+    plan = build_sample_plan(features, sopt);
+  }
+
+  if (plan.exact) {
+    // Degenerate trace: replay exactly and annotate why.
+    std::optional<ProfileContext> context;
+    if (need_profile) context.emplace(*trace);
+    build_all(context ? &*context : nullptr);
+    {
+      obs::Span span("replay", "replay " + wname);
+      PhaseTimer timer(out.replay_s);
+      if (trace) {
+        SpanSource source(wname, trace->refs());
+        out.results = run_batch(runner, source);
+      } else {
+        auto source = cache_ptr->open(trace_key);
+        CANU_CHECK_MSG(source != nullptr,
+                       "trace cache entry vanished for " << wname);
+        out.results = run_batch(runner, *source);
+      }
+    }
+    for (RunResult& r : out.results) r.sample.note = plan.reason;
+    return out;
+  }
+
+  std::optional<ProfileContext> context;
+  if (need_profile) context.emplace(*trace);
+  build_all(context ? &*context : nullptr);
+  {
+    obs::Span span("replay", "sampled replay " + wname);
+    PhaseTimer timer(out.replay_s);
+    out.results = run_sampled(runner, *reader, plan, wname);
+  }
+
+  // --max-error: one bounded escalation. If the achieved miss-rate CI95
+  // exceeds the target, double the cluster count, re-plan, re-run, and
+  // accept the (tighter) outcome with an annotation either way.
+  if (sopt.max_error_pct > 0 &&
+      worst_miss_ci_pct(out.results) > sopt.max_error_pct) {
+    SampleOptions escalated = sopt;
+    escalated.clusters = plan.clusters * 2;
+    SamplePlan plan2;
+    {
+      PhaseTimer timer(out.extract_s);
+      plan2 = build_sample_plan(features, escalated);
+    }
+    if (!plan2.exact && plan2.clusters > plan.clusters) {
+      const double first_ci = worst_miss_ci_pct(out.results);
+      runner.reset();
+      std::vector<RunResult> retried;
+      {
+        obs::Span span("replay", "sampled replay (escalated) " + wname);
+        PhaseTimer timer(out.replay_s);
+        retried = run_sampled(runner, *reader, plan2, wname);
+      }
+      char note[160];
+      std::snprintf(note, sizeof note,
+                    "max-error %.3g%% exceeded (CI95 ±%.3g%%); escalated "
+                    "%zu -> %zu clusters (CI95 ±%.3g%%)",
+                    sopt.max_error_pct, first_ci, plan.clusters, plan2.clusters,
+                    worst_miss_ci_pct(retried));
+      out.results = std::move(retried);
+      for (RunResult& r : out.results) r.sample.note = note;
+    }
+  }
+  out.sampled = true;
+  return out;
 }
 
 }  // namespace
@@ -156,6 +448,63 @@ void EvalReport::print_miss_reduction(std::ostream& os) const {
 }
 void EvalReport::print_amat_reduction(std::ostream& os) const {
   amat_reduction_table().print(os);
+}
+
+namespace {
+
+bool run_has_sample_info(const RunResult& r) {
+  return r.sample.sampled || !r.sample.note.empty();
+}
+
+/// One provenance line: "<workload>/<scheme>: miss x% ±y%, AMAT a ±b ..."
+/// for sampled estimates, "exact (<reason>)" for annotated fallbacks.
+void print_sample_line(std::ostream& os, const std::string& workload,
+                       const std::string& label, const RunResult& r) {
+  if (r.sample.sampled) {
+    char buf[192];
+    const double fed_pct =
+        r.sample.refs_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.sample.refs_fed) /
+                  static_cast<double>(r.sample.refs_total);
+    std::snprintf(buf, sizeof buf,
+                  "  %s/%s: miss %.4f%% ±%.4f%%, AMAT %.4f ±%.4f "
+                  "(sampled: %zu clusters, %.1f%% of refs fed)",
+                  workload.c_str(), label.c_str(), 100.0 * r.miss_rate(),
+                  100.0 * r.sample.miss_rate_ci95, r.amat, r.sample.amat_ci95,
+                  r.sample.clusters, fed_pct);
+    os << buf << '\n';
+    if (!r.sample.note.empty()) os << "    note: " << r.sample.note << '\n';
+  } else if (!r.sample.note.empty()) {
+    os << "  " << workload << '/' << label << ": exact (" << r.sample.note
+       << ")\n";
+  }
+}
+
+}  // namespace
+
+bool EvalReport::any_sampled() const {
+  for (const auto& [w, r] : baseline_runs) {
+    if (run_has_sample_info(r)) return true;
+  }
+  for (const auto& [key, c] : cells) {
+    if (run_has_sample_info(c.run)) return true;
+  }
+  return false;
+}
+
+void EvalReport::print_sampling(std::ostream& os) const {
+  if (!any_sampled()) return;
+  os << "sampling provenance (95% CI half-widths):\n";
+  for (const std::string& w : workloads) {
+    auto base = baseline_runs.find(w);
+    if (base != baseline_runs.end()) {
+      print_sample_line(os, w, baseline_label, base->second);
+    }
+    for (const std::string& s : scheme_labels) {
+      if (const EvalCell* c = cell(w, s)) print_sample_line(os, w, s, c->run);
+    }
+  }
 }
 
 Evaluator::Evaluator(EvalOptions options) : options_(std::move(options)) {
@@ -224,14 +573,17 @@ EvalReport Evaluator::evaluate(
   }
   std::size_t workloads_done = 0;
 
-  const bool any_profiled =
-      spec_needs_profile(options_.baseline) ||
-      std::any_of(schemes_.begin(), schemes_.end(), spec_needs_profile);
   std::optional<TraceCache> cache;
   if (!options_.trace_cache_dir.empty()) {
     cache.emplace(options_.trace_cache_dir);
   }
   const TraceCache* cache_ptr = cache ? &*cache : nullptr;
+
+  std::vector<PipelineSpec> pipelines;
+  pipelines.push_back(PipelineSpec{options_.baseline, options_.l1_geometry});
+  for (const SchemeSpec& spec : schemes_) {
+    pipelines.push_back(PipelineSpec{spec, options_.l1_geometry});
+  }
 
   // One task per workload: obtain the reference stream once (from the trace
   // cache when enabled, generated otherwise) and replay it through the
@@ -246,28 +598,15 @@ EvalReport Evaluator::evaluate(
     obs::Span workload_span("evaluate", "evaluate " + wname);
     const auto wall_start = std::chrono::steady_clock::now();
 
-    ParallelBatchRunner runner(options_.run, pool_ptr);
-    runner.set_cancel(options_.cancel);
-    std::vector<std::unique_ptr<CacheModel>> models;
-    const auto build_all = [&](const ProfileContext* context) {
-      models.push_back(
-          build_l1_model(options_.baseline, options_.l1_geometry, context));
-      runner.add(*models.back());
-      for (const SchemeSpec& spec : schemes_) {
-        models.push_back(build_l1_model(spec, options_.l1_geometry, context));
-        runner.add(*models.back());
-      }
-    };
+    ReplayOutcome outcome =
+        replay_workload(options_, pool_ptr, pipelines, wname, cache_ptr);
 
-    replay_workload(runner, build_all, wname, options_.params, cache_ptr,
-                    any_profiled);
-
-    const RunResult base = runner.result(0, wname);
+    const RunResult base = outcome.results[0];
     std::vector<std::pair<std::string, EvalCell>> local;
     local.reserve(schemes_.size());
     for (std::size_t si = 0; si < schemes_.size(); ++si) {
       EvalCell cell;
-      cell.run = runner.result(si + 1, wname);
+      cell.run = std::move(outcome.results[si + 1]);
       cell.miss_reduction_pct =
           percent_reduction(base.miss_rate(), cell.run.miss_rate());
       cell.amat_reduction_pct = percent_reduction(base.amat, cell.run.amat);
@@ -293,6 +632,11 @@ EvalReport Evaluator::evaluate(
       obs::WorkloadRecord rec;
       rec.name = wname;
       rec.wall_s = wall_s;
+      rec.generate_s = outcome.generate_s;
+      rec.extract_s = outcome.extract_s;
+      rec.train_s = outcome.train_s;
+      rec.replay_s = outcome.replay_s;
+      rec.sampled = outcome.sampled;
       rec.runs.push_back(scheme_run_record(report.baseline_label, base));
       for (const auto& [label, cell] : local) {
         rec.runs.push_back(scheme_run_record(label, cell.run));
@@ -346,12 +690,33 @@ ComparisonTable GridReport::amat_table() const {
   return table;
 }
 
+bool GridReport::any_sampled() const {
+  for (const auto& [key, r] : runs) {
+    if (run_has_sample_info(r)) return true;
+  }
+  return false;
+}
+
+void GridReport::print_sampling(std::ostream& os) const {
+  if (!any_sampled()) return;
+  os << "sampling provenance (95% CI half-widths):\n";
+  for (const std::string& w : workloads) {
+    for (const std::string& c : cell_labels) {
+      if (const RunResult* r = run(w, c)) print_sample_line(os, w, c, *r);
+    }
+  }
+}
+
 void GridReport::print(std::ostream& os) const {
   miss_rate_table().print(os);
   os << '\n';
   amat_table().print(os);
   for (const std::string& s : skipped) {
     os << "skipped: " << s << '\n';
+  }
+  if (any_sampled()) {
+    os << '\n';
+    print_sampling(os);
   }
 }
 
@@ -411,62 +776,37 @@ GridReport Evaluator::evaluate_grid(
   }
   std::size_t workloads_done = 0;
 
-  const bool any_profiled =
-      std::any_of(plan.begin(), plan.end(),
-                  [](const CellPlan& c) { return spec_needs_profile(c.spec); });
   std::optional<TraceCache> cache;
   if (!options_.trace_cache_dir.empty()) {
     cache.emplace(options_.trace_cache_dir);
   }
   const TraceCache* cache_ptr = cache ? &*cache : nullptr;
 
+  // One pipeline per feasible cell, at the cell's own geometry. Cells of
+  // one (scheme, sets, line) class share an index function by fingerprint
+  // inside replay_workload — the object identity the batch engine keys its
+  // access-plan classes on (sim/batch_runner.hpp) — so every ways variant
+  // of a class derives each reference's (set, line) once.
+  std::vector<PipelineSpec> pipelines;
+  pipelines.reserve(plan.size());
+  for (const CellPlan& c : plan) {
+    pipelines.push_back(PipelineSpec{c.spec, c.point.geometry()});
+  }
+
   // One task per workload, exactly as evaluate(): one reference stream,
-  // every grid cell as a pipeline of one batch sweep. Cells sharing a
-  // (scheme, sets, line) class additionally share the per-reference index/
-  // line-address derivation via the engine's access-plan classes.
+  // every grid cell as a pipeline of one batch sweep.
   const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
     if (options_.cancel != nullptr) options_.cancel->check();
     obs::Span workload_span("evaluate", "grid " + wname);
     const auto wall_start = std::chrono::steady_clock::now();
 
-    ParallelBatchRunner runner(options_.run, pool_ptr);
-    runner.set_cancel(options_.cancel);
-    std::vector<std::unique_ptr<CacheModel>> models;
-    const auto build_all = [&](const ProfileContext* context) {
-      // One index function per (scheme, sets, line) class, shared across
-      // its ways variants — the object identity the batch engine keys its
-      // access-plan classes on (sim/batch_runner.hpp). Every variant in the
-      // class derives identical (set, line) values by construction, so
-      // sharing cannot change results.
-      std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>,
-               IndexFunctionPtr>
-          shared_index;
-      for (const CellPlan& c : plan) {
-        const CacheGeometry g = c.point.geometry();
-        if (c.spec.org == CacheOrg::kDirect) {
-          IndexFunctionPtr& fn =
-              shared_index[{c.point.scheme, c.point.sets, c.point.line}];
-          if (fn == nullptr) {
-            fn = make_index_function(c.spec.index, g.sets(), g.offset_bits(),
-                                     context, c.spec.index_options);
-          }
-          models.push_back(std::make_unique<SetAssocCache>(g, fn));
-        } else {
-          models.push_back(build_l1_model(c.spec, g, context));
-        }
-        runner.add(*models.back());
-      }
-    };
-    replay_workload(runner, build_all, wname, options_.params, cache_ptr,
-                    any_profiled);
+    ReplayOutcome outcome =
+        replay_workload(options_, pool_ptr, pipelines, wname, cache_ptr);
 
-    std::vector<RunResult> local;
-    local.reserve(plan.size());
+    std::vector<RunResult> local = std::move(outcome.results);
     for (std::size_t i = 0; i < plan.size(); ++i) {
-      RunResult r = runner.result(i, wname);
-      r.scheme = report.cell_labels[i];  // grid label, not the model's name
-      local.push_back(std::move(r));
+      local[i].scheme = report.cell_labels[i];  // grid label, not model name
     }
 
     const double wall_s =
@@ -481,6 +821,11 @@ GridReport Evaluator::evaluate_grid(
       obs::WorkloadRecord rec;
       rec.name = wname;
       rec.wall_s = wall_s;
+      rec.generate_s = outcome.generate_s;
+      rec.extract_s = outcome.extract_s;
+      rec.train_s = outcome.train_s;
+      rec.replay_s = outcome.replay_s;
+      rec.sampled = outcome.sampled;
       for (const RunResult& r : local) {
         rec.runs.push_back(scheme_run_record(r.scheme, r));
       }

@@ -32,6 +32,21 @@ namespace canu {
 
 class ThreadPool;
 
+/// Sampled-interval replay (DESIGN.md §14): cluster the trace's interval
+/// feature vectors, replay only each cluster's representative interval
+/// (plus a short warm-up prefix), and extrapolate full-trace metrics with
+/// confidence intervals. Results are estimates — every affected report row
+/// carries its CI95 half-width and a sampled/exact provenance marker.
+struct SampleSpec {
+  bool enabled = false;
+  std::size_t clusters = 0;    ///< k-means cluster count; 0 = automatic
+  std::uint64_t seed = 1;      ///< clustering seed (part of result identity)
+  /// Target miss-rate CI95 half-width in percentage points; when exceeded
+  /// the plan is re-run once with doubled clusters (bounded escalation),
+  /// then accepted and annotated. 0 disables the check.
+  double max_error_pct = 0.0;
+};
+
 struct EvalOptions {
   CacheGeometry l1_geometry = CacheGeometry::paper_l1();
   RunConfig run;                 ///< L2 geometry + timing
@@ -51,6 +66,11 @@ struct EvalOptions {
   /// wanting the environment-controlled default pass
   /// default_trace_cache_dir() (trace/trace_cache.hpp).
   std::string trace_cache_dir;
+  /// Sampled-interval replay configuration (disabled by default: exact
+  /// replay of every reference). Sampling composes with grids and threads;
+  /// the trace cache (when enabled) additionally persists feature sidecars
+  /// and trained index functions to make warm sampled runs cheap.
+  SampleSpec sample;
   /// Invoked after each workload completes (under the report lock, so
   /// callbacks are serialized): (done, total, workload just finished).
   /// Null disables progress reporting.
@@ -88,6 +108,15 @@ struct EvalReport {
 
   void print_miss_reduction(std::ostream& os) const;
   void print_amat_reduction(std::ostream& os) const;
+
+  /// Whether any run in the report is a sampled estimate (or carries a
+  /// sampling fallback annotation worth surfacing).
+  bool any_sampled() const;
+  /// Provenance lines for sampled evaluations: per (workload, scheme) the
+  /// estimated miss rate ± CI95, AMAT ± CI95, cluster count, and fed
+  /// fraction; plus any exact-fallback notes. No output when nothing was
+  /// sampled or annotated.
+  void print_sampling(std::ostream& os) const;
 };
 
 /// Result of a one-pass configuration-grid sweep (DESIGN.md §13): every
@@ -109,7 +138,11 @@ struct GridReport {
   ComparisonTable miss_rate_table() const;  ///< % L1 miss rate per cell
   ComparisonTable amat_table() const;       ///< model AMAT (cycles) per cell
 
-  /// Render both metric tables plus any skipped-row notes.
+  bool any_sampled() const;
+  void print_sampling(std::ostream& os) const;
+
+  /// Render both metric tables plus any skipped-row notes and, for sampled
+  /// sweeps, the per-run CI/provenance annotations.
   void print(std::ostream& os) const;
 };
 

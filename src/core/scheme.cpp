@@ -171,4 +171,23 @@ std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
   throw Error("unhandled cache organization");
 }
 
+std::unique_ptr<CacheModel> build_l1_model_with_index(
+    const SchemeSpec& spec, const CacheGeometry& geometry,
+    IndexFunctionPtr index) {
+  switch (spec.org) {
+    case CacheOrg::kDirect:
+      return std::make_unique<SetAssocCache>(geometry, std::move(index));
+    case CacheOrg::kColumnAssoc:
+      return std::make_unique<ColumnAssociativeCache>(geometry,
+                                                      std::move(index));
+    case CacheOrg::kPartner:
+      return std::make_unique<PartnerCache>(geometry, spec.partner,
+                                            std::move(index));
+    default:
+      break;
+  }
+  throw Error("organization '" + cache_org_name(spec.org) +
+              "' does not take an external index function");
+}
+
 }  // namespace canu

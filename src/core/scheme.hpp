@@ -92,4 +92,12 @@ inline std::unique_ptr<CacheModel> build_l1_model(const SchemeSpec& spec,
                         static_cast<const ProfileContext*>(nullptr));
 }
 
+/// Instantiate the model with an externally supplied (e.g. restored from
+/// the trained-index store, or grid-shared) index function instead of
+/// building one. Only valid for the organizations that consume an index
+/// function (kDirect, kColumnAssoc, kPartner); throws otherwise.
+std::unique_ptr<CacheModel> build_l1_model_with_index(
+    const SchemeSpec& spec, const CacheGeometry& geometry,
+    IndexFunctionPtr index);
+
 }  // namespace canu

@@ -142,6 +142,17 @@ GivargisIndex::GivargisIndex(std::span<const std::uint64_t> unique_addrs,
   analysis_ = analyse_unique(unique_addrs, log2_exact(sets), offset_bits, opt);
 }
 
+GivargisIndex::GivargisIndex(std::vector<unsigned> selected_bits,
+                             std::uint64_t sets)
+    : sets_(sets) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  CANU_CHECK_MSG(selected_bits.size() == log2_exact(sets),
+                 "restored bit count " << selected_bits.size()
+                                       << " does not index " << sets
+                                       << " sets");
+  analysis_.selected_bits = std::move(selected_bits);
+}
+
 std::uint64_t GivargisIndex::index(std::uint64_t addr) const noexcept {
   return gather_bits(addr, analysis_.selected_bits);
 }

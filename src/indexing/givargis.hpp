@@ -61,6 +61,11 @@ class GivargisIndex final : public IndexFunction {
                 std::uint64_t sets, unsigned offset_bits,
                 GivargisOptions opt = GivargisOptions());
 
+  /// Restore a previously trained function from its persisted bit
+  /// positions (indexing/trained_store.hpp) — no analysis is run, so the
+  /// quality/correlation fields of analysis() stay empty.
+  GivargisIndex(std::vector<unsigned> selected_bits, std::uint64_t sets);
+
   std::uint64_t index(std::uint64_t addr) const noexcept override;
   std::uint64_t sets() const noexcept override { return sets_; }
   std::string name() const override { return "givargis"; }

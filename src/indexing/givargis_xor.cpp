@@ -32,6 +32,19 @@ GivargisXorIndex::GivargisXorIndex(
   selected_tag_bits_ = a.selected_bits;
 }
 
+GivargisXorIndex::GivargisXorIndex(std::vector<unsigned> selected_tag_bits,
+                                   std::uint64_t sets, unsigned offset_bits)
+    : sets_(sets),
+      offset_bits_(offset_bits),
+      index_bits_(log2_exact(sets)),
+      selected_tag_bits_(std::move(selected_tag_bits)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  CANU_CHECK_MSG(selected_tag_bits_.size() == index_bits_,
+                 "restored tag-bit count " << selected_tag_bits_.size()
+                                           << " does not index " << sets
+                                           << " sets");
+}
+
 std::uint64_t GivargisXorIndex::index(std::uint64_t addr) const noexcept {
   const std::uint64_t idx = bit_field(addr, offset_bits_, index_bits_);
   const std::uint64_t tag_hash = gather_bits(addr, selected_tag_bits_);

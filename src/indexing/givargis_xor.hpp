@@ -26,6 +26,11 @@ class GivargisXorIndex final : public IndexFunction {
                    std::uint64_t sets, unsigned offset_bits,
                    GivargisOptions opt = GivargisOptions());
 
+  /// Restore a previously trained function from its persisted tag-bit
+  /// positions (indexing/trained_store.hpp); no analysis is run.
+  GivargisXorIndex(std::vector<unsigned> selected_tag_bits,
+                   std::uint64_t sets, unsigned offset_bits);
+
   std::uint64_t index(std::uint64_t addr) const noexcept override;
   std::uint64_t sets() const noexcept override { return sets_; }
   std::string name() const override { return "givargis_xor"; }

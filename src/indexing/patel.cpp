@@ -102,6 +102,16 @@ PatelOptimalIndex::PatelOptimalIndex(const Trace& profile, std::uint64_t sets,
   for (unsigned& b : selected_bits_) b += offset_bits;
 }
 
+PatelOptimalIndex::PatelOptimalIndex(std::vector<unsigned> selected_bits,
+                                     std::uint64_t sets)
+    : sets_(sets), selected_bits_(std::move(selected_bits)) {
+  CANU_CHECK_MSG(is_pow2(sets), "set count must be a power of two: " << sets);
+  CANU_CHECK_MSG(selected_bits_.size() == log2_exact(sets),
+                 "restored bit count " << selected_bits_.size()
+                                       << " does not index " << sets
+                                       << " sets");
+}
+
 std::uint64_t PatelOptimalIndex::index(std::uint64_t addr) const noexcept {
   return gather_bits(addr, selected_bits_);
 }

@@ -35,6 +35,11 @@ class PatelOptimalIndex final : public IndexFunction {
   PatelOptimalIndex(const Trace& profile, std::uint64_t sets,
                     unsigned offset_bits, PatelOptions opt = PatelOptions());
 
+  /// Restore a previously searched function from its persisted bit
+  /// positions (indexing/trained_store.hpp); no search is run, so
+  /// best_cost() and combinations_searched() report zero.
+  PatelOptimalIndex(std::vector<unsigned> selected_bits, std::uint64_t sets);
+
   std::uint64_t index(std::uint64_t addr) const noexcept override;
   std::uint64_t sets() const noexcept override { return sets_; }
   std::string name() const override { return "patel_optimal"; }

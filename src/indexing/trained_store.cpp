@@ -1,0 +1,190 @@
+#include "indexing/trained_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "indexing/givargis.hpp"
+#include "indexing/givargis_xor.hpp"
+#include "indexing/patel.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kIdxMagic[8] = {'C', 'A', 'N', 'U', 'I', 'D', 'X', '1'};
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string unique_temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+std::string index_fingerprint(IndexScheme scheme, std::uint64_t sets,
+                              unsigned offset_bits,
+                              const IndexFactoryOptions& opt) {
+  const std::string name = index_scheme_name(scheme);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_bytes(h, name.data(), name.size());
+  h = fnv1a_u64(h, sets);
+  h = fnv1a_u64(h, offset_bits);
+  h = fnv1a_u64(h, opt.odd_multiplier);
+  h = fnv1a_u64(h, opt.patel_candidate_window);
+  std::ostringstream os;
+  os << name << '-' << std::hex << std::setw(16) << std::setfill('0') << h;
+  return os.str();
+}
+
+std::optional<std::vector<unsigned>> extract_trained_bits(
+    const IndexFunction& fn) {
+  if (const auto* g = dynamic_cast<const GivargisIndex*>(&fn)) {
+    return g->selected_bits();
+  }
+  if (const auto* gx = dynamic_cast<const GivargisXorIndex*>(&fn)) {
+    return gx->selected_tag_bits();
+  }
+  if (const auto* p = dynamic_cast<const PatelOptimalIndex*>(&fn)) {
+    return p->selected_bits();
+  }
+  return std::nullopt;
+}
+
+IndexFunctionPtr restore_index_function(IndexScheme scheme,
+                                        std::vector<unsigned> bits,
+                                        std::uint64_t sets,
+                                        unsigned offset_bits) {
+  switch (scheme) {
+    case IndexScheme::kGivargis:
+      return std::make_shared<GivargisIndex>(std::move(bits), sets);
+    case IndexScheme::kGivargisXor:
+      return std::make_shared<GivargisXorIndex>(std::move(bits), sets,
+                                                offset_bits);
+    case IndexScheme::kPatelOptimal:
+      return std::make_shared<PatelOptimalIndex>(std::move(bits), sets);
+    default:
+      break;
+  }
+  throw Error("scheme '" + index_scheme_name(scheme) +
+              "' is not a restorable trained scheme");
+}
+
+TrainedIndexStore::TrainedIndexStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string TrainedIndexStore::path_for(const std::string& trace_key,
+                                        const std::string& fingerprint) const {
+  return (fs::path(dir_) / (trace_key + "." + fingerprint + ".idx")).string();
+}
+
+std::optional<std::vector<unsigned>> TrainedIndexStore::load(
+    const std::string& trace_key, const std::string& fingerprint) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = path_for(trace_key, fingerprint);
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+
+  const auto discard = [&path]() -> std::optional<std::vector<unsigned>> {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  };
+
+  // magic(8) + count u32 + count × u32 + checksum u64
+  if (bytes.size() < 8 + 4 + 8) return discard();
+  if (std::memcmp(bytes.data(), kIdxMagic, 8) != 0) return discard();
+  const auto u32_at = [&bytes](std::size_t pos) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const std::uint32_t count = u32_at(8);
+  const std::size_t expect = 8 + 4 + std::size_t{count} * 4 + 8;
+  if (bytes.size() != expect) return discard();
+  const std::size_t body = bytes.size() - 8 - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes[bytes.size() - 8 + i]))
+              << (8 * i);
+  }
+  if (fnv1a_bytes(0xcbf29ce484222325ULL, bytes.data() + 8, body) != stored) {
+    return discard();
+  }
+
+  std::vector<unsigned> bits;
+  bits.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    bits.push_back(u32_at(8 + 4 + std::size_t{i} * 4));
+  }
+  return bits;
+}
+
+void TrainedIndexStore::store(const std::string& trace_key,
+                              const std::string& fingerprint,
+                              const std::vector<unsigned>& bits) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+
+  std::string body;
+  const auto append_u32 = [&body](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  append_u32(static_cast<std::uint32_t>(bits.size()));
+  for (const unsigned b : bits) append_u32(static_cast<std::uint32_t>(b));
+  const std::uint64_t checksum =
+      fnv1a_bytes(0xcbf29ce484222325ULL, body.data(), body.size());
+
+  const std::string path = path_for(trace_key, fingerprint);
+  const std::string temp = path + unique_temp_suffix();
+  {
+    std::ofstream os(temp, std::ios::binary);
+    CANU_CHECK_MSG(os.is_open(), "cannot open '" << temp << "' for writing");
+    os.write(kIdxMagic, 8);
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    for (int i = 0; i < 8; ++i) {
+      os.put(static_cast<char>((checksum >> (8 * i)) & 0xff));
+    }
+    os.close();
+    CANU_CHECK_MSG(!os.fail(),
+                   "failed writing trained-index file '" << path << "'");
+  }
+  fs::rename(temp, path, ec);
+  if (ec) fs::remove(temp, ec);  // concurrent writer won the race; fine
+}
+
+}  // namespace canu

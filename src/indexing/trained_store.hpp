@@ -1,0 +1,71 @@
+// On-disk cache of trained index functions.
+//
+// The three profiled schemes (Givargis, Givargis-XOR, Patel) each reduce,
+// after their expensive analysis/search, to a short list of selected
+// address-bit positions — everything index() ever consults. Training is a
+// pure function of (profiling trace, scheme, sets, offset bits, tuning
+// options), and the profiling trace is itself keyed by the trace cache, so
+// the selected bits can be persisted next to the cached trace and restored
+// on later runs, skipping trace materialization and training entirely.
+// This is what lets warm sampled runs (DESIGN.md §14) avoid the profile
+// pass that would otherwise dominate their wall clock.
+//
+// Layout: `<dir>/<trace_key>.<fingerprint>.idx`, where the fingerprint
+// hashes (scheme, sets, offset_bits, tuning options). Files are versioned
+// ("CANUIDX1"), FNV-1a checksummed, written atomically (temp + rename),
+// and discarded-and-retrained when unreadable — the same contract as the
+// trace cache and the feature sidecars.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "indexing/factory.hpp"
+#include "indexing/index_function.hpp"
+
+namespace canu {
+
+/// Short stable hex digest of everything (besides the profiling trace)
+/// that determines a trained function's selected bits.
+std::string index_fingerprint(IndexScheme scheme, std::uint64_t sets,
+                              unsigned offset_bits,
+                              const IndexFactoryOptions& opt = {});
+
+/// The selected bit positions of a trained function, or nullopt when the
+/// concrete type is not one of the persistable trained schemes.
+std::optional<std::vector<unsigned>> extract_trained_bits(
+    const IndexFunction& fn);
+
+/// Rebuild a trained function from persisted bits (inverse of
+/// extract_trained_bits for the given scheme).
+IndexFunctionPtr restore_index_function(IndexScheme scheme,
+                                        std::vector<unsigned> bits,
+                                        std::uint64_t sets,
+                                        unsigned offset_bits);
+
+class TrainedIndexStore {
+ public:
+  /// `dir` is typically the trace-cache directory; empty disables the
+  /// store (load misses, store is a no-op).
+  explicit TrainedIndexStore(std::string dir);
+
+  bool enabled() const noexcept { return !dir_.empty(); }
+
+  std::string path_for(const std::string& trace_key,
+                       const std::string& fingerprint) const;
+
+  /// Load persisted bits; nullopt on miss. A corrupt or version-mismatched
+  /// file is removed and reported as a miss (retrain-and-rewrite contract).
+  std::optional<std::vector<unsigned>> load(
+      const std::string& trace_key, const std::string& fingerprint) const;
+
+  /// Atomically persist the bits (temp file + rename).
+  void store(const std::string& trace_key, const std::string& fingerprint,
+             const std::vector<unsigned>& bits) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace canu

@@ -45,6 +45,11 @@ void write_manifest(const Session& session, std::ostream& os) {
     w.begin_object();
     w.kv("name", wl.name);
     w.kv("wall_s", wl.wall_s);
+    w.kv("generate_s", wl.generate_s);
+    w.kv("extract_s", wl.extract_s);
+    w.kv("train_s", wl.train_s);
+    w.kv("replay_s", wl.replay_s);
+    w.kv("sampled", wl.sampled);
     w.key("runs");
     w.begin_array();
     for (const SchemeRunRecord& run : wl.runs) {
@@ -54,6 +59,9 @@ void write_manifest(const Session& session, std::ostream& os) {
       w.kv("amat", run.amat);
       w.kv("l1_accesses", run.l1_accesses);
       w.kv("l1_misses", run.l1_misses);
+      w.kv("sampled", run.sampled);
+      w.kv("miss_rate_ci95", run.miss_rate_ci95);
+      w.kv("amat_ci95", run.amat_ci95);
       w.end_object();
     }
     w.end_array();
@@ -126,6 +134,13 @@ RunManifest read_manifest(std::string_view text) {
     WorkloadRecord rec;
     rec.name = wl.at("name").as_string();
     rec.wall_s = wl.at("wall_s").as_number();
+    // Phase/sampling fields appeared after the first manifest version; read
+    // them leniently so older manifests still parse.
+    if (const JsonValue* v = wl.find("generate_s")) rec.generate_s = v->as_number();
+    if (const JsonValue* v = wl.find("extract_s")) rec.extract_s = v->as_number();
+    if (const JsonValue* v = wl.find("train_s")) rec.train_s = v->as_number();
+    if (const JsonValue* v = wl.find("replay_s")) rec.replay_s = v->as_number();
+    if (const JsonValue* v = wl.find("sampled")) rec.sampled = v->as_bool();
     for (const JsonValue& run : wl.at("runs").as_array()) {
       SchemeRunRecord r;
       r.scheme = run.at("scheme").as_string();
@@ -133,6 +148,11 @@ RunManifest read_manifest(std::string_view text) {
       r.amat = run.at("amat").as_number();
       r.l1_accesses = run.at("l1_accesses").as_u64();
       r.l1_misses = run.at("l1_misses").as_u64();
+      if (const JsonValue* v = run.find("sampled")) r.sampled = v->as_bool();
+      if (const JsonValue* v = run.find("miss_rate_ci95")) {
+        r.miss_rate_ci95 = v->as_number();
+      }
+      if (const JsonValue* v = run.find("amat_ci95")) r.amat_ci95 = v->as_number();
       rec.runs.push_back(std::move(r));
     }
     m.workloads.push_back(std::move(rec));

@@ -147,11 +147,20 @@ struct SchemeRunRecord {
   double amat = 0;
   std::uint64_t l1_accesses = 0;
   std::uint64_t l1_misses = 0;
+  bool sampled = false;          ///< estimate from sampled-interval replay
+  double miss_rate_ci95 = 0;     ///< CI half-widths (0 for exact runs)
+  double amat_ci95 = 0;
 };
 
 struct WorkloadRecord {
   std::string name;
   double wall_s = 0;
+  // Per-phase wall time (seconds), so sampling wins are attributable:
+  double generate_s = 0;  ///< trace generation / materialization
+  double extract_s = 0;   ///< feature extraction + interval clustering
+  double train_s = 0;     ///< scheme construction incl. trained-index work
+  double replay_s = 0;    ///< engine feeding
+  bool sampled = false;   ///< workload replayed via sampled intervals
   std::vector<SchemeRunRecord> runs;  ///< baseline first, then schemes
 };
 

@@ -1,0 +1,178 @@
+#include "sample/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace {
+
+/// splitmix64: seeds the generator from any 64-bit value, including 0.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xorshift64*: the per-draw generator. Identical sequence everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    state_ = splitmix64(s);
+    if (state_ == 0) state_ = 0x2545f4914f6cdd1dULL;
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+double sq_dist(const double* a, const double* b, std::size_t dim) {
+  double d = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<double>& points, std::size_t dim,
+                    std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations) {
+  CANU_CHECK_MSG(dim > 0, "feature dimension must be positive");
+  CANU_CHECK_MSG(points.size() % dim == 0,
+                 "point array size " << points.size()
+                                     << " not a multiple of dim " << dim);
+  const std::size_t n = points.size() / dim;
+  CANU_CHECK_MSG(n > 0, "kmeans needs at least one point");
+  CANU_CHECK_MSG(k > 0, "kmeans needs at least one cluster");
+  if (k > n) k = n;
+
+  const auto point = [&](std::size_t i) { return points.data() + i * dim; };
+
+  // k-means++ seeding: first centroid drawn uniformly, each further one
+  // with probability proportional to squared distance from the nearest
+  // chosen centroid. Scan order is the fixed point order, so the choice is
+  // reproducible bit-for-bit.
+  Rng rng(seed);
+  KMeansResult result;
+  result.clusters = k;
+  result.centroids.resize(k * dim);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = static_cast<std::size_t>(rng.next() % n);
+  for (std::size_t d = 0; d < dim; ++d) {
+    result.centroids[d] = point(first)[d];
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    const double* prev = result.centroids.data() + (c - 1) * dim;
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = sq_dist(point(i), prev, dim);
+      if (d < min_dist[i]) min_dist[i] = d;
+      total += min_dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0) {
+      const double target = rng.uniform() * total;
+      double running = 0;
+      chosen = n - 1;  // guard against rounding leaving the loop unmatched
+      for (std::size_t i = 0; i < n; ++i) {
+        running += min_dist[i];
+        if (running >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with chosen centroids; duplicate point 0.
+      chosen = 0;
+    }
+    for (std::size_t d = 0; d < dim; ++d) {
+      result.centroids[c * dim + d] = point(chosen)[d];
+    }
+  }
+
+  // Lloyd iterations in fixed point order; nearest-centroid ties go to the
+  // lowest cluster index. An empty cluster re-seeds from the point farthest
+  // from its own centroid (deterministic: first-found maximum).
+  result.assignment.assign(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<std::uint64_t> counts(k);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d =
+            sq_dist(point(i), result.centroids.data() + c * dim, dim);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<std::uint32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+      ++counts[best];
+      double* sum = sums.data() + best * dim;
+      const double* p = point(i);
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += p[d];
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed the empty cluster with the point worst served by its
+        // current assignment.
+        std::size_t worst = 0;
+        double worst_d = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = sq_dist(
+              point(i),
+              result.centroids.data() + result.assignment[i] * dim, dim);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        for (std::size_t d = 0; d < dim; ++d) {
+          result.centroids[c * dim + d] = point(worst)[d];
+        }
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] = sums[c * dim + d] * inv;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace canu

@@ -1,0 +1,37 @@
+// Deterministic seeded k-means for interval feature vectors.
+//
+// Reproducibility is a hard requirement: the sampler's cluster assignment
+// decides which intervals are replayed, and canud caches sampled results
+// under a key that includes only (workload, sampling params) — so the same
+// inputs must always produce the same clusters on any machine at any
+// thread count. Hence: our own splitmix64/xorshift PRNG (no libstdc++
+// distribution variance), k-means++ seeding with fixed scan order, Lloyd
+// iterations with a fixed point order, and all ties broken toward the
+// lowest index. The solver itself is single-threaded — clustering a few
+// hundred 24-dim points costs microseconds, so parallelism would only buy
+// nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace canu {
+
+struct KMeansResult {
+  /// Cluster index per input point (size = number of points).
+  std::vector<std::uint32_t> assignment;
+  /// Flattened centroids: k rows of `dim` doubles.
+  std::vector<double> centroids;
+  std::size_t clusters = 0;
+  std::size_t iterations = 0;  ///< Lloyd iterations until convergence/cap
+};
+
+/// Cluster `points` (row-major, `points.size() / dim` rows) into at most
+/// `k` clusters. Requires at least one point and k >= 1; when there are
+/// fewer points than clusters, the effective k is the point count. Fully
+/// deterministic for a given (points, dim, k, seed).
+KMeansResult kmeans(const std::vector<double>& points, std::size_t dim,
+                    std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations = 50);
+
+}  // namespace canu

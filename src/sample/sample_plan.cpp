@@ -1,0 +1,294 @@
+#include "sample/sample_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sample/kmeans.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+std::size_t auto_cluster_count(std::size_t intervals) {
+  // One starting cluster per ~256 K references (128 intervals of 2 K refs)
+  // — deliberately independent of the interval granularity so refining
+  // kSampleIntervalRefs sharpens clusters without inflating the base cost.
+  return std::clamp<std::size_t>(intervals / 128, 6, 96);
+}
+
+namespace {
+
+/// Adaptive-K stopping rule: the spread (max minus min) across the probe
+/// bank of each probe's signed predicted extrapolation bias,
+/// sum_c (n_c/n) * (probe_mean(window_c) - mean_c(probe)), must drop below
+/// this before the planner accepts the clustering. Each probe's own bias
+/// is removed exactly at replay time by a per-scheme difference estimator,
+/// so a large but *uniform* bias (smooth drift — qsort, patricia) is
+/// harmless and needs no extra clusters. What escalation must catch is
+/// probe DISAGREEMENT: clusters mixing phases that alias differently under
+/// different index functions (FFT's butterfly stages), where a correction
+/// derived from one probe cannot stand in for schemes the bank does not
+/// model (the trained Givargis family). 0.006 = 0.6 miss-rate points of
+/// disagreement — calibrated so drifting traces whose spread plateaus near
+/// 0.003–0.005 (patricia, qsort: noise, not phases) stay at base K, while
+/// genuinely phased traces (FFT starts near 0.035) still escalate hard.
+constexpr double kProbeSpreadTarget = 0.006;
+
+double sq_dist(const double* a, const double* b, std::size_t dim) {
+  double d = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+SamplePlan build_sample_plan(const FeatureSet& features,
+                             const SampleOptions& options) {
+  SamplePlan plan;
+  plan.seed = options.seed;
+  plan.interval_refs = static_cast<std::size_t>(features.interval_refs);
+  plan.total_refs = features.total_refs;
+  plan.total_intervals = features.intervals.size();
+  plan.warmup_intervals = options.warmup_intervals;
+  plan.offset_bits = features.offset_bits;
+  for (const IntervalFeatures& iv : features.intervals) {
+    for (std::size_t p = 0; p < kProbeCount; ++p) {
+      plan.probe_true_misses[p] +=
+          iv.values[kProbeMissDim + p] * static_cast<double>(iv.refs);
+    }
+  }
+
+  const std::size_t n = features.intervals.size();
+  const std::size_t k =
+      options.clusters != 0 ? options.clusters : auto_cluster_count(n);
+  plan.clusters = k;
+
+  // Sampling only pays when there are meaningfully more intervals than
+  // clusters; below that every cluster is a singleton and the "sample" is
+  // the whole trace plus warm-up overhead.
+  if (n == 0 || n <= k) {
+    plan.exact = true;
+    std::ostringstream os;
+    os << "trace too small to sample (" << n << " interval"
+       << (n == 1 ? "" : "s") << " of " << features.interval_refs
+       << " refs vs " << k << " clusters); replayed exactly";
+    plan.reason = os.str();
+    return plan;
+  }
+
+  // Standardize each feature dimension to zero mean / unit variance so the
+  // clustering is not dominated by whichever raw feature has the widest
+  // numeric range. Constant dimensions are dropped (scale 0).
+  std::vector<double> mean(kFeatureDim, 0.0), scale(kFeatureDim, 0.0);
+  for (const IntervalFeatures& iv : features.intervals) {
+    for (std::size_t d = 0; d < kFeatureDim; ++d) mean[d] += iv.values[d];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  for (const IntervalFeatures& iv : features.intervals) {
+    for (std::size_t d = 0; d < kFeatureDim; ++d) {
+      const double diff = iv.values[d] - mean[d];
+      scale[d] += diff * diff;
+    }
+  }
+  for (double& s : scale) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s > 0) s = 1.0 / s;
+  }
+
+  std::vector<double> points;
+  points.reserve(n * kFeatureDim);
+  for (const IntervalFeatures& iv : features.intervals) {
+    for (std::size_t d = 0; d < kFeatureDim; ++d) {
+      points.push_back((iv.values[d] - mean[d]) * scale[d]);
+    }
+  }
+
+  const auto point_at = [&](std::size_t i) {
+    return points.data() + i * kFeatureDim;
+  };
+  const auto wcss_of = [&](const KMeansResult& r) {
+    double w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w += sq_dist(point_at(i),
+                   r.centroids.data() + r.assignment[i] * kFeatureDim,
+                   kFeatureDim);
+    }
+    return w;
+  };
+
+  // Representatives + measured windows per cluster. The representative is
+  // the interval nearest its centroid (ties toward the lowest index —
+  // strict < keeps first-found); its window extends forward through
+  // consecutive intervals of the same cluster, up to measure_intervals.
+  // Windows therefore never contain another cluster's representative.
+  struct RepWindow {
+    std::size_t rep = 0;
+    std::size_t len = 0;       // 0 = empty cluster
+    double population = 0;     // intervals in the cluster
+  };
+  const std::size_t measure = std::max<std::size_t>(1,
+                                                    options.measure_intervals);
+  const auto reps_of = [&](const KMeansResult& r) {
+    std::vector<RepWindow> win(r.clusters);
+    std::vector<double> rep_dist(r.clusters,
+                                 std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = r.assignment[i];
+      win[c].population += 1.0;
+      const double d = sq_dist(point_at(i),
+                               r.centroids.data() + c * kFeatureDim,
+                               kFeatureDim);
+      if (d < rep_dist[c]) {
+        rep_dist[c] = d;
+        win[c].rep = i;
+        win[c].len = 1;
+      }
+    }
+    for (std::size_t c = 0; c < r.clusters; ++c) {
+      RepWindow& w = win[c];
+      while (w.len > 0 && w.len < measure && w.rep + w.len < n &&
+             r.assignment[w.rep + w.len] == c) {
+        ++w.len;
+      }
+    }
+    return win;
+  };
+
+  // Signed predicted extrapolation bias per probe:
+  // sum_c (n_c/n) * (probe_mean(window_c) - mean_c(probe)) — the error
+  // this plan would make predicting that probe's full-trace miss rate, a
+  // quantity whose ground truth the planner holds. Signed accumulation is
+  // deliberate: smooth within-cluster drift leaves windows scattered on
+  // both sides of their cluster means (errors cancel, as they do in the
+  // real extrapolation), while clusters mixing distinct phases push
+  // windows systematically into one mode.
+  const auto probe_of = [&](std::size_t i, std::size_t p) {
+    return features.intervals[i].values[kProbeMissDim + p];
+  };
+  const auto probe_biases_of = [&](const KMeansResult& r,
+                                   const std::vector<RepWindow>& win) {
+    std::array<double, kProbeCount> bias{};
+    for (std::size_t p = 0; p < kProbeCount; ++p) {
+      std::vector<double> sum(r.clusters, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        sum[r.assignment[i]] += probe_of(i, p);
+      }
+      for (std::size_t c = 0; c < r.clusters; ++c) {
+        const RepWindow& w = win[c];
+        if (w.population == 0 || w.len == 0) continue;
+        double window_mean = 0;
+        for (std::size_t i = w.rep; i < w.rep + w.len; ++i) {
+          window_mean += probe_of(i, p);
+        }
+        window_mean /= static_cast<double>(w.len);
+        bias[p] += (w.population / static_cast<double>(n)) *
+                   (window_mean - sum[c] / w.population);
+      }
+    }
+    return bias;
+  };
+  const auto probe_spread_of = [&](const KMeansResult& r,
+                                   const std::vector<RepWindow>& win) {
+    const std::array<double, kProbeCount> bias = probe_biases_of(r, win);
+    const auto [lo, hi] = std::minmax_element(bias.begin(), bias.end());
+    return *hi - *lo;
+  };
+
+  KMeansResult km = kmeans(points, kFeatureDim, k, options.seed);
+  std::vector<RepWindow> windows = reps_of(km);
+  if (options.clusters == 0) {
+    // Adaptive K: double the cluster count until the probes agree on the
+    // plan's drift bias (or the cap is hit) — phased traces whose phases
+    // alias differently under different index functions (FFT's butterfly
+    // stages) need far more representatives than drifting-but-uniform
+    // ones, and a fixed ratio either misses their phases or wastes replay
+    // time everywhere else.
+    const std::size_t cap = std::min<std::size_t>(96, std::max(k, n / 12));
+    const bool debug = std::getenv("CANU_SAMPLE_DEBUG") != nullptr;
+    while (probe_spread_of(km, windows) > kProbeSpreadTarget &&
+           km.clusters < cap) {
+      if (debug) {
+        std::fprintf(stderr, "[sample]   k=%zu spread=%.5f -> escalate\n",
+                     km.clusters, probe_spread_of(km, windows));
+      }
+      km = kmeans(points, kFeatureDim,
+                  std::min(cap, km.clusters * 2), options.seed);
+      windows = reps_of(km);
+    }
+  }
+  {
+    // Explained fraction of the standardized feature variance — reported
+    // in plan provenance, not used as the stopping rule.
+    double tss = 0;
+    for (const double v : points) tss += v * v;
+    plan.explained_variance = tss > 0 ? 1.0 - wcss_of(km) / tss : 1.0;
+  }
+  if (std::getenv("CANU_SAMPLE_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[sample] n=%zu k=%zu explained=%.4f probe_spread=%.5f\n",
+                 n, km.clusters, plan.explained_variance,
+                 probe_spread_of(km, windows));
+  }
+  plan.clusters = km.clusters;
+
+  for (std::size_t c = 0; c < km.clusters; ++c) {
+    const RepWindow& w = windows[c];
+    if (w.len == 0) continue;  // empty cluster contributes nothing
+    SampleSegment seg;
+    seg.rep_interval = w.rep;
+    seg.warmup = std::min(options.warmup_intervals, w.rep);
+    seg.first_interval = w.rep - seg.warmup;
+    seg.measure_intervals = w.len;
+    seg.weight = w.population / static_cast<double>(w.len);
+    for (std::size_t i = w.rep; i < w.rep + w.len; ++i) {
+      for (std::size_t p = 0; p < kProbeCount; ++p) {
+        seg.probe_warm_misses[p] +=
+            probe_of(i, p) * static_cast<double>(features.intervals[i].refs);
+      }
+    }
+    seg.cluster = static_cast<std::uint32_t>(c);
+    plan.segments.push_back(seg);
+  }
+  std::sort(plan.segments.begin(), plan.segments.end(),
+            [](const SampleSegment& a, const SampleSegment& b) {
+              return a.first_interval < b.first_interval;
+            });
+
+  // Account fed references. Every segment replays from a flushed cache, so
+  // warm-up intervals are re-fed even when segments overlap.
+  const auto interval_refs_at = [&](std::size_t i) {
+    return features.intervals[i].refs;
+  };
+  for (const SampleSegment& seg : plan.segments) {
+    const std::size_t end = seg.rep_interval + seg.measure_intervals;
+    for (std::size_t i = seg.first_interval; i < end; ++i) {
+      plan.fed_refs += interval_refs_at(i);
+    }
+    for (std::size_t i = seg.rep_interval; i < end; ++i) {
+      plan.measured_refs += interval_refs_at(i);
+    }
+  }
+  return plan;
+}
+
+double stratified_ci95(const std::vector<double>& weights,
+                       const std::vector<double>& variances,
+                       double total_weight) {
+  CANU_CHECK_MSG(weights.size() == variances.size(),
+                 "weights/variances size mismatch");
+  if (total_weight <= 0) return 0;
+  double sum = 0;
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    const double frac = weights[c] / total_weight;
+    sum += frac * frac * std::max(0.0, variances[c]);
+  }
+  return 1.96 * std::sqrt(sum);
+}
+
+}  // namespace canu

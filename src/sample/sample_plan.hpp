@@ -1,0 +1,121 @@
+// Representative-interval selection (SimPoint-style) over per-interval
+// feature vectors: standardize the vectors, cluster them with deterministic
+// k-means, and pick each cluster's closest-to-centroid interval as the
+// representative, weighted by the cluster's interval population. Sampled
+// replay then simulates only the representatives (each primed by a short
+// warm-up prefix) and extrapolates full-trace metrics with cluster-variance
+// confidence intervals. See DESIGN.md §14.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/chunk_features.hpp"
+
+namespace canu {
+
+struct SampleOptions {
+  /// Cluster count; 0 selects automatically: start at a small base
+  /// (see auto_cluster_count) and double until the clustering's predicted
+  /// probe-cache extrapolation bias is small (phased traces escalate,
+  /// homogeneous ones stay cheap).
+  std::size_t clusters = 0;
+  std::uint64_t seed = 1;  ///< k-means seed (part of the result-cache key)
+  /// Target half-width for the miss-rate CI95 in percentage points;
+  /// 0 disables the check. When the achieved CI exceeds this, the planner
+  /// is re-run once with doubled clusters (bounded escalation), then the
+  /// result is accepted and annotated.
+  double max_error_pct = 0.0;
+  /// Intervals replayed (unmeasured) before each representative to prime
+  /// cache state after the per-segment flush.
+  std::size_t warmup_intervals = 2;
+  /// Measured intervals per segment: the window starts at the
+  /// representative and extends forward through consecutive intervals of
+  /// the same cluster, up to this many. Longer windows amortize residual
+  /// cold-start distortion over more measured references.
+  std::size_t measure_intervals = 3;
+};
+
+/// One replay segment: a cache flush, `warmup` priming intervals, then a
+/// measured window of `measure_intervals` consecutive intervals starting at
+/// the representative (all assigned to the representative's cluster, so
+/// windows never overlap another segment). The flush makes every segment's
+/// measurement independent of segment order and of which other segments
+/// run — stitched-together stale state otherwise biases measured intervals
+/// in either direction. Segments are emitted in ascending interval order.
+struct SampleSegment {
+  std::size_t rep_interval = 0;   ///< measured window's first interval
+  std::size_t first_interval = 0; ///< rep_interval - warmup (clamped to 0)
+  std::size_t warmup = 0;         ///< priming intervals actually available
+  std::size_t measure_intervals = 1;  ///< window length in intervals
+  /// Cluster population divided by the window length: scaling each
+  /// window's counter deltas by this weight keeps cluster proportions
+  /// correct when windows differ in length.
+  double weight = 0;
+  /// Per-probe misses the measured window incurs with fully warm
+  /// (persistent, whole-trace) probe state — from the feature sidecar.
+  /// Replay re-simulates the same bank from the segment's flushed start;
+  /// each scheme's matching probe's excess over this value estimates the
+  /// segment's cold-start distortion for that scheme, subtracted from its
+  /// measured misses.
+  std::array<double, kProbeCount> probe_warm_misses{};
+  std::uint32_t cluster = 0;
+};
+
+struct SamplePlan {
+  /// True when sampling was refused (degenerate trace) — callers must run
+  /// the exact engine and annotate the report with `reason`.
+  bool exact = false;
+  std::string reason;
+
+  std::size_t clusters = 0;
+  std::uint64_t seed = 1;
+  std::size_t interval_refs = 0;
+  std::uint64_t total_refs = 0;
+  std::size_t total_intervals = 0;
+  std::size_t warmup_intervals = 0;
+  /// Line granularity the features (and thus the probe cache) used; the
+  /// replay-side cold-start probe must fold addresses identically.
+  unsigned offset_bits = 5;
+  /// Segments sorted by first_interval; weights sum to total_intervals.
+  std::vector<SampleSegment> segments;
+
+  /// References fed to the engine (warm-up + measured), for speedup and
+  /// fed-fraction accounting.
+  std::uint64_t fed_refs = 0;
+  /// References inside measured intervals only.
+  std::uint64_t measured_refs = 0;
+  /// Fraction of standardized feature variance the final clustering
+  /// explains (1 - WCSS/TSS); 1.0 for fixed-K and degenerate plans.
+  double explained_variance = 1.0;
+  /// Whole-trace per-probe miss counts (sum over every interval of the
+  /// sidecar's probe miss fraction times the interval's refs). Replay uses
+  /// them as difference estimators: the plan's probe-projected prediction
+  /// minus this known total is the clustering's drift bias on that probe,
+  /// subtracted from each matching scheme's extrapolated miss rate.
+  std::array<double, kProbeCount> probe_true_misses{};
+};
+
+/// Automatic *starting* cluster count for `intervals` feature vectors; the
+/// planner doubles it until the predicted probe-cache extrapolation bias
+/// drops below its target (see build_sample_plan).
+std::size_t auto_cluster_count(std::size_t intervals);
+
+/// Build a sampling plan from a feature set. Degenerate inputs (fewer
+/// intervals than clusters would make meaningful, or an empty set) yield
+/// plan.exact = true with a human-readable reason instead of a plan.
+SamplePlan build_sample_plan(const FeatureSet& features,
+                             const SampleOptions& options);
+
+/// Conservative 95% confidence half-width for a weighted per-cluster
+/// metric: 1.96 * sqrt(sum_c (w_c/W)^2 * s_c^2) where s_c^2 is the
+/// between-interval variance of the metric within cluster c, estimated
+/// from the feature-space spread. Exposed for tests; the replay layer
+/// computes it from per-cluster replayed statistics.
+double stratified_ci95(const std::vector<double>& weights,
+                       const std::vector<double>& variances,
+                       double total_weight);
+
+}  // namespace canu

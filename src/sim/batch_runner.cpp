@@ -150,6 +150,18 @@ RunResult BatchRunner::result(std::size_t i,
   return result;
 }
 
+HierarchyResult BatchRunner::snapshot(std::size_t i) const {
+  CANU_CHECK_MSG(i < pipelines_.size(),
+                 "batch pipeline index out of range: " << i);
+  return pipelines_[i].hierarchy->result();
+}
+
+CacheModel& BatchRunner::model(std::size_t i) const {
+  CANU_CHECK_MSG(i < pipelines_.size(),
+                 "batch pipeline index out of range: " << i);
+  return *pipelines_[i].l1;
+}
+
 std::vector<RunResult> BatchRunner::results(const std::string& workload) const {
   std::vector<RunResult> out;
   out.reserve(pipelines_.size());

@@ -79,6 +79,16 @@ class BatchRunner {
   /// All pipeline results, in add() order.
   std::vector<RunResult> results(const std::string& workload) const;
 
+  /// Cheap copy of pipeline `i`'s accumulated hierarchy counters (no
+  /// uniformity analysis). Sampled replay (sim/sampled_replay.hpp) diffs
+  /// snapshots around each measured interval.
+  HierarchyResult snapshot(std::size_t i) const;
+
+  /// Pipeline `i`'s L1 model (the caller's object, as passed to add()).
+  CacheModel& model(std::size_t i) const;
+
+  const RunConfig& config() const noexcept { return config_; }
+
   /// Flush every pipeline (L1 contents, L2, cycle counters) so the runner
   /// can be reused for the next workload.
   void reset();

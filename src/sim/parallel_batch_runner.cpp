@@ -101,6 +101,11 @@ void ParallelBatchRunner::drain() {
   }
 }
 
+HierarchyResult ParallelBatchRunner::snapshot(std::size_t i) {
+  drain();
+  return inner_.snapshot(i);
+}
+
 RunResult ParallelBatchRunner::result(std::size_t i,
                                       const std::string& workload) {
   drain();

@@ -89,6 +89,15 @@ class ParallelBatchRunner {
   RunResult result(std::size_t i, const std::string& workload);
   std::vector<RunResult> results(const std::string& workload);
 
+  /// Drain, then copy pipeline `i`'s accumulated hierarchy counters (see
+  /// BatchRunner::snapshot).
+  HierarchyResult snapshot(std::size_t i);
+
+  /// Pipeline `i`'s L1 model (safe while no chunk is in flight).
+  CacheModel& model(std::size_t i) const { return inner_.model(i); }
+
+  const RunConfig& config() const noexcept { return inner_.config(); }
+
   /// Drain, then flush every pipeline for reuse on the next workload.
   void reset();
 

@@ -6,21 +6,25 @@ namespace canu {
 
 double scheme_amat(const CacheModel& model, double miss_penalty,
                    const TimingModel& timing) {
-  const CacheStats& s = model.stats();
+  return scheme_amat_at(model, model.stats().miss_rate(), miss_penalty,
+                        timing);
+}
+
+double scheme_amat_at(const CacheModel& model, double miss_rate,
+                      double miss_penalty, const TimingModel& timing) {
   const AmatTerms terms = model.amat_terms();
   switch (terms.formula) {
     case AmatTerms::Formula::kAdaptive:
-      return amat_adaptive(terms.direct_hit_fraction, s.miss_rate(),
+      return amat_adaptive(terms.direct_hit_fraction, miss_rate,
                            miss_penalty, timing);
     case AmatTerms::Formula::kColumn:
       return amat_column_associative(terms.slow_hit_fraction,
-                                     terms.probed_miss_fraction,
-                                     s.miss_rate(), miss_penalty, timing);
+                                     terms.probed_miss_fraction, miss_rate,
+                                     miss_penalty, timing);
     case AmatTerms::Formula::kConventional:
       break;
   }
-  return amat_conventional(s.miss_rate(), miss_penalty,
-                           timing.l1_hit_cycles);
+  return amat_conventional(miss_rate, miss_penalty, timing.l1_hit_cycles);
 }
 
 RunResult run_trace(CacheModel& l1, const Trace& trace,

@@ -18,6 +18,24 @@ struct RunConfig {
   TimingModel timing;
 };
 
+/// Provenance of a result produced by sampled-interval replay
+/// (sim/sampled_replay.hpp). Default-constructed = exact replay.
+struct SampleInfo {
+  bool sampled = false;
+  std::size_t clusters = 0;
+  std::size_t intervals_total = 0;
+  std::size_t intervals_fed = 0;       ///< warm-up + measured
+  std::size_t intervals_measured = 0;  ///< one per non-empty cluster
+  std::uint64_t refs_total = 0;
+  std::uint64_t refs_fed = 0;
+  /// 95% confidence half-widths from the between-cluster variance of the
+  /// per-representative metrics (conservative; DESIGN.md §14).
+  double miss_rate_ci95 = 0;
+  double amat_ci95 = 0;
+  /// Human-readable annotation, e.g. why sampling fell back to exact.
+  std::string note;
+};
+
 struct RunResult {
   std::string workload;
   std::string scheme;       ///< L1 model name
@@ -27,6 +45,7 @@ struct RunResult {
   double amat = 0;          ///< scheme-appropriate analytic AMAT
   double measured_amat = 0; ///< cycle-accounting cross-check
   UniformityReport uniformity;
+  SampleInfo sample;        ///< sampled-replay provenance (default: exact)
 
   double miss_rate() const noexcept { return l1.miss_rate(); }
 };
@@ -37,6 +56,14 @@ struct RunResult {
 /// victim cache reuses the column formula shape: swap hits cost 2 cycles).
 double scheme_amat(const CacheModel& model, double miss_penalty,
                    const TimingModel& timing = TimingModel());
+
+/// scheme_amat with an explicit miss rate instead of the model's cumulative
+/// one — the sampled-replay path evaluates the same formula at the
+/// extrapolated miss rate (hit/miss split fractions still come from the
+/// model's accumulated terms).
+double scheme_amat_at(const CacheModel& model, double miss_rate,
+                      double miss_penalty,
+                      const TimingModel& timing = TimingModel());
 
 /// Run `trace` through `l1` backed by a fresh L2; fills every RunResult
 /// field. The L1 is flushed first, so results are independent of prior runs.

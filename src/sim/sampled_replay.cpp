@@ -1,0 +1,349 @@
+#include "sim/sampled_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "sim/amat.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+IntervalReader::~IntervalReader() = default;
+
+MemoryIntervalReader::MemoryIntervalReader(std::span<const MemRef> refs,
+                                           std::size_t interval_refs)
+    : refs_(refs), interval_refs_(interval_refs) {
+  CANU_CHECK_MSG(interval_refs_ > 0, "interval size must be positive");
+  count_ = (refs_.size() + interval_refs_ - 1) / interval_refs_;
+}
+
+std::span<const MemRef> MemoryIntervalReader::read_interval(
+    std::size_t index) {
+  CANU_CHECK_MSG(index < count_, "interval index out of range: " << index);
+  const std::size_t begin = index * interval_refs_;
+  const std::size_t n = std::min(interval_refs_, refs_.size() - begin);
+  return refs_.subspan(begin, n);
+}
+
+FileIntervalReader::FileIntervalReader(const std::string& path,
+                                       const FeatureSet& features)
+    : source_(path, static_cast<std::size_t>(features.interval_refs)),
+      features_(&features) {
+  CANU_CHECK_MSG(features.has_anchors(),
+                 "feature set for '" << path << "' carries no seek anchors");
+}
+
+std::span<const MemRef> FileIntervalReader::read_interval(std::size_t index) {
+  CANU_CHECK_MSG(index < features_->intervals.size(),
+                 "interval index out of range: " << index);
+  const IntervalFeatures& iv = features_->intervals[index];
+  source_.seek_to(iv.anchor);
+  // The source's chunk size equals the interval size, so one pull yields
+  // the whole interval (the trailing interval is naturally short).
+  const std::span<const MemRef> refs = source_.next_chunk();
+  CANU_CHECK_MSG(refs.size() == iv.refs,
+                 "interval " << index << " decoded " << refs.size()
+                             << " refs, sidecar recorded " << iv.refs);
+  return refs;
+}
+
+namespace {
+
+/// Weighted accumulation of snapshot deltas (doubles: weights are cluster
+/// populations, so counters scale beyond their u64 sources only at the
+/// final rescale).
+struct StatsAccum {
+  double accesses = 0, hits = 0, misses = 0, primary_hits = 0,
+         secondary_hits = 0, evictions = 0, swaps = 0, lookup_cycles = 0,
+         write_accesses = 0, writebacks = 0;
+
+  void add(const CacheStats& before, const CacheStats& after, double w) {
+    const auto d = [w](std::uint64_t b, std::uint64_t a) {
+      return w * static_cast<double>(a - b);
+    };
+    accesses += d(before.accesses, after.accesses);
+    hits += d(before.hits, after.hits);
+    misses += d(before.misses, after.misses);
+    primary_hits += d(before.primary_hits, after.primary_hits);
+    secondary_hits += d(before.secondary_hits, after.secondary_hits);
+    evictions += d(before.evictions, after.evictions);
+    swaps += d(before.swaps, after.swaps);
+    lookup_cycles += d(before.lookup_cycles, after.lookup_cycles);
+    write_accesses += d(before.write_accesses, after.write_accesses);
+    writebacks += d(before.writebacks, after.writebacks);
+  }
+
+  /// Scale every counter by `r` and round into integer CacheStats.
+  CacheStats to_stats(double r) const {
+    const auto s = [r](double v) {
+      return static_cast<std::uint64_t>(std::llround(std::max(0.0, v * r)));
+    };
+    CacheStats out;
+    out.accesses = s(accesses);
+    out.hits = s(hits);
+    out.misses = s(misses);
+    out.primary_hits = s(primary_hits);
+    out.secondary_hits = s(secondary_hits);
+    out.evictions = s(evictions);
+    out.swaps = s(swaps);
+    out.lookup_cycles = s(lookup_cycles);
+    out.write_accesses = s(write_accesses);
+    out.writebacks = s(writebacks);
+    return out;
+  }
+};
+
+/// Per-pipeline accumulation across measured intervals.
+struct PipelineAccum {
+  StatsAccum l1, l2;
+  double cycles = 0;  ///< weighted Δtotal_cycles
+  /// Per-representative observations for the CI math.
+  std::vector<double> miss_rates;
+  std::vector<double> amats;  ///< measured per-interval AMAT
+  std::vector<double> weights;
+};
+
+/// Probe used to correct a pipeline, chosen by its L1 scheme name. Direct
+/// schemes get the probe of their own index function; the trained Givargis
+/// family maps to its nearest untrained relative (bit-selection ≈ modulo,
+/// Givargis-XOR ≈ XOR); retention-enhanced extensions (victim/B-cache,
+/// adaptive, column-associative) map to the victim probe, whose small
+/// fully-associative buffer prices their softer cold-start penalty.
+std::size_t probe_for_scheme(const std::string& scheme) {
+  const auto starts = [](const std::string& s, const char* prefix) {
+    return s.rfind(prefix, 0) == 0;
+  };
+  if (starts(scheme, "b_cache")) {
+    return static_cast<std::size_t>(ProbeKind::kBCache);
+  }
+  if (starts(scheme, "column_assoc")) {
+    return static_cast<std::size_t>(ProbeKind::kColumnAssoc);
+  }
+  if (starts(scheme, "adaptive") || starts(scheme, "victim")) {
+    return static_cast<std::size_t>(ProbeKind::kVictim);
+  }
+  std::string inner = scheme;
+  const std::size_t lb = scheme.find('[');
+  if (lb != std::string::npos) {
+    const std::size_t rb = scheme.find(']', lb);
+    inner = scheme.substr(lb + 1, rb == std::string::npos ? std::string::npos
+                                                          : rb - lb - 1);
+  }
+  if (starts(inner, "givargis_xor")) return static_cast<std::size_t>(ProbeKind::kXor);
+  if (starts(inner, "givargis")) return static_cast<std::size_t>(ProbeKind::kModulo);
+  if (starts(inner, "xor")) return static_cast<std::size_t>(ProbeKind::kXor);
+  if (starts(inner, "odd_multiplier")) {
+    return static_cast<std::size_t>(ProbeKind::kOddMultiplier);
+  }
+  if (starts(inner, "prime_modulo")) {
+    return static_cast<std::size_t>(ProbeKind::kPrimeModulo);
+  }
+  return static_cast<std::size_t>(ProbeKind::kModulo);
+}
+
+double weighted_ci95(const std::vector<double>& values,
+                     const std::vector<double>& weights) {
+  double wsum = 0, mean = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    wsum += weights[i];
+    mean += weights[i] * values[i];
+  }
+  if (wsum <= 0 || values.size() < 2) return 0;
+  mean /= wsum;
+  // Weighted between-representative variance, used as a conservative
+  // stand-in for every cluster's within variance (clustering exists to
+  // make within-cluster spread SMALLER than this).
+  double var = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - mean;
+    var += weights[i] * d * d;
+  }
+  var /= wsum;
+  // Stratified CI: 1.96 * sqrt(sum_c (w_c/W)^2 * s^2).
+  double frac_sq = 0;
+  for (const double w : weights) frac_sq += (w / wsum) * (w / wsum);
+  return 1.96 * std::sqrt(var * frac_sq);
+}
+
+}  // namespace
+
+std::vector<RunResult> run_sampled(ParallelBatchRunner& runner,
+                                   IntervalReader& reader,
+                                   const SamplePlan& plan,
+                                   const std::string& workload) {
+  CANU_CHECK_MSG(!plan.exact, "run_sampled called with an exact plan");
+  CANU_CHECK_MSG(!plan.segments.empty(), "sample plan has no segments");
+  const std::size_t pipelines = runner.pipeline_count();
+  CANU_CHECK_MSG(pipelines > 0, "no pipelines registered");
+
+  obs::Span span("replay", "sampled replay " + workload, "segments",
+                 plan.segments.size());
+
+  std::vector<PipelineAccum> accum(pipelines);
+  std::vector<HierarchyResult> before(pipelines);
+  std::size_t fed = 0, measured = 0;
+
+  // Each segment replays from a flushed cache: warm-up intervals prime the
+  // state, then the measured window's counter deltas are captured. The
+  // flush makes every segment's measurement independent of segment order
+  // and of which other segments run — stitched-together stale state
+  // otherwise biases measured intervals in either direction (stale lines
+  // serve "lucky" hits or force extra conflict evictions).
+  //
+  // Residual cold-start inflation (the warm-up is deliberately short) is
+  // estimated per segment with the planner's probe cache: the same
+  // direct-mapped probe is re-simulated from the flushed start, and its
+  // excess misses over the sidecar-recorded warm value — compulsory misses
+  // the flush manufactured — are subtracted from every scheme's measured
+  // misses. Cold-start inflation is compulsory-miss driven, so one probe
+  // estimate serves all schemes.
+  // Each pipeline's correcting probe, chosen by L1 scheme name once.
+  std::vector<std::size_t> pipeline_probe(pipelines);
+  for (std::size_t p = 0; p < pipelines; ++p) {
+    pipeline_probe[p] = probe_for_scheme(runner.model(p).name());
+  }
+
+  // Difference-estimator terms per probe: the plan's probe-projected
+  // prediction (weighted warm probe misses over measured windows) versus
+  // the known whole-trace probe totals. The per-ref difference is the
+  // clustering's drift bias on that probe — the systematic error a finite
+  // cluster count leaves even with perfect per-segment measurement — and
+  // is subtracted from each matching scheme below (survey-sampling
+  // difference estimation with the probes as auxiliary variables).
+  std::array<double, kProbeCount> probe_pred_misses{};
+  double weighted_window_refs = 0;
+  ProbeBank probes;
+  for (const SampleSegment& seg : plan.segments) {
+    const std::size_t window_end = seg.rep_interval + seg.measure_intervals;
+    CANU_CHECK_MSG(window_end <= reader.interval_count(),
+                   "plan references interval " << (window_end - 1)
+                                               << " beyond the trace");
+    runner.reset();
+    probes.reset();
+    const auto probe_feed = [&](std::span<const MemRef> refs) {
+      for (const MemRef& ref : refs) {
+        probes.access(ref.addr >> plan.offset_bits);
+      }
+    };
+    for (std::size_t i = seg.first_interval; i < seg.rep_interval; ++i) {
+      const std::span<const MemRef> refs = reader.read_interval(i);
+      probe_feed(refs);
+      runner.feed(refs);
+      ++fed;
+    }
+    for (std::size_t p = 0; p < pipelines; ++p) {
+      before[p] = runner.snapshot(p);
+    }
+    probes.take();  // discard warm-up misses; window misses start here
+    double window_refs = 0;
+    for (std::size_t i = seg.rep_interval; i < window_end; ++i) {
+      const std::span<const MemRef> refs = reader.read_interval(i);
+      probe_feed(refs);
+      window_refs += static_cast<double>(refs.size());
+      runner.feed(refs);
+      ++fed;
+      ++measured;
+    }
+    const std::array<std::uint64_t, kProbeCount> cold = probes.take();
+    // Per-probe cold-start inflation: the flush's manufactured compulsory
+    // misses, priced with each scheme family's own probe.
+    std::array<double, kProbeCount> bias_rate{};
+    for (std::size_t q = 0; q < kProbeCount; ++q) {
+      bias_rate[q] =
+          window_refs > 0
+              ? std::max(0.0, (static_cast<double>(cold[q]) -
+                               seg.probe_warm_misses[q]) /
+                                  window_refs)
+              : 0.0;
+      probe_pred_misses[q] += seg.weight * seg.probe_warm_misses[q];
+    }
+    weighted_window_refs += seg.weight * window_refs;
+    for (std::size_t p = 0; p < pipelines; ++p) {
+      const HierarchyResult after = runner.snapshot(p);
+      PipelineAccum& a = accum[p];
+      a.l1.add(before[p].l1, after.l1, seg.weight);
+      a.l2.add(before[p].l2, after.l2, seg.weight);
+      const double d_cycles = static_cast<double>(after.total_cycles -
+                                                  before[p].total_cycles);
+      a.cycles += seg.weight * d_cycles;
+      const double d_acc = static_cast<double>(after.l1.accesses -
+                                               before[p].l1.accesses);
+      const double d_miss = static_cast<double>(after.l1.misses -
+                                                before[p].l1.misses);
+      const double corrected = std::clamp(
+          d_miss - bias_rate[pipeline_probe[p]] * d_acc, 0.0, d_acc);
+      a.l1.misses -= seg.weight * (d_miss - corrected);
+      a.l1.hits += seg.weight * (d_miss - corrected);
+      a.miss_rates.push_back(d_acc > 0 ? corrected / d_acc : 0.0);
+      a.amats.push_back(d_acc > 0 ? d_cycles / d_acc : 0.0);
+      a.weights.push_back(seg.weight);
+    }
+  }
+
+  // Per-ref drift bias the clustering leaves on each probe; subtracting a
+  // scheme's matching value makes the estimator exactly unbiased on that
+  // probe's metric and removes the probe-correlated component of the
+  // scheme's drift bias (slope-1 difference estimation).
+  std::array<double, kProbeCount> drift_bias{};
+  if (weighted_window_refs > 0 && plan.total_refs > 0) {
+    for (std::size_t q = 0; q < kProbeCount; ++q) {
+      drift_bias[q] = probe_pred_misses[q] / weighted_window_refs -
+                      plan.probe_true_misses[q] /
+                          static_cast<double>(plan.total_refs);
+    }
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(pipelines);
+  for (std::size_t p = 0; p < pipelines; ++p) {
+    PipelineAccum& a = accum[p];
+    // Ratio estimator: rescale so the estimated access count matches the
+    // true trace length (weights count intervals; intervals differ in refs
+    // only at the tail, so this is a small correction).
+    const double r =
+        a.l1.accesses > 0
+            ? static_cast<double>(plan.total_refs) / a.l1.accesses
+            : 0.0;
+
+    RunResult res;
+    res.workload = workload;
+    res.scheme = runner.model(p).name();
+    res.l1 = a.l1.to_stats(r);
+    res.l2 = a.l2.to_stats(r);
+    const double miss_rate = std::clamp(
+        (a.l1.accesses > 0 ? a.l1.misses / a.l1.accesses : 0.0) -
+            drift_bias[pipeline_probe[p]],
+        0.0, 1.0);
+    // Keep the headline ratio exact after integer rounding.
+    if (res.l1.accesses > 0) {
+      res.l1.misses = static_cast<std::uint64_t>(
+          std::llround(miss_rate * static_cast<double>(res.l1.accesses)));
+      res.l1.hits = res.l1.accesses - res.l1.misses;
+    }
+    res.miss_penalty =
+        miss_penalty_from_l2(res.l2, runner.config().timing);
+    res.amat = scheme_amat_at(runner.model(p), miss_rate, res.miss_penalty,
+                              runner.config().timing);
+    const double measured_amat =
+        a.l1.accesses > 0 ? a.cycles / a.l1.accesses : 0.0;
+    res.measured_amat = measured_amat;
+    // Per-set distribution over everything the pipeline replayed (warm-up
+    // included): sampled uniformity is indicative, not extrapolated.
+    res.uniformity = analyse_uniformity(runner.model(p).set_stats());
+
+    res.sample.sampled = true;
+    res.sample.clusters = plan.clusters;
+    res.sample.intervals_total = plan.total_intervals;
+    res.sample.intervals_fed = fed;
+    res.sample.intervals_measured = measured;
+    res.sample.refs_total = plan.total_refs;
+    res.sample.refs_fed = plan.fed_refs;
+    res.sample.miss_rate_ci95 = weighted_ci95(a.miss_rates, a.weights);
+    res.sample.amat_ci95 = weighted_ci95(a.amats, a.weights);
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace canu

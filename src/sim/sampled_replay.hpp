@@ -1,0 +1,84 @@
+// Sampled-interval replay: execute a SamplePlan (src/sample) on the batch
+// engine and extrapolate full-trace metrics.
+//
+// The replay is one forward pass: segments arrive sorted by interval index,
+// each contributes its warm-up intervals (replayed but unmeasured — they
+// prime L1/L2 contents) followed by the measured representative interval.
+// Around each measured interval the engine's per-pipeline hierarchy
+// counters are snapshotted; the deltas, weighted by cluster population and
+// rescaled so estimated L1 accesses match the true trace length (ratio
+// estimator), become the extrapolated CacheStats. AMAT is re-evaluated at
+// the extrapolated miss rate using each model's accumulated formula terms;
+// confidence intervals come from the weighted between-representative
+// variance of the per-interval metrics (conservative stand-in for the
+// within-cluster variance a single representative cannot observe).
+// DESIGN.md §14 has the full derivation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sample/sample_plan.hpp"
+#include "sim/parallel_batch_runner.hpp"
+#include "trace/chunk_features.hpp"
+#include "trace/trace_io.hpp"
+
+namespace canu {
+
+/// Random access to the trace's sampling intervals. read_interval() spans
+/// stay valid until the next call on the same reader. Plans are replayed in
+/// ascending interval order, so implementations may assume mostly-forward
+/// access.
+class IntervalReader {
+ public:
+  virtual ~IntervalReader();
+  virtual std::span<const MemRef> read_interval(std::size_t index) = 0;
+  virtual std::size_t interval_count() const noexcept = 0;
+};
+
+/// Intervals sliced out of an in-memory reference array (borrowed).
+class MemoryIntervalReader final : public IntervalReader {
+ public:
+  MemoryIntervalReader(std::span<const MemRef> refs, std::size_t interval_refs);
+
+  std::span<const MemRef> read_interval(std::size_t index) override;
+  std::size_t interval_count() const noexcept override { return count_; }
+
+ private:
+  std::span<const MemRef> refs_;
+  std::size_t interval_refs_;
+  std::size_t count_;
+};
+
+/// Intervals decoded from a cached trace file, seeking via the feature
+/// sidecar's per-interval anchors so unselected intervals are never
+/// decoded. The feature set must have been computed from this file
+/// (FeatureSet::has_anchors()).
+class FileIntervalReader final : public IntervalReader {
+ public:
+  FileIntervalReader(const std::string& path, const FeatureSet& features);
+
+  std::span<const MemRef> read_interval(std::size_t index) override;
+  std::size_t interval_count() const noexcept override {
+    return features_->intervals.size();
+  }
+
+ private:
+  TraceFileSource source_;
+  const FeatureSet* features_;  ///< borrowed; outlives the reader
+};
+
+/// Execute `plan` against the runner's registered pipelines and return the
+/// extrapolated per-pipeline results (add() order), each annotated with
+/// SampleInfo. The runner must be freshly built/reset — sampled replay owns
+/// the whole feeding sequence. Composes with --threads (feeding is
+/// synchronous per interval; sharding stays bit-for-bit deterministic) and
+/// with --grid (access-plan classes group exactly as in exact replay).
+std::vector<RunResult> run_sampled(ParallelBatchRunner& runner,
+                                   IntervalReader& reader,
+                                   const SamplePlan& plan,
+                                   const std::string& workload);
+
+}  // namespace canu

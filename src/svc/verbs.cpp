@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <ostream>
 #include <thread>
@@ -119,9 +120,52 @@ EvaluateArgs split_evaluate_args(const std::vector<std::string>& args) {
   return split;
 }
 
+/// Strip the sampling tokens (--sample[=K], --sample-seed=S, --max-error=P)
+/// out of `args` in place and return the parsed spec — shared by evaluate
+/// and advise (the two sampling-capable verbs). Throws canu::Error on a
+/// malformed value or a sampling tuning flag without --sample.
+SampleSpec strip_sample_args(std::vector<std::string>& args) {
+  SampleSpec sample;
+  bool have_seed = false;
+  bool have_max_error = false;
+  std::vector<std::string> kept;
+  std::string value;
+  std::string error;
+  for (const std::string& a : args) {
+    if (a == "--sample") {
+      sample.enabled = true;
+    } else if (flag_value(a, "--sample", &value)) {
+      const auto v = parse_u64(value, "--sample value", &error);
+      if (!v) throw Error(error);
+      sample.enabled = true;
+      sample.clusters = static_cast<std::size_t>(*v);
+    } else if (flag_value(a, "--sample-seed", &value)) {
+      const auto v = parse_u64(value, "--sample-seed value", &error);
+      if (!v) throw Error(error);
+      sample.seed = *v;
+      have_seed = true;
+    } else if (flag_value(a, "--max-error", &value)) {
+      const auto v = parse_positive_double(value, "--max-error value", &error);
+      if (!v) throw Error(error);
+      sample.max_error_pct = *v;
+      have_max_error = true;
+    } else {
+      kept.push_back(a);
+    }
+  }
+  if (!sample.enabled && (have_seed || have_max_error)) {
+    throw Error(std::string(have_seed ? "--sample-seed" : "--max-error") +
+                " requires --sample");
+  }
+  args = std::move(kept);
+  return sample;
+}
+
 int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
                  const VerbOptions& options) {
-  const EvaluateArgs split = split_evaluate_args(req.args);
+  std::vector<std::string> args = req.args;
+  const SampleSpec sample = strip_sample_args(args);
+  const EvaluateArgs split = split_evaluate_args(args);
   if (!split.grid && !split.dims.empty()) {
     err << "grid dimension tokens (" << split.dims[0]
         << ", ...) require --grid\n";
@@ -144,6 +188,7 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
   opt.pool = options.pool;
   opt.cancel = options.cancel;
   opt.trace_cache_dir = default_trace_cache_dir();
+  opt.sample = sample;
   if (options.progress) {
     opt.progress = obs::make_progress_printer(options.progress_force);
   }
@@ -179,27 +224,56 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
   rep.print_miss_reduction(out);
   out << "\n";
   rep.print_amat_reduction(out);
+  if (rep.any_sampled()) {
+    out << "\n";
+    rep.print_sampling(out);
+  }
   return 0;
 }
 
 int cmd_advise(const Request& req, std::ostream& out, std::ostream& err,
                const VerbOptions& options) {
-  if (req.args.empty()) return usage_error(err, "advise");
+  std::vector<std::string> args = req.args;
+  const SampleSpec sample = strip_sample_args(args);
+  if (args.empty()) return usage_error(err, "advise");
   Advisor::Options aopt;
   aopt.threads = req.threads;
   aopt.pool = options.pool;
   aopt.cancel = options.cancel;
-  const AdvisorReport rep =
-      Advisor(aopt).advise_workload(req.args[0], req.params);
+  aopt.sample = sample;
+  const AdvisorReport rep = Advisor(aopt).advise_workload(args[0], req.params);
+  const bool sampled =
+      std::any_of(rep.ranked.begin(), rep.ranked.end(),
+                  [](const AdvisorChoice& c) { return c.result.sample.sampled; });
   TextTable table;
-  table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
+  if (sampled) {
+    table.set_header({"rank", "scheme", "miss rate %", "±CI95", "miss red. %"});
+  } else {
+    table.set_header({"rank", "scheme", "miss rate %", "miss red. %"});
+  }
   int rank = 1;
   for (const AdvisorChoice& c : rep.ranked) {
-    table.add_row({std::to_string(rank++), c.scheme.label(),
-                   TextTable::num(100.0 * c.result.miss_rate(), 3),
-                   TextTable::num(c.miss_reduction_pct, 2)});
+    if (sampled) {
+      table.add_row({std::to_string(rank++), c.scheme.label(),
+                     TextTable::num(100.0 * c.result.miss_rate(), 3),
+                     TextTable::num(100.0 * c.result.sample.miss_rate_ci95, 3),
+                     TextTable::num(c.miss_reduction_pct, 2)});
+    } else {
+      table.add_row({std::to_string(rank++), c.scheme.label(),
+                     TextTable::num(100.0 * c.result.miss_rate(), 3),
+                     TextTable::num(c.miss_reduction_pct, 2)});
+    }
   }
   table.print(out);
+  if (sampled) {
+    const SampleInfo& info = rep.ranked.front().result.sample;
+    out << "sampled estimates: " << info.clusters << " clusters, "
+        << info.intervals_measured << "/" << info.intervals_total
+        << " intervals measured\n";
+  } else if (sample.enabled && !rep.ranked.empty() &&
+             !rep.ranked.front().result.sample.note.empty()) {
+    out << "exact replay: " << rep.ranked.front().result.sample.note << "\n";
+  }
   out << (rep.keep_conventional()
               ? "recommendation: keep conventional indexing\n"
               : "recommendation: " + rep.best().scheme.label() + "\n");
@@ -302,14 +376,16 @@ std::vector<std::string> scheme_set_for(const Request& req) {
     if (req.verb == "run" && req.args.size() >= 2) {
       push_spec(parse_scheme_spec(req.args[1]));
     } else if (req.verb == "evaluate") {
-      const EvaluateArgs split = split_evaluate_args(req.args);
+      std::vector<std::string> args = req.args;
+      strip_sample_args(args);  // sampling doesn't change the scheme set
+      const EvaluateArgs split = split_evaluate_args(args);
       if (split.grid) {
         for (const GridPoint& pt : ConfigGrid::parse(split.dims).cells()) {
           labels.push_back(pt.label());
         }
         return labels;
       }
-      const std::string group = req.args.size() > 1 ? req.args[1] : "all";
+      const std::string group = split.rest.size() > 1 ? split.rest[1] : "all";
       Evaluator ev;
       if (group == "indexing" || group == "all") {
         ev.add_paper_indexing_schemes();
@@ -336,20 +412,37 @@ std::vector<std::string> scheme_set_for(const Request& req) {
 }
 
 std::vector<std::string> canonical_request_args(const Request& req) {
-  if (req.verb != "evaluate") return req.args;
-  const EvaluateArgs split = split_evaluate_args(req.args);
-  if (!split.grid) return req.args;
+  if (req.verb != "evaluate" && req.verb != "advise") return req.args;
   try {
-    const ConfigGrid grid = ConfigGrid::parse(split.dims);
-    std::vector<std::string> canon = split.rest;
-    canon.emplace_back("--grid");
-    for (std::string& token : grid.canonical_tokens()) {
-      canon.push_back(std::move(token));
+    // Sampling params are request identity: two sampled requests that
+    // differ only in token order or spelled-out defaults must share one
+    // result-cache entry, while sampled and exact runs of the same spec
+    // (estimates vs ground truth) must not. Canonical form strips the
+    // tokens, then re-appends them fully expanded in a fixed order.
+    std::vector<std::string> canon = req.args;
+    const SampleSpec sample = strip_sample_args(canon);
+    if (req.verb == "evaluate") {
+      const EvaluateArgs split = split_evaluate_args(canon);
+      if (split.grid) {
+        const ConfigGrid grid = ConfigGrid::parse(split.dims);
+        canon = split.rest;
+        canon.emplace_back("--grid");
+        for (std::string& token : grid.canonical_tokens()) {
+          canon.push_back(std::move(token));
+        }
+      }
+    }
+    if (sample.enabled) {
+      canon.push_back("--sample=" + std::to_string(sample.clusters));
+      canon.push_back("--sample-seed=" + std::to_string(sample.seed));
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "--max-error=%.17g", sample.max_error_pct);
+      canon.emplace_back(buf);
     }
     return canon;
   } catch (const Error&) {
-    // Malformed grid spec: execution will fail and the result is never
-    // cached, so the literal args are as good a key as any.
+    // Malformed grid/sampling spec: execution will fail and the result is
+    // never cached, so the literal args are as good a key as any.
     return req.args;
   }
 }

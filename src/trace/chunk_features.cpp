@@ -1,0 +1,527 @@
+#include "trace/chunk_features.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "trace/trace_cache.hpp"
+#include "util/error.hpp"
+
+namespace canu {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::array<char, 8> kSidecarMagic = {'C', 'A', 'N', 'U',
+                                               'F', 'E', 'A', '1'};
+
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void append_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  double f64() { return std::bit_cast<double>(take(8)); }
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::uint64_t take(std::size_t n) {
+    CANU_CHECK_MSG(pos_ + n <= size_, "truncated feature sidecar");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Stride-histogram bucket for a non-zero address delta: exact log2
+/// magnitude, one bucket per power of two, clamped to 24 buckets (strides
+/// >= 2^23 bytes share the last one).
+std::size_t stride_bucket(std::int64_t delta) {
+  const std::uint64_t mag =
+      delta < 0 ? static_cast<std::uint64_t>(-delta)
+                : static_cast<std::uint64_t>(delta);
+  const unsigned width = 64u - static_cast<unsigned>(std::countl_zero(mag));
+  return std::min<std::size_t>(23, width - 1) + 1;
+}
+
+/// Reuse-distance bucket boundaries: [0,16) [16,64) [64,256) [256,1024)
+/// [1024,4096) [4096,inf).
+std::size_t reuse_bucket(std::uint64_t distance) {
+  if (distance < 16) return 0;
+  if (distance < 64) return 1;
+  if (distance < 256) return 2;
+  if (distance < 1024) return 3;
+  if (distance < 4096) return 4;
+  return 5;
+}
+
+std::string unique_temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+/// Per-line bookkeeping of the current interval: touch count (hot-line
+/// concentration) and last-touch global index (reuse distances). Reset at
+/// interval boundaries, so the map stays interval-sized.
+struct FeatureExtractor::LineState {
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t last_index = 0;
+  };
+  std::unordered_map<std::uint64_t, Entry> map;
+};
+
+ProbeBank::ProbeBank() { reset(); }
+
+void ProbeBank::reset() noexcept {
+  for (std::vector<std::uint64_t>& slots : direct_) {
+    slots.assign(kProbeSets, ~std::uint64_t{0});
+  }
+  victim_primary_.assign(kProbeSets, ~std::uint64_t{0});
+  victims_.fill(VictimEntry{});
+  bcache_.assign(kProbeSets, BCacheEntry{});
+  column_.assign(kProbeSets, ColumnEntry{});
+  clock_ = 0;
+  misses_ = {};
+}
+
+std::array<std::uint64_t, kProbeCount> ProbeBank::take() noexcept {
+  const std::array<std::uint64_t, kProbeCount> out = misses_;
+  misses_ = {};
+  return out;
+}
+
+void ProbeBank::access(std::uint64_t line) noexcept {
+  // Set indices replicate src/indexing at line granularity (index math
+  // there consumes addr >> offset_bits and up).
+  const std::uint64_t idx = line & (kProbeSets - 1);
+  const std::uint64_t upper = line >> 10;  // 1024 sets = 10 index bits
+  const std::uint64_t sets[4] = {
+      idx,                                    // modulo
+      idx ^ (upper & (kProbeSets - 1)),       // xor (index ^ low tag bits)
+      (21 * upper + idx) & (kProbeSets - 1),  // odd_multiplier(21)
+      line % 1021,                            // prime_modulo (<= 1024)
+  };
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::uint64_t& slot = direct_[p][sets[p]];
+    if (slot != line) {
+      slot = line;
+      ++misses_[p];
+    }
+  }
+
+  ++clock_;
+
+  // Victim probe: direct-mapped modulo primary, fully-associative LRU
+  // buffer probed on primary miss, swap-on-hit (cache/victim_cache.cpp).
+  [&] {
+    std::uint64_t& primary = victim_primary_[idx];
+    if (primary == line) return;
+    for (VictimEntry& v : victims_) {
+      if (v.line == line) {
+        v.line = primary;  // swap; primary may have been empty (cold set)
+        v.stamp = clock_;
+        primary = line;
+        return;
+      }
+    }
+    ++misses_[4];
+    if (primary != ~std::uint64_t{0}) {
+      VictimEntry* lru = &victims_[0];
+      for (VictimEntry& v : victims_) {
+        if (v.line == ~std::uint64_t{0}) {
+          lru = &v;
+          break;
+        }
+        if (v.stamp < lru->stamp) lru = &v;
+      }
+      *lru = VictimEntry{primary, clock_};
+    }
+    primary = line;
+  }();
+
+  // B-cache probe: the default B-cache (assoc/bcache.cpp, MF=2, BAS=8)
+  // hits and misses exactly like an 8-way LRU bank indexed by the low
+  // cluster bits — the PI machinery only shapes lookup latency.
+  [&] {
+    constexpr std::uint64_t kClusters = kProbeSets / kProbeBCacheWays;
+    BCacheEntry* base = bcache_.data() + (line & (kClusters - 1)) *
+                                             kProbeBCacheWays;
+    for (std::size_t w = 0; w < kProbeBCacheWays; ++w) {
+      if (base[w].line == line) {
+        base[w].stamp = clock_;
+        return;
+      }
+    }
+    ++misses_[5];
+    BCacheEntry* slot = base;
+    for (std::size_t w = 0; w < kProbeBCacheWays; ++w) {
+      if (base[w].line == ~std::uint64_t{0}) {
+        slot = base + w;
+        break;
+      }
+      if (base[w].stamp < slot->stamp) slot = base + w;
+    }
+    *slot = BCacheEntry{line, clock_};
+  }();
+
+  // Column-associative probe (assoc/column_associative.cpp with modulo
+  // indexing): rehash to the MSB-complemented set, swap on secondary hit,
+  // displaced primary block relocates to the alternate slot on a miss.
+  [&] {
+    ColumnEntry& primary = column_[idx];
+    if (primary.line == line) return;
+    if (primary.line != ~std::uint64_t{0} && primary.rehash) {
+      // A rehashed resident means the sought block cannot be in its
+      // alternate slot either: replace directly, no second probe.
+      ++misses_[6];
+      primary = ColumnEntry{line, false};
+      return;
+    }
+    ColumnEntry& alternate = column_[idx ^ (kProbeSets >> 1)];
+    if (alternate.line == line) {
+      std::swap(primary, alternate);
+      primary.rehash = false;
+      alternate.rehash = true;
+      return;
+    }
+    ++misses_[6];
+    if (primary.line != ~std::uint64_t{0}) {
+      alternate = primary;
+      alternate.rehash = true;
+    }
+    primary = ColumnEntry{line, false};
+  }();
+}
+
+FeatureExtractor::FeatureExtractor(std::size_t interval_refs,
+                                   unsigned offset_bits)
+    : interval_refs_(interval_refs),
+      offset_bits_(offset_bits),
+      lines_(std::make_unique<LineState>()) {
+  CANU_CHECK_MSG(interval_refs_ > 0, "interval size must be positive");
+  set_.interval_refs = interval_refs_;
+  set_.offset_bits = offset_bits_;
+  lines_->map.reserve(interval_refs_ / 4);
+}
+
+FeatureExtractor::~FeatureExtractor() = default;
+
+void FeatureExtractor::note_ref(const MemRef& ref) {
+  if (have_prev_) {
+    const std::int64_t delta = static_cast<std::int64_t>(ref.addr) -
+                               static_cast<std::int64_t>(prev_addr_);
+    if (delta == 0) {
+      ++zero_strides_;
+    } else {
+      ++stride_hist_[stride_bucket(delta) - 1];
+    }
+  }
+  prev_addr_ = ref.addr;
+  have_prev_ = true;
+  if (ref.type == AccessType::kWrite) ++writes_;
+  if (ref.type == AccessType::kFetch) ++fetches_;
+
+  const std::uint64_t line = ref.addr >> offset_bits_;
+  auto& entry = lines_->map[line];
+  if (entry.count > 0) {
+    ++reuse_hist_[reuse_bucket(ref_counter_ - entry.last_index)];
+  }
+  ++entry.count;
+  entry.last_index = ref_counter_;
+  if (entry.count > max_line_count_) max_line_count_ = entry.count;
+  ++fold_counts_[line & 63];
+  probes_.access(line);
+
+  ++ref_counter_;
+  ++refs_in_interval_;
+  if (refs_in_interval_ == interval_refs_) finish_interval();
+}
+
+void FeatureExtractor::finish_interval() {
+  if (refs_in_interval_ == 0) return;
+  IntervalFeatures iv;
+  iv.refs = refs_in_interval_;
+  iv.anchor.ref_index = ref_counter_ - refs_in_interval_;
+  const double n = static_cast<double>(refs_in_interval_);
+
+  auto& v = iv.values;
+  v[0] = static_cast<double>(zero_strides_) / n;
+  for (std::size_t b = 0; b < stride_hist_.size(); ++b) {
+    v[1 + b] = static_cast<double>(stride_hist_[b]) / n;
+  }
+  v[25] = static_cast<double>(writes_) / n;
+  v[26] = static_cast<double>(fetches_) / n;
+  v[27] = static_cast<double>(lines_->map.size()) / n;
+  v[28] = static_cast<double>(max_line_count_) / n;
+  for (std::size_t b = 0; b < reuse_hist_.size(); ++b) {
+    v[29 + b] = static_cast<double>(reuse_hist_[b]) / n;
+  }
+  // Set-pressure spread/peak over the 64-bucket line fold: coefficient of
+  // variation and hottest-bucket share — cheap proxies for the per-set
+  // skew the paper's uniformity metrics measure.
+  double sum = 0, sum_sq = 0;
+  std::uint64_t peak = 0;
+  for (const std::uint64_t c : fold_counts_) {
+    sum += static_cast<double>(c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+    if (c > peak) peak = c;
+  }
+  const double mean = sum / 64.0;
+  const double variance = sum_sq / 64.0 - mean * mean;
+  v[35] = mean > 0 ? std::sqrt(std::max(0.0, variance)) / mean : 0.0;
+  v[36] = static_cast<double>(peak) / n;
+  // take() resets the miss counters but not the probe state: the bank is a
+  // running warm cache.
+  const std::array<std::uint64_t, kProbeCount> probe_misses = probes_.take();
+  for (std::size_t p = 0; p < kProbeCount; ++p) {
+    v[kProbeMissDim + p] = static_cast<double>(probe_misses[p]) / n;
+  }
+
+  set_.intervals.push_back(std::move(iv));
+
+  refs_in_interval_ = 0;
+  zero_strides_ = 0;
+  stride_hist_ = {};
+  writes_ = 0;
+  fetches_ = 0;
+  max_line_count_ = 0;
+  reuse_hist_ = {};
+  fold_counts_ = {};
+  lines_->map.clear();
+}
+
+void FeatureExtractor::write(std::span<const MemRef> refs) {
+  for (const MemRef& r : refs) note_ref(r);
+}
+
+FeatureSet FeatureExtractor::finish() {
+  finish_interval();
+  set_.total_refs = ref_counter_;
+  return std::move(set_);
+}
+
+FeatureSet compute_features(std::span<const MemRef> refs,
+                            std::size_t interval_refs, unsigned offset_bits) {
+  FeatureExtractor extractor(interval_refs, offset_bits);
+  extractor.write(refs);
+  return extractor.finish();
+}
+
+FeatureSet compute_features_from_file(TraceFileSource& source,
+                                      std::uint64_t file_size,
+                                      std::size_t interval_refs,
+                                      unsigned offset_bits) {
+  source.rewind();
+  FeatureExtractor extractor(interval_refs, offset_bits);
+  std::vector<TraceAnchor> anchors;
+  // Drive the source at interval granularity so each next_chunk() delivers
+  // exactly one interval and tell() lands on interval boundaries. The
+  // source's own chunk size is whatever the caller opened it with, so pull
+  // interval-sized spans manually.
+  for (;;) {
+    const TraceAnchor at = source.tell();
+    std::size_t got = 0;
+    // The source was opened with some chunk size; request records until the
+    // interval is filled or the stream ends.
+    while (got < interval_refs) {
+      const std::span<const MemRef> chunk = source.next_chunk();
+      if (chunk.empty()) break;
+      extractor.write(chunk);
+      got += chunk.size();
+    }
+    if (got == 0) break;
+    anchors.push_back(at);
+    if (got < interval_refs) break;  // trailing partial interval
+  }
+  FeatureSet set = extractor.finish();
+  CANU_CHECK_MSG(anchors.size() == set.intervals.size(),
+                 "feature/anchor count mismatch scanning trace file");
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const std::uint64_t ref_index = set.intervals[i].anchor.ref_index;
+    set.intervals[i].anchor = anchors[i];
+    CANU_CHECK_MSG(set.intervals[i].anchor.ref_index == ref_index,
+                   "anchor record index mismatch scanning trace file");
+  }
+  set.trace_file_size = file_size;
+  source.rewind();
+  return set;
+}
+
+std::string feature_sidecar_path(const TraceCache& cache,
+                                 const std::string& key) {
+  return (fs::path(cache.dir()) / (key + ".feat")).string();
+}
+
+void write_feature_sidecar(const FeatureSet& set, const std::string& path) {
+  std::string body;
+  body.reserve(64 + set.intervals.size() * (32 + 8 * kFeatureDim));
+  append_u32(&body, kFeatureSidecarVersion);
+  append_u32(&body, static_cast<std::uint32_t>(kFeatureDim));
+  append_u64(&body, set.interval_refs);
+  append_u64(&body, set.total_refs);
+  append_u64(&body, set.trace_file_size);
+  append_u32(&body, set.offset_bits);
+  append_u64(&body, set.intervals.size());
+  for (const IntervalFeatures& iv : set.intervals) {
+    append_u64(&body, iv.anchor.file_offset);
+    append_u64(&body, iv.anchor.prev_addr);
+    append_u64(&body, iv.anchor.ref_index);
+    append_u64(&body, iv.refs);
+    for (const double d : iv.values) {
+      append_u64(&body, std::bit_cast<std::uint64_t>(d));
+    }
+  }
+  const std::uint64_t checksum =
+      fnv1a(0xcbf29ce484222325ULL, body.data(), body.size());
+
+  const std::string temp = path + unique_temp_suffix();
+  {
+    std::ofstream os(temp, std::ios::binary);
+    CANU_CHECK_MSG(os.is_open(), "cannot open '" << temp << "' for writing");
+    os.write(kSidecarMagic.data(), kSidecarMagic.size());
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    std::string tail;
+    append_u64(&tail, checksum);
+    os.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    os.close();
+    CANU_CHECK_MSG(!os.fail(), "failed writing feature sidecar '" << path
+                                                                  << "'");
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    throw Error("cannot publish feature sidecar '" + path + "'");
+  }
+}
+
+std::optional<FeatureSet> read_feature_sidecar(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+
+  const auto discard = [&path](const char* why) -> std::optional<FeatureSet> {
+    std::error_code ec;
+    fs::remove(path, ec);
+    std::cerr << "[trace-cache] discarding stale feature sidecar " << path
+              << ": " << why << "\n";
+    return std::nullopt;
+  };
+
+  if (bytes.size() < kSidecarMagic.size() + 8) return discard("truncated");
+  if (std::memcmp(bytes.data(), kSidecarMagic.data(),
+                  kSidecarMagic.size()) != 0) {
+    return discard("bad magic");
+  }
+  const char* body = bytes.data() + kSidecarMagic.size();
+  const std::size_t body_size = bytes.size() - kSidecarMagic.size() - 8;
+  ByteReader tail(bytes.data() + bytes.size() - 8, 8);
+  const std::uint64_t stored_checksum = tail.u64();
+  if (fnv1a(0xcbf29ce484222325ULL, body, body_size) != stored_checksum) {
+    return discard("checksum mismatch");
+  }
+
+  try {
+    ByteReader r(body, body_size);
+    FeatureSet set;
+    const std::uint32_t version = r.u32();
+    if (version != kFeatureSidecarVersion) return discard("version mismatch");
+    const std::uint32_t dim = r.u32();
+    if (dim != kFeatureDim) return discard("feature dimension mismatch");
+    set.interval_refs = r.u64();
+    set.total_refs = r.u64();
+    set.trace_file_size = r.u64();
+    set.offset_bits = static_cast<unsigned>(r.u32());
+    const std::uint64_t count = r.u64();
+    set.intervals.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      IntervalFeatures iv;
+      iv.anchor.file_offset = r.u64();
+      iv.anchor.prev_addr = r.u64();
+      iv.anchor.ref_index = r.u64();
+      iv.refs = r.u64();
+      for (double& d : iv.values) d = r.f64();
+      set.intervals.push_back(std::move(iv));
+    }
+    if (r.pos() != body_size) return discard("trailing bytes");
+    return set;
+  } catch (const Error& e) {
+    return discard(e.what());
+  }
+}
+
+FeatureSet features_for_cached_trace(const TraceCache& cache,
+                                     const std::string& key,
+                                     std::size_t interval_refs,
+                                     unsigned offset_bits) {
+  const std::string trace_path = cache.path_for(key);
+  std::error_code ec;
+  const std::uint64_t file_size = fs::file_size(trace_path, ec);
+  CANU_CHECK_MSG(!ec, "cannot stat cached trace '" << trace_path << "'");
+
+  const std::string sidecar = feature_sidecar_path(cache, key);
+  if (auto set = read_feature_sidecar(sidecar)) {
+    TraceFileSource probe(trace_path, kDefaultChunkRefs);
+    if (set->trace_file_size == file_size &&
+        set->total_refs == probe.size_hint() &&
+        set->interval_refs == interval_refs &&
+        set->offset_bits == offset_bits) {
+      return std::move(*set);
+    }
+    // Bound to a different trace file (regenerated entry, changed interval
+    // size): fall through and rebuild — the write below replaces it.
+  }
+
+  TraceFileSource source(trace_path, interval_refs);
+  FeatureSet set =
+      compute_features_from_file(source, file_size, interval_refs,
+                                 offset_bits);
+  write_feature_sidecar(set, sidecar);
+  return set;
+}
+
+}  // namespace canu

@@ -1,0 +1,252 @@
+// Per-interval feature vectors for sampled-interval replay (DESIGN.md §14).
+//
+// The trace is divided into fixed-size intervals (finer than the replay
+// chunk size: paper workloads at scale 1.0 are only 0.4M–3.5M references,
+// so sampling needs more grains than the 32 K-ref replay chunks provide).
+// Each interval is summarized by a small feature vector — stride histogram,
+// unique-line footprint, reuse-distance sketch, and set-pressure skew —
+// computed in one streaming pass during trace generation (or one decode
+// pass over a cached trace file). The sampler (src/sample) clusters these
+// vectors and replays only one representative interval per cluster.
+//
+// Feature sets persist as a checksummed, versioned sidecar next to the
+// trace-cache entry (`<key>.feat` beside `<key>.ctrc`), bound to the trace
+// file's size and record count so a regenerated or truncated trace file
+// invalidates its sidecar — the same validate/regenerate contract the trace
+// cache applies to chunk files. Each persisted interval carries the
+// TraceAnchor of its first record, so sampled replay seeks straight to the
+// selected intervals without decoding the rest of the file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/stream.hpp"
+#include "trace/trace_io.hpp"
+
+namespace canu {
+
+class TraceCache;
+
+/// References per sampling interval. Deliberately fine-grained: paper
+/// workloads at scale 1.0 are only 0.4M–3.5M references, and phased traces
+/// (FFT's 26 butterfly stages) need intervals several times shorter than a
+/// phase so clusters align with phases instead of straddling them.
+inline constexpr std::size_t kSampleIntervalRefs = std::size_t{1} << 11;
+
+/// Dimensions of the per-interval feature vector:
+///   [0]      zero-stride fraction
+///   [1..24]  log2-|stride| histogram, one bucket per power of two
+///            (fractions of refs; strides >= 2^23 share the last bucket).
+///            Full log2 resolution matters: strided phases (e.g. FFT
+///            butterfly stages) differ by exactly one power of two per
+///            stage, and coarser buckets make distinct stages — with very
+///            different conflict behavior — indistinguishable to the
+///            sampler's clustering.
+///   [25]     write fraction
+///   [26]     fetch fraction
+///   [27]     unique-line fraction (distinct lines / refs)
+///   [28]     hot-line concentration (most-touched line's refs / refs)
+///   [29..34] reuse-distance sketch: fraction of re-references whose
+///            distance (refs since last touch of the line) falls in
+///            [0,16), [16,64), [64,256), [256,1024), [1024,4096), [4096,∞)
+///   [35]     set-pressure spread: coefficient of variation of a 64-bucket
+///            fold of per-line touches (proxy for per-set skew)
+///   [36]     set-pressure peak: hottest fold bucket's refs / refs
+///   [37..43] probe-bank miss fractions: misses of seven inline-simulated
+///            32 KB probe caches at the paper's L1 geometry (state
+///            persisting across intervals). Four are direct-mapped, one per
+///            untrained paper index function — modulo, XOR,
+///            odd-multiplier(21), prime-modulo; the other three mirror the
+///            associativity extensions: a modulo probe backed by an
+///            8-entry victim buffer (victim cache / adaptive surrogate),
+///            an 8-way LRU bank replicating the default B-cache exactly,
+///            and a modulo-indexed rehash pair replicating the
+///            column-associative cache exactly.
+///            These are direct per-interval conflict ground truth: sampled
+///            replay uses each scheme's matching probe both to cancel
+///            cold-start distortion and as the auxiliary variable of a
+///            difference estimator that removes clustering drift bias.
+inline constexpr std::size_t kFeatureDim = 44;
+
+/// Probes simulated by the ProbeBank, in feature-dimension order.
+enum class ProbeKind : std::size_t {
+  kModulo = 0,
+  kXor = 1,
+  kOddMultiplier = 2,
+  kPrimeModulo = 3,
+  kVictim = 4,
+  kBCache = 5,
+  kColumnAssoc = 6,
+};
+inline constexpr std::size_t kProbeCount = 7;
+
+/// First probe miss-fraction dimension; probe p lives at
+/// kProbeMissDim + static_cast<std::size_t>(p).
+inline constexpr std::size_t kProbeMissDim = 37;
+
+/// Probe-cache sets: the paper L1's 32 KB / 32 B direct-mapped layout.
+inline constexpr std::size_t kProbeSets = 1024;
+
+/// Victim-probe buffer entries (mirrors VictimCache's default).
+inline constexpr std::size_t kProbeVictimEntries = 8;
+
+/// B-cache probe ways (the default BAS); sets = kProbeSets / ways.
+inline constexpr std::size_t kProbeBCacheWays = 8;
+
+/// Current sidecar format version ("CANUFEA" family; bumped whenever the
+/// feature layout changes so stale sidecars regenerate).
+inline constexpr std::uint32_t kFeatureSidecarVersion = 4;
+
+/// Bank of seven tiny probe caches at the paper's L1 geometry, fed one line
+/// address per reference. Four are direct-mapped, one per untrained index
+/// function (the index math mirrors src/indexing exactly, at line
+/// granularity); the fifth is modulo-indexed with a small fully-associative
+/// LRU victim buffer and swap-on-hit, mirroring cache/victim_cache.cpp; the
+/// sixth replicates assoc/bcache.cpp's hit/miss behavior exactly (an 8-way
+/// LRU bank — the PI machinery affects only lookup latency); the seventh
+/// replicates assoc/column_associative.cpp with modulo indexing (rehash to
+/// the MSB-complemented set, swap-on-secondary-hit, displaced-block
+/// relocation). Shared between feature extraction (warm, state persisting
+/// across intervals) and sampled replay (re-run cold per segment to price
+/// the flush's cold-start distortion).
+class ProbeBank {
+ public:
+  ProbeBank();
+
+  /// Feed one line address (addr >> offset_bits) to every probe.
+  void access(std::uint64_t line) noexcept;
+
+  /// Misses per probe accumulated since the last take(); resets the
+  /// counters but keeps the cache state (a running, warm bank).
+  std::array<std::uint64_t, kProbeCount> take() noexcept;
+
+  /// Invalidate all probe state and counters (cold bank).
+  void reset() noexcept;
+
+ private:
+  // Per-slot resident line (~0 = empty); full line compare, no tag split.
+  std::array<std::vector<std::uint64_t>, 4> direct_;
+  std::vector<std::uint64_t> victim_primary_;
+  struct VictimEntry {
+    std::uint64_t line = ~std::uint64_t{0};
+    std::uint64_t stamp = 0;
+  };
+  std::array<VictimEntry, kProbeVictimEntries> victims_{};
+  // B-cache probe: kProbeSets lines as (kProbeSets / ways) LRU sets.
+  struct BCacheEntry {
+    std::uint64_t line = ~std::uint64_t{0};
+    std::uint64_t stamp = 0;
+  };
+  std::vector<BCacheEntry> bcache_;
+  // Column-associative probe: per-set resident line + rehash flag.
+  struct ColumnEntry {
+    std::uint64_t line = ~std::uint64_t{0};
+    bool rehash = false;
+  };
+  std::vector<ColumnEntry> column_;
+  std::uint64_t clock_ = 0;
+  std::array<std::uint64_t, kProbeCount> misses_{};
+};
+
+struct IntervalFeatures {
+  /// Decode position of the interval's first record in the trace file
+  /// (file_offset 0 on intervals > 0 means "no anchor": in-memory set).
+  TraceAnchor anchor;
+  std::uint64_t refs = 0;  ///< references in this interval (last may be short)
+  std::array<double, kFeatureDim> values{};
+};
+
+struct FeatureSet {
+  std::uint64_t interval_refs = kSampleIntervalRefs;
+  std::uint64_t total_refs = 0;
+  /// Size in bytes of the trace file this set was computed from; 0 when the
+  /// set was computed from an in-memory stream (no seek anchors).
+  std::uint64_t trace_file_size = 0;
+  unsigned offset_bits = 5;  ///< line granularity used (2^5 = 32 B)
+  std::vector<IntervalFeatures> intervals;
+
+  bool has_anchors() const noexcept { return trace_file_size != 0; }
+};
+
+/// Streaming feature extraction: a TraceSink accumulating one feature
+/// vector per interval. Tee the generator into this alongside the trace-
+/// cache writer and the features come for free with generation. finish()
+/// flushes the trailing partial interval and returns the set (anchors
+/// unset — the caller binds them from the TraceFileWriter or a source).
+class FeatureExtractor final : public TraceSink {
+ public:
+  explicit FeatureExtractor(std::size_t interval_refs = kSampleIntervalRefs,
+                            unsigned offset_bits = 5);
+  ~FeatureExtractor() override;
+
+  void write(std::span<const MemRef> refs) override;
+
+  /// Flush the partial tail interval and take the accumulated set. The
+  /// extractor is spent afterwards.
+  FeatureSet finish();
+
+ private:
+  struct LineState;
+  void note_ref(const MemRef& ref);
+  void finish_interval();
+
+  std::size_t interval_refs_;
+  unsigned offset_bits_;
+  FeatureSet set_;
+  // Running state of the current interval.
+  std::uint64_t refs_in_interval_ = 0;
+  std::uint64_t zero_strides_ = 0;
+  std::array<std::uint64_t, 24> stride_hist_{};
+  std::uint64_t writes_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t max_line_count_ = 0;
+  std::array<std::uint64_t, 6> reuse_hist_{};
+  std::array<std::uint64_t, 64> fold_counts_{};
+  /// Probe bank (state persists across intervals: a running warm cache).
+  ProbeBank probes_;
+  std::uint64_t prev_addr_ = 0;
+  bool have_prev_ = false;
+  std::uint64_t ref_counter_ = 0;  ///< global ref index (reuse distances)
+  std::unique_ptr<LineState> lines_;
+};
+
+/// One-shot extraction over an in-memory reference stream (no anchors).
+FeatureSet compute_features(std::span<const MemRef> refs,
+                            std::size_t interval_refs = kSampleIntervalRefs,
+                            unsigned offset_bits = 5);
+
+/// Extraction over an open trace file, capturing a seek anchor per interval
+/// and binding the set to the file (size + record count). Rewinds first.
+FeatureSet compute_features_from_file(TraceFileSource& source,
+                                      std::uint64_t file_size,
+                                      std::size_t interval_refs = kSampleIntervalRefs,
+                                      unsigned offset_bits = 5);
+
+/// Sidecar path for a trace-cache key: `<dir>/<key>.feat`.
+std::string feature_sidecar_path(const TraceCache& cache,
+                                 const std::string& key);
+
+/// Atomically persist a feature set (temp file + rename, FNV-1a checksum).
+void write_feature_sidecar(const FeatureSet& set, const std::string& path);
+
+/// Load a sidecar. Returns nullopt on a missing file; a corrupt or
+/// version-mismatched file is removed (regenerate-on-stale contract) and
+/// also reported as nullopt.
+std::optional<FeatureSet> read_feature_sidecar(const std::string& path);
+
+/// Load-or-regenerate flow for a cached trace: returns the sidecar when it
+/// is present and bound to the current `.ctrc` file (matching size and
+/// record count); otherwise scans the trace file once, writes a fresh
+/// sidecar, and returns it. The trace entry must exist.
+FeatureSet features_for_cached_trace(const TraceCache& cache,
+                                     const std::string& key,
+                                     std::size_t interval_refs = kSampleIntervalRefs,
+                                     unsigned offset_bits = 5);
+
+}  // namespace canu

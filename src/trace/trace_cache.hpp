@@ -48,6 +48,18 @@ class TraceCacheWriter final : public TraceSink {
 
   void write(std::span<const MemRef> refs) override { writer_->write(refs); }
 
+  /// Forwarded to the underlying TraceFileWriter: sampled replay captures
+  /// seek anchors while the trace is generated (trace/chunk_features.hpp).
+  void set_anchor_interval(std::size_t refs) {
+    writer_->set_anchor_interval(refs);
+  }
+  const std::vector<TraceAnchor>& anchors() const noexcept {
+    return writer_->anchors();
+  }
+
+  /// Path the entry is published under on commit().
+  const std::string& final_path() const noexcept { return final_path_; }
+
   /// Finalize the temp file and atomically publish it under the key.
   void commit();
 

@@ -257,9 +257,17 @@ TraceFileWriter::TraceFileWriter(const std::string& path, std::string name)
             static_cast<std::streamsize>(trace_name_.size()));
   count_pos_ = 8 + 4 + trace_name_.size();
   write_le<std::uint64_t>(os_, 0);  // record count, patched by close()
+  byte_pos_ = count_pos_ + 8;
   CANU_CHECK_MSG(os_.good(), "failed writing trace header to '" << path
                                                                 << "'");
   open_ = true;
+}
+
+void TraceFileWriter::set_anchor_interval(std::size_t refs) {
+  CANU_CHECK_MSG(written_ == 0,
+                 "anchor interval must be set before the first write");
+  CANU_CHECK_MSG(refs > 0, "anchor interval must be positive");
+  anchor_interval_ = refs;
 }
 
 TraceFileWriter::~TraceFileWriter() {
@@ -272,6 +280,9 @@ TraceFileWriter::~TraceFileWriter() {
 
 void TraceFileWriter::write(std::span<const MemRef> refs) {
   for (const MemRef& r : refs) {
+    if (anchor_interval_ != 0 && written_ % anchor_interval_ == 0) {
+      anchors_.push_back(TraceAnchor{byte_pos_, prev_addr_, written_});
+    }
     const std::int64_t delta = static_cast<std::int64_t>(r.addr) -
                                static_cast<std::int64_t>(prev_addr_);
     prev_addr_ = r.addr;
@@ -286,8 +297,9 @@ void TraceFileWriter::write(std::span<const MemRef> refs) {
     for (unsigned b = 0; b < len; ++b) {
       os_.put(static_cast<char>((z >> (8 * b)) & 0xff));
     }
+    byte_pos_ += 1 + len;
+    ++written_;
   }
-  written_ += refs.size();
   CANU_CHECK_MSG(os_.good(),
                  "failed writing trace '" << trace_name_ << "'");
 }
@@ -368,6 +380,27 @@ void TraceFileSource::rewind() {
   CANU_CHECK_MSG(is_.good(), "failed rewinding '" << path_ << "'");
   remaining_ = count_;
   prev_addr_ = 0;
+}
+
+TraceAnchor TraceFileSource::tell() {
+  TraceAnchor a;
+  is_.clear();
+  a.file_offset = static_cast<std::uint64_t>(is_.tellg());
+  a.prev_addr = prev_addr_;
+  a.ref_index = count_ - remaining_;
+  return a;
+}
+
+void TraceFileSource::seek_to(const TraceAnchor& anchor) {
+  CANU_CHECK_MSG(anchor.ref_index <= count_,
+                 "anchor beyond end of '" << path_ << "': record "
+                                          << anchor.ref_index << " of "
+                                          << count_);
+  is_.clear();
+  is_.seekg(static_cast<std::streamoff>(anchor.file_offset));
+  CANU_CHECK_MSG(is_.good(), "failed seeking '" << path_ << "'");
+  prev_addr_ = anchor.prev_addr;
+  remaining_ = count_ - anchor.ref_index;
 }
 
 }  // namespace canu

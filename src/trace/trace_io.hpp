@@ -58,6 +58,19 @@ Trace load_trace(const std::string& path);
 /// behind. Throws canu::Error when the file is malformed or too short.
 void validate_trace_file(const std::string& path);
 
+/// Decode/seek state at a record boundary of a serialized trace. The
+/// compressed format is delta-encoded, so resuming mid-file needs the file
+/// offset, the running previous address, and how many records precede the
+/// point. Captured by TraceFileWriter (every anchor interval) or by
+/// TraceFileSource::tell(); consumed by TraceFileSource::seek_to() — the
+/// primitive that lets sampled replay (DESIGN.md §14) skip unselected
+/// intervals without decoding them.
+struct TraceAnchor {
+  std::uint64_t file_offset = 0;  ///< absolute offset of the record
+  std::uint64_t prev_addr = 0;    ///< delta-decoding state entering it
+  std::uint64_t ref_index = 0;    ///< records preceding this point
+};
+
 /// Streaming writer: serializes references to a file in the compressed
 /// ("CANUTRC2") format as they arrive, without holding the trace in memory.
 /// The record count is patched into the header on close(), so the producer
@@ -79,12 +92,25 @@ class TraceFileWriter final : public TraceSink {
 
   std::size_t written() const noexcept { return written_; }
 
+  /// Capture a TraceAnchor every `refs` records (at indices 0, refs,
+  /// 2*refs, ...) while writing. Must be called before the first write().
+  void set_anchor_interval(std::size_t refs);
+
+  /// Anchors captured so far, in record order (empty unless an anchor
+  /// interval was set).
+  const std::vector<TraceAnchor>& anchors() const noexcept {
+    return anchors_;
+  }
+
  private:
   std::ofstream os_;
   std::string trace_name_;
   std::uint64_t count_pos_ = 0;  ///< header offset of the record count
+  std::uint64_t byte_pos_ = 0;   ///< bytes emitted so far (anchor capture)
   std::uint64_t prev_addr_ = 0;  ///< delta-encoding state
   std::size_t written_ = 0;
+  std::size_t anchor_interval_ = 0;  ///< 0 = anchor capture off
+  std::vector<TraceAnchor> anchors_;
   bool open_ = false;
 };
 
@@ -100,6 +126,15 @@ class TraceFileSource final : public TraceSource {
   void rewind() override;
   const std::string& name() const noexcept override { return name_; }
   std::size_t size_hint() const noexcept override { return count_; }
+
+  /// The decode position of the NEXT record (valid as a seek_to target).
+  TraceAnchor tell();
+
+  /// Jump to a previously captured record boundary. The anchor must come
+  /// from this file (same serialization) — tell(), the writer that produced
+  /// it, or its feature sidecar; a wrong anchor yields garbage references
+  /// or a decode error, never memory unsafety.
+  void seek_to(const TraceAnchor& anchor);
 
  private:
   std::ifstream is_;

@@ -67,9 +67,10 @@ const std::vector<VerbHelp>& canu_verbs() {
        "<suite|workload> [indexing|assoc|extensions|all] | "
        "--grid [sets=..] [ways=..] [line=..] [scheme=..]",
        "comparison table over a suite, or a one-pass config-grid sweep",
-       "--scale --seed --threads --progress --grid"},
+       "--scale --seed --threads --progress --grid --sample --sample-seed "
+       "--max-error"},
       {"advise", "<workload>", "per-application scheme selection",
-       "--scale --seed --threads"},
+       "--scale --seed --threads --sample --sample-seed --max-error"},
       {"trace", "<workload> <file>", "record a trace (.ctrc = compressed)",
        "--scale --seed"},
       {"threec", "<workload> [scheme]", "3C miss decomposition",
@@ -99,6 +100,14 @@ const std::vector<FlagHelp>& canu_flags() {
       {"--grid", "",
        "evaluate a sets/ways/line/scheme grid in one trace sweep "
        "(dimension lists like sets=512,1024; omitted dims = paper L1)"},
+      {"--sample", "[=k]",
+       "sampled-interval replay: cluster trace intervals (k-means, k "
+       "clusters; omitted = auto) and extrapolate from representatives "
+       "with 95% CIs"},
+      {"--sample-seed", "<n>", "clustering seed for --sample (default 1)"},
+      {"--max-error", "<pct>",
+       "target miss-rate CI95 half-width in %-points; exceeded once -> "
+       "re-run with doubled clusters, then annotate"},
       {"--metrics-out", "<file>",
        "write a run-manifest JSON artifact (serve: whole-process rollup on "
        "SIGHUP and shutdown)"},

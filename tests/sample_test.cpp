@@ -1,0 +1,365 @@
+// Sampled-interval replay suite (DESIGN.md §14): deterministic clustering
+// (thread count and repetition must be unobservable), the probe bank's
+// replication contract against the real cache models, the degenerate-trace
+// fallback to exact replay, the feature-sidecar persistence contract
+// (checksummed, versioned, regenerate-on-stale), and the PR's headline
+// acceptance bound — on the full paper suite at scale 1.0, sampled replay
+// must stay within 1 percentage point of exact miss rates on every scheme
+// while running at least 10x faster on a warm trace cache.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assoc/bcache.hpp"
+#include "assoc/column_associative.hpp"
+#include "cache/victim_cache.hpp"
+#include "core/evaluator.hpp"
+#include "sample/kmeans.hpp"
+#include "sample/sample_plan.hpp"
+#include "sim/runner.hpp"
+#include "trace/chunk_features.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_cache.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace canu {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch directory removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    dir_ = (fs::temp_directory_path() /
+            (std::string("canu_sample_test_") + tag + "_" +
+             std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+  const std::string& path() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+std::vector<double> synthetic_points(std::size_t n, std::size_t dim) {
+  std::vector<double> points;
+  points.reserve(n * dim);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    points.push_back(static_cast<double>(state >> 40) / 16777216.0);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic k-means
+
+TEST(KMeans, DeterministicForSeedAndIndependentOfRepetition) {
+  const std::vector<double> points = synthetic_points(200, kFeatureDim);
+  const KMeansResult a = kmeans(points, kFeatureDim, 8, 42);
+  const KMeansResult b = kmeans(points, kFeatureDim, 8, 42);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.clusters, b.clusters);
+}
+
+TEST(KMeans, EffectiveKIsClampedToPointCount) {
+  const std::vector<double> points = synthetic_points(3, 4);
+  const KMeansResult r = kmeans(points, 4, 16, 1);
+  EXPECT_LE(r.clusters, 3u);
+  EXPECT_EQ(r.assignment.size(), 3u);
+}
+
+TEST(AutoClusterCount, ClampsToConfiguredRange) {
+  EXPECT_EQ(auto_cluster_count(0), 6u);
+  EXPECT_EQ(auto_cluster_count(128 * 10), 10u);
+  EXPECT_EQ(auto_cluster_count(1u << 20), 96u);
+}
+
+TEST(StratifiedCi95, MatchesClosedForm) {
+  EXPECT_EQ(stratified_ci95({1.0, 1.0}, {0.0, 0.0}, 2.0), 0.0);
+  const double got = stratified_ci95({2.0, 2.0}, {1.0, 1.0}, 4.0);
+  EXPECT_NEAR(got, 1.96 * std::sqrt(0.5), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Probe bank: the inline probes must replicate the real models' hit/miss
+// behaviour exactly — sampled replay leans on them for cold-start and drift
+// corrections, so any divergence silently becomes estimator bias.
+
+TEST(ProbeBank, VictimBCacheAndColumnProbesMatchRealModels) {
+  WorkloadParams p;
+  p.scale = 0.25;
+  const Trace trace = generate_workload("synthetic_hotset", p);
+
+  const CacheGeometry geom = CacheGeometry::paper_l1();
+  VictimCache victim(geom, kProbeVictimEntries);
+  BCache bcache(geom);  // default MF=2, BAS=8 — what `b_cache` evaluates
+  ColumnAssociativeCache column(geom, nullptr);  // modulo indexing
+
+  ProbeBank bank;
+  for (const MemRef& r : trace) {
+    bank.access(r.addr >> 5);
+    victim.access(r.addr, r.type);
+    bcache.access(r.addr, r.type);
+    column.access(r.addr, r.type);
+  }
+  const auto misses = bank.take();
+  EXPECT_EQ(misses[static_cast<std::size_t>(ProbeKind::kVictim)],
+            victim.stats().misses);
+  EXPECT_EQ(misses[static_cast<std::size_t>(ProbeKind::kBCache)],
+            bcache.stats().misses);
+  EXPECT_EQ(misses[static_cast<std::size_t>(ProbeKind::kColumnAssoc)],
+            column.stats().misses);
+}
+
+TEST(ProbeBank, TakeResetsCountersButKeepsWarmState) {
+  ProbeBank bank;
+  for (std::uint64_t line = 0; line < 64; ++line) bank.access(line);
+  const auto first = bank.take();
+  EXPECT_EQ(first[0], 64u);  // all compulsory misses on the modulo probe
+  for (std::uint64_t line = 0; line < 64; ++line) bank.access(line);
+  const auto second = bank.take();
+  EXPECT_EQ(second[0], 0u);  // warm: same lines all hit
+  bank.reset();
+  for (std::uint64_t line = 0; line < 64; ++line) bank.access(line);
+  EXPECT_EQ(bank.take()[0], 64u);  // cold again after reset
+}
+
+// ---------------------------------------------------------------------------
+// Clustering and sampled evaluation are deterministic: the thread count
+// must be unobservable in sampled results, exactly as it is in exact ones.
+
+EvalReport sampled_report(unsigned threads, double scale) {
+  EvalOptions opt;
+  opt.params.scale = scale;
+  opt.threads = threads;
+  opt.sample.enabled = true;
+  Evaluator ev(opt);
+  ev.add_paper_indexing_schemes();
+  return ev.evaluate({"synthetic_hotset", "synthetic_strided"});
+}
+
+TEST(SampledReplay, DeterministicAcrossThreadCounts) {
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const EvalReport t1 = sampled_report(1, 0.5);
+  const EvalReport t2 = sampled_report(2, 0.5);
+  const EvalReport thw = sampled_report(hw, 0.5);
+  ASSERT_EQ(t1.workloads, t2.workloads);
+  ASSERT_EQ(t1.workloads, thw.workloads);
+  ASSERT_EQ(t1.scheme_labels, t2.scheme_labels);
+  for (const std::string& w : t1.workloads) {
+    for (const std::string& s : t1.scheme_labels) {
+      const EvalCell* a = t1.cell(w, s);
+      const EvalCell* b = t2.cell(w, s);
+      const EvalCell* c = thw.cell(w, s);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(a->run.miss_rate(), b->run.miss_rate()) << w << "/" << s;
+      EXPECT_EQ(a->run.miss_rate(), c->run.miss_rate()) << w << "/" << s;
+      EXPECT_EQ(a->run.amat, b->run.amat) << w << "/" << s;
+      EXPECT_EQ(a->run.amat, c->run.amat) << w << "/" << s;
+      EXPECT_EQ(a->run.sample.clusters, b->run.sample.clusters);
+      EXPECT_EQ(a->run.sample.clusters, c->run.sample.clusters);
+      EXPECT_EQ(a->run.sample.miss_rate_ci95, b->run.sample.miss_rate_ci95);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate traces refuse to sample and fall back to exact replay with an
+// annotation, bit-for-bit equal to a plain exact evaluation.
+
+TEST(SampledReplay, DegenerateTraceFallsBackToExact) {
+  FeatureSet tiny;
+  tiny.intervals.resize(3);  // fewer intervals than any cluster count
+  const SamplePlan plan = build_sample_plan(tiny, SampleOptions{});
+  EXPECT_TRUE(plan.exact);
+  EXPECT_NE(plan.reason.find("replayed exactly"), std::string::npos);
+
+  EvalOptions opt;
+  opt.params.scale = 0.01;  // ~4 K refs: fewer intervals than clusters
+  opt.threads = 1;
+  Evaluator exact_ev(opt);
+  exact_ev.add_paper_indexing_schemes();
+  exact_ev.add_paper_assoc_schemes();
+  const EvalReport exact = exact_ev.evaluate({"synthetic_hotset"});
+  opt.sample.enabled = true;
+  Evaluator sampled_ev(opt);
+  sampled_ev.add_paper_indexing_schemes();
+  sampled_ev.add_paper_assoc_schemes();
+  const EvalReport sampled = sampled_ev.evaluate({"synthetic_hotset"});
+
+  ASSERT_EQ(exact.scheme_labels, sampled.scheme_labels);
+  for (const std::string& s : exact.scheme_labels) {
+    const EvalCell* e = exact.cell("synthetic_hotset", s);
+    const EvalCell* m = sampled.cell("synthetic_hotset", s);
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(m, nullptr);
+    EXPECT_FALSE(m->run.sample.sampled) << s;
+    EXPECT_NE(m->run.sample.note.find("replayed exactly"),
+              std::string::npos)
+        << s;
+    EXPECT_EQ(e->run.miss_rate(), m->run.miss_rate()) << s;
+    EXPECT_EQ(e->run.amat, m->run.amat) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feature sidecar: checksummed, versioned, regenerated when stale.
+
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is), {});
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FeatureSidecar, RoundTripsAndRegeneratesWhenStale) {
+  TempDir dir("sidecar");
+  TraceCache cache(dir.path());
+  WorkloadParams p;
+  p.scale = 0.1;
+  const Trace trace = generate_workload("synthetic_hotset", p);
+  const std::string key = "sidecar_test";
+  cache.store(trace, key);
+
+  const FeatureSet fresh = features_for_cached_trace(cache, key);
+  EXPECT_EQ(fresh.total_refs, trace.size());
+  EXPECT_TRUE(fresh.has_anchors());
+  ASSERT_FALSE(fresh.intervals.empty());
+
+  // Second call loads the persisted sidecar; the contract is equality.
+  const std::string sidecar = feature_sidecar_path(cache, key);
+  ASSERT_TRUE(fs::exists(sidecar));
+  const FeatureSet loaded = features_for_cached_trace(cache, key);
+  ASSERT_EQ(loaded.intervals.size(), fresh.intervals.size());
+  for (std::size_t i = 0; i < fresh.intervals.size(); ++i) {
+    EXPECT_EQ(loaded.intervals[i].refs, fresh.intervals[i].refs);
+    EXPECT_EQ(loaded.intervals[i].values, fresh.intervals[i].values);
+    EXPECT_EQ(loaded.intervals[i].anchor.file_offset,
+              fresh.intervals[i].anchor.file_offset);
+  }
+
+  // Flipped payload byte: checksum mismatch, sidecar discarded on read.
+  std::string bytes = slurp(sidecar);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x5a);
+  spew(sidecar, bytes);
+  EXPECT_FALSE(read_feature_sidecar(sidecar).has_value());
+  EXPECT_FALSE(fs::exists(sidecar));  // removed, not left to re-fail
+
+  // Stale version with a *valid* checksum (a sidecar from an older build):
+  // must also be discarded and regenerated.
+  const FeatureSet regen = features_for_cached_trace(cache, key);
+  ASSERT_EQ(regen.intervals.size(), fresh.intervals.size());
+  bytes = slurp(sidecar);
+  const std::size_t body_at = 8;                    // after the magic
+  const std::size_t body_size = bytes.size() - 8 - 8;
+  bytes[body_at] = static_cast<char>(kFeatureSidecarVersion - 1);
+  const std::uint64_t sum =
+      fnv1a(0xcbf29ce484222325ULL, bytes.data() + body_at, body_size);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  spew(sidecar, bytes);
+  EXPECT_FALSE(read_feature_sidecar(sidecar).has_value());
+  const FeatureSet regen2 = features_for_cached_trace(cache, key);
+  EXPECT_EQ(regen2.intervals.size(), fresh.intervals.size());
+  EXPECT_TRUE(read_feature_sidecar(sidecar).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Headline acceptance: on the paper's mibench set at scale 1.0 with a warm
+// trace cache, sampled replay stays within 1 percentage point of the exact
+// miss rate for every (workload, scheme) and is at least 10x faster.
+
+TEST(SampledReplay, PaperSuiteErrorBoundAndSpeedup) {
+  TempDir dir("acceptance");
+  EvalOptions opt;
+  opt.trace_cache_dir = dir.path();
+  opt.threads = 0;  // evaluate exactly as the CLI default would
+
+  // The CLI's `evaluate <suite> all` scheme set: every paper indexing and
+  // associativity scheme — the acceptance bound covers all of them.
+  const auto add_all_schemes = [](Evaluator& ev) {
+    ev.add_paper_indexing_schemes();
+    ev.add_paper_assoc_schemes();
+  };
+
+  // Warm pass: generates traces, feature sidecars, and trained index
+  // functions so the timed comparison below measures replay, not I/O.
+  opt.sample.enabled = true;
+  {
+    Evaluator warm(opt);
+    add_all_schemes(warm);
+    warm.evaluate(paper_mibench_set());
+  }
+
+  using Clock = std::chrono::steady_clock;
+  opt.sample.enabled = false;
+  Evaluator exact_ev(opt);
+  add_all_schemes(exact_ev);
+  const auto t0 = Clock::now();
+  const EvalReport exact = exact_ev.evaluate(paper_mibench_set());
+  const auto t1 = Clock::now();
+  opt.sample.enabled = true;
+  Evaluator sampled_ev(opt);
+  add_all_schemes(sampled_ev);
+  const auto t2 = Clock::now();
+  const EvalReport sampled = sampled_ev.evaluate(paper_mibench_set());
+  const auto t3 = Clock::now();
+
+  ASSERT_EQ(exact.workloads, sampled.workloads);
+  ASSERT_EQ(exact.scheme_labels, sampled.scheme_labels);
+  for (const std::string& w : exact.workloads) {
+    for (const std::string& s : exact.scheme_labels) {
+      const EvalCell* e = exact.cell(w, s);
+      const EvalCell* m = sampled.cell(w, s);
+      ASSERT_NE(e, nullptr) << w << "/" << s;
+      ASSERT_NE(m, nullptr) << w << "/" << s;
+      EXPECT_TRUE(m->run.sample.sampled) << w << "/" << s;
+      EXPECT_GT(m->run.sample.miss_rate_ci95, 0.0) << w << "/" << s;
+      EXPECT_NEAR(m->run.miss_rate(), e->run.miss_rate(), 0.01)
+          << w << "/" << s;
+    }
+  }
+
+  const double exact_s = std::chrono::duration<double>(t1 - t0).count();
+  const double sampled_s = std::chrono::duration<double>(t3 - t2).count();
+  EXPECT_GE(exact_s / sampled_s, 10.0)
+      << "sampled replay too slow: exact " << exact_s << "s vs sampled "
+      << sampled_s << "s";
+}
+
+}  // namespace
+}  // namespace canu

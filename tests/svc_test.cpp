@@ -262,6 +262,59 @@ TEST(CanonicalKey, DifferentGridsGetDifferentKeys) {
             canonical_request_key(evaluate_request()));
 }
 
+Request sample_request(std::vector<std::string> extra) {
+  Request req = evaluate_request();
+  for (std::string& a : extra) req.args.push_back(std::move(a));
+  return req;
+}
+
+TEST(CanonicalKey, SampledAndExactRunsAreDistinctEntries) {
+  // Sampled results are estimates; exact results are ground truth. The two
+  // must never share a result-cache slot, in either verb.
+  EXPECT_NE(canonical_request_key(sample_request({"--sample"})),
+            canonical_request_key(evaluate_request()));
+  Request a = evaluate_request();
+  a.verb = "advise";
+  Request b = a;
+  b.args.push_back("--sample");
+  EXPECT_NE(canonical_request_key(a), canonical_request_key(b));
+}
+
+TEST(CanonicalKey, SamplingParamsAreRequestIdentity) {
+  const std::string base =
+      canonical_request_key(sample_request({"--sample"}));
+  EXPECT_NE(canonical_request_key(sample_request({"--sample=32"})), base);
+  EXPECT_NE(canonical_request_key(sample_request({"--sample",
+                                                  "--sample-seed=7"})),
+            base);
+  EXPECT_NE(canonical_request_key(sample_request({"--sample",
+                                                  "--max-error=0.5"})),
+            base);
+}
+
+TEST(CanonicalKey, PermutedEquivalentSampledSpecsShareOneKey) {
+  // Spelled-out defaults, reordered flags: the same sampled evaluation,
+  // so one cache entry.
+  const Request a = sample_request({"--sample"});
+  const Request b = sample_request({"--sample=0", "--sample-seed=1"});
+  Request c = evaluate_request();
+  c.args.insert(c.args.begin(), "--sample-seed=1");
+  c.args.push_back("--sample");
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(c));
+}
+
+TEST(CanonicalKey, SamplingComposesWithGridCanonicalization) {
+  Request a = grid_request({"sets=512,1024", "scheme=modulo,xor"});
+  a.args.push_back("--sample");
+  Request b = grid_request({"scheme=xor,modulo", "sets=1024,512"});
+  b.args.insert(b.args.begin(), "--sample=0");
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+  EXPECT_NE(canonical_request_key(a),
+            canonical_request_key(
+                grid_request({"sets=512,1024", "scheme=modulo,xor"})));
+}
+
 TEST(CanonicalKey, MalformedGridSpecFallsBackToLiteralArgs) {
   const Request bad = grid_request({"sets=notanumber"});
   // Must not throw, and stays stable — the request will fail at execution

@@ -9,16 +9,19 @@
 # engine), plus the PR 4 server-throughput rows (32 mixed `canu submit`
 # requests against one canud daemon, cold vs warm result cache), plus
 # the PR 6 grid rows (one 16-cell `--grid` sweep vs the same 16 cells
-# run as independent processes; `grid_speedup` = singles / grid), and
+# run as independent processes; `grid_speedup` = singles / grid), plus
+# the PR 7 sampled-replay rows (`evaluate mibench all` at scale 1.0,
+# exact vs `--sample`, both on a warm trace cache;
+# `sampled_speedup` = exact / sampled), and
 # writes one JSON object per configuration to the output file (default
-# BENCH_PR6.json). Timings are wall-clock seconds measured around the
+# BENCH_PR7.json). Timings are wall-clock seconds measured around the
 # whole process. A run manifest with the engine's internal counters
 # (trace-cache traffic, chunk handoffs, stall time) is captured from an
 # instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
-OUT=${2:-BENCH_PR6.json}
+OUT=${2:-BENCH_PR7.json}
 CACHE_DIR=$(mktemp -d)
 SOCK_DIR=$(mktemp -d)
 SERVE_PID=
@@ -96,6 +99,27 @@ awk -v threads="$HW_THREADS" -v g="$GRID_NS" -v s="$SINGLES_NS" 'BEGIN {
          threads, g / 1e9
   printf "  {\"bench\": \"evaluate_crc_grid16_singles\", \"threads\": %s, \"cache\": \"warm\", \"cells\": 16, \"wall_s\": %.3f, \"grid_speedup\": %.2f}",
          threads, s / 1e9, s / g
+}' >> "$OUT.tmp"
+sep
+
+# Sampled-interval replay vs exact, full paper suite at scale 1.0. Both
+# passes run on a warm trace cache (traces, feature sidecars, and trained
+# index functions persisted by the priming run), so the comparison
+# isolates replay: every reference versus the representative windows.
+"$CANU" evaluate mibench all --sample > /dev/null  # prime scale-1.0 state
+start=$(date +%s%N)
+"$CANU" evaluate mibench all > /dev/null
+end=$(date +%s%N)
+EXACT_NS=$((end - start))
+start=$(date +%s%N)
+"$CANU" evaluate mibench all --sample > /dev/null
+end=$(date +%s%N)
+SAMPLED_NS=$((end - start))
+awk -v threads="$HW_THREADS" -v e="$EXACT_NS" -v s="$SAMPLED_NS" 'BEGIN {
+  printf "  {\"bench\": \"evaluate_mibench_all_scale1_exact\", \"threads\": %s, \"cache\": \"warm\", \"scale\": 1.0, \"wall_s\": %.3f},\n",
+         threads, e / 1e9
+  printf "  {\"bench\": \"evaluate_mibench_all_scale1_sampled\", \"threads\": %s, \"cache\": \"warm\", \"scale\": 1.0, \"wall_s\": %.3f, \"sampled_speedup\": %.2f}",
+         threads, s / 1e9, e / s
 }' >> "$OUT.tmp"
 sep
 

@@ -42,6 +42,10 @@ struct CliArgs {
   bool progress = false;
   bool progress_force = false;  ///< heartbeat even when stderr is no TTY
   bool grid = false;            ///< evaluate: config-grid sweep mode
+  bool sample = false;          ///< evaluate/advise: sampled replay
+  std::string sample_clusters;  ///< --sample=K value ("" = auto)
+  std::string sample_seed;      ///< --sample-seed value ("" = default)
+  std::string max_error;        ///< --max-error value ("" = off)
   bool version = false;         ///< --version
   // Service endpoint + daemon tuning.
   std::string socket_path;
@@ -94,6 +98,21 @@ CliArgs parse(int argc, char** argv) {
       args.progress_force = true;
     } else if (arg == "--grid") {
       args.grid = true;
+    } else if (arg == "--sample") {
+      args.sample = true;
+    } else if (flag_value(arg, "--sample", &value)) {
+      const auto v = parse_u64(value, "--sample value", &error);
+      if (!v) die_flag(error);
+      args.sample = true;
+      args.sample_clusters = value;
+    } else if (flag_value(arg, "--sample-seed", &value)) {
+      const auto v = parse_u64(value, "--sample-seed value", &error);
+      if (!v) die_flag(error);
+      args.sample_seed = value;
+    } else if (flag_value(arg, "--max-error", &value)) {
+      const auto v = parse_positive_double(value, "--max-error value", &error);
+      if (!v) die_flag(error);
+      args.max_error = value;
     } else if (arg == "--version") {
       args.version = true;
     } else if (flag_value(arg, "--socket", &value)) {
@@ -152,6 +171,27 @@ svc::Request to_request(const CliArgs& args, std::size_t skip = 1) {
       die_flag("--grid is only supported by the evaluate verb");
     }
     req.args.emplace_back("--grid");
+  }
+  if (!args.sample && (!args.sample_seed.empty() || !args.max_error.empty())) {
+    die_flag(std::string(!args.sample_seed.empty() ? "--sample-seed"
+                                                   : "--max-error") +
+             " requires --sample");
+  }
+  if (args.sample) {
+    // Sampling params are request identity too (sampled estimates must
+    // never be served from an exact run's cache entry, or vice versa).
+    if (req.verb != "evaluate" && req.verb != "advise") {
+      die_flag("--sample is only supported by the evaluate and advise verbs");
+    }
+    req.args.push_back(args.sample_clusters.empty()
+                           ? std::string("--sample")
+                           : "--sample=" + args.sample_clusters);
+    if (!args.sample_seed.empty()) {
+      req.args.push_back("--sample-seed=" + args.sample_seed);
+    }
+    if (!args.max_error.empty()) {
+      req.args.push_back("--max-error=" + args.max_error);
+    }
   }
   req.params = args.params;
   req.threads = args.threads;
