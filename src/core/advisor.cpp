@@ -32,7 +32,11 @@ Advisor::Advisor(Options options) : options_(std::move(options)) {
 }
 
 AdvisorReport Advisor::advise(const Trace& trace) const {
-  obs::Span span("advise", "advise " + trace.name());
+  obs::Span span =
+      options_.request_id != 0
+          ? obs::Span("advise", "advise " + trace.name(), "req",
+                      options_.request_id)
+          : obs::Span("advise", "advise " + trace.name());
 
   // Baseline + candidates run as pipelines of the parallel batch engine,
   // sharded across a pool when more than one thread is requested. The
@@ -74,6 +78,7 @@ AdvisorReport Advisor::advise(const Trace& trace) const {
     sopt.seed = options_.sample.seed;
     sopt.max_error_pct = options_.sample.max_error_pct;
     SamplePlan plan = build_sample_plan(features, sopt);
+    obs::count(obs::Counter::kSamplePlansTrained);
     if (plan.exact) {
       SpanSource source(trace.name(), trace.refs());
       results = run_batch(runner, source);
@@ -93,6 +98,7 @@ AdvisorReport Advisor::advise(const Trace& trace) const {
         SampleOptions escalated = sopt;
         escalated.clusters = plan.clusters * 2;
         const SamplePlan plan2 = build_sample_plan(features, escalated);
+        obs::count(obs::Counter::kSamplePlansTrained);
         if (!plan2.exact && plan2.clusters > plan.clusters) {
           runner.reset();
           results = run_sampled(runner, reader, plan2, trace.name());

@@ -62,6 +62,9 @@ class Advisor {
     /// annotated with CI95 half-widths. Profiling for trained candidates
     /// still consumes the full trace (it is already in memory here).
     SampleSpec sample;
+    /// Daemon request ID (0 = standalone run) — same span-annotation
+    /// contract as EvalOptions::request_id.
+    std::uint64_t request_id = 0;
   };
 
   Advisor() : Advisor(Options()) {}

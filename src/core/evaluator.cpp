@@ -352,6 +352,7 @@ ReplayOutcome replay_workload(const EvalOptions& options, ThreadPool* pool,
     obs::Span span("extract", "cluster " + wname);
     PhaseTimer timer(out.extract_s);
     plan = build_sample_plan(features, sopt);
+    obs::count(obs::Counter::kSamplePlansTrained);
   }
 
   if (plan.exact) {
@@ -396,6 +397,7 @@ ReplayOutcome replay_workload(const EvalOptions& options, ThreadPool* pool,
     {
       PhaseTimer timer(out.extract_s);
       plan2 = build_sample_plan(features, escalated);
+      obs::count(obs::Counter::kSamplePlansTrained);
     }
     if (!plan2.exact && plan2.clusters > plan.clusters) {
       const double first_ci = worst_miss_ci_pct(out.results);
@@ -595,7 +597,11 @@ EvalReport Evaluator::evaluate(
   const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
     if (options_.cancel != nullptr) options_.cancel->check();
-    obs::Span workload_span("evaluate", "evaluate " + wname);
+    obs::Span workload_span =
+        options_.request_id != 0
+            ? obs::Span("evaluate", "evaluate " + wname, "req",
+                        options_.request_id)
+            : obs::Span("evaluate", "evaluate " + wname);
     const auto wall_start = std::chrono::steady_clock::now();
 
     ReplayOutcome outcome =
@@ -798,7 +804,11 @@ GridReport Evaluator::evaluate_grid(
   const auto run_workload = [&](std::size_t wi) {
     const std::string& wname = workload_names[wi];
     if (options_.cancel != nullptr) options_.cancel->check();
-    obs::Span workload_span("evaluate", "grid " + wname);
+    obs::Span workload_span =
+        options_.request_id != 0
+            ? obs::Span("evaluate", "grid " + wname, "req",
+                        options_.request_id)
+            : obs::Span("evaluate", "grid " + wname);
     const auto wall_start = std::chrono::steady_clock::now();
 
     ReplayOutcome outcome =
@@ -815,6 +825,7 @@ GridReport Evaluator::evaluate_grid(
             .count();
     if (obs::metrics_on()) {
       obs::count(obs::Counter::kWorkloadsEvaluated);
+      obs::count(obs::Counter::kGridCellsEvaluated, plan.size());
       for (const RunResult& r : local) count_cache_stats(r);
     }
     if (obs::Session* session = obs::Session::active()) {

@@ -80,6 +80,9 @@ struct EvalOptions {
   /// unwinds evaluate() with canu::Cancelled; completed results are
   /// bit-for-bit unaffected (the token is never consulted mid-chunk).
   const CancelToken* cancel = nullptr;
+  /// Daemon request ID (0 = standalone run): annotated onto per-workload
+  /// spans as a "req" arg so daemon traces attribute work to requests.
+  std::uint64_t request_id = 0;
 };
 
 struct EvalCell {

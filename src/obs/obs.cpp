@@ -53,6 +53,12 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kSvcJournalRestored: return "svc_journal_restored";
     case Counter::kSvcJournalRecoveries: return "svc_journal_recoveries";
     case Counter::kSvcJournalCompactions: return "svc_journal_compactions";
+    case Counter::kGridCellsEvaluated: return "grid_cells_evaluated";
+    case Counter::kPlanClassesFormed: return "plan_classes_formed";
+    case Counter::kSamplePlansTrained: return "sample_plans_trained";
+    case Counter::kFeatureSidecarHits: return "feature_sidecar_hits";
+    case Counter::kFeatureSidecarMisses: return "feature_sidecar_misses";
+    case Counter::kFeatureSidecarRegens: return "feature_sidecar_regens";
     case Counter::kCount: break;
   }
   return "unknown";

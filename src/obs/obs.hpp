@@ -74,6 +74,12 @@ enum class Counter : unsigned {
   kSvcJournalRestored,      ///< cache entries replayed from the journal
   kSvcJournalRecoveries,    ///< journal loads that truncated a corrupt tail
   kSvcJournalCompactions,   ///< journal rewrites that dropped dead records
+  kGridCellsEvaluated,      ///< config-grid cells replayed (cells × workloads)
+  kPlanClassesFormed,       ///< access-plan classes that gained a 2nd member
+  kSamplePlansTrained,      ///< k-means sample plans trained (incl. escalations)
+  kFeatureSidecarHits,      ///< .feat sidecars read and accepted
+  kFeatureSidecarMisses,    ///< feature extractions with no sidecar on disk
+  kFeatureSidecarRegens,    ///< stale/corrupt sidecars discarded and rebuilt
   kCount
 };
 inline constexpr std::size_t kCounterCount =

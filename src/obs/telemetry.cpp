@@ -1,0 +1,90 @@
+#include "obs/telemetry.hpp"
+
+namespace canu::obs {
+
+unsigned latency_bucket(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  unsigned m = static_cast<unsigned>(std::bit_width(v));
+  if (m > kLatencyMajor) return kLatencyBuckets - 1;  // clamp huge values
+  const std::uint64_t lo = std::uint64_t{1} << (m - 1);
+  // Sub-bucket = top bits after the leading one; (v - lo) < lo <= 2^47 so
+  // the multiply cannot overflow.
+  const unsigned sub = static_cast<unsigned>((v - lo) * kLatencySub / lo);
+  return 1 + (m - 1) * kLatencySub + sub;
+}
+
+std::uint64_t latency_bucket_lower(unsigned b) noexcept {
+  if (b == 0) return 0;
+  const unsigned m = (b - 1) / kLatencySub + 1;
+  const unsigned sub = (b - 1) % kLatencySub;
+  const std::uint64_t lo = std::uint64_t{1} << (m - 1);
+  return lo + lo * sub / kLatencySub;
+}
+
+std::uint64_t latency_bucket_upper(unsigned b) noexcept {
+  if (b == 0) return 1;
+  const unsigned m = (b - 1) / kLatencySub + 1;
+  const unsigned sub = (b - 1) % kLatencySub;
+  const std::uint64_t lo = std::uint64_t{1} << (m - 1);
+  const std::uint64_t upper = lo + lo * (sub + 1) / kLatencySub;
+  const std::uint64_t lower = lo + lo * sub / kLatencySub;
+  // Narrow majors (lo < kLatencySub) produce zero-width sub-buckets; keep
+  // every bucket at least one wide so interpolation never divides by zero.
+  return upper > lower ? upper : lower + 1;
+}
+
+double LatencySnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  std::uint64_t cumulative = 0;
+  unsigned last_nonzero = 0;
+  for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    last_nonzero = b;
+    if (static_cast<double>(cumulative) >= target) {
+      const double lo = static_cast<double>(latency_bucket_lower(b));
+      const double hi = static_cast<double>(latency_bucket_upper(b));
+      const double frac = (target - static_cast<double>(before)) /
+                          static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return static_cast<double>(latency_bucket_upper(last_nonzero));
+}
+
+void LatencySnapshot::merge(const LatencySnapshot& other) noexcept {
+  for (unsigned b = 0; b < kLatencyBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const noexcept {
+  LatencySnapshot snap;
+  for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t RateWindow::sum(std::uint64_t now_s,
+                              unsigned window_s) const noexcept {
+  if (window_s == 0) return 0;
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t stamped = slot.second.load(std::memory_order_relaxed);
+    if (stamped == kEmpty || stamped > now_s) continue;
+    if (now_s - stamped < window_s) {
+      total += slot.count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+}  // namespace canu::obs

@@ -1,0 +1,144 @@
+// Always-on service telemetry primitives (DESIGN.md §15): a lock-free
+// log-bucketed latency histogram with linear sub-buckets (accurate
+// p50/p90/p99/p999 by interpolation inside the exact bucket), and a
+// sliding-window rate estimator over per-second ring slots.
+//
+// Cost model: unlike the session-scoped registry in obs.hpp (off by
+// default, per-thread blocks), these types are built to run *unconditionally*
+// inside the daemon — every write is a handful of relaxed atomic adds, no
+// locks, no allocation, no clock reads (callers pass time in). The
+// simulation hot path keeps its off-by-default contract: nothing here is
+// touched per simulated access, only per service request.
+//
+// Defining CANU_OBS_DISABLED compiles the recording paths to no-ops so the
+// telemetry-overhead bench (tools/bench_timings.sh) can compare a live
+// daemon against a provably instrumentation-free build.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace canu::obs {
+
+// --------------------------------------------------------------------------
+// Latency histogram
+
+/// Bucket layout: bucket 0 holds zeros; values v >= 1 map to major bucket
+/// bit_width(v) (range [2^(m-1), 2^m)) split into kLatencySub linear
+/// sub-buckets. 48 majors cover any nanosecond duration we can see; 16
+/// sub-buckets bound the within-bucket relative error of an interpolated
+/// quantile at ~1/16.
+inline constexpr unsigned kLatencyMajor = 48;
+inline constexpr unsigned kLatencySub = 16;
+inline constexpr unsigned kLatencyBuckets = 1 + kLatencyMajor * kLatencySub;
+
+/// Index of the bucket holding `v`.
+unsigned latency_bucket(std::uint64_t v) noexcept;
+/// Inclusive lower bound of bucket `b`.
+std::uint64_t latency_bucket_lower(unsigned b) noexcept;
+/// Exclusive upper bound of bucket `b` (always > lower).
+std::uint64_t latency_bucket_upper(unsigned b) noexcept;
+
+/// A point-in-time copy of a LatencyHistogram: plain integers, safe to
+/// merge, interpolate and serialize without further synchronization.
+struct LatencySnapshot {
+  std::array<std::uint64_t, kLatencyBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Interpolated quantile (q in [0,1]): walks the cumulative counts to the
+  /// bucket containing rank q*count and interpolates linearly between the
+  /// bucket's exact bounds. Returns 0 for an empty histogram.
+  double quantile(double q) const noexcept;
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void merge(const LatencySnapshot& other) noexcept;
+};
+
+/// Concurrent histogram: record() is wait-free relaxed atomic adds from any
+/// thread; snapshot() is a racy-but-consistent-enough read (telemetry, not
+/// accounting — a snapshot taken mid-record may be off by the in-flight
+/// sample).
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+#ifndef CANU_OBS_DISABLED
+    buckets_[latency_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  LatencySnapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// --------------------------------------------------------------------------
+// Sliding-window rate estimator
+
+/// Ring of per-second slots. record(now_s) adds to the slot for the current
+/// second (lazily resetting a slot the ring has wrapped past); sum(now_s, w)
+/// totals the slots covering (now_s - w, now_s]. Callers supply the clock —
+/// the daemon passes seconds-since-start, tests pass a fake clock.
+class RateWindow {
+ public:
+  /// Must exceed the largest window queried (300 s) by enough slack that a
+  /// slot is never simultaneously "current" and "about to be summed as old".
+  static constexpr unsigned kSlots = 512;
+
+  void record(std::uint64_t now_s, std::uint64_t n = 1) noexcept {
+#ifndef CANU_OBS_DISABLED
+    Slot& slot = slots_[now_s % kSlots];
+    std::uint64_t stamped = slot.second.load(std::memory_order_relaxed);
+    if (stamped != now_s) {
+      // One racer wins the restamp and zeroes the slot; losers just add.
+      // A concurrent add can slip between the restamp and the zero — an
+      // acceptable under-count of one sample at a second boundary.
+      if (slot.second.compare_exchange_strong(stamped, now_s,
+                                              std::memory_order_relaxed)) {
+        slot.count.store(0, std::memory_order_relaxed);
+      }
+    }
+    slot.count.fetch_add(n, std::memory_order_relaxed);
+    total_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)now_s;
+    (void)n;
+#endif
+  }
+
+  /// Events recorded in the window (now_s - window_s, now_s].
+  std::uint64_t sum(std::uint64_t now_s, unsigned window_s) const noexcept;
+  /// Events per second over the window.
+  double rate(std::uint64_t now_s, unsigned window_s) const noexcept {
+    return window_s == 0 ? 0.0
+                         : static_cast<double>(sum(now_s, window_s)) /
+                               static_cast<double>(window_s);
+  }
+  /// All events ever recorded (monotonic, window-independent).
+  std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> second{kEmpty};
+    std::atomic<std::uint64_t> count{0};
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::array<Slot, kSlots> slots_{};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace canu::obs

@@ -49,6 +49,12 @@ std::size_t BatchRunner::add(CacheModel& l1) {
       p.plan_class = plan_classes_.size() - 1;
     }
     ++plan_classes_[p.plan_class].members;
+    // A class "forms" when it gains its second member — that is the moment
+    // one derivation starts serving many configurations (singleton classes
+    // replay classically and share nothing).
+    if (plan_classes_[p.plan_class].members == 2) {
+      obs::count(obs::Counter::kPlanClassesFormed);
+    }
   }
   pipelines_.push_back(std::move(p));
   return pipelines_.size() - 1;

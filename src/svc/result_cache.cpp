@@ -120,4 +120,15 @@ std::size_t ResultCache::size() const {
   return done_.size();
 }
 
+std::uint64_t ResultCache::bytes() const {
+  // Walked on demand (status/metrics snapshots), never per request: the
+  // FIFO bound keeps this a few hundred entries at most.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, result] : done_) {
+    total += key.size() + result->output.size() + result->error.size();
+  }
+  return total;
+}
+
 }  // namespace canu::svc

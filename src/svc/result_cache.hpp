@@ -76,6 +76,9 @@ class ResultCache {
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t coalesced() const noexcept { return coalesced_; }
   std::size_t size() const;
+  /// Approximate retained payload (keys + outputs + errors) in bytes — the
+  /// result-cache size gauge behind `canu status` and the `metrics` verb.
+  std::uint64_t bytes() const;
 
   /// Entries replayed from the journal at construction (0 without one).
   std::uint64_t restored() const noexcept { return restored_; }

@@ -78,6 +78,11 @@ std::size_t RequestScheduler::in_flight() const {
   return in_flight_;
 }
 
+std::size_t RequestScheduler::queued(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return (priority == Priority::kInteractive ? interactive_ : batch_).size();
+}
+
 std::uint64_t RequestScheduler::admitted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return admitted_;

@@ -63,6 +63,9 @@ class RequestScheduler {
   ThreadPool* pool() const noexcept { return pool_; }
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t in_flight() const;
+  /// Requests queued (not yet running) in one priority class — the
+  /// queue-depth gauge behind the `metrics` verb.
+  std::size_t queued(Priority priority) const;
   std::uint64_t admitted() const;
   std::uint64_t rejected() const;
 

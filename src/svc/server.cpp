@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -57,29 +59,30 @@ bool cancelled_status(const std::string& status) {
   return status == "deadline_exceeded" || status == "cancelled";
 }
 
-/// Interpolated percentile (0..1) of a log2-bucketed histogram, in the
-/// recorded unit. Bucket i spans [2^(i-1), 2^i); linear interpolation
-/// within the bucket keeps p50/p99 stable enough for a rollup manifest.
-double hist_percentile(const obs::HistogramData& h, double q) {
-  if (h.count == 0) return 0.0;
-  const double target = q * static_cast<double>(h.count);
-  std::uint64_t cum = 0;
-  for (unsigned i = 0; i < obs::kHistBuckets; ++i) {
-    if (h.buckets[i] == 0) continue;
-    const std::uint64_t prev = cum;
-    cum += h.buckets[i];
-    if (static_cast<double>(cum) >= target) {
-      if (i == 0) return 0.0;
-      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
-      const double hi = std::ldexp(1.0, static_cast<int>(i));
-      const double frac = std::clamp(
-          (target - static_cast<double>(prev)) /
-              static_cast<double>(h.buckets[i]),
-          0.0, 1.0);
-      return lo + (hi - lo) * frac;
-    }
-  }
-  return 0.0;
+/// Steady-clock nanoseconds, the shared base for the wait/run stamps.
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-request execution stamps, shared between the connection thread and
+/// the worker lambda (which may outlive an early deadline return).
+struct ExecStamps {
+  std::atomic<std::uint64_t> start_ns{0};  ///< worker picked the request up
+  std::atomic<std::uint64_t> end_ns{0};    ///< worker finished the verb
+};
+
+/// Cache disposition label for request records ("hit" | "coalesced" |
+/// "miss" | "uncached" | "none").
+const char* cache_disposition(const std::string& status, bool cache_hit,
+                              bool coalesced, const std::string& key) {
+  if (status == "overloaded") return "none";
+  if (cache_hit) return "hit";
+  if (coalesced) return "coalesced";
+  if (key.empty()) return "uncached";
+  return "miss";
 }
 
 }  // namespace
@@ -94,6 +97,13 @@ Server::Server(ServerOptions options)
   }
   scheduler_ = std::make_unique<RequestScheduler>(
       pool_, options_.queue_capacity, options_.aging);
+  if (options_.slow_log_ms >= 0 && !options_.slow_log_path.empty()) {
+    auto file = std::make_unique<std::ofstream>(options_.slow_log_path,
+                                                std::ios::app);
+    CANU_CHECK_MSG(file->is_open(),
+                   "cannot open slow log " << options_.slow_log_path);
+    slow_log_file_ = std::move(file);
+  }
 }
 
 Server::~Server() {
@@ -255,7 +265,8 @@ void Server::handle_connection(FdHandle conn, std::uint64_t id) {
 
 Response Server::respond(const Request& req, const CachedResult& result,
                          bool cache_hit, bool coalesced,
-                         const std::string& cache_key, double wall_s) {
+                         const std::string& cache_key, double wall_s,
+                         const RequestTiming& timing) {
   // Count typed outcomes here, once per answered request: the wait loop and
   // the worker's own chunk-boundary check race to notice a dead deadline,
   // and both paths converge on this respond().
@@ -266,7 +277,18 @@ Response Server::respond(const Request& req, const CachedResult& result,
     obs::count(obs::Counter::kSvcCancelled);
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
-  record_verb(req.verb.empty() ? "status" : req.verb, result.status, wall_s);
+  RequestRecord rec;
+  rec.id = timing.id;
+  rec.verb = req.verb.empty() ? "status" : req.verb;
+  rec.key = cache_key;
+  rec.status = result.status;
+  rec.cache = cache_disposition(result.status, cache_hit, coalesced, cache_key);
+  rec.wait_ms = timing.wait_s * 1e3;
+  rec.run_ms = timing.run_s * 1e3;
+  rec.total_ms = wall_s * 1e3;
+  rec.uptime_s = telemetry_.uptime_s();
+  telemetry_.record(rec);
+  maybe_slow_log(rec);
   Response resp;
   resp.status = result.status;
   resp.version = obs::kVersion;
@@ -281,47 +303,165 @@ Response Server::respond(const Request& req, const CachedResult& result,
   return resp;
 }
 
-void Server::record_verb(const std::string& verb, const std::string& status,
-                         double wall_s) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  VerbStats& s = verb_stats_[verb];
-  ++s.count;
-  if (status != "ok") ++s.errors;
-  s.latency_ns.record(static_cast<std::uint64_t>(wall_s * 1e9));
+void Server::maybe_slow_log(const RequestRecord& rec) {
+  if (options_.slow_log_ms < 0) return;
+  if (rec.total_ms < static_cast<double>(options_.slow_log_ms)) return;
+  // One JSON object per line, so the log tails and greps cleanly.
+  std::ostringstream os;
+  os << "{\"id\":" << rec.id << ",\"verb\":" << obs::json_quote(rec.verb)
+     << ",\"key\":" << obs::json_quote(rec.key)
+     << ",\"status\":" << obs::json_quote(rec.status)
+     << ",\"cache\":" << obs::json_quote(rec.cache)
+     << ",\"wait_ms\":" << rec.wait_ms << ",\"run_ms\":" << rec.run_ms
+     << ",\"total_ms\":" << rec.total_ms << ",\"uptime_s\":" << rec.uptime_s
+     << "}";
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  std::ostream& sink = slow_log_file_ ? *slow_log_file_ : std::cerr;
+  sink << os.str() << "\n" << std::flush;
 }
 
-Response Server::status_response() {
+GaugeSample Server::sample_gauges() const {
+  GaugeSample g;
+  g.queue_interactive = scheduler_->queued(Priority::kInteractive);
+  g.queue_batch = scheduler_->queued(Priority::kBatch);
+  g.in_flight = scheduler_->in_flight();
+  g.capacity = scheduler_->capacity();
+  g.result_cache_entries = cache_.size();
+  g.result_cache_bytes = cache_.bytes();
+  if (!options_.cache_file.empty()) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(options_.cache_file, ec);
+    if (!ec) g.journal_bytes = size;
+  }
+  g.threads = threads();
+  return g;
+}
+
+Response Server::status_response(const Request& req,
+                                 std::uint64_t request_id) {
   const double uptime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
           .count();
+  // `--recent[=N]`: append the request-trace ring to the counter table.
+  bool want_recent = false;
+  std::size_t recent_n = 20;
+  for (const std::string& arg : req.args) {
+    if (arg == "--recent") {
+      want_recent = true;
+    } else if (arg.rfind("--recent=", 0) == 0) {
+      want_recent = true;
+      try {
+        recent_n = std::stoull(arg.substr(9));
+      } catch (...) {
+        CachedResult r;
+        r.status = "error";
+        r.exit_code = 1;
+        r.error = "status: bad --recent value '" + arg.substr(9) + "'\n";
+        return respond(req, r, false, false, "", 0.0,
+                       RequestTiming{request_id, 0.0, 0.0});
+      }
+    } else {
+      CachedResult r;
+      r.status = "error";
+      r.exit_code = 1;
+      r.error = "status: unknown argument '" + arg + "'\n";
+      return respond(req, r, false, false, "", 0.0,
+                     RequestTiming{request_id, 0.0, 0.0});
+    }
+  }
+
   const ServerCounters c = counters();
+  const GaugeSample g = sample_gauges();
   std::ostringstream os;
   os << "canud " << obs::kVersion << "\n";
   TextTable table;
   table.set_header({"counter", "value"});
+  table.add_row({"version", obs::kVersion});
   table.add_row({"uptime_s", TextTable::num(uptime_s, 3)});
   table.add_row({"threads", std::to_string(threads())});
   table.add_row({"in_flight", std::to_string(c.in_flight) + "/" +
                                   std::to_string(c.capacity)});
+  table.add_row({"queue_interactive", std::to_string(g.queue_interactive)});
+  table.add_row({"queue_batch", std::to_string(g.queue_batch)});
   table.add_row({"admitted", std::to_string(c.admitted)});
   table.add_row({"rejected", std::to_string(c.rejected)});
   table.add_row({"result_cache_hits", std::to_string(c.result_cache_hits)});
   table.add_row(
       {"result_cache_misses", std::to_string(c.result_cache_misses)});
   table.add_row({"coalesced", std::to_string(c.coalesced)});
-  table.add_row({"result_cache_size", std::to_string(cache_.size())});
+  table.add_row({"result_cache_size", std::to_string(g.result_cache_entries)});
+  table.add_row({"result_cache_bytes", std::to_string(g.result_cache_bytes)});
   table.add_row({"timed_out", std::to_string(c.timed_out)});
   table.add_row({"cancelled", std::to_string(c.cancelled)});
   if (!options_.cache_file.empty()) {
     table.add_row({"journal_restored", std::to_string(c.restored)});
     table.add_row({"journal_persisted", std::to_string(c.persisted)});
+    table.add_row({"journal_bytes", std::to_string(g.journal_bytes)});
   }
   table.print(os);
 
+  if (want_recent) {
+    const std::vector<RequestRecord> recent = telemetry_.recent(recent_n);
+    os << "\nrecent requests (newest first):\n";
+    if (recent.empty()) {
+      os << "(none)\n";
+    } else {
+      TextTable rt;
+      rt.set_header({"id", "verb", "status", "cache", "wait_ms", "run_ms",
+                     "total_ms", "key"});
+      for (const RequestRecord& r : recent) {
+        rt.add_row({std::to_string(r.id), r.verb, r.status, r.cache,
+                    TextTable::num(r.wait_ms, 3), TextTable::num(r.run_ms, 3),
+                    TextTable::num(r.total_ms, 3),
+                    r.key.empty() ? "-" : r.key});
+      }
+      rt.print(os);
+    }
+  }
+
   CachedResult result;
   result.output = std::move(os).str();
-  return respond(Request{}, result, false, false, "", 0.0);
+  return respond(req, result, false, false, "", 0.0,
+                 RequestTiming{request_id, 0.0, 0.0});
+}
+
+Response Server::metrics_response(const Request& req,
+                                  std::uint64_t request_id, double wall_s) {
+  std::string format = "json";
+  for (const std::string& arg : req.args) {
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else {
+      CachedResult r;
+      r.status = "error";
+      r.exit_code = 1;
+      r.error = "metrics: unknown argument '" + arg + "'\n";
+      return respond(req, r, false, false, "", wall_s,
+                     RequestTiming{request_id, 0.0, 0.0});
+    }
+  }
+  if (format != "json" && format != "prometheus") {
+    CachedResult r;
+    r.status = "error";
+    r.exit_code = 1;
+    r.error = "metrics: unknown --format '" + format +
+              "' (json|prometheus)\n";
+    return respond(req, r, false, false, "", wall_s,
+                   RequestTiming{request_id, 0.0, 0.0});
+  }
+  TelemetrySnapshot snap = telemetry_.snapshot(sample_gauges());
+  snap.version = obs::kVersion;
+  std::ostringstream os;
+  if (format == "json") {
+    snap.write_json(os);
+  } else {
+    snap.write_prometheus(os);
+  }
+  CachedResult result;
+  result.output = std::move(os).str();
+  return respond(req, result, false, false, "", wall_s,
+                 RequestTiming{request_id, 0.0, 0.0});
 }
 
 ResultPtr Server::wait_for_result(const std::shared_future<ResultPtr>& future,
@@ -349,7 +489,9 @@ ResultPtr Server::wait_for_result(const std::shared_future<ResultPtr>& future,
 }
 
 Response Server::execute(const Request& req, int peer_fd) {
-  obs::Span span("svc", "request " + req.verb);
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::Span span("svc", "request " + req.verb, "req", request_id);
   const auto start = std::chrono::steady_clock::now();
   const auto wall = [&start] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -361,9 +503,10 @@ Response Server::execute(const Request& req, int peer_fd) {
                  static_cast<std::uint64_t>(wall() * 1e9));
   };
 
-  // `status` answers inline, outside admission control — an overloaded
-  // daemon must still be observable.
-  if (req.verb == "status") return status_response();
+  // `status` and `metrics` answer inline, outside admission control — an
+  // overloaded daemon must still be observable.
+  if (req.verb == "status") return status_response(req, request_id);
+  if (req.verb == "metrics") return metrics_response(req, request_id, wall());
 
   if (!verb_is_servable(req.verb)) {
     CachedResult r;
@@ -371,8 +514,26 @@ Response Server::execute(const Request& req, int peer_fd) {
     r.exit_code = 1;
     r.error = "verb '" + req.verb +
               "' is not servable by canud; run it with the canu CLI\n";
-    return respond(req, r, false, false, "", wall());
+    return respond(req, r, false, false, "", wall(),
+                   RequestTiming{request_id, 0.0, 0.0});
   }
+
+  // Wait/run stamps, written by the worker around run_to_result and read by
+  // this thread when it answers. Shared because the worker may outlive an
+  // early (deadline) return of this thread.
+  auto stamps = std::make_shared<ExecStamps>();
+  const std::uint64_t admit_ns = steady_ns();
+  // Wait = admission → worker pickup; run = worker execution. Both zero
+  // until the worker stamps them (inline answers, joiners, cache hits).
+  const auto timing = [request_id, admit_ns, stamps] {
+    RequestTiming t;
+    t.id = request_id;
+    const std::uint64_t s = stamps->start_ns.load(std::memory_order_acquire);
+    const std::uint64_t e = stamps->end_ns.load(std::memory_order_acquire);
+    if (s >= admit_ns) t.wait_s = static_cast<double>(s - admit_ns) / 1e9;
+    if (e >= s && s != 0) t.run_s = static_cast<double>(e - s) / 1e9;
+    return t;
+  };
 
   // Per-request cancellation state, shared with the worker executing the
   // verb: the token outlives an early (deadline) return of this thread.
@@ -387,6 +548,7 @@ Response Server::execute(const Request& req, int peer_fd) {
   VerbOptions verb_options;
   verb_options.pool = pool_;
   verb_options.cancel = token.get();
+  verb_options.request_id = request_id;
 
   const auto run_to_result = [exec_req, verb_options, token] {
     auto result = std::make_shared<CachedResult>();
@@ -418,11 +580,16 @@ Response Server::execute(const Request& req, int peer_fd) {
     auto promise = std::make_shared<std::promise<ResultPtr>>();
     std::shared_future<ResultPtr> future = promise->get_future().share();
     const bool admitted = scheduler_->try_submit(
-        [promise, run_to_result] { promise->set_value(run_to_result()); },
+        [promise, run_to_result, stamps] {
+          stamps->start_ns.store(steady_ns(), std::memory_order_release);
+          ResultPtr r = run_to_result();
+          stamps->end_ns.store(steady_ns(), std::memory_order_release);
+          promise->set_value(std::move(r));
+        },
         priority);
     if (!admitted) {
       return respond(req, overloaded_result(*scheduler_), false, false, "",
-                     wall());
+                     wall(), RequestTiming{request_id, 0.0, 0.0});
     }
     bool timed_out = false;
     bool peer_gone = false;
@@ -433,9 +600,9 @@ Response Server::execute(const Request& req, int peer_fd) {
       return respond(req,
                      timed_out ? deadline_result(req.timeout_ms)
                                : cancelled_result(),
-                     false, false, "", wall());
+                     false, false, "", wall(), timing());
     }
-    return respond(req, *result, false, false, "", wall());
+    return respond(req, *result, false, false, "", wall(), timing());
   }
 
   const std::string key = canonical_request_key(req);
@@ -447,7 +614,8 @@ Response Server::execute(const Request& req, int peer_fd) {
     switch (lookup.role) {
       case ResultCache::Role::kHit:
         observe_request();
-        return respond(req, *lookup.hit, true, false, key, wall());
+        return respond(req, *lookup.hit, true, false, key, wall(),
+                       RequestTiming{request_id, 0.0, 0.0});
       case ResultCache::Role::kJoined: {
         bool timed_out = false;
         bool peer_gone = false;
@@ -458,16 +626,21 @@ Response Server::execute(const Request& req, int peer_fd) {
           return respond(req,
                          timed_out ? deadline_result(req.timeout_ms)
                                    : cancelled_result(),
-                         false, true, key, wall());
+                         false, true, key, wall(),
+                         RequestTiming{request_id, 0.0, 0.0});
         }
         if (cancelled_status(result->status)) continue;  // owner died; retry
         observe_request();
-        return respond(req, *result, false, true, key, wall());
+        return respond(req, *result, false, true, key, wall(),
+                       RequestTiming{request_id, 0.0, 0.0});
       }
       case ResultCache::Role::kOwner: {
         const bool admitted = scheduler_->try_submit(
-            [this, key, run_to_result] {
-              cache_.complete(key, run_to_result());
+            [this, key, run_to_result, stamps] {
+              stamps->start_ns.store(steady_ns(), std::memory_order_release);
+              ResultPtr r = run_to_result();
+              stamps->end_ns.store(steady_ns(), std::memory_order_release);
+              cache_.complete(key, std::move(r));
             },
             priority);
         if (!admitted) {
@@ -476,7 +649,8 @@ Response Server::execute(const Request& req, int peer_fd) {
           auto overloaded = std::make_shared<CachedResult>(
               overloaded_result(*scheduler_));
           cache_.complete(key, overloaded);
-          return respond(req, *overloaded, false, false, key, wall());
+          return respond(req, *overloaded, false, false, key, wall(),
+                         RequestTiming{request_id, 0.0, 0.0});
         }
         bool timed_out = false;
         bool peer_gone = false;
@@ -487,16 +661,17 @@ Response Server::execute(const Request& req, int peer_fd) {
           return respond(req,
                          timed_out ? deadline_result(req.timeout_ms)
                                    : cancelled_result(),
-                         false, false, key, wall());
+                         false, false, key, wall(), timing());
         }
-        return respond(req, *result, false, false, key, wall());
+        return respond(req, *result, false, false, key, wall(), timing());
       }
     }
   }
   // Three consecutive owners cancelled under this key; give this client the
   // same typed answer instead of spinning.
   observe_request();
-  return respond(req, cancelled_result(), false, false, key, wall());
+  return respond(req, cancelled_result(), false, false, key, wall(),
+                 RequestTiming{request_id, 0.0, 0.0});
 }
 
 void Server::write_rollup(const std::string& path) const {
@@ -505,6 +680,10 @@ void Server::write_rollup(const std::string& path) const {
                                     start_time_)
           .count();
   const ServerCounters c = counters();
+  // One TelemetrySnapshot feeds both this rollup and the live `metrics`
+  // verb, so the two never disagree about quantiles or window rates.
+  TelemetrySnapshot snap = telemetry_.snapshot(sample_gauges());
+  snap.version = obs::kVersion;
   std::ostringstream os;
   {
     obs::JsonWriter w(os);
@@ -527,17 +706,20 @@ void Server::write_rollup(const std::string& path) const {
                                static_cast<double>(classified));
     w.kv("journal_restored", c.restored);
     w.kv("journal_persisted", c.persisted);
+    w.key("totals");
+    w.begin_object();
+    w.kv("requests", snap.requests);
+    w.kv("warm_hits", snap.warm_hits);
+    w.kv("misses", snap.misses);
+    w.kv("rejections", snap.rejections);
+    w.end_object();
+    write_windows_json(w, snap);
     w.key("verbs");
     w.begin_object();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    for (const auto& [verb, s] : verb_stats_) {
-      w.key(verb);
+    for (const VerbSnapshot& v : snap.verbs) {
+      w.key(v.verb);
       w.begin_object();
-      w.kv("count", s.count);
-      w.kv("errors", s.errors);
-      w.kv("p50_ms", hist_percentile(s.latency_ns, 0.50) / 1e6);
-      w.kv("p99_ms", hist_percentile(s.latency_ns, 0.99) / 1e6);
-      w.kv("mean_ms", s.latency_ns.mean() / 1e6);
+      write_verb_latency_json(w, v);
       w.end_object();
     }
     w.end_object();

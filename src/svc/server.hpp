@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,7 @@
 #include "svc/result_cache.hpp"
 #include "svc/scheduler.hpp"
 #include "svc/socket.hpp"
+#include "svc/telemetry.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +61,12 @@ struct ServerOptions {
   std::string cache_file;
   /// Batch requests older than this beat queued interactive ones.
   std::chrono::milliseconds aging = RequestScheduler::kDefaultAging;
+  /// Slow-request log threshold: requests whose total time is >= this many
+  /// milliseconds are logged as one JSON line each (0 logs every request;
+  /// < 0 disables the log).
+  long long slow_log_ms = -1;
+  /// Slow-log destination file (appended); empty = stderr.
+  std::string slow_log_path;
 };
 
 class Server {
@@ -93,18 +101,29 @@ class Server {
   /// request's work.
   Response execute(const Request& req, int peer_fd = -1);
 
-  /// Write the whole-process rollup manifest (per-verb counts and p50/p99
-  /// latency, cache hit ratio, rejected/timed-out/cancelled counts) as
-  /// JSON. Used by `canu serve --metrics-out` on shutdown and SIGHUP.
-  /// Throws canu::Error when the file cannot be written.
+  /// Write the whole-process rollup manifest (per-verb counts, the full
+  /// p50/p90/p99/p999 wait/run/total quantiles, sliding-window rates, cache
+  /// hit ratio, rejected/timed-out/cancelled counts) as JSON — the same
+  /// TelemetrySnapshot fields the live `metrics` verb serves. Used by
+  /// `canu serve --metrics-out` on shutdown and SIGHUP. Throws canu::Error
+  /// when the file cannot be written.
   void write_rollup(const std::string& path) const;
 
+  /// The live telemetry registry (per-verb latency histograms, window
+  /// rates, recent-request ring); always on.
+  const ServiceTelemetry& telemetry() const noexcept { return telemetry_; }
+  /// Point-in-time gauges (queue depths, in-flight, cache entries/bytes,
+  /// journal size) paired with telemetry().snapshot().
+  GaugeSample sample_gauges() const;
+
  private:
-  /// Per-verb slice of the rollup manifest.
-  struct VerbStats {
-    std::uint64_t count = 0;
-    std::uint64_t errors = 0;  ///< responses with status != "ok"
-    obs::HistogramData latency_ns;
+  /// Wait/run split of one answered request, threaded from the scheduler
+  /// lambda back into respond(): wait = admission → worker pickup, run =
+  /// worker execution. Zero for inline answers, cache hits and joiners.
+  struct RequestTiming {
+    std::uint64_t id = 0;
+    double wait_s = 0;
+    double run_s = 0;
   };
 
   void accept_loop(int listen_fd);
@@ -112,10 +131,12 @@ class Server {
   void reap_finished_locked(std::vector<std::thread>* out);
   Response respond(const Request& req, const CachedResult& result,
                    bool cache_hit, bool coalesced,
-                   const std::string& cache_key, double wall_s);
-  Response status_response();
-  void record_verb(const std::string& verb, const std::string& status,
-                   double wall_s);
+                   const std::string& cache_key, double wall_s,
+                   const RequestTiming& timing);
+  Response status_response(const Request& req, std::uint64_t request_id);
+  Response metrics_response(const Request& req, std::uint64_t request_id,
+                            double wall_s);
+  void maybe_slow_log(const RequestRecord& rec);
 
   /// Wait for `future` under the request's deadline, polling `peer_fd` for
   /// client disconnect. Returns the result, or null with exactly one of
@@ -140,8 +161,10 @@ class Server {
 
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> cancelled_{0};
-  mutable std::mutex stats_mutex_;
-  std::map<std::string, VerbStats> verb_stats_;
+  ServiceTelemetry telemetry_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::mutex slow_log_mutex_;
+  std::unique_ptr<std::ostream> slow_log_file_;  ///< null → stderr
 
   std::vector<std::thread> accept_threads_;
   mutable std::mutex conn_mutex_;

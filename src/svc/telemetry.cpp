@@ -1,0 +1,248 @@
+#include "svc/telemetry.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace canu::svc {
+
+namespace {
+
+constexpr std::array<double, 4> kQuantiles = {0.50, 0.90, 0.99, 0.999};
+constexpr std::array<const char*, 4> kQuantileKeys = {"p50", "p90", "p99",
+                                                      "p999"};
+
+std::string window_key(unsigned seconds) {
+  return std::to_string(seconds) + "s";
+}
+
+void write_latency_ms_json(obs::JsonWriter& w, const char* key,
+                           const obs::LatencySnapshot& h) {
+  w.key(key);
+  w.begin_object();
+  for (std::size_t q = 0; q < kQuantiles.size(); ++q) {
+    w.kv(kQuantileKeys[q], h.quantile(kQuantiles[q]) / 1e6);
+  }
+  w.kv("mean", h.mean() / 1e6);
+  w.end_object();
+}
+
+}  // namespace
+
+std::size_t telemetry_verb_slot(const std::string& verb) noexcept {
+  for (std::size_t i = 0; i + 1 < kVerbSlots; ++i) {
+    if (verb == kTelemetryVerbs[i]) return i;
+  }
+  return kVerbSlots - 1;  // "other"
+}
+
+void ServiceTelemetry::record(const RequestRecord& rec) {
+#ifdef CANU_OBS_DISABLED
+  (void)rec;
+#else
+  const std::uint64_t now = now_s();
+  requests_.record(now);
+  if (rec.status == "overloaded") {
+    rejections_.record(now);
+  } else if (rec.cache == "hit") {
+    warm_hits_.record(now);
+  } else {
+    misses_.record(now);
+  }
+
+  VerbCell& cell = verbs_[telemetry_verb_slot(rec.verb)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  if (rec.status != "ok") cell.errors.fetch_add(1, std::memory_order_relaxed);
+  cell.wait_ns.record(static_cast<std::uint64_t>(rec.wait_ms * 1e6));
+  cell.run_ns.record(static_cast<std::uint64_t>(rec.run_ms * 1e6));
+  cell.total_ns.record(static_cast<std::uint64_t>(rec.total_ms * 1e6));
+
+  {
+    std::lock_guard<std::mutex> lock(recent_mutex_);
+    recent_.push_back(rec);
+    if (recent_.size() > kRecentCapacity) recent_.pop_front();
+  }
+#endif
+}
+
+TelemetrySnapshot ServiceTelemetry::snapshot(const GaugeSample& gauges) const {
+  TelemetrySnapshot snap;
+  snap.uptime_s = uptime_s();
+  snap.requests = requests_.total();
+  snap.warm_hits = warm_hits_.total();
+  snap.misses = misses_.total();
+  snap.rejections = rejections_.total();
+  const std::uint64_t now = now_s();
+  for (std::size_t i = 0; i < kTelemetryWindows.size(); ++i) {
+    WindowSnapshot& win = snap.windows[i];
+    win.seconds = kTelemetryWindows[i];
+    win.requests = requests_.sum(now, win.seconds);
+    win.warm_hits = warm_hits_.sum(now, win.seconds);
+    win.misses = misses_.sum(now, win.seconds);
+    win.rejections = rejections_.sum(now, win.seconds);
+  }
+  snap.gauges = gauges;
+  for (std::size_t i = 0; i < kVerbSlots; ++i) {
+    const VerbCell& cell = verbs_[i];
+    const std::uint64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    VerbSnapshot v;
+    v.verb = kTelemetryVerbs[i];
+    v.count = count;
+    v.errors = cell.errors.load(std::memory_order_relaxed);
+    v.wait_ns = cell.wait_ns.snapshot();
+    v.run_ns = cell.run_ns.snapshot();
+    v.total_ns = cell.total_ns.snapshot();
+    snap.verbs.push_back(std::move(v));
+  }
+  return snap;
+}
+
+std::vector<RequestRecord> ServiceTelemetry::recent(std::size_t n) const {
+  std::vector<RequestRecord> out;
+  std::lock_guard<std::mutex> lock(recent_mutex_);
+  const std::size_t take = n < recent_.size() ? n : recent_.size();
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(recent_[recent_.size() - 1 - i]);  // newest first
+  }
+  return out;
+}
+
+void write_windows_json(obs::JsonWriter& w, const TelemetrySnapshot& snap) {
+  w.key("windows");
+  w.begin_object();
+  for (const WindowSnapshot& win : snap.windows) {
+    w.key(window_key(win.seconds));
+    w.begin_object();
+    w.kv("requests", win.requests);
+    w.kv("warm_hits", win.warm_hits);
+    w.kv("misses", win.misses);
+    w.kv("rejections", win.rejections);
+    w.kv("rps", win.rps());
+    w.kv("warm_hit_ratio", win.warm_hit_ratio());
+    w.kv("rejection_rate", win.rejection_rate());
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_verb_latency_json(obs::JsonWriter& w, const VerbSnapshot& v) {
+  w.kv("count", v.count);
+  w.kv("errors", v.errors);
+  // Legacy rollup keys (PR 5 consumers read these), now sourced from the
+  // sub-bucketed histograms.
+  w.kv("p50_ms", v.total_ns.quantile(0.50) / 1e6);
+  w.kv("p99_ms", v.total_ns.quantile(0.99) / 1e6);
+  w.kv("mean_ms", v.total_ns.mean() / 1e6);
+  write_latency_ms_json(w, "wait_ms", v.wait_ns);
+  write_latency_ms_json(w, "run_ms", v.run_ns);
+  write_latency_ms_json(w, "total_ms", v.total_ns);
+}
+
+void TelemetrySnapshot::write_json(std::ostream& os) const {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("canud", version);
+  w.kv("uptime_s", uptime_s);
+  w.key("totals");
+  w.begin_object();
+  w.kv("requests", requests);
+  w.kv("warm_hits", warm_hits);
+  w.kv("misses", misses);
+  w.kv("rejections", rejections);
+  w.end_object();
+  write_windows_json(w, *this);
+  w.key("gauges");
+  w.begin_object();
+  w.kv("queue_interactive", gauges.queue_interactive);
+  w.kv("queue_batch", gauges.queue_batch);
+  w.kv("in_flight", gauges.in_flight);
+  w.kv("capacity", gauges.capacity);
+  w.kv("threads", gauges.threads);
+  w.kv("result_cache_entries", gauges.result_cache_entries);
+  w.kv("result_cache_bytes", gauges.result_cache_bytes);
+  w.kv("journal_bytes", gauges.journal_bytes);
+  w.end_object();
+  w.key("verbs");
+  w.begin_object();
+  for (const VerbSnapshot& v : verbs) {
+    w.key(v.verb);
+    w.begin_object();
+    write_verb_latency_json(w, v);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+void TelemetrySnapshot::write_prometheus(std::ostream& os) const {
+  os << "# HELP canud_uptime_seconds Seconds since the daemon started.\n"
+     << "# TYPE canud_uptime_seconds gauge\n"
+     << "canud_uptime_seconds " << uptime_s << "\n";
+
+  os << "# HELP canud_requests_total Requests answered, by outcome class.\n"
+     << "# TYPE canud_requests_total counter\n"
+     << "canud_requests_total " << requests << "\n";
+  os << "# TYPE canud_warm_hits_total counter\n"
+     << "canud_warm_hits_total " << warm_hits << "\n";
+  os << "# TYPE canud_misses_total counter\n"
+     << "canud_misses_total " << misses << "\n";
+  os << "# TYPE canud_rejections_total counter\n"
+     << "canud_rejections_total " << rejections << "\n";
+
+  os << "# HELP canud_rps Request rate over a sliding window.\n"
+     << "# TYPE canud_rps gauge\n";
+  for (const WindowSnapshot& win : windows) {
+    os << "canud_rps{window=\"" << window_key(win.seconds) << "\"} "
+       << win.rps() << "\n";
+  }
+  os << "# HELP canud_warm_hit_ratio Result-cache hit ratio over a sliding "
+        "window.\n"
+     << "# TYPE canud_warm_hit_ratio gauge\n";
+  for (const WindowSnapshot& win : windows) {
+    os << "canud_warm_hit_ratio{window=\"" << window_key(win.seconds)
+       << "\"} " << win.warm_hit_ratio() << "\n";
+  }
+  os << "# HELP canud_rejection_rate Overload rejection rate over a sliding "
+        "window.\n"
+     << "# TYPE canud_rejection_rate gauge\n";
+  for (const WindowSnapshot& win : windows) {
+    os << "canud_rejection_rate{window=\"" << window_key(win.seconds)
+       << "\"} " << win.rejection_rate() << "\n";
+  }
+
+  os << "# HELP canud_queue_depth Queued requests per priority class.\n"
+     << "# TYPE canud_queue_depth gauge\n"
+     << "canud_queue_depth{class=\"interactive\"} " << gauges.queue_interactive
+     << "\n"
+     << "canud_queue_depth{class=\"batch\"} " << gauges.queue_batch << "\n";
+  os << "# TYPE canud_in_flight_requests gauge\n"
+     << "canud_in_flight_requests " << gauges.in_flight << "\n";
+  os << "# TYPE canud_result_cache_entries gauge\n"
+     << "canud_result_cache_entries " << gauges.result_cache_entries << "\n";
+  os << "# TYPE canud_result_cache_bytes gauge\n"
+     << "canud_result_cache_bytes " << gauges.result_cache_bytes << "\n";
+  os << "# TYPE canud_journal_bytes gauge\n"
+     << "canud_journal_bytes " << gauges.journal_bytes << "\n";
+
+  os << "# HELP canud_request_seconds Request latency (admission to "
+        "response) per verb.\n"
+     << "# TYPE canud_request_seconds summary\n";
+  for (const VerbSnapshot& v : verbs) {
+    for (std::size_t q = 0; q < kQuantiles.size(); ++q) {
+      os << "canud_request_seconds{verb=\"" << v.verb << "\",quantile=\""
+         << kQuantiles[q] << "\"} " << v.total_ns.quantile(kQuantiles[q]) / 1e9
+         << "\n";
+    }
+    os << "canud_request_seconds_sum{verb=\"" << v.verb << "\"} "
+       << static_cast<double>(v.total_ns.sum) / 1e9 << "\n";
+    os << "canud_request_seconds_count{verb=\"" << v.verb << "\"} "
+       << v.total_ns.count << "\n";
+  }
+}
+
+}  // namespace canu::svc

@@ -1,0 +1,198 @@
+// Always-on daemon telemetry (DESIGN.md §15): the registry behind the
+// `metrics` verb, `canu top`, the `--metrics-out` rollup and the
+// slow-request log.
+//
+// Unlike the session-scoped obs registry (off by default, installed by the
+// CLI), a ServiceTelemetry is owned by the Server and records every
+// answered request unconditionally: per-verb wait/run/total latency
+// histograms (obs::LatencyHistogram — relaxed atomics, no locks),
+// sliding-window rate estimators for rps / warm-hit ratio / rejection rate
+// (10 s, 1 min, 5 min), monotonic outcome totals, and a mutex-protected
+// ring of the last kRecentCapacity completed requests for
+// `canu status --recent`. The recording cost is a few dozen relaxed atomic
+// adds plus one short critical section per *request* — never per simulated
+// access — so the simulation hot path keeps its off-by-default contract.
+//
+// Everything the wire renders (JSON metrics verb, Prometheus exposition,
+// rollup fragment) is derived from one TelemetrySnapshot, so the batch
+// artifact and the live verb agree by construction (pinned by svc_test).
+//
+// CANU_OBS_DISABLED compiles record() to a no-op (the histograms and
+// windows already no-op their writes), so the telemetry-overhead bench can
+// compare a live daemon against an instrumentation-free build.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace canu::obs {
+class JsonWriter;
+}  // namespace canu::obs
+
+namespace canu::svc {
+
+/// Verbs tracked with dedicated latency histograms; anything else (a future
+/// verb, a malformed name) lands in the trailing "other" slot so recording
+/// never allocates or fails.
+inline constexpr std::array<const char*, 10> kTelemetryVerbs = {
+    "evaluate", "advise", "run",    "threec",  "list",
+    "ping",     "version", "status", "metrics", "other",
+};
+inline constexpr std::size_t kVerbSlots = kTelemetryVerbs.size();
+
+/// Slot index for `verb` (the "other" slot for unknown names).
+std::size_t telemetry_verb_slot(const std::string& verb) noexcept;
+
+/// One completed request as traced by the server: identity, outcome, and
+/// the wait (admission → worker pickup) / run (worker execution) / total
+/// (admission → response) split. `cache` is the cache disposition:
+/// "hit" | "miss" | "coalesced" | "uncached" | "none" (rejected/inline).
+struct RequestRecord {
+  std::uint64_t id = 0;
+  std::string verb;
+  std::string key;     ///< canonical cache key (empty for uncached verbs)
+  std::string status;  ///< "ok" | "error" | "overloaded" | ...
+  std::string cache;
+  double wait_ms = 0;
+  double run_ms = 0;
+  double total_ms = 0;
+  double uptime_s = 0;  ///< completion time, seconds since daemon start
+};
+
+/// Point-in-time gauge values sampled by the Server when a snapshot is
+/// taken (the registry does not own the scheduler or cache).
+struct GaugeSample {
+  std::uint64_t queue_interactive = 0;
+  std::uint64_t queue_batch = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t result_cache_entries = 0;
+  std::uint64_t result_cache_bytes = 0;
+  std::uint64_t journal_bytes = 0;
+  unsigned threads = 0;
+};
+
+struct VerbSnapshot {
+  std::string verb;
+  std::uint64_t count = 0;
+  std::uint64_t errors = 0;  ///< responses with status != "ok"
+  obs::LatencySnapshot wait_ns;
+  obs::LatencySnapshot run_ns;
+  obs::LatencySnapshot total_ns;
+};
+
+struct WindowSnapshot {
+  unsigned seconds = 0;  ///< window length (10 / 60 / 300)
+  std::uint64_t requests = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t rejections = 0;
+
+  double rps() const noexcept {
+    return seconds == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(seconds);
+  }
+  /// Warm-hit ratio over answered, non-rejected requests.
+  double warm_hit_ratio() const noexcept {
+    const std::uint64_t classified = warm_hits + misses;
+    return classified == 0 ? 0.0
+                           : static_cast<double>(warm_hits) /
+                                 static_cast<double>(classified);
+  }
+  double rejection_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(rejections) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// The windows every snapshot reports, shortest first.
+inline constexpr std::array<unsigned, 3> kTelemetryWindows = {10, 60, 300};
+
+struct TelemetrySnapshot {
+  std::string version;
+  double uptime_s = 0;
+  // Monotonic totals; every answered request is exactly one of
+  // warm_hit / miss / rejection, so warm_hits + misses ==
+  // requests - rejections always holds (asserted by the soak script).
+  std::uint64_t requests = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t rejections = 0;
+  std::array<WindowSnapshot, kTelemetryWindows.size()> windows{};
+  GaugeSample gauges;
+  std::vector<VerbSnapshot> verbs;  ///< verbs with count > 0, slot order
+
+  /// JSON body of the `metrics` verb (and of `canu top`'s poll).
+  void write_json(std::ostream& os) const;
+  /// Prometheus text exposition (`canu submit metrics --format=prometheus`).
+  void write_prometheus(std::ostream& os) const;
+};
+
+/// Shared JSON fragments, used by both the `metrics` verb and the
+/// `--metrics-out` rollup so the two artifacts agree field-for-field.
+/// Both emit with the writer's current nesting.
+void write_windows_json(obs::JsonWriter& w, const TelemetrySnapshot& snap);
+void write_verb_latency_json(obs::JsonWriter& w, const VerbSnapshot& v);
+
+class ServiceTelemetry {
+ public:
+  static constexpr std::size_t kRecentCapacity = 256;
+
+  ServiceTelemetry() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Record one answered request. Wait-free except for the recent-ring
+  /// push (one short mutex).
+  void record(const RequestRecord& rec);
+
+  /// Seconds since daemon start (the windows' clock).
+  std::uint64_t now_s() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double uptime_s() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Aggregate everything into one consistent-enough snapshot; `gauges` is
+  /// sampled by the caller (Server) at the same moment.
+  TelemetrySnapshot snapshot(const GaugeSample& gauges) const;
+
+  /// Newest-first copy of up to `n` recent request records.
+  std::vector<RequestRecord> recent(std::size_t n) const;
+
+ private:
+  struct VerbCell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> errors{0};
+    obs::LatencyHistogram wait_ns;
+    obs::LatencyHistogram run_ns;
+    obs::LatencyHistogram total_ns;
+  };
+
+  std::chrono::steady_clock::time_point start_;
+  std::array<VerbCell, kVerbSlots> verbs_;
+  obs::RateWindow requests_;
+  obs::RateWindow warm_hits_;
+  obs::RateWindow misses_;
+  obs::RateWindow rejections_;
+  mutable std::mutex recent_mutex_;
+  std::deque<RequestRecord> recent_;  ///< newest at the back
+};
+
+}  // namespace canu::svc

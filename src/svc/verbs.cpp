@@ -189,6 +189,7 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
   opt.cancel = options.cancel;
   opt.trace_cache_dir = default_trace_cache_dir();
   opt.sample = sample;
+  opt.request_id = options.request_id;
   if (options.progress) {
     opt.progress = obs::make_progress_printer(options.progress_force);
   }
@@ -241,6 +242,7 @@ int cmd_advise(const Request& req, std::ostream& out, std::ostream& err,
   aopt.pool = options.pool;
   aopt.cancel = options.cancel;
   aopt.sample = sample;
+  aopt.request_id = options.request_id;
   const AdvisorReport rep = Advisor(aopt).advise_workload(args[0], req.params);
   const bool sampled =
       std::any_of(rep.ranked.begin(), rep.ranked.end(),
@@ -343,7 +345,10 @@ int cmd_ping(const Request& req, std::ostream& out, std::ostream& err,
 
 int run_verb(const Request& req, std::ostream& out, std::ostream& err,
              const VerbOptions& options) {
-  obs::Span span("svc", "verb " + req.verb);
+  obs::Span span =
+      options.request_id != 0
+          ? obs::Span("svc", "verb " + req.verb, "req", options.request_id)
+          : obs::Span("svc", "verb " + req.verb);
   // A request that expired while queued never starts executing.
   if (options.cancel != nullptr) options.cancel->check();
   if (req.verb == "list") return cmd_list(out);

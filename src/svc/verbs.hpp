@@ -31,6 +31,10 @@ struct VerbOptions {
   /// timed-out or abandoned request unwinds with canu::Cancelled within
   /// one chunk of work.
   const CancelToken* cancel = nullptr;
+  /// Daemon request ID (0 = standalone CLI): threaded into the verb and
+  /// evaluator spans as a "req" arg, so one request's work is traceable
+  /// across scheduler → run_verb → Evaluator in a trace-event file.
+  std::uint64_t request_id = 0;
 };
 
 /// Execute one verb, writing its stdout to `out` and usage/diagnostics to

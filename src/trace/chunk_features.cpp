@@ -12,6 +12,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "trace/trace_cache.hpp"
 #include "util/error.hpp"
 
@@ -504,17 +505,21 @@ FeatureSet features_for_cached_trace(const TraceCache& cache,
   CANU_CHECK_MSG(!ec, "cannot stat cached trace '" << trace_path << "'");
 
   const std::string sidecar = feature_sidecar_path(cache, key);
+  const bool sidecar_on_disk = fs::exists(sidecar, ec);
   if (auto set = read_feature_sidecar(sidecar)) {
     TraceFileSource probe(trace_path, kDefaultChunkRefs);
     if (set->trace_file_size == file_size &&
         set->total_refs == probe.size_hint() &&
         set->interval_refs == interval_refs &&
         set->offset_bits == offset_bits) {
+      obs::count(obs::Counter::kFeatureSidecarHits);
       return std::move(*set);
     }
     // Bound to a different trace file (regenerated entry, changed interval
     // size): fall through and rebuild — the write below replaces it.
   }
+  obs::count(sidecar_on_disk ? obs::Counter::kFeatureSidecarRegens
+                             : obs::Counter::kFeatureSidecarMisses);
 
   TraceFileSource source(trace_path, interval_refs);
   FeatureSet set =

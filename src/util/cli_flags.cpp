@@ -77,12 +77,16 @@ const std::vector<VerbHelp>& canu_verbs() {
        "--scale --seed --threads"},
       {"serve", "", "run the canud simulation daemon",
        "--socket --port --host --threads --queue --result-cache "
-       "--cache-file --metrics-out --trace-events"},
+       "--cache-file --metrics-out --trace-events --slow-log-ms --slow-log"},
       {"submit", "<verb> [args...]", "send a request to a running daemon",
        "--socket --port --host --scale --seed --threads --timeout-ms "
-       "--retry --meta-out"},
+       "--retry --meta-out --format --recent"},
       {"status", "", "query a running daemon's counters",
-       "--socket --port --host --meta-out"},
+       "--socket --port --host --meta-out --recent"},
+      {"metrics", "", "print a daemon's live telemetry",
+       "--socket --port --host --meta-out --format"},
+      {"top", "", "poll a daemon's metrics as a refreshing dashboard",
+       "--socket --port --host --interval-ms --count"},
       {"version", "", "print the canu build version", ""},
   };
   return verbs;
@@ -130,6 +134,17 @@ const std::vector<FlagHelp>& canu_flags() {
        "backoff with jitter (default 0)"},
       {"--cache-file", "<file>",
        "serve: crash-safe result-cache journal, replayed on restart"},
+      {"--format", "<fmt>",
+       "metrics: output format, json (default) or prometheus"},
+      {"--recent", "[=n]",
+       "status: append the last n completed requests (default 20)"},
+      {"--interval-ms", "<n>", "top: refresh period (default 1000)"},
+      {"--count", "<n>", "top: frames to render before exiting (0 = forever)"},
+      {"--slow-log-ms", "<n>",
+       "serve: log requests slower than n ms as one JSON line each "
+       "(0 logs every request)"},
+      {"--slow-log", "<file>",
+       "serve: slow-request log destination (default stderr)"},
       {"--version", "", "print the canu build version and exit"},
   };
   return flags;

@@ -13,13 +13,17 @@
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "obs/version.hpp"
 #include "result_matchers.hpp"
 #include "svc/client.hpp"
@@ -786,6 +790,209 @@ TEST(ServerSocket, MalformedFrameGetsErrorResponseNotDeadDaemon) {
   req.verb = "ping";
   EXPECT_EQ(Client(endpoint).call(req).status, "ok");
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the metrics verb, request tracing, slow log, rollup agreement.
+
+Response execute_verb(Server& server, const std::string& verb,
+                      std::vector<std::string> args = {}) {
+  Request req;
+  req.verb = verb;
+  req.args = std::move(args);
+  return server.execute(req);
+}
+
+TEST(ServerTelemetry, MetricsVerbJsonRoundTrips) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");  // cache hit
+  EXPECT_EQ(execute_verb(server, "ping").status, "ok");
+
+  const Response resp = execute_verb(server, "metrics");
+  ASSERT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.exit_code, 0);
+  // metrics answers inline, never through admission (works under overload).
+  EXPECT_EQ(resp.server.admitted, 2u);  // version + ping only (hit is inline)
+
+  const obs::JsonValue doc = obs::JsonValue::parse(resp.output);
+  EXPECT_EQ(doc.at("canud").as_string(), obs::kVersion);
+  EXPECT_EQ(doc.at("totals").at("requests").as_u64(), 3u);
+  EXPECT_EQ(doc.at("totals").at("warm_hits").as_u64(), 1u);
+  EXPECT_EQ(doc.at("totals").at("rejections").as_u64(), 0u);
+  EXPECT_EQ(doc.at("gauges").at("capacity").as_u64(), 64u);
+  EXPECT_EQ(doc.at("windows").at("10s").at("requests").as_u64(), 3u);
+  const obs::JsonValue& version = doc.at("verbs").at("version");
+  EXPECT_EQ(version.at("count").as_u64(), 2u);
+  EXPECT_GE(version.at("total_ms").at("p999").as_number(),
+            version.at("total_ms").at("p50").as_number());
+  EXPECT_EQ(doc.at("verbs").at("ping").at("count").as_u64(), 1u);
+}
+
+TEST(ServerTelemetry, MetricsVerbPrometheusAndBadFormat) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+
+  const Response prom =
+      execute_verb(server, "metrics", {"--format=prometheus"});
+  ASSERT_EQ(prom.status, "ok");
+  EXPECT_NE(prom.output.find("# TYPE canud_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.output.find("canud_requests_total 1"), std::string::npos);
+  EXPECT_NE(prom.output.find("canud_request_seconds{verb=\"version\""),
+            std::string::npos);
+
+  const Response bad = execute_verb(server, "metrics", {"--format=xml"});
+  EXPECT_EQ(bad.status, "error");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.error.find("--format"), std::string::npos);
+}
+
+TEST(ServerTelemetry, RequestIdsUniqueAndThreadedIntoSpans) {
+  std::ostringstream os;
+  {
+    obs::Session* session = obs::Session::install(obs::SessionOptions{
+        /*metrics=*/true, /*spans=*/true});
+    {
+      Server server(ServerOptions{});
+      EXPECT_EQ(server.execute(evaluate_request()).status, "ok");
+      EXPECT_EQ(execute_verb(server, "version").status, "ok");
+    }
+    session->write_trace_events(os);
+    obs::Session::uninstall();
+  }
+
+  // Every request span carries a distinct "req" id, and the id propagates
+  // to the verb span and down into the evaluator's workload span.
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  std::set<std::uint64_t> request_ids;
+  std::set<std::uint64_t> verb_ids;
+  std::set<std::uint64_t> workload_ids;
+  for (const obs::JsonValue& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() != "X") continue;
+    const obs::JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+    const obs::JsonValue* req_id = args->find("req");
+    if (req_id == nullptr) continue;
+    const std::string& name = ev.at("name").as_string();
+    if (name.rfind("request ", 0) == 0) {
+      EXPECT_TRUE(request_ids.insert(req_id->as_u64()).second)
+          << "duplicate request id " << req_id->as_u64();
+    } else if (name.rfind("verb ", 0) == 0) {
+      verb_ids.insert(req_id->as_u64());
+    } else if (name.rfind("evaluate ", 0) == 0) {
+      workload_ids.insert(req_id->as_u64());
+    }
+  }
+  ASSERT_EQ(request_ids.size(), 2u);
+  for (const std::uint64_t id : verb_ids) {
+    EXPECT_TRUE(request_ids.count(id)) << "verb span has unknown req " << id;
+  }
+  ASSERT_FALSE(workload_ids.empty());
+  for (const std::uint64_t id : workload_ids) {
+    EXPECT_TRUE(request_ids.count(id))
+        << "workload span has unknown req " << id;
+  }
+}
+
+TEST(ServerTelemetry, StatusRecentListsCompletedRequests) {
+  Server server(ServerOptions{});
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+  EXPECT_EQ(execute_verb(server, "ping").status, "ok");
+
+  const Response resp = execute_verb(server, "status", {"--recent=10"});
+  ASSERT_EQ(resp.status, "ok");
+  EXPECT_NE(resp.output.find("recent requests"), std::string::npos);
+  EXPECT_NE(resp.output.find("version"), std::string::npos);
+  EXPECT_NE(resp.output.find("ping"), std::string::npos);
+  // New status rows.
+  EXPECT_NE(resp.output.find("queue_interactive"), std::string::npos);
+  EXPECT_NE(resp.output.find("result_cache_bytes"), std::string::npos);
+
+  const Response bad = execute_verb(server, "status", {"--recent=zero"});
+  EXPECT_EQ(bad.status, "error");
+  EXPECT_EQ(bad.exit_code, 1);
+}
+
+TEST(ServerTelemetry, RollupAgreesWithMetricsVerb) {
+  TempDir dir;
+  Server server(ServerOptions{});
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+  EXPECT_EQ(execute_verb(server, "ping").status, "ok");
+
+  const Response live = execute_verb(server, "metrics");
+  ASSERT_EQ(live.status, "ok");
+  const std::string rollup_path = dir.path + "/rollup.json";
+  server.write_rollup(rollup_path);
+  std::ifstream in(rollup_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // Both artifacts render from one TelemetrySnapshot type; the per-verb
+  // latency fields must agree exactly for requests recorded before either
+  // snapshot was taken.
+  const obs::JsonValue metrics = obs::JsonValue::parse(live.output);
+  const obs::JsonValue rollup = obs::JsonValue::parse(buf.str());
+  const obs::JsonValue& mv = metrics.at("verbs").at("version");
+  const obs::JsonValue& rv = rollup.at("verbs").at("version");
+  for (const char* key : {"count", "errors", "p50_ms", "p99_ms", "mean_ms"}) {
+    EXPECT_DOUBLE_EQ(mv.at(key).as_number(), rv.at(key).as_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(mv.at("total_ms").at("p999").as_number(),
+                   rv.at("total_ms").at("p999").as_number());
+  // The rollup keeps its legacy top-level keys for PR 5 consumers.
+  EXPECT_TRUE(rollup.find("cache_hit_ratio") != nullptr);
+  EXPECT_TRUE(rollup.find("totals") != nullptr);
+  EXPECT_TRUE(rollup.find("windows") != nullptr);
+}
+
+TEST(ServerTelemetry, SlowLogZeroThresholdLogsEveryRequest) {
+  TempDir dir;
+  ServerOptions options;
+  options.slow_log_ms = 0;  // log every request
+  options.slow_log_path = dir.path + "/slow.jsonl";
+  Server server(std::move(options));
+  EXPECT_EQ(execute_verb(server, "version").status, "ok");
+  EXPECT_EQ(execute_verb(server, "ping").status, "ok");
+
+  std::ifstream in(dir.path + "/slow.jsonl");
+  std::string line;
+  std::vector<obs::JsonValue> lines;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    lines.push_back(obs::JsonValue::parse(line));  // each line is one JSON doc
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].at("verb").as_string(), "version");
+  EXPECT_EQ(lines[1].at("verb").as_string(), "ping");
+  EXPECT_NE(lines[0].at("id").as_u64(), lines[1].at("id").as_u64());
+  for (const obs::JsonValue& doc : lines) {
+    EXPECT_GE(doc.at("total_ms").as_number(), 0.0);
+    EXPECT_GE(doc.at("run_ms").as_number(), 0.0);
+    EXPECT_FALSE(doc.at("cache").as_string().empty());
+  }
+}
+
+TEST(ServerTelemetry, EvaluateOutputUnchangedByActiveTelemetry) {
+  // The always-on telemetry and slow log must never perturb verb payloads:
+  // a daemon with every observer enabled answers bit-for-bit what the
+  // direct CLI path produces.
+  TempDir dir;
+  ServerOptions options;
+  options.slow_log_ms = 0;
+  options.slow_log_path = dir.path + "/slow.jsonl";
+  Server server(std::move(options));
+  const Request req = evaluate_request();
+  const std::string want = direct_verb_output(req);
+  const Response resp = server.execute(req);
+  ASSERT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, want);
+  // And the request really was traced.
+  EXPECT_EQ(execute_verb(server, "status", {"--recent"}).status, "ok");
+  std::ifstream in(dir.path + "/slow.jsonl");
+  std::string line;
+  EXPECT_TRUE(std::getline(in, line));
 }
 
 }  // namespace

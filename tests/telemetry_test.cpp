@@ -1,0 +1,287 @@
+// Tests for the always-on service telemetry primitives (obs/telemetry.hpp)
+// and the daemon-side registry (svc/telemetry.hpp): histogram bucket math
+// and quantiles against a sorted-sample oracle, sliding-window decay under
+// a fake clock, the request classification invariant, and the JSON /
+// Prometheus renderings.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "svc/telemetry.hpp"
+
+namespace canu {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::LatencySnapshot;
+using obs::RateWindow;
+
+TEST(LatencyBucketTest, ZeroAndSmallValues) {
+  EXPECT_EQ(obs::latency_bucket(0), 0u);
+  EXPECT_EQ(obs::latency_bucket_lower(0), 0u);
+  // Every value maps into a bucket whose [lower, upper) range contains it.
+  for (std::uint64_t v = 1; v < 4096; ++v) {
+    const unsigned b = obs::latency_bucket(v);
+    EXPECT_GE(v, obs::latency_bucket_lower(b)) << "v=" << v;
+    EXPECT_LT(v, obs::latency_bucket_upper(b)) << "v=" << v;
+  }
+}
+
+TEST(LatencyBucketTest, MonotoneAcrossMagnitudes) {
+  unsigned prev = 0;
+  for (int shift = 0; shift < 63; ++shift) {
+    const std::uint64_t v = std::uint64_t{1} << shift;
+    for (const std::uint64_t probe : {v, v + v / 3, v + v / 2}) {
+      const unsigned b = obs::latency_bucket(probe);
+      EXPECT_GE(b, prev) << "probe=" << probe;
+      EXPECT_LT(b, obs::kLatencyBuckets);
+      prev = b;
+    }
+  }
+}
+
+TEST(LatencyBucketTest, BoundsAlwaysOrdered) {
+  for (unsigned b = 0; b < obs::kLatencyBuckets; ++b) {
+    EXPECT_LT(obs::latency_bucket_lower(b), obs::latency_bucket_upper(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  const LatencySnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedOracle) {
+  // Log-uniform values spanning ~6 decades, the shape service latencies
+  // take. The histogram's interpolated quantile must stay within the
+  // sub-bucket resolution (1/16 relative) of the exact order statistic;
+  // assert a slightly looser 1/8 to absorb interpolation at bucket edges.
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t lcg = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit = static_cast<double>(lcg >> 11) / 9007199254740992.0;
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, 2 + 6 * unit));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const LatencySnapshot s = h.snapshot();
+  ASSERT_EQ(s.count, values.size());
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(q * values.size());
+    const double oracle = static_cast<double>(
+        values[std::min(rank, values.size() - 1)]);
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, oracle, oracle / 8.0) << "q=" << q;
+  }
+  const double mean_oracle =
+      static_cast<double>(std::accumulate(values.begin(), values.end(),
+                                          std::uint64_t{0})) /
+      static_cast<double>(values.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mean_oracle);  // sum/count is exact
+}
+
+TEST(LatencyHistogramTest, SnapshotMerge) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(100);
+  a.record(200);
+  b.record(400);
+  LatencySnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 700u);
+}
+
+TEST(RateWindowTest, SumCoversWindowAndDecays) {
+  RateWindow w;
+  // Ten events per second for seconds 100..109.
+  for (std::uint64_t s = 100; s < 110; ++s) w.record(s, 10);
+  EXPECT_EQ(w.sum(109, 10), 100u);
+  EXPECT_EQ(w.rate(109, 10), 10.0);
+  // Clock advances with no traffic: the events age out of the short
+  // window but stay in the long ones and in the monotonic total.
+  EXPECT_EQ(w.sum(125, 10), 0u);
+  EXPECT_EQ(w.sum(125, 60), 100u);
+  EXPECT_EQ(w.sum(125, 300), 100u);
+  EXPECT_EQ(w.total(), 100u);
+}
+
+TEST(RateWindowTest, WindowExcludesOlderSlots) {
+  RateWindow w;
+  w.record(50, 7);
+  w.record(100, 3);
+  // (90, 100] holds only the second burst.
+  EXPECT_EQ(w.sum(100, 10), 3u);
+  EXPECT_EQ(w.sum(100, 60), 10u);
+}
+
+TEST(RateWindowTest, RingWraparoundReclaimsSlots) {
+  RateWindow w;
+  w.record(5, 9);
+  // kSlots seconds later the same slot is reused; the stale count must not
+  // leak into the new second's sums.
+  const std::uint64_t later = 5 + RateWindow::kSlots;
+  w.record(later, 1);
+  EXPECT_EQ(w.sum(later, 10), 1u);
+  EXPECT_EQ(w.total(), 10u);
+}
+
+svc::RequestRecord make_record(std::uint64_t id, const std::string& verb,
+                               const std::string& status,
+                               const std::string& cache, double total_ms) {
+  svc::RequestRecord rec;
+  rec.id = id;
+  rec.verb = verb;
+  rec.status = status;
+  rec.cache = cache;
+  rec.wait_ms = total_ms / 4;
+  rec.run_ms = total_ms / 2;
+  rec.total_ms = total_ms;
+  return rec;
+}
+
+TEST(ServiceTelemetryTest, VerbSlots) {
+  EXPECT_EQ(svc::kTelemetryVerbs[svc::telemetry_verb_slot("evaluate")],
+            std::string("evaluate"));
+  EXPECT_EQ(svc::kTelemetryVerbs[svc::telemetry_verb_slot("metrics")],
+            std::string("metrics"));
+  // Unknown names land in the trailing "other" slot, never out of range.
+  EXPECT_EQ(svc::telemetry_verb_slot("no-such-verb"), svc::kVerbSlots - 1);
+  EXPECT_EQ(svc::telemetry_verb_slot(""), svc::kVerbSlots - 1);
+}
+
+TEST(ServiceTelemetryTest, ClassificationInvariant) {
+  svc::ServiceTelemetry t;
+  t.record(make_record(1, "version", "ok", "miss", 1.0));
+  t.record(make_record(2, "version", "ok", "hit", 0.1));
+  t.record(make_record(3, "evaluate", "error", "miss", 5.0));
+  t.record(make_record(4, "evaluate", "overloaded", "none", 0.0));
+  t.record(make_record(5, "mystery", "ok", "uncached", 0.2));
+  const svc::TelemetrySnapshot snap = t.snapshot(svc::GaugeSample{});
+  EXPECT_EQ(snap.requests, 5u);
+  EXPECT_EQ(snap.warm_hits, 1u);
+  EXPECT_EQ(snap.rejections, 1u);
+  EXPECT_EQ(snap.misses, 3u);
+  // Every answered request is exactly one of hit / miss / rejection.
+  EXPECT_EQ(snap.warm_hits + snap.misses, snap.requests - snap.rejections);
+  // Per-verb cells: version=2, evaluate=2 (one error), other=1.
+  ASSERT_EQ(snap.verbs.size(), 3u);
+  EXPECT_EQ(snap.verbs[0].verb, "evaluate");
+  EXPECT_EQ(snap.verbs[0].count, 2u);
+  EXPECT_EQ(snap.verbs[0].errors, 2u);  // "error" and "overloaded"
+  EXPECT_EQ(snap.verbs[1].verb, "version");
+  EXPECT_EQ(snap.verbs[1].errors, 0u);
+  EXPECT_EQ(snap.verbs[2].verb, "other");
+  EXPECT_EQ(snap.verbs[2].count, 1u);
+}
+
+TEST(ServiceTelemetryTest, RecentRingNewestFirstAndBounded) {
+  svc::ServiceTelemetry t;
+  const std::size_t n = svc::ServiceTelemetry::kRecentCapacity + 10;
+  for (std::size_t i = 1; i <= n; ++i) {
+    t.record(make_record(i, "version", "ok", "miss", 1.0));
+  }
+  const auto recent = t.recent(5);
+  ASSERT_EQ(recent.size(), 5u);
+  EXPECT_EQ(recent[0].id, n);  // newest first
+  EXPECT_EQ(recent[4].id, n - 4);
+  // Asking for more than the ring holds returns exactly the capacity.
+  EXPECT_EQ(t.recent(10 * n).size(), svc::ServiceTelemetry::kRecentCapacity);
+}
+
+svc::TelemetrySnapshot sample_snapshot() {
+  svc::ServiceTelemetry t;
+  t.record(make_record(1, "evaluate", "ok", "miss", 12.5));
+  t.record(make_record(2, "evaluate", "ok", "hit", 0.3));
+  t.record(make_record(3, "version", "error", "uncached", 0.1));
+  svc::GaugeSample g;
+  g.queue_interactive = 1;
+  g.queue_batch = 2;
+  g.in_flight = 3;
+  g.capacity = 64;
+  g.result_cache_entries = 7;
+  g.result_cache_bytes = 4242;
+  g.journal_bytes = 999;
+  g.threads = 4;
+  svc::TelemetrySnapshot snap = t.snapshot(g);
+  snap.version = "test-version";
+  return snap;
+}
+
+TEST(TelemetrySnapshotTest, JsonRoundTrips) {
+  const svc::TelemetrySnapshot snap = sample_snapshot();
+  std::ostringstream os;
+  snap.write_json(os);
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("canud").as_string(), "test-version");
+  EXPECT_EQ(doc.at("totals").at("requests").as_u64(), 3u);
+  EXPECT_EQ(doc.at("totals").at("warm_hits").as_u64(), 1u);
+  EXPECT_EQ(doc.at("gauges").at("capacity").as_u64(), 64u);
+  EXPECT_EQ(doc.at("gauges").at("result_cache_bytes").as_u64(), 4242u);
+  EXPECT_EQ(doc.at("gauges").at("journal_bytes").as_u64(), 999u);
+  // All three windows render, each internally consistent.
+  for (const char* key : {"10s", "60s", "300s"}) {
+    const obs::JsonValue& win = doc.at("windows").at(key);
+    EXPECT_EQ(win.at("requests").as_u64(), 3u) << key;
+    // 1 hit / (1 hit + 2 misses — "uncached" classifies as a miss).
+    EXPECT_NEAR(win.at("warm_hit_ratio").as_number(), 1.0 / 3.0, 1e-9) << key;
+  }
+  const obs::JsonValue& eval = doc.at("verbs").at("evaluate");
+  EXPECT_EQ(eval.at("count").as_u64(), 2u);
+  EXPECT_EQ(eval.at("errors").as_u64(), 0u);
+  // Legacy keys and the quantile objects agree with each other.
+  EXPECT_NEAR(eval.at("p50_ms").as_number(),
+              eval.at("total_ms").at("p50").as_number(), 1e-9);
+  EXPECT_GE(eval.at("total_ms").at("p99").as_number(),
+            eval.at("total_ms").at("p50").as_number());
+  // p50 of {0.3 ms, 12.5 ms} is the lower sample, within bucket resolution.
+  EXPECT_NEAR(eval.at("p50_ms").as_number(), 0.3, 0.3 / 8);
+}
+
+TEST(TelemetrySnapshotTest, PrometheusExposition) {
+  const svc::TelemetrySnapshot snap = sample_snapshot();
+  std::ostringstream os;
+  snap.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE canud_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("canud_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("canud_rps{window=\"10s\"} 0.3"), std::string::npos);
+  EXPECT_NE(text.find("canud_queue_depth{class=\"batch\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("canud_request_seconds{verb=\"evaluate\",quantile="),
+            std::string::npos);
+  EXPECT_NE(text.find("canud_request_seconds_count{verb=\"evaluate\"} 2"),
+            std::string::npos);
+  // Exposition grammar: every non-comment line is `name{labels} value` with
+  // a parseable number.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW({
+      std::stod(line.substr(space + 1));
+    }) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.compare(0, 6, "canud_"), 0) << line;
+  }
+}
+
+}  // namespace
+}  // namespace canu

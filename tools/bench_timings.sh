@@ -12,16 +12,23 @@
 # run as independent processes; `grid_speedup` = singles / grid), plus
 # the PR 7 sampled-replay rows (`evaluate mibench all` at scale 1.0,
 # exact vs `--sample`, both on a warm trace cache;
-# `sampled_speedup` = exact / sampled), and
+# `sampled_speedup` = exact / sampled), plus the PR 8 telemetry-overhead
+# rows (warm server throughput with the always-on telemetry live vs a
+# CANU_OBS_DISABLED build of the same tree, when one is supplied via
+# CANU_OBS_DISABLED_BUILD_DIR; `telemetry_overhead_pct` = how much warm
+# rps the live telemetry costs), and
 # writes one JSON object per configuration to the output file (default
-# BENCH_PR7.json). Timings are wall-clock seconds measured around the
+# BENCH_PR8.json). Timings are wall-clock seconds measured around the
 # whole process. A run manifest with the engine's internal counters
 # (trace-cache traffic, chunk handoffs, stall time) is captured from an
 # instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
-OUT=${2:-BENCH_PR7.json}
+OUT=${2:-BENCH_PR8.json}
+# Optional second build tree configured with -DCANU_OBS_DISABLED=ON; when
+# set, the telemetry-overhead comparison rows are emitted.
+OBS_DISABLED_DIR=${CANU_OBS_DISABLED_BUILD_DIR:-}
 CACHE_DIR=$(mktemp -d)
 SOCK_DIR=$(mktemp -d)
 SERVE_PID=
@@ -133,15 +140,20 @@ SERVE_PID=$!
 i=0
 while [ ! -S "$SOCK" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
 
-# 4 workloads x 8 schemes/verbs = 32 requests per pass.
+# 4 workloads x 8 schemes/verbs = 32 requests per pass. MIX_CANU/MIX_SOCK
+# select the client binary and daemon (the overhead rows below swap in the
+# obs-disabled build).
+MIX_CANU="$CANU"
 submit_mix() {
   for w in crc qsort sha fft; do
     for s in modulo xor odd_multiplier prime_modulo givargis 2way victim \
              partner; do
-      "$CANU" submit run "$w" "$s" --scale=0.125 --socket="$SOCK" > /dev/null
+      "$MIX_CANU" submit run "$w" "$s" --scale=0.125 --socket="$MIX_SOCK" \
+        > /dev/null
     done
   done
 }
+MIX_SOCK="$SOCK"
 
 # measure_server <name> <cache-state>: 32-request batch, derive req/s.
 measure_server() {
@@ -159,9 +171,43 @@ measure_server() {
 measure_server server_mixed_submits cold; sep
 measure_server server_mixed_submits warm
 
+# Telemetry overhead: warm result-cache throughput prices the fixed
+# per-request cost (histograms, windows, ring push) with no simulation
+# noise. Compare the live daemon against a -DCANU_OBS_DISABLED=ON build.
+start=$(date +%s%N); submit_mix; end=$(date +%s%N)
+LIVE_WARM_NS=$((end - start))
+
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || true
 SERVE_PID=
+
+if [ -n "$OBS_DISABLED_DIR" ]; then
+  CANU_OFF="$OBS_DISABLED_DIR/tools/canu"
+  [ -x "$CANU_OFF" ] || {
+    echo "no obs-disabled canu at $CANU_OFF" >&2
+    exit 2
+  }
+  MIX_SOCK="$SOCK_DIR/canud_off.sock"
+  "$CANU_OFF" serve --socket="$MIX_SOCK" 2> /dev/null &
+  SERVE_PID=$!
+  i=0
+  while [ ! -S "$MIX_SOCK" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+  MIX_CANU="$CANU_OFF"
+  submit_mix  # cold pass primes the result cache
+  start=$(date +%s%N); submit_mix; end=$(date +%s%N)
+  OFF_WARM_NS=$((end - start))
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || true
+  SERVE_PID=
+  sep
+  awk -v live="$LIVE_WARM_NS" -v off="$OFF_WARM_NS" 'BEGIN {
+    live_s = live / 1e9; off_s = off / 1e9
+    printf "  {\"bench\": \"server_warm_telemetry_on\", \"requests\": 32, \"cache\": \"warm\", \"wall_s\": %.3f, \"rps\": %.1f},\n",
+           live_s, 32 / live_s
+    printf "  {\"bench\": \"server_warm_telemetry_off\", \"requests\": 32, \"cache\": \"warm\", \"wall_s\": %.3f, \"rps\": %.1f, \"telemetry_overhead_pct\": %.2f}",
+           off_s, 32 / off_s, (live_s - off_s) * 100.0 / off_s
+  }' >> "$OUT.tmp"
+fi
 
 printf '\n]\n' >> "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"

@@ -11,14 +11,21 @@
 //   canu serve    run the canud daemon on a Unix socket and/or TCP port
 //   canu submit   send one request to a daemon, print its reply verbatim
 //   canu status   print a daemon's admission/result-cache counters
+//   canu metrics  print a daemon's live telemetry (JSON or Prometheus)
+//   canu top      poll metrics and render a refreshing dashboard
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/version.hpp"
 #include "svc/client.hpp"
@@ -27,6 +34,7 @@
 #include "trace/trace_io.hpp"
 #include "util/cli_flags.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -57,6 +65,13 @@ struct CliArgs {
   std::uint64_t timeout_ms = 0;  ///< server-enforced deadline (0 = none)
   unsigned retry = 0;            ///< extra submit attempts on overload
   std::string cache_file;        ///< serve: persistent result journal
+  std::string format;            ///< metrics: json (default) | prometheus
+  bool recent = false;           ///< status: append the request-trace ring
+  std::string recent_n;          ///< --recent=N value ("" = server default)
+  std::uint64_t interval_ms = 1000;  ///< top: refresh period
+  std::uint64_t top_count = 0;       ///< top: frames to render (0 = forever)
+  long long slow_log_ms = -1;        ///< serve: slow-request threshold
+  std::string slow_log_path;         ///< serve: slow-log file ("" = stderr)
 };
 
 [[noreturn]] void die_flag(const std::string& error) {
@@ -147,6 +162,34 @@ CliArgs parse(int argc, char** argv) {
     } else if (flag_value(arg, "--cache-file", &value)) {
       if (value.empty()) die_flag("--cache-file needs a file path");
       args.cache_file = value;
+    } else if (flag_value(arg, "--format", &value)) {
+      if (value != "json" && value != "prometheus") {
+        die_flag("invalid --format value '" + value +
+                 "' (json or prometheus)");
+      }
+      args.format = value;
+    } else if (arg == "--recent") {
+      args.recent = true;
+    } else if (flag_value(arg, "--recent", &value)) {
+      const auto v = parse_u64(value, "--recent value", &error);
+      if (!v || *v == 0) die_flag("--recent needs a positive integer");
+      args.recent = true;
+      args.recent_n = value;
+    } else if (flag_value(arg, "--interval-ms", &value)) {
+      const auto v = parse_u64(value, "--interval-ms value", &error);
+      if (!v || *v == 0) die_flag("--interval-ms needs a positive integer");
+      args.interval_ms = *v;
+    } else if (flag_value(arg, "--count", &value)) {
+      const auto v = parse_u64(value, "--count value", &error);
+      if (!v) die_flag(error);
+      args.top_count = *v;
+    } else if (flag_value(arg, "--slow-log-ms", &value)) {
+      const auto v = parse_u64(value, "--slow-log-ms value", &error);
+      if (!v) die_flag(error);
+      args.slow_log_ms = static_cast<long long>(*v);
+    } else if (flag_value(arg, "--slow-log", &value)) {
+      if (value.empty()) die_flag("--slow-log needs a file path");
+      args.slow_log_path = value;
     } else if (arg.rfind("--", 0) == 0) {
       die_flag("unknown option '" + arg + "'");
     } else {
@@ -192,6 +235,19 @@ svc::Request to_request(const CliArgs& args, std::size_t skip = 1) {
     if (!args.max_error.empty()) {
       req.args.push_back("--max-error=" + args.max_error);
     }
+  }
+  if (!args.format.empty()) {
+    if (req.verb != "metrics") {
+      die_flag("--format is only supported by the metrics verb");
+    }
+    req.args.push_back("--format=" + args.format);
+  }
+  if (args.recent) {
+    if (req.verb != "status") {
+      die_flag("--recent is only supported by the status verb");
+    }
+    req.args.push_back(args.recent_n.empty() ? std::string("--recent")
+                                             : "--recent=" + args.recent_n);
   }
   req.params = args.params;
   req.threads = args.threads;
@@ -273,7 +329,92 @@ int cmd_status(const CliArgs& args) {
   const svc::Client client(endpoint_from(args));
   svc::Request req;
   req.verb = "status";
+  if (args.recent) {
+    req.args.push_back(args.recent_n.empty() ? std::string("--recent")
+                                             : "--recent=" + args.recent_n);
+  }
   return finish_remote(client.call(req), args);
+}
+
+int cmd_metrics(const CliArgs& args) {
+  const svc::Client client(endpoint_from(args));
+  svc::Request req;
+  req.verb = "metrics";
+  if (!args.format.empty()) req.args.push_back("--format=" + args.format);
+  return finish_remote(client.call(req), args);
+}
+
+// ---------------------------------------------------------------------------
+// canu top: poll the metrics verb and render a refreshing dashboard.
+
+void render_top_frame(const obs::JsonValue& doc, std::ostream& os) {
+  const auto num = [](const obs::JsonValue& v, const char* key) {
+    const obs::JsonValue* m = v.find(key);
+    return m != nullptr && m->is_number() ? m->as_number() : 0.0;
+  };
+  os << "canud " << doc.at("canud").as_string() << "  uptime "
+     << std::fixed << std::setprecision(0) << num(doc, "uptime_s") << "s\n";
+  const obs::JsonValue& totals = doc.at("totals");
+  os << "requests " << std::setprecision(0) << num(totals, "requests")
+     << "  warm_hits " << num(totals, "warm_hits") << "  misses "
+     << num(totals, "misses") << "  rejections " << num(totals, "rejections")
+     << "\n";
+  const obs::JsonValue& gauges = doc.at("gauges");
+  os << "in_flight " << num(gauges, "in_flight") << "/"
+     << num(gauges, "capacity") << "  queue int/batch "
+     << num(gauges, "queue_interactive") << "/" << num(gauges, "queue_batch")
+     << "  cache " << num(gauges, "result_cache_entries") << " entries, "
+     << num(gauges, "result_cache_bytes") << " bytes\n\n";
+
+  TextTable windows;
+  windows.set_header({"window", "rps", "hit_ratio", "reject_rate"});
+  for (const char* key : {"10s", "60s", "300s"}) {
+    const obs::JsonValue* win = doc.at("windows").find(key);
+    if (win == nullptr) continue;
+    windows.add_row({key, TextTable::num(num(*win, "rps"), 2),
+                     TextTable::num(num(*win, "warm_hit_ratio"), 3),
+                     TextTable::num(num(*win, "rejection_rate"), 3)});
+  }
+  windows.print(os);
+  os << "\n";
+
+  TextTable verbs;
+  verbs.set_header(
+      {"verb", "count", "errors", "p50_ms", "p99_ms", "mean_ms"});
+  for (const auto& [verb, v] : doc.at("verbs").as_object()) {
+    verbs.add_row({verb, TextTable::num(num(v, "count"), 0),
+                   TextTable::num(num(v, "errors"), 0),
+                   TextTable::num(num(v, "p50_ms"), 3),
+                   TextTable::num(num(v, "p99_ms"), 3),
+                   TextTable::num(num(v, "mean_ms"), 3)});
+  }
+  verbs.print(os);
+}
+
+int cmd_top(const CliArgs& args) {
+  const svc::Client client(endpoint_from(args));
+  const bool tty = isatty(STDOUT_FILENO) != 0;
+  svc::Request req;
+  req.verb = "metrics";
+  for (std::uint64_t frame = 0;
+       args.top_count == 0 || frame < args.top_count; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.interval_ms));
+    }
+    const svc::Response resp = client.call(req);
+    if (resp.exit_code != 0) {
+      std::cerr << resp.error;
+      return resp.exit_code;
+    }
+    std::ostringstream out;
+    render_top_frame(obs::JsonValue::parse(resp.output), out);
+    // Home + clear-to-end keeps a steady frame without flicker; when piped,
+    // frames simply concatenate.
+    if (tty) std::cout << "\x1b[H\x1b[J";
+    std::cout << out.str() << std::flush;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +455,8 @@ int cmd_serve(const CliArgs& args) {
   opt.queue_capacity = args.queue_capacity;
   opt.result_cache_entries = args.result_cache_entries;
   opt.cache_file = args.cache_file;
+  opt.slow_log_ms = args.slow_log_ms;
+  opt.slow_log_path = args.slow_log_path;
   if (opt.unix_socket.empty() && opt.tcp_port < 0) {
     std::cerr << "canu serve needs --socket=<path> and/or --port=<n>\n";
     print_verb_usage(std::cerr, "serve");
@@ -396,6 +539,10 @@ int main(int argc, char** argv) {
       rc = cmd_submit(args);
     } else if (cmd == "status") {
       rc = cmd_status(args);
+    } else if (cmd == "metrics") {
+      rc = cmd_metrics(args);
+    } else if (cmd == "top") {
+      rc = cmd_top(args);
     } else if (svc::verb_is_servable(cmd)) {
       svc::VerbOptions options;
       options.progress = args.progress;

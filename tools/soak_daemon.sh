@@ -104,6 +104,47 @@ kill -HUP "$SERVE_PID"
 for _ in $(seq 1 50); do [ -s "$ROLLUP" ] && break; sleep 0.1; done
 python3 -m json.tool "$ROLLUP" > /dev/null || fail "SIGHUP rollup unparseable"
 
+# Mid-soak live telemetry: the metrics verb must answer both formats while
+# the daemon is under load, the JSON must show live traffic, and the
+# Prometheus exposition must obey the text-format grammar.
+$CLIENT "$CANU" metrics --socket="$SOCK" > "$WORK/metrics.json" \
+  || fail "metrics verb (json) failed mid-soak"
+$CLIENT "$CANU" metrics --socket="$SOCK" --format=prometheus \
+  > "$WORK/metrics.prom" || fail "metrics verb (prometheus) failed mid-soak"
+python3 - "$WORK/metrics.json" "$WORK/metrics.prom" << 'EOF' \
+  || fail "mid-soak metrics assertions failed"
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+totals = m["totals"]
+# Classification invariant: every answered request is exactly one of
+# warm hit / miss / rejection (monotonic totals, so this is exact).
+assert totals["warm_hits"] + totals["misses"] == \
+    totals["requests"] - totals["rejections"], f"totals disagree: {totals}"
+assert m["windows"]["10s"]["rps"] > 0, "no traffic in the 10s window mid-soak"
+for verb, stats in m["verbs"].items():
+    t = stats["total_ms"]
+    assert t["p99"] >= t["p50"] >= 0, f"{verb}: non-monotone quantiles {t}"
+
+with open(sys.argv[2]) as f:
+    prom_lines = f.read().splitlines()
+samples = 0
+for line in prom_lines:
+    if not line or line.startswith("#"):
+        continue
+    name_labels, _, value = line.rpartition(" ")
+    float(value)  # every sample value parses as a number
+    assert name_labels.startswith("canud_"), f"bad metric name: {line}"
+    samples += 1
+assert samples > 10, f"suspiciously thin exposition ({samples} samples)"
+rps = [line for line in prom_lines if line.startswith('canud_rps{window="10s"}')]
+assert rps and float(rps[0].rpartition(" ")[2]) > 0, "prometheus rps_10s == 0"
+print(f"soak: mid-soak metrics OK ({samples} prometheus samples,"
+      f" {totals['requests']} requests so far)")
+EOF
+
 wait "$BATCH" "$INTERACTIVE" "$DEADLINE"
 
 kill -TERM "$SERVE_PID"
