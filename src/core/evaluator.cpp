@@ -713,10 +713,22 @@ void GridReport::print_sampling(std::ostream& os) const {
   }
 }
 
-void GridReport::print(std::ostream& os) const {
-  miss_rate_table().print(os);
+std::string GridReport::workload_section(const std::string& workload) const {
+  std::ostringstream os;
+  ComparisonTable table("workload " + workload +
+                        " (grid cells: % L1 miss rate, AMAT cycles)");
+  for (const std::string& c : cell_labels) {
+    if (const RunResult* r = run(workload, c)) {
+      table.set(c, "miss%", 100.0 * r->miss_rate());
+      table.set(c, "amat", r->amat);
+    }
+  }
+  table.print(os);
   os << '\n';
-  amat_table().print(os);
+  return std::move(os).str();
+}
+
+void GridReport::print_tail(std::ostream& os) const {
   for (const std::string& s : skipped) {
     os << "skipped: " << s << '\n';
   }
@@ -724,6 +736,11 @@ void GridReport::print(std::ostream& os) const {
     os << '\n';
     print_sampling(os);
   }
+}
+
+void GridReport::print(std::ostream& os) const {
+  for (const std::string& w : workloads) os << workload_section(w);
+  print_tail(os);
 }
 
 GridReport Evaluator::evaluate_grid(
@@ -781,6 +798,7 @@ GridReport Evaluator::evaluate_grid(
     session->record_eval_config(std::move(cfg));
   }
   std::size_t workloads_done = 0;
+  std::size_t next_emit = 0;  ///< next workload index owed to grid_sink
 
   std::optional<TraceCache> cache;
   if (!options_.trace_cache_dir.empty()) {
@@ -851,6 +869,19 @@ GridReport Evaluator::evaluate_grid(
     ++workloads_done;
     if (options_.progress) {
       options_.progress(workloads_done, workload_names.size(), wname);
+    }
+    if (options_.grid_sink) {
+      // Emit finished sections in workload order: a workload that completes
+      // out of order waits (already rendered into the report) until its
+      // predecessors land, so streamed output equals print() byte-for-byte.
+      // A workload's runs land atomically under this lock, so the presence
+      // of its first cell means the whole section is ready.
+      while (next_emit < workload_names.size() &&
+             report.runs.count({workload_names[next_emit],
+                                report.cell_labels.front()}) != 0) {
+        options_.grid_sink(report.workload_section(workload_names[next_emit]));
+        ++next_emit;
+      }
     }
   };
   if (pool_ptr != nullptr) {

@@ -75,6 +75,14 @@ struct EvalOptions {
   /// callbacks are serialized): (done, total, workload just finished).
   /// Null disables progress reporting.
   std::function<void(std::size_t, std::size_t, const std::string&)> progress;
+  /// Streamed grid output (DESIGN.md §16): when set, evaluate_grid hands
+  /// each workload's finished section (GridReport::workload_section) to
+  /// this sink IN WORKLOAD ORDER as soon as it and all its predecessors
+  /// complete — the first section arrives after one workload instead of
+  /// after the whole sweep. Called under the report lock (serialized);
+  /// the concatenated sections plus GridReport::print_tail() equal
+  /// GridReport::print() byte-for-byte. Ignored by evaluate().
+  std::function<void(const std::string&)> grid_sink;
   /// Cooperative cancellation token (borrowed; null = none), polled at
   /// workload start and at every replay chunk boundary. A fired token
   /// unwinds evaluate() with canu::Cancelled; completed results are
@@ -144,8 +152,17 @@ struct GridReport {
   bool any_sampled() const;
   void print_sampling(std::ostream& os) const;
 
-  /// Render both metric tables plus any skipped-row notes and, for sampled
-  /// sweeps, the per-run CI/provenance annotations.
+  /// One workload's rendered section: a table with the grid cells as rows
+  /// and miss% / AMAT as columns. Sections depend only on that workload's
+  /// runs, which is what lets evaluate_grid stream them (EvalOptions::
+  /// grid_sink) before the sweep finishes.
+  std::string workload_section(const std::string& workload) const;
+  /// Everything after the per-workload sections: skipped-cell notes and,
+  /// for sampled sweeps, the per-run CI/provenance annotations.
+  void print_tail(std::ostream& os) const;
+
+  /// Render every workload section in order, then the tail — byte-equal to
+  /// what a grid_sink consumer assembles incrementally.
   void print(std::ostream& os) const;
 };
 

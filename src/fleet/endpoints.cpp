@@ -1,0 +1,101 @@
+#include "fleet/endpoints.hpp"
+
+#include <algorithm>
+
+#include "svc/socket.hpp"
+#include "util/cli_flags.hpp"
+#include "util/error.hpp"
+
+namespace canu::fleet {
+
+namespace {
+
+svc::Endpoint unix_endpoint(const std::string& path,
+                            const std::string& token) {
+  CANU_CHECK_MSG(!path.empty(), "endpoint '" << token
+                                             << "' has an empty socket path");
+  svc::resolve_unix(path);  // validates length/abstract form; throws if bad
+  svc::Endpoint ep;
+  ep.unix_path = path;
+  return ep;
+}
+
+svc::Endpoint tcp_endpoint(const std::string& hostport,
+                           const std::string& token) {
+  std::string host;
+  std::string port_text;
+  if (!hostport.empty() && hostport[0] == '[') {
+    // Bracketed IPv6: [::1]:7070 — the only unambiguous way to attach a
+    // port to a multi-colon literal.
+    const std::size_t close = hostport.find(']');
+    CANU_CHECK_MSG(close != std::string::npos,
+                   "endpoint '" << token << "' has an unterminated '['");
+    host = hostport.substr(1, close - 1);
+    CANU_CHECK_MSG(close + 1 < hostport.size() && hostport[close + 1] == ':',
+                   "endpoint '" << token << "' needs ':port' after ']'");
+    port_text = hostport.substr(close + 2);
+  } else {
+    const std::size_t colon = hostport.rfind(':');
+    CANU_CHECK_MSG(colon != std::string::npos,
+                   "endpoint '" << token
+                                << "' needs a port (host:port) or a Unix "
+                                   "path (/path or @name)");
+    host = hostport.substr(0, colon);
+    // A second colon means a bare IPv6 literal swallowed the port split.
+    CANU_CHECK_MSG(host.find(':') == std::string::npos,
+                   "endpoint '" << token << "' is ambiguous: bracket IPv6 "
+                                << "literals as [" << host << "]:port");
+    port_text = hostport.substr(colon + 1);
+  }
+  std::string error;
+  const auto port = parse_u64(port_text, "endpoint port", &error);
+  CANU_CHECK_MSG(port && *port >= 1 && *port <= 65535,
+                 "endpoint '" << token << "' has an invalid port '"
+                              << port_text << "' (want 1..65535)");
+  // Validates the literal exactly as connect/bind would; throws if bad.
+  svc::resolve_tcp(host, static_cast<std::uint16_t>(*port));
+  svc::Endpoint ep;
+  ep.host = host;
+  ep.port = static_cast<int>(*port);
+  return ep;
+}
+
+}  // namespace
+
+svc::Endpoint parse_endpoint(const std::string& token) {
+  CANU_CHECK_MSG(!token.empty(), "empty endpoint token");
+  if (token.rfind("unix:", 0) == 0) {
+    return unix_endpoint(token.substr(5), token);
+  }
+  if (token[0] == '/' || token[0] == '@') return unix_endpoint(token, token);
+  if (token.rfind("tcp:", 0) == 0) return tcp_endpoint(token.substr(4), token);
+  return tcp_endpoint(token, token);
+}
+
+std::vector<svc::Endpoint> parse_endpoint_list(const std::string& csv) {
+  std::vector<svc::Endpoint> endpoints;
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    CANU_CHECK_MSG(!token.empty(),
+                   "empty endpoint in list '" << csv << "'");
+    svc::Endpoint ep = parse_endpoint(token);
+    const std::string name = endpoint_name(ep);
+    CANU_CHECK_MSG(std::find(names.begin(), names.end(), name) == names.end(),
+                   "duplicate endpoint '" << name << "' in list");
+    names.push_back(name);
+    endpoints.push_back(std::move(ep));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  CANU_CHECK_MSG(!endpoints.empty(), "endpoint list is empty");
+  return endpoints;
+}
+
+std::string endpoint_name(const svc::Endpoint& ep) { return ep.describe(); }
+
+}  // namespace canu::fleet

@@ -1,0 +1,36 @@
+// Endpoint-list parsing for the fleet layer: one comma-separated
+// `--endpoints`/`--peers` flag mixing every address form the daemon can
+// listen on — filesystem Unix sockets, '@'-prefixed abstract-namespace
+// sockets, IPv4 host:port, and bracketed IPv6 ([::1]:7070). Validation
+// reuses the svc socket-layer parsers (resolve_unix/resolve_tcp), so a
+// token the fleet accepts is exactly a token the daemon can bind or the
+// client can connect — no second address grammar.
+//
+// Canonical names: endpoint_name() returns Endpoint::describe()
+// ("unix:/run/a.sock", "tcp:::1:7070" with brackets stripped), the string
+// both clients and daemons feed to the hash ring — identical lists parse
+// to identical rings everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+
+namespace canu::fleet {
+
+/// Parse one endpoint token. Accepted forms:
+///   /path/to.sock   @abstract    unix:/path    unix:@abstract
+///   host:port       [v6]:port    tcp:host:port tcp:[v6]:port
+/// Throws canu::Error on anything else (missing port, bad literal, bare
+/// IPv6 without brackets, port outside 1..65535).
+svc::Endpoint parse_endpoint(const std::string& token);
+
+/// Parse a comma-separated endpoint list; rejects empty lists, empty
+/// tokens, and duplicate endpoints (same canonical name).
+std::vector<svc::Endpoint> parse_endpoint_list(const std::string& csv);
+
+/// The endpoint's canonical ring name (Endpoint::describe()).
+std::string endpoint_name(const svc::Endpoint& ep);
+
+}  // namespace canu::fleet

@@ -1,0 +1,117 @@
+#include "fleet/fleet_client.hpp"
+
+#include <memory>
+
+#include "fleet/endpoints.hpp"
+#include "svc/verbs.hpp"
+#include "util/error.hpp"
+
+namespace canu::fleet {
+
+FleetClient::FleetClient(std::vector<svc::Endpoint> endpoints,
+                         FleetOptions options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      ring_(options.vnodes) {
+  CANU_CHECK_MSG(!endpoints_.empty(), "fleet client needs >= 1 endpoint");
+  for (const svc::Endpoint& ep : endpoints_) {
+    std::string name = endpoint_name(ep);
+    CANU_CHECK_MSG(!ring_.contains(name), "duplicate endpoint " << name);
+    ring_.add(name);
+    names_.push_back(std::move(name));
+  }
+}
+
+const svc::Endpoint& FleetClient::endpoint_of(std::string_view shard) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == shard) return endpoints_[i];
+  }
+  throw Error("unknown fleet shard '" + std::string(shard) + "'");
+}
+
+const std::string& FleetClient::owner_for(const svc::Request& req) const {
+  // Uncacheable verbs (ping, status, metrics) have no canonical result key;
+  // routing them by verb name still spreads them deterministically.
+  return ring_.owner(svc::verb_is_cacheable(req.verb)
+                         ? svc::canonical_request_key(req)
+                         : req.verb);
+}
+
+svc::Response FleetClient::call(const svc::Request& req,
+                                std::string* shard_used) const {
+  return dispatch(req, nullptr, shard_used);
+}
+
+svc::Response FleetClient::call_streamed(
+    const svc::Request& req,
+    const std::function<void(std::string_view)>& sink,
+    std::string* shard_used) const {
+  return dispatch(req, &sink, shard_used);
+}
+
+svc::Response FleetClient::dispatch(
+    const svc::Request& req,
+    const std::function<void(std::string_view)>* sink,
+    std::string* shard_used) const {
+  const std::string key = svc::verb_is_cacheable(req.verb)
+                              ? svc::canonical_request_key(req)
+                              : req.verb;
+  const std::vector<std::string> order = ring_.owners(key, ring_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const bool last = i + 1 == order.size();
+    const svc::Client client(endpoint_of(order[i]));
+    try {
+      svc::Response resp =
+          sink != nullptr
+              ? client.call_streamed(req, *sink, options_.retry)
+              : client.call_with_retry(req, options_.retry);
+      if (shard_used != nullptr) *shard_used = order[i];
+      return resp;
+    } catch (const Error& e) {
+      // Shard down (connect refused / died mid-call): advance along the
+      // ring. The last candidate's failure is the fleet's failure.
+      if (last) {
+        throw Error("no fleet shard reachable for this request (last tried " +
+                    order[i] + "): " + e.what());
+      }
+    }
+  }
+  throw Error("fleet ring is empty");  // unreachable: ctor requires >= 1
+}
+
+std::function<std::optional<svc::Endpoint>(const std::string&)> make_router(
+    const std::vector<svc::Endpoint>& peers, const std::string& self_name,
+    unsigned vnodes) {
+  struct Ring {
+    HashRing ring;
+    std::vector<std::string> names;
+    std::vector<svc::Endpoint> endpoints;
+    std::string self;
+  };
+  auto shared = std::make_shared<Ring>();
+  shared->ring = HashRing(vnodes);
+  shared->self = self_name;
+  bool self_found = false;
+  for (const svc::Endpoint& ep : peers) {
+    std::string name = endpoint_name(ep);
+    CANU_CHECK_MSG(!shared->ring.contains(name),
+                   "duplicate peer endpoint " << name);
+    if (name == self_name) self_found = true;
+    shared->ring.add(name);
+    shared->names.push_back(std::move(name));
+    shared->endpoints.push_back(ep);
+  }
+  CANU_CHECK_MSG(self_found, "--peers must include this daemon's own "
+                             "endpoint ("
+                                 << self_name << ")");
+  return [shared](const std::string& key) -> std::optional<svc::Endpoint> {
+    const std::string& owner = shared->ring.owner(key);
+    if (owner == shared->self) return std::nullopt;
+    for (std::size_t i = 0; i < shared->names.size(); ++i) {
+      if (shared->names[i] == owner) return shared->endpoints[i];
+    }
+    return std::nullopt;  // unreachable: ring only holds peer names
+  };
+}
+
+}  // namespace canu::fleet

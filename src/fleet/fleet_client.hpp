@@ -1,0 +1,87 @@
+// Fleet-aware client (DESIGN.md §16): routes each request to the shard
+// owning its canonical 128-bit key on the consistent-hash ring, and fails
+// over along the ring's succession order when a shard is down — the same
+// ring the daemons build from `--peers`, so client-side routing and the
+// server-side `route` forward always agree.
+//
+// Failover contract: transport failures (connect refused, connection died
+// mid-call) advance to the next distinct shard after exhausting the
+// per-shard retry policy; server-side outcomes (verb errors, overloaded
+// after retries, deadline_exceeded) are real answers and return as-is.
+// A non-owner shard reached via failover serves the request itself (its
+// own forward to the dead owner fails and it falls back to local
+// execution), so a fleet with any live shard still answers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleet/hash_ring.hpp"
+#include "svc/client.hpp"
+
+namespace canu::fleet {
+
+struct FleetOptions {
+  unsigned vnodes = HashRing::kDefaultVnodes;
+  /// Per-shard retry policy (svc::RetryPolicy semantics); failover to the
+  /// next shard happens after one shard's attempts are exhausted.
+  svc::RetryPolicy retry;
+};
+
+class FleetClient {
+ public:
+  explicit FleetClient(std::vector<svc::Endpoint> endpoints,
+                       FleetOptions options = {});
+
+  /// Route `req` by canonical key and call the owning shard, failing over
+  /// along the ring on transport errors. `shard_used` (optional) reports
+  /// the canonical name of the shard that answered. Throws canu::Error
+  /// when every shard is unreachable.
+  svc::Response call(const svc::Request& req,
+                     std::string* shard_used = nullptr) const;
+
+  /// Streaming variant: chunk frames are handed to `sink` as they arrive
+  /// and the end-of-stream response is returned; Response.output carries
+  /// only the bytes not already delivered as chunks, so
+  /// chunks + Response.output == the verb's full stdout.
+  svc::Response call_streamed(
+      const svc::Request& req,
+      const std::function<void(std::string_view)>& sink,
+      std::string* shard_used = nullptr) const;
+
+  /// Canonical name of the shard owning this request's key.
+  const std::string& owner_for(const svc::Request& req) const;
+
+  const HashRing& ring() const noexcept { return ring_; }
+  const std::vector<svc::Endpoint>& endpoints() const noexcept {
+    return endpoints_;
+  }
+  const svc::Endpoint& endpoint_of(std::string_view shard) const;
+
+ private:
+  svc::Response dispatch(
+      const svc::Request& req,
+      const std::function<void(std::string_view)>* sink,
+      std::string* shard_used) const;
+
+  std::vector<svc::Endpoint> endpoints_;
+  std::vector<std::string> names_;  ///< canonical, parallel to endpoints_
+  FleetOptions options_;
+  HashRing ring_;
+};
+
+/// Build the ServerOptions::route_owner hook for a daemon that is itself a
+/// fleet shard: given a canonical request key, return the owning peer's
+/// endpoint, or nullopt when the owner is this daemon (`self_name`, its
+/// canonical endpoint string). Throws canu::Error when `self_name` is not
+/// one of `peers` — a shard must appear in its own ring, or every request
+/// would forward forever. The ring built here is the same one FleetClient
+/// builds from the same list, so client and servers always agree.
+std::function<std::optional<svc::Endpoint>(const std::string&)> make_router(
+    const std::vector<svc::Endpoint>& peers, const std::string& self_name,
+    unsigned vnodes = HashRing::kDefaultVnodes);
+
+}  // namespace canu::fleet

@@ -1,0 +1,109 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace canu::fleet {
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: FNV-1a of short, similar strings ("s#0", "s#1")
+/// clusters in the low bits; the avalanche spreads vnode positions across
+/// the whole 64-bit ring.
+std::uint64_t avalanche(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t HashRing::point(std::string_view s) noexcept {
+  return avalanche(fnv1a64(s));
+}
+
+HashRing::HashRing(unsigned vnodes) : vnodes_(vnodes) {
+  CANU_CHECK_MSG(vnodes_ > 0, "hash ring needs at least one virtual node");
+}
+
+void HashRing::add(const std::string& shard) {
+  CANU_CHECK_MSG(!shard.empty(), "hash ring shard name must be non-empty");
+  if (contains(shard)) return;
+  shards_.push_back(shard);
+  rebuild();
+}
+
+void HashRing::remove(std::string_view shard) {
+  const auto it = std::find(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end()) return;
+  shards_.erase(it);
+  rebuild();
+}
+
+bool HashRing::contains(std::string_view shard) const noexcept {
+  return std::find(shards_.begin(), shards_.end(), shard) != shards_.end();
+}
+
+void HashRing::rebuild() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * vnodes_);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    for (std::uint32_t i = 0; i < vnodes_; ++i) {
+      const std::string vname = shards_[s] + "#" + std::to_string(i);
+      ring_.push_back(Vnode{point(vname), s, i});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [this](const Vnode& a, const Vnode& b) {
+              if (a.pos != b.pos) return a.pos < b.pos;
+              if (shards_[a.shard] != shards_[b.shard]) {
+                return shards_[a.shard] < shards_[b.shard];
+              }
+              return a.index < b.index;
+            });
+}
+
+const std::string& HashRing::owner(std::string_view key) const {
+  CANU_CHECK_MSG(!ring_.empty(), "hash ring has no shards");
+  const std::uint64_t p = point(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), p,
+      [](const Vnode& v, std::uint64_t value) { return v.pos < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+  return shards_[it->shard];
+}
+
+std::vector<std::string> HashRing::owners(std::string_view key,
+                                          std::size_t n) const {
+  CANU_CHECK_MSG(!ring_.empty(), "hash ring has no shards");
+  const std::uint64_t p = point(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), p,
+      [](const Vnode& v, std::uint64_t value) { return v.pos < value; });
+  std::vector<std::string> result;
+  const std::size_t want = std::min(n, shards_.size());
+  std::vector<bool> seen(shards_.size(), false);
+  for (std::size_t step = 0; step < ring_.size() && result.size() < want;
+       ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (seen[it->shard]) continue;
+    seen[it->shard] = true;
+    result.push_back(shards_[it->shard]);
+  }
+  return result;
+}
+
+}  // namespace canu::fleet

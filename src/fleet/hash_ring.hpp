@@ -1,0 +1,78 @@
+// Consistent-hash ring over the canonical 128-bit request key
+// (DESIGN.md §16): the fleet layer's routing primitive, shared by the
+// fleet-aware client (`canu submit --endpoints=...`), the daemon's route
+// capability (`canu serve --peers=...`) and the drain tool — all three must
+// agree on every key's owner, so the ring is deterministic by construction:
+//
+//  * Positions come from an explicit FNV-1a-64 hash with a splitmix-style
+//    avalanche finalizer — never std::hash, whose value is implementation-
+//    defined and would let two builds route one key to different shards.
+//  * Each shard contributes `vnodes` virtual nodes ("<shard>#<i>"), so key
+//    ownership spreads evenly (max/min share within 1.25x across 4 shards
+//    at >= 128 vnodes, pinned by tests/fleet_test.cpp) and membership
+//    changes remap only the keys adjacent to the joining/leaving shard's
+//    points (~1/N of the space), never reshuffle the whole ring.
+//  * Position ties (astronomically rare) break by shard name, then vnode
+//    index, keeping the sort total and the ring identical on every host.
+//
+// Shards are plain strings; the fleet layer uses canonical endpoint names
+// ("unix:/run/a.sock", "tcp:127.0.0.1:7070") so client and servers derive
+// identical rings from identical --endpoints/--peers lists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace canu::fleet {
+
+class HashRing {
+ public:
+  /// Enough virtual nodes for the 1.25x distribution bound at small fleet
+  /// sizes; rebuild cost is O(shards * vnodes * log) and membership changes
+  /// are rare, so more is cheap.
+  static constexpr unsigned kDefaultVnodes = 128;
+
+  explicit HashRing(unsigned vnodes = kDefaultVnodes);
+
+  /// Add one shard (duplicates are ignored). Rebuilds the ring.
+  void add(const std::string& shard);
+  /// Remove one shard (missing names are ignored). Rebuilds the ring.
+  void remove(std::string_view shard);
+
+  bool contains(std::string_view shard) const noexcept;
+  std::size_t size() const noexcept { return shards_.size(); }
+  bool empty() const noexcept { return shards_.empty(); }
+  unsigned vnodes() const noexcept { return vnodes_; }
+  /// Member shards in insertion order (the --endpoints order).
+  const std::vector<std::string>& shards() const noexcept { return shards_; }
+
+  /// The shard owning `key`: the first virtual node at or clockwise after
+  /// the key's point. Throws canu::Error on an empty ring.
+  const std::string& owner(std::string_view key) const;
+
+  /// Up to `n` distinct shards in ring-succession order starting at the
+  /// owner — the fleet client's failover sequence for `key`.
+  std::vector<std::string> owners(std::string_view key, std::size_t n) const;
+
+  /// Ring position of an arbitrary string: avalanche(fnv1a64(s)). Exposed
+  /// so tests can pin cross-build determinism to exact constants.
+  static std::uint64_t point(std::string_view s) noexcept;
+
+ private:
+  struct Vnode {
+    std::uint64_t pos;
+    std::uint32_t shard;  ///< index into shards_
+    std::uint32_t index;  ///< vnode index, the final tie-break
+  };
+
+  void rebuild();
+
+  unsigned vnodes_;
+  std::vector<std::string> shards_;
+  std::vector<Vnode> ring_;  ///< sorted by (pos, shard name, index)
+};
+
+}  // namespace canu::fleet

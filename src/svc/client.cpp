@@ -35,6 +35,72 @@ Response Client::call(const Request& req) const {
   return decode_response(payload);
 }
 
+Response Client::call_streamed(
+    const Request& req, const std::function<void(std::string_view)>& sink,
+    const RetryPolicy& policy) const {
+  Request streamed = req;
+  streamed.accept_stream = true;
+
+  // One attempt: open a connection, forward chunk frames to the sink until
+  // the final response document arrives. `delivered` counts sink calls so
+  // the retry loop knows when a replay would duplicate output.
+  auto attempt_once = [&](std::uint64_t* delivered) -> Response {
+    const FdHandle conn =
+        endpoint_.unix_path.empty()
+            ? connect_tcp(endpoint_.host,
+                          static_cast<std::uint16_t>(endpoint_.port))
+            : connect_unix(endpoint_.unix_path);
+    write_frame(conn.get(), encode_request(streamed));
+    std::string payload;
+    std::string data;
+    for (;;) {
+      if (!read_frame(conn.get(), &payload)) {
+        throw Error("canud at " + endpoint_.describe() +
+                    " closed the connection mid-stream");
+      }
+      if (!decode_stream_chunk(payload, &data)) {
+        return decode_response(payload);
+      }
+      sink(data);
+      ++*delivered;
+    }
+  };
+
+  using Clock = std::chrono::steady_clock;
+  const unsigned attempts = std::max(1u, policy.attempts);
+  const auto start = Clock::now();
+  const bool budgeted = policy.budget.count() > 0;
+  const auto deadline = start + policy.budget;
+
+  SplitMix64 rng(policy.seed);
+  auto prev_sleep = policy.base;
+  std::uint64_t delivered = 0;
+  for (unsigned attempt = 1;; ++attempt) {
+    const bool last = attempt >= attempts ||
+                      (budgeted && Clock::now() >= deadline);
+    try {
+      const Response resp = attempt_once(&delivered);
+      if (resp.status != "overloaded" || last || delivered > 0) return resp;
+    } catch (const Error&) {
+      // A replayed request after chunks already reached the sink would
+      // print its output twice, so streaming only retries clean failures.
+      if (last || delivered > 0) throw;
+    }
+    const auto lo = static_cast<std::uint64_t>(policy.base.count());
+    const auto hi = static_cast<std::uint64_t>(
+        std::min(policy.cap, prev_sleep * 3).count());
+    auto sleep = std::chrono::milliseconds(
+        hi > lo ? lo + rng.next() % (hi - lo + 1) : lo);
+    prev_sleep = sleep;
+    if (budgeted) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      sleep = std::min(sleep, std::max(left, std::chrono::milliseconds(0)));
+    }
+    if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
+  }
+}
+
 Response Client::call_with_retry(const Request& req,
                                  const RetryPolicy& policy,
                                  unsigned* attempts_made) const {

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "svc/protocol.hpp"
@@ -53,6 +54,17 @@ class Client {
   /// `attempts_made` (optional) reports how many calls were issued.
   Response call_with_retry(const Request& req, const RetryPolicy& policy,
                            unsigned* attempts_made = nullptr) const;
+
+  /// call() with frame-per-chunk streaming (DESIGN.md §16): sets
+  /// accept_stream on the wire and invokes `sink` with each chunk as it
+  /// arrives, before the final response frame. The returned
+  /// Response.output holds only the unstreamed tail; sink bytes + output
+  /// equal the non-streamed output exactly. Retries per `policy`, but only
+  /// while zero chunks have reached the sink — once output is delivered a
+  /// retry would duplicate it, so later transport errors throw instead.
+  Response call_streamed(const Request& req,
+                         const std::function<void(std::string_view)>& sink,
+                         const RetryPolicy& policy = {}) const;
 
   const Endpoint& endpoint() const noexcept { return endpoint_; }
 

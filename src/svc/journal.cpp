@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -211,39 +212,92 @@ void ResultJournal::append(const std::string& key, const CachedResult& r) {
 }
 
 void ResultJournal::compact(const std::vector<Record>& live) {
-  const std::string temp =
-      path_ + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
-    CANU_CHECK_MSG(os.is_open(),
-                   "cannot open journal temp file '" << temp << "'");
-    os.write(kMagic, sizeof kMagic);
-    char vbuf[4];
-    for (std::size_t i = 0; i < 4; ++i) {
-      vbuf[i] = static_cast<char>((kFormatVersion >> (8 * i)) & 0xff);
+  // The blocking form is the two-phase protocol with an empty delta.
+  finish_compaction(begin_compaction(live), {});
+}
+
+ResultJournal::CompactionToken ResultJournal::begin_compaction(
+    const std::vector<Record>& snapshot) {
+  // A per-call counter keeps a background begin from colliding with a
+  // concurrent blocking compact() in the same process.
+  static std::atomic<std::uint64_t> seq{0};
+  CompactionToken token;
+  token.temp = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+               std::to_string(seq.fetch_add(1));
+  token.records = snapshot.size();
+
+  std::ofstream os(token.temp, std::ios::binary | std::ios::trunc);
+  CANU_CHECK_MSG(os.is_open(),
+                 "cannot open journal temp file '" << token.temp << "'");
+  os.write(kMagic, sizeof kMagic);
+  char vbuf[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    vbuf[i] = static_cast<char>((kFormatVersion >> (8 * i)) & 0xff);
+  }
+  os.write(vbuf, sizeof vbuf);
+  for (const Record& rec : snapshot) {
+    const std::string record = encode_record(rec.key, rec.result);
+    os.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+  os.flush();
+  if (!os.good()) {
+    os.close();
+    abort_compaction(token);
+    throw Error("failed writing compacted journal '" + token.temp + "'");
+  }
+  return token;
+}
+
+void ResultJournal::finish_compaction(const CompactionToken& token,
+                                      const std::vector<Record>& delta) {
+  if (!delta.empty()) {
+    std::ofstream os(token.temp, std::ios::binary | std::ios::app);
+    if (!os.is_open()) {
+      abort_compaction(token);
+      throw Error("cannot reopen journal temp file '" + token.temp + "'");
     }
-    os.write(vbuf, sizeof vbuf);
-    for (const Record& rec : live) {
+    for (const Record& rec : delta) {
       const std::string record = encode_record(rec.key, rec.result);
       os.write(record.data(), static_cast<std::streamsize>(record.size()));
     }
     os.flush();
     if (!os.good()) {
       os.close();
-      std::error_code ec;
-      fs::remove(temp, ec);
-      throw Error("failed writing compacted journal '" + temp + "'");
+      abort_compaction(token);
+      throw Error("failed appending delta to compacted journal '" +
+                  token.temp + "'");
     }
   }
   std::error_code ec;
-  fs::rename(temp, path_, ec);
+  fs::rename(token.temp, path_, ec);
   if (ec) {
-    std::error_code ec2;
-    fs::remove(temp, ec2);
+    abort_compaction(token);
     throw Error("cannot publish compacted journal '" + path_ +
                 "': " + ec.message());
   }
-  appended_records_ = live.size();
+  appended_records_ = token.records + delta.size();
+}
+
+void ResultJournal::abort_compaction(const CompactionToken& token) noexcept {
+  std::error_code ec;
+  fs::remove(token.temp, ec);
+}
+
+std::string encode_record_bytes(const std::string& key,
+                                const CachedResult& result) {
+  return encode_record(key, result);
+}
+
+bool decode_record_bytes(std::string_view bytes, ResultJournal::Record* out) {
+  std::size_t pos = 0;
+  std::uint32_t len = 0;
+  std::uint64_t checksum = 0;
+  if (!get_le(bytes, &pos, &len)) return false;
+  if (!get_le(bytes, &pos, &checksum)) return false;
+  if (len > kMaxRecordBytes || bytes.size() - pos != len) return false;
+  const std::string_view payload = bytes.substr(pos, len);
+  if (fnv1a64(payload) != checksum) return false;
+  return decode_payload(payload, out);
 }
 
 }  // namespace canu::svc

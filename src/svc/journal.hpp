@@ -37,6 +37,12 @@ class ResultJournal {
     CachedResult result;
   };
 
+  /// Handle for an in-progress two-phase compaction (begin_compaction).
+  struct CompactionToken {
+    std::string temp;         ///< temp file holding the snapshot records
+    std::size_t records = 0;  ///< records written so far
+  };
+
   /// Attach to `path` without touching the disk; the file is created on the
   /// first append.
   explicit ResultJournal(std::string path);
@@ -53,9 +59,28 @@ class ResultJournal {
   /// unaffected).
   void append(const std::string& key, const CachedResult& result);
 
-  /// Rewrite the journal to exactly `live` (temp file + atomic rename).
-  /// Called automatically by append() when the dead fraction grows.
+  /// Rewrite the journal to exactly `live` (temp file + atomic rename) in
+  /// one blocking call. The cache uses the two-phase form below so the
+  /// rewrite happens off the request path; this form remains for tests and
+  /// offline tools.
   void compact(const std::vector<Record>& live);
+
+  /// Phase one of a background compaction: write `snapshot` to a temp file.
+  /// Safe to run concurrently with append() — it only creates a new file.
+  /// Throws canu::Error on I/O failure (temp removed; journal untouched).
+  CompactionToken begin_compaction(const std::vector<Record>& snapshot);
+
+  /// Phase two: append `delta` (records journaled since the snapshot was
+  /// taken) to the temp file and atomically rename it over the journal.
+  /// The caller must exclude concurrent append() for the duration — this is
+  /// the only part of compaction that needs the cache lock, and it is
+  /// proportional to the delta, not the live set. Throws on failure (temp
+  /// removed; journal keeps its pre-compaction contents).
+  void finish_compaction(const CompactionToken& token,
+                         const std::vector<Record>& delta);
+
+  /// Abandon a begun compaction, removing its temp file. Never throws.
+  void abort_compaction(const CompactionToken& token) noexcept;
 
   /// True when the record count on disk warrants compaction against a live
   /// set of `live_entries`.
@@ -72,5 +97,16 @@ class ResultJournal {
   std::uint64_t restored_ = 0;
   bool corrupt_tail_ = false;
 };
+
+/// Encode one journal record (header + checksum + payload) as raw bytes —
+/// the unit `canu drain` ships over the wire (hex-encoded in Request.body)
+/// so shard handoff reuses the journal's checksummed format end to end.
+std::string encode_record_bytes(const std::string& key,
+                                const CachedResult& result);
+
+/// Decode bytes produced by encode_record_bytes, validating length and
+/// checksum. Returns false on any corruption (the receiving daemon rejects
+/// the `put` instead of caching a damaged entry).
+bool decode_record_bytes(std::string_view bytes, ResultJournal::Record* out);
 
 }  // namespace canu::svc

@@ -71,6 +71,12 @@ std::string encode_request(const Request& req) {
   w.kv("address_base", req.params.address_base);
   w.kv("threads", req.threads);
   w.kv("timeout_ms", req.timeout_ms);
+  // Fleet-era fields ride along only when set, so a new client speaking to
+  // an old daemon is indistinguishable from an old client unless it
+  // actually uses the new machinery.
+  if (req.accept_stream) w.kv("accept_stream", true);
+  if (req.routed) w.kv("routed", true);
+  if (!req.body.empty()) w.kv("body", req.body);
   w.end_object();
   return std::move(os).str();
 }
@@ -92,6 +98,9 @@ Request decode_request(std::string_view json) {
   req.params.address_base = u64_or(doc, "address_base", defaults.address_base);
   req.threads = static_cast<unsigned>(u64_or(doc, "threads", 0));
   req.timeout_ms = u64_or(doc, "timeout_ms", 0);
+  req.accept_stream = bool_or(doc, "accept_stream", false);
+  req.routed = bool_or(doc, "routed", false);
+  req.body = string_or(doc, "body", "");
   return req;
 }
 
@@ -107,6 +116,10 @@ std::string encode_response(const Response& resp) {
   w.kv("result_cache_hit", resp.result_cache_hit);
   w.kv("coalesced", resp.coalesced);
   w.kv("cache_key", resp.cache_key);
+  if (resp.streamed) {
+    w.kv("streamed", true);
+    w.kv("stream_chunks", resp.stream_chunks);
+  }
   w.key("server");
   w.begin_object();
   w.kv("admitted", resp.server.admitted);
@@ -120,6 +133,8 @@ std::string encode_response(const Response& resp) {
   w.kv("cancelled", resp.server.cancelled);
   w.kv("restored", resp.server.restored);
   w.kv("persisted", resp.server.persisted);
+  w.kv("forwarded", resp.server.forwarded);
+  w.kv("drained_in", resp.server.drained_in);
   w.end_object();
   w.kv("output", resp.output);
   w.kv("error", resp.error);
@@ -138,6 +153,8 @@ Response decode_response(std::string_view json) {
   resp.result_cache_hit = bool_or(doc, "result_cache_hit", false);
   resp.coalesced = bool_or(doc, "coalesced", false);
   resp.cache_key = string_or(doc, "cache_key", "");
+  resp.streamed = bool_or(doc, "streamed", false);
+  resp.stream_chunks = u64_or(doc, "stream_chunks", 0);
   if (const JsonValue* server = doc.find("server")) {
     resp.server.admitted = u64_or(*server, "admitted", 0);
     resp.server.rejected = u64_or(*server, "rejected", 0);
@@ -151,10 +168,34 @@ Response decode_response(std::string_view json) {
     resp.server.cancelled = u64_or(*server, "cancelled", 0);
     resp.server.restored = u64_or(*server, "restored", 0);
     resp.server.persisted = u64_or(*server, "persisted", 0);
+    resp.server.forwarded = u64_or(*server, "forwarded", 0);
+    resp.server.drained_in = u64_or(*server, "drained_in", 0);
   }
   resp.output = string_or(doc, "output", "");
   resp.error = string_or(doc, "error", "");
   return resp;
+}
+
+std::string encode_stream_chunk(std::string_view data) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("canu", kProtocolVersion);
+  w.kv("stream", "chunk");
+  w.kv("data", std::string(data));
+  w.end_object();
+  return std::move(os).str();
+}
+
+bool decode_stream_chunk(std::string_view json, std::string* data) {
+  const JsonValue doc = JsonValue::parse(json);
+  check_protocol_version(doc, "frame");
+  const JsonValue* stream = doc.find("stream");
+  if (stream == nullptr) return false;
+  CANU_CHECK_MSG(stream->as_string() == "chunk",
+                 "unknown stream frame kind '" << stream->as_string() << "'");
+  *data = doc.at("data").as_string();
+  return true;
 }
 
 void write_frame(int fd, std::string_view payload) {

@@ -36,6 +36,21 @@ struct Request {
   /// Server-enforced deadline in milliseconds; 0 = no deadline. Excluded
   /// from the canonical key (the result does not depend on it).
   std::uint64_t timeout_ms = 0;
+  /// Client opts into frame-per-chunk streamed responses (DESIGN.md §16):
+  /// the server may send any number of stream-chunk frames carrying output
+  /// prefixes before the final response frame, whose `output` then holds
+  /// only the remaining tail. Excluded from the canonical key (transport
+  /// shape, not result identity).
+  bool accept_stream = false;
+  /// Set by a daemon forwarding a misrouted request to its ring owner; the
+  /// receiver must answer locally, never re-forward (no routing loops).
+  /// Excluded from the canonical key.
+  bool routed = false;
+  /// Opaque payload for the internal `put` verb (hex-encoded CANUJRNL
+  /// record, svc/journal.hpp) used by `canu drain` to replay cache entries
+  /// onto the ring. Empty for every other verb; excluded from the
+  /// canonical key (put responses are never cached).
+  std::string body;
 };
 
 /// Monotonic server counters, snapshotted into every response and rendered
@@ -53,6 +68,8 @@ struct ServerCounters {
   std::uint64_t cancelled = 0;           ///< cancelled (peer gone / shutdown)
   std::uint64_t restored = 0;            ///< cache entries replayed from disk
   std::uint64_t persisted = 0;           ///< cache entries journaled to disk
+  std::uint64_t forwarded = 0;           ///< requests routed to a ring peer
+  std::uint64_t drained_in = 0;          ///< cache entries accepted via `put`
 };
 
 struct Response {
@@ -66,6 +83,10 @@ struct Response {
   bool result_cache_hit = false;
   bool coalesced = false;   ///< deduplicated onto an in-flight identical run
   std::string cache_key;    ///< canonical key ("" for uncacheable verbs)
+  /// True when stream-chunk frames preceded this response; `output` then
+  /// carries only the tail after `stream_chunks` chunks.
+  bool streamed = false;
+  std::uint64_t stream_chunks = 0;
   ServerCounters server;
 
   bool ok() const noexcept { return status == "ok"; }
@@ -86,6 +107,17 @@ void write_frame(int fd, std::string_view payload);
 /// Read one frame. Returns false on clean EOF before a header byte; throws
 /// canu::Error on truncated frames, I/O errors, or oversize lengths.
 bool read_frame(int fd, std::string* payload);
+
+/// Encode one stream-chunk frame body: a document distinguishable from a
+/// response by its "stream" field, carrying a verbatim output slice. Sent
+/// only to clients that set Request.accept_stream; any number of chunks
+/// precede the final (end-of-stream) response frame.
+std::string encode_stream_chunk(std::string_view data);
+
+/// True when `json` is a stream-chunk document, storing its data slice;
+/// false for anything else (the caller then decodes a response). Throws
+/// canu::Error on malformed JSON or a protocol version mismatch.
+bool decode_stream_chunk(std::string_view json, std::string* data);
 
 /// Canonical result-cache key: a 128-bit FNV-1a hash (hex) over the
 /// protocol version, verb, args, seed, scale, address base, the scheme set

@@ -34,25 +34,24 @@ ResultCache::ResultCache(std::size_t max_entries,
               << "': corrupt tail truncated, " << done_.size()
               << " entries restored\n";
   }
+  compactor_ = std::thread([this] { compactor_loop(); });
 }
 
-ResultCache::~ResultCache() = default;
+ResultCache::~ResultCache() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    compaction_cv_.notify_all();
+    compactor_.join();
+  }
+}
 
 void ResultCache::journal_append_locked(const std::string& key,
                                         const CachedResult& result) {
   if (!journal_ || journal_degraded_) return;
   try {
-    if (journal_->wants_compaction(done_.size())) {
-      std::vector<ResultJournal::Record> live;
-      live.reserve(order_.size());
-      for (const std::string& k : order_) {
-        if (auto it = done_.find(k); it != done_.end()) {
-          live.push_back({k, *it->second});
-        }
-      }
-      journal_->compact(live);
-      obs::count(obs::Counter::kSvcJournalCompactions);
-    }
     journal_->append(key, result);
     ++persisted_;
   } catch (const Error& e) {
@@ -61,7 +60,97 @@ void ResultCache::journal_append_locked(const std::string& key,
     journal_degraded_ = true;
     std::cerr << "[canud] result journal degraded to memory-only: "
               << e.what() << "\n";
+    return;
   }
+  if (compaction_queued_ || compaction_running_) {
+    // The file this record just landed in is about to be replaced; record
+    // it in the delta so finish_compaction() carries it across the rename.
+    compaction_delta_.push_back({key, result});
+    return;
+  }
+  if (journal_->wants_compaction(done_.size())) {
+    // The append path used to pay the full rewrite here; now it only
+    // snapshots the live set (already in memory) and wakes the worker.
+    compaction_snapshot_ = snapshot_live_locked();
+    compaction_delta_.clear();
+    compaction_queued_ = true;
+    compaction_cv_.notify_all();
+  }
+}
+
+std::vector<ResultCache::JournalEntry> ResultCache::snapshot_live_locked()
+    const {
+  std::vector<JournalEntry> live;
+  live.reserve(order_.size());
+  for (const std::string& k : order_) {
+    if (auto it = done_.find(k); it != done_.end()) {
+      live.push_back({k, *it->second});
+    }
+  }
+  return live;
+}
+
+void ResultCache::compactor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    compaction_cv_.wait(lock,
+                        [this] { return stopping_ || compaction_queued_; });
+    if (stopping_ && !compaction_queued_) return;
+    compaction_queued_ = false;
+    compaction_running_ = true;
+    std::vector<JournalEntry> snapshot = std::move(compaction_snapshot_);
+    compaction_snapshot_.clear();
+    lock.unlock();
+
+    // Phase one — the bulk of the work — runs without the cache lock:
+    // requests keep appending to the old file while we write the new one.
+    std::vector<ResultJournal::Record> records;
+    records.reserve(snapshot.size());
+    for (JournalEntry& e : snapshot) {
+      records.push_back({std::move(e.key), std::move(e.result)});
+    }
+    ResultJournal::CompactionToken token;
+    bool begun = false;
+    try {
+      token = journal_->begin_compaction(records);
+      begun = true;
+    } catch (const Error& e) {
+      std::cerr << "[canud] journal compaction failed (will retry): "
+                << e.what() << "\n";
+    }
+
+    lock.lock();
+    if (begun) {
+      // Phase two under the lock: splice in whatever arrived mid-rewrite
+      // and rename. Cost is proportional to the delta, not the live set.
+      std::vector<ResultJournal::Record> delta;
+      delta.reserve(compaction_delta_.size());
+      for (JournalEntry& e : compaction_delta_) {
+        delta.push_back({std::move(e.key), std::move(e.result)});
+      }
+      try {
+        journal_->finish_compaction(token, delta);
+        ++compactions_;
+        obs::count(obs::Counter::kSvcJournalCompactions);
+      } catch (const Error& e) {
+        // The pre-compaction journal still holds every record (appends
+        // never stopped); the next wants_compaction() tries again.
+        std::cerr << "[canud] journal compaction failed (will retry): "
+                  << e.what() << "\n";
+      }
+    }
+    compaction_delta_.clear();
+    compaction_running_ = false;
+    compaction_cv_.notify_all();
+  }
+}
+
+void ResultCache::wait_compaction_idle() {
+  if (!compactor_.joinable()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  compaction_cv_.wait(lock, [this] {
+    return !compaction_queued_ && !compaction_running_;
+  });
 }
 
 ResultCache::Lookup ResultCache::acquire(const std::string& key) {
@@ -101,18 +190,33 @@ void ResultCache::complete(const std::string& key, ResultPtr result) {
     flight = std::move(it->second);
     in_flight_.erase(it);
     if (result->status == "ok") {
-      done_.emplace(key, result);
-      order_.push_back(key);
-      while (order_.size() > max_entries_) {
-        done_.erase(order_.front());
-        order_.pop_front();
-      }
-      journal_append_locked(key, *result);
+      insert_done_locked(key, result);
     }
   }
   // Resolve waiters outside the lock: their continuations run on their own
   // threads and must not serialize against new acquires.
   flight->promise.set_value(std::move(result));
+}
+
+void ResultCache::insert_done_locked(const std::string& key,
+                                     ResultPtr result) {
+  const CachedResult& value = *result;
+  if (!done_.emplace(key, std::move(result)).second) return;
+  order_.push_back(key);
+  while (order_.size() > max_entries_) {
+    done_.erase(order_.front());
+    order_.pop_front();
+  }
+  journal_append_locked(key, value);
+}
+
+bool ResultCache::put(const std::string& key, const CachedResult& result) {
+  CANU_CHECK_MSG(result.status == "ok",
+                 "only ok results may be injected into the cache");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done_.count(key) != 0) return false;
+  insert_done_locked(key, std::make_shared<const CachedResult>(result));
+  return true;
 }
 
 std::size_t ResultCache::size() const {

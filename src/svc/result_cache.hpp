@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -25,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace canu::svc {
 
@@ -72,6 +75,12 @@ class ResultCache {
   /// for later requests iff status == "ok".
   void complete(const std::string& key, ResultPtr result);
 
+  /// Inject an externally produced "ok" result (the `put` verb behind
+  /// `canu drain`, DESIGN.md §16). Returns false without touching anything
+  /// when the key is already cached — replays are idempotent. Journaled
+  /// like any local completion so a drained-in entry survives restart.
+  bool put(const std::string& key, const CachedResult& result);
+
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t coalesced() const noexcept { return coalesced_; }
@@ -87,16 +96,44 @@ class ResultCache {
   /// True once a journal write failed and persistence was switched off.
   bool journal_degraded() const noexcept { return journal_degraded_; }
 
+  /// Journal rewrites completed by the background compaction thread.
+  std::uint64_t compactions() const noexcept { return compactions_; }
+
+  /// Block until no compaction is queued or running (test hook; also used
+  /// by the destructor so a rewrite never outlives the cache).
+  void wait_compaction_idle();
+
  private:
   struct InFlight {
     std::promise<ResultPtr> promise;
     std::shared_future<ResultPtr> future;
   };
 
-  /// Holding mutex_: append to the journal, compacting first when the dead
-  /// fraction warrants it; one failure disables persistence for good.
+  /// Holding mutex_: append to the journal (compaction-aware — records
+  /// also land in the pending delta while a rewrite is in flight, and a
+  /// grown dead fraction queues a background rewrite instead of paying for
+  /// it inline); one failure disables persistence for good.
   void journal_append_locked(const std::string& key,
                              const CachedResult& result);
+
+  /// Holding mutex_: cache an "ok" result (FIFO-evicting) and journal it.
+  /// Shared tail of complete() and put().
+  void insert_done_locked(const std::string& key, ResultPtr result);
+
+  /// Mirror of ResultJournal::Record, local so this header does not need
+  /// journal.hpp (which includes us for CachedResult).
+  struct JournalEntry {
+    std::string key;
+    CachedResult result;
+  };
+
+  /// Holding mutex_: snapshot the live set in FIFO order.
+  std::vector<JournalEntry> snapshot_live_locked() const;
+
+  /// Background thread: waits for queued snapshots, writes each to a temp
+  /// file without the lock, then publishes it under the lock (appending
+  /// only the records that arrived mid-rewrite).
+  void compactor_loop();
 
   const std::size_t max_entries_;
   mutable std::mutex mutex_;
@@ -109,7 +146,20 @@ class ResultCache {
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> restored_{0};
   std::atomic<std::uint64_t> persisted_{0};
+  std::atomic<std::uint64_t> compactions_{0};
   std::atomic<bool> journal_degraded_{false};
+
+  // Background compaction (guarded by mutex_; cv shares the same mutex).
+  std::thread compactor_;
+  std::condition_variable compaction_cv_;
+  bool compaction_queued_ = false;    ///< a snapshot awaits the worker
+  bool compaction_running_ = false;   ///< worker is writing the temp file
+  bool stopping_ = false;             ///< destructor has asked the worker out
+  std::vector<JournalEntry> compaction_snapshot_;
+  /// Records appended to the (doomed) journal file while a rewrite is in
+  /// flight; finish_compaction() replays them into the temp file so the
+  /// rename loses nothing.
+  std::vector<JournalEntry> compaction_delta_;
 };
 
 }  // namespace canu::svc

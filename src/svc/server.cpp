@@ -12,6 +12,7 @@
 
 #include "obs/json.hpp"
 #include "obs/version.hpp"
+#include "svc/journal.hpp"
 #include "svc/verbs.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -83,6 +84,27 @@ const char* cache_disposition(const std::string& status, bool cache_hit,
   if (coalesced) return "coalesced";
   if (key.empty()) return "uncached";
   return "miss";
+}
+
+/// Decode the lowercase-hex encoding `canu drain` uses for journal record
+/// bytes in Request.body (hex keeps binary out of the JSON layer).
+bool hex_decode(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
 }
 
 }  // namespace
@@ -208,6 +230,8 @@ ServerCounters Server::counters() const {
   c.cancelled = cancelled_.load(std::memory_order_relaxed);
   c.restored = cache_.restored();
   c.persisted = cache_.persisted();
+  c.forwarded = forwarded_.load(std::memory_order_relaxed);
+  c.drained_in = drained_in_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -378,6 +402,9 @@ Response Server::status_response(const Request& req,
   TextTable table;
   table.set_header({"counter", "value"});
   table.add_row({"version", obs::kVersion});
+  if (!options_.shard_id.empty()) {
+    table.add_row({"shard", options_.shard_id});
+  }
   table.add_row({"uptime_s", TextTable::num(uptime_s, 3)});
   table.add_row({"threads", std::to_string(threads())});
   table.add_row({"in_flight", std::to_string(c.in_flight) + "/" +
@@ -394,6 +421,11 @@ Response Server::status_response(const Request& req,
   table.add_row({"result_cache_bytes", std::to_string(g.result_cache_bytes)});
   table.add_row({"timed_out", std::to_string(c.timed_out)});
   table.add_row({"cancelled", std::to_string(c.cancelled)});
+  if (!options_.shard_id.empty() || options_.route_owner) {
+    // Fleet-only rows: a standalone daemon's status stays byte-identical.
+    table.add_row({"forwarded", std::to_string(c.forwarded)});
+    table.add_row({"drained_in", std::to_string(c.drained_in)});
+  }
   if (!options_.cache_file.empty()) {
     table.add_row({"journal_restored", std::to_string(c.restored)});
     table.add_row({"journal_persisted", std::to_string(c.persisted)});
@@ -452,6 +484,7 @@ Response Server::metrics_response(const Request& req,
   }
   TelemetrySnapshot snap = telemetry_.snapshot(sample_gauges());
   snap.version = obs::kVersion;
+  snap.shard = options_.shard_id;
   std::ostringstream os;
   if (format == "json") {
     snap.write_json(os);
@@ -464,16 +497,95 @@ Response Server::metrics_response(const Request& req,
                  RequestTiming{request_id, 0.0, 0.0});
 }
 
+Response Server::put_response(const Request& req, std::uint64_t request_id,
+                              double wall_s) {
+  CachedResult r;
+  std::string bytes;
+  ResultJournal::Record rec;
+  if (!hex_decode(req.body, &bytes) || !decode_record_bytes(bytes, &rec)) {
+    // Checksum or framing failure: refuse rather than cache damaged bytes.
+    r.status = "error";
+    r.exit_code = 1;
+    r.error = "put: malformed or corrupt journal record\n";
+    return respond(req, r, false, false, "", wall_s,
+                   RequestTiming{request_id, 0.0, 0.0});
+  }
+  if (cache_.put(rec.key, rec.result)) {
+    drained_in_.fetch_add(1, std::memory_order_relaxed);
+    r.output = "stored " + rec.key + "\n";
+  } else {
+    r.output = "duplicate " + rec.key + "\n";
+  }
+  return respond(req, r, false, false, "", wall_s,
+                 RequestTiming{request_id, 0.0, 0.0});
+}
+
+std::optional<Response> Server::forward_to_owner(
+    const Request& req, const Endpoint& owner, std::uint64_t request_id,
+    const std::function<double()>& wall) {
+  Request fwd = req;
+  fwd.routed = true;          // the owner must answer, never re-forward
+  fwd.accept_stream = false;  // relayed replies are single-frame
+  Response resp;
+  try {
+    resp = Client(owner).call(fwd);
+  } catch (const Error&) {
+    return std::nullopt;  // owner unreachable: caller executes locally
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  // The request was answered by the owner, but this daemon held the
+  // connection: record it here with its own disposition so per-shard
+  // telemetry adds up (classified as a miss — the result was not local).
+  RequestRecord rec;
+  rec.id = request_id;
+  rec.verb = req.verb;
+  rec.key = resp.cache_key;
+  rec.status = resp.status;
+  rec.cache = "routed";
+  rec.total_ms = wall() * 1e3;
+  rec.uptime_s = telemetry_.uptime_s();
+  telemetry_.record(rec);
+  maybe_slow_log(rec);
+  // Relay the owner's payload, but report this daemon's counters — the
+  // client is talking to us, and `forwarded` is where the hop shows up.
+  resp.server = counters();
+  return resp;
+}
+
 ResultPtr Server::wait_for_result(const std::shared_future<ResultPtr>& future,
                                   CancelToken* token, int peer_fd,
-                                  bool* timed_out, bool* peer_gone) {
+                                  bool* timed_out, bool* peer_gone,
+                                  StreamQueue* stream,
+                                  StreamProgress* shipped) {
   *timed_out = false;
   *peer_gone = false;
+  std::deque<std::string> pending;
+  const auto ship_pending = [&]() -> bool {
+    stream->drain(&pending);
+    while (!pending.empty()) {
+      try {
+        write_frame(peer_fd, encode_stream_chunk(pending.front()));
+      } catch (const Error&) {
+        // The peer vanished mid-stream; cancel the worker like any other
+        // disconnect so it unwinds at its next chunk boundary.
+        token->cancel();
+        *peer_gone = true;
+        return false;
+      }
+      shipped->bytes += pending.front().size();
+      ++shipped->chunks;
+      pending.pop_front();
+    }
+    return true;
+  };
   for (;;) {
     if (future.wait_for(std::chrono::milliseconds(10)) ==
         std::future_status::ready) {
+      // Chunks still queued ride in the final response's output tail
+      // instead — shipped->bytes stays the exact count of streamed bytes.
       return future.get();
     }
+    if (stream != nullptr && !ship_pending()) return nullptr;
     if (token->expired()) {
       // The worker sees the same deadline at its next chunk boundary and
       // frees its slot; the client gets its typed answer now.
@@ -504,9 +616,12 @@ Response Server::execute(const Request& req, int peer_fd) {
   };
 
   // `status` and `metrics` answer inline, outside admission control — an
-  // overloaded daemon must still be observable.
+  // overloaded daemon must still be observable. `put` (cache injection
+  // from `canu drain`) is inline too: it costs one map insert + journal
+  // append, and a drain must land even on a busy daemon.
   if (req.verb == "status") return status_response(req, request_id);
   if (req.verb == "metrics") return metrics_response(req, request_id, wall());
+  if (req.verb == "put") return put_response(req, request_id, wall());
 
   if (!verb_is_servable(req.verb)) {
     CachedResult r;
@@ -516,6 +631,19 @@ Response Server::execute(const Request& req, int peer_fd) {
               "' is not servable by canud; run it with the canu CLI\n";
     return respond(req, r, false, false, "", wall(),
                    RequestTiming{request_id, 0.0, 0.0});
+  }
+
+  // Fleet routing: a cacheable request whose canonical key hashes to a
+  // ring peer is forwarded there (routed=true), so any shard answers any
+  // request while each key's cache entry lives on exactly one shard. A
+  // routed request is already at its owner by definition, and transport
+  // failure degrades to local execution — extra computation, not an error.
+  if (options_.route_owner && !req.routed && verb_is_cacheable(req.verb)) {
+    if (const auto owner = options_.route_owner(canonical_request_key(req))) {
+      if (auto resp = forward_to_owner(req, *owner, request_id, wall)) {
+        return *resp;
+      }
+    }
   }
 
   // Wait/run stamps, written by the worker around run_to_result and read by
@@ -550,9 +678,19 @@ Response Server::execute(const Request& req, int peer_fd) {
   verb_options.cancel = token.get();
   verb_options.request_id = request_id;
 
-  const auto run_to_result = [exec_req, verb_options, token] {
+  // Streamed replies (DESIGN.md §16): when the client opted in over a real
+  // connection, the worker writes through a StreamTee whose flushed chunks
+  // the wait loop below ships as frames. Only the owner path streams —
+  // cache hits and joiners answer from the (full) cached output.
+  std::shared_ptr<StreamQueue> stream_queue;
+  if (req.accept_stream && peer_fd >= 0 && verb_is_cacheable(req.verb)) {
+    stream_queue = std::make_shared<StreamQueue>();
+  }
+
+  const auto run_to_result = [exec_req, verb_options, token, stream_queue] {
     auto result = std::make_shared<CachedResult>();
-    std::ostringstream out;
+    StreamTee tee(stream_queue.get());
+    std::ostream out(&tee);
     std::ostringstream err;
     try {
       result->exit_code = run_verb(exec_req, out, err, verb_options);
@@ -567,7 +705,7 @@ Response Server::execute(const Request& req, int peer_fd) {
       result->exit_code = 1;
       err << "error: " << e.what() << "\n";
     }
-    if (result->output.empty()) result->output = std::move(out).str();
+    if (result->output.empty()) result->output = tee.str();
     if (result->error.empty()) result->error = std::move(err).str();
     return result;
   };
@@ -635,6 +773,26 @@ Response Server::execute(const Request& req, int peer_fd) {
                        RequestTiming{request_id, 0.0, 0.0});
       }
       case ResultCache::Role::kOwner: {
+        StreamProgress shipped;
+        if (stream_queue != nullptr && pool_ == nullptr) {
+          // Serial daemon: try_submit below runs the verb inline on THIS
+          // thread, so the wait loop's drain never overlaps execution.
+          // Ship each chunk directly from the flush that produced it; a
+          // dead peer cancels the worker at its next chunk boundary, the
+          // same unwind the drain path uses.
+          stream_queue->set_sink(
+              [peer_fd, token, &shipped](const std::string& chunk) {
+                if (shipped.peer_gone) return;
+                try {
+                  write_frame(peer_fd, encode_stream_chunk(chunk));
+                  shipped.bytes += chunk.size();
+                  ++shipped.chunks;
+                } catch (const Error&) {
+                  token->cancel();
+                  shipped.peer_gone = true;
+                }
+              });
+        }
         const bool admitted = scheduler_->try_submit(
             [this, key, run_to_result, stamps] {
               stamps->start_ns.store(steady_ns(), std::memory_order_release);
@@ -655,15 +813,25 @@ Response Server::execute(const Request& req, int peer_fd) {
         bool timed_out = false;
         bool peer_gone = false;
         const ResultPtr result = wait_for_result(
-            lookup.pending, token.get(), peer_fd, &timed_out, &peer_gone);
+            lookup.pending, token.get(), peer_fd, &timed_out, &peer_gone,
+            stream_queue.get(), &shipped);
         observe_request();
-        if (result == nullptr) {
-          return respond(req,
-                         timed_out ? deadline_result(req.timeout_ms)
-                                   : cancelled_result(),
-                         false, false, key, wall(), timing());
+        Response resp =
+            result == nullptr
+                ? respond(req,
+                          timed_out ? deadline_result(req.timeout_ms)
+                                    : cancelled_result(),
+                          false, false, key, wall(), timing())
+                : respond(req, *result, false, false, key, wall(), timing());
+        if (stream_queue != nullptr) {
+          // The final frame carries only the tail: shipped chunks + tail
+          // reassemble to the byte-exact non-streamed output.
+          resp.streamed = true;
+          resp.stream_chunks = shipped.chunks;
+          resp.output = resp.output.substr(
+              std::min<std::size_t>(shipped.bytes, resp.output.size()));
         }
-        return respond(req, *result, false, false, key, wall(), timing());
+        return resp;
       }
     }
   }

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -40,10 +41,12 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "svc/client.hpp"
 #include "svc/protocol.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/scheduler.hpp"
 #include "svc/socket.hpp"
+#include "svc/stream.hpp"
 #include "svc/telemetry.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
@@ -67,6 +70,16 @@ struct ServerOptions {
   long long slow_log_ms = -1;
   /// Slow-log destination file (appended); empty = stderr.
   std::string slow_log_path;
+  /// Fleet shard name (serve --shard-id): labels the `metrics` verb output
+  /// (Prometheus `shard` label / JSON "shard" field) and the status table.
+  /// Empty = unsharded; output stays byte-identical to pre-fleet builds.
+  std::string shard_id;
+  /// Fleet routing hook (DESIGN.md §16), wired by `canu serve --peers` via
+  /// fleet::make_router so svc stays ignorant of ring mechanics: given a
+  /// canonical request key, return the owning peer's endpoint when that
+  /// owner is NOT this daemon, or nullopt when the key is local. Null
+  /// function = standalone daemon, no forwarding.
+  std::function<std::optional<Endpoint>(const std::string&)> route_owner;
 };
 
 class Server {
@@ -136,15 +149,38 @@ class Server {
   Response status_response(const Request& req, std::uint64_t request_id);
   Response metrics_response(const Request& req, std::uint64_t request_id,
                             double wall_s);
+  /// The internal `put` verb behind `canu drain`: decode the hex-encoded,
+  /// checksummed journal record in req.body and inject it into the cache.
+  Response put_response(const Request& req, std::uint64_t request_id,
+                        double wall_s);
+  /// Forward a misrouted request to `owner` with routed=true set. Returns
+  /// nullopt on transport failure (caller executes locally instead — a
+  /// dead owner degrades to extra computation, never to an error).
+  std::optional<Response> forward_to_owner(
+      const Request& req, const Endpoint& owner, std::uint64_t request_id,
+      const std::function<double()>& wall);
   void maybe_slow_log(const RequestRecord& rec);
+
+  /// Progress of this connection's streamed reply, updated by
+  /// wait_for_result as it ships chunk frames (or, on a serial daemon, by
+  /// the direct StreamQueue sink running on the worker thread itself).
+  struct StreamProgress {
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+    bool peer_gone = false;  ///< a direct-sink frame write hit a dead peer
+  };
 
   /// Wait for `future` under the request's deadline, polling `peer_fd` for
   /// client disconnect. Returns the result, or null with exactly one of
   /// *timed_out / *peer_gone set (cancelling `token` so the worker unwinds
-  /// at its next chunk boundary).
+  /// at its next chunk boundary). When `stream` is non-null, drains it each
+  /// poll and ships each chunk as its own frame on `peer_fd`, recording
+  /// progress in *shipped; a failed chunk write counts as a vanished peer.
   ResultPtr wait_for_result(const std::shared_future<ResultPtr>& future,
                             CancelToken* token, int peer_fd,
-                            bool* timed_out, bool* peer_gone);
+                            bool* timed_out, bool* peer_gone,
+                            StreamQueue* stream = nullptr,
+                            StreamProgress* shipped = nullptr);
 
   ServerOptions options_;
   std::optional<ThreadPool> pool_storage_;
@@ -161,6 +197,8 @@ class Server {
 
   std::atomic<std::uint64_t> timed_out_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> forwarded_{0};   ///< routed to their ring owner
+  std::atomic<std::uint64_t> drained_in_{0};  ///< accepted via `put`
   ServiceTelemetry telemetry_;
   std::atomic<std::uint64_t> next_request_id_{1};
   std::mutex slow_log_mutex_;

@@ -1,0 +1,124 @@
+// Streamed-response plumbing (DESIGN.md §16): the worker executing a verb
+// writes into a StreamTee — an ostream buffer that accumulates the verb's
+// full stdout (the bytes cached and sent to joiners) while handing flushed
+// prefixes to a StreamQueue as chunks. The connection thread drains the
+// queue between its deadline polls and ships each chunk as its own wire
+// frame, so a multi-workload `evaluate --grid` delivers its first section
+// as soon as the first workload finishes instead of after the whole sweep.
+//
+// Chunk boundaries are the verb's explicit flushes (the grid path flushes
+// per workload section) plus a size backstop: once the unshipped suffix
+// exceeds kStreamChunkBytes it is emitted even without a flush, bounding
+// per-chunk frames for verbs that produce huge output without flushing.
+// A StreamTee with no queue is a plain accumulator — the non-streaming
+// request path uses the same code with chunking compiled down to nothing.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <streambuf>
+#include <string>
+
+namespace canu::svc {
+
+/// Chunks larger than this are emitted eagerly even without a flush.
+inline constexpr std::size_t kStreamChunkBytes = 64u << 10;
+
+/// Thread-safe chunk hand-off between the worker (producer) and the
+/// connection thread (consumer). Unbounded but naturally limited by the
+/// verb's total output, which the frame limit already bounds.
+///
+/// On a serial daemon (no thread pool) the worker IS the connection
+/// thread, so nothing would drain the queue until the verb finishes and
+/// every chunk would ride in the final response — streaming silently
+/// degraded to buffered. set_sink() fixes that mode: with a sink
+/// installed, push() delivers the chunk to it immediately on the calling
+/// thread instead of queueing, so the flush that produced it also ships
+/// the wire frame.
+class StreamQueue {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  /// Deliver future chunks synchronously to `sink` instead of queueing.
+  /// Install before the worker starts writing; serial-daemon mode only.
+  void set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = std::move(sink);
+  }
+
+  void push(std::string chunk) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_) {
+      sink_(chunk);
+      return;
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  /// Move all pending chunks into `out` (appended); returns the count.
+  std::size_t drain(std::deque<std::string>* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = chunks_.size();
+    while (!chunks_.empty()) {
+      out->push_back(std::move(chunks_.front()));
+      chunks_.pop_front();
+    }
+    return n;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::string> chunks_;
+  Sink sink_;
+};
+
+class StreamTee : public std::streambuf {
+ public:
+  /// `queue` may be null: accumulate only, never emit chunks.
+  explicit StreamTee(StreamQueue* queue) : queue_(queue) {}
+
+  /// Everything written so far — the verb's byte-exact stdout.
+  const std::string& str() const noexcept { return full_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) {
+      full_.push_back(static_cast<char>(ch));
+      maybe_emit_backstop();
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    full_.append(s, static_cast<std::size_t>(n));
+    maybe_emit_backstop();
+    return n;
+  }
+
+  /// A flush is a chunk boundary: hand the unshipped suffix to the queue.
+  int sync() override {
+    emit();
+    return 0;
+  }
+
+ private:
+  void emit() {
+    if (queue_ == nullptr || emitted_ == full_.size()) return;
+    queue_->push(full_.substr(emitted_));
+    emitted_ = full_.size();
+  }
+
+  void maybe_emit_backstop() {
+    if (queue_ != nullptr && full_.size() - emitted_ >= kStreamChunkBytes) {
+      emit();
+    }
+  }
+
+  StreamQueue* queue_;
+  std::string full_;
+  std::size_t emitted_ = 0;  ///< bytes already handed to the queue
+};
+
+}  // namespace canu::svc

@@ -146,6 +146,7 @@ void TelemetrySnapshot::write_json(std::ostream& os) const {
   obs::JsonWriter w(os);
   w.begin_object();
   w.kv("canud", version);
+  if (!shard.empty()) w.kv("shard", shard);
   w.kv("uptime_s", uptime_s);
   w.key("totals");
   w.begin_object();
@@ -180,68 +181,79 @@ void TelemetrySnapshot::write_json(std::ostream& os) const {
 }
 
 void TelemetrySnapshot::write_prometheus(std::ostream& os) const {
+  // A sharded daemon labels every sample; `bare` decorates label-less
+  // metrics and `lead` opens the label set of metrics that already have
+  // labels. An empty shard leaves both empty, so unsharded output is
+  // byte-identical to pre-fleet builds.
+  const std::string bare =
+      shard.empty() ? "" : "{shard=\"" + shard + "\"}";
+  const std::string lead = shard.empty() ? "" : "shard=\"" + shard + "\",";
+
   os << "# HELP canud_uptime_seconds Seconds since the daemon started.\n"
      << "# TYPE canud_uptime_seconds gauge\n"
-     << "canud_uptime_seconds " << uptime_s << "\n";
+     << "canud_uptime_seconds" << bare << " " << uptime_s << "\n";
 
   os << "# HELP canud_requests_total Requests answered, by outcome class.\n"
      << "# TYPE canud_requests_total counter\n"
-     << "canud_requests_total " << requests << "\n";
+     << "canud_requests_total" << bare << " " << requests << "\n";
   os << "# TYPE canud_warm_hits_total counter\n"
-     << "canud_warm_hits_total " << warm_hits << "\n";
+     << "canud_warm_hits_total" << bare << " " << warm_hits << "\n";
   os << "# TYPE canud_misses_total counter\n"
-     << "canud_misses_total " << misses << "\n";
+     << "canud_misses_total" << bare << " " << misses << "\n";
   os << "# TYPE canud_rejections_total counter\n"
-     << "canud_rejections_total " << rejections << "\n";
+     << "canud_rejections_total" << bare << " " << rejections << "\n";
 
   os << "# HELP canud_rps Request rate over a sliding window.\n"
      << "# TYPE canud_rps gauge\n";
   for (const WindowSnapshot& win : windows) {
-    os << "canud_rps{window=\"" << window_key(win.seconds) << "\"} "
-       << win.rps() << "\n";
+    os << "canud_rps{" << lead << "window=\"" << window_key(win.seconds)
+       << "\"} " << win.rps() << "\n";
   }
   os << "# HELP canud_warm_hit_ratio Result-cache hit ratio over a sliding "
         "window.\n"
      << "# TYPE canud_warm_hit_ratio gauge\n";
   for (const WindowSnapshot& win : windows) {
-    os << "canud_warm_hit_ratio{window=\"" << window_key(win.seconds)
-       << "\"} " << win.warm_hit_ratio() << "\n";
+    os << "canud_warm_hit_ratio{" << lead << "window=\""
+       << window_key(win.seconds) << "\"} " << win.warm_hit_ratio() << "\n";
   }
   os << "# HELP canud_rejection_rate Overload rejection rate over a sliding "
         "window.\n"
      << "# TYPE canud_rejection_rate gauge\n";
   for (const WindowSnapshot& win : windows) {
-    os << "canud_rejection_rate{window=\"" << window_key(win.seconds)
-       << "\"} " << win.rejection_rate() << "\n";
+    os << "canud_rejection_rate{" << lead << "window=\""
+       << window_key(win.seconds) << "\"} " << win.rejection_rate() << "\n";
   }
 
   os << "# HELP canud_queue_depth Queued requests per priority class.\n"
      << "# TYPE canud_queue_depth gauge\n"
-     << "canud_queue_depth{class=\"interactive\"} " << gauges.queue_interactive
-     << "\n"
-     << "canud_queue_depth{class=\"batch\"} " << gauges.queue_batch << "\n";
+     << "canud_queue_depth{" << lead << "class=\"interactive\"} "
+     << gauges.queue_interactive << "\n"
+     << "canud_queue_depth{" << lead << "class=\"batch\"} "
+     << gauges.queue_batch << "\n";
   os << "# TYPE canud_in_flight_requests gauge\n"
-     << "canud_in_flight_requests " << gauges.in_flight << "\n";
+     << "canud_in_flight_requests" << bare << " " << gauges.in_flight << "\n";
   os << "# TYPE canud_result_cache_entries gauge\n"
-     << "canud_result_cache_entries " << gauges.result_cache_entries << "\n";
+     << "canud_result_cache_entries" << bare << " "
+     << gauges.result_cache_entries << "\n";
   os << "# TYPE canud_result_cache_bytes gauge\n"
-     << "canud_result_cache_bytes " << gauges.result_cache_bytes << "\n";
+     << "canud_result_cache_bytes" << bare << " " << gauges.result_cache_bytes
+     << "\n";
   os << "# TYPE canud_journal_bytes gauge\n"
-     << "canud_journal_bytes " << gauges.journal_bytes << "\n";
+     << "canud_journal_bytes" << bare << " " << gauges.journal_bytes << "\n";
 
   os << "# HELP canud_request_seconds Request latency (admission to "
         "response) per verb.\n"
      << "# TYPE canud_request_seconds summary\n";
   for (const VerbSnapshot& v : verbs) {
     for (std::size_t q = 0; q < kQuantiles.size(); ++q) {
-      os << "canud_request_seconds{verb=\"" << v.verb << "\",quantile=\""
-         << kQuantiles[q] << "\"} " << v.total_ns.quantile(kQuantiles[q]) / 1e9
-         << "\n";
+      os << "canud_request_seconds{" << lead << "verb=\"" << v.verb
+         << "\",quantile=\"" << kQuantiles[q] << "\"} "
+         << v.total_ns.quantile(kQuantiles[q]) / 1e9 << "\n";
     }
-    os << "canud_request_seconds_sum{verb=\"" << v.verb << "\"} "
-       << static_cast<double>(v.total_ns.sum) / 1e9 << "\n";
-    os << "canud_request_seconds_count{verb=\"" << v.verb << "\"} "
-       << v.total_ns.count << "\n";
+    os << "canud_request_seconds_sum{" << lead << "verb=\"" << v.verb
+       << "\"} " << static_cast<double>(v.total_ns.sum) / 1e9 << "\n";
+    os << "canud_request_seconds_count{" << lead << "verb=\"" << v.verb
+       << "\"} " << v.total_ns.count << "\n";
   }
 }
 

@@ -122,6 +122,10 @@ inline constexpr std::array<unsigned, 3> kTelemetryWindows = {10, 60, 300};
 
 struct TelemetrySnapshot {
   std::string version;
+  /// Fleet shard name (serve --shard-id). Non-empty adds a `shard` label
+  /// to every Prometheus sample and a "shard" field to the JSON snapshot;
+  /// empty keeps both outputs byte-identical to an unsharded daemon.
+  std::string shard;
   double uptime_s = 0;
   // Monotonic totals; every answered request is exactly one of
   // warm_hit / miss / rejection, so warm_hits + misses ==

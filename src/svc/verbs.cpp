@@ -202,8 +202,15 @@ int cmd_evaluate(const Request& req, std::ostream& out, std::ostream& err,
       return 1;
     }
     const ConfigGrid grid = ConfigGrid::parse(split.dims);
+    // Stream each workload's section as it completes: a flush per section
+    // makes a chunk boundary, so a daemon answering a streaming client
+    // ships the first table after ONE workload instead of after the whole
+    // sweep. sections + tail == GridReport::print() byte-for-byte.
+    opt.grid_sink = [&out](const std::string& section) {
+      out << section << std::flush;
+    };
     const GridReport rep = Evaluator(opt).evaluate_grid(grid, workloads);
-    rep.print(out);
+    rep.print_tail(out);
     return 0;
   }
 

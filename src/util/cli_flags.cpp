@@ -77,16 +77,20 @@ const std::vector<VerbHelp>& canu_verbs() {
        "--scale --seed --threads"},
       {"serve", "", "run the canud simulation daemon",
        "--socket --port --host --threads --queue --result-cache "
-       "--cache-file --metrics-out --trace-events --slow-log-ms --slow-log"},
+       "--cache-file --metrics-out --trace-events --slow-log-ms --slow-log "
+       "--shard-id --peers --vnodes"},
       {"submit", "<verb> [args...]", "send a request to a running daemon",
-       "--socket --port --host --scale --seed --threads --timeout-ms "
-       "--retry --meta-out --format --recent"},
+       "--socket --port --host --endpoints --stream --vnodes --scale --seed "
+       "--threads --timeout-ms --retry --meta-out --format --recent"},
       {"status", "", "query a running daemon's counters",
        "--socket --port --host --meta-out --recent"},
       {"metrics", "", "print a daemon's live telemetry",
        "--socket --port --host --meta-out --format"},
       {"top", "", "poll a daemon's metrics as a refreshing dashboard",
        "--socket --port --host --interval-ms --count"},
+      {"drain", "<journal-file>",
+       "replay a cache journal onto a fleet (shard handoff)",
+       "--endpoints --vnodes --retry --timeout-ms"},
       {"version", "", "print the canu build version", ""},
   };
   return verbs;
@@ -145,6 +149,20 @@ const std::vector<FlagHelp>& canu_flags() {
        "(0 logs every request)"},
       {"--slow-log", "<file>",
        "serve: slow-request log destination (default stderr)"},
+      {"--endpoints", "<list>",
+       "submit/drain: comma-separated fleet addresses (unix paths, @abstract, "
+       "host:port, [v6]:port); requests route by consistent hash"},
+      {"--peers", "<list>",
+       "serve: the fleet's full endpoint list (same syntax as --endpoints, "
+       "must include this daemon); misrouted requests forward to their owner"},
+      {"--shard-id", "<name>",
+       "serve: shard label stamped on metrics/status output"},
+      {"--vnodes", "<n>",
+       "virtual nodes per shard on the hash ring (default 128; all fleet "
+       "members and clients must agree)"},
+      {"--stream", "",
+       "submit: stream the reply as chunk frames (first bytes arrive before "
+       "the verb finishes; assembled output is byte-identical)"},
       {"--version", "", "print the canu build version and exit"},
   };
   return flags;

@@ -1,0 +1,514 @@
+// Fleet-layer suite (DESIGN.md §16): consistent-hash ring properties
+// (distribution bounds, minimal remapping, cross-build determinism),
+// endpoint-list parsing, fleet-aware client routing + failover over real
+// Unix-socket daemons, the server's route forward and `put` drain verb,
+// frame-per-chunk streamed replies, and the cache's background journal
+// compaction.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/endpoints.hpp"
+#include "fleet/fleet_client.hpp"
+#include "fleet/hash_ring.hpp"
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "svc/protocol.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/server.hpp"
+#include "svc/verbs.hpp"
+#include "util/error.hpp"
+
+namespace canu::fleet {
+namespace {
+
+/// mkdtemp under /tmp — short enough for sockaddr_un — removed on scope
+/// exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/canu_fleet_XXXXXX";
+    const char* p = mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string key_of(int i) { return "key-" + std::to_string(i); }
+
+std::map<std::string, std::string> map_keys(const HashRing& ring, int n) {
+  std::map<std::string, std::string> owner_of;
+  for (int i = 0; i < n; ++i) owner_of[key_of(i)] = ring.owner(key_of(i));
+  return owner_of;
+}
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+TEST(HashRing, DistributionWithinBoundAcrossFourShards) {
+  // The bound the default vnode count is sized for: across 4 shards at
+  // >= 128 vnodes, the busiest shard owns at most 1.25x the share of the
+  // least busy one.
+  HashRing ring(HashRing::kDefaultVnodes);
+  for (int s = 0; s < 4; ++s) ring.add("shard-" + std::to_string(s));
+  std::map<std::string, int> counts;
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) ++counts[ring.owner(key_of(i))];
+  ASSERT_EQ(counts.size(), 4u);  // every shard owns something
+  int min = kKeys;
+  int max = 0;
+  for (const auto& [shard, count] : counts) {
+    min = std::min(min, count);
+    max = std::max(max, count);
+  }
+  EXPECT_LE(static_cast<double>(max), 1.25 * static_cast<double>(min))
+      << "max=" << max << " min=" << min;
+}
+
+TEST(HashRing, JoinMovesOnlyKeysOntoTheNewShard) {
+  HashRing ring(HashRing::kDefaultVnodes);
+  for (int s = 0; s < 4; ++s) ring.add("shard-" + std::to_string(s));
+  const int kKeys = 20000;
+  const auto before = map_keys(ring, kKeys);
+  ring.add("shard-4");
+  const auto after = map_keys(ring, kKeys);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string& was = before.at(key_of(i));
+    const std::string& now = after.at(key_of(i));
+    if (was == now) continue;
+    ++moved;
+    // Consistent hashing's defining property: a join only pulls keys TO
+    // the joining shard; no key moves between surviving shards.
+    EXPECT_EQ(now, "shard-4") << key_of(i) << " moved " << was << " -> "
+                              << now;
+  }
+  // Expected share is 1/5; allow generous slack around it but require the
+  // remap to be a small minority, not a reshuffle.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys * 3 / 10);
+}
+
+TEST(HashRing, LeaveMovesOnlyTheDepartedShardsKeys) {
+  HashRing ring(HashRing::kDefaultVnodes);
+  for (int s = 0; s < 4; ++s) ring.add("shard-" + std::to_string(s));
+  const int kKeys = 20000;
+  const auto before = map_keys(ring, kKeys);
+  ring.remove("shard-1");
+  const auto after = map_keys(ring, kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string& was = before.at(key_of(i));
+    const std::string& now = after.at(key_of(i));
+    if (was == "shard-1") {
+      EXPECT_NE(now, "shard-1");
+    } else {
+      EXPECT_EQ(now, was) << key_of(i) << " owned by a surviving shard "
+                             "must not move on another shard's departure";
+    }
+  }
+}
+
+TEST(HashRing, PointPinsCrossBuildDeterminism) {
+  // Exact ring positions, pinned so any hash change (or an accidental
+  // std::hash) fails loudly: routing must agree across builds and hosts.
+  EXPECT_EQ(HashRing::point(""), 0xf52a15e9a9b5e89bULL);
+  EXPECT_EQ(HashRing::point("a"), 0x02c0bdbf481420f8ULL);
+  EXPECT_EQ(HashRing::point("unix:/run/canud.sock#0"), 0x5e4f045eb5f5bc79ULL);
+  EXPECT_EQ(HashRing::point("tcp:127.0.0.1:7070#17"), 0x19d46d0a7a1adf86ULL);
+  EXPECT_EQ(HashRing::point("b19c0c68a64226d14470ee1f0deaa2dc"),
+            0x44c95cdc321ed2d1ULL);
+}
+
+TEST(HashRing, IdenticalMembershipYieldsIdenticalRouting) {
+  // Insertion order must not matter: client and daemons may list the same
+  // endpoints in different orders yet must agree on every owner.
+  HashRing forward(64);
+  HashRing reverse(64);
+  const std::vector<std::string> shards = {"unix:/a", "unix:/b", "tcp:h:1",
+                                           "tcp:h:2"};
+  for (auto it = shards.begin(); it != shards.end(); ++it) forward.add(*it);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it)
+    reverse.add(*it);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(forward.owner(key_of(i)), reverse.owner(key_of(i)));
+  }
+}
+
+TEST(HashRing, OwnersListsDistinctShardsInSuccessionOrder) {
+  HashRing ring(16);
+  for (int s = 0; s < 4; ++s) ring.add("shard-" + std::to_string(s));
+  const std::vector<std::string> order = ring.owners("some-key", 4);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), ring.owner("some-key"));
+  const std::set<std::string> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  // Asking for more than the membership caps at the membership.
+  EXPECT_EQ(ring.owners("some-key", 10).size(), 4u);
+}
+
+TEST(HashRing, EmptyRingThrows) {
+  const HashRing ring;
+  EXPECT_THROW(ring.owner("k"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint-list parsing
+
+TEST(Endpoints, ParsesEveryAddressFormInOneList) {
+  const std::vector<svc::Endpoint> eps = parse_endpoint_list(
+      "/run/a.sock,@abstract,unix:/run/b.sock,127.0.0.1:7070,[::1]:7071,"
+      "tcp:10.0.0.1:80");
+  ASSERT_EQ(eps.size(), 6u);
+  EXPECT_EQ(endpoint_name(eps[0]), "unix:/run/a.sock");
+  EXPECT_EQ(endpoint_name(eps[1]), "unix:@abstract");
+  EXPECT_EQ(endpoint_name(eps[2]), "unix:/run/b.sock");
+  EXPECT_EQ(endpoint_name(eps[3]), "tcp:127.0.0.1:7070");
+  EXPECT_EQ(endpoint_name(eps[4]), "tcp:::1:7071");
+  EXPECT_EQ(endpoint_name(eps[5]), "tcp:10.0.0.1:80");
+}
+
+TEST(Endpoints, RejectsBareIpv6Literals) {
+  // "::1:7070" is ambiguous (which colon splits the port?); the parser
+  // demands brackets.
+  EXPECT_THROW(parse_endpoint("::1:7070"), Error);
+  EXPECT_NO_THROW(parse_endpoint("[::1]:7070"));
+}
+
+TEST(Endpoints, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_endpoint(""), Error);
+  EXPECT_THROW(parse_endpoint("hostonly"), Error);       // no port
+  EXPECT_THROW(parse_endpoint("host:0"), Error);         // port out of range
+  EXPECT_THROW(parse_endpoint("host:99999"), Error);
+  EXPECT_THROW(parse_endpoint("host:notaport"), Error);
+  EXPECT_THROW(parse_endpoint("unix:"), Error);          // empty path
+  EXPECT_THROW(parse_endpoint("[::1"), Error);           // unterminated '['
+  EXPECT_THROW(parse_endpoint("[::1]7070"), Error);      // missing ':'
+}
+
+TEST(Endpoints, RejectsEmptyTokensDuplicatesAndEmptyLists) {
+  EXPECT_THROW(parse_endpoint_list(""), Error);
+  EXPECT_THROW(parse_endpoint_list("/a.sock,,/b.sock"), Error);
+  EXPECT_THROW(parse_endpoint_list("/a.sock,/b.sock,"), Error);
+  // Duplicates by canonical name, even across spellings.
+  EXPECT_THROW(parse_endpoint_list("/a.sock,unix:/a.sock"), Error);
+  EXPECT_THROW(parse_endpoint_list("127.0.0.1:7070,tcp:127.0.0.1:7070"),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet client + daemons over real Unix sockets
+
+std::string direct_verb_output(const svc::Request& req) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(svc::run_verb(req, out, err), 0);
+  return std::move(out).str();
+}
+
+svc::Request list_request(std::uint64_t seed) {
+  // `list` is cacheable and cheap; varying the seed varies the canonical
+  // key without changing the output, giving many distinct ring keys.
+  svc::Request req;
+  req.verb = "list";
+  req.params.seed = seed;
+  return req;
+}
+
+/// A three-shard fleet on Unix sockets in one TempDir, each daemon wired
+/// with the route-owner hook a real `canu serve --peers=...` would install.
+struct Fleet {
+  explicit Fleet(const std::string& dir, bool with_router = true) {
+    for (int i = 0; i < 3; ++i) {
+      svc::Endpoint ep;
+      ep.unix_path = dir + "/s" + std::to_string(i);
+      endpoints.push_back(ep);
+    }
+    for (int i = 0; i < 3; ++i) {
+      svc::ServerOptions options;
+      options.unix_socket = endpoints[i].unix_path;
+      options.shard_id = "s" + std::to_string(i);
+      if (with_router) {
+        options.route_owner =
+            make_router(endpoints, endpoint_name(endpoints[i]));
+      }
+      servers.push_back(std::make_unique<svc::Server>(std::move(options)));
+      servers.back()->start();
+    }
+  }
+  ~Fleet() {
+    for (auto& server : servers) {
+      if (server != nullptr) server->stop();
+    }
+  }
+
+  std::vector<svc::Endpoint> endpoints;
+  std::vector<std::unique_ptr<svc::Server>> servers;
+};
+
+TEST(FleetClient, RoutesEachRequestToItsRingOwner) {
+  TempDir dir;
+  Fleet fleet(dir.path, /*with_router=*/false);
+  const FleetClient fc(fleet.endpoints);
+  const std::string want = direct_verb_output(list_request(1));
+  std::set<std::string> shards_hit;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const svc::Request req = list_request(seed);
+    std::string shard;
+    const svc::Response resp = fc.call(req, &shard);
+    EXPECT_EQ(resp.status, "ok");
+    EXPECT_EQ(resp.output, want);
+    EXPECT_EQ(shard, fc.owner_for(req));  // client went straight to the owner
+    shards_hit.insert(shard);
+  }
+  // 12 distinct keys over 3 shards: all shards take part (the chance of a
+  // fixed deterministic mapping missing one is nil — this pins the spread).
+  EXPECT_EQ(shards_hit.size(), 3u);
+}
+
+TEST(FleetClient, MisroutedRequestForwardsToOwner) {
+  TempDir dir;
+  Fleet fleet(dir.path);
+  const FleetClient fc(fleet.endpoints);
+
+  // Find a request whose owner is shard 0, then send it to a NON-owner
+  // daemon directly: the route hook must forward it.
+  svc::Request req = list_request(1);
+  for (std::uint64_t seed = 1;
+       fc.owner_for(req) != endpoint_name(fleet.endpoints[0]); ++seed) {
+    req = list_request(seed);
+  }
+  const svc::Client wrong(fleet.endpoints[1]);
+  const svc::Response resp = wrong.call(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, direct_verb_output(req));
+  EXPECT_EQ(fleet.servers[1]->counters().forwarded, 1u);
+  EXPECT_EQ(fleet.servers[0]->counters().admitted, 1u);
+  // The owner cached it: a second misrouted submit is a forwarded warm hit.
+  const svc::Response again = wrong.call(req);
+  EXPECT_TRUE(again.result_cache_hit);
+  EXPECT_EQ(fleet.servers[0]->counters().result_cache_hits, 1u);
+}
+
+TEST(FleetClient, FailsOverAlongTheRingWhenAShardDies) {
+  TempDir dir;
+  Fleet fleet(dir.path);
+  const FleetClient fc(fleet.endpoints);
+
+  // Find a request owned by shard 2, then kill shard 2.
+  svc::Request req = list_request(1);
+  for (std::uint64_t seed = 1;
+       fc.owner_for(req) != endpoint_name(fleet.endpoints[2]); ++seed) {
+    req = list_request(seed);
+  }
+  fleet.servers[2]->stop();
+  fleet.servers[2].reset();
+
+  std::string shard;
+  const svc::Response resp = fc.call(req, &shard);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_EQ(resp.output, direct_verb_output(req));
+  EXPECT_NE(shard, endpoint_name(fleet.endpoints[2]));
+
+  // Every shard down: the fleet call reports the outage instead of hanging.
+  fleet.servers[0]->stop();
+  fleet.servers[0].reset();
+  fleet.servers[1]->stop();
+  fleet.servers[1].reset();
+  EXPECT_THROW(fc.call(req), Error);
+}
+
+TEST(Router, RequiresSelfInPeerList) {
+  svc::Endpoint a;
+  a.unix_path = "/run/a.sock";
+  svc::Endpoint b;
+  b.unix_path = "/run/b.sock";
+  EXPECT_THROW(make_router({a, b}, "unix:/run/c.sock"), Error);
+  EXPECT_NO_THROW(make_router({a, b}, "unix:/run/a.sock"));
+}
+
+// ---------------------------------------------------------------------------
+// put / drain: journal records over the wire
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (const unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+TEST(Drain, RecordBytesRoundTripAndRejectCorruption) {
+  svc::CachedResult result;
+  result.exit_code = 0;
+  result.output = "table\nrows\n";
+  result.error = "";
+  const std::string bytes = svc::encode_record_bytes("somekey", result);
+  svc::ResultJournal::Record back;
+  ASSERT_TRUE(svc::decode_record_bytes(bytes, &back));
+  EXPECT_EQ(back.key, "somekey");
+  EXPECT_EQ(back.result.output, result.output);
+  EXPECT_EQ(back.result.exit_code, 0);
+  // Any flipped byte fails the checksum.
+  for (const std::size_t at : {std::size_t{0}, bytes.size() / 2,
+                               bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    EXPECT_FALSE(svc::decode_record_bytes(bad, &back)) << "at " << at;
+  }
+  EXPECT_FALSE(svc::decode_record_bytes("", &back));
+  EXPECT_FALSE(svc::decode_record_bytes(bytes.substr(0, bytes.size() - 1),
+                                        &back));
+}
+
+TEST(Drain, PutInjectsEntryServedAsWarmHit) {
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+  const svc::Client client([&] {
+    svc::Endpoint ep;
+    ep.unix_path = dir.path + "/s";
+    return ep;
+  }());
+
+  // Ship a record for a real request's canonical key, as `canu drain` does.
+  const svc::Request req = list_request(7);
+  svc::CachedResult result;
+  result.output = direct_verb_output(req);
+  svc::Request put;
+  put.verb = "put";
+  put.body =
+      hex_encode(svc::encode_record_bytes(svc::canonical_request_key(req),
+                                          result));
+  const svc::Response stored = client.call(put);
+  EXPECT_EQ(stored.status, "ok");
+  EXPECT_EQ(stored.output.rfind("stored ", 0), 0u) << stored.output;
+  EXPECT_EQ(server.counters().drained_in, 1u);
+
+  // Replaying the same record is idempotent.
+  const svc::Response dup = client.call(put);
+  EXPECT_EQ(dup.output.rfind("duplicate ", 0), 0u) << dup.output;
+  EXPECT_EQ(server.counters().drained_in, 1u);
+
+  // The drained entry serves the original request byte-identically, warm.
+  const svc::Response hit = client.call(req);
+  EXPECT_TRUE(hit.result_cache_hit);
+  EXPECT_EQ(hit.output, result.output);
+
+  // A corrupt record is rejected, never cached.
+  svc::Request bad = put;
+  bad.body[10] = bad.body[10] == 'a' ? 'b' : 'a';
+  const svc::Response rejected = client.call(bad);
+  EXPECT_NE(rejected.exit_code, 0);
+  EXPECT_NE(rejected.error.find("malformed or corrupt"), std::string::npos);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Streamed replies
+
+TEST(Streaming, ChunksPlusTailAreByteIdenticalToBuffered) {
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+  svc::Endpoint ep;
+  ep.unix_path = dir.path + "/s";
+  const svc::Client client(ep);
+
+  svc::Request req;
+  req.verb = "evaluate";
+  req.args = {"sha", "--grid", "sets=512,1024"};
+  req.params.scale = 0.0625;
+
+  std::string chunks;
+  const svc::Response streamed = client.call_streamed(
+      req, [&chunks](std::string_view data) { chunks += data; });
+  EXPECT_EQ(streamed.status, "ok");
+  EXPECT_TRUE(streamed.streamed);
+  // Chunks must actually ship as frames — even on a serial daemon, whose
+  // worker runs inline on the connection thread (the direct-sink path).
+  // A grid with one workload flushes its section once before the tail.
+  EXPECT_GE(streamed.stream_chunks, 1u);
+  EXPECT_EQ(streamed.stream_chunks > 0, !chunks.empty());
+
+  const std::string direct = direct_verb_output(req);
+  EXPECT_EQ(chunks + streamed.output, direct);
+
+  // The same request buffered (it's a warm hit now) is byte-identical too,
+  // and a warm hit needs no streaming: the reply arrives whole.
+  const svc::Response buffered = client.call(req);
+  EXPECT_TRUE(buffered.result_cache_hit);
+  EXPECT_EQ(buffered.output, direct);
+  server.stop();
+}
+
+TEST(Streaming, UnstreamedClientsSeeTheFullReply) {
+  // accept_stream defaults off: a plain call to a streamable verb must get
+  // the whole payload in the response (old clients keep working).
+  TempDir dir;
+  svc::ServerOptions options;
+  options.unix_socket = dir.path + "/s";
+  svc::Server server(std::move(options));
+  server.start();
+  svc::Endpoint ep;
+  ep.unix_path = dir.path + "/s";
+  svc::Request req;
+  req.verb = "evaluate";
+  req.args = {"sha", "--grid", "sets=512"};
+  req.params.scale = 0.0625;
+  const svc::Response resp = svc::Client(ep).call(req);
+  EXPECT_EQ(resp.status, "ok");
+  EXPECT_FALSE(resp.streamed);
+  EXPECT_EQ(resp.output, direct_verb_output(req));
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Background journal compaction
+
+TEST(Compaction, RunsInBackgroundAndPreservesLiveEntries) {
+  TempDir dir;
+  const std::string journal = dir.path + "/cache.jrnl";
+  svc::CachedResult ok;
+  ok.output = "payload";
+  {
+    svc::ResultCache cache(4, journal);
+    // 30 appends against a live set of 4 pushes the dead fraction far past
+    // the compaction threshold; the rewrite happens on the background
+    // thread, never on the appending path.
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(cache.put("key-" + std::to_string(i), ok));
+    }
+    cache.wait_compaction_idle();
+    EXPECT_GE(cache.compactions(), 1u);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_FALSE(cache.journal_degraded());
+  }
+  // The compacted journal holds the live (FIFO-surviving) entries.
+  svc::ResultCache reloaded(8, journal);
+  EXPECT_GE(reloaded.restored(), 4u);
+  const auto lookup = reloaded.acquire("key-29");
+  ASSERT_EQ(lookup.role, svc::ResultCache::Role::kHit);
+  EXPECT_EQ(lookup.hit->output, "payload");
+}
+
+}  // namespace
+}  // namespace canu::fleet

@@ -16,24 +16,32 @@
 # rows (warm server throughput with the always-on telemetry live vs a
 # CANU_OBS_DISABLED build of the same tree, when one is supplied via
 # CANU_OBS_DISABLED_BUILD_DIR; `telemetry_overhead_pct` = how much warm
-# rps the live telemetry costs), and
+# rps the live telemetry costs), plus the PR 9 fleet rows (aggregate
+# warm-hit rps through `fleet_bench` against one daemon vs a 4-shard
+# consistent-hash fleet — `fleet_scaling_x` = 4shard / 1shard, tagged
+# with the host's core count since shards can only scale across real
+# cores) and streamed-reply rows (first-byte latency of a cold 256-cell
+# multi-workload `evaluate --grid` submit, `--stream` vs buffered;
+# `first_byte_speedup` = buffered / streamed), and
 # writes one JSON object per configuration to the output file (default
-# BENCH_PR8.json). Timings are wall-clock seconds measured around the
+# BENCH_PR9.json). Timings are wall-clock seconds measured around the
 # whole process. A run manifest with the engine's internal counters
 # (trace-cache traffic, chunk handoffs, stall time) is captured from an
 # instrumented warm run into <output>.manifest.json.
 set -eu
 
 BUILD_DIR=${1:?usage: tools/bench_timings.sh <build-dir> [output.json]}
-OUT=${2:-BENCH_PR8.json}
+OUT=${2:-BENCH_PR9.json}
 # Optional second build tree configured with -DCANU_OBS_DISABLED=ON; when
 # set, the telemetry-overhead comparison rows are emitted.
 OBS_DISABLED_DIR=${CANU_OBS_DISABLED_BUILD_DIR:-}
 CACHE_DIR=$(mktemp -d)
 SOCK_DIR=$(mktemp -d)
 SERVE_PID=
+FLEET_PIDS=
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null || true
+  for pid in $FLEET_PIDS; do kill "$pid" 2> /dev/null || true; done
   rm -rf "$CACHE_DIR" "$SOCK_DIR"
 }
 trap cleanup EXIT
@@ -208,6 +216,107 @@ if [ -n "$OBS_DISABLED_DIR" ]; then
            off_s, 32 / off_s, (live_s - off_s) * 100.0 / off_s
   }' >> "$OUT.tmp"
 fi
+
+sep
+
+# Fleet warm-hit throughput: fleet_bench hammers warm `list` hits from 8
+# in-process client threads (no fork/exec in the loop), first against one
+# daemon, then against a 4-shard consistent-hash fleet. Shards scale across
+# cores — on a multi-core host the 4-shard row approaches 4x — so the rows
+# carry the measured core count: a 1-core CI box can only show parity, and
+# `fleet_scaling_x` there prices the sharding overhead, not the scaling.
+FLEET_BENCH="$BUILD_DIR/tools/fleet_bench"
+ONE_SOCK="$SOCK_DIR/fleet1.sock"
+"$CANU" serve --socket="$ONE_SOCK" 2> /dev/null &
+SERVE_PID=$!
+i=0
+while [ ! -S "$ONE_SOCK" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+ONE_RPS=$("$FLEET_BENCH" 5 8 "$ONE_SOCK" \
+  | sed 's/.*"warm_rps": \([0-9.]*\).*/\1/')
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=
+
+FLEET_EPS=""
+for fi in 0 1 2 3; do
+  FLEET_EPS="$FLEET_EPS${FLEET_EPS:+,}$SOCK_DIR/shard$fi.sock"
+done
+for fi in 0 1 2 3; do
+  "$CANU" serve --socket="$SOCK_DIR/shard$fi.sock" --shard-id="shard$fi" \
+    --peers="$FLEET_EPS" 2> /dev/null &
+  FLEET_PIDS="$FLEET_PIDS $!"
+done
+for fi in 0 1 2 3; do
+  i=0
+  while [ ! -S "$SOCK_DIR/shard$fi.sock" ] && [ "$i" -lt 50 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+done
+FOUR_RPS=$("$FLEET_BENCH" 5 8 "$FLEET_EPS" \
+  | sed 's/.*"warm_rps": \([0-9.]*\).*/\1/')
+for pid in $FLEET_PIDS; do kill -TERM "$pid" 2> /dev/null || true; done
+for pid in $FLEET_PIDS; do wait "$pid" 2> /dev/null || true; done
+FLEET_PIDS=
+awk -v one="$ONE_RPS" -v four="$FOUR_RPS" -v cores="$HW_THREADS" 'BEGIN {
+  printf "  {\"bench\": \"fleet_warm_1shard\", \"clients\": 8, \"cores\": %s, \"cache\": \"warm\", \"rps\": %.1f},\n",
+         cores, one
+  printf "  {\"bench\": \"fleet_warm_4shard\", \"clients\": 8, \"cores\": %s, \"cache\": \"warm\", \"rps\": %.1f, \"fleet_scaling_x\": %.2f}",
+         cores, four, four / one
+}' >> "$OUT.tmp"
+sep
+
+# Streamed vs buffered replies: a cold 256-cell, 4-workload `--grid`
+# submit. `--stream` ships each workload's finished section as its own
+# frame, so the first byte lands after one workload instead of after the
+# whole sweep; the assembled bytes are identical either way (the fleet
+# soak cmp-checks that). Both passes run cold on the daemon's result cache
+# (distinct seeds) with a warm trace cache.
+STREAM_SOCK="$SOCK_DIR/stream.sock"
+"$CANU" serve --socket="$STREAM_SOCK" 2> /dev/null &
+SERVE_PID=$!
+i=0
+while [ ! -S "$STREAM_SOCK" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+grid256() {
+  "$CANU" submit evaluate mibench_extra --grid \
+    sets=512,1024,2048,4096 ways=1,2,4,8 line=16,32,64,128 \
+    scheme=modulo,xor,odd_multiplier,prime_modulo \
+    --scale=0.0625 --socket="$STREAM_SOCK" "$@"
+}
+# Warm the trace cache so both timed passes price replay + delivery only.
+"$CANU" evaluate mibench_extra --grid \
+  sets=512,1024,2048,4096 ways=1,2,4,8 line=16,32,64,128 \
+  scheme=modulo,xor,odd_multiplier,prime_modulo \
+  --scale=0.0625 --seed=99 > /dev/null
+
+start=$(date +%s%N)
+grid256 --seed=101 | {
+  head -c 1 > /dev/null
+  echo $(($(date +%s%N) - start)) > "$SOCK_DIR/fb_buffered"
+  cat > /dev/null
+}
+BUF_TOTAL_NS=$(($(date +%s%N) - start))
+BUF_FB_NS=$(cat "$SOCK_DIR/fb_buffered")
+
+start=$(date +%s%N)
+grid256 --seed=102 --stream | {
+  head -c 1 > /dev/null
+  echo $(($(date +%s%N) - start)) > "$SOCK_DIR/fb_streamed"
+  cat > /dev/null
+}
+STREAM_TOTAL_NS=$(($(date +%s%N) - start))
+STREAM_FB_NS=$(cat "$SOCK_DIR/fb_streamed")
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=
+awk -v bfb="$BUF_FB_NS" -v bt="$BUF_TOTAL_NS" \
+    -v sfb="$STREAM_FB_NS" -v st="$STREAM_TOTAL_NS" 'BEGIN {
+  printf "  {\"bench\": \"submit_grid256_buffered\", \"cells\": 256, \"workloads\": 4, \"cache\": \"cold\", \"first_byte_s\": %.3f, \"wall_s\": %.3f},\n",
+         bfb / 1e9, bt / 1e9
+  printf "  {\"bench\": \"submit_grid256_streamed\", \"cells\": 256, \"workloads\": 4, \"cache\": \"cold\", \"first_byte_s\": %.3f, \"wall_s\": %.3f, \"first_byte_speedup\": %.2f}",
+         sfb / 1e9, st / 1e9, bfb / sfb
+}' >> "$OUT.tmp"
 
 printf '\n]\n' >> "$OUT.tmp"
 mv "$OUT.tmp" "$OUT"

@@ -13,6 +13,7 @@
 //   canu status   print a daemon's admission/result-cache counters
 //   canu metrics  print a daemon's live telemetry (JSON or Prometheus)
 //   canu top      poll metrics and render a refreshing dashboard
+//   canu drain    replay a cache journal onto a fleet (shard handoff)
 #include <unistd.h>
 
 #include <chrono>
@@ -20,15 +21,19 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fleet/endpoints.hpp"
+#include "fleet/fleet_client.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/version.hpp"
 #include "svc/client.hpp"
+#include "svc/journal.hpp"
 #include "svc/server.hpp"
 #include "svc/verbs.hpp"
 #include "trace/trace_io.hpp"
@@ -72,6 +77,12 @@ struct CliArgs {
   std::uint64_t top_count = 0;       ///< top: frames to render (0 = forever)
   long long slow_log_ms = -1;        ///< serve: slow-request threshold
   std::string slow_log_path;         ///< serve: slow-log file ("" = stderr)
+  // Fleet (DESIGN.md §16).
+  std::string endpoints;  ///< submit/drain: comma-separated fleet list
+  std::string peers;      ///< serve: full fleet list incl. this daemon
+  std::string shard_id;   ///< serve: telemetry shard label
+  unsigned vnodes = 0;    ///< ring virtual nodes (0 = default)
+  bool stream = false;    ///< submit: request frame-per-chunk streaming
 };
 
 [[noreturn]] void die_flag(const std::string& error) {
@@ -190,6 +201,23 @@ CliArgs parse(int argc, char** argv) {
     } else if (flag_value(arg, "--slow-log", &value)) {
       if (value.empty()) die_flag("--slow-log needs a file path");
       args.slow_log_path = value;
+    } else if (flag_value(arg, "--endpoints", &value)) {
+      if (value.empty()) die_flag("--endpoints needs a comma-separated list");
+      args.endpoints = value;
+    } else if (flag_value(arg, "--peers", &value)) {
+      if (value.empty()) die_flag("--peers needs a comma-separated list");
+      args.peers = value;
+    } else if (flag_value(arg, "--shard-id", &value)) {
+      if (value.empty()) die_flag("--shard-id needs a name");
+      args.shard_id = value;
+    } else if (flag_value(arg, "--vnodes", &value)) {
+      const auto v = parse_u64(value, "--vnodes value", &error);
+      if (!v || *v == 0 || *v > 65536) {
+        die_flag("--vnodes needs an integer 1..65536");
+      }
+      args.vnodes = static_cast<unsigned>(*v);
+    } else if (arg == "--stream") {
+      args.stream = true;
     } else if (arg.rfind("--", 0) == 0) {
       die_flag("unknown option '" + arg + "'");
     } else {
@@ -304,14 +332,7 @@ int finish_remote(const svc::Response& resp, const CliArgs& args) {
   return resp.exit_code;
 }
 
-int cmd_submit(const CliArgs& args) {
-  if (args.positional.size() < 2) {
-    print_verb_usage(std::cerr, "submit");
-    return 1;
-  }
-  CliArgs remote = args;
-  remote.positional.erase(remote.positional.begin());  // drop "submit"
-  const svc::Client client(endpoint_from(args));
+svc::RetryPolicy retry_policy_from(const CliArgs& args) {
   svc::RetryPolicy policy;
   policy.attempts = args.retry + 1;
   policy.budget = std::chrono::milliseconds(args.timeout_ms);
@@ -321,8 +342,127 @@ int cmd_submit(const CliArgs& args) {
                 static_cast<std::uint64_t>(
                     std::chrono::steady_clock::now().time_since_epoch()
                         .count());
-  return finish_remote(client.call_with_retry(to_request(remote), policy),
+  return policy;
+}
+
+int cmd_submit(const CliArgs& args) {
+  if (args.positional.size() < 2) {
+    print_verb_usage(std::cerr, "submit");
+    return 1;
+  }
+  CliArgs remote = args;
+  remote.positional.erase(remote.positional.begin());  // drop "submit"
+  const svc::Request req = to_request(remote);
+  const svc::RetryPolicy policy = retry_policy_from(args);
+  // Chunk frames go straight to stdout; the response's output is then just
+  // the unshipped tail, so finish_remote still completes the byte stream.
+  const auto sink = [](std::string_view data) {
+    std::cout << data << std::flush;
+  };
+  if (!args.endpoints.empty()) {
+    fleet::FleetOptions fopt;
+    if (args.vnodes != 0) fopt.vnodes = args.vnodes;
+    fopt.retry = policy;
+    const fleet::FleetClient fc(fleet::parse_endpoint_list(args.endpoints),
+                                fopt);
+    return finish_remote(
+        args.stream ? fc.call_streamed(req, sink) : fc.call(req), args);
+  }
+  const svc::Client client(endpoint_from(args));
+  return finish_remote(args.stream
+                           ? client.call_streamed(req, sink, policy)
+                           : client.call_with_retry(req, policy),
                        args);
+}
+
+// ---------------------------------------------------------------------------
+// canu drain: shard handoff. Replay a (possibly dead) daemon's cache journal
+// onto the fleet — each record is shipped as a `put` request, in the same
+// checksummed CANUJRNL record encoding the journal uses on disk, to the
+// shard owning the record's key on the ring (with ring-order failover).
+
+int cmd_drain(const CliArgs& args) {
+  if (args.positional.size() < 2) {
+    print_verb_usage(std::cerr, "drain");
+    return 1;
+  }
+  if (args.endpoints.empty()) {
+    std::cerr << "canu drain needs --endpoints=<fleet list>\n";
+    print_verb_usage(std::cerr, "drain");
+    return 1;
+  }
+  fleet::FleetOptions fopt;
+  if (args.vnodes != 0) fopt.vnodes = args.vnodes;
+  fopt.retry = retry_policy_from(args);
+  const fleet::FleetClient fc(fleet::parse_endpoint_list(args.endpoints),
+                              fopt);
+
+  svc::ResultJournal journal(args.positional[1]);
+  const std::vector<svc::ResultJournal::Record> records = journal.load();
+  if (journal.recovered_corrupt_tail()) {
+    std::cerr << "[canu] warning: " << journal.path()
+              << " had a corrupt tail; draining the valid prefix ("
+              << records.size() << " records)\n";
+  }
+
+  static const char* kHex = "0123456789abcdef";
+  struct ShardTally {
+    std::uint64_t stored = 0;
+    std::uint64_t duplicate = 0;
+  };
+  std::map<std::string, ShardTally> per_shard;
+  std::uint64_t failed = 0;
+  for (const svc::ResultJournal::Record& rec : records) {
+    svc::Request req;
+    req.verb = "put";
+    const std::string bytes = svc::encode_record_bytes(rec.key, rec.result);
+    req.body.reserve(bytes.size() * 2);
+    for (const unsigned char c : bytes) {
+      req.body.push_back(kHex[c >> 4]);
+      req.body.push_back(kHex[c & 0xf]);
+    }
+    // Route by the RECORD's key (the key under which the entry will be
+    // served), not by the put request's own canonical key — the owner must
+    // be the shard future submits of the original request will hit.
+    const std::vector<std::string> order =
+        fc.ring().owners(rec.key, fc.ring().size());
+    bool done = false;
+    std::string last_error;
+    for (const std::string& shard : order) {
+      try {
+        const svc::Client client(fc.endpoint_of(shard));
+        const svc::Response resp = client.call(req);
+        if (resp.exit_code != 0) {
+          last_error = resp.error;
+          break;  // a server-side rejection is an answer, not a dead shard
+        }
+        ShardTally& tally = per_shard[shard];
+        if (resp.output.rfind("duplicate ", 0) == 0) {
+          ++tally.duplicate;
+        } else {
+          ++tally.stored;
+        }
+        done = true;
+        break;
+      } catch (const Error& e) {
+        last_error = e.what();  // shard down: advance along the ring
+      }
+    }
+    if (!done) {
+      ++failed;
+      std::cerr << "[canu] drain: no shard accepted " << rec.key << ": "
+                << last_error;
+      if (last_error.empty() || last_error.back() != '\n') std::cerr << "\n";
+    }
+  }
+
+  for (const auto& [shard, tally] : per_shard) {
+    std::cout << shard << ": stored " << tally.stored << ", duplicate "
+              << tally.duplicate << "\n";
+  }
+  std::cout << "drained " << (records.size() - failed) << "/"
+            << records.size() << " records from " << journal.path() << "\n";
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_status(const CliArgs& args) {
@@ -457,10 +597,50 @@ int cmd_serve(const CliArgs& args) {
   opt.cache_file = args.cache_file;
   opt.slow_log_ms = args.slow_log_ms;
   opt.slow_log_path = args.slow_log_path;
+  opt.shard_id = args.shard_id;
   if (opt.unix_socket.empty() && opt.tcp_port < 0) {
     std::cerr << "canu serve needs --socket=<path> and/or --port=<n>\n";
     print_verb_usage(std::cerr, "serve");
     return 1;
+  }
+  if (!args.peers.empty()) {
+    // Fleet mode: find this daemon's own canonical name in the peer list
+    // (that membership is what makes the ring agree everywhere), then
+    // install the route-owner hook so misrouted requests forward.
+    const std::vector<svc::Endpoint> peers =
+        fleet::parse_endpoint_list(args.peers);
+    std::vector<std::string> candidates;
+    if (!args.socket_path.empty()) {
+      svc::Endpoint self;
+      self.unix_path = args.socket_path;
+      candidates.push_back(fleet::endpoint_name(self));
+    }
+    if (args.port > 0) {
+      svc::Endpoint self;
+      self.host = args.host;
+      self.port = args.port;
+      candidates.push_back(fleet::endpoint_name(self));
+    }
+    std::string self_name;
+    for (const svc::Endpoint& ep : peers) {
+      const std::string name = fleet::endpoint_name(ep);
+      for (const std::string& candidate : candidates) {
+        if (name == candidate) self_name = name;
+      }
+    }
+    if (self_name.empty()) {
+      std::cerr << "canu serve --peers must include this daemon's own "
+                   "listening address (";
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        std::cerr << (i > 0 ? " or " : "") << candidates[i];
+      }
+      std::cerr << "); TCP fleet members need a concrete --port, not an "
+                   "ephemeral one\n";
+      return 1;
+    }
+    opt.route_owner = fleet::make_router(
+        peers, self_name,
+        args.vnodes != 0 ? args.vnodes : fleet::HashRing::kDefaultVnodes);
   }
 
   CANU_CHECK_MSG(pipe(g_signal_pipe) == 0, "pipe() failed");
@@ -477,7 +657,9 @@ int cmd_serve(const CliArgs& args) {
   server.start();
   std::cerr << "[canud] " << obs::kVersion << " listening on "
             << server.endpoints() << " (threads=" << server.threads()
-            << ", queue=" << args.queue_capacity << ")\n";
+            << ", queue=" << args.queue_capacity
+            << (args.shard_id.empty() ? "" : ", shard=" + args.shard_id)
+            << ")\n";
 
   for (;;) {
     char byte = 0;
@@ -507,6 +689,23 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     print_canu_usage(std::cout);
     return 0;
+  }
+  {
+    const std::string& cmd = args.positional[0];
+    if (args.stream && cmd != "submit") {
+      die_flag("--stream is only supported by the submit verb");
+    }
+    if (!args.endpoints.empty() && cmd != "submit" && cmd != "drain") {
+      die_flag("--endpoints is only supported by the submit and drain verbs");
+    }
+    if ((!args.peers.empty() || !args.shard_id.empty()) && cmd != "serve") {
+      die_flag("--peers and --shard-id are only supported by the serve verb");
+    }
+    if (args.vnodes != 0 && cmd != "serve" && cmd != "submit" &&
+        cmd != "drain") {
+      die_flag("--vnodes is only supported by the serve, submit and drain "
+               "verbs");
+    }
   }
 
   std::string command;
@@ -543,6 +742,8 @@ int main(int argc, char** argv) {
       rc = cmd_metrics(args);
     } else if (cmd == "top") {
       rc = cmd_top(args);
+    } else if (cmd == "drain") {
+      rc = cmd_drain(args);
     } else if (svc::verb_is_servable(cmd)) {
       svc::VerbOptions options;
       options.progress = args.progress;

@@ -1,0 +1,101 @@
+// fleet_bench — in-process warm-hit load generator for BENCH_PR9 rows.
+//
+// Usage: fleet_bench <seconds> <threads> <endpoints-csv> [distinct-keys]
+//
+// Primes `distinct-keys` cacheable requests through the fleet (consistent-
+// hash routed, like `canu submit --endpoints`), then runs `threads` workers
+// for `seconds`, each submitting warm-hit requests round-robin over the key
+// set, and prints one JSON line with the aggregate request rate. Running
+// the load in threads (not one `canu submit` process per request) keeps
+// fork/exec out of the measurement — the number prices the daemons'
+// protocol + cache path, which is what sharding is supposed to scale.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/endpoints.hpp"
+#include "fleet/fleet_client.hpp"
+#include "svc/protocol.hpp"
+#include "util/error.hpp"
+
+using namespace canu;
+
+namespace {
+
+svc::Request list_request(std::uint64_t seed) {
+  svc::Request req;
+  req.verb = "list";
+  req.params.seed = seed;  // varies the canonical key, not the output
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: fleet_bench <seconds> <threads> <endpoints-csv> "
+                 "[distinct-keys]\n");
+    return 2;
+  }
+  const double seconds = std::atof(argv[1]);
+  const unsigned threads = static_cast<unsigned>(std::atoi(argv[2]));
+  const std::uint64_t keys = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 64;
+  if (seconds <= 0 || threads == 0 || keys == 0) {
+    std::fprintf(stderr, "fleet_bench: bad arguments\n");
+    return 2;
+  }
+
+  try {
+    const fleet::FleetClient fc(fleet::parse_endpoint_list(argv[3]));
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      const svc::Response resp = fc.call(list_request(k));
+      if (resp.exit_code != 0) {
+        std::fprintf(stderr, "fleet_bench: prime failed: %s\n",
+                     resp.error.c_str());
+        return 1;
+      }
+    }
+
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> errors{0};
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::uint64_t i = t;  // desynchronize the round-robin start points
+        while (std::chrono::steady_clock::now() < deadline) {
+          try {
+            const svc::Response resp = fc.call(list_request(i++ % keys));
+            if (resp.exit_code == 0 && resp.result_cache_hit) {
+              ++completed;
+            } else {
+              ++errors;
+            }
+          } catch (const Error&) {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    const std::uint64_t n = completed.load();
+    std::printf(
+        "{\"requests\": %llu, \"errors\": %llu, \"seconds\": %.3f, "
+        "\"warm_rps\": %.1f}\n",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(errors.load()), seconds,
+        static_cast<double>(n) / seconds);
+    return errors.load() == 0 ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fleet_bench: %s\n", e.what());
+    return 1;
+  }
+}

@@ -10,11 +10,26 @@
 #   - SIGHUP produces a parseable metrics rollup mid-flight,
 #   - the daemon drains cleanly on SIGTERM and writes the final rollup.
 #
-# Usage: tools/soak_daemon.sh [build-dir] [duration-seconds]
+# Fleet mode (--shards=N, DESIGN.md §16): N daemons with --shard-id/--peers
+# form a consistent-hash fleet; the same mixed load runs through
+# `submit --endpoints` (client-side ring routing), misrouted submits exercise
+# the server-side route forward, and mid-soak one shard is SIGKILLed, its
+# journal drained onto the survivors (`canu drain`, asserted lossless), its
+# replies verified byte-identical to the direct CLI, and the shard restarted.
+#
+# Usage: tools/soak_daemon.sh [build-dir] [duration-seconds] [--shards=N]
 set -euo pipefail
 
-BUILD_DIR=${1:-build}
-DURATION=${2:-60}
+SHARDS=1
+POSITIONAL=()
+for arg in "$@"; do
+  case "$arg" in
+    --shards=*) SHARDS=${arg#--shards=} ;;
+    *) POSITIONAL+=("$arg") ;;
+  esac
+done
+BUILD_DIR=${POSITIONAL[0]:-build}
+DURATION=${POSITIONAL[1]:-60}
 CANU="$BUILD_DIR/tools/canu"
 [ -x "$CANU" ] || { echo "no canu binary at $CANU" >&2; exit 2; }
 
@@ -22,11 +37,217 @@ WORK=$(mktemp -d /tmp/canu_soak_XXXXXX)
 SOCK="$WORK/canud.sock"
 ROLLUP="$WORK/rollup.json"
 SERVE_PID=
+SHARD_PIDS=()
 cleanup() {
   [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2> /dev/null || true
+  for pid in ${SHARD_PIDS[@]+"${SHARD_PIDS[@]}"}; do
+    kill -KILL "$pid" 2> /dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
+
+fail() { echo "soak: $*" >&2; touch "$WORK/failed"; }
+
+# ---------------------------------------------------------------------------
+# Fleet soak (--shards=N)
+
+start_shard() {  # start_shard <index>
+  local i=$1
+  "$CANU" serve --socket="$WORK/s$i.sock" --shard-id="s$i" --peers="$EPS" \
+    --queue=16 --cache-file="$WORK/s$i.jrnl" \
+    2>> "$WORK/s$i.serve.log" &
+  SHARD_PIDS[$i]=$!
+  for _ in $(seq 1 100); do [ -S "$WORK/s$i.sock" ] && break; sleep 0.1; done
+  [ -S "$WORK/s$i.sock" ] || { echo "shard $i never bound" >&2; exit 1; }
+}
+
+fleet_soak() {
+  EPS=""
+  for i in $(seq 0 $((SHARDS - 1))); do
+    EPS="$EPS${EPS:+,}$WORK/s$i.sock"
+  done
+  for i in $(seq 0 $((SHARDS - 1))); do start_shard "$i"; done
+
+  # Warm a fixed request set through the ring and keep the direct-CLI
+  # expected bytes: the kill/drain/restart sequence must never change them.
+  local k
+  for k in $(seq 1 6); do
+    "$CANU" run crc modulo --seed="$k" --scale=0.0625 \
+      > "$WORK/expect.$k" 2> /dev/null
+    $CLIENT "$CANU" submit run crc modulo --seed="$k" --scale=0.0625 \
+      --endpoints="$EPS" --retry=5 > /dev/null \
+      || fail "warm submit seed=$k failed"
+  done
+
+  fleet_batch_loop() {
+    local i=0 rc
+    while [ $SECONDS -lt $END ]; do
+      rc=0
+      $CLIENT "$CANU" submit evaluate crc indexing --scale=0.0625 \
+        --seed=$(((i % 4) + 1)) --retry=5 --endpoints="$EPS" \
+        > /dev/null 2>> "$WORK/batch.err" || rc=$?
+      case $rc in
+        0 | 75) ;;
+        *) fail "fleet batch submit exited $rc" ;;
+      esac
+      i=$((i + 1))
+    done
+    echo "$i" > "$WORK/batch.count"
+  }
+
+  fleet_stream_loop() {
+    # Streamed grid submits: chunks + tail must assemble byte-identically.
+    local i=0 rc
+    "$CANU" evaluate sha --grid "sets=512,1024" --scale=0.0625 \
+      > "$WORK/grid.expect" 2> /dev/null
+    while [ $SECONDS -lt $END ]; do
+      rc=0
+      $CLIENT "$CANU" submit evaluate sha --grid "sets=512,1024" \
+        --scale=0.0625 --stream --retry=5 --endpoints="$EPS" \
+        > "$WORK/grid.got" 2>> "$WORK/stream.err" || rc=$?
+      case $rc in
+        0) cmp -s "$WORK/grid.expect" "$WORK/grid.got" \
+             || fail "streamed grid reply diverged from direct CLI" ;;
+        75) ;;
+        *) fail "fleet stream submit exited $rc" ;;
+      esac
+      i=$((i + 1))
+      sleep 0.1
+    done
+    echo "$i" > "$WORK/stream.count"
+  }
+
+  fleet_misroute_loop() {
+    # Hit shard 0 directly with keys it mostly does not own: the route
+    # forward must still produce correct answers.
+    local i=0 rc
+    while [ $SECONDS -lt $END ]; do
+      rc=0
+      $CLIENT "$CANU" submit run crc modulo --seed=$(((i % 6) + 1)) \
+        --scale=0.0625 --retry=5 --socket="$WORK/s0.sock" \
+        > /dev/null 2>> "$WORK/misroute.err" || rc=$?
+      case $rc in
+        0 | 75) ;;
+        *) fail "misrouted submit exited $rc" ;;
+      esac
+      i=$((i + 1))
+      sleep 0.05
+    done
+    echo "$i" > "$WORK/misroute.count"
+  }
+
+  END=$((SECONDS + DURATION))
+  fleet_batch_loop &
+  local batch=$!
+  fleet_stream_loop &
+  local stream=$!
+  fleet_misroute_loop &
+  local misroute=$!
+
+  # Mid-soak shard loss: SIGKILL the last shard, drain its journal onto the
+  # ring (must be lossless), prove the warm set still answers byte-identical
+  # via failover, then restart the shard.
+  sleep $((DURATION / 3))
+  local victim=$((SHARDS - 1))
+  kill -KILL "${SHARD_PIDS[$victim]}" 2> /dev/null || true
+  wait "${SHARD_PIDS[$victim]}" 2> /dev/null || true
+  "$CANU" drain "$WORK/s$victim.jrnl" --endpoints="$EPS" \
+    > "$WORK/drain.out" 2>> "$WORK/drain.err" \
+    || fail "drain of killed shard lost records: $(cat "$WORK/drain.out")"
+  cat "$WORK/drain.out"
+  local k
+  for k in $(seq 1 6); do
+    $CLIENT "$CANU" submit run crc modulo --seed="$k" --scale=0.0625 \
+      --endpoints="$EPS" --retry=5 --meta-out="$WORK/replay.meta" \
+      > "$WORK/replay.$k" 2>> "$WORK/replay.err" \
+      || fail "post-kill replay seed=$k failed"
+    cmp -s "$WORK/expect.$k" "$WORK/replay.$k" \
+      || fail "post-kill replay seed=$k diverged from direct CLI"
+    grep -q '"result_cache_hit": true' "$WORK/replay.meta" \
+      || fail "post-kill replay seed=$k was not a warm hit"
+  done
+  echo "soak: shard s$victim killed, journal drained, warm set intact"
+  start_shard "$victim"
+  for k in $(seq 1 6); do
+    $CLIENT "$CANU" submit run crc modulo --seed="$k" --scale=0.0625 \
+      --endpoints="$EPS" --retry=5 > "$WORK/replay2.$k" \
+      2>> "$WORK/replay.err" || fail "post-restart replay seed=$k failed"
+    cmp -s "$WORK/expect.$k" "$WORK/replay2.$k" \
+      || fail "post-restart replay seed=$k diverged"
+  done
+  echo "soak: shard s$victim restarted, replies still byte-identical"
+
+  wait "$batch" "$stream" "$misroute"
+
+  # Per-shard telemetry: labels present, classification invariant holds on
+  # every live shard, and the route forward actually fired somewhere.
+  python3 - "$WORK" "$SHARDS" "$CANU" << 'PYEOF' \
+    || fail "fleet telemetry assertions"
+import json
+import subprocess
+import sys
+
+work, shards, canu = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+total_requests = 0
+total_forwarded = 0
+for i in range(shards):
+    out = subprocess.run(
+        [canu, "metrics", f"--socket={work}/s{i}.sock"],
+        capture_output=True, text=True, timeout=60)
+    assert out.returncode == 0, f"s{i} metrics failed: {out.stderr}"
+    m = json.loads(out.stdout)
+    assert m.get("shard") == f"s{i}", f"s{i}: bad shard label {m.get('shard')}"
+    t = m["totals"]
+    assert t["warm_hits"] + t["misses"] == t["requests"] - t["rejections"], \
+        f"s{i} totals disagree: {t}"
+    total_requests += t["requests"]
+    prom = subprocess.run(
+        [canu, "metrics", f"--socket={work}/s{i}.sock",
+         "--format=prometheus"],
+        capture_output=True, text=True, timeout=60)
+    assert f'shard="s{i}"' in prom.stdout, f"s{i}: no prometheus shard label"
+    status = subprocess.run(
+        [canu, "status", f"--socket={work}/s{i}.sock"],
+        capture_output=True, text=True, timeout=60)
+    for line in status.stdout.splitlines():
+        if line.startswith("forwarded"):
+            total_forwarded += int(line.split()[-1])
+assert total_requests > 0, "fleet served no requests"
+assert total_forwarded > 0, "route forward never fired despite misrouting"
+print(f"soak: fleet telemetry OK ({total_requests} requests,"
+      f" {total_forwarded} forwarded)")
+PYEOF
+
+  for i in $(seq 0 $((SHARDS - 1))); do
+    kill -TERM "${SHARD_PIDS[$i]}" 2> /dev/null || true
+  done
+  for i in $(seq 0 $((SHARDS - 1))); do
+    wait "${SHARD_PIDS[$i]}" 2> /dev/null || true
+  done
+  SHARD_PIDS=()
+
+  [ ! -e "$WORK/failed" ] || { cat "$WORK"/*.err >&2 || true; exit 1; }
+  read -r BATCH_N < "$WORK/batch.count"
+  read -r STREAM_N < "$WORK/stream.count"
+  read -r MISROUTE_N < "$WORK/misroute.count"
+  echo "soak: $BATCH_N fleet batch, $STREAM_N streamed grid," \
+    "$MISROUTE_N misrouted submits"
+  [ "$BATCH_N" -ge 1 ] && [ "$STREAM_N" -ge 1 ] && [ "$MISROUTE_N" -ge 1 ] || {
+    echo "soak: suspiciously little fleet work completed" >&2
+    exit 1
+  }
+  echo "soak: PASS ($SHARDS shards)"
+  exit 0
+}
+
+# A client that does not return inside 120 s is hung; SIGKILL gives the
+# distinctive exit 137, never confusable with canu's own deadline exit 124.
+CLIENT="timeout --signal=KILL 120"
+
+if [ "$SHARDS" -gt 1 ]; then
+  fleet_soak
+fi
 
 "$CANU" serve --socket="$SOCK" --queue=8 \
   --cache-file="$WORK/results.jrnl" --metrics-out="$ROLLUP" \
@@ -36,11 +257,6 @@ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
 
 END=$((SECONDS + DURATION))
-# A client that does not return inside 120 s is hung; SIGKILL gives the
-# distinctive exit 137, never confusable with canu's own deadline exit 124.
-CLIENT="timeout --signal=KILL 120"
-
-fail() { echo "soak: $*" >&2; touch "$WORK/failed"; }
 
 batch_loop() {
   local i=0 rc
